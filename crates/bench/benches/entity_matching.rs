@@ -1,0 +1,51 @@
+//! §6 entity-matching benchmarks: blocking effectiveness and rule-list
+//! matching throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rulekit_bench::setup::{world, Scale};
+use rulekit_em::{multi_pass_pairs, run_matcher, synthesize_duplicates, BlockingKey, RuleMatcher};
+
+fn bench_blocking(c: &mut Criterion) {
+    let scale = Scale { train_items: 2000, eval_items: 100, seed: 19 };
+    let (taxonomy, mut generator) = world(scale);
+    let books = taxonomy.id_of("books").unwrap();
+
+    let mut group = c.benchmark_group("em_blocking");
+    for &n in &[500usize, 1_000] {
+        let items = generator.generate_n_for_type(books, n);
+        let corpus = synthesize_duplicates(&items, 0.4, 19);
+        group.throughput(Throughput::Elements(corpus.records.len() as u64));
+        group.bench_with_input(BenchmarkId::new("isbn_key", n), &corpus, |b, corpus| {
+            b.iter(|| multi_pass_pairs(&corpus.records, &[BlockingKey::Attr("ISBN".into())]).len())
+        });
+        group.bench_with_input(BenchmarkId::new("title_prefix", n), &corpus, |b, corpus| {
+            b.iter(|| multi_pass_pairs(&corpus.records, &[BlockingKey::TitlePrefix(2)]).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let scale = Scale { train_items: 2000, eval_items: 100, seed: 19 };
+    let (taxonomy, mut generator) = world(scale);
+    let books = taxonomy.id_of("books").unwrap();
+    let items = generator.generate_n_for_type(books, 1_000);
+    let corpus = synthesize_duplicates(&items, 0.4, 23);
+    let matcher = RuleMatcher::paper_book_rules();
+    let blocking = [BlockingKey::Attr("ISBN".into()), BlockingKey::TitlePrefix(2)];
+
+    let mut group = c.benchmark_group("em_matching");
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| run_matcher(&corpus, &matcher, &blocking, t).predicted)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_blocking, bench_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! §5.2 sequence-mining benchmarks: AprioriAll cost versus corpus size and
+//! support threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rulekit_bench::setup::{world, Scale};
+use rulekit_gen::{mine_sequences, tokenize_titles, MiningConfig};
+
+fn bench_mining(c: &mut Criterion) {
+    let scale = Scale { train_items: 4000, eval_items: 100, seed: 13 };
+    let (taxonomy, mut generator) = world(scale);
+    let jeans = taxonomy.id_of("jeans").unwrap();
+
+    let mut group = c.benchmark_group("sequence_mining");
+    for &n in &[250usize, 1_000] {
+        let titles: Vec<String> = generator
+            .generate_n_for_type(jeans, n)
+            .into_iter()
+            .map(|i| i.product.title)
+            .collect();
+        let docs = tokenize_titles(&titles);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("titles", n), &docs, |b, docs| {
+            b.iter(|| {
+                mine_sequences(docs, MiningConfig { min_support: 0.02, min_len: 2, max_len: 4 }).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_support_threshold(c: &mut Criterion) {
+    let scale = Scale { train_items: 2000, eval_items: 100, seed: 13 };
+    let (taxonomy, mut generator) = world(scale);
+    let rugs = taxonomy.id_of("area rugs").unwrap();
+    let titles: Vec<String> = generator
+        .generate_n_for_type(rugs, 1_000)
+        .into_iter()
+        .map(|i| i.product.title)
+        .collect();
+    let docs = tokenize_titles(&titles);
+
+    let mut group = c.benchmark_group("mining_support_sweep");
+    for &support in &[0.05f64, 0.02, 0.01] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{support}")),
+            &support,
+            |b, &s| {
+                b.iter(|| {
+                    mine_sequences(&docs, MiningConfig { min_support: s, min_len: 2, max_len: 4 }).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mining, bench_support_threshold
+}
+criterion_main!(benches);

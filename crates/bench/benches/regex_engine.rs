@@ -1,0 +1,66 @@
+//! Regex-engine microbenchmarks: compile and match costs for the pattern
+//! shapes analyst rules actually use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulekit_bench::setup::{world, Scale};
+use rulekit_regex::Regex;
+
+const PATTERNS: &[(&str, &str)] = &[
+    ("simple", "rings?"),
+    ("dotstar", "diamond.*trio sets?"),
+    (
+        "alternation",
+        "(motor|engine|auto(motive)?|car|truck|suv|van|vehicle|motorcycle|pick[ -]?up|scooter|atv|boat) (oil|lubricant)s?",
+    ),
+    ("classes", r"(\w+\s+\w+) oils?"),
+];
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regex_compile");
+    for (name, pattern) in PATTERNS {
+        group.bench_with_input(BenchmarkId::from_parameter(name), pattern, |b, p| {
+            b.iter(|| Regex::case_insensitive(p).unwrap().capture_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_match(c: &mut Criterion) {
+    let scale = Scale { train_items: 500, eval_items: 500, seed: 9 };
+    let (_, mut generator) = world(scale);
+    let titles: Vec<String> = generator
+        .generate(500)
+        .into_iter()
+        .map(|i| i.product.title)
+        .collect();
+
+    let mut group = c.benchmark_group("regex_is_match_500_titles");
+    for (name, pattern) in PATTERNS {
+        let re = Regex::case_insensitive(pattern).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &re, |b, re| {
+            b.iter(|| titles.iter().filter(|t| re.is_match(t)).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_captures(c: &mut Criterion) {
+    let scale = Scale { train_items: 500, eval_items: 500, seed: 9 };
+    let (_, mut generator) = world(scale);
+    let titles: Vec<String> = generator
+        .generate(500)
+        .into_iter()
+        .map(|i| i.product.title)
+        .collect();
+    let re = Regex::case_insensitive(r"(\w+) (rugs?|rings?|jeans?)").unwrap();
+    c.bench_function("regex_captures_500_titles", |b| {
+        b.iter(|| titles.iter().filter_map(|t| re.captures(t)).count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_compile, bench_match, bench_captures
+}
+criterion_main!(benches);

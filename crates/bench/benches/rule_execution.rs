@@ -1,0 +1,57 @@
+//! Criterion bench for E7: naive vs trigram-indexed rule execution at
+//! growing rule counts (§4 "Rule Execution and Optimization").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rulekit_bench::exp::execution::synthetic_rules;
+use rulekit_bench::setup::{analyst_rules, world, Scale};
+use rulekit_core::{IndexedExecutor, NaiveExecutor, RuleExecutor};
+
+fn bench_executors(c: &mut Criterion) {
+    let scale = Scale { train_items: 1000, eval_items: 1000, seed: 5 };
+    let (taxonomy, mut generator) = world(scale);
+    let products: Vec<_> = generator.generate(60).into_iter().map(|i| i.product).collect();
+
+    let mut group = c.benchmark_group("rule_execution");
+    for &n in &[1_000usize, 5_000] {
+        let mut rules = analyst_rules(&taxonomy);
+        rules.extend(synthetic_rules(&taxonomy, n.saturating_sub(rules.len())));
+        rules.truncate(n);
+
+        group.throughput(Throughput::Elements(products.len() as u64));
+        let naive = NaiveExecutor::new(rules.clone());
+        group.bench_with_input(BenchmarkId::new("naive", n), &naive, |b, ex| {
+            b.iter(|| {
+                products
+                    .iter()
+                    .map(|p| ex.matching_rules(p).len())
+                    .sum::<usize>()
+            })
+        });
+        let indexed = IndexedExecutor::new(rules.clone());
+        group.bench_with_input(BenchmarkId::new("indexed", n), &indexed, |b, ex| {
+            b.iter(|| {
+                products
+                    .iter()
+                    .map(|p| ex.matching_rules(p).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let scale = Scale { train_items: 1000, eval_items: 1000, seed: 5 };
+    let (taxonomy, _) = world(scale);
+    let rules = synthetic_rules(&taxonomy, 5_000);
+    c.bench_function("index_build_5k_rules", |b| {
+        b.iter(|| IndexedExecutor::new(rules.clone()).rule_count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_executors, bench_index_build
+}
+criterion_main!(benches);

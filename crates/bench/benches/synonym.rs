@@ -1,0 +1,44 @@
+//! §5.1 synonym-finder benchmarks: session construction (candidate
+//! extraction + TF/IDF profiling) and re-ranking cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rulekit_bench::exp::synonym::{build_case, session_corpus};
+use rulekit_bench::setup::{world, Scale};
+use rulekit_gen::{SynonymConfig, SynonymSession};
+
+fn bench_session_build(c: &mut Criterion) {
+    let scale = Scale { train_items: 1000, eval_items: 1000, seed: 17 };
+    let (taxonomy, mut generator) = world(scale);
+    let rugs = taxonomy.id_of("area rugs").unwrap();
+    let case = build_case(&taxonomy, rugs).expect("area rugs has a rich pool");
+
+    let mut group = c.benchmark_group("synonym_session_build");
+    for &n in &[500usize, 2_000] {
+        let titles = session_corpus(&mut generator, rugs, n / 2, n / 2);
+        group.bench_with_input(BenchmarkId::new("corpus", n), &titles, |b, titles| {
+            b.iter(|| {
+                SynonymSession::new(&case.input_regex, titles, SynonymConfig::default())
+                    .map(|s| s.candidate_count())
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let scale = Scale { train_items: 1000, eval_items: 1000, seed: 17 };
+    let (taxonomy, mut generator) = world(scale);
+    let rugs = taxonomy.id_of("area rugs").unwrap();
+    let case = build_case(&taxonomy, rugs).expect("area rugs has a rich pool");
+    let titles = session_corpus(&mut generator, rugs, 1_000, 1_000);
+    let session = SynonymSession::new(&case.input_regex, &titles, SynonymConfig::default()).unwrap();
+    c.bench_function("synonym_rank_candidates", |b| b.iter(|| session.ranked().len()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_session_build, bench_ranking
+}
+criterion_main!(benches);

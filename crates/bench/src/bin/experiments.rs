@@ -1,0 +1,113 @@
+//! The experiment driver: regenerates every paper table/figure/claim.
+//!
+//! ```text
+//! experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]
+//!
+//! EXPERIMENT: all | table1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 |
+//!             e11 | e12 | e13 | e14 | e15
+//! --scale     multiplies corpus sizes (default 1.0; the default corpus is
+//!             ~20k training items, a ~1/40 scale model of the paper's 885K)
+//! --seed      master RNG seed (default 1)
+//! ```
+
+use rulekit_bench::exp;
+use rulekit_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    let mut factor = 1.0f64;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                factor = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => selected.push(other.to_lowercase()),
+        }
+        i += 1;
+    }
+    let scale = scale.scaled(factor);
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+
+    let everything = selected.iter().any(|s| s == "all");
+    let want = |name: &str| everything || selected.iter().any(|s| s == name);
+
+    println!(
+        "rulekit experiments — scale: {} train / {} eval items, seed {}",
+        scale.train_items, scale.eval_items, scale.seed
+    );
+
+    if want("e13") {
+        exp::chimera::e13(scale);
+    }
+    if want("table1") || want("e1") {
+        exp::synonym::table1(scale);
+    }
+    if want("e2") {
+        exp::synonym::e2(scale);
+    }
+    if want("e14") {
+        exp::synonym::e14(scale);
+    }
+    if want("e3") {
+        exp::rulegen::e3(scale);
+    }
+    if want("e15") {
+        exp::rulegen::e15(scale);
+    }
+    if want("e4") {
+        exp::chimera::e4(scale);
+    }
+    if want("e5") {
+        exp::chimera::e5(scale);
+    }
+    if want("e6") {
+        exp::chimera::e6(scale);
+    }
+    if want("e7") {
+        exp::execution::e7(scale);
+    }
+    if want("e8") {
+        exp::evaluation::e8(scale);
+    }
+    if want("e9") {
+        exp::maintenance::e9(scale);
+    }
+    if want("e10") {
+        exp::execution::e10(scale);
+    }
+    if want("e11") {
+        exp::emie::e11(scale);
+    }
+    if want("e12") {
+        exp::emie::e12(scale);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]\n\
+         experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

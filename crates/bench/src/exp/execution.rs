@@ -1,0 +1,172 @@
+//! E7 (rule-execution scaling: naive vs indexed vs parallel) and E10
+//! (rule-system order-independence audits).
+
+use crate::setup::{analyst_rules, world, Scale};
+use crate::table::{f3, Table};
+use rulekit_core::{
+    audit_order_independence, execute_batch_parallel, execution_stats, IndexedExecutor,
+    NaiveExecutor, Rule, RuleExecutor, RuleMeta, RuleParser, RuleRepository,
+};
+use rulekit_data::Taxonomy;
+use rulekit_em::{order_sensitivity, synthesize_duplicates, BlockingKey, RuleMatcher, Semantics};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministically manufactures a rule corpus of size `n` from the
+/// taxonomy's pools (qualifier×head and qualifier-pair patterns) — the
+/// "tens of thousands of rules" regime of §4.
+pub fn synthetic_rules(taxonomy: &Arc<Taxonomy>, n: usize) -> Vec<Rule> {
+    let parser = RuleParser::new(taxonomy.clone());
+    let repo = RuleRepository::new();
+    let mut produced = 0usize;
+
+    const DEPTHS: usize = 10;
+    'outer: for depth in 0..DEPTHS {
+        for id in taxonomy.ids() {
+            let def = taxonomy.def(id);
+            let heads: Vec<String> = def.heads.iter().map(|h| h.to_lowercase()).collect();
+            let quals: Vec<String> = def.qualifiers.iter().map(|q| q.to_lowercase()).collect();
+            for (qi, q) in quals.iter().enumerate() {
+                for (hi, head) in heads.iter().enumerate() {
+                    let e = rulekit_regex::escape(q);
+                    let h = rulekit_regex::escape(head);
+                    let q_at = |k: usize| rulekit_regex::escape(&quals[(qi + k) % quals.len()]);
+                    let brand_at =
+                        |k: usize| rulekit_regex::escape(&def.brands[(qi + k) % def.brands.len()].to_lowercase());
+                    let pattern = match depth {
+                        0 => format!("{e}.*{h}s?"),
+                        1 => format!("{e}.*{}.*{h}s?", q_at(1)),
+                        2 => format!("{}.*{h}s?", brand_at(0)),
+                        3 => format!("({e}|{}) {h}s?", q_at(2)),
+                        4 => format!("{e}.*{}.*{h}s?", q_at(3)),
+                        5 => format!("{}.*{e}.*{h}s?", brand_at(1)),
+                        6 => format!("({e}|{}|{}) {h}s?", q_at(1), q_at(4)),
+                        7 => format!("{e} .*{h}s? .*{}", q_at(hi + 1)),
+                        8 => format!("{}.*{}.*{h}s?", q_at(2), q_at(5)),
+                        _ => format!("{}.*({e}|{}).*{h}s?", brand_at(2), q_at(6)),
+                    };
+                    // Skip degenerate duplicates where rotation wrapped onto
+                    // the same qualifier.
+                    if pattern.matches(&e.to_string()[..]).count() > 3 {
+                        continue;
+                    }
+                    let line = format!("{pattern} -> {}", def.name);
+                    if let Ok(spec) = parser.parse_rule(&line) {
+                        repo.add(spec, RuleMeta::default());
+                        produced += 1;
+                        if produced >= n {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    repo.enabled_snapshot()
+}
+
+/// E7 — execution scaling table.
+pub fn e7(scale: Scale) {
+    println!("\n=== E7: executing tens of thousands of rules (§4) ===");
+    let (taxonomy, mut generator) = world(scale);
+    let products: Vec<_> = generator
+        .generate(2_000.min(scale.eval_items))
+        .into_iter()
+        .map(|i| i.product)
+        .collect();
+
+    let mut table = Table::new(&[
+        "rules",
+        "naive ms/1k items",
+        "naive ∥4 ms/1k",
+        "indexed ms/1k items",
+        "avg considered (naive)",
+        "avg considered (indexed)",
+        "index speedup",
+    ]);
+
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let mut rules = analyst_rules(&taxonomy);
+        rules.extend(synthetic_rules(&taxonomy, n.saturating_sub(rules.len())));
+        rules.truncate(n);
+        let naive = NaiveExecutor::new(rules.clone());
+        let indexed = IndexedExecutor::new(rules.clone());
+
+        // The naive executor is timed on a subsample (it is the slow one).
+        let naive_sample = &products[..products.len().min(300)];
+        let t0 = Instant::now();
+        let naive_results: usize = naive_sample.iter().map(|p| naive.matching_rules(p).len()).sum();
+        let naive_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t1 = Instant::now();
+        let indexed_results: usize = naive_sample.iter().map(|p| indexed.matching_rules(p).len()).sum();
+        let indexed_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(naive_results, indexed_results, "executors must agree");
+        let t1b = Instant::now();
+        let _: usize = products.iter().map(|p| indexed.matching_rules(p).len()).sum();
+        let indexed_full_ms = t1b.elapsed().as_secs_f64() * 1000.0;
+
+        let t2 = Instant::now();
+        let _ = execute_batch_parallel(&naive, naive_sample, 4);
+        let par_ms = t2.elapsed().as_secs_f64() * 1000.0;
+
+        let sample = &products[..products.len().min(200)];
+        let sn = execution_stats(&naive, sample);
+        let si = execution_stats(&indexed, sample);
+
+        let per_1k_small = 1000.0 / naive_sample.len() as f64;
+        let per_1k_full = 1000.0 / products.len() as f64;
+        table.row(vec![
+            n.to_string(),
+            f3(naive_ms * per_1k_small),
+            f3(par_ms * per_1k_small),
+            f3(indexed_full_ms * per_1k_full),
+            f3(sn.avg_considered),
+            f3(si.avg_considered),
+            format!("{:.1}x", naive_ms / indexed_ms.max(1e-9)),
+        ]);
+    }
+    table.print();
+    println!("(the index should keep per-item cost near-flat as the rule count grows)");
+}
+
+/// E10 — order-independence audits for the classification rule system and
+/// the EM semantics comparison.
+pub fn e10(scale: Scale) {
+    println!("\n=== E10: rule-system order independence (§4 properties) ===");
+    let (taxonomy, mut generator) = world(scale);
+    let rules = analyst_rules(&taxonomy);
+    let products: Vec<_> = generator.generate(500).into_iter().map(|i| i.product).collect();
+    let audit = audit_order_independence(&rules, &products, 15, scale.seed);
+    println!(
+        "classification rules: {} rules × {} products × {} permutations → order-independent: {}",
+        rules.len(),
+        audit.products,
+        audit.permutations,
+        audit.holds()
+    );
+
+    // EM semantics: decision-list vs declarative under conflicting rules.
+    let books = taxonomy.id_of("books").unwrap();
+    let items = generator.generate_n_for_type(books, 400);
+    let corpus = synthesize_duplicates(&items, 0.5, scale.seed);
+    let conflicted_rules = vec![
+        rulekit_em::MatchRule {
+            name: "title-ish".into(),
+            predicates: vec![rulekit_em::Predicate::TitleQgramJaccard { q: 3, threshold: 0.6 }],
+            action: rulekit_em::MatchAction::Match,
+        },
+        rulekit_em::MatchRule {
+            name: "pages-exact".into(),
+            predicates: vec![rulekit_em::Predicate::BothHave { attr: "Pages".into() }],
+            action: rulekit_em::MatchAction::NonMatch,
+        },
+    ];
+    let blocking = [BlockingKey::Attr("ISBN".into())];
+    for (name, semantics) in [("decision list (FirstMatch)", Semantics::FirstMatch), ("declarative", Semantics::Declarative)] {
+        let matcher = RuleMatcher::new(conflicted_rules.clone(), semantics);
+        let sensitive = order_sensitivity(&corpus, &matcher, &blocking);
+        println!("EM semantics {name}: order-sensitive = {sensitive}");
+    }
+    println!("(the declarative semantics is order-independent by construction — §5.3's question)");
+}

@@ -1,0 +1,201 @@
+//! E1 (Table 1), E2 (§5.1 sweep) and E14 (Rocchio ablation): the synonym
+//! finder evaluated against the taxonomy's qualifier pools.
+
+use crate::setup::{world, Scale};
+use crate::table::{f3, Table};
+use rulekit_data::{pluralize, CatalogGenerator, Taxonomy, TypeId};
+use rulekit_gen::{ScriptedAnalyst, SessionOutcome, SynonymConfig, SynonymSession};
+use rulekit_text::RocchioWeights;
+
+/// Per-type session setup derived from the taxonomy.
+pub struct SynonymCase {
+    /// The target type.
+    pub ty: TypeId,
+    /// The `\syn`-marked input regex.
+    pub input_regex: String,
+    /// Golden synonyms embedded in the input regex.
+    pub golden: Vec<String>,
+    /// Ground truth (single-word qualifiers not already golden).
+    pub truth: Vec<String>,
+}
+
+/// Builds the input regex for a type: `(q0 | q1 | \syn) heads?`.
+pub fn build_case(taxonomy: &Taxonomy, ty: TypeId) -> Option<SynonymCase> {
+    let def = taxonomy.def(ty);
+    let single_word: Vec<&String> = def.qualifiers.iter().filter(|q| !q.contains(' ')).collect();
+    if single_word.len() < 3 {
+        return None;
+    }
+    let golden: Vec<String> = single_word[..2.min(single_word.len())]
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    // Anchor on the last word of every head noun, as the paper's own
+    // "(abrasive|…)[ -](wheels?|discs?)" rule does.
+    let mut anchors: Vec<String> = def
+        .heads
+        .iter()
+        .filter_map(|h| h.split_whitespace().last())
+        .map(str::to_lowercase)
+        .collect();
+    anchors.sort();
+    anchors.dedup();
+    let anchor_patterns: Vec<String> = anchors
+        .iter()
+        .map(|head| {
+            let plural = pluralize(head);
+            if plural == format!("{head}s") {
+                format!("{head}s?")
+            } else {
+                format!("{head}|{plural}")
+            }
+        })
+        .collect();
+    let head_pattern = if anchor_patterns.len() == 1 && !anchor_patterns[0].contains('|') {
+        anchor_patterns[0].clone()
+    } else {
+        format!("({})", anchor_patterns.join("|"))
+    };
+    let input_regex = format!("({} | \\syn) {head_pattern}", golden.join(" | "));
+    let truth: Vec<String> = single_word[2..].iter().map(|q| q.to_string()).collect();
+    Some(SynonymCase { ty, input_regex, golden, truth })
+}
+
+/// Generates the session corpus: titles of the target type plus background.
+pub fn session_corpus(generator: &mut CatalogGenerator, ty: TypeId, target: usize, background: usize) -> Vec<String> {
+    let mut titles: Vec<String> = generator
+        .generate_n_for_type(ty, target)
+        .into_iter()
+        .map(|i| i.product.title.to_lowercase())
+        .collect();
+    titles.extend(
+        generator
+            .generate(background)
+            .into_iter()
+            .map(|i| i.product.title.to_lowercase()),
+    );
+    titles
+}
+
+/// Runs one session with a perfect scripted analyst; returns the outcome and
+/// analyst minutes.
+pub fn run_case(
+    case: &SynonymCase,
+    titles: &[String],
+    cfg: SynonymConfig,
+    max_iterations: usize,
+) -> Option<(SessionOutcome, f64)> {
+    let cfg = SynonymConfig { max_iterations, ..cfg };
+    let session = SynonymSession::new(&case.input_regex, titles, cfg).ok()?;
+    let mut analyst = ScriptedAnalyst::perfect(case.truth.iter().map(String::as_str));
+    let outcome = session.run(&mut analyst);
+    let minutes = analyst.minutes_spent();
+    Some((outcome, minutes))
+}
+
+/// E1 — Table 1: input regexes and sample synonyms found.
+pub fn table1(scale: Scale) {
+    println!("\n=== E1 / Table 1: sample input regexes and synonyms found (§5.1) ===");
+    let (taxonomy, mut generator) = world(scale);
+    let mut table = Table::new(&["Product Type", "Input Regex", "Sample Synonyms Found"]);
+    for name in ["area rugs", "athletic gloves", "shorts", "abrasive wheels & discs"] {
+        let ty = taxonomy.id_of(name).expect("paper types exist");
+        let Some(case) = build_case(&taxonomy, ty) else { continue };
+        let titles = session_corpus(&mut generator, ty, 600, 1200);
+        let Some((outcome, _)) = run_case(&case, &titles, SynonymConfig::default(), 3) else { continue };
+        let sample: Vec<String> = outcome.accepted.iter().take(8).cloned().collect();
+        table.row(vec![name.to_string(), case.input_regex.clone(), sample.join(", ")]);
+    }
+    table.print();
+    println!("(paper shows e.g. area rugs → shaw, oriental, braided, tufted, …)");
+}
+
+/// Aggregate of an E2-style sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Regexes attempted.
+    pub regexes: usize,
+    /// Regexes for which ≥1 synonym was found.
+    pub with_synonyms: usize,
+    /// Max synonyms found for any regex.
+    pub max_found: usize,
+    /// Min synonyms found among regexes with ≥1.
+    pub min_found: usize,
+    /// Mean synonyms per regex.
+    pub avg_found: f64,
+    /// Mean analyst minutes per regex.
+    pub avg_minutes: f64,
+}
+
+/// Runs the 25-regex sweep (the §5.1 empirical evaluation).
+pub fn sweep(scale: Scale, iterations: usize, cfg: SynonymConfig) -> SweepStats {
+    let (taxonomy, mut generator) = world(scale);
+    let mut cases: Vec<SynonymCase> = taxonomy
+        .ids()
+        .filter_map(|ty| build_case(&taxonomy, ty))
+        .filter(|c| c.truth.len() >= 2)
+        .collect();
+    cases.truncate(25);
+
+    let mut stats = SweepStats { regexes: cases.len(), min_found: usize::MAX, ..Default::default() };
+    let mut total_found = 0usize;
+    let mut total_minutes = 0.0;
+    for case in &cases {
+        let titles = session_corpus(&mut generator, case.ty, 500, 800);
+        let Some((outcome, minutes)) = run_case(case, &titles, cfg.clone(), iterations) else {
+            continue;
+        };
+        let found = outcome.accepted.len();
+        total_found += found;
+        total_minutes += minutes;
+        if found > 0 {
+            stats.with_synonyms += 1;
+            stats.max_found = stats.max_found.max(found);
+            stats.min_found = stats.min_found.min(found);
+        }
+    }
+    if stats.min_found == usize::MAX {
+        stats.min_found = 0;
+    }
+    stats.avg_found = total_found as f64 / stats.regexes.max(1) as f64;
+    stats.avg_minutes = total_minutes / stats.regexes.max(1) as f64;
+    stats
+}
+
+/// E2 — the §5.1 empirical numbers.
+pub fn e2(scale: Scale) {
+    println!("\n=== E2: 25-regex synonym sweep (§5.1 empirical evaluation) ===");
+    let stats = sweep(scale, 3, SynonymConfig::default());
+    let mut table = Table::new(&["metric", "paper", "measured"]);
+    table.row(vec!["regexes with synonyms found".into(), "24 / 25".into(), format!("{} / {}", stats.with_synonyms, stats.regexes)]);
+    table.row(vec!["iterations allowed".into(), "3".into(), "3".into()]);
+    table.row(vec!["max synonyms".into(), "24".into(), stats.max_found.to_string()]);
+    table.row(vec!["min synonyms".into(), "2".into(), stats.min_found.to_string()]);
+    table.row(vec!["avg synonyms".into(), "7".into(), f3(stats.avg_found)]);
+    table.row(vec!["avg analyst minutes/regex".into(), "4 (vs hours manual)".into(), f3(stats.avg_minutes)]);
+    table.print();
+}
+
+/// E14 — Rocchio-feedback ablation: default feedback vs no feedback
+/// (β = γ = 0), judged effort for the same iteration budget.
+pub fn e14(scale: Scale) {
+    println!("\n=== E14: Rocchio feedback ablation (§5.1 design choice) ===");
+    // A tight analyst budget (4 pages of 5) makes ranking quality visible:
+    // with feedback, later pages are re-ranked toward accepted contexts.
+    let tight = SynonymConfig { page_size: 5, ..SynonymConfig::default() };
+    let with = sweep(scale, 4, tight.clone());
+    let without = sweep(
+        scale,
+        4,
+        SynonymConfig { rocchio: RocchioWeights { alpha: 1.0, beta: 0.0, gamma: 0.0 }, ..tight },
+    );
+    let mut table = Table::new(&["variant", "avg synonyms found (20 judgments)", "regexes with finds"]);
+    table.row(vec!["TF/IDF + Rocchio re-ranking".into(), f3(with.avg_found), with.with_synonyms.to_string()]);
+    table.row(vec!["TF/IDF static ranking".into(), f3(without.avg_found), without.with_synonyms.to_string()]);
+    table.print();
+    println!(
+        "(finding: on this cleanly separable synthetic corpus the static TF/IDF ranking is already\n\
+         near-optimal, so feedback re-ranking is a wash; the paper's production contexts are noisier,\n\
+         which is where Rocchio earns its keep)"
+    );
+}

@@ -1,0 +1,17 @@
+//! # rulekit-bench
+//!
+//! The experiment harness: regenerates every table, figure and empirical
+//! claim in the paper (see DESIGN.md §3 for the index), plus Criterion
+//! microbenchmarks for the performance-sensitive substrates.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p rulekit-bench --bin experiments --release -- all
+//! ```
+
+pub mod exp;
+pub mod setup;
+pub mod table;
+
+pub use setup::Scale;

@@ -1,0 +1,175 @@
+//! Shared experiment scaffolding: scaled corpora, analyst rule packs, and
+//! pipeline builders.
+
+use rulekit_chimera::{Chimera, ChimeraConfig};
+use rulekit_core::{Rule, RuleMeta, RuleParser, RuleRepository};
+use rulekit_data::{pluralize, CatalogGenerator, GeneratorConfig, LabeledCorpus, Taxonomy};
+use std::sync::Arc;
+
+/// Experiment scale knobs (`--scale` multiplies the item counts).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Labeled training items.
+    pub train_items: usize,
+    /// Evaluation / streaming items.
+    pub eval_items: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { train_items: 20_000, eval_items: 10_000, seed: 1 }
+    }
+}
+
+impl Scale {
+    /// Multiplies item counts by `factor`.
+    pub fn scaled(self, factor: f64) -> Scale {
+        Scale {
+            train_items: ((self.train_items as f64) * factor).round().max(100.0) as usize,
+            eval_items: ((self.eval_items as f64) * factor).round().max(100.0) as usize,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A standard experiment world: taxonomy + seeded generator.
+pub fn world(scale: Scale) -> (Arc<Taxonomy>, CatalogGenerator) {
+    let taxonomy = Taxonomy::builtin();
+    let generator = CatalogGenerator::new(taxonomy.clone(), GeneratorConfig::seeded(scale.seed));
+    (taxonomy, generator)
+}
+
+/// The "obvious rules" an analyst writes on day one (§3.2 "The Obvious
+/// Cases"): one whitelist rule per type head noun, the ISBN attribute rule,
+/// brand restrictions, and the blacklists for the known confusable pairs.
+pub fn analyst_rule_pack(taxonomy: &Taxonomy) -> String {
+    let mut lines = Vec::new();
+    for id in taxonomy.ids() {
+        let def = taxonomy.def(id);
+        for head in &def.heads {
+            lines.push(format!("{} -> {}", head_pattern(head), def.name));
+        }
+    }
+    // Attribute rules (§3.3's attribute/value classifier). ISBNs appear on
+    // all three book types, so the honest rule is a restriction.
+    lines.push("attr(ISBN) -> one of books; cookbooks; children's books".to_string());
+    // Value rules: brands sold across several types restrict the candidate
+    // set ("Brand Name = Apple ⇒ one of {laptop, phone, …}", §3.3).
+    let mut brand_types: std::collections::HashMap<&str, Vec<&str>> = std::collections::HashMap::new();
+    for id in taxonomy.ids() {
+        let def = taxonomy.def(id);
+        for brand in &def.brands {
+            brand_types.entry(brand.as_str()).or_default().push(def.name.as_str());
+        }
+    }
+    let mut brands: Vec<(&str, Vec<&str>)> = brand_types
+        .into_iter()
+        .filter(|(_, types)| types.len() >= 2)
+        .collect();
+    brands.sort();
+    for (brand, types) in brands {
+        lines.push(format!("value(Brand Name = {brand}) -> one of {}", types.join("; ")));
+    }
+    // Known cross-type traps: "laptop …" head nouns of bags would otherwise
+    // whitelist laptops.
+    lines.push("laptop (bag|case|sleeve)s? -> NOT laptop computers".to_string());
+    lines.push("(earring|stud set)s? -> NOT rings".to_string());
+    lines.push("ankle bracelets? -> NOT bracelets".to_string());
+    lines.push("wedding bands? -> NOT bracelets".to_string());
+    lines.join("\n")
+}
+
+fn head_pattern(head: &str) -> String {
+    let lower = head.to_lowercase();
+    let escaped = rulekit_regex::escape(&lower);
+    let plural = pluralize(&lower);
+    if plural == format!("{lower}s") {
+        format!("{escaped}s?")
+    } else {
+        format!("({escaped}|{})", rulekit_regex::escape(&plural))
+    }
+}
+
+/// Parses the analyst pack into a repository (for executor experiments).
+pub fn analyst_rules(taxonomy: &Arc<Taxonomy>) -> Vec<Rule> {
+    let parser = RuleParser::new(taxonomy.clone());
+    let repo = RuleRepository::new();
+    let specs = parser
+        .parse_rules(&analyst_rule_pack(taxonomy))
+        .expect("analyst pack parses");
+    repo.add_all(specs, &RuleMeta::default());
+    repo.enabled_snapshot()
+}
+
+/// The production training regime (§3.3): labeled data exists for only ~70%
+/// of types — "for about 30% of product types there was insufficient
+/// training data, and these product types were handled primarily by the
+/// rule-based and attribute/value-based classifiers."
+pub fn partial_training_corpus(scale: Scale) -> (Arc<Taxonomy>, CatalogGenerator, LabeledCorpus) {
+    let (taxonomy, mut generator) = world(scale);
+    let corpus = LabeledCorpus::generate(&mut generator, scale.train_items);
+    // Drop the 30% of types with the least data (the Zipf tail).
+    let mut counts: Vec<(rulekit_data::TypeId, usize)> = corpus
+        .by_type()
+        .into_iter()
+        .map(|(t, v)| (t, v.len()))
+        .collect();
+    counts.sort_by_key(|&(t, n)| (n, t));
+    let tail: Vec<rulekit_data::TypeId> = taxonomy
+        .ids()
+        .filter(|t| !counts.iter().any(|&(ct, _)| ct == *t)) // types with zero data
+        .chain(counts.iter().map(|&(t, _)| t))
+        .take((taxonomy.len() * 3) / 10)
+        .collect();
+    let partial = corpus.without_types(&tail);
+    (taxonomy, generator, partial)
+}
+
+/// A Chimera trained on the partial corpus with the analyst rule pack
+/// installed — the production configuration.
+pub fn production_chimera(scale: Scale) -> (Chimera, CatalogGenerator) {
+    let (taxonomy, generator, partial) = partial_training_corpus(scale);
+    let mut chimera = Chimera::new(taxonomy.clone(), ChimeraConfig { seed: scale.seed, ..Default::default() });
+    chimera.train(partial.items());
+    chimera.add_rules(&analyst_rule_pack(&taxonomy)).expect("rule pack parses");
+    (chimera, generator)
+}
+
+/// A learning-only Chimera (the §3.1 baseline) on the same partial training
+/// data.
+pub fn learning_only_chimera(scale: Scale) -> (Chimera, CatalogGenerator) {
+    let (taxonomy, generator, partial) = partial_training_corpus(scale);
+    let mut chimera = Chimera::new(taxonomy, ChimeraConfig { seed: scale.seed, ..Default::default() });
+    chimera.train(partial.items());
+    (chimera, generator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyst_pack_parses_and_is_large() {
+        let taxonomy = Taxonomy::builtin();
+        let rules = analyst_rules(&taxonomy);
+        assert!(rules.len() > 150, "pack has {} rules", rules.len());
+    }
+
+    #[test]
+    fn scale_multiplication() {
+        let s = Scale::default().scaled(0.1);
+        assert_eq!(s.train_items, 2000);
+        assert_eq!(s.eval_items, 1000);
+    }
+
+    #[test]
+    fn production_chimera_classifies_rings() {
+        let (chimera, mut generator) = production_chimera(Scale { train_items: 1500, eval_items: 100, seed: 3 });
+        let tax = chimera.taxonomy().clone();
+        let rings = tax.id_of("rings").unwrap();
+        let item = generator.generate_for_type(rings);
+        assert_eq!(chimera.classify(&item.product).type_id(), Some(rings));
+    }
+}

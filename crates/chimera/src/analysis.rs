@@ -1,0 +1,186 @@
+//! The Analysis stage (Figure 2): pairs the crowd flags as potentially
+//! incorrect "are sent to the analysts [who] examine these pairs, create
+//! rules, and relabel certain pairs. The newly created rules are added to
+//! the rule-based … classifiers, while the relabeled pairs are added to the
+//! learning-based classifiers as training data."
+//!
+//! [`SimulatedAnalysis`] models the analyst: shown a flagged item and its
+//! correct type, it writes the whitelist rule for the head noun it
+//! recognizes in the title (and a blacklist rule against the wrong type when
+//! that same phrase caused the mistake).
+
+use rulekit_core::{compile_pattern, Condition, Provenance, RuleAction, RuleId, RuleMeta, RuleRepository, RuleSpec};
+use rulekit_data::{pluralize, GeneratedItem, Taxonomy, TypeId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Simulated analyst rule-writing.
+pub struct SimulatedAnalysis {
+    taxonomy: Arc<Taxonomy>,
+    written: HashSet<String>,
+}
+
+/// What the analysis produced for a batch of flagged pairs.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOutcome {
+    /// Rules added to the repository.
+    pub rules_added: Vec<RuleId>,
+    /// Relabeled `(item, correct type)` pairs for the training set.
+    pub relabeled: Vec<(GeneratedItem, TypeId)>,
+}
+
+impl SimulatedAnalysis {
+    /// An analysis stage over `taxonomy`.
+    pub fn new(taxonomy: Arc<Taxonomy>) -> Self {
+        SimulatedAnalysis { taxonomy, written: HashSet::new() }
+    }
+
+    /// Processes flagged pairs `(item, wrong prediction)`; the analyst
+    /// derives the correct type from the item (we read the generator's
+    /// ground truth — the analyst, a domain expert, recognizes the product).
+    pub fn patch(
+        &mut self,
+        flagged: &[(GeneratedItem, Option<TypeId>)],
+        repo: &RuleRepository,
+    ) -> AnalysisOutcome {
+        let mut outcome = AnalysisOutcome::default();
+        for (item, wrong) in flagged {
+            let truth = item.truth;
+            let title = item.product.title.to_lowercase();
+            let def = self.taxonomy.def(truth);
+
+            // The analyst spots the head noun (standard or novel vendor
+            // vocabulary) in the title and writes the whitelist rule for it.
+            let head = def
+                .heads
+                .iter()
+                .chain(def.alt_heads.iter())
+                .find(|h| {
+                    let h = h.to_lowercase();
+                    title.contains(&h) || title.contains(&pluralize(&h))
+                })
+                .cloned();
+            if let Some(head) = head {
+                let pattern = head_pattern(&head);
+                if let Some(id) = self.add_unique(
+                    repo,
+                    &pattern,
+                    RuleAction::Assign(truth),
+                    &format!("{pattern} -> {}", def.name),
+                ) {
+                    outcome.rules_added.push(id);
+                }
+                // When the same phrase misled the system into `wrong`, also
+                // blacklist that reading.
+                if let Some(wrong_ty) = wrong {
+                    if *wrong_ty != truth {
+                        let source =
+                            format!("{pattern} -> NOT {}", self.taxonomy.name(*wrong_ty));
+                        if let Some(id) =
+                            self.add_unique(repo, &pattern, RuleAction::Forbid(*wrong_ty), &source)
+                        {
+                            outcome.rules_added.push(id);
+                        }
+                    }
+                }
+            }
+            outcome.relabeled.push((item.clone(), truth));
+        }
+        outcome
+    }
+
+    fn add_unique(
+        &mut self,
+        repo: &RuleRepository,
+        pattern: &str,
+        action: RuleAction,
+        source: &str,
+    ) -> Option<RuleId> {
+        if !self.written.insert(source.to_string()) {
+            return None;
+        }
+        let regex = compile_pattern(pattern).ok()?;
+        let spec = RuleSpec {
+            condition: Condition::TitleMatches(regex),
+            action,
+            source: source.to_string(),
+        };
+        let meta = RuleMeta { author: "first-responder".into(), provenance: Provenance::Analyst, ..RuleMeta::default() };
+        Some(repo.add(spec, meta))
+    }
+}
+
+/// Pattern for a head noun: escaped, with an optional plural `s`.
+fn head_pattern(head: &str) -> String {
+    let escaped = rulekit_regex::escape(&head.to_lowercase());
+    let plural = pluralize(&head.to_lowercase());
+    if plural == format!("{}s", head.to_lowercase()) {
+        format!("{escaped}s?")
+    } else {
+        format!("(?:{escaped}|{})", rulekit_regex::escape(&plural))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::{CatalogGenerator, Taxonomy};
+
+    fn flagged_sofa_item() -> (GeneratedItem, Arc<Taxonomy>) {
+        let tax = Taxonomy::builtin();
+        let mut g = CatalogGenerator::with_seed(tax.clone(), 41);
+        let sofas = tax.id_of("sofas").unwrap();
+        let vendor = rulekit_data::VendorProfile::novel_vocabulary(9);
+        // Novel vendor titles say "couch"/"settee".
+        let item = g.generate_for_type_and_vendor(sofas, &vendor);
+        (item, tax)
+    }
+
+    #[test]
+    fn analyst_writes_rule_for_novel_head() {
+        let (item, tax) = flagged_sofa_item();
+        let repo = RuleRepository::new();
+        let mut analysis = SimulatedAnalysis::new(tax.clone());
+        let outcome = analysis.patch(&[(item.clone(), None)], &repo);
+        assert_eq!(outcome.rules_added.len(), 1);
+        let rule = repo.get(outcome.rules_added[0]).unwrap();
+        assert!(rule.matches(&item.product), "new rule must fire on the flagged item");
+        assert_eq!(rule.target_type(), Some(item.truth));
+        assert_eq!(outcome.relabeled.len(), 1);
+    }
+
+    #[test]
+    fn wrong_prediction_also_gets_blacklisted() {
+        let (item, tax) = flagged_sofa_item();
+        let wrong = tax.id_of("bed frames").unwrap();
+        let repo = RuleRepository::new();
+        let mut analysis = SimulatedAnalysis::new(tax);
+        let outcome = analysis.patch(&[(item, Some(wrong))], &repo);
+        assert_eq!(outcome.rules_added.len(), 2);
+        let actions: Vec<bool> = outcome
+            .rules_added
+            .iter()
+            .map(|&id| repo.get(id).unwrap().is_blacklist())
+            .collect();
+        assert!(actions.contains(&true) && actions.contains(&false));
+    }
+
+    #[test]
+    fn duplicate_patches_are_deduplicated() {
+        let (item, tax) = flagged_sofa_item();
+        let repo = RuleRepository::new();
+        let mut analysis = SimulatedAnalysis::new(tax);
+        let first = analysis.patch(&[(item.clone(), None)], &repo);
+        let second = analysis.patch(&[(item, None)], &repo);
+        assert_eq!(first.rules_added.len(), 1);
+        assert!(second.rules_added.is_empty());
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn head_pattern_handles_irregular_plurals() {
+        assert_eq!(head_pattern("rug"), "rugs?");
+        assert_eq!(head_pattern("dress"), "(?:dress|dresses)");
+        assert!(head_pattern("wedding band").contains("wedding band"));
+    }
+}

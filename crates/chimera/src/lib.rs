@@ -1,0 +1,17 @@
+//! # rulekit-chimera
+//!
+//! The end-to-end Chimera pipeline (Figure 2): Gate Keeper, rule-based and
+//! attribute/value classifiers, the learning ensemble, the Voting Master
+//! and Filter, crowd-sampled QA against the 92% precision gate, the
+//! Analysis stage that turns flagged pairs into rules and training data,
+//! and the scale-down/restore controls driven by per-type drift alarms.
+
+pub mod analysis;
+pub mod metrics;
+pub mod pipeline;
+pub mod voting;
+
+pub use analysis::{AnalysisOutcome, SimulatedAnalysis};
+pub use metrics::OracleMetrics;
+pub use pipeline::{BatchReport, Chimera, ChimeraConfig};
+pub use voting::{vote, Decision, VotingConfig};

@@ -1,0 +1,117 @@
+//! Oracle-side metrics: scoring a batch of decisions against the
+//! generator's hidden ground truth. Used by experiments only — the
+//! production path sees nothing but the crowd's noisy estimates.
+
+use crate::voting::Decision;
+use rulekit_data::TypeId;
+
+/// Precision/recall accounting for a set of decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OracleMetrics {
+    /// Items processed.
+    pub total: usize,
+    /// Items classified (not declined).
+    pub classified: usize,
+    /// Classified items whose assigned type equals the truth.
+    pub correct: usize,
+}
+
+impl OracleMetrics {
+    /// Scores `decisions` against `truths`.
+    pub fn score(decisions: &[Decision], truths: &[TypeId]) -> OracleMetrics {
+        assert_eq!(decisions.len(), truths.len(), "one truth per decision");
+        let mut m = OracleMetrics { total: decisions.len(), ..Default::default() };
+        for (d, &truth) in decisions.iter().zip(truths) {
+            if let Some(ty) = d.type_id() {
+                m.classified += 1;
+                if ty == truth {
+                    m.correct += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// Precision over classified items (1.0 when nothing was classified).
+    pub fn precision(&self) -> f64 {
+        if self.classified == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.classified as f64
+        }
+    }
+
+    /// Recall: correctly classified over all items.
+    pub fn recall(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of items declined.
+    pub fn declined_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.total - self.classified) as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another batch's metrics.
+    pub fn merge(&mut self, other: OracleMetrics) {
+        self.total += other.total;
+        self.classified += other.classified;
+        self.correct += other.correct;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classified(ty: u32) -> Decision {
+        Decision::Classified { ty: TypeId(ty), confidence: 1.0, explanation: vec![] }
+    }
+
+    fn declined() -> Decision {
+        Decision::Declined { reason: "test".into() }
+    }
+
+    #[test]
+    fn scoring_counts_correctly() {
+        let decisions = vec![classified(1), classified(2), declined(), classified(3)];
+        let truths = vec![TypeId(1), TypeId(9), TypeId(2), TypeId(3)];
+        let m = OracleMetrics::score(&decisions, &truths);
+        assert_eq!(m.total, 4);
+        assert_eq!(m.classified, 3);
+        assert_eq!(m.correct, 2);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        assert!((m.declined_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = OracleMetrics::score(&[], &[]);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.declined_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OracleMetrics { total: 10, classified: 8, correct: 7 };
+        a.merge(OracleMetrics { total: 5, classified: 5, correct: 5 });
+        assert_eq!(a.total, 15);
+        assert_eq!(a.classified, 13);
+        assert_eq!(a.correct, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one truth per decision")]
+    fn mismatched_lengths_panic() {
+        OracleMetrics::score(&[declined()], &[]);
+    }
+}

@@ -1,0 +1,536 @@
+//! The Chimera system (Figure 2): Gate Keeper → {rule-based,
+//! attribute/value, learning} classifiers → Voting Master → Filter →
+//! Result, with the crowd-sampled QA loop and the Analysis stage feeding
+//! rules and training data back in.
+
+use crate::analysis::SimulatedAnalysis;
+use crate::metrics::OracleMetrics;
+use crate::voting::{vote, Decision, VotingConfig};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rulekit_core::{
+    IndexedExecutor, ParseError, RuleClassifier, RuleId, RuleMeta, RuleParser, RuleRepository,
+};
+use rulekit_crowd::{CrowdSim, PrecisionEstimate};
+use rulekit_data::{Batch, GeneratedItem, Product, Taxonomy, TypeId};
+use rulekit_learn::{default_ensemble, Classifier, Ensemble, Featurizer, TrainingSet};
+use rulekit_maint::DriftMonitor;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Chimera configuration.
+#[derive(Debug, Clone)]
+pub struct ChimeraConfig {
+    /// The business precision gate (the paper's 92%).
+    pub precision_threshold: f64,
+    /// Result-sample size per batch for crowd QA.
+    pub qa_sample_size: usize,
+    /// Abstention threshold inside the learning ensemble.
+    pub ensemble_confidence: f64,
+    /// Voting Master weights/threshold.
+    pub voting: VotingConfig,
+    /// Maximum rerun rounds after analyst patching per batch.
+    pub max_redos: usize,
+    /// Retrain the ensemble when the Analysis stage relabels pairs.
+    pub retrain_on_patch: bool,
+    /// Scale a type down automatically when its drift alarm fires.
+    pub auto_scale_down: bool,
+    /// Whether the Analysis stage is staffed: when false, flagged and
+    /// declined items are NOT turned into rules/training data (the §2.2
+    /// scenario where first responders are unavailable).
+    pub analysis_enabled: bool,
+    /// Worker threads for batch classification.
+    pub threads: usize,
+    /// Seed for QA sampling.
+    pub seed: u64,
+    /// Drift monitor sliding-window size.
+    pub monitor_window: usize,
+    /// Drift monitor minimum samples before alarming.
+    pub monitor_min_samples: usize,
+}
+
+impl Default for ChimeraConfig {
+    fn default() -> Self {
+        ChimeraConfig {
+            precision_threshold: 0.92,
+            qa_sample_size: 100,
+            ensemble_confidence: 0.45,
+            voting: VotingConfig::default(),
+            max_redos: 2,
+            retrain_on_patch: true,
+            auto_scale_down: false,
+            analysis_enabled: true,
+            threads: 4,
+            seed: 0,
+            monitor_window: 60,
+            monitor_min_samples: 12,
+        }
+    }
+}
+
+/// Report for one processed batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Batch sequence number.
+    pub seq: usize,
+    /// QA rounds run (1 = accepted first try).
+    pub rounds: usize,
+    /// Whether the batch was accepted (estimate met the gate) or shipped at
+    /// `max_redos` with the gate still unmet.
+    pub accepted: bool,
+    /// The crowd's final precision estimate.
+    pub estimate: PrecisionEstimate,
+    /// Oracle-side metrics of the final decisions.
+    pub oracle: OracleMetrics,
+    /// Rules the Analysis stage added while processing this batch.
+    pub rules_added: usize,
+    /// Types whose drift alarms fired during QA.
+    pub alarms: Vec<TypeId>,
+}
+
+struct ClassifierCache {
+    gate_rev: u64,
+    rule_rev: u64,
+    gate: Arc<RuleClassifier>,
+    rules: Arc<RuleClassifier>,
+}
+
+/// The Chimera pipeline.
+pub struct Chimera {
+    taxonomy: Arc<Taxonomy>,
+    cfg: ChimeraConfig,
+    /// Gate Keeper rules (can classify an item outright).
+    pub gate_rules: Arc<RuleRepository>,
+    /// Main rule store: whitelist/blacklist + attribute/value rules.
+    pub rules: Arc<RuleRepository>,
+    parser: RuleParser,
+    featurizer: Featurizer,
+    ensemble: Option<Ensemble>,
+    training: TrainingSet,
+    suppressed: HashSet<TypeId>,
+    monitor: DriftMonitor,
+    analysis: SimulatedAnalysis,
+    cache: Mutex<Option<ClassifierCache>>,
+    rng: StdRng,
+}
+
+impl Chimera {
+    /// A fresh pipeline over `taxonomy`.
+    pub fn new(taxonomy: Arc<Taxonomy>, cfg: ChimeraConfig) -> Chimera {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let monitor = DriftMonitor::new(cfg.monitor_window, cfg.monitor_min_samples, cfg.precision_threshold);
+        Chimera {
+            parser: RuleParser::new(taxonomy.clone()),
+            analysis: SimulatedAnalysis::new(taxonomy.clone()),
+            taxonomy,
+            cfg,
+            gate_rules: RuleRepository::new(),
+            rules: RuleRepository::new(),
+            featurizer: Featurizer::new(),
+            ensemble: None,
+            training: TrainingSet::default(),
+            suppressed: HashSet::new(),
+            monitor,
+            cache: Mutex::new(None),
+            rng,
+        }
+    }
+
+    /// The taxonomy.
+    pub fn taxonomy(&self) -> &Arc<Taxonomy> {
+        &self.taxonomy
+    }
+
+    /// Access to the DSL parser (to register dictionaries).
+    pub fn parser_mut(&mut self) -> &mut RuleParser {
+        &mut self.parser
+    }
+
+    /// Adds rules (DSL text, one per line) to the main rule store.
+    pub fn add_rules(&self, text: &str) -> Result<Vec<RuleId>, ParseError> {
+        let specs = self.parser.parse_rules(text)?;
+        Ok(self.rules.add_all(specs, &RuleMeta::default()))
+    }
+
+    /// Adds Gate Keeper rules.
+    pub fn add_gate_rules(&self, text: &str) -> Result<Vec<RuleId>, ParseError> {
+        let specs = self.parser.parse_rules(text)?;
+        Ok(self.gate_rules.add_all(specs, &RuleMeta::default()))
+    }
+
+    /// Trains the learning ensemble on labeled items.
+    pub fn train(&mut self, items: &[GeneratedItem]) {
+        for item in items {
+            self.training
+                .docs
+                .push((self.featurizer.features(&item.product), item.truth));
+        }
+        self.retrain();
+    }
+
+    fn retrain(&mut self) {
+        if self.training.is_empty() {
+            self.ensemble = None;
+        } else {
+            self.ensemble = Some(default_ensemble(&self.training, self.cfg.ensemble_confidence));
+        }
+    }
+
+    /// Current drift monitor (read access for experiments).
+    pub fn monitor(&self) -> &DriftMonitor {
+        &self.monitor
+    }
+
+    /// Toggles automatic scale-down on drift alarms.
+    pub fn set_auto_scale_down(&mut self, on: bool) {
+        self.cfg.auto_scale_down = on;
+    }
+
+    /// Toggles the Analysis stage (analyst availability, §2.2).
+    pub fn set_analysis_enabled(&mut self, on: bool) {
+        self.cfg.analysis_enabled = on;
+    }
+
+    /// Types currently suppressed (scaled down).
+    pub fn suppressed_types(&self) -> Vec<TypeId> {
+        let mut v: Vec<TypeId> = self.suppressed.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Scales a type down: its predictions are declined and its rules
+    /// disabled ("disabling the 'bad parts' of the currently deployed
+    /// system", §2.2).
+    pub fn scale_down(&mut self, ty: TypeId, reason: &str) -> Vec<RuleId> {
+        self.suppressed.insert(ty);
+        self.rules.disable_type(ty, reason)
+    }
+
+    /// Restores a scaled-down type after repair.
+    pub fn restore(&mut self, ty: TypeId) -> Vec<RuleId> {
+        self.suppressed.remove(&ty);
+        self.monitor.reset(ty);
+        self.rules.enable_type(ty)
+    }
+
+    fn classifiers(&self) -> (Arc<RuleClassifier>, Arc<RuleClassifier>) {
+        let gate_rev = self.gate_rules.revision();
+        let rule_rev = self.rules.revision();
+        let mut cache = self.cache.lock();
+        if let Some(c) = cache.as_ref() {
+            if c.gate_rev == gate_rev && c.rule_rev == rule_rev {
+                return (c.gate.clone(), c.rules.clone());
+            }
+        }
+        let gate_snapshot = self.gate_rules.enabled_snapshot();
+        let gate = Arc::new(RuleClassifier::new(
+            Arc::new(IndexedExecutor::new(gate_snapshot.clone())),
+            gate_snapshot,
+        ));
+        let rule_snapshot = self.rules.enabled_snapshot();
+        let rules = Arc::new(RuleClassifier::new(
+            Arc::new(IndexedExecutor::new(rule_snapshot.clone())),
+            rule_snapshot,
+        ));
+        *cache = Some(ClassifierCache { gate_rev, rule_rev, gate: gate.clone(), rules: rules.clone() });
+        (gate, rules)
+    }
+
+    /// Classifies one product (Figure 2 left-to-right).
+    pub fn classify(&self, product: &Product) -> Decision {
+        let (gate, rules) = self.classifiers();
+        self.classify_with(product, &gate, &rules)
+    }
+
+    fn classify_with(
+        &self,
+        product: &Product,
+        gate: &RuleClassifier,
+        rules: &RuleClassifier,
+    ) -> Decision {
+        // Gate Keeper: an unambiguous gate hit classifies immediately.
+        let gate_verdict = gate.classify(product);
+        let finals = gate_verdict.final_candidates();
+        if finals.len() == 1 && !self.suppressed.contains(&finals[0].0) {
+            return Decision::Classified {
+                ty: finals[0].0,
+                confidence: 1.0,
+                explanation: vec!["gate keeper short-circuit".to_string()],
+            };
+        }
+
+        // Rule-based + attribute/value classifiers.
+        let verdict = rules.classify(product);
+        // Learning ensemble.
+        let learned = match &self.ensemble {
+            Some(e) => e.predict(&self.featurizer.features(product)),
+            None => rulekit_learn::Prediction::empty(),
+        };
+        vote(&verdict, &learned, &self.suppressed, self.cfg.voting)
+    }
+
+    /// Classifies a slice of products on `cfg.threads` workers.
+    pub fn classify_batch(&self, products: &[Product]) -> Vec<Decision> {
+        let (gate, rules) = self.classifiers();
+        let threads = self.cfg.threads.max(1);
+        if products.len() < 64 || threads == 1 {
+            return products
+                .iter()
+                .map(|p| self.classify_with(p, &gate, &rules))
+                .collect();
+        }
+        let chunk = products.len().div_ceil(threads);
+        let mut out: Vec<Vec<Decision>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = products
+                .chunks(chunk)
+                .map(|slice| {
+                    let gate = &gate;
+                    let rules = &rules;
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|p| self.classify_with(p, gate, rules))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("classification worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Runs the full Figure 2 loop on one batch: classify → crowd-sample →
+    /// gate → (analysis patch → rerun)*.
+    pub fn process_batch(&mut self, batch: &Batch, crowd: &mut CrowdSim) -> BatchReport {
+        let products: Vec<Product> = batch.items.iter().map(|i| i.product.clone()).collect();
+        let truths: Vec<TypeId> = batch.items.iter().map(|i| i.truth).collect();
+
+        let mut rounds = 0usize;
+        let mut rules_added = 0usize;
+        let mut alarms: Vec<TypeId> = Vec::new();
+        let mut estimate = PrecisionEstimate::new();
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut accepted = false;
+
+        while rounds <= self.cfg.max_redos {
+            rounds += 1;
+            decisions = self.classify_batch(&products);
+
+            // Crowd QA over a sample of *classified* results.
+            let mut classified_idx: Vec<usize> = decisions
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| !d.is_declined())
+                .map(|(i, _)| i)
+                .collect();
+            classified_idx.shuffle(&mut self.rng);
+            classified_idx.truncate(self.cfg.qa_sample_size);
+
+            estimate = PrecisionEstimate::new();
+            let mut flagged: Vec<(GeneratedItem, Option<TypeId>)> = Vec::new();
+            for &i in &classified_idx {
+                let predicted = decisions[i].type_id().expect("sampled from classified");
+                let verdict = match crowd.verify(truths[i], predicted) {
+                    Ok(v) => v,
+                    Err(_) => break, // budget exhausted: stop sampling
+                };
+                estimate.record(verdict.accepted);
+                if let Some(alarm) = self.monitor.record(predicted, verdict.accepted) {
+                    alarms.push(alarm.ty);
+                    if self.cfg.auto_scale_down {
+                        self.scale_down(alarm.ty, "drift alarm");
+                    }
+                }
+                if !verdict.accepted {
+                    flagged.push((batch.items[i].clone(), Some(predicted)));
+                }
+            }
+
+            // Declined items go to the manual-classification team, and the
+            // analysts mine them for rules and training data (§3.3: "If the
+            // Voting Master refuses to make a prediction … the analysts
+            // examine such items, then create rules and training data").
+            let mut declined_idx: Vec<usize> = decisions
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_declined())
+                .map(|(i, _)| i)
+                .collect();
+            declined_idx.shuffle(&mut self.rng);
+            declined_idx.truncate(self.cfg.qa_sample_size / 2);
+            for &i in &declined_idx {
+                flagged.push((batch.items[i].clone(), None));
+            }
+
+            // Analysis stage: rules + relabeled training data. This runs
+            // even for accepted batches (declined items are worked
+            // continuously); reruns happen only when the gate was missed.
+            if !self.cfg.analysis_enabled {
+                flagged.clear();
+            }
+            let outcome = self.analysis.patch(&flagged, &self.rules);
+            rules_added += outcome.rules_added.len();
+            if !outcome.relabeled.is_empty() && self.cfg.retrain_on_patch {
+                for (item, ty) in &outcome.relabeled {
+                    self.training.docs.push((self.featurizer.features(&item.product), *ty));
+                }
+                self.retrain();
+            }
+
+            if estimate.meets(self.cfg.precision_threshold) {
+                accepted = true;
+                break;
+            }
+            if rounds > self.cfg.max_redos {
+                break;
+            }
+            if outcome.rules_added.is_empty() && outcome.relabeled.is_empty() {
+                break; // nothing to improve; avoid a futile rerun
+            }
+        }
+
+        alarms.sort_unstable();
+        alarms.dedup();
+        BatchReport {
+            seq: batch.seq,
+            rounds,
+            accepted,
+            estimate,
+            oracle: OracleMetrics::score(&decisions, &truths),
+            rules_added,
+            alarms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_crowd::CrowdConfig;
+    use rulekit_data::{CatalogGenerator, LabeledCorpus, VendorPool, VendorProfile};
+
+    fn perfect_crowd() -> CrowdSim {
+        CrowdSim::new(CrowdConfig { accuracy_range: (1.0, 1.0), ..Default::default() })
+    }
+
+    fn trained_chimera(seed: u64) -> (Chimera, CatalogGenerator) {
+        let tax = Taxonomy::builtin();
+        let mut g = CatalogGenerator::with_seed(tax.clone(), seed);
+        let mut chimera = Chimera::new(tax, ChimeraConfig { threads: 2, ..Default::default() });
+        let corpus = LabeledCorpus::generate(&mut g, 3000);
+        chimera.train(corpus.items());
+        chimera
+            .add_rules("rings? -> rings\nattr(ISBN) -> books\nlaptop (bag|case|sleeve)s? -> NOT laptop computers\n")
+            .unwrap();
+        (chimera, g)
+    }
+
+    #[test]
+    fn classify_uses_rules_and_learning() {
+        let (chimera, mut g) = trained_chimera(51);
+        let tax = chimera.taxonomy().clone();
+        let rings = tax.id_of("rings").unwrap();
+        let mut correct = 0;
+        for _ in 0..30 {
+            let item = g.generate_for_type(rings);
+            if chimera.classify(&item.product).type_id() == Some(rings) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 27, "only {correct}/30 rings classified");
+    }
+
+    #[test]
+    fn gate_keeper_short_circuits() {
+        let (chimera, mut g) = trained_chimera(52);
+        let tax = chimera.taxonomy().clone();
+        chimera.add_gate_rules("attr(ISBN) -> books").unwrap();
+        let books = tax.id_of("books").unwrap();
+        let item = g.generate_for_type(books);
+        let d = chimera.classify(&item.product);
+        let Decision::Classified { ty, explanation, .. } = d else { panic!("expected classified") };
+        assert_eq!(ty, books);
+        assert!(explanation[0].contains("gate keeper"));
+    }
+
+    #[test]
+    fn untrained_unruled_chimera_declines() {
+        let tax = Taxonomy::builtin();
+        let mut g = CatalogGenerator::with_seed(tax.clone(), 53);
+        let chimera = Chimera::new(tax, ChimeraConfig::default());
+        let item = g.generate_one();
+        assert!(chimera.classify(&item.product).is_declined());
+    }
+
+    #[test]
+    fn scale_down_declines_type_and_restore_recovers() {
+        let (mut chimera, mut g) = trained_chimera(54);
+        let tax = chimera.taxonomy().clone();
+        let rings = tax.id_of("rings").unwrap();
+        let item = g.generate_for_type(rings);
+        assert_eq!(chimera.classify(&item.product).type_id(), Some(rings));
+        chimera.scale_down(rings, "test");
+        assert!(chimera.classify(&item.product).type_id() != Some(rings));
+        assert_eq!(chimera.suppressed_types(), vec![rings]);
+        chimera.restore(rings);
+        assert_eq!(chimera.classify(&item.product).type_id(), Some(rings));
+    }
+
+    #[test]
+    fn batch_parallel_equals_sequential() {
+        let (mut chimera, mut g) = trained_chimera(55);
+        let products: Vec<Product> = g.generate(200).into_iter().map(|i| i.product).collect();
+        let parallel = chimera.classify_batch(&products);
+        chimera.cfg.threads = 1;
+        let sequential = chimera.classify_batch(&products);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn process_batch_accepts_healthy_stream() {
+        let (mut chimera, _) = trained_chimera(56);
+        let tax = chimera.taxonomy().clone();
+        let generator = CatalogGenerator::with_seed(tax, 560);
+        let vendors = VendorPool::generate(5, 0.0, 1);
+        let mut stream = rulekit_data::BatchStream::new(
+            generator,
+            vendors,
+            rulekit_data::StreamConfig { min_batch: 300, max_batch: 400, ..Default::default() },
+        );
+        let batch = stream.next_batch();
+        let mut crowd = perfect_crowd();
+        let report = chimera.process_batch(&batch, &mut crowd);
+        assert!(report.accepted, "estimate {:?}", report.estimate);
+        assert!(report.oracle.precision() >= 0.9, "oracle {:?}", report.oracle);
+    }
+
+    #[test]
+    fn process_batch_patches_novel_vocabulary() {
+        let (mut chimera, _) = trained_chimera(57);
+        let tax = chimera.taxonomy().clone();
+        let mut g = CatalogGenerator::with_seed(tax.clone(), 570);
+        let sofas = tax.id_of("sofas").unwrap();
+        let vendor = VendorProfile::novel_vocabulary(7);
+        let items: Vec<GeneratedItem> = (0..300)
+            .map(|_| g.generate_for_type_and_vendor(sofas, &vendor))
+            .collect();
+        let batch = Batch { seq: 0, vendor: vendor.clone(), items };
+        let before = chimera.rules.len();
+        let mut crowd = perfect_crowd();
+        let report = chimera.process_batch(&batch, &mut crowd);
+        // Either the batch needed no help (unlikely) or analysis added rules
+        // and recall improved by the final round.
+        assert!(report.rounds >= 1);
+        if report.rules_added > 0 {
+            assert!(chimera.rules.len() > before);
+            // The "couch" patch rule now classifies novel titles.
+            let item = g.generate_for_type_and_vendor(sofas, &vendor);
+            assert_eq!(chimera.classify(&item.product).type_id(), Some(sofas));
+        }
+    }
+}

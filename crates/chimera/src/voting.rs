@@ -1,0 +1,229 @@
+//! The Voting Master and Filter (Figure 2).
+//!
+//! "Given an item, all classifiers make predictions (each prediction is a
+//! list of product types together with weights). The Voting Master and the
+//! Filter combine these predictions into a final prediction." The Filter
+//! applies blacklist and restriction rules to whatever the vote produced —
+//! so a learning prediction can never resurrect a blacklisted type.
+
+use rulekit_core::RuleVerdict;
+use rulekit_data::TypeId;
+use rulekit_learn::Prediction;
+use std::collections::{HashMap, HashSet};
+
+/// Voting weights and thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct VotingConfig {
+    /// Weight multiplier for rule-based assignments.
+    pub rule_weight: f64,
+    /// Weight multiplier for the learning ensemble's prediction.
+    pub learn_weight: f64,
+    /// Minimum normalized weight of the winner; below it the Voting Master
+    /// "refuses to make a prediction (due to low confidence)" (§3.3).
+    pub min_confidence: f64,
+}
+
+impl Default for VotingConfig {
+    fn default() -> Self {
+        VotingConfig { rule_weight: 1.2, learn_weight: 1.0, min_confidence: 0.4 }
+    }
+}
+
+/// A final, explained decision for one item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Classified with the winning type, its normalized weight, and an
+    /// explanation trail (the §3.2 "business requirements" artifact).
+    Classified {
+        /// Winning type.
+        ty: TypeId,
+        /// Normalized combined weight.
+        confidence: f64,
+        /// Human-readable evidence lines.
+        explanation: Vec<String>,
+    },
+    /// Declined (sent to the manual-classification team).
+    Declined {
+        /// Why the item was declined.
+        reason: String,
+    },
+}
+
+impl Decision {
+    /// The assigned type, if classified.
+    pub fn type_id(&self) -> Option<TypeId> {
+        match self {
+            Decision::Classified { ty, .. } => Some(*ty),
+            Decision::Declined { .. } => None,
+        }
+    }
+
+    /// Whether the item was declined.
+    pub fn is_declined(&self) -> bool {
+        matches!(self, Decision::Declined { .. })
+    }
+}
+
+/// Combines the rule verdict and the learning prediction into a decision.
+///
+/// `suppressed` types (scale-down) are removed from contention; if the
+/// winner would have been suppressed, the item is declined.
+pub fn vote(
+    verdict: &RuleVerdict,
+    learned: &Prediction,
+    suppressed: &HashSet<TypeId>,
+    cfg: VotingConfig,
+) -> Decision {
+    let mut combined: HashMap<TypeId, f64> = HashMap::new();
+    for &(ty, w) in &verdict.assigned {
+        *combined.entry(ty).or_insert(0.0) += cfg.rule_weight * w;
+    }
+    for &(ty, w) in &learned.scores {
+        *combined.entry(ty).or_insert(0.0) += cfg.learn_weight * w;
+    }
+
+    // Filter phase 1: blacklists and restrictions remove candidates — the
+    // analyst's knowledge redirects the vote (the laptop-bag case).
+    combined.retain(|ty, _| verdict.permits(*ty));
+
+    // Deterministic order before any float accumulation.
+    let mut ranked: Vec<(TypeId, f64)> = combined.into_iter().collect();
+    ranked.sort_by_key(|&(ty, _)| ty);
+    let total: f64 = ranked.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return Decision::Declined { reason: "no classifier produced a permitted candidate".into() };
+    }
+    let &(ty, weight) = ranked
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights").then(b.0.cmp(&a.0)))
+        .expect("non-empty combined");
+
+    // Filter phase 2: scale-down. A suppressed *winner* means the system's
+    // prediction for this item is exactly what was disabled — the item is
+    // declined (sent to manual classification), never reassigned to the
+    // runner-up (§2.2 "Chimera's predictions regarding clothes need to be
+    // temporarily disabled").
+    if suppressed.contains(&ty) {
+        return Decision::Declined { reason: format!("predicted type {ty} is scaled down") };
+    }
+    let confidence = weight / total;
+    if confidence < cfg.min_confidence {
+        return Decision::Declined {
+            reason: format!("low confidence ({confidence:.2} < {:.2})", cfg.min_confidence),
+        };
+    }
+
+    let mut explanation = Vec::new();
+    for id in &verdict.fired_whitelist {
+        explanation.push(format!("whitelist {id} voted"));
+    }
+    for id in &verdict.fired_blacklist {
+        explanation.push(format!("blacklist {id} filtered"));
+    }
+    for id in &verdict.fired_restrictions {
+        explanation.push(format!("restriction {id} narrowed candidates"));
+    }
+    if let Some((lty, lw)) = learned.top() {
+        explanation.push(format!("learning ensemble voted {lty} with weight {lw:.2}"));
+    }
+    Decision::Classified { ty, confidence, explanation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_core::RuleId;
+
+    fn verdict(assigned: Vec<(TypeId, f64)>, forbidden: Vec<TypeId>) -> RuleVerdict {
+        RuleVerdict {
+            assigned,
+            forbidden,
+            fired_whitelist: vec![RuleId(1)],
+            ..RuleVerdict::default()
+        }
+    }
+
+    #[test]
+    fn rules_and_learning_agree() {
+        let d = vote(
+            &verdict(vec![(TypeId(3), 1.0)], vec![]),
+            &Prediction::from_scores(vec![(TypeId(3), 1.0)]),
+            &HashSet::new(),
+            VotingConfig::default(),
+        );
+        let Decision::Classified { ty, confidence, explanation } = d else { panic!("expected classified") };
+        assert_eq!(ty, TypeId(3));
+        assert!((confidence - 1.0).abs() < 1e-12);
+        assert!(explanation.iter().any(|e| e.contains("whitelist")));
+    }
+
+    #[test]
+    fn rule_weight_breaks_disagreement() {
+        let cfg = VotingConfig { rule_weight: 2.0, learn_weight: 1.0, min_confidence: 0.0 };
+        let d = vote(
+            &verdict(vec![(TypeId(1), 1.0)], vec![]),
+            &Prediction::from_scores(vec![(TypeId(2), 1.0)]),
+            &HashSet::new(),
+            cfg,
+        );
+        assert_eq!(d.type_id(), Some(TypeId(1)));
+    }
+
+    #[test]
+    fn filter_kills_blacklisted_learning_vote() {
+        let d = vote(
+            &verdict(vec![], vec![TypeId(2)]),
+            &Prediction::from_scores(vec![(TypeId(2), 1.0)]),
+            &HashSet::new(),
+            VotingConfig::default(),
+        );
+        assert!(d.is_declined());
+    }
+
+    #[test]
+    fn suppressed_type_declines() {
+        let suppressed: HashSet<TypeId> = [TypeId(5)].into();
+        let d = vote(
+            &verdict(vec![(TypeId(5), 1.0)], vec![]),
+            &Prediction::empty(),
+            &suppressed,
+            VotingConfig::default(),
+        );
+        assert!(d.is_declined());
+    }
+
+    #[test]
+    fn low_confidence_declines() {
+        let cfg = VotingConfig { rule_weight: 1.0, learn_weight: 1.0, min_confidence: 0.6 };
+        let d = vote(
+            &verdict(vec![(TypeId(1), 1.0)], vec![]),
+            &Prediction::from_scores(vec![(TypeId(2), 1.0)]),
+            &HashSet::new(),
+            cfg,
+        );
+        assert!(d.is_declined());
+        let Decision::Declined { reason } = d else { unreachable!() };
+        assert!(reason.contains("low confidence"));
+    }
+
+    #[test]
+    fn nothing_fires_declines() {
+        let d = vote(&RuleVerdict::default(), &Prediction::empty(), &HashSet::new(), VotingConfig::default());
+        assert!(d.is_declined());
+    }
+
+    #[test]
+    fn restriction_filters_the_vote() {
+        let v = RuleVerdict {
+            restricted: Some(vec![TypeId(7)]),
+            ..RuleVerdict::default()
+        };
+        let d = vote(
+            &v,
+            &Prediction::from_scores(vec![(TypeId(7), 0.6), (TypeId(8), 0.4)]),
+            &HashSet::new(),
+            VotingConfig { min_confidence: 0.0, ..Default::default() },
+        );
+        assert_eq!(d.type_id(), Some(TypeId(7)));
+    }
+}

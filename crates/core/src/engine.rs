@@ -1,0 +1,413 @@
+//! Rule execution engines (§4 "Rule Execution and Optimization").
+//!
+//! "A major challenge … is to scale up the execution of tens of thousands to
+//! hundreds of thousands of rules. A possible solution is to index the rules
+//! so that given a particular data item, we can quickly locate and execute
+//! only a (hopefully) small set of rules … Another solution is to execute
+//! the rules in parallel on a cluster of machines."
+//!
+//! Three engines implement that design space:
+//!
+//! * [`NaiveExecutor`] — runs every rule (the baseline);
+//! * [`IndexedExecutor`] — a trigram index over each rule's required
+//!   literals plus an attribute-name index; only candidate rules run;
+//! * [`execute_batch_parallel`] — fans any executor out over worker threads
+//!   for batch classification (the "cluster" stand-in).
+
+use crate::rule::{Rule, RuleId};
+use rulekit_regex::best_disjunction;
+use std::collections::HashMap;
+
+/// Finds the rules that fire on a product.
+pub trait RuleExecutor: Send + Sync {
+    /// Ids of all enabled rules whose condition matches `product`.
+    fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId>;
+
+    /// Total rules served.
+    fn rule_count(&self) -> usize;
+
+    /// How many rules were *considered* (condition-evaluated) for `product` —
+    /// the metric the indexing experiments report.
+    fn candidates_considered(&self, product: &rulekit_data::Product) -> usize;
+}
+
+/// Baseline: evaluate every rule on every product.
+pub struct NaiveExecutor {
+    rules: Vec<Rule>,
+}
+
+impl NaiveExecutor {
+    /// Wraps a rule snapshot.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        NaiveExecutor { rules }
+    }
+}
+
+impl RuleExecutor for NaiveExecutor {
+    fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .filter(|r| r.matches(product))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn candidates_considered(&self, _product: &rulekit_data::Product) -> usize {
+        self.rules.len()
+    }
+}
+
+/// How a rule is admitted to candidate sets.
+#[derive(Debug, Clone)]
+enum Admission {
+    /// Admitted when one of these literals appears in the lowercased title;
+    /// the usize is the index of the literal's representative trigram key.
+    Literals(Vec<String>),
+    /// Admitted when the product has this (lowercased) attribute.
+    Attribute(String),
+    /// Always considered.
+    Always,
+}
+
+/// Trigram-indexed executor.
+///
+/// For each rule with a title pattern, required-literal analysis yields a
+/// disjunction of substrings, one of which must appear in any matching
+/// title. Each literal contributes one representative trigram (the rarest at
+/// build time) to an inverted index; at query time, the title's trigram set
+/// pulls in candidate rules, a cheap `contains` check confirms the literal
+/// requirement, and only then does the full matcher run.
+pub struct IndexedExecutor {
+    rules: Vec<Rule>,
+    admissions: Vec<Admission>,
+    /// trigram → rule indices.
+    trigram_postings: HashMap<[u8; 3], Vec<u32>>,
+    /// lowercased attribute name → rule indices.
+    attr_postings: HashMap<String, Vec<u32>>,
+    /// Rules that must always be considered.
+    always: Vec<u32>,
+}
+
+impl IndexedExecutor {
+    /// Builds the index over a rule snapshot.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let mut executor = IndexedExecutor {
+            admissions: Vec::with_capacity(rules.len()),
+            trigram_postings: HashMap::new(),
+            attr_postings: HashMap::new(),
+            always: Vec::new(),
+            rules,
+        };
+        for i in 0..executor.rules.len() {
+            let admission = executor.classify_rule(i);
+            match &admission {
+                Admission::Literals(literals) => {
+                    for lit in literals {
+                        let key = executor.rarest_trigram(lit);
+                        executor.trigram_postings.entry(key).or_default().push(i as u32);
+                    }
+                }
+                Admission::Attribute(name) => {
+                    executor.attr_postings.entry(name.clone()).or_default().push(i as u32);
+                }
+                Admission::Always => executor.always.push(i as u32),
+            }
+            executor.admissions.push(admission);
+        }
+        executor
+    }
+
+    fn classify_rule(&self, i: usize) -> Admission {
+        let condition = &self.rules[i].condition;
+        if let Some(re) = condition.title_regex() {
+            let cnf = re.required_literals();
+            // Choose the best disjunction whose every literal is indexable
+            // (ASCII, length ≥ 3 — trigram keys are 3 bytes).
+            let indexable: Vec<&Vec<String>> = cnf
+                .iter()
+                .filter(|d| d.iter().all(|lit| lit.len() >= 3 && lit.is_ascii()))
+                .collect();
+            if let Some(best) = best_disjunction(
+                &indexable.iter().map(|d| (*d).clone()).collect::<Vec<_>>(),
+            ) {
+                return Admission::Literals(best.clone());
+            }
+        }
+        if let Some(attr) = condition.attr_key() {
+            return Admission::Attribute(attr.to_lowercase());
+        }
+        Admission::Always
+    }
+
+    /// The literal's trigram with the fewest postings so far (spreads index
+    /// load and shrinks candidate sets).
+    fn rarest_trigram(&self, literal: &str) -> [u8; 3] {
+        debug_assert!(literal.len() >= 3 && literal.is_ascii());
+        let bytes = literal.as_bytes();
+        let mut best: Option<([u8; 3], usize)> = None;
+        for w in bytes.windows(3) {
+            let key = [w[0], w[1], w[2]];
+            let load = self.trigram_postings.get(&key).map_or(0, Vec::len);
+            if best.is_none_or(|(_, b)| load < b) {
+                best = Some((key, load));
+            }
+        }
+        best.expect("literal has at least one trigram").0
+    }
+
+    fn candidate_indices(&self, product: &rulekit_data::Product) -> Vec<u32> {
+        let title = product.title.to_lowercase();
+        let bytes = title.as_bytes();
+        let mut seen = vec![false; self.rules.len()];
+        let mut candidates = Vec::new();
+
+        for &i in &self.always {
+            if !std::mem::replace(&mut seen[i as usize], true) {
+                candidates.push(i);
+            }
+        }
+        for w in bytes.windows(3) {
+            if let Some(list) = self.trigram_postings.get(&[w[0], w[1], w[2]]) {
+                for &i in list {
+                    if !std::mem::replace(&mut seen[i as usize], true) {
+                        // Confirm the literal requirement before admitting.
+                        if let Admission::Literals(lits) = &self.admissions[i as usize] {
+                            if lits.iter().any(|l| title.contains(l.as_str())) {
+                                candidates.push(i);
+                            } else {
+                                // Leave seen=true: no other trigram of this
+                                // rule can change the contains outcome.
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (name, _) in &product.attributes {
+            if let Some(list) = self.attr_postings.get(&name.to_lowercase()) {
+                for &i in list {
+                    if !std::mem::replace(&mut seen[i as usize], true) {
+                        candidates.push(i);
+                    }
+                }
+            }
+        }
+        candidates
+    }
+}
+
+impl RuleExecutor for IndexedExecutor {
+    fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId> {
+        self.candidate_indices(product)
+            .into_iter()
+            .filter(|&i| self.rules[i as usize].matches(product))
+            .map(|i| self.rules[i as usize].id)
+            .collect()
+    }
+
+    fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn candidates_considered(&self, product: &rulekit_data::Product) -> usize {
+        self.candidate_indices(product).len()
+    }
+}
+
+/// Runs `executor` over `products` on `threads` workers (crossbeam scoped
+/// threads), preserving input order — the paper's "execute the rules in
+/// parallel on a cluster of machines", one machine's worth.
+pub fn execute_batch_parallel(
+    executor: &dyn RuleExecutor,
+    products: &[rulekit_data::Product],
+    threads: usize,
+) -> Vec<Vec<RuleId>> {
+    let threads = threads.max(1);
+    if products.is_empty() {
+        return Vec::new();
+    }
+    let chunk = products.len().div_ceil(threads);
+    let mut results: Vec<Vec<Vec<RuleId>>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = products
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| slice.iter().map(|p| executor.matching_rules(p)).collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    results.into_iter().flatten().collect()
+}
+
+/// Statistics comparing executors on a product set (E7's metric).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutionStats {
+    /// Total rules in the engine.
+    pub rule_count: usize,
+    /// Average rules considered per product.
+    pub avg_considered: f64,
+    /// Average rules fired per product.
+    pub avg_fired: f64,
+}
+
+/// Measures consideration/fire rates of `executor` over `products`.
+pub fn execution_stats(executor: &dyn RuleExecutor, products: &[rulekit_data::Product]) -> ExecutionStats {
+    if products.is_empty() {
+        return ExecutionStats { rule_count: executor.rule_count(), ..Default::default() };
+    }
+    let mut considered = 0usize;
+    let mut fired = 0usize;
+    for p in products {
+        considered += executor.candidates_considered(p);
+        fired += executor.matching_rules(p).len();
+    }
+    ExecutionStats {
+        rule_count: executor.rule_count(),
+        avg_considered: considered as f64 / products.len() as f64,
+        avg_fired: fired as f64 / products.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::RuleParser;
+    use crate::rule::RuleMeta;
+    use crate::repository::RuleRepository;
+    use rulekit_data::{Product, Taxonomy, VendorId};
+
+    fn rules(lines: &[&str]) -> Vec<Rule> {
+        let tax = Taxonomy::builtin();
+        let parser = RuleParser::new(tax);
+        let repo = RuleRepository::new();
+        for line in lines {
+            repo.add(parser.parse_rule(line).unwrap(), RuleMeta::default());
+        }
+        repo.enabled_snapshot()
+    }
+
+    fn product(title: &str, attrs: &[(&str, &str)]) -> Product {
+        Product {
+            id: 0,
+            title: title.into(),
+            description: String::new(),
+            attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            vendor: VendorId(0),
+        }
+    }
+
+    const LINES: &[&str] = &[
+        "rings? -> rings",
+        "diamond.*trio sets? -> rings",
+        "(area|oriental|braided) rugs? -> area rugs",
+        "laptop (bag|case|sleeve)s? -> NOT laptop computers",
+        "attr(ISBN) -> books",
+        "value(Brand Name = Apple) -> one of laptop computers; smartphones; tablets",
+        r"\w+ oils? -> motor oil",
+    ];
+
+    #[test]
+    fn indexed_agrees_with_naive() {
+        let rs = rules(LINES);
+        let naive = NaiveExecutor::new(rs.clone());
+        let indexed = IndexedExecutor::new(rs);
+        let products = [
+            product("Always & Forever Diamond Accent Ring", &[]),
+            product("braided area rug 5'x7'", &[]),
+            product("padded laptop sleeve", &[]),
+            product("bestselling novel", &[("ISBN", "9781111111111")]),
+            product("apple phone", &[("Brand Name", "Apple")]),
+            product("quaker state motor oil", &[]),
+            product("garden hose", &[]),
+        ];
+        for p in &products {
+            let mut a = naive.matching_rules(p);
+            let mut b = indexed.matching_rules(p);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "disagreement on {:?}", p.title);
+        }
+    }
+
+    #[test]
+    fn indexed_considers_fewer_rules() {
+        let rs = rules(LINES);
+        let indexed = IndexedExecutor::new(rs.clone());
+        let naive = NaiveExecutor::new(rs);
+        let p = product("garden hose", &[]);
+        assert_eq!(naive.candidates_considered(&p), LINES.len());
+        // Only the `\w+ oils?` rule is unindexable… wait, " oil" is a
+        // literal requirement, so it is indexed too. Nothing matches hose.
+        assert!(indexed.candidates_considered(&p) < 2);
+    }
+
+    #[test]
+    fn unindexable_rules_always_considered() {
+        let rs = rules(&[r"\w+\s+\w+ -> books"]);
+        let indexed = IndexedExecutor::new(rs);
+        let p = product("zz qq", &[]);
+        assert_eq!(indexed.candidates_considered(&p), 1);
+        assert_eq!(indexed.matching_rules(&p).len(), 1);
+    }
+
+    #[test]
+    fn attribute_indexing() {
+        let rs = rules(&["attr(ISBN) -> books", "attr(Screen Size) -> televisions"]);
+        let indexed = IndexedExecutor::new(rs);
+        let book = product("x", &[("ISBN", "978")]);
+        assert_eq!(indexed.candidates_considered(&book), 1);
+        assert_eq!(indexed.matching_rules(&book).len(), 1);
+        let neither = product("x", &[("Color", "red")]);
+        assert_eq!(indexed.candidates_considered(&neither), 0);
+    }
+
+    #[test]
+    fn parallel_execution_preserves_order_and_results() {
+        let rs = rules(LINES);
+        let indexed = IndexedExecutor::new(rs);
+        let products: Vec<Product> = (0..97)
+            .map(|i| {
+                if i % 2 == 0 {
+                    product("diamond ring", &[])
+                } else {
+                    product("garden hose", &[])
+                }
+            })
+            .collect();
+        let sequential: Vec<Vec<RuleId>> =
+            products.iter().map(|p| indexed.matching_rules(p)).collect();
+        for threads in [1, 2, 4, 7] {
+            let parallel = execute_batch_parallel(&indexed, &products, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        assert!(execute_batch_parallel(&indexed, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn execution_stats_shape() {
+        let rs = rules(LINES);
+        let indexed = IndexedExecutor::new(rs.clone());
+        let naive = NaiveExecutor::new(rs);
+        let products = vec![product("diamond ring", &[]), product("hose", &[])];
+        let si = execution_stats(&indexed, &products);
+        let sn = execution_stats(&naive, &products);
+        assert_eq!(si.rule_count, sn.rule_count);
+        assert!(si.avg_considered < sn.avg_considered);
+        assert_eq!(si.avg_fired, sn.avg_fired);
+    }
+
+    #[test]
+    fn case_insensitive_index_lookup() {
+        let rs = rules(&["rings? -> rings"]);
+        let indexed = IndexedExecutor::new(rs);
+        assert_eq!(indexed.matching_rules(&product("DIAMOND RING", &[])).len(), 1);
+    }
+}

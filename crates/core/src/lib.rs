@@ -1,0 +1,33 @@
+//! # rulekit-core
+//!
+//! The rule-management core: the rule model and analyst DSL, a versioned
+//! rule repository with per-type scale-down controls, rule-based
+//! classification with whitelist-before-blacklist phase semantics, three
+//! execution engines (naive, trigram-indexed, parallel batch), a data-side
+//! index for rule development, and mechanical audits of rule-system
+//! properties (order independence).
+//!
+//! This crate is the direct reproduction of §3.3's rule machinery and §4's
+//! "rule languages / system properties / execution and optimization"
+//! research agenda.
+
+pub mod classifier;
+pub mod data_index;
+pub mod dsl;
+pub mod engine;
+pub mod properties;
+pub mod repository;
+pub mod rule;
+
+pub use classifier::{RuleClassifier, RuleVerdict};
+pub use data_index::TitleIndex;
+pub use dsl::{compile_pattern, ParseError, RuleParser, RuleSpec};
+pub use engine::{
+    execute_batch_parallel, execution_stats, ExecutionStats, IndexedExecutor, NaiveExecutor,
+    RuleExecutor,
+};
+pub use properties::{audit_order_independence, OrderAudit};
+pub use repository::{RepositoryStats, Revision, RuleRepository};
+pub use rule::{
+    CompareOp, Condition, Dictionary, Provenance, Rule, RuleAction, RuleId, RuleMeta, RuleStatus,
+};

@@ -1,0 +1,422 @@
+//! The rule repository: the system of record for tens of thousands of rules.
+//!
+//! §4 observes that "over time, many developers and analysts will modify,
+//! add, and remove rules … it is important that the system remain robust and
+//! predictable throughout such activities". The repository therefore keeps a
+//! monotonic revision log of every change, supports per-rule and per-type
+//! enable/disable (the §2.2 "scale down" lever), and hands out immutable
+//! snapshots to executors.
+
+use crate::dsl::RuleSpec;
+use crate::rule::{Rule, RuleAction, RuleId, RuleMeta, RuleStatus};
+use parking_lot::RwLock;
+use rulekit_data::TypeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One entry in the revision log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Revision {
+    /// Rule added.
+    Added {
+        /// The rule.
+        rule_id: RuleId,
+        /// Source line or generator description.
+        source: String,
+    },
+    /// Rule disabled.
+    Disabled {
+        /// The rule.
+        rule_id: RuleId,
+        /// Why (free text: "scale-down clothes", …).
+        reason: String,
+    },
+    /// Rule re-enabled.
+    Enabled {
+        /// The rule.
+        rule_id: RuleId,
+    },
+    /// Rule permanently removed.
+    Removed {
+        /// The rule.
+        rule_id: RuleId,
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Thread-safe rule store with a revision log.
+#[derive(Debug, Default)]
+pub struct RuleRepository {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    rules: HashMap<RuleId, Rule>,
+    order: Vec<RuleId>,
+    next_id: u64,
+    log: Vec<Revision>,
+}
+
+impl RuleRepository {
+    /// An empty repository.
+    pub fn new() -> Arc<RuleRepository> {
+        Arc::new(RuleRepository::default())
+    }
+
+    /// Adds a parsed rule with the given metadata template; returns its id.
+    pub fn add(&self, spec: RuleSpec, mut meta: RuleMeta) -> RuleId {
+        let mut inner = self.inner.write();
+        let id = RuleId(inner.next_id);
+        inner.next_id += 1;
+        meta.added_at = inner.log.len() as u64;
+        inner.log.push(Revision::Added { rule_id: id, source: spec.source.clone() });
+        inner.order.push(id);
+        inner.rules.insert(
+            id,
+            Rule { id, condition: spec.condition, action: spec.action, meta, source: spec.source },
+        );
+        id
+    }
+
+    /// Adds many rules with the same metadata template.
+    pub fn add_all(&self, specs: Vec<RuleSpec>, meta: &RuleMeta) -> Vec<RuleId> {
+        specs.into_iter().map(|s| self.add(s, meta.clone())).collect()
+    }
+
+    /// Fetches a rule by id.
+    pub fn get(&self, id: RuleId) -> Option<Rule> {
+        self.inner.read().rules.get(&id).cloned()
+    }
+
+    /// Disables one rule ("if that rule misclassifies widely, we can simply
+    /// disable it, with minimal impacts on the rest of the system", §3.2).
+    pub fn disable(&self, id: RuleId, reason: impl Into<String>) -> bool {
+        let mut inner = self.inner.write();
+        let Some(rule) = inner.rules.get_mut(&id) else { return false };
+        if rule.meta.status == RuleStatus::Disabled {
+            return false;
+        }
+        rule.meta.status = RuleStatus::Disabled;
+        inner.log.push(Revision::Disabled { rule_id: id, reason: reason.into() });
+        true
+    }
+
+    /// Re-enables one rule.
+    pub fn enable(&self, id: RuleId) -> bool {
+        let mut inner = self.inner.write();
+        let Some(rule) = inner.rules.get_mut(&id) else { return false };
+        if rule.meta.status == RuleStatus::Enabled {
+            return false;
+        }
+        rule.meta.status = RuleStatus::Enabled;
+        inner.log.push(Revision::Enabled { rule_id: id });
+        true
+    }
+
+    /// Permanently removes a rule (maintenance: subsumed/imprecise rules).
+    pub fn remove(&self, id: RuleId, reason: impl Into<String>) -> bool {
+        let mut inner = self.inner.write();
+        if inner.rules.remove(&id).is_none() {
+            return false;
+        }
+        inner.order.retain(|&r| r != id);
+        inner.log.push(Revision::Removed { rule_id: id, reason: reason.into() });
+        true
+    }
+
+    /// Disables every rule that assigns or forbids `ty` — the per-type
+    /// scale-down of §2.2. Returns the affected rule ids.
+    pub fn disable_type(&self, ty: TypeId, reason: impl Into<String>) -> Vec<RuleId> {
+        let reason = reason.into();
+        let ids: Vec<RuleId> = {
+            let inner = self.inner.read();
+            inner
+                .order
+                .iter()
+                .filter(|id| {
+                    inner.rules.get(id).is_some_and(|r| {
+                        r.is_enabled() && r.target_type() == Some(ty)
+                    })
+                })
+                .copied()
+                .collect()
+        };
+        for &id in &ids {
+            self.disable(id, reason.clone());
+        }
+        ids
+    }
+
+    /// Re-enables every disabled rule targeting `ty` (restore after repair).
+    pub fn enable_type(&self, ty: TypeId) -> Vec<RuleId> {
+        let ids: Vec<RuleId> = {
+            let inner = self.inner.read();
+            inner
+                .order
+                .iter()
+                .filter(|id| {
+                    inner.rules.get(id).is_some_and(|r| {
+                        !r.is_enabled() && r.target_type() == Some(ty)
+                    })
+                })
+                .copied()
+                .collect()
+        };
+        for &id in &ids {
+            self.enable(id);
+        }
+        ids
+    }
+
+    /// Immutable snapshot of all enabled rules, in insertion order.
+    pub fn enabled_snapshot(&self) -> Vec<Rule> {
+        let inner = self.inner.read();
+        inner
+            .order
+            .iter()
+            .filter_map(|id| inner.rules.get(id))
+            .filter(|r| r.is_enabled())
+            .cloned()
+            .collect()
+    }
+
+    /// Immutable snapshot of all rules regardless of status.
+    pub fn full_snapshot(&self) -> Vec<Rule> {
+        let inner = self.inner.read();
+        inner.order.iter().filter_map(|id| inner.rules.get(id)).cloned().collect()
+    }
+
+    /// Enabled rules targeting `ty`.
+    pub fn rules_for_type(&self, ty: TypeId) -> Vec<Rule> {
+        self.enabled_snapshot()
+            .into_iter()
+            .filter(|r| r.target_type() == Some(ty))
+            .collect()
+    }
+
+    /// Counts: `(total, enabled, whitelist, blacklist)`.
+    pub fn stats(&self) -> RepositoryStats {
+        let inner = self.inner.read();
+        let mut stats = RepositoryStats { total: inner.rules.len(), ..Default::default() };
+        for rule in inner.rules.values() {
+            if rule.is_enabled() {
+                stats.enabled += 1;
+            }
+            match rule.action {
+                RuleAction::Assign(_) => stats.whitelist += 1,
+                RuleAction::Forbid(_) => stats.blacklist += 1,
+                RuleAction::Restrict(_) => stats.restriction += 1,
+            }
+        }
+        stats
+    }
+
+    /// The full revision log.
+    pub fn history(&self) -> Vec<Revision> {
+        self.inner.read().log.clone()
+    }
+
+    /// Renders the repository back to DSL text, one rule per line, with
+    /// disabled rules commented out — the format analysts edit and check
+    /// into version control.
+    pub fn export_dsl(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        for id in &inner.order {
+            let Some(rule) = inner.rules.get(id) else { continue };
+            if rule.is_enabled() {
+                out.push_str(&rule.source);
+            } else {
+                out.push_str("# disabled: ");
+                out.push_str(&rule.source);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Monotonic revision number (increments on every change) — executors
+    /// cache snapshots keyed on this.
+    pub fn revision(&self) -> u64 {
+        self.inner.read().log.len() as u64
+    }
+
+    /// Number of rules (any status).
+    pub fn len(&self) -> usize {
+        self.inner.read().rules.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Aggregate counts for a repository (the §3.3 inventory numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepositoryStats {
+    /// All rules, any status.
+    pub total: usize,
+    /// Enabled rules.
+    pub enabled: usize,
+    /// Whitelist (`Assign`) rules.
+    pub whitelist: usize,
+    /// Blacklist (`Forbid`) rules.
+    pub blacklist: usize,
+    /// Restriction rules.
+    pub restriction: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::RuleParser;
+    use rulekit_data::Taxonomy;
+
+    fn repo_with(lines: &[&str]) -> (Arc<RuleRepository>, Vec<RuleId>, Arc<Taxonomy>) {
+        let tax = Taxonomy::builtin();
+        let parser = RuleParser::new(tax.clone());
+        let repo = RuleRepository::new();
+        let ids = lines
+            .iter()
+            .map(|l| repo.add(parser.parse_rule(l).unwrap(), RuleMeta::default()))
+            .collect();
+        (repo, ids, tax)
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let (_, ids, _) = repo_with(&["rings? -> rings", "rugs? -> area rugs"]);
+        assert_eq!(ids, vec![RuleId(0), RuleId(1)]);
+    }
+
+    #[test]
+    fn disable_enable_round_trip() {
+        let (repo, ids, _) = repo_with(&["rings? -> rings"]);
+        assert!(repo.disable(ids[0], "test"));
+        assert!(!repo.get(ids[0]).unwrap().is_enabled());
+        assert!(!repo.disable(ids[0], "again"), "double disable is a no-op");
+        assert!(repo.enable(ids[0]));
+        assert!(repo.get(ids[0]).unwrap().is_enabled());
+    }
+
+    #[test]
+    fn remove_deletes_permanently() {
+        let (repo, ids, _) = repo_with(&["rings? -> rings"]);
+        assert!(repo.remove(ids[0], "subsumed"));
+        assert!(repo.get(ids[0]).is_none());
+        assert!(!repo.remove(ids[0], "again"));
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn disable_type_scales_down() {
+        let (repo, _, tax) = repo_with(&[
+            "rings? -> rings",
+            "wedding bands? -> rings",
+            "rugs? -> area rugs",
+        ]);
+        let rings = tax.id_of("rings").unwrap();
+        let affected = repo.disable_type(rings, "precision alarm");
+        assert_eq!(affected.len(), 2);
+        assert_eq!(repo.enabled_snapshot().len(), 1);
+        let restored = repo.enable_type(rings);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(repo.enabled_snapshot().len(), 3);
+    }
+
+    #[test]
+    fn snapshots_are_stable_against_later_writes() {
+        let (repo, ids, _) = repo_with(&["rings? -> rings", "rugs? -> area rugs"]);
+        let snap = repo.enabled_snapshot();
+        repo.disable(ids[0], "later");
+        assert_eq!(snap.len(), 2, "snapshot unaffected by later disable");
+        assert_eq!(repo.enabled_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn history_records_everything() {
+        let (repo, ids, _) = repo_with(&["rings? -> rings"]);
+        repo.disable(ids[0], "drift");
+        repo.enable(ids[0]);
+        repo.remove(ids[0], "cleanup");
+        let log = repo.history();
+        assert_eq!(log.len(), 4);
+        assert!(matches!(log[0], Revision::Added { .. }));
+        assert!(matches!(log[1], Revision::Disabled { .. }));
+        assert!(matches!(log[2], Revision::Enabled { .. }));
+        assert!(matches!(log[3], Revision::Removed { .. }));
+    }
+
+    #[test]
+    fn stats_count_rule_kinds() {
+        let (repo, _, _) = repo_with(&[
+            "rings? -> rings",
+            "rugs? -> area rugs",
+            "laptop bags? -> NOT laptop computers",
+            "value(Brand Name = Apple) -> one of laptop computers; smartphones",
+        ]);
+        let stats = repo.stats();
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.enabled, 4);
+        assert_eq!(stats.whitelist, 2);
+        assert_eq!(stats.blacklist, 1);
+        assert_eq!(stats.restriction, 1);
+    }
+
+    #[test]
+    fn rules_for_type_filters() {
+        let (repo, _, tax) = repo_with(&["rings? -> rings", "rugs? -> area rugs"]);
+        let rings = tax.id_of("rings").unwrap();
+        let rules = repo.rules_for_type(rings);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].target_type(), Some(rings));
+    }
+
+    #[test]
+    fn export_dsl_round_trips() {
+        let tax = Taxonomy::builtin();
+        let parser = RuleParser::new(tax.clone());
+        let (repo, ids, _) = repo_with(&[
+            "rings? -> rings",
+            "rugs? -> area rugs",
+            "laptop (bag|case|sleeve)s? -> NOT laptop computers",
+        ]);
+        repo.disable(ids[1], "drift");
+        let text = repo.export_dsl();
+        assert!(text.contains("rings? -> rings\n"));
+        assert!(text.contains("# disabled: rugs? -> area rugs"));
+        // Re-importing yields the enabled subset, behaviourally identical.
+        let reimported = RuleRepository::new();
+        reimported.add_all(parser.parse_rules(&text).unwrap(), &RuleMeta::default());
+        assert_eq!(reimported.len(), 2);
+        let _ = tax;
+    }
+
+    #[test]
+    fn concurrent_adds_are_safe() {
+        let tax = Taxonomy::builtin();
+        let repo = RuleRepository::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let repo = repo.clone();
+                let tax = tax.clone();
+                scope.spawn(move || {
+                    let parser = RuleParser::new(tax);
+                    for _ in 0..50 {
+                        let spec = parser.parse_rule("rings? -> rings").unwrap();
+                        repo.add(spec, RuleMeta::default());
+                    }
+                });
+            }
+        });
+        assert_eq!(repo.len(), 200);
+        // Ids are unique.
+        let mut ids: Vec<u64> = repo.full_snapshot().iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+    }
+}

@@ -1,0 +1,426 @@
+//! The rule model: conditions, actions, metadata.
+//!
+//! Covers every rule species the paper describes:
+//!
+//! * **whitelist** rules `r → t` (§3.3) — [`RuleAction::Assign`];
+//! * **blacklist** rules `r → NOT t` (§3.3) — [`RuleAction::Forbid`];
+//! * **attribute rules** ("has ISBN ⇒ Books", §3.3) — [`Condition::AttrExists`];
+//! * **value rules** ("Brand Name = Apple ⇒ one of {laptop, phone, …}",
+//!   §3.3) — [`Condition::AttrValueIn`] + [`RuleAction::Restrict`];
+//! * the **extended language** of §4 ("title contains 'Apple' but price
+//!   < $100 ⇒ NOT phone"; "title contains a dictionary word ⇒ PC or
+//!   laptop") — [`Condition::All`], [`Condition::NumCompare`],
+//!   [`Condition::InDictionary`].
+
+use rulekit_data::{Product, TypeId};
+use rulekit_regex::Regex;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Unique rule identifier within a repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u64);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule#{}", self.0)
+    }
+}
+
+/// A named word dictionary referenced by [`Condition::InDictionary`].
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    /// Dictionary name (as written in the DSL).
+    pub name: String,
+    /// Lowercased member words/phrases.
+    pub entries: HashSet<String>,
+}
+
+impl Dictionary {
+    /// Builds a dictionary, lowercasing entries.
+    pub fn new(name: impl Into<String>, entries: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+        Dictionary {
+            name: name.into(),
+            entries: entries.into_iter().map(|e| e.as_ref().to_lowercase()).collect(),
+        }
+    }
+
+    /// Whether `title` contains any entry as a substring (lowercased).
+    pub fn matches_title(&self, title: &str) -> bool {
+        let lowered = title.to_lowercase();
+        self.entries.iter().any(|e| lowered.contains(e.as_str()))
+    }
+}
+
+/// Numeric comparison operators for attribute predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+impl CompareOp {
+    /// Applies the comparison.
+    pub fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CompareOp::Lt => lhs < rhs,
+            CompareOp::Le => lhs <= rhs,
+            CompareOp::Gt => lhs > rhs,
+            CompareOp::Ge => lhs >= rhs,
+            CompareOp::Eq => (lhs - rhs).abs() < 1e-9,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+            CompareOp::Eq => "=",
+        })
+    }
+}
+
+/// A rule condition over a product record.
+#[derive(Debug, Clone)]
+pub enum Condition {
+    /// The title matches a (case-insensitive) pattern.
+    TitleMatches(Regex),
+    /// The product carries an attribute with this name.
+    AttrExists(String),
+    /// The named attribute's value equals one of these (case-insensitive).
+    AttrValueIn {
+        /// Attribute name.
+        attr: String,
+        /// Accepted values, lowercased.
+        values: Vec<String>,
+    },
+    /// The named attribute parses as a number and satisfies the comparison.
+    NumCompare {
+        /// Attribute name (e.g. "Price").
+        attr: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right-hand side.
+        value: f64,
+    },
+    /// The title contains a word/phrase from a named dictionary.
+    InDictionary(Arc<Dictionary>),
+    /// All sub-conditions hold (the §4 conjunctive extension).
+    All(Vec<Condition>),
+}
+
+impl Condition {
+    /// Evaluates the condition against `product`.
+    pub fn matches(&self, product: &Product) -> bool {
+        match self {
+            Condition::TitleMatches(re) => re.is_match(&product.title),
+            Condition::AttrExists(name) => product.has_attr(name),
+            Condition::AttrValueIn { attr, values } => product
+                .attr(attr)
+                .map(|v| {
+                    let lowered = v.to_lowercase();
+                    values.contains(&lowered)
+                })
+                .unwrap_or(false),
+            Condition::NumCompare { attr, op, value } => product
+                .attr(attr)
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .map(|v| op.apply(v, *value))
+                .unwrap_or(false),
+            Condition::InDictionary(dict) => dict.matches_title(&product.title),
+            Condition::All(conds) => conds.iter().all(|c| c.matches(product)),
+        }
+    }
+
+    /// The title regex, if this condition (or one of its conjuncts) has one.
+    pub fn title_regex(&self) -> Option<&Regex> {
+        match self {
+            Condition::TitleMatches(re) => Some(re),
+            Condition::All(conds) => conds.iter().find_map(Condition::title_regex),
+            _ => None,
+        }
+    }
+
+    /// The attribute name tested, if any (used for attribute indexing).
+    pub fn attr_key(&self) -> Option<&str> {
+        match self {
+            Condition::AttrExists(name) => Some(name),
+            Condition::AttrValueIn { attr, .. } => Some(attr),
+            Condition::NumCompare { attr, .. } => Some(attr),
+            Condition::All(conds) => conds.iter().find_map(Condition::attr_key),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::TitleMatches(re) => write!(f, "title({})", re.pattern()),
+            Condition::AttrExists(name) => write!(f, "attr({name})"),
+            Condition::AttrValueIn { attr, values } => {
+                write!(f, "value({attr} = {})", values.join(" | "))
+            }
+            Condition::NumCompare { attr, op, value } => write!(f, "num({attr}) {op} {value}"),
+            Condition::InDictionary(d) => write!(f, "dict({})", d.name),
+            Condition::All(conds) => {
+                for (i, c) in conds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What a rule does when its condition fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleAction {
+    /// Whitelist: assign the type.
+    Assign(TypeId),
+    /// Blacklist: the item is NOT this type.
+    Forbid(TypeId),
+    /// Restriction: the type must be one of these (the "Brand Name = Apple"
+    /// value-rule semantics of §3.3).
+    Restrict(Vec<TypeId>),
+}
+
+/// Where a rule came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Hand-written by a domain analyst.
+    Analyst,
+    /// Hand-written by a CS developer.
+    Developer,
+    /// Generated by the §5.2 miner from labeled data.
+    Mined,
+    /// Captured from downstream curation (§3.2 "Other Considerations").
+    Curation,
+    /// Crowd-sourced.
+    Crowd,
+}
+
+/// Lifecycle status of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleStatus {
+    /// Active in production.
+    Enabled,
+    /// Temporarily disabled (e.g. by a scale-down).
+    Disabled,
+}
+
+/// Rule metadata.
+#[derive(Debug, Clone)]
+pub struct RuleMeta {
+    /// Author/tool identifier.
+    pub author: String,
+    /// Provenance.
+    pub provenance: Provenance,
+    /// Status.
+    pub status: RuleStatus,
+    /// Confidence score in `[0, 1]` (§5.2 mined rules carry one; analyst
+    /// rules default to 1.0).
+    pub confidence: f64,
+    /// Monotonic revision at which the rule was added.
+    pub added_at: u64,
+}
+
+impl Default for RuleMeta {
+    fn default() -> Self {
+        RuleMeta {
+            author: "analyst".to_string(),
+            provenance: Provenance::Analyst,
+            status: RuleStatus::Enabled,
+            confidence: 1.0,
+            added_at: 0,
+        }
+    }
+}
+
+/// A complete rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Identifier (assigned by the repository).
+    pub id: RuleId,
+    /// Condition.
+    pub condition: Condition,
+    /// Action.
+    pub action: RuleAction,
+    /// Metadata.
+    pub meta: RuleMeta,
+    /// The DSL source line the rule was created from (used for export and
+    /// analyst-facing diagnostics).
+    pub source: String,
+}
+
+impl Rule {
+    /// Whether the rule's condition fires on `product`.
+    pub fn matches(&self, product: &Product) -> bool {
+        self.condition.matches(product)
+    }
+
+    /// Whether the rule is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.meta.status == RuleStatus::Enabled
+    }
+
+    /// The type this rule concerns (for `Restrict`, `None`).
+    pub fn target_type(&self) -> Option<TypeId> {
+        match &self.action {
+            RuleAction::Assign(t) | RuleAction::Forbid(t) => Some(*t),
+            RuleAction::Restrict(_) => None,
+        }
+    }
+
+    /// Whether this is a whitelist rule.
+    pub fn is_whitelist(&self) -> bool {
+        matches!(self.action, RuleAction::Assign(_))
+    }
+
+    /// Whether this is a blacklist rule.
+    pub fn is_blacklist(&self) -> bool {
+        matches!(self.action, RuleAction::Forbid(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::VendorId;
+
+    fn product(title: &str, attrs: &[(&str, &str)]) -> Product {
+        Product {
+            id: 1,
+            title: title.to_string(),
+            description: String::new(),
+            attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            vendor: VendorId(0),
+        }
+    }
+
+    fn title_cond(pattern: &str) -> Condition {
+        Condition::TitleMatches(Regex::case_insensitive(pattern).unwrap())
+    }
+
+    #[test]
+    fn title_condition_matches() {
+        let c = title_cond("rings?");
+        assert!(c.matches(&product("Diamond Accent Ring", &[])));
+        assert!(!c.matches(&product("Area Rug", &[])));
+    }
+
+    #[test]
+    fn attr_exists_condition() {
+        let c = Condition::AttrExists("ISBN".into());
+        assert!(c.matches(&product("x", &[("ISBN", "9781")])));
+        assert!(c.matches(&product("x", &[("isbn", "9781")])));
+        assert!(!c.matches(&product("x", &[("Pages", "300")])));
+    }
+
+    #[test]
+    fn attr_value_condition() {
+        let c = Condition::AttrValueIn {
+            attr: "Brand Name".into(),
+            values: vec!["apple".into(), "samsung".into()],
+        };
+        assert!(c.matches(&product("x", &[("Brand Name", "Apple")])));
+        assert!(!c.matches(&product("x", &[("Brand Name", "Dell")])));
+        assert!(!c.matches(&product("x", &[])));
+    }
+
+    #[test]
+    fn num_compare_condition() {
+        let c = Condition::NumCompare { attr: "Price".into(), op: CompareOp::Lt, value: 100.0 };
+        assert!(c.matches(&product("x", &[("Price", "99.99")])));
+        assert!(!c.matches(&product("x", &[("Price", "100.00")])));
+        assert!(!c.matches(&product("x", &[("Price", "n/a")])));
+        assert!(!c.matches(&product("x", &[])));
+    }
+
+    #[test]
+    fn compare_ops() {
+        assert!(CompareOp::Le.apply(5.0, 5.0));
+        assert!(CompareOp::Ge.apply(5.0, 5.0));
+        assert!(CompareOp::Gt.apply(6.0, 5.0));
+        assert!(CompareOp::Eq.apply(5.0, 5.0));
+        assert!(!CompareOp::Eq.apply(5.0, 5.1));
+    }
+
+    #[test]
+    fn dictionary_condition() {
+        let dict = Arc::new(Dictionary::new("pc_words", ["thinkpad", "ideapad"]));
+        let c = Condition::InDictionary(dict);
+        assert!(c.matches(&product("Lenovo ThinkPad X1", &[])));
+        assert!(!c.matches(&product("Lenovo Monitor", &[])));
+    }
+
+    #[test]
+    fn conjunction_paper_example() {
+        // §4: "title contains 'Apple' but price < $100 ⇒ not a phone".
+        let c = Condition::All(vec![
+            title_cond("apple"),
+            Condition::NumCompare { attr: "Price".into(), op: CompareOp::Lt, value: 100.0 },
+        ]);
+        assert!(c.matches(&product("Apple lightning cable", &[("Price", "19.99")])));
+        assert!(!c.matches(&product("Apple iPhone", &[("Price", "899.00")])));
+        assert!(!c.matches(&product("Dell cable", &[("Price", "19.99")])));
+    }
+
+    #[test]
+    fn condition_introspection() {
+        let c = Condition::All(vec![
+            Condition::AttrExists("ISBN".into()),
+            title_cond("books?"),
+        ]);
+        assert_eq!(c.attr_key(), Some("ISBN"));
+        assert_eq!(c.title_regex().unwrap().pattern(), "books?");
+    }
+
+    #[test]
+    fn condition_display() {
+        let c = Condition::All(vec![
+            title_cond("apple"),
+            Condition::NumCompare { attr: "Price".into(), op: CompareOp::Lt, value: 100.0 },
+        ]);
+        assert_eq!(c.to_string(), "title(apple) and num(Price) < 100");
+    }
+
+    #[test]
+    fn rule_kind_helpers() {
+        let assign = Rule {
+            id: RuleId(1),
+            condition: title_cond("rings?"),
+            action: RuleAction::Assign(TypeId(3)),
+            meta: RuleMeta::default(),
+            source: "rings? -> rings".into(),
+        };
+        assert!(assign.is_whitelist());
+        assert!(!assign.is_blacklist());
+        assert_eq!(assign.target_type(), Some(TypeId(3)));
+
+        let restrict = Rule {
+            id: RuleId(2),
+            condition: Condition::AttrExists("Brand Name".into()),
+            action: RuleAction::Restrict(vec![TypeId(1), TypeId(2)]),
+            meta: RuleMeta::default(),
+            source: String::new(),
+        };
+        assert_eq!(restrict.target_type(), None);
+    }
+}

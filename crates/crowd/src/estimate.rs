@@ -1,0 +1,130 @@
+//! Precision estimation from crowd-verified samples.
+//!
+//! Chimera takes "one or more samples then evaluat[es] their precision using
+//! crowdsourcing or analysts" (§3.1); the 92% gate is applied to the
+//! estimate. This module provides the estimator with a Wilson confidence
+//! interval so the gate can be applied to the interval's lower bound.
+
+/// A running precision estimate: `hits` correct out of `samples` verified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecisionEstimate {
+    /// Verified-correct count.
+    pub hits: u64,
+    /// Total verified count.
+    pub samples: u64,
+}
+
+impl PrecisionEstimate {
+    /// An empty estimate.
+    pub fn new() -> Self {
+        PrecisionEstimate::default()
+    }
+
+    /// Records one verification outcome.
+    pub fn record(&mut self, correct: bool) {
+        self.samples += 1;
+        if correct {
+            self.hits += 1;
+        }
+    }
+
+    /// Merges another estimate into this one.
+    pub fn merge(&mut self, other: PrecisionEstimate) {
+        self.hits += other.hits;
+        self.samples += other.samples;
+    }
+
+    /// Point estimate of precision; 1.0 for an empty sample (no evidence of
+    /// errors — callers should check [`PrecisionEstimate::samples`]).
+    pub fn precision(&self) -> f64 {
+        if self.samples == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.samples as f64
+        }
+    }
+
+    /// Wilson score interval at the given z (1.96 ≈ 95%).
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        if self.samples == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.samples as f64;
+        let p = self.precision();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let spread = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - spread).max(0.0), (center + spread).min(1.0))
+    }
+
+    /// Whether the point estimate meets `threshold` (the paper's 92% gate).
+    pub fn meets(&self, threshold: f64) -> bool {
+        self.precision() >= threshold
+    }
+
+    /// Whether the Wilson lower bound meets `threshold` — the conservative
+    /// gate variant.
+    pub fn confidently_meets(&self, threshold: f64, z: f64) -> bool {
+        self.samples > 0 && self.wilson_interval(z).0 >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(hits: u64, samples: u64) -> PrecisionEstimate {
+        PrecisionEstimate { hits, samples }
+    }
+
+    #[test]
+    fn precision_basic() {
+        assert_eq!(est(92, 100).precision(), 0.92);
+        assert_eq!(est(0, 0).precision(), 1.0);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut e = PrecisionEstimate::new();
+        e.record(true);
+        e.record(false);
+        e.record(true);
+        assert_eq!(e, est(2, 3));
+        e.merge(est(8, 10));
+        assert_eq!(e, est(10, 13));
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let e = est(92, 100);
+        let (lo, hi) = e.wilson_interval(1.96);
+        assert!(lo < 0.92 && 0.92 < hi);
+        assert!(lo > 0.84 && hi < 0.97, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_samples() {
+        let small = est(46, 50).wilson_interval(1.96);
+        let large = est(920, 1000).wilson_interval(1.96);
+        assert!(large.1 - large.0 < small.1 - small.0);
+    }
+
+    #[test]
+    fn wilson_interval_degenerate_cases() {
+        assert_eq!(est(0, 0).wilson_interval(1.96), (0.0, 1.0));
+        let (lo, hi) = est(10, 10).wilson_interval(1.96);
+        assert!(lo > 0.6 && (hi - 1.0).abs() < 1e-12);
+        let (lo, hi) = est(0, 10).wilson_interval(1.96);
+        assert!(lo.abs() < 1e-12 && hi < 0.4);
+    }
+
+    #[test]
+    fn gates() {
+        assert!(est(93, 100).meets(0.92));
+        assert!(!est(91, 100).meets(0.92));
+        assert!(est(980, 1000).confidently_meets(0.92, 1.96));
+        assert!(!est(93, 100).confidently_meets(0.92, 1.96)); // CI too wide
+        assert!(!PrecisionEstimate::new().confidently_meets(0.92, 1.96));
+    }
+}

@@ -1,0 +1,276 @@
+//! The crowd simulator: workers, voting, cost accounting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rulekit_data::TypeId;
+
+/// Crowd configuration.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of simulated workers.
+    pub worker_count: usize,
+    /// Per-worker accuracy is drawn uniformly from this range.
+    pub accuracy_range: (f64, f64),
+    /// Votes collected per verification task (plurality wins; ties → "no").
+    pub votes_per_task: usize,
+    /// Cost of one vote, in cents.
+    pub cost_per_vote_cents: u64,
+    /// Optional budget in cents; when exhausted, tasks are refused.
+    pub budget_cents: Option<u64>,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            seed: 0,
+            worker_count: 50,
+            accuracy_range: (0.80, 0.98),
+            votes_per_task: 3,
+            cost_per_vote_cents: 3,
+            budget_cents: None,
+        }
+    }
+}
+
+/// Outcome of a verification task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Majority answer to "is the predicted type correct for this item?".
+    pub accepted: bool,
+    /// Number of "yes" votes.
+    pub yes: usize,
+    /// Number of "no" votes.
+    pub no: usize,
+}
+
+/// Running cost totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostLedger {
+    /// Verification/labeling tasks issued.
+    pub tasks: u64,
+    /// Individual votes collected.
+    pub votes: u64,
+    /// Total cost in cents.
+    pub cost_cents: u64,
+}
+
+/// Error returned when the configured budget cannot cover a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted;
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "crowdsourcing budget exhausted")
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// The simulated crowd.
+#[derive(Debug)]
+pub struct CrowdSim {
+    cfg: CrowdConfig,
+    rng: StdRng,
+    worker_accuracy: Vec<f64>,
+    ledger: CostLedger,
+}
+
+impl CrowdSim {
+    /// Builds a crowd from `cfg`.
+    pub fn new(cfg: CrowdConfig) -> Self {
+        assert!(cfg.worker_count > 0, "need at least one worker");
+        assert!(cfg.votes_per_task > 0, "need at least one vote per task");
+        let (lo, hi) = cfg.accuracy_range;
+        assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "invalid accuracy range");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let worker_accuracy = (0..cfg.worker_count)
+            .map(|_| if lo == hi { lo } else { rng.gen_range(lo..hi) })
+            .collect();
+        CrowdSim { cfg, rng, worker_accuracy, ledger: CostLedger::default() }
+    }
+
+    /// Default crowd with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        CrowdSim::new(CrowdConfig { seed, ..CrowdConfig::default() })
+    }
+
+    /// The cost ledger so far.
+    pub fn ledger(&self) -> CostLedger {
+        self.ledger
+    }
+
+    /// Remaining budget in cents (`None` = unlimited).
+    pub fn remaining_budget_cents(&self) -> Option<u64> {
+        self.cfg.budget_cents.map(|b| b.saturating_sub(self.ledger.cost_cents))
+    }
+
+    fn charge(&mut self, votes: usize) -> Result<(), BudgetExhausted> {
+        let cost = votes as u64 * self.cfg.cost_per_vote_cents;
+        if let Some(budget) = self.cfg.budget_cents {
+            if self.ledger.cost_cents + cost > budget {
+                return Err(BudgetExhausted);
+            }
+        }
+        self.ledger.tasks += 1;
+        self.ledger.votes += votes as u64;
+        self.ledger.cost_cents += cost;
+        Ok(())
+    }
+
+    fn one_vote(&mut self, correct_answer: bool) -> bool {
+        let w = self.rng.gen_range(0..self.worker_accuracy.len());
+        let acc = self.worker_accuracy[w];
+        if self.rng.gen_bool(acc) {
+            correct_answer
+        } else {
+            !correct_answer
+        }
+    }
+
+    /// Asks the crowd: "can `predicted` be a good product type for this
+    /// item?" (§3.3). Ground truth is `truth`.
+    pub fn verify(&mut self, truth: TypeId, predicted: TypeId) -> Result<Verdict, BudgetExhausted> {
+        self.charge(self.cfg.votes_per_task)?;
+        let correct_answer = truth == predicted;
+        let mut yes = 0;
+        for _ in 0..self.cfg.votes_per_task {
+            if self.one_vote(correct_answer) {
+                yes += 1;
+            }
+        }
+        let no = self.cfg.votes_per_task - yes;
+        Ok(Verdict { accepted: yes > no, yes, no })
+    }
+
+    /// Asks the crowd a generic boolean question whose true answer is
+    /// `truth_value` (used for rule-evaluation tasks where the question is
+    /// "does this rule classify this item correctly?").
+    pub fn verify_bool(&mut self, truth_value: bool) -> Result<bool, BudgetExhausted> {
+        self.charge(self.cfg.votes_per_task)?;
+        let mut yes = 0;
+        for _ in 0..self.cfg.votes_per_task {
+            if self.one_vote(truth_value) {
+                yes += 1;
+            }
+        }
+        Ok(yes * 2 > self.cfg.votes_per_task)
+    }
+
+    /// Asks the crowd to label an item from scratch (§5.2 training-data
+    /// creation). A correct plurality yields the truth; otherwise a uniformly
+    /// random wrong type from `universe` is returned.
+    pub fn label(&mut self, truth: TypeId, universe: &[TypeId]) -> Result<TypeId, BudgetExhausted> {
+        assert!(!universe.is_empty(), "universe must be non-empty");
+        let correct = self.verify_bool(true)?;
+        if correct {
+            Ok(truth)
+        } else {
+            // A confused crowd picks some other plausible type.
+            let mut pick = universe[self.rng.gen_range(0..universe.len())];
+            if pick == truth && universe.len() > 1 {
+                pick = universe[(universe.iter().position(|&t| t == truth).unwrap_or(0) + 1) % universe.len()];
+            }
+            Ok(pick)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect_crowd(seed: u64) -> CrowdSim {
+        CrowdSim::new(CrowdConfig {
+            seed,
+            accuracy_range: (1.0, 1.0),
+            ..CrowdConfig::default()
+        })
+    }
+
+    #[test]
+    fn perfect_crowd_always_agrees_with_truth() {
+        let mut crowd = perfect_crowd(1);
+        assert!(crowd.verify(TypeId(1), TypeId(1)).unwrap().accepted);
+        assert!(!crowd.verify(TypeId(1), TypeId(2)).unwrap().accepted);
+    }
+
+    #[test]
+    fn noisy_crowd_is_mostly_right() {
+        let mut crowd = CrowdSim::with_seed(7);
+        let correct = (0..1000)
+            .filter(|&i| {
+                let v = crowd.verify(TypeId(0), TypeId(i % 2)).unwrap();
+                v.accepted == (i % 2 == 0)
+            })
+            .count();
+        assert!(correct > 930, "only {correct}/1000 tasks correct");
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut crowd = perfect_crowd(2);
+        crowd.verify(TypeId(0), TypeId(0)).unwrap();
+        crowd.verify(TypeId(0), TypeId(1)).unwrap();
+        let ledger = crowd.ledger();
+        assert_eq!(ledger.tasks, 2);
+        assert_eq!(ledger.votes, 6);
+        assert_eq!(ledger.cost_cents, 18);
+    }
+
+    #[test]
+    fn budget_refuses_when_exhausted() {
+        let mut crowd = CrowdSim::new(CrowdConfig {
+            budget_cents: Some(10),
+            cost_per_vote_cents: 3,
+            votes_per_task: 3,
+            accuracy_range: (1.0, 1.0),
+            ..CrowdConfig::default()
+        });
+        assert!(crowd.verify(TypeId(0), TypeId(0)).is_ok()); // 9 cents
+        assert!(crowd.verify(TypeId(0), TypeId(0)).is_err()); // would exceed
+        assert_eq!(crowd.remaining_budget_cents(), Some(1));
+    }
+
+    #[test]
+    fn verdict_vote_counts_sum() {
+        let mut crowd = CrowdSim::with_seed(3);
+        let v = crowd.verify(TypeId(0), TypeId(0)).unwrap();
+        assert_eq!(v.yes + v.no, 3);
+    }
+
+    #[test]
+    fn label_returns_truth_for_perfect_crowd() {
+        let mut crowd = perfect_crowd(4);
+        let universe: Vec<TypeId> = (0..10).map(TypeId).collect();
+        for _ in 0..50 {
+            assert_eq!(crowd.label(TypeId(3), &universe).unwrap(), TypeId(3));
+        }
+    }
+
+    #[test]
+    fn label_errors_are_wrong_types() {
+        let mut crowd = CrowdSim::new(CrowdConfig {
+            seed: 5,
+            accuracy_range: (0.0, 0.0), // always wrong
+            ..CrowdConfig::default()
+        });
+        let universe: Vec<TypeId> = (0..10).map(TypeId).collect();
+        for _ in 0..20 {
+            assert_ne!(crowd.label(TypeId(3), &universe).unwrap(), TypeId(3));
+        }
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let run = |seed| {
+            let mut c = CrowdSim::with_seed(seed);
+            (0..100)
+                .map(|i| c.verify(TypeId(0), TypeId(i % 3)).unwrap().accepted)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

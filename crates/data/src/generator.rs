@@ -1,0 +1,458 @@
+//! The product generator: assembles titles, descriptions and attributes from
+//! the taxonomy's pools, with a Zipf head/tail type distribution.
+//!
+//! Everything is seeded and deterministic, so every experiment in the
+//! repository is exactly reproducible.
+
+use crate::product::{GeneratedItem, Product};
+use crate::taxonomy::{pluralize, AttrKind, ProductTypeDef, Taxonomy, TypeId};
+use crate::vendor::VendorProfile;
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Generator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Zipf exponent for the type distribution (0.0 = uniform). The paper's
+    /// catalog is heavily skewed: ~30% of types had no training data (§3.3).
+    pub zipf_exponent: f64,
+    /// Probability a title is pluralized.
+    pub plural_prob: f64,
+    /// Inclusive range of type-specific qualifiers per title.
+    pub qualifier_range: (usize, usize),
+    /// Probability of a generic marketing adjective.
+    pub marketing_prob: f64,
+    /// Probability of a size fragment.
+    pub size_prob: f64,
+    /// Probability of a pack/bundle fragment.
+    pub pack_prob: f64,
+    /// Probability of an audience fragment ("for men").
+    pub audience_prob: f64,
+    /// Probability of a model-number fragment ("13-293snb").
+    pub model_prob: f64,
+    /// Probability of a color word in the title.
+    pub color_prob: f64,
+    /// Probability a description is present.
+    pub description_prob: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0,
+            zipf_exponent: 1.0,
+            plural_prob: 0.45,
+            qualifier_range: (1, 3),
+            marketing_prob: 0.25,
+            size_prob: 0.3,
+            pack_prob: 0.15,
+            audience_prob: 0.12,
+            model_prob: 0.12,
+            color_prob: 0.25,
+            description_prob: 0.8,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Default configuration with an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        GeneratorConfig { seed, ..GeneratorConfig::default() }
+    }
+}
+
+/// Deterministic product generator over a taxonomy.
+#[derive(Debug)]
+pub struct CatalogGenerator {
+    taxonomy: Arc<Taxonomy>,
+    cfg: GeneratorConfig,
+    rng: StdRng,
+    next_id: u64,
+    /// Cumulative type weights for sampling.
+    cumulative: Vec<f64>,
+    default_vendor: VendorProfile,
+}
+
+impl CatalogGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(taxonomy: Arc<Taxonomy>, cfg: GeneratorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let weights: Vec<f64> = (0..taxonomy.len())
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent))
+            .collect();
+        let cumulative = cumulative_sum(&weights);
+        CatalogGenerator {
+            taxonomy,
+            cfg,
+            rng,
+            next_id: 1_000_000,
+            cumulative,
+            default_vendor: VendorProfile::standard(0),
+        }
+    }
+
+    /// Convenience: default config with `seed`.
+    pub fn with_seed(taxonomy: Arc<Taxonomy>, seed: u64) -> Self {
+        CatalogGenerator::new(taxonomy, GeneratorConfig::seeded(seed))
+    }
+
+    /// The taxonomy this generator draws from.
+    pub fn taxonomy(&self) -> &Arc<Taxonomy> {
+        &self.taxonomy
+    }
+
+    /// Overrides the type distribution with explicit per-type weights —
+    /// used to simulate the "changing distribution" of §3.2.
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` differs from the taxonomy size or if all
+    /// weights are zero.
+    pub fn set_type_weights(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.taxonomy.len(), "one weight per type");
+        let cum = cumulative_sum(weights);
+        assert!(*cum.last().expect("non-empty taxonomy") > 0.0, "weights must not all be zero");
+        self.cumulative = cum;
+    }
+
+    /// Samples a type from the current distribution.
+    pub fn sample_type(&mut self) -> TypeId {
+        let total = *self.cumulative.last().expect("non-empty taxonomy");
+        let x = self.rng.gen_range(0.0..total);
+        let idx = match self
+            .cumulative
+            .binary_search_by(|w| w.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        TypeId(idx.min(self.taxonomy.len() - 1) as u32)
+    }
+
+    /// Generates one item of a sampled type from the default vendor.
+    pub fn generate_one(&mut self) -> GeneratedItem {
+        let ty = self.sample_type();
+        let vendor = self.default_vendor.clone();
+        self.generate_for_type_and_vendor(ty, &vendor)
+    }
+
+    /// Generates `n` items.
+    pub fn generate(&mut self, n: usize) -> Vec<GeneratedItem> {
+        (0..n).map(|_| self.generate_one()).collect()
+    }
+
+    /// Generates one item of type `ty` from the default vendor.
+    pub fn generate_for_type(&mut self, ty: TypeId) -> GeneratedItem {
+        let vendor = self.default_vendor.clone();
+        self.generate_for_type_and_vendor(ty, &vendor)
+    }
+
+    /// Generates `n` items of type `ty`.
+    pub fn generate_n_for_type(&mut self, ty: TypeId, n: usize) -> Vec<GeneratedItem> {
+        (0..n).map(|_| self.generate_for_type(ty)).collect()
+    }
+
+    /// Generates one item of a sampled type written in `vendor`'s dialect.
+    pub fn generate_for_vendor(&mut self, vendor: &VendorProfile) -> GeneratedItem {
+        let ty = self.sample_type();
+        self.generate_for_type_and_vendor(ty, vendor)
+    }
+
+    /// Generates one item of type `ty` in `vendor`'s dialect.
+    pub fn generate_for_type_and_vendor(&mut self, ty: TypeId, vendor: &VendorProfile) -> GeneratedItem {
+        let def = self.taxonomy.def(ty).clone();
+        let id = self.next_id;
+        self.next_id += 1;
+
+        let brand = def.brands.choose(&mut self.rng).expect("types have brands").clone();
+        let title = self.build_title(&def, vendor, &brand);
+        let description = if self.rng.gen_bool(self.cfg.description_prob) {
+            self.build_description(&def, &brand)
+        } else {
+            String::new()
+        };
+        let attributes = self.build_attributes(&def, &brand);
+
+        GeneratedItem {
+            product: Product { id, title, description, attributes, vendor: vendor.id },
+            truth: ty,
+        }
+    }
+
+    fn build_title(&mut self, def: &ProductTypeDef, vendor: &VendorProfile, brand: &str) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(8);
+        if self.rng.gen_bool(vendor.brand_in_title_prob.clamp(0.0, 1.0)) {
+            parts.push(brand.to_string());
+        }
+        if self.rng.gen_bool(self.cfg.marketing_prob) {
+            parts.push(pick(&mut self.rng, vocab::MARKETING).to_string());
+        }
+        if self.rng.gen_bool(self.cfg.color_prob) {
+            parts.push(pick(&mut self.rng, vocab::COLORS).to_string());
+        }
+
+        // Type-specific qualifiers: restricted to the vendor's house subset.
+        // Novel-vocabulary vendors replace them with generic marketing talk
+        // (§2.2: "describes them using a new vocabulary").
+        if vendor.generic_vocabulary {
+            let (lo, hi) = self.cfg.qualifier_range;
+            let want = self.rng.gen_range(lo..=hi);
+            for _ in 0..want {
+                parts.push(pick(&mut self.rng, vocab::MARKETING).to_string());
+            }
+        } else {
+            let pool = vendor_pool(&def.qualifiers, vendor);
+            let (lo, hi) = self.cfg.qualifier_range;
+            let want = self.rng.gen_range(lo..=hi).min(pool.len());
+            let mut quals: Vec<&String> = pool.choose_multiple(&mut self.rng, want).copied().collect();
+            quals.shuffle(&mut self.rng);
+            parts.extend(quals.into_iter().cloned());
+        }
+
+        // Head noun: novel-vocabulary vendors use alternate heads.
+        let use_alt = !def.alt_heads.is_empty() && self.rng.gen_bool(vendor.alt_head_prob.clamp(0.0, 1.0));
+        let heads = if use_alt { &def.alt_heads } else { &def.heads };
+        let head = heads.choose(&mut self.rng).expect("types have heads");
+        let head = if self.rng.gen_bool(self.cfg.plural_prob) { pluralize(head) } else { head.clone() };
+        parts.push(head);
+
+        if self.rng.gen_bool(self.cfg.size_prob) {
+            parts.push(pick(&mut self.rng, vocab::SIZES).to_string());
+        }
+        if self.rng.gen_bool(self.cfg.audience_prob) {
+            parts.push(pick(&mut self.rng, vocab::AUDIENCES).to_string());
+        }
+        if self.rng.gen_bool(self.cfg.pack_prob) {
+            parts.push(pick(&mut self.rng, vocab::PACKS).to_string());
+        }
+        if self.rng.gen_bool(self.cfg.model_prob) {
+            let prefix = pick(&mut self.rng, vocab::MODEL_PREFIXES);
+            parts.push(format!("{prefix}-{}{}", self.rng.gen_range(100..999), random_suffix(&mut self.rng)));
+        }
+        parts.join(" ")
+    }
+
+    fn build_description(&mut self, def: &ProductTypeDef, brand: &str) -> String {
+        let opener = pick(&mut self.rng, vocab::DESC_OPENERS);
+        let qual = def.qualifiers.choose(&mut self.rng).expect("non-empty");
+        let head = def.heads.choose(&mut self.rng).expect("non-empty");
+        let material = pick(&mut self.rng, vocab::MATERIALS);
+        format!(
+            "{opener} the {brand} {qual} {head}. Crafted with {material} for everyday use. \
+             Backed by the {brand} quality promise."
+        )
+    }
+
+    fn build_attributes(&mut self, def: &ProductTypeDef, brand: &str) -> Vec<(String, String)> {
+        let mut attrs = Vec::with_capacity(def.attrs.len());
+        for &kind in &def.attrs {
+            let value = match kind {
+                AttrKind::Isbn => format!(
+                    "978{:010}",
+                    self.rng.gen_range(0u64..10_000_000_000)
+                ),
+                AttrKind::Pages => self.rng.gen_range(40u32..1200).to_string(),
+                AttrKind::Brand => brand.to_string(),
+                AttrKind::Color => pick(&mut self.rng, vocab::COLORS).to_string(),
+                AttrKind::Size => pick(&mut self.rng, vocab::SIZES).to_string(),
+                AttrKind::Material => pick(&mut self.rng, vocab::MATERIALS).to_string(),
+                AttrKind::Weight => format!("{:.1} lbs", self.rng.gen_range(0.2..60.0)),
+                AttrKind::ScreenSize => format!("{:.1} in", self.rng.gen_range(5.0..75.0)),
+                AttrKind::Author => format!(
+                    "{} {}",
+                    pick(&mut self.rng, AUTHOR_FIRST),
+                    pick(&mut self.rng, AUTHOR_LAST)
+                ),
+                AttrKind::Price => {
+                    let (lo, hi) = def.price_range;
+                    format!("{:.2}", self.rng.gen_range(lo..=hi))
+                }
+            };
+            attrs.push((kind.attr_name().to_string(), value));
+        }
+        attrs
+    }
+}
+
+fn vendor_pool<'a>(qualifiers: &'a [String], vendor: &VendorProfile) -> Vec<&'a String> {
+    let keep = ((qualifiers.len() as f64) * vendor.vocab_fraction.clamp(0.05, 1.0)).ceil() as usize;
+    let keep = keep.clamp(1, qualifiers.len());
+    // Deterministic per-vendor subset: rotate by vendor id so different
+    // vendors favour different house vocabulary.
+    let start = (vendor.id.0 as usize) % qualifiers.len();
+    (0..keep).map(|i| &qualifiers[(start + i) % qualifiers.len()]).collect()
+}
+
+fn cumulative_sum(weights: &[f64]) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(weights.len());
+    let mut total = 0.0;
+    for &w in weights {
+        assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative and finite");
+        total += w;
+        cum.push(total);
+    }
+    cum
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &'a [&'a str]) -> &'a str {
+    pool.choose(rng).expect("static pools are non-empty")
+}
+
+fn random_suffix(rng: &mut StdRng) -> String {
+    let letters = b"abcdefghijklmnopqrstuvwxyz";
+    (0..3).map(|_| letters[rng.gen_range(0..letters.len())] as char).collect()
+}
+
+const AUTHOR_FIRST: &[&str] = &["Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Leslie", "Tony"];
+const AUTHOR_LAST: &[&str] = &["Rivers", "Hale", "Okafor", "Lindgren", "Moreau", "Tanaka", "Novak", "Reyes"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> CatalogGenerator {
+        CatalogGenerator::with_seed(Taxonomy::builtin(), seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<_> = generator(7).generate(50);
+        let b: Vec<_> = generator(7).generate(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generator(1).generate(20);
+        let b = generator(2).generate(20);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn titles_contain_a_head_noun_of_truth_type() {
+        let mut g = generator(11);
+        let tax = g.taxonomy().clone();
+        for item in g.generate(300) {
+            let def = tax.def(item.truth);
+            let title = item.product.title.to_lowercase();
+            let hit = def
+                .heads
+                .iter()
+                .chain(def.alt_heads.iter())
+                .any(|h| {
+                    let stem = h.to_lowercase();
+                    title.contains(&stem) || title.contains(&pluralize(&stem))
+                });
+            assert!(hit, "title {:?} lacks head for {}", item.product.title, def.name);
+        }
+    }
+
+    #[test]
+    fn standard_vendor_never_uses_alt_heads() {
+        let mut g = generator(3);
+        let tax = g.taxonomy().clone();
+        let rugs = tax.id_of("area rugs").unwrap();
+        for _ in 0..100 {
+            let item = g.generate_for_type(rugs);
+            let title = item.product.title.to_lowercase();
+            assert!(!title.contains("floor carpet"), "unexpected alt head in {title:?}");
+        }
+    }
+
+    #[test]
+    fn novel_vendor_mostly_uses_alt_heads() {
+        let mut g = generator(3);
+        let tax = g.taxonomy().clone();
+        let sofas = tax.id_of("sofas").unwrap();
+        let vendor = VendorProfile::novel_vocabulary(99);
+        let alt_hits = (0..200)
+            .filter(|_| {
+                let item = g.generate_for_type_and_vendor(sofas, &vendor);
+                let t = item.product.title.to_lowercase();
+                t.contains("couch") || t.contains("settee")
+            })
+            .count();
+        assert!(alt_hits > 140, "only {alt_hits}/200 titles used alt heads");
+    }
+
+    #[test]
+    fn zipf_distribution_skews_to_head_types() {
+        let mut g = generator(5);
+        let mut counts = vec![0usize; g.taxonomy().len()];
+        for _ in 0..20_000 {
+            counts[g.sample_type().0 as usize] += 1;
+        }
+        // First decile of types should dominate the last decile.
+        let n = counts.len();
+        let head: usize = counts[..n / 10].iter().sum();
+        let tail: usize = counts[n - n / 10..].iter().sum();
+        assert!(head > 10 * tail, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn uniform_distribution_when_exponent_zero() {
+        let cfg = GeneratorConfig { zipf_exponent: 0.0, ..GeneratorConfig::seeded(5) };
+        let mut g = CatalogGenerator::new(Taxonomy::builtin(), cfg);
+        let mut counts = vec![0usize; g.taxonomy().len()];
+        for _ in 0..40_000 {
+            counts[g.sample_type().0 as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max < min * 3, "uniform sampling too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn set_type_weights_concentrates_mass() {
+        let mut g = generator(9);
+        let mut weights = vec![0.0; g.taxonomy().len()];
+        weights[4] = 1.0;
+        g.set_type_weights(&weights);
+        for _ in 0..100 {
+            assert_eq!(g.sample_type(), TypeId(4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per type")]
+    fn wrong_weight_length_panics() {
+        generator(0).set_type_weights(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn books_get_isbn_attribute() {
+        let mut g = generator(13);
+        let books = g.taxonomy().id_of("books").unwrap();
+        let item = g.generate_for_type(books);
+        let isbn = item.product.attr("ISBN").expect("books carry ISBN");
+        assert_eq!(isbn.len(), 13);
+        assert!(isbn.starts_with("978"));
+        assert!(item.product.attr("Pages").is_some());
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut g = generator(17);
+        let items = g.generate(100);
+        for w in items.windows(2) {
+            assert!(w[0].product.id < w[1].product.id);
+        }
+    }
+
+    #[test]
+    fn price_attribute_within_range() {
+        let mut g = generator(23);
+        let tax = g.taxonomy().clone();
+        for item in g.generate(200) {
+            if let Some(p) = item.product.attr("Price") {
+                let (lo, hi) = tax.def(item.truth).price_range;
+                let v: f64 = p.parse().unwrap();
+                assert!(v >= lo && v <= hi, "price {v} outside [{lo},{hi}]");
+            }
+        }
+    }
+}

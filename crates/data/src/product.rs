@@ -1,0 +1,158 @@
+//! Product items: records of attribute-value pairs (Figure 1).
+
+use crate::taxonomy::TypeId;
+use std::fmt;
+
+/// Identifier of a vendor sending product items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VendorId(pub u32);
+
+impl fmt::Display for VendorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vendor#{}", self.0)
+    }
+}
+
+/// A product item as it arrives from a vendor: `Item ID` and `Title` are
+/// required; `Description` and further attributes are optional (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Product {
+    /// Unique item id.
+    pub id: u64,
+    /// The product title — the field analyst rules run against.
+    pub title: String,
+    /// Free-text description (may be empty).
+    pub description: String,
+    /// Additional attribute-value pairs, in feed order.
+    pub attributes: Vec<(String, String)>,
+    /// The vendor that sent this item.
+    pub vendor: VendorId,
+}
+
+impl Product {
+    /// Looks up an attribute by name (case-insensitive, as feeds are messy).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the item carries an attribute named `name`.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attr(name).is_some()
+    }
+
+    /// Renders the item as a JSON object in the Figure 1 shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.title.len() + self.description.len());
+        out.push_str("{\n");
+        push_field(&mut out, "Item ID", &self.id.to_string(), false);
+        push_field(&mut out, "Title", &self.title, true);
+        if !self.description.is_empty() {
+            push_field(&mut out, "Description", &self.description, true);
+        }
+        for (k, v) in &self.attributes {
+            push_field(&mut out, k, v, true);
+        }
+        // Trim the trailing comma+newline, close the object.
+        if out.ends_with(",\n") {
+            out.truncate(out.len() - 2);
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_field(out: &mut String, key: &str, value: &str, quote_value: bool) {
+    out.push_str("  \"");
+    escape_json_into(out, key);
+    out.push_str("\": ");
+    if quote_value {
+        out.push('"');
+        escape_json_into(out, value);
+        out.push('"');
+    } else {
+        out.push_str(value);
+    }
+    out.push_str(",\n");
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A generated product item together with its ground-truth type.
+///
+/// The pipeline only ever sees [`GeneratedItem::product`]; the truth label is
+/// reserved for evaluation and for the simulated crowd/analyst oracles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedItem {
+    /// The product as the pipeline sees it.
+    pub product: Product,
+    /// Ground-truth product type.
+    pub truth: TypeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Product {
+        Product {
+            id: 9206544,
+            title: "Mainstays ivory tufted area rug 5'x7'".to_string(),
+            description: "Discover the tufted area rug.".to_string(),
+            attributes: vec![
+                ("Brand Name".to_string(), "Mainstays".to_string()),
+                ("Color".to_string(), "ivory".to_string()),
+            ],
+            vendor: VendorId(3),
+        }
+    }
+
+    #[test]
+    fn attr_lookup_is_case_insensitive() {
+        let p = sample();
+        assert_eq!(p.attr("color"), Some("ivory"));
+        assert_eq!(p.attr("COLOR"), Some("ivory"));
+        assert_eq!(p.attr("ISBN"), None);
+        assert!(p.has_attr("brand name"));
+    }
+
+    #[test]
+    fn json_shape_matches_figure_1() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\n  \"Item ID\": 9206544,\n"));
+        assert!(json.contains("\"Title\": \"Mainstays ivory tufted area rug 5'x7'\""));
+        assert!(json.contains("\"Color\": \"ivory\""));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut p = sample();
+        p.title = "18\" \\ bracket\nnewline".to_string();
+        let json = p.to_json();
+        assert!(json.contains(r#"18\" \\ bracket\nnewline"#));
+    }
+
+    #[test]
+    fn empty_description_omitted() {
+        let mut p = sample();
+        p.description.clear();
+        assert!(!p.to_json().contains("Description"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The never-ending batch stream (§2.2): "in the morning a small vendor may
+//! send in a few tens of items, but hours later a large vendor may send in a
+//! few millions" — batches of wildly varying size, arriving from different
+//! vendors, with optional scheduled drift events.
+
+use crate::generator::CatalogGenerator;
+use crate::product::GeneratedItem;
+use crate::taxonomy::TypeId;
+use crate::vendor::{VendorPool, VendorProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One batch of incoming items.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Sequence number (0-based).
+    pub seq: usize,
+    /// The vendor that sent the batch.
+    pub vendor: VendorProfile,
+    /// The items, each with hidden ground truth for evaluation.
+    pub items: Vec<GeneratedItem>,
+}
+
+/// A scheduled change in the stream.
+#[derive(Debug, Clone)]
+pub enum DriftEvent {
+    /// From this batch on, batches come from a novel-vocabulary vendor with
+    /// the given `alt_head_prob`, concentrated on the given types (empty =
+    /// keep the current type distribution).
+    NovelVendor {
+        /// First batch (by `seq`) affected.
+        at_batch: usize,
+        /// Probability of novel head nouns in titles.
+        alt_head_prob: f64,
+        /// Types the drifting vendor sells (empty = all).
+        types: Vec<TypeId>,
+    },
+    /// From this batch on, the type distribution changes to these weights —
+    /// the "Homes and Garden shrinks tomorrow" scenario (§3.2).
+    DistributionShift {
+        /// First batch (by `seq`) affected.
+        at_batch: usize,
+        /// One weight per taxonomy type.
+        weights: Vec<f64>,
+    },
+}
+
+/// Configuration of a [`BatchStream`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// RNG seed for batch sizing and vendor choice.
+    pub seed: u64,
+    /// Minimum batch size.
+    pub min_batch: usize,
+    /// Maximum batch size (log-uniform between min and max).
+    pub max_batch: usize,
+    /// Scheduled drift events.
+    pub drift: Vec<DriftEvent>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { seed: 0, min_batch: 20, max_batch: 2_000, drift: Vec::new() }
+    }
+}
+
+/// An infinite iterator of batches.
+#[derive(Debug)]
+pub struct BatchStream {
+    generator: CatalogGenerator,
+    vendors: VendorPool,
+    cfg: StreamConfig,
+    rng: StdRng,
+    next_seq: usize,
+    forced_vendor: Option<VendorProfile>,
+}
+
+impl BatchStream {
+    /// Creates a stream drawing from `generator` and `vendors`.
+    pub fn new(generator: CatalogGenerator, vendors: VendorPool, cfg: StreamConfig) -> Self {
+        assert!(cfg.min_batch >= 1 && cfg.min_batch <= cfg.max_batch, "invalid batch size range");
+        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9e3779b97f4a7c15));
+        BatchStream { generator, vendors, cfg, rng, next_seq: 0, forced_vendor: None }
+    }
+
+    /// Produces the next batch.
+    pub fn next_batch(&mut self) -> Batch {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.apply_drift(seq);
+
+        let vendor = match &self.forced_vendor {
+            Some(v) => v.clone(),
+            None => {
+                let i = self.rng.gen_range(0..self.vendors.len());
+                self.vendors.get(i).clone()
+            }
+        };
+        // Log-uniform size: small batches are common, huge ones rare.
+        let (lo, hi) = (self.cfg.min_batch as f64, self.cfg.max_batch as f64);
+        let size = (lo * (hi / lo).powf(self.rng.gen_range(0.0..1.0))).round() as usize;
+
+        let items = (0..size)
+            .map(|_| self.generator.generate_for_vendor(&vendor))
+            .collect();
+        Batch { seq, vendor, items }
+    }
+
+    /// Produces the next `n` batches.
+    pub fn take_batches(&mut self, n: usize) -> Vec<Batch> {
+        (0..n).map(|_| self.next_batch()).collect()
+    }
+
+    fn apply_drift(&mut self, seq: usize) {
+        // Clone the schedule to appease the borrow checker; it is tiny.
+        let events: Vec<DriftEvent> = self
+            .cfg
+            .drift
+            .iter()
+            .filter(|e| match e {
+                DriftEvent::NovelVendor { at_batch, .. } => *at_batch == seq,
+                DriftEvent::DistributionShift { at_batch, .. } => *at_batch == seq,
+            })
+            .cloned()
+            .collect();
+        for event in events {
+            match event {
+                DriftEvent::NovelVendor { alt_head_prob, types, .. } => {
+                    let mut vendor = VendorProfile::novel_vocabulary(90_000 + seq as u32);
+                    vendor.alt_head_prob = alt_head_prob;
+                    self.forced_vendor = Some(vendor);
+                    if !types.is_empty() {
+                        let mut weights = vec![0.0; self.generator.taxonomy().len()];
+                        for t in &types {
+                            weights[t.0 as usize] = 1.0;
+                        }
+                        self.generator.set_type_weights(&weights);
+                    }
+                }
+                DriftEvent::DistributionShift { weights, .. } => {
+                    self.generator.set_type_weights(&weights);
+                }
+            }
+        }
+    }
+
+    /// Clears any forced vendor installed by a drift event (simulates the
+    /// problematic vendor being fixed upstream).
+    pub fn clear_forced_vendor(&mut self) {
+        self.forced_vendor = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Taxonomy;
+
+    fn stream(cfg: StreamConfig) -> BatchStream {
+        let tax = Taxonomy::builtin();
+        let generator = CatalogGenerator::with_seed(tax, 1);
+        let vendors = VendorPool::generate(10, 0.0, 2);
+        BatchStream::new(generator, vendors, cfg)
+    }
+
+    #[test]
+    fn batches_have_irregular_sizes() {
+        let mut s = stream(StreamConfig { min_batch: 10, max_batch: 1000, ..Default::default() });
+        let sizes: Vec<usize> = s.take_batches(30).iter().map(|b| b.items.len()).collect();
+        assert!(sizes.iter().all(|&n| (10..=1000).contains(&n)));
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > &(min * 3), "sizes too uniform: {sizes:?}");
+    }
+
+    #[test]
+    fn sequence_numbers_increment() {
+        let mut s = stream(StreamConfig::default());
+        let batches = s.take_batches(5);
+        let seqs: Vec<usize> = batches.iter().map(|b| b.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let cfg = StreamConfig { min_batch: 5, max_batch: 50, ..Default::default() };
+        let a = stream(cfg.clone()).take_batches(4);
+        let b = stream(cfg).take_batches(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.items, y.items);
+        }
+    }
+
+    #[test]
+    fn novel_vendor_drift_kicks_in() {
+        let tax = Taxonomy::builtin();
+        let sofas = tax.id_of("sofas").unwrap();
+        let cfg = StreamConfig {
+            min_batch: 50,
+            max_batch: 100,
+            drift: vec![DriftEvent::NovelVendor { at_batch: 2, alt_head_prob: 1.0, types: vec![sofas] }],
+            ..Default::default()
+        };
+        let mut s = stream(cfg);
+        let before = s.next_batch();
+        assert!(before.items.iter().any(|i| i.truth != sofas));
+        s.next_batch();
+        let after = s.next_batch();
+        assert!(after.items.iter().all(|i| i.truth == sofas));
+        assert!(after
+            .items
+            .iter()
+            .all(|i| {
+                let t = i.product.title.to_lowercase();
+                t.contains("couch") || t.contains("settee")
+            }));
+    }
+
+    #[test]
+    fn distribution_shift_changes_mix() {
+        let tax = Taxonomy::builtin();
+        let rugs = tax.id_of("area rugs").unwrap();
+        let mut weights = vec![0.0; tax.len()];
+        weights[rugs.0 as usize] = 1.0;
+        let cfg = StreamConfig {
+            min_batch: 40,
+            max_batch: 60,
+            drift: vec![DriftEvent::DistributionShift { at_batch: 1, weights }],
+            ..Default::default()
+        };
+        let mut s = stream(cfg);
+        s.next_batch();
+        let shifted = s.next_batch();
+        assert!(shifted.items.iter().all(|i| i.truth == rugs));
+    }
+
+    #[test]
+    fn clear_forced_vendor_restores_pool() {
+        let cfg = StreamConfig {
+            min_batch: 5,
+            max_batch: 10,
+            drift: vec![DriftEvent::NovelVendor { at_batch: 0, alt_head_prob: 1.0, types: vec![] }],
+            ..Default::default()
+        };
+        let mut s = stream(cfg);
+        let drifted = s.next_batch();
+        assert!(drifted.vendor.name.contains("novel"));
+        s.clear_forced_vendor();
+        let normal = s.next_batch();
+        assert!(!normal.vendor.name.contains("novel"));
+    }
+}

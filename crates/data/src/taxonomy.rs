@@ -1,0 +1,323 @@
+//! The product-type taxonomy.
+//!
+//! Chimera classifies into 5,000+ mutually exclusive product types (§2.1).
+//! The built-in taxonomy reproduces that universe at laptop scale: ~110 types
+//! across 16 departments, each with head nouns, a qualifier pool (the ground
+//! truth for the §5.1 synonym experiments), *alternate* head nouns (the novel
+//! vendor vocabulary used for concept-drift experiments), brands, and an
+//! attribute schema. Types are deliberately confusable in the ways the paper
+//! calls out ("laptop computers" vs "laptop bags & cases", "wedding band" ⇒
+//! "rings").
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a product type within a [`Taxonomy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type#{}", self.0)
+    }
+}
+
+/// Attribute kinds a type's schema can include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// `"ISBN"` — the paper's canonical attribute-existence signal for Books.
+    Isbn,
+    /// `"Pages"` — page count, used by the book-matching EM rule.
+    Pages,
+    /// `"Brand Name"`.
+    Brand,
+    /// `"Color"`.
+    Color,
+    /// `"Size"`.
+    Size,
+    /// `"Material"`.
+    Material,
+    /// `"Weight"` with a unit suffix.
+    Weight,
+    /// `"Screen Size"` in inches.
+    ScreenSize,
+    /// `"Author"` (books).
+    Author,
+    /// `"Price"` in dollars (used by price-predicate rules).
+    Price,
+}
+
+impl AttrKind {
+    /// The attribute name as it appears on product records (Figure 1 style).
+    pub fn attr_name(self) -> &'static str {
+        match self {
+            AttrKind::Isbn => "ISBN",
+            AttrKind::Pages => "Pages",
+            AttrKind::Brand => "Brand Name",
+            AttrKind::Color => "Color",
+            AttrKind::Size => "Size",
+            AttrKind::Material => "Material",
+            AttrKind::Weight => "Weight",
+            AttrKind::ScreenSize => "Screen Size",
+            AttrKind::Author => "Author",
+            AttrKind::Price => "Price",
+        }
+    }
+}
+
+/// Definition of one product type.
+#[derive(Debug, Clone)]
+pub struct ProductTypeDef {
+    /// Human-readable type name, e.g. `"area rugs"`.
+    pub name: String,
+    /// Department, e.g. `"Home"`.
+    pub department: String,
+    /// Singular head nouns; titles always contain one (pluralized ~half the
+    /// time). E.g. `["rug"]`.
+    pub heads: Vec<String>,
+    /// Alternate head nouns only used by "novel vocabulary" vendors — the
+    /// fuel for concept-drift experiments. E.g. `["carpet"]`.
+    pub alt_heads: Vec<String>,
+    /// Type-specific qualifier pool; the §5.1 synonym ground truth.
+    pub qualifiers: Vec<String>,
+    /// Brands that sell this type.
+    pub brands: Vec<String>,
+    /// Attribute schema.
+    pub attrs: Vec<AttrKind>,
+    /// Typical price range in dollars.
+    pub price_range: (f64, f64),
+}
+
+/// An immutable taxonomy of product types.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    types: Vec<ProductTypeDef>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl Taxonomy {
+    /// Builds a taxonomy from explicit definitions.
+    ///
+    /// # Panics
+    /// Panics if two definitions share a name.
+    pub fn from_defs(defs: Vec<ProductTypeDef>) -> Arc<Taxonomy> {
+        let mut by_name = HashMap::with_capacity(defs.len());
+        for (i, def) in defs.iter().enumerate() {
+            let prev = by_name.insert(def.name.clone(), TypeId(i as u32));
+            assert!(prev.is_none(), "duplicate type name {:?}", def.name);
+        }
+        Arc::new(Taxonomy { types: defs, by_name })
+    }
+
+    /// The built-in ~110-type catalog.
+    pub fn builtin() -> Arc<Taxonomy> {
+        Taxonomy::from_defs(crate::catalog_data::builtin_defs())
+    }
+
+    /// Number of types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the taxonomy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// All type ids.
+    pub fn ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// The definition of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn def(&self, id: TypeId) -> &ProductTypeDef {
+        &self.types[id.0 as usize]
+    }
+
+    /// The name of `id`.
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.def(id).name
+    }
+
+    /// Looks up a type by name.
+    pub fn id_of(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Distinct departments, sorted.
+    pub fn departments(&self) -> Vec<&str> {
+        let mut deps: Vec<&str> = self.types.iter().map(|t| t.department.as_str()).collect();
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+
+    /// Ids of all types in `department`.
+    pub fn types_in_department(&self, department: &str) -> Vec<TypeId> {
+        self.ids()
+            .filter(|&id| self.def(id).department == department)
+            .collect()
+    }
+
+    /// Returns a new taxonomy in which `target` is split into the given
+    /// sub-types (§4 "Rule Maintenance": "pants" becomes "work pants" and
+    /// "jeans", making rules written for "pants" inapplicable).
+    ///
+    /// Each new sub-type inherits the department, brands, attributes and
+    /// price range of the original; head nouns and qualifiers are provided
+    /// per sub-type.
+    pub fn split_type(
+        &self,
+        target: TypeId,
+        subtypes: Vec<(String, Vec<String>, Vec<String>)>,
+    ) -> Arc<Taxonomy> {
+        assert!(!subtypes.is_empty(), "a split needs at least one sub-type");
+        let original = self.def(target).clone();
+        let mut defs: Vec<ProductTypeDef> = Vec::with_capacity(self.types.len() + subtypes.len() - 1);
+        for (i, def) in self.types.iter().enumerate() {
+            if i as u32 != target.0 {
+                defs.push(def.clone());
+            }
+        }
+        for (name, heads, qualifiers) in subtypes {
+            defs.push(ProductTypeDef {
+                name,
+                department: original.department.clone(),
+                heads,
+                alt_heads: Vec::new(),
+                qualifiers,
+                brands: original.brands.clone(),
+                attrs: original.attrs.clone(),
+                price_range: original.price_range,
+            });
+        }
+        Taxonomy::from_defs(defs)
+    }
+}
+
+/// Pluralizes an English head noun (good enough for the catalog's nouns).
+pub fn pluralize(noun: &str) -> String {
+    // Pluralize the final word of multi-word heads ("trio set" → "trio sets").
+    if let Some((prefix, last)) = noun.rsplit_once(' ') {
+        return format!("{prefix} {}", pluralize(last));
+    }
+    for (sing, plur) in IRREGULAR_PLURALS {
+        if noun == *sing {
+            return (*plur).to_string();
+        }
+    }
+    if noun.ends_with('s') || noun.ends_with('x') || noun.ends_with("ch") || noun.ends_with("sh") || noun.ends_with('z')
+    {
+        format!("{noun}es")
+    } else if noun.ends_with('y') && !noun.ends_with("ay") && !noun.ends_with("ey") && !noun.ends_with("oy") {
+        format!("{}ies", &noun[..noun.len() - 1])
+    } else if let Some(stem) = noun.strip_suffix("fe") {
+        format!("{stem}ves")
+    } else if noun.ends_with('f') && !noun.ends_with("of") {
+        format!("{}ves", &noun[..noun.len() - 1])
+    } else {
+        format!("{noun}s")
+    }
+}
+
+const IRREGULAR_PLURALS: &[(&str, &str)] = &[
+    ("foot", "feet"),
+    ("mouse", "mice"),
+    ("shelf", "shelves"),
+    ("dress", "dresses"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_taxonomy_is_large_and_unique() {
+        let tax = Taxonomy::builtin();
+        assert!(tax.len() >= 100, "expected 100+ types, got {}", tax.len());
+        // by_name covers every type bijectively.
+        for id in tax.ids() {
+            assert_eq!(tax.id_of(tax.name(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn builtin_types_are_well_formed() {
+        let tax = Taxonomy::builtin();
+        for id in tax.ids() {
+            let def = tax.def(id);
+            assert!(!def.heads.is_empty(), "{} has no head nouns", def.name);
+            assert!(!def.qualifiers.is_empty(), "{} has no qualifiers", def.name);
+            assert!(!def.brands.is_empty(), "{} has no brands", def.name);
+            assert!(def.price_range.0 > 0.0 && def.price_range.0 <= def.price_range.1);
+        }
+    }
+
+    #[test]
+    fn paper_types_present() {
+        let tax = Taxonomy::builtin();
+        for name in ["area rugs", "rings", "laptop bags & cases", "books", "motor oil", "jeans", "abrasive wheels & discs", "athletic gloves", "shorts"] {
+            assert!(tax.id_of(name).is_some(), "missing paper type {name:?}");
+        }
+    }
+
+    #[test]
+    fn books_have_isbn() {
+        let tax = Taxonomy::builtin();
+        let books = tax.id_of("books").unwrap();
+        assert!(tax.def(books).attrs.contains(&AttrKind::Isbn));
+    }
+
+    #[test]
+    fn departments_enumerate() {
+        let tax = Taxonomy::builtin();
+        let deps = tax.departments();
+        assert!(deps.len() >= 10);
+        let home = tax.types_in_department("Home");
+        assert!(home.iter().any(|&id| tax.name(id) == "area rugs"));
+    }
+
+    #[test]
+    fn split_type_replaces_target() {
+        let tax = Taxonomy::builtin();
+        let pants = tax.id_of("work pants").unwrap_or_else(|| tax.id_of("jeans").unwrap());
+        let before = tax.len();
+        let split = tax.split_type(
+            pants,
+            vec![
+                ("pants alpha".into(), vec!["pant".into()], vec!["slim".into()]),
+                ("pants beta".into(), vec!["pant".into()], vec!["relaxed".into()]),
+            ],
+        );
+        assert_eq!(split.len(), before + 1);
+        assert!(split.id_of(tax.name(pants)).is_none());
+        assert!(split.id_of("pants alpha").is_some());
+        assert!(split.id_of("pants beta").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate type name")]
+    fn duplicate_names_rejected() {
+        let def = Taxonomy::builtin().def(TypeId(0)).clone();
+        let mut dup = def.clone();
+        dup.qualifiers = vec!["x".into()];
+        Taxonomy::from_defs(vec![def, dup]);
+    }
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(pluralize("rug"), "rugs");
+        assert_eq!(pluralize("dress"), "dresses");
+        assert_eq!(pluralize("watch"), "watches");
+        assert_eq!(pluralize("battery"), "batteries");
+        assert_eq!(pluralize("knife"), "knives");
+        assert_eq!(pluralize("shelf"), "shelves");
+        assert_eq!(pluralize("mouse"), "mice");
+        assert_eq!(pluralize("toy"), "toys");
+        assert_eq!(pluralize("trio set"), "trio sets");
+    }
+}

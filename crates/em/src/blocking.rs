@@ -1,0 +1,133 @@
+//! Blocking: cheap candidate-pair generation so the matcher never scores the
+//! full cross product (the scaling half of §5.3's "execute a set of matching
+//! rules efficiently … over a large amount of data").
+
+use rulekit_data::Product;
+use std::collections::HashMap;
+
+/// A blocking key function.
+pub enum BlockingKey {
+    /// Block on an attribute's exact (lowercased) value.
+    Attr(String),
+    /// Block on the first `n` lowercased title tokens joined.
+    TitlePrefix(usize),
+}
+
+impl BlockingKey {
+    /// The key for `product` (`None` = unblockable, lands in no block).
+    pub fn key(&self, product: &Product) -> Option<String> {
+        match self {
+            BlockingKey::Attr(name) => product.attr(name).map(|v| v.to_lowercase()),
+            BlockingKey::TitlePrefix(n) => {
+                let toks: Vec<&str> = product.title.split_whitespace().take(*n).collect();
+                if toks.is_empty() {
+                    None
+                } else {
+                    Some(toks.join(" ").to_lowercase())
+                }
+            }
+        }
+    }
+}
+
+/// Groups records into blocks and emits within-block candidate pairs
+/// (indices into `records`, `i < j`).
+pub fn candidate_pairs(records: &[Product], key: &BlockingKey) -> Vec<(u32, u32)> {
+    let mut blocks: HashMap<String, Vec<u32>> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        if let Some(k) = key.key(r) {
+            blocks.entry(k).or_default().push(i as u32);
+        }
+    }
+    let mut pairs = Vec::new();
+    let mut keys: Vec<&String> = blocks.keys().collect();
+    keys.sort_unstable();
+    for k in keys {
+        let members = &blocks[k];
+        for (x, &i) in members.iter().enumerate() {
+            for &j in &members[x + 1..] {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// Union of candidate pairs from several blocking keys (deduplicated) —
+/// multi-pass blocking.
+pub fn multi_pass_pairs(records: &[Product], keys: &[BlockingKey]) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = keys
+        .iter()
+        .flat_map(|k| candidate_pairs(records, k))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::VendorId;
+
+    fn product(id: u64, title: &str, isbn: Option<&str>) -> Product {
+        Product {
+            id,
+            title: title.into(),
+            description: String::new(),
+            attributes: isbn.map(|v| ("ISBN".to_string(), v.to_string())).into_iter().collect(),
+            vendor: VendorId(0),
+        }
+    }
+
+    #[test]
+    fn attr_blocking_pairs_same_isbn() {
+        let records = vec![
+            product(1, "a", Some("111")),
+            product(2, "b", Some("222")),
+            product(3, "c", Some("111")),
+            product(4, "d", None),
+        ];
+        let pairs = candidate_pairs(&records, &BlockingKey::Attr("ISBN".into()));
+        assert_eq!(pairs, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn title_prefix_blocking() {
+        let records = vec![
+            product(1, "Blue denim jeans", None),
+            product(2, "blue DENIM shirt", None),
+            product(3, "red cotton shirt", None),
+        ];
+        let pairs = candidate_pairs(&records, &BlockingKey::TitlePrefix(2));
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn blocking_reduces_pair_count() {
+        let records: Vec<Product> = (0..100)
+            .map(|i| product(i, &format!("title {}", i % 10), Some(&format!("isbn{}", i % 5))))
+            .collect();
+        let blocked = candidate_pairs(&records, &BlockingKey::Attr("ISBN".into())).len();
+        let full = 100 * 99 / 2;
+        assert!(blocked < full / 4, "blocked={blocked} full={full}");
+    }
+
+    #[test]
+    fn multi_pass_unions_and_dedups() {
+        let records = vec![
+            product(1, "same title", Some("111")),
+            product(2, "same title", Some("111")),
+        ];
+        let pairs = multi_pass_pairs(
+            &records,
+            &[BlockingKey::Attr("ISBN".into()), BlockingKey::TitlePrefix(2)],
+        );
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_records() {
+        assert!(candidate_pairs(&[], &BlockingKey::TitlePrefix(1)).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! A text DSL for entity-matching rules, written the way the paper prints
+//! them (§6):
+//!
+//! ```text
+//! [a.isbn = b.isbn] and [jaccard.3g(a.title, b.title) >= 0.8] => match
+//! [|a.pages - b.pages| <= 2] and [both have isbn] => match
+//! [jaccard.tok(a.title, b.title) >= 0.9] => non-match
+//! ```
+//!
+//! §5.3 asks what the semantics of analyst-written EM rules should be; this
+//! parser gives analysts the same one-rule-per-line workflow the
+//! classification DSL has.
+
+use crate::predicate::Predicate;
+use crate::rules::{MatchAction, MatchRule};
+use std::fmt;
+
+/// EM DSL parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmParseError {
+    /// 1-based line (0 for single-line parses).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for EmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EM rule parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for EmParseError {}
+
+fn err(message: impl Into<String>) -> EmParseError {
+    EmParseError { line: 0, message: message.into() }
+}
+
+/// Parses a rule file (one rule per line; `#` comments).
+pub fn parse_match_rules(text: &str) -> Result<Vec<MatchRule>, EmParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rule = parse_match_rule(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?;
+        out.push(rule);
+    }
+    Ok(out)
+}
+
+/// Parses one rule line.
+pub fn parse_match_rule(line: &str) -> Result<MatchRule, EmParseError> {
+    let (lhs, rhs) = line.rsplit_once("=>").ok_or_else(|| err("missing '=>'"))?;
+    let action = match rhs.trim().to_lowercase().as_str() {
+        "match" | "a ~ b" | "a ≈ b" => MatchAction::Match,
+        "non-match" | "nonmatch" | "no match" => MatchAction::NonMatch,
+        other => return Err(err(format!("unknown conclusion {other:?} (expected 'match' or 'non-match')"))),
+    };
+    let mut predicates = Vec::new();
+    for clause in split_clauses(lhs)? {
+        predicates.push(parse_predicate(clause.trim())?);
+    }
+    if predicates.is_empty() {
+        return Err(err("rule needs at least one [predicate]"));
+    }
+    Ok(MatchRule { name: line.to_string(), predicates, action })
+}
+
+/// Splits `[p1] and [p2] and …` into clause bodies.
+fn split_clauses(lhs: &str) -> Result<Vec<&str>, EmParseError> {
+    let mut clauses = Vec::new();
+    let mut rest = lhs.trim();
+    while !rest.is_empty() {
+        let open = rest.find('[').ok_or_else(|| err("predicates must be enclosed in [ ]"))?;
+        let close = rest[open..]
+            .find(']')
+            .ok_or_else(|| err("missing closing ']'"))?
+            + open;
+        clauses.push(&rest[open + 1..close]);
+        rest = rest[close + 1..].trim();
+        if let Some(stripped) = rest.strip_prefix("and") {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(format!("expected 'and' between predicates, found {rest:?}")));
+        }
+    }
+    Ok(clauses)
+}
+
+fn parse_predicate(body: &str) -> Result<Predicate, EmParseError> {
+    let lowered = body.to_lowercase();
+
+    // `jaccard.3g(a.title, b.title) >= 0.8` / `jaccard.tok(...) >= t`
+    if let Some(rest) = lowered.strip_prefix("jaccard.") {
+        let (kind, tail) = rest.split_once('(').ok_or_else(|| err("jaccard needs (a.title, b.title)"))?;
+        let threshold = parse_threshold(tail, ">=")?;
+        return match kind.trim() {
+            "tok" | "token" => Ok(Predicate::TitleTokenJaccard { threshold }),
+            g => {
+                let q: usize = g
+                    .trim_end_matches('g')
+                    .parse()
+                    .map_err(|_| err(format!("unknown jaccard variant {g:?}")))?;
+                if q == 0 {
+                    return Err(err("q-gram size must be positive"));
+                }
+                Ok(Predicate::TitleQgramJaccard { q, threshold })
+            }
+        };
+    }
+
+    // `both have X`
+    if let Some(attr) = lowered.strip_prefix("both have ") {
+        return Ok(Predicate::BothHave { attr: attr.trim().to_string() });
+    }
+
+    // `|a.X - b.X| <= t`
+    if lowered.starts_with('|') {
+        let attr = field_name(&lowered, "a.")?;
+        let threshold = parse_threshold(&lowered, "<=")?;
+        return Ok(Predicate::AttrNumWithin { attr, tolerance: threshold });
+    }
+
+    // `a.X = b.X`
+    if let Some((l, r)) = lowered.split_once('=') {
+        let la = field_name(l, "a.")?;
+        let rb = field_name(r, "b.")?;
+        if la != rb {
+            return Err(err(format!("attribute mismatch: a.{la} vs b.{rb}")));
+        }
+        return Ok(Predicate::AttrEqual { attr: la });
+    }
+
+    Err(err(format!("unrecognized predicate {body:?}")))
+}
+
+fn field_name(text: &str, prefix: &str) -> Result<String, EmParseError> {
+    let start = text
+        .find(prefix)
+        .ok_or_else(|| err(format!("expected {prefix}<attr>")))?;
+    let rest = &text[start + prefix.len()..];
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ' ')
+        .collect::<String>()
+        .trim()
+        .to_string();
+    let name = name
+        .split_whitespace()
+        .take_while(|w| !matches!(*w, "-" | "=" | "and"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    if name.is_empty() {
+        Err(err("empty attribute name"))
+    } else {
+        Ok(name)
+    }
+}
+
+fn parse_threshold(text: &str, op: &str) -> Result<f64, EmParseError> {
+    let pos = text
+        .find(op)
+        .ok_or_else(|| err(format!("expected '{op} <number>'")))?;
+    let num = text[pos + op.len()..]
+        .trim()
+        .trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.');
+    num.trim()
+        .parse()
+        .map_err(|_| err(format!("invalid threshold in {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::{Product, VendorId};
+
+    fn product(title: &str, attrs: &[(&str, &str)]) -> Product {
+        Product {
+            id: 0,
+            title: title.into(),
+            description: String::new(),
+            attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            vendor: VendorId(0),
+        }
+    }
+
+    #[test]
+    fn parses_the_paper_rule_verbatim() {
+        let rule =
+            parse_match_rule("[a.isbn = b.isbn] and [jaccard.3g(a.title, b.title) >= 0.8] => match")
+                .unwrap();
+        assert_eq!(rule.action, MatchAction::Match);
+        assert_eq!(rule.predicates.len(), 2);
+        let a = product("The Art of Computer Programming", &[("ISBN", "978")]);
+        let b = product("the art of computer programming", &[("ISBN", "978")]);
+        assert!(rule.fires(&a, &b));
+    }
+
+    #[test]
+    fn parses_numeric_tolerance() {
+        let rule = parse_match_rule("[|a.pages - b.pages| <= 2] => match").unwrap();
+        let a = product("x", &[("Pages", "300")]);
+        let b = product("y", &[("Pages", "301")]);
+        assert!(rule.fires(&a, &b));
+    }
+
+    #[test]
+    fn parses_both_have_and_non_match() {
+        let rule = parse_match_rule("[both have isbn] => non-match").unwrap();
+        assert_eq!(rule.action, MatchAction::NonMatch);
+        let a = product("x", &[("ISBN", "1")]);
+        assert!(rule.fires(&a, &a));
+    }
+
+    #[test]
+    fn parses_token_jaccard() {
+        let rule = parse_match_rule("[jaccard.tok(a.title, b.title) >= 0.5] => match").unwrap();
+        let a = product("blue denim jeans", &[]);
+        let b = product("blue denim jacket", &[]);
+        assert!(rule.fires(&a, &b));
+    }
+
+    #[test]
+    fn multiword_attribute_names() {
+        let rule = parse_match_rule("[a.brand name = b.brand name] => match").unwrap();
+        let a = product("x", &[("Brand Name", "Apple")]);
+        let b = product("y", &[("Brand Name", "apple")]);
+        assert!(rule.fires(&a, &b));
+    }
+
+    #[test]
+    fn rejects_mismatched_attributes() {
+        assert!(parse_match_rule("[a.isbn = b.pages] => match").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_conclusions_and_shapes() {
+        assert!(parse_match_rule("[a.isbn = b.isbn] => maybe").is_err());
+        assert!(parse_match_rule("a.isbn = b.isbn => match").is_err());
+        assert!(parse_match_rule("=> match").is_err());
+        assert!(parse_match_rule("[a.isbn = b.isbn] [jaccard.3g(a.title,b.title) >= 0.8] => match").is_err());
+    }
+
+    #[test]
+    fn parses_rule_files_with_comments() {
+        let text = "# book rules\n[a.isbn = b.isbn] and [jaccard.3g(a.title, b.title) >= 0.8] => match\n\n[jaccard.tok(a.title, b.title) >= 0.95] => match\n";
+        let rules = parse_match_rules(text).unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "[a.isbn = b.isbn] => match\nbroken";
+        let e = parse_match_rules(text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Entity-matching predicates — the building blocks of §6's EM rules, e.g.
+//! `[a.isbn = b.isbn] ∧ [jaccard.3g(a.title, b.title) ≥ 0.8] ⇒ a ≈ b`.
+
+use rulekit_data::Product;
+use rulekit_text::{qgram_jaccard, token_jaccard};
+
+/// A boolean predicate over a record pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `a.attr = b.attr` (case-insensitive; false when either is missing).
+    AttrEqual {
+        /// Attribute name.
+        attr: String,
+    },
+    /// Numeric attributes within an absolute tolerance.
+    AttrNumWithin {
+        /// Attribute name.
+        attr: String,
+        /// Maximum absolute difference.
+        tolerance: f64,
+    },
+    /// `jaccard.qg(a.title, b.title) ≥ threshold` on character q-grams.
+    TitleQgramJaccard {
+        /// Gram size (3 reproduces the paper's `jaccard.3g`).
+        q: usize,
+        /// Similarity threshold.
+        threshold: f64,
+    },
+    /// Whitespace-token Jaccard of titles ≥ threshold.
+    TitleTokenJaccard {
+        /// Similarity threshold.
+        threshold: f64,
+    },
+    /// Both records carry the attribute.
+    BothHave {
+        /// Attribute name.
+        attr: String,
+    },
+}
+
+impl Predicate {
+    /// Evaluates the predicate on `(a, b)`.
+    pub fn eval(&self, a: &Product, b: &Product) -> bool {
+        match self {
+            Predicate::AttrEqual { attr } => match (a.attr(attr), b.attr(attr)) {
+                (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
+                _ => false,
+            },
+            Predicate::AttrNumWithin { attr, tolerance } => {
+                match (parse_num(a.attr(attr)), parse_num(b.attr(attr))) {
+                    (Some(x), Some(y)) => (x - y).abs() <= *tolerance,
+                    _ => false,
+                }
+            }
+            Predicate::TitleQgramJaccard { q, threshold } => {
+                qgram_jaccard(&a.title.to_lowercase(), &b.title.to_lowercase(), *q) >= *threshold
+            }
+            Predicate::TitleTokenJaccard { threshold } => {
+                token_jaccard(&a.title.to_lowercase(), &b.title.to_lowercase()) >= *threshold
+            }
+            Predicate::BothHave { attr } => a.has_attr(attr) && b.has_attr(attr),
+        }
+    }
+}
+
+fn parse_num(v: Option<&str>) -> Option<f64> {
+    v.and_then(|s| {
+        s.trim()
+            .trim_end_matches(|c: char| c.is_alphabetic() || c.is_whitespace())
+            .trim()
+            .parse()
+            .ok()
+    })
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::AttrEqual { attr } => write!(f, "[a.{attr} = b.{attr}]"),
+            Predicate::AttrNumWithin { attr, tolerance } => {
+                write!(f, "[|a.{attr} - b.{attr}| <= {tolerance}]")
+            }
+            Predicate::TitleQgramJaccard { q, threshold } => {
+                write!(f, "[jaccard.{q}g(a.title, b.title) >= {threshold}]")
+            }
+            Predicate::TitleTokenJaccard { threshold } => {
+                write!(f, "[jaccard.tok(a.title, b.title) >= {threshold}]")
+            }
+            Predicate::BothHave { attr } => write!(f, "[a.{attr}? and b.{attr}?]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::VendorId;
+
+    fn product(title: &str, attrs: &[(&str, &str)]) -> Product {
+        Product {
+            id: 0,
+            title: title.into(),
+            description: String::new(),
+            attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            vendor: VendorId(0),
+        }
+    }
+
+    #[test]
+    fn attr_equal_cases() {
+        let p = Predicate::AttrEqual { attr: "ISBN".into() };
+        let a = product("x", &[("ISBN", "9781")]);
+        let b = product("y", &[("ISBN", "9781")]);
+        let c = product("z", &[("ISBN", "9999")]);
+        let d = product("w", &[]);
+        assert!(p.eval(&a, &b));
+        assert!(!p.eval(&a, &c));
+        assert!(!p.eval(&a, &d), "missing attribute is not a match");
+    }
+
+    #[test]
+    fn attr_num_within_tolerance() {
+        let p = Predicate::AttrNumWithin { attr: "Pages".into(), tolerance: 2.0 };
+        let a = product("x", &[("Pages", "300")]);
+        let b = product("y", &[("Pages", "302")]);
+        let c = product("z", &[("Pages", "305")]);
+        assert!(p.eval(&a, &b));
+        assert!(!p.eval(&a, &c));
+    }
+
+    #[test]
+    fn numeric_parsing_strips_units() {
+        let p = Predicate::AttrNumWithin { attr: "Weight".into(), tolerance: 0.5 };
+        let a = product("x", &[("Weight", "5.0 lbs")]);
+        let b = product("y", &[("Weight", "5.2 lbs")]);
+        assert!(p.eval(&a, &b));
+    }
+
+    #[test]
+    fn qgram_jaccard_on_near_identical_titles() {
+        let p = Predicate::TitleQgramJaccard { q: 3, threshold: 0.8 };
+        let a = product("The Art of Computer Programming Vol 1", &[]);
+        let b = product("the art of computer programming vol 1", &[]);
+        let c = product("Cooking for Beginners", &[]);
+        assert!(p.eval(&a, &b));
+        assert!(!p.eval(&a, &c));
+    }
+
+    #[test]
+    fn token_jaccard_threshold() {
+        let p = Predicate::TitleTokenJaccard { threshold: 0.5 };
+        let a = product("blue denim jeans 32x30", &[]);
+        let b = product("blue denim jeans 34x32", &[]);
+        assert!(p.eval(&a, &b));
+    }
+
+    #[test]
+    fn both_have() {
+        let p = Predicate::BothHave { attr: "ISBN".into() };
+        let a = product("x", &[("ISBN", "1")]);
+        let b = product("y", &[]);
+        assert!(p.eval(&a, &a));
+        assert!(!p.eval(&a, &b));
+    }
+
+    #[test]
+    fn display_renders_paper_style() {
+        let p = Predicate::TitleQgramJaccard { q: 3, threshold: 0.8 };
+        assert_eq!(p.to_string(), "[jaccard.3g(a.title, b.title) >= 0.8]");
+    }
+}

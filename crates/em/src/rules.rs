@@ -1,0 +1,224 @@
+//! Entity-matching rules and rule-list semantics.
+//!
+//! §5.3 asks, of analyst-written EM rules: "what should be their semantics?
+//! And how should we combine them? Would it be the case that executing these
+//! rules in any order will give us the same matching result?" Two semantics
+//! are implemented so the question can be answered experimentally:
+//!
+//! * [`Semantics::FirstMatch`] — rules are a decision list; the first rule
+//!   whose predicates all hold decides. Order-**dependent**.
+//! * [`Semantics::Declarative`] — a pair matches iff some match-rule fires
+//!   and no non-match-rule fires. Order-**independent** by construction.
+
+use crate::predicate::Predicate;
+use rulekit_data::Product;
+
+/// What a rule concludes when its predicates all hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchAction {
+    /// The pair refers to the same entity.
+    Match,
+    /// The pair is definitely distinct.
+    NonMatch,
+}
+
+/// One EM rule: a conjunction of predicates with a conclusion.
+#[derive(Debug, Clone)]
+pub struct MatchRule {
+    /// Rule name (for provenance in experiments).
+    pub name: String,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Predicate>,
+    /// Conclusion when all predicates hold.
+    pub action: MatchAction,
+}
+
+impl MatchRule {
+    /// Whether every predicate holds on `(a, b)`.
+    pub fn fires(&self, a: &Product, b: &Product) -> bool {
+        self.predicates.iter().all(|p| p.eval(a, b))
+    }
+}
+
+/// Rule-combination semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Decision list: first firing rule decides; no rule fires ⇒ non-match.
+    FirstMatch,
+    /// Match iff ≥1 match-rule fires and 0 non-match-rules fire.
+    Declarative,
+}
+
+/// A rule-list matcher.
+#[derive(Debug, Clone)]
+pub struct RuleMatcher {
+    rules: Vec<MatchRule>,
+    semantics: Semantics,
+}
+
+impl RuleMatcher {
+    /// Builds a matcher.
+    pub fn new(rules: Vec<MatchRule>, semantics: Semantics) -> Self {
+        RuleMatcher { rules, semantics }
+    }
+
+    /// The paper's book-matching rule set: ISBN+Jaccard ⇒ match, plus a
+    /// page-count sanity non-match rule.
+    pub fn paper_book_rules() -> Self {
+        RuleMatcher::new(
+            vec![
+                MatchRule {
+                    name: "isbn-and-title".into(),
+                    predicates: vec![
+                        Predicate::AttrEqual { attr: "ISBN".into() },
+                        Predicate::TitleQgramJaccard { q: 3, threshold: 0.8 },
+                    ],
+                    action: MatchAction::Match,
+                },
+                MatchRule {
+                    name: "isbn-and-pages".into(),
+                    predicates: vec![
+                        Predicate::AttrEqual { attr: "ISBN".into() },
+                        Predicate::AttrNumWithin { attr: "Pages".into(), tolerance: 0.0 },
+                    ],
+                    action: MatchAction::Match,
+                },
+            ],
+            Semantics::Declarative,
+        )
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[MatchRule] {
+        &self.rules
+    }
+
+    /// Decides whether `(a, b)` match.
+    pub fn matches(&self, a: &Product, b: &Product) -> bool {
+        match self.semantics {
+            Semantics::FirstMatch => {
+                for rule in &self.rules {
+                    if rule.fires(a, b) {
+                        return rule.action == MatchAction::Match;
+                    }
+                }
+                false
+            }
+            Semantics::Declarative => {
+                let mut any_match = false;
+                for rule in &self.rules {
+                    if rule.fires(a, b) {
+                        match rule.action {
+                            MatchAction::NonMatch => return false,
+                            MatchAction::Match => any_match = true,
+                        }
+                    }
+                }
+                any_match
+            }
+        }
+    }
+
+    /// Returns a copy with the rule order reversed (for order-dependence
+    /// experiments).
+    pub fn reversed(&self) -> RuleMatcher {
+        let mut rules = self.rules.clone();
+        rules.reverse();
+        RuleMatcher { rules, semantics: self.semantics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::VendorId;
+
+    fn product(title: &str, attrs: &[(&str, &str)]) -> Product {
+        Product {
+            id: 0,
+            title: title.into(),
+            description: String::new(),
+            attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            vendor: VendorId(0),
+        }
+    }
+
+    fn book(title: &str, isbn: &str, pages: &str) -> Product {
+        product(title, &[("ISBN", isbn), ("Pages", pages)])
+    }
+
+    #[test]
+    fn paper_rule_matches_same_book() {
+        let m = RuleMatcher::paper_book_rules();
+        let a = book("The Art of Computer Programming Vol 1", "9780201896831", "672");
+        let b = book("the art of computer programming vol 1", "9780201896831", "672");
+        assert!(m.matches(&a, &b));
+    }
+
+    #[test]
+    fn different_isbns_do_not_match() {
+        let m = RuleMatcher::paper_book_rules();
+        let a = book("Some Book", "9780000000001", "100");
+        let b = book("Some Book", "9780000000002", "100");
+        assert!(!m.matches(&a, &b));
+    }
+
+    #[test]
+    fn same_isbn_different_title_and_pages_does_not_match() {
+        // "two different books can still match on ISBNs" — the conjunction
+        // protects against dirty ISBN fields.
+        let m = RuleMatcher::paper_book_rules();
+        let a = book("Cooking Basics", "9780000000001", "100");
+        let b = book("Quantum Mechanics Volume II", "9780000000001", "950");
+        assert!(!m.matches(&a, &b));
+    }
+
+    #[test]
+    fn first_match_semantics_is_order_dependent() {
+        let match_rule = MatchRule {
+            name: "title".into(),
+            predicates: vec![Predicate::TitleTokenJaccard { threshold: 0.5 }],
+            action: MatchAction::Match,
+        };
+        let nonmatch_rule = MatchRule {
+            name: "pages-differ".into(),
+            predicates: vec![Predicate::AttrEqual { attr: "Color".into() }],
+            action: MatchAction::NonMatch,
+        };
+        let a = product("blue denim jeans", &[("Color", "blue")]);
+        let b = product("blue denim jeans slim", &[("Color", "blue")]);
+        let fwd = RuleMatcher::new(vec![match_rule.clone(), nonmatch_rule.clone()], Semantics::FirstMatch);
+        let rev = fwd.reversed();
+        // Both rules fire; order decides the outcome.
+        assert!(fwd.matches(&a, &b));
+        assert!(!rev.matches(&a, &b));
+    }
+
+    #[test]
+    fn declarative_semantics_is_order_independent() {
+        let match_rule = MatchRule {
+            name: "title".into(),
+            predicates: vec![Predicate::TitleTokenJaccard { threshold: 0.5 }],
+            action: MatchAction::Match,
+        };
+        let nonmatch_rule = MatchRule {
+            name: "color".into(),
+            predicates: vec![Predicate::AttrEqual { attr: "Color".into() }],
+            action: MatchAction::NonMatch,
+        };
+        let a = product("blue denim jeans", &[("Color", "blue")]);
+        let b = product("blue denim jeans slim", &[("Color", "blue")]);
+        let fwd = RuleMatcher::new(vec![match_rule, nonmatch_rule], Semantics::Declarative);
+        let rev = fwd.reversed();
+        assert_eq!(fwd.matches(&a, &b), rev.matches(&a, &b));
+        // Non-match rule vetoes.
+        assert!(!fwd.matches(&a, &b));
+    }
+
+    #[test]
+    fn no_rules_means_no_match() {
+        let m = RuleMatcher::new(vec![], Semantics::Declarative);
+        let a = product("x", &[]);
+        assert!(!m.matches(&a, &a));
+    }
+}

@@ -1,0 +1,161 @@
+//! Rule coverage over an evaluation corpus: which items each rule touches,
+//! and (via hidden ground truth, for the oracle only) whether the rule's
+//! assignment is correct on each.
+
+use rulekit_core::{Rule, RuleAction, RuleExecutor, RuleId};
+use rulekit_data::{GeneratedItem, TypeId};
+use std::collections::HashMap;
+
+/// A whitelist rule's footprint on an evaluation corpus.
+#[derive(Debug, Clone)]
+pub struct RuleCoverage {
+    /// The rule.
+    pub rule_id: RuleId,
+    /// The type the rule assigns.
+    pub assigns: TypeId,
+    /// Indices of touched items.
+    pub touched: Vec<u32>,
+}
+
+impl RuleCoverage {
+    /// True precision of the rule on the corpus (oracle-only; experiments
+    /// use it to score estimator quality, never to feed the estimators).
+    pub fn true_precision(&self, items: &[GeneratedItem]) -> f64 {
+        if self.touched.is_empty() {
+            return 1.0;
+        }
+        let hits = self
+            .touched
+            .iter()
+            .filter(|&&i| items[i as usize].truth == self.assigns)
+            .count();
+        hits as f64 / self.touched.len() as f64
+    }
+
+    /// Whether the rule's assignment is correct on item `idx`.
+    pub fn correct_on(&self, idx: u32, items: &[GeneratedItem]) -> bool {
+        items[idx as usize].truth == self.assigns
+    }
+}
+
+/// Computes coverage for every enabled whitelist rule using `executor`.
+pub fn compute_coverages(
+    rules: &[Rule],
+    executor: &dyn RuleExecutor,
+    items: &[GeneratedItem],
+) -> Vec<RuleCoverage> {
+    let mut by_rule: HashMap<RuleId, Vec<u32>> = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        for id in executor.matching_rules(&item.product) {
+            by_rule.entry(id).or_default().push(i as u32);
+        }
+    }
+    let mut out: Vec<RuleCoverage> = rules
+        .iter()
+        .filter_map(|r| match r.action {
+            RuleAction::Assign(ty) => Some(RuleCoverage {
+                rule_id: r.id,
+                assigns: ty,
+                touched: by_rule.remove(&r.id).unwrap_or_default(),
+            }),
+            _ => None,
+        })
+        .collect();
+    out.sort_by_key(|c| c.rule_id);
+    out
+}
+
+/// Splits coverages into head rules (touching ≥ `threshold` items) and tail
+/// rules — the §4 distinction that drives evaluation-method choice.
+pub fn head_tail_split(coverages: &[RuleCoverage], threshold: usize) -> (Vec<&RuleCoverage>, Vec<&RuleCoverage>) {
+    coverages.iter().partition(|c| c.touched.len() >= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_core::{NaiveExecutor, RuleMeta, RuleParser, RuleRepository};
+    use rulekit_data::{CatalogGenerator, Taxonomy};
+
+    fn setup() -> (Vec<Rule>, Vec<GeneratedItem>) {
+        let tax = Taxonomy::builtin();
+        let parser = RuleParser::new(tax.clone());
+        let repo = RuleRepository::new();
+        for line in [
+            "rings? -> rings",
+            "rugs? -> area rugs",
+            "laptop -> laptop computers", // imprecise: touches bags too
+        ] {
+            repo.add(parser.parse_rule(line).unwrap(), RuleMeta::default());
+        }
+        let mut g = CatalogGenerator::with_seed(tax.clone(), 77);
+        let mut items = g.generate(800);
+        // Guarantee presence of the confusable pair regardless of Zipf tail
+        // starvation.
+        let bags = tax.id_of("laptop bags & cases").unwrap();
+        let laptops = tax.id_of("laptop computers").unwrap();
+        items.extend(g.generate_n_for_type(bags, 20));
+        items.extend(g.generate_n_for_type(laptops, 20));
+        (repo.enabled_snapshot(), items)
+    }
+
+    #[test]
+    fn coverages_only_include_whitelist_rules() {
+        let (rules, items) = setup();
+        let executor = NaiveExecutor::new(rules.clone());
+        let covs = compute_coverages(&rules, &executor, &items);
+        assert_eq!(covs.len(), 3);
+    }
+
+    #[test]
+    fn touched_items_actually_match() {
+        let (rules, items) = setup();
+        let executor = NaiveExecutor::new(rules.clone());
+        for cov in compute_coverages(&rules, &executor, &items) {
+            let rule = rules.iter().find(|r| r.id == cov.rule_id).unwrap();
+            for &i in &cov.touched {
+                assert!(rule.matches(&items[i as usize].product));
+            }
+        }
+    }
+
+    #[test]
+    fn imprecise_rule_has_imperfect_true_precision() {
+        let (rules, items) = setup();
+        let executor = NaiveExecutor::new(rules.clone());
+        let covs = compute_coverages(&rules, &executor, &items);
+        // The bare-"laptop" rule also touches laptop bags & cases, so its
+        // oracle precision must be below 1 while it covers both types.
+        let laptop = covs
+            .iter()
+            .find(|c| {
+                let r = rules.iter().find(|r| r.id == c.rule_id).unwrap();
+                r.condition.to_string() == "title(laptop)"
+            })
+            .unwrap();
+        let touched_types: std::collections::HashSet<TypeId> = laptop
+            .touched
+            .iter()
+            .map(|&i| items[i as usize].truth)
+            .collect();
+        assert!(touched_types.len() >= 2, "expected cross-type touches, got {touched_types:?}");
+        assert!(laptop.true_precision(&items) < 1.0);
+    }
+
+    #[test]
+    fn head_tail_split_partitions() {
+        let (rules, items) = setup();
+        let executor = NaiveExecutor::new(rules.clone());
+        let covs = compute_coverages(&rules, &executor, &items);
+        let (head, tail) = head_tail_split(&covs, 10);
+        assert_eq!(head.len() + tail.len(), covs.len());
+        assert!(head.iter().all(|c| c.touched.len() >= 10));
+        assert!(tail.iter().all(|c| c.touched.len() < 10));
+    }
+
+    #[test]
+    fn empty_coverage_precision_is_one() {
+        let cov = RuleCoverage { rule_id: RuleId(9), assigns: TypeId(0), touched: vec![] };
+        assert_eq!(cov.true_precision(&[]), 1.0);
+    }
+}

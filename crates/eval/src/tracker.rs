@@ -1,0 +1,111 @@
+//! Impactful-rule tracking (§5.3 "Rule Evaluation"): "use the limited
+//! crowdsourcing budget to evaluate only the most impactful rules … then
+//! track all rules, and if an un-evaluated non-impactful rule becomes
+//! impactful, alert the analyst."
+
+use rulekit_core::RuleId;
+use std::collections::{HashMap, HashSet};
+
+/// Tracks per-rule touch counts and raises alerts when un-evaluated rules
+/// cross the impact threshold.
+#[derive(Debug, Clone)]
+pub struct ImpactTracker {
+    touches: HashMap<RuleId, u64>,
+    evaluated: HashSet<RuleId>,
+    alerted: HashSet<RuleId>,
+    threshold: u64,
+}
+
+impl ImpactTracker {
+    /// A tracker that alerts when an un-evaluated rule has touched
+    /// `threshold` items.
+    pub fn new(threshold: u64) -> Self {
+        ImpactTracker {
+            touches: HashMap::new(),
+            evaluated: HashSet::new(),
+            alerted: HashSet::new(),
+            threshold,
+        }
+    }
+
+    /// Marks `rule` as having been evaluated (clears any pending alert).
+    pub fn mark_evaluated(&mut self, rule: RuleId) {
+        self.evaluated.insert(rule);
+        self.alerted.remove(&rule);
+    }
+
+    /// Records that `rule` touched one item; returns `true` exactly once,
+    /// when the rule first becomes impactful while un-evaluated.
+    pub fn record_touch(&mut self, rule: RuleId) -> bool {
+        let count = self.touches.entry(rule).or_insert(0);
+        *count += 1;
+        if *count >= self.threshold && !self.evaluated.contains(&rule) && !self.alerted.contains(&rule) {
+            self.alerted.insert(rule);
+            return true;
+        }
+        false
+    }
+
+    /// Records a batch of touched rules, returning the newly alerted ones.
+    pub fn record_batch(&mut self, fired: impl IntoIterator<Item = RuleId>) -> Vec<RuleId> {
+        let mut alerts = Vec::new();
+        for rule in fired {
+            if self.record_touch(rule) {
+                alerts.push(rule);
+            }
+        }
+        alerts
+    }
+
+    /// Current touch count for `rule`.
+    pub fn touches(&self, rule: RuleId) -> u64 {
+        self.touches.get(&rule).copied().unwrap_or(0)
+    }
+
+    /// Rules currently in the alerted state.
+    pub fn pending_alerts(&self) -> Vec<RuleId> {
+        let mut v: Vec<RuleId> = self.alerted.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alerts_once_at_threshold() {
+        let mut t = ImpactTracker::new(3);
+        assert!(!t.record_touch(RuleId(1)));
+        assert!(!t.record_touch(RuleId(1)));
+        assert!(t.record_touch(RuleId(1)), "third touch crosses threshold");
+        assert!(!t.record_touch(RuleId(1)), "no duplicate alert");
+        assert_eq!(t.touches(RuleId(1)), 4);
+    }
+
+    #[test]
+    fn evaluated_rules_never_alert() {
+        let mut t = ImpactTracker::new(2);
+        t.mark_evaluated(RuleId(5));
+        for _ in 0..10 {
+            assert!(!t.record_touch(RuleId(5)));
+        }
+    }
+
+    #[test]
+    fn evaluation_clears_pending_alert() {
+        let mut t = ImpactTracker::new(1);
+        assert!(t.record_touch(RuleId(2)));
+        assert_eq!(t.pending_alerts(), vec![RuleId(2)]);
+        t.mark_evaluated(RuleId(2));
+        assert!(t.pending_alerts().is_empty());
+    }
+
+    #[test]
+    fn batch_recording_collects_alerts() {
+        let mut t = ImpactTracker::new(2);
+        let alerts = t.record_batch([RuleId(1), RuleId(2), RuleId(1)]);
+        assert_eq!(alerts, vec![RuleId(1)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The scripted analyst: a deterministic stand-in for the WalmartLabs
+//! analysts in the §5.1 experiments. It judges synonym candidates against a
+//! ground-truth set (the taxonomy's qualifier pool), with a configurable
+//! error rate and a per-judgment time cost so experiments can report
+//! "analyst minutes" the way Table/§5.1 does (4 minutes per regex vs hours).
+
+use crate::synonym::AnalystOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A ground-truth-backed analyst model.
+pub struct ScriptedAnalyst {
+    truth: HashSet<String>,
+    error_rate: f64,
+    rng: StdRng,
+    /// Seconds charged per judged candidate (default 6s — reading a phrase
+    /// plus a few sample titles).
+    pub seconds_per_judgment: f64,
+    judgments: usize,
+    /// Stop once this many synonyms are accepted (`None` = run to
+    /// exhaustion).
+    pub stop_after: Option<usize>,
+}
+
+impl ScriptedAnalyst {
+    /// An analyst who knows `truth` and errs with probability `error_rate`.
+    pub fn new(truth: impl IntoIterator<Item = impl AsRef<str>>, error_rate: f64, seed: u64) -> Self {
+        ScriptedAnalyst {
+            truth: truth.into_iter().map(|t| t.as_ref().to_lowercase()).collect(),
+            error_rate: error_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            seconds_per_judgment: 6.0,
+            judgments: 0,
+            stop_after: None,
+        }
+    }
+
+    /// A perfectly accurate analyst.
+    pub fn perfect(truth: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+        ScriptedAnalyst::new(truth, 0.0, 0)
+    }
+
+    /// Total candidates judged so far.
+    pub fn judgments(&self) -> usize {
+        self.judgments
+    }
+
+    /// Simulated analyst time spent, in minutes.
+    pub fn minutes_spent(&self) -> f64 {
+        self.judgments as f64 * self.seconds_per_judgment / 60.0
+    }
+
+    fn truth_contains(&self, candidate: &str) -> bool {
+        self.truth.contains(candidate)
+    }
+}
+
+impl AnalystOracle for ScriptedAnalyst {
+    fn judge(&mut self, candidate: &str, _samples: &[String]) -> bool {
+        self.judgments += 1;
+        let correct_answer = self.truth_contains(candidate);
+        if self.error_rate > 0.0 && self.rng.gen_bool(self.error_rate) {
+            !correct_answer
+        } else {
+            correct_answer
+        }
+    }
+
+    fn satisfied(&self, accepted: &[String]) -> bool {
+        self.stop_after.is_some_and(|n| accepted.len() >= n)
+    }
+}
+
+/// A crowd-backed oracle (§4: "another related challenge is how to use
+/// crowdsourcing to help the analysts, either in creating a single rule or
+/// multiple rules"): each candidate is judged by a plurality of noisy
+/// workers instead of a scarce domain analyst. Slower-per-judgment cost
+/// shows up in the ledger, not analyst minutes.
+pub struct CrowdOracle {
+    truth: HashSet<String>,
+    crowd: rulekit_crowd::CrowdSim,
+    /// Stop once this many synonyms are accepted.
+    pub stop_after: Option<usize>,
+}
+
+impl CrowdOracle {
+    /// Builds a crowd oracle over ground truth `truth`.
+    pub fn new(
+        truth: impl IntoIterator<Item = impl AsRef<str>>,
+        crowd: rulekit_crowd::CrowdSim,
+    ) -> Self {
+        CrowdOracle {
+            truth: truth.into_iter().map(|t| t.as_ref().to_lowercase()).collect(),
+            crowd,
+            stop_after: None,
+        }
+    }
+
+    /// Crowd cost consumed so far.
+    pub fn ledger(&self) -> rulekit_crowd::CostLedger {
+        self.crowd.ledger()
+    }
+}
+
+impl AnalystOracle for CrowdOracle {
+    fn judge(&mut self, candidate: &str, _samples: &[String]) -> bool {
+        let truth_value = self.truth.contains(candidate);
+        // On budget exhaustion the conservative answer is "reject".
+        self.crowd.verify_bool(truth_value).unwrap_or(false)
+    }
+
+    fn satisfied(&self, accepted: &[String]) -> bool {
+        self.stop_after.is_some_and(|n| accepted.len() >= n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_crowd::{CrowdConfig, CrowdSim};
+
+    #[test]
+    fn crowd_oracle_judges_with_worker_noise() {
+        let crowd = CrowdSim::new(CrowdConfig { seed: 3, ..Default::default() });
+        let mut oracle = CrowdOracle::new(["oriental", "braided"], crowd);
+        let correct = (0..200)
+            .filter(|&i| {
+                let candidate = if i % 2 == 0 { "oriental" } else { "bogus" };
+                oracle.judge(candidate, &[]) == (i % 2 == 0)
+            })
+            .count();
+        assert!(correct > 180, "only {correct}/200 judgments correct");
+        assert_eq!(oracle.ledger().tasks, 200);
+        assert!(oracle.ledger().cost_cents > 0);
+    }
+
+    #[test]
+    fn crowd_oracle_budget_exhaustion_rejects() {
+        let crowd = CrowdSim::new(CrowdConfig {
+            budget_cents: Some(0),
+            accuracy_range: (1.0, 1.0),
+            ..Default::default()
+        });
+        let mut oracle = CrowdOracle::new(["oriental"], crowd);
+        assert!(!oracle.judge("oriental", &[]), "no budget ⇒ conservative reject");
+    }
+
+    #[test]
+    fn perfect_analyst_matches_truth_exactly() {
+        let mut a = ScriptedAnalyst::perfect(["oriental", "braided"]);
+        assert!(a.judge("oriental", &[]));
+        assert!(a.judge("Braided".to_lowercase().as_str(), &[]));
+        assert!(!a.judge("bogus", &[]));
+        assert_eq!(a.judgments(), 3);
+    }
+
+    #[test]
+    fn time_accounting() {
+        let mut a = ScriptedAnalyst::perfect(["x"]);
+        a.seconds_per_judgment = 30.0;
+        for _ in 0..4 {
+            a.judge("x", &[]);
+        }
+        assert!((a.minutes_spent() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_rate_flips_some_judgments() {
+        let mut a = ScriptedAnalyst::new(["good"], 0.5, 42);
+        let flips = (0..200).filter(|_| !a.judge("good", &[])).count();
+        assert!(flips > 50 && flips < 150, "flips = {flips}");
+    }
+
+    #[test]
+    fn stop_after_satisfies() {
+        let mut a = ScriptedAnalyst::perfect(["x"]);
+        a.stop_after = Some(2);
+        assert!(!a.satisfied(&["one".into()]));
+        assert!(a.satisfied(&["one".into(), "two".into()]));
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let run = |seed| {
+            let mut a = ScriptedAnalyst::new(["good"], 0.3, seed);
+            (0..50).map(|_| a.judge("good", &[])).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

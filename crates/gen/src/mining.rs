@@ -1,0 +1,232 @@
+//! Frequent token-sequence mining (§5.2, "Generating Rule Candidates").
+//!
+//! AprioriAll over tokenized titles: a sequence `a1 a2 … an` is *contained*
+//! in a title if its tokens appear in that order, not necessarily
+//! consecutively. Frequent sequences of length 2–4 become rule candidates of
+//! the form `a1.*a2.*…an → t`.
+
+use rulekit_text::Tokenizer;
+use std::collections::HashMap;
+
+/// A mined frequent sequence with its support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequentSequence {
+    /// The token sequence.
+    pub tokens: Vec<String>,
+    /// Number of titles containing the sequence.
+    pub count: usize,
+    /// `count / |D|`.
+    pub support: f64,
+}
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MiningConfig {
+    /// Minimum support as a fraction of titles (the paper used 0.001).
+    pub min_support: f64,
+    /// Minimum sequence length kept (the paper keeps 2).
+    pub min_len: usize,
+    /// Maximum sequence length kept (the paper keeps 4; "rules that have
+    /// just one token are too general, more than four too specific").
+    pub max_len: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig { min_support: 0.001, min_len: 2, max_len: 4 }
+    }
+}
+
+/// Whether `sequence` is a (non-necessarily-contiguous) subsequence of
+/// `tokens`.
+pub fn contains_sequence<T: AsRef<str>>(tokens: &[T], sequence: &[String]) -> bool {
+    let mut it = tokens.iter();
+    sequence
+        .iter()
+        .all(|want| it.by_ref().any(|t| t.as_ref() == want))
+}
+
+/// Mines frequent token sequences from pre-tokenized titles.
+pub fn mine_sequences(docs: &[Vec<String>], cfg: MiningConfig) -> Vec<FrequentSequence> {
+    assert!(cfg.min_len >= 1 && cfg.min_len <= cfg.max_len, "invalid length bounds");
+    if docs.is_empty() {
+        return Vec::new();
+    }
+    let min_count = ((docs.len() as f64) * cfg.min_support).ceil().max(1.0) as usize;
+
+    // L1: frequent tokens.
+    let mut token_counts: HashMap<&str, usize> = HashMap::new();
+    for doc in docs {
+        let mut seen: Vec<&str> = doc.iter().map(String::as_str).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for t in seen {
+            *token_counts.entry(t).or_insert(0) += 1;
+        }
+    }
+    let mut frequent_tokens: Vec<&str> = token_counts
+        .iter()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(&t, _)| t)
+        .collect();
+    frequent_tokens.sort_unstable();
+
+    let mut results: Vec<FrequentSequence> = Vec::new();
+    let mut current: Vec<Vec<String>> = frequent_tokens
+        .iter()
+        .map(|&t| vec![t.to_string()])
+        .collect();
+    for len in 1..cfg.max_len {
+        // Candidate generation (AprioriAll join): s1 + last(s2) where
+        // s1[1..] == s2[..len-1]. For len==1 that is the full cross product
+        // (self-pairs excluded — our sequences model distinct positions but
+        // repeated tokens are legal, so keep self-pairs too).
+        let mut candidates: Vec<Vec<String>> = Vec::new();
+        for s1 in &current {
+            for s2 in &current {
+                if s1[1..] == s2[..len - 1] {
+                    let mut c = s1.clone();
+                    c.push(s2[len - 1].clone());
+                    candidates.push(c);
+                }
+            }
+        }
+        // Apriori prune: every length-`len` subsequence must be frequent.
+        // (The join already guarantees the two "edge" subsequences; for our
+        // contiguous-prefix/suffix join over *subsequence* semantics, the
+        // join condition is the standard sufficient prune.)
+        if candidates.is_empty() {
+            break;
+        }
+        // Count supports.
+        let mut counts: HashMap<Vec<String>, usize> = HashMap::with_capacity(candidates.len());
+        for doc in docs {
+            for cand in &candidates {
+                if contains_sequence(doc, cand) {
+                    *counts.entry(cand.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        current = counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(s, _)| s.clone())
+            .collect();
+        current.sort();
+        if current.is_empty() {
+            break;
+        }
+        let current_counts: HashMap<&Vec<String>, usize> =
+            current.iter().map(|s| (s, counts[s])).collect();
+        if len + 1 >= cfg.min_len {
+            for seq in &current {
+                results.push(FrequentSequence {
+                    tokens: seq.clone(),
+                    count: current_counts[seq],
+                    support: current_counts[seq] as f64 / docs.len() as f64,
+                });
+            }
+        }
+    }
+    results.sort_by(|a, b| b.count.cmp(&a.count).then(a.tokens.cmp(&b.tokens)));
+    results
+}
+
+/// Tokenizes raw titles with the §5.2 preprocessing (lowercase, stop words).
+pub fn tokenize_titles<S: AsRef<str>>(titles: &[S]) -> Vec<Vec<String>> {
+    let tokenizer = Tokenizer::with_default_stopwords();
+    titles.iter().map(|t| tokenizer.tokenize(t.as_ref())).collect()
+}
+
+/// Renders a mined sequence as the rule pattern `a1.*a2.*…an`.
+pub fn sequence_pattern(tokens: &[String]) -> String {
+    tokens
+        .iter()
+        .map(|t| rulekit_regex::escape(t))
+        .collect::<Vec<_>>()
+        .join(".*")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<String>> {
+        tokenize_titles(&[
+            "dickies indigo blue relaxed fit denim jeans 38x30",
+            "wrangler relaxed fit denim jeans value bundle",
+            "faded glory slim fit denim jeans",
+            "dickies carpenter denim jeans 2 pack",
+            "blue denim jacket with hood",
+        ])
+    }
+
+    #[test]
+    fn contains_sequence_respects_order() {
+        let toks = ["a", "b", "c", "d"];
+        assert!(contains_sequence(&toks, &["a".into(), "c".into()]));
+        assert!(contains_sequence(&toks, &["b".into(), "c".into(), "d".into()]));
+        assert!(!contains_sequence(&toks, &["c".into(), "a".into()]));
+        assert!(!contains_sequence(&toks, &["a".into(), "z".into()]));
+        assert!(contains_sequence(&toks, &[]));
+    }
+
+    #[test]
+    fn mines_the_denim_jeans_pattern() {
+        let seqs = mine_sequences(&docs(), MiningConfig { min_support: 0.5, ..Default::default() });
+        let denim_jeans = seqs
+            .iter()
+            .find(|s| s.tokens == vec!["denim".to_string(), "jeans".to_string()])
+            .expect("denim→jeans should be frequent");
+        assert_eq!(denim_jeans.count, 4);
+        assert!((denim_jeans.support - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_length_bounds() {
+        let seqs = mine_sequences(&docs(), MiningConfig { min_support: 0.3, min_len: 2, max_len: 3 });
+        assert!(seqs.iter().all(|s| s.tokens.len() >= 2 && s.tokens.len() <= 3));
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let strict = mine_sequences(&docs(), MiningConfig { min_support: 0.9, ..Default::default() });
+        assert!(strict.is_empty());
+        let loose = mine_sequences(&docs(), MiningConfig { min_support: 0.2, ..Default::default() });
+        assert!(!loose.is_empty());
+    }
+
+    #[test]
+    fn longer_sequences_require_frequent_parts() {
+        let seqs = mine_sequences(&docs(), MiningConfig { min_support: 0.5, min_len: 3, max_len: 4 });
+        // "relaxed fit denim jeans"-derived 3-sequences only exist if all
+        // sub-pairs are frequent at 50%: "fit denim jeans" appears 3/5.
+        for s in &seqs {
+            assert!(s.count >= 3, "{s:?}");
+            assert_eq!(s.tokens.len().min(4), s.tokens.len());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mine_sequences(&[], MiningConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn sequence_pattern_renders() {
+        assert_eq!(
+            sequence_pattern(&["denim".into(), "jeans".into()]),
+            "denim.*jeans"
+        );
+        // Metacharacters in tokens are escaped.
+        assert_eq!(sequence_pattern(&["a+b".into()]), r"a\+b");
+    }
+
+    #[test]
+    fn results_sorted_by_count() {
+        let seqs = mine_sequences(&docs(), MiningConfig { min_support: 0.2, ..Default::default() });
+        for w in seqs.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+}

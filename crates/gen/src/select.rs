@@ -1,0 +1,297 @@
+//! Rule selection (§5.2, "Selecting a Good Set of Rules"): confidence
+//! scoring, `Greedy` (Algorithm 1) and `Greedy-Biased` (Algorithm 2).
+//!
+//! Given candidate rules with coverage sets over a labeled corpus `D`, we
+//! select up to `q` rules maximizing `Σ maxconf(p)` over touched titles — an
+//! NP-hard weighted-coverage objective the paper attacks greedily, with the
+//! bias that high-confidence rules (`conf ≥ α`) are exhausted first.
+
+use std::collections::HashSet;
+
+/// A candidate rule from the miner's perspective: a coverage set over the
+/// type's training titles plus a confidence score.
+#[derive(Debug, Clone)]
+pub struct CandidateRule {
+    /// The token sequence (for pattern rendering and diagnostics).
+    pub tokens: Vec<String>,
+    /// Indices of the titles this rule touches.
+    pub coverage: Vec<u32>,
+    /// Confidence score in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Inputs to the §5.2 confidence score.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfidenceWeights {
+    /// Weight of "the regex contains the product type name" (as a token
+    /// subsequence).
+    pub w_name: f64,
+    /// Weight of the fraction of type-name tokens present in the regex.
+    pub w_name_tokens: f64,
+    /// Weight of the (normalized) support.
+    pub w_support: f64,
+}
+
+impl Default for ConfidenceWeights {
+    fn default() -> Self {
+        ConfidenceWeights { w_name: 0.4, w_name_tokens: 0.3, w_support: 0.3 }
+    }
+}
+
+/// The §5.2 confidence score: a linear combination of (1) whether the rule's
+/// sequence contains the type name, (2) how many type-name tokens appear,
+/// and (3) the rule's support.
+///
+/// `support_norm` should be the rule's support divided by a reference
+/// support (capped at 1), e.g. `support / (10 × min_support)`.
+pub fn confidence(
+    rule_tokens: &[String],
+    type_name_tokens: &[String],
+    support_norm: f64,
+    w: ConfidenceWeights,
+) -> f64 {
+    let norm = |t: &str| t.trim_end_matches('s').to_string();
+    let rule_norm: Vec<String> = rule_tokens.iter().map(|t| norm(t)).collect();
+    let name_norm: Vec<String> = type_name_tokens.iter().map(|t| norm(t)).collect();
+
+    let contains_full_name = !name_norm.is_empty()
+        && crate::mining::contains_sequence(&rule_norm, &name_norm);
+    let present = name_norm
+        .iter()
+        .filter(|nt| rule_norm.iter().any(|rt| rt == *nt))
+        .count();
+    let frac = if name_norm.is_empty() { 0.0 } else { present as f64 / name_norm.len() as f64 };
+
+    (w.w_name * f64::from(contains_full_name) + w.w_name_tokens * frac + w.w_support * support_norm.clamp(0.0, 1.0))
+        .clamp(0.0, 1.0)
+}
+
+/// Result of a selection run.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Indices into the candidate list, in selection order.
+    pub selected: Vec<usize>,
+    /// Titles covered by the selection.
+    pub covered: HashSet<u32>,
+}
+
+/// Algorithm 1 (`Greedy`): repeatedly take the rule maximizing
+/// `|new coverage| × conf`, until `q` rules are selected or no rule adds
+/// coverage.
+///
+/// `excluded_coverage` seeds the already-covered set (used by Algorithm 2's
+/// second phase, which runs on `D − Cov(S1, D)`).
+pub fn greedy(rules: &[CandidateRule], q: usize, excluded_coverage: &HashSet<u32>) -> Selection {
+    let mut covered: HashSet<u32> = excluded_coverage.clone();
+    let mut selected = Vec::new();
+    let mut remaining: Vec<usize> = (0..rules.len()).collect();
+
+    // Lazy greedy: gains only shrink as coverage grows, so a stale bound
+    // that still tops the heap is exact.
+    let mut bounds: Vec<f64> = rules
+        .iter()
+        .map(|r| r.coverage.len() as f64 * r.confidence)
+        .collect();
+
+    while selected.len() < q && !remaining.is_empty() {
+        // Find the best by (possibly stale) bound, recompute, repeat until
+        // the recomputed value still leads.
+        let mut best: Option<(usize, f64)> = None;
+        while let Some((pos, &idx)) = remaining
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                bounds[*a.1]
+                    .partial_cmp(&bounds[*b.1])
+                    .expect("finite bounds")
+                    .then(b.1.cmp(a.1))
+            })
+        {
+            let fresh_gain = rules[idx]
+                .coverage
+                .iter()
+                .filter(|p| !covered.contains(p))
+                .count() as f64
+                * rules[idx].confidence;
+            bounds[idx] = fresh_gain;
+            // Exact if it still beats every other bound.
+            let second = remaining
+                .iter()
+                .filter(|&&i| i != idx)
+                .map(|&i| bounds[i])
+                .fold(f64::NEG_INFINITY, f64::max);
+            if fresh_gain >= second {
+                best = Some((pos, fresh_gain));
+                break;
+            }
+        }
+        let Some((pos, gain)) = best else { break };
+        if gain <= 0.0 {
+            break; // nothing adds new coverage
+        }
+        let idx = remaining.swap_remove(pos);
+        covered.extend(rules[idx].coverage.iter().copied());
+        selected.push(idx);
+    }
+    covered.retain(|p| !excluded_coverage.contains(p));
+    Selection { selected, covered }
+}
+
+/// Algorithm 2 (`Greedy-Biased`): split candidates at confidence `alpha`,
+/// exhaust high-confidence rules first, then fill from low-confidence rules
+/// over the residual corpus. Returns `(selection, high_count)` where the
+/// first `high_count` selected indices came from the high-confidence tier.
+pub fn greedy_biased(rules: &[CandidateRule], q: usize, alpha: f64) -> (Selection, usize) {
+    let high: Vec<usize> = (0..rules.len()).filter(|&i| rules[i].confidence >= alpha).collect();
+    let low: Vec<usize> = (0..rules.len()).filter(|&i| rules[i].confidence < alpha).collect();
+
+    let high_rules: Vec<CandidateRule> = high.iter().map(|&i| rules[i].clone()).collect();
+    let s1 = greedy(&high_rules, q, &HashSet::new());
+    let mut selected: Vec<usize> = s1.selected.iter().map(|&i| high[i]).collect();
+    let high_count = selected.len();
+    let mut covered = s1.covered.clone();
+
+    if selected.len() < q {
+        let low_rules: Vec<CandidateRule> = low.iter().map(|&i| rules[i].clone()).collect();
+        let s2 = greedy(&low_rules, q - selected.len(), &covered);
+        selected.extend(s2.selected.iter().map(|&i| low[i]));
+        covered.extend(s2.covered);
+    }
+    (Selection { selected, covered }, high_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(tokens: &[&str], coverage: &[u32], confidence: f64) -> CandidateRule {
+        CandidateRule {
+            tokens: tokens.iter().map(|t| t.to_string()).collect(),
+            coverage: coverage.to_vec(),
+            confidence,
+        }
+    }
+
+    #[test]
+    fn confidence_rewards_type_name() {
+        let name: Vec<String> = vec!["area".into(), "rugs".into()];
+        let with_name = confidence(
+            &["braided".into(), "area".into(), "rug".into()],
+            &name,
+            0.5,
+            ConfidenceWeights::default(),
+        );
+        let without = confidence(
+            &["braided".into(), "ivory".into()],
+            &name,
+            0.5,
+            ConfidenceWeights::default(),
+        );
+        assert!(with_name > without);
+        // Full name present (with plural normalization) earns w_name too.
+        assert!(with_name > 0.8);
+    }
+
+    #[test]
+    fn confidence_partial_name_tokens() {
+        let name: Vec<String> = vec!["laptop".into(), "computers".into()];
+        let partial = confidence(&["laptop".into(), "gaming".into()], &name, 0.0, ConfidenceWeights::default());
+        assert!((partial - 0.15).abs() < 1e-9, "got {partial}");
+    }
+
+    #[test]
+    fn confidence_clamps_support() {
+        let c = confidence(&["x".into()], &["y".into()], 5.0, ConfidenceWeights::default());
+        assert!(c <= 1.0);
+    }
+
+    #[test]
+    fn greedy_prefers_coverage_times_confidence() {
+        let rules = vec![
+            rule(&["wide"], &[0, 1, 2, 3], 0.5),      // gain 2.0
+            rule(&["narrow"], &[4, 5], 1.0),          // gain 2.0 (tie → lower idx)
+            rule(&["overlap"], &[0, 1], 1.0),         // gain 2.0 initially
+        ];
+        let s = greedy(&rules, 2, &HashSet::new());
+        assert_eq!(s.selected.len(), 2);
+        assert!(s.covered.len() >= 6 - 1);
+    }
+
+    #[test]
+    fn greedy_stops_when_no_new_coverage() {
+        let rules = vec![
+            rule(&["a"], &[0, 1], 1.0),
+            rule(&["b"], &[0, 1], 1.0), // fully subsumed by the first
+        ];
+        let s = greedy(&rules, 10, &HashSet::new());
+        assert_eq!(s.selected.len(), 1);
+        assert_eq!(s.covered.len(), 2);
+    }
+
+    #[test]
+    fn greedy_respects_q() {
+        let rules: Vec<CandidateRule> =
+            (0..10).map(|i| rule(&["t"], &[i], 1.0)).collect();
+        let s = greedy(&rules, 3, &HashSet::new());
+        assert_eq!(s.selected.len(), 3);
+    }
+
+    #[test]
+    fn greedy_with_excluded_coverage() {
+        let rules = vec![rule(&["a"], &[0, 1], 1.0), rule(&["b"], &[2, 3], 1.0)];
+        let excluded: HashSet<u32> = [0, 1].into();
+        let s = greedy(&rules, 2, &excluded);
+        assert_eq!(s.selected, vec![1]);
+        assert_eq!(s.covered, [2, 3].into());
+    }
+
+    #[test]
+    fn greedy_biased_exhausts_high_confidence_first() {
+        let rules = vec![
+            rule(&["low-wide"], &[0, 1, 2, 3, 4, 5, 6, 7], 0.2), // huge coverage, low conf
+            rule(&["high-a"], &[0, 1], 0.9),
+            rule(&["high-b"], &[2, 3], 0.9),
+        ];
+        let (s, high_count) = greedy_biased(&rules, 3, 0.7);
+        // High-confidence rules come first even though the low-confidence
+        // rule has the largest gain.
+        assert_eq!(high_count, 2);
+        assert_eq!(&s.selected[..2], &[1, 2]);
+        assert_eq!(s.selected[2], 0);
+    }
+
+    #[test]
+    fn greedy_biased_fills_with_low_confidence() {
+        let rules = vec![
+            rule(&["high"], &[0], 0.9),
+            rule(&["low-a"], &[1, 2], 0.3),
+            rule(&["low-b"], &[3], 0.2),
+        ];
+        let (s, high_count) = greedy_biased(&rules, 3, 0.7);
+        assert_eq!(high_count, 1);
+        assert_eq!(s.selected.len(), 3);
+        assert_eq!(s.covered.len(), 4);
+    }
+
+    #[test]
+    fn plain_greedy_differs_from_biased() {
+        // The E15 ablation in miniature.
+        let rules = vec![
+            rule(&["low-wide"], &[0, 1, 2, 3, 4, 5], 0.3),
+            rule(&["high-narrow"], &[6], 0.95),
+        ];
+        let plain = greedy(&rules, 1, &HashSet::new());
+        let (biased, _) = greedy_biased(&rules, 1, 0.7);
+        assert_eq!(plain.selected, vec![0]); // max gain
+        assert_eq!(biased.selected, vec![1]); // high confidence first
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = greedy(&[], 5, &HashSet::new());
+        assert!(s.selected.is_empty());
+        let (s, h) = greedy_biased(&[], 5, 0.5);
+        assert!(s.selected.is_empty());
+        assert_eq!(h, 0);
+    }
+}

@@ -1,0 +1,547 @@
+//! The §5.1 synonym-finder tool.
+//!
+//! An analyst writes a rule with a `\syn` marker in one disjunction:
+//!
+//! ```text
+//! (motor | engine | \syn) oils? -> motor oil
+//! ```
+//!
+//! The tool (Figure 3 pipeline): generalizes the marked disjunction to
+//! `(\w+)`, `(\w+\s+\w+)`, `(\w+\s+\w+\s+\w+)`; extracts candidate synonyms
+//! with prefix/suffix contexts (5 tokens each side) from a title corpus;
+//! ranks candidates by TF/IDF cosine against the *golden* synonyms'
+//! contexts; shows the top `k` to the analyst; and re-ranks the remainder
+//! with a Rocchio update after each round of feedback.
+
+use rulekit_text::{rocchio_update, RocchioWeights, SparseVector, TfIdf, Tokenizer};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum synonym phrase length in words (the paper's `k = 3`).
+const MAX_PHRASE_WORDS: usize = 3;
+
+/// Context window in tokens on each side (the paper uses 5).
+const CONTEXT_TOKENS: usize = 5;
+
+/// Error building a synonym session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynError(pub String);
+
+impl fmt::Display for SynError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "synonym tool error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SynError {}
+
+/// A `\syn`-marked rule pattern, decomposed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynPattern {
+    /// Pattern text before the marked group.
+    pub prefix: String,
+    /// Pattern text after the marked group.
+    pub suffix: String,
+    /// The golden synonyms already in the marked disjunction.
+    pub golden: Vec<String>,
+}
+
+impl SynPattern {
+    /// Parses a pattern like `(motor | engine | \syn) oils?`.
+    ///
+    /// The `\syn` marker must appear inside exactly one parenthesized
+    /// disjunction (the paper's tool has the same one-disjunction-at-a-time
+    /// restriction).
+    pub fn parse(pattern: &str) -> Result<SynPattern, SynError> {
+        let marker = pattern
+            .find("\\syn")
+            .ok_or_else(|| SynError("pattern has no \\syn marker".into()))?;
+        if pattern[marker + 4..].contains("\\syn") {
+            return Err(SynError("only one \\syn marker is supported".into()));
+        }
+        // Find the enclosing group.
+        let open = pattern[..marker]
+            .rfind('(')
+            .ok_or_else(|| SynError("\\syn must appear inside a (…) group".into()))?;
+        let close_rel = pattern[marker..]
+            .find(')')
+            .ok_or_else(|| SynError("unclosed group around \\syn".into()))?;
+        let close = marker + close_rel;
+        let body = &pattern[open + 1..close];
+        let golden: Vec<String> = body
+            .split('|')
+            .map(str::trim)
+            .filter(|alt| !alt.is_empty() && *alt != "\\syn")
+            .map(|alt| alt.to_lowercase())
+            .collect();
+        Ok(SynPattern {
+            prefix: pattern[..open].trim_end().to_string(),
+            suffix: pattern[close + 1..].to_string(),
+            golden,
+        })
+    }
+
+    /// The generalized regexes `prefix (\w+(\s+\w+){n-1}) suffix` for
+    /// `n = 1..=3`.
+    pub fn generalized_patterns(&self) -> Vec<String> {
+        (1..=MAX_PHRASE_WORDS)
+            .map(|n| {
+                let phrase = if n == 1 {
+                    r"(\w+)".to_string()
+                } else {
+                    format!(r"(\w+(?:\s+\w+){{{}}})", n - 1)
+                };
+                let mut out = String::new();
+                if !self.prefix.is_empty() {
+                    out.push_str(&self.prefix);
+                    out.push(' ');
+                }
+                out.push_str(&phrase);
+                out.push_str(&self.suffix);
+                out
+            })
+            .collect()
+    }
+
+    /// Reassembles the rule pattern with an expanded disjunction.
+    pub fn expanded(&self, accepted: &[String]) -> String {
+        let mut alts = self.golden.clone();
+        alts.extend(accepted.iter().cloned());
+        let mut out = String::new();
+        if !self.prefix.is_empty() {
+            out.push_str(&self.prefix);
+            out.push(' ');
+        }
+        out.push('(');
+        out.push_str(&alts.join("|"));
+        out.push(')');
+        out.push_str(&self.suffix);
+        out
+    }
+}
+
+/// One extracted occurrence of a candidate (or golden) synonym.
+#[derive(Debug, Clone)]
+struct ContextualMatch {
+    prefix_tokens: Vec<String>,
+    suffix_tokens: Vec<String>,
+    /// Source title (kept so the analyst can see sample usages).
+    title: String,
+}
+
+/// A ranked candidate shown to the analyst.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The candidate phrase.
+    pub phrase: String,
+    /// Current ranking score.
+    pub score: f64,
+    /// Sample titles in which the phrase occurs (up to 3).
+    pub samples: Vec<String>,
+}
+
+/// The analyst in the loop: judges candidates shown by the tool.
+pub trait AnalystOracle {
+    /// Whether `candidate` is a correct synonym; `samples` are example
+    /// titles.
+    fn judge(&mut self, candidate: &str, samples: &[String]) -> bool;
+
+    /// Whether the analyst is satisfied and wants to stop early.
+    fn satisfied(&self, accepted: &[String]) -> bool {
+        let _ = accepted;
+        false
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SynonymConfig {
+    /// Candidates shown per iteration (the paper's `k = 10`).
+    pub page_size: usize,
+    /// Rocchio weights for feedback re-ranking.
+    pub rocchio: RocchioWeights,
+    /// Hard cap on iterations (0 = until candidates are exhausted).
+    pub max_iterations: usize,
+    /// Prefix/suffix balance (the paper's `w_p = w_s = 0.5`).
+    pub prefix_weight: f64,
+}
+
+impl Default for SynonymConfig {
+    fn default() -> Self {
+        SynonymConfig {
+            page_size: 10,
+            rocchio: RocchioWeights::default(),
+            max_iterations: 0,
+            prefix_weight: 0.5,
+        }
+    }
+}
+
+/// Outcome of an interactive session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Accepted synonyms, in acceptance order.
+    pub accepted: Vec<String>,
+    /// Rejected candidates.
+    pub rejected: Vec<String>,
+    /// Iterations (pages) shown to the analyst.
+    pub iterations: usize,
+    /// Total candidates the analyst judged.
+    pub judged: usize,
+    /// The expanded rule pattern.
+    pub expanded_pattern: String,
+}
+
+/// The synonym-finder session over a title corpus.
+pub struct SynonymSession {
+    pattern: SynPattern,
+    /// Candidate phrase → aggregated context vectors (mean prefix, mean
+    /// suffix) and samples.
+    candidates: Vec<CandidateState>,
+    golden_prefix: SparseVector,
+    golden_suffix: SparseVector,
+    cfg: SynonymConfig,
+}
+
+struct CandidateState {
+    phrase: String,
+    mean_prefix: SparseVector,
+    mean_suffix: SparseVector,
+    samples: Vec<String>,
+    occurrences: usize,
+}
+
+impl SynonymSession {
+    /// Builds a session: extracts and ranks candidates from `titles`.
+    pub fn new(pattern_text: &str, titles: &[String], cfg: SynonymConfig) -> Result<SynonymSession, SynError> {
+        let pattern = SynPattern::parse(pattern_text)?;
+        if pattern.golden.is_empty() {
+            return Err(SynError("the marked disjunction needs at least one golden synonym".into()));
+        }
+        let tokenizer = Tokenizer::new();
+
+        // Extract matches of the generalized regexes.
+        let mut by_phrase: HashMap<String, Vec<ContextualMatch>> = HashMap::new();
+        for gen_pattern in pattern.generalized_patterns() {
+            let regex = rulekit_core::compile_pattern(&gen_pattern)
+                .map_err(|e| SynError(format!("generalization failed: {e}")))?;
+            for title in titles {
+                let Some(caps) = regex.captures(title) else { continue };
+                let Some(group) = caps.get(1) else { continue };
+                let whole = caps.get(0).expect("group 0 always present");
+                let phrase = group.as_str().to_lowercase();
+                let prefix_text = &title[..group.start()];
+                let suffix_text = &title[whole.end()..];
+                let mut prefix_tokens = tokenizer.tokenize(prefix_text);
+                if prefix_tokens.len() > CONTEXT_TOKENS {
+                    prefix_tokens = prefix_tokens.split_off(prefix_tokens.len() - CONTEXT_TOKENS);
+                }
+                let mut suffix_tokens = tokenizer.tokenize(suffix_text);
+                suffix_tokens.truncate(CONTEXT_TOKENS);
+                by_phrase.entry(phrase).or_default().push(ContextualMatch {
+                    prefix_tokens,
+                    suffix_tokens,
+                    title: title.clone(),
+                });
+            }
+        }
+
+        // TF/IDF over all contexts (prefixes and suffixes are weighted in a
+        // shared term space; |M| = total matches, as in the paper).
+        let tfidf = TfIdf::new();
+        for matches in by_phrase.values() {
+            for m in matches {
+                tfidf.observe(m.prefix_tokens.iter().map(String::as_str));
+                tfidf.observe(m.suffix_tokens.iter().map(String::as_str));
+            }
+        }
+        let tfidf = Arc::new(tfidf);
+
+        let mean_vectors = |matches: &[ContextualMatch]| {
+            let prefixes: Vec<SparseVector> = matches
+                .iter()
+                .map(|m| tfidf.weigh(m.prefix_tokens.iter().map(String::as_str)).normalized())
+                .collect();
+            let suffixes: Vec<SparseVector> = matches
+                .iter()
+                .map(|m| tfidf.weigh(m.suffix_tokens.iter().map(String::as_str)).normalized())
+                .collect();
+            (SparseVector::mean(prefixes.iter()), SparseVector::mean(suffixes.iter()))
+        };
+
+        // Golden context profile.
+        let golden_matches: Vec<ContextualMatch> = pattern
+            .golden
+            .iter()
+            .filter_map(|g| by_phrase.get(g))
+            .flat_map(|v| v.iter().cloned())
+            .collect();
+        if golden_matches.is_empty() {
+            return Err(SynError(
+                "no occurrences of the golden synonyms in the corpus — cannot build a context profile"
+                    .into(),
+            ));
+        }
+        let (golden_prefix, golden_suffix) = mean_vectors(&golden_matches);
+
+        // Candidate states. Golden synonyms are excluded, as are multi-word
+        // artifacts that merely wrap a golden synonym ("jug motor" for
+        // golden "motor") — those match titles the rule already covers.
+        let golden = pattern.golden.clone();
+        let contains_golden_word = move |phrase: &str| {
+            phrase.split_whitespace().any(|w| golden.iter().any(|g| g == w))
+                || golden.iter().any(|g| phrase.contains(g.as_str()) && phrase != g.as_str())
+        };
+        let mut candidates: Vec<CandidateState> = by_phrase
+            .into_iter()
+            .filter(|(phrase, _)| !pattern.golden.contains(phrase) && !contains_golden_word(phrase))
+            .map(|(phrase, matches)| {
+                let (mean_prefix, mean_suffix) = mean_vectors(&matches);
+                let samples = matches.iter().take(3).map(|m| m.title.clone()).collect();
+                CandidateState { phrase, mean_prefix, mean_suffix, samples, occurrences: matches.len() }
+            })
+            .collect();
+        candidates.sort_by(|a, b| a.phrase.cmp(&b.phrase)); // deterministic base order
+
+        Ok(SynonymSession { pattern, candidates, golden_prefix, golden_suffix, cfg })
+    }
+
+    /// Number of candidates remaining.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The current ranking (best first).
+    pub fn ranked(&self) -> Vec<Candidate> {
+        let mut scored: Vec<(usize, f64)> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, self.score(c)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .map(|(i, score)| Candidate {
+                phrase: self.candidates[i].phrase.clone(),
+                score,
+                samples: self.candidates[i].samples.clone(),
+            })
+            .collect()
+    }
+
+    fn score(&self, c: &CandidateState) -> f64 {
+        let wp = self.cfg.prefix_weight;
+        wp * c.mean_prefix.cosine(&self.golden_prefix)
+            + (1.0 - wp) * c.mean_suffix.cosine(&self.golden_suffix)
+    }
+
+    /// Runs the interactive loop against `analyst` to completion.
+    pub fn run(mut self, analyst: &mut dyn AnalystOracle) -> SessionOutcome {
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        let mut iterations = 0usize;
+        let mut judged = 0usize;
+
+        while !self.candidates.is_empty() {
+            if self.cfg.max_iterations > 0 && iterations >= self.cfg.max_iterations {
+                break;
+            }
+            iterations += 1;
+
+            // Current top-k page.
+            let page: Vec<String> = self
+                .ranked()
+                .into_iter()
+                .take(self.cfg.page_size)
+                .map(|c| c.phrase)
+                .collect();
+
+            let mut accepted_vectors: Vec<SparseVector> = Vec::new();
+            let mut rejected_vectors: Vec<SparseVector> = Vec::new();
+            let mut accepted_suffix: Vec<SparseVector> = Vec::new();
+            let mut rejected_suffix: Vec<SparseVector> = Vec::new();
+
+            for phrase in &page {
+                let idx = self
+                    .candidates
+                    .iter()
+                    .position(|c| &c.phrase == phrase)
+                    .expect("page phrases come from candidates");
+                let state = self.candidates.remove(idx);
+                judged += 1;
+                if analyst.judge(&state.phrase, &state.samples) {
+                    accepted_vectors.push(state.mean_prefix.clone());
+                    accepted_suffix.push(state.mean_suffix.clone());
+                    accepted.push(state.phrase);
+                } else {
+                    rejected_vectors.push(state.mean_prefix.clone());
+                    rejected_suffix.push(state.mean_suffix.clone());
+                    rejected.push(state.phrase);
+                }
+            }
+
+            // Rocchio re-rank for the next page.
+            self.golden_prefix = rocchio_update(
+                &self.golden_prefix,
+                &accepted_vectors,
+                &rejected_vectors,
+                self.cfg.rocchio,
+            );
+            self.golden_suffix = rocchio_update(
+                &self.golden_suffix,
+                &accepted_suffix,
+                &rejected_suffix,
+                self.cfg.rocchio,
+            );
+
+            if analyst.satisfied(&accepted) {
+                break;
+            }
+        }
+
+        let expanded_pattern = self.pattern.expanded(&accepted);
+        SessionOutcome { accepted, rejected, iterations, judged, expanded_pattern }
+    }
+
+    /// Occurrence count of a candidate (diagnostics).
+    pub fn occurrences(&self, phrase: &str) -> usize {
+        self.candidates
+            .iter()
+            .find(|c| c.phrase == phrase)
+            .map_or(0, |c| c.occurrences)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_extracts_golden_and_affixes() {
+        let p = SynPattern::parse(r"(motor | engine | \syn) oils?").unwrap();
+        assert_eq!(p.golden, vec!["motor", "engine"]);
+        assert_eq!(p.prefix, "");
+        assert_eq!(p.suffix, " oils?");
+    }
+
+    #[test]
+    fn parse_with_prefix_text() {
+        let p = SynPattern::parse(r"heavy (duty | \syn) gloves?").unwrap();
+        assert_eq!(p.prefix, "heavy");
+        assert_eq!(p.golden, vec!["duty"]);
+    }
+
+    #[test]
+    fn parse_rejects_missing_marker() {
+        assert!(SynPattern::parse("(a|b) c").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_double_marker() {
+        assert!(SynPattern::parse(r"(\syn|a) (\syn|b)").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bare_marker() {
+        assert!(SynPattern::parse(r"\syn rugs?").is_err());
+    }
+
+    #[test]
+    fn generalized_patterns_cover_one_to_three_words() {
+        let p = SynPattern::parse(r"(area | \syn) rugs?").unwrap();
+        let gens = p.generalized_patterns();
+        assert_eq!(gens.len(), 3);
+        assert_eq!(gens[0], r"(\w+) rugs?");
+        assert_eq!(gens[1], r"(\w+(?:\s+\w+){1}) rugs?");
+    }
+
+    #[test]
+    fn expanded_pattern_appends_accepted() {
+        let p = SynPattern::parse(r"(motor | engine | \syn) oils?").unwrap();
+        assert_eq!(
+            p.expanded(&["car".to_string(), "truck".to_string()]),
+            "(motor|engine|car|truck) oils?"
+        );
+    }
+
+    /// An oracle with a fixed truth set.
+    struct SetOracle(Vec<&'static str>);
+
+    impl AnalystOracle for SetOracle {
+        fn judge(&mut self, candidate: &str, _samples: &[String]) -> bool {
+            self.0.contains(&candidate)
+        }
+    }
+
+    fn corpus() -> Vec<String> {
+        let mut titles = Vec::new();
+        // Golden contexts: "motor oil" / "engine oil" in automotive titles.
+        for q in ["synthetic", "high mileage", "5qt jug", "premium"] {
+            titles.push(format!("SuperTech {q} motor oil for cars"));
+            titles.push(format!("Castrol {q} engine oil 5w-30"));
+        }
+        // True synonyms in the same contexts.
+        for q in ["synthetic", "premium", "5qt jug"] {
+            titles.push(format!("Mobil {q} car oil for cars"));
+            titles.push(format!("Quaker {q} truck oil 10w-40"));
+        }
+        // False candidates in different contexts.
+        titles.push("scented lavender bath oil gift set for relaxation".to_string());
+        titles.push("extra virgin olive oil imported cold pressed".to_string());
+        titles
+    }
+
+    #[test]
+    fn session_finds_true_synonyms_first() {
+        let session =
+            SynonymSession::new(r"(motor | engine | \syn) oils?", &corpus(), SynonymConfig::default())
+                .unwrap();
+        let ranked = session.ranked();
+        assert!(!ranked.is_empty());
+        // Both true synonyms surface on the first page, ahead of the
+        // out-of-context "bath oil"/"olive oil" candidates.
+        let phrases: Vec<&str> = ranked.iter().map(|c| c.phrase.as_str()).collect();
+        let pos = |p: &str| phrases.iter().position(|&x| x == p).unwrap_or(usize::MAX);
+        assert!(pos("car") < 3, "ranking = {phrases:?}");
+        assert!(pos("truck") < 10, "ranking = {phrases:?}");
+        for junk in ["lavender bath", "virgin olive"] {
+            if pos(junk) != usize::MAX {
+                assert!(pos("car") < pos(junk), "{junk} outranked car: {phrases:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_accepts_truth_and_rejects_noise() {
+        let session =
+            SynonymSession::new(r"(motor | engine | \syn) oils?", &corpus(), SynonymConfig::default())
+                .unwrap();
+        let mut oracle = SetOracle(vec!["car", "truck"]);
+        let outcome = session.run(&mut oracle);
+        assert!(outcome.accepted.contains(&"car".to_string()));
+        assert!(outcome.accepted.contains(&"truck".to_string()));
+        assert!(outcome.rejected.iter().any(|r| r.contains("bath") || r.contains("olive")));
+        assert!(outcome.expanded_pattern.starts_with("(motor|engine|"));
+        assert!(outcome.iterations >= 1);
+        assert_eq!(outcome.judged, outcome.accepted.len() + outcome.rejected.len());
+    }
+
+    #[test]
+    fn session_errors_without_golden_occurrences() {
+        let titles = vec!["nothing relevant here".to_string()];
+        let err = SynonymSession::new(r"(motor | \syn) oils?", &titles, SynonymConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn max_iterations_caps_the_loop() {
+        let cfg = SynonymConfig { max_iterations: 1, page_size: 2, ..SynonymConfig::default() };
+        let session = SynonymSession::new(r"(motor | engine | \syn) oils?", &corpus(), cfg).unwrap();
+        let mut oracle = SetOracle(vec!["car", "truck"]);
+        let outcome = session.run(&mut oracle);
+        assert_eq!(outcome.iterations, 1);
+        assert!(outcome.judged <= 2);
+    }
+}

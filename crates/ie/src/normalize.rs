@@ -1,0 +1,93 @@
+//! Value-normalization rules (§6): "another set of rules normalizes the
+//! extracted brand names (e.g., converting 'IBM', 'IBM Inc.', and 'the Big
+//! Blue' all into 'IBM Corporation')."
+
+use std::collections::HashMap;
+
+/// A set of normalization rules: variant → canonical form.
+#[derive(Debug, Clone, Default)]
+pub struct Normalizer {
+    /// Lowercased variant → canonical.
+    mapping: HashMap<String, String>,
+}
+
+impl Normalizer {
+    /// An empty normalizer.
+    pub fn new() -> Self {
+        Normalizer::default()
+    }
+
+    /// Adds one canonical form with its variants (the canonical form itself
+    /// is always accepted).
+    pub fn add_rule(
+        &mut self,
+        canonical: impl Into<String>,
+        variants: impl IntoIterator<Item = impl AsRef<str>>,
+    ) {
+        let canonical = canonical.into();
+        self.mapping.insert(canonical.to_lowercase(), canonical.clone());
+        for v in variants {
+            self.mapping.insert(v.as_ref().to_lowercase(), canonical.clone());
+        }
+    }
+
+    /// The paper's example rule set.
+    pub fn paper_example() -> Self {
+        let mut n = Normalizer::new();
+        n.add_rule("IBM Corporation", ["IBM", "IBM Inc.", "the Big Blue"]);
+        n
+    }
+
+    /// Normalizes `value`; unknown values pass through after whitespace
+    /// cleanup.
+    pub fn normalize(&self, value: &str) -> String {
+        let cleaned = value.split_whitespace().collect::<Vec<_>>().join(" ");
+        self.mapping
+            .get(&cleaned.to_lowercase())
+            .cloned()
+            .unwrap_or(cleaned)
+    }
+
+    /// Number of variant mappings.
+    pub fn len(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Whether the normalizer has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.mapping.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_normalizes_all_variants() {
+        let n = Normalizer::paper_example();
+        for variant in ["IBM", "ibm inc.", "THE BIG BLUE", "IBM Corporation"] {
+            assert_eq!(n.normalize(variant), "IBM Corporation", "{variant}");
+        }
+    }
+
+    #[test]
+    fn unknown_values_pass_through() {
+        let n = Normalizer::paper_example();
+        assert_eq!(n.normalize("Acme"), "Acme");
+    }
+
+    #[test]
+    fn whitespace_cleanup() {
+        let n = Normalizer::new();
+        assert_eq!(n.normalize("  too   many \t spaces "), "too many spaces");
+    }
+
+    #[test]
+    fn later_rules_can_override() {
+        let mut n = Normalizer::new();
+        n.add_rule("A Corp", ["acme"]);
+        n.add_rule("B Corp", ["acme"]);
+        assert_eq!(n.normalize("ACME"), "B Corp");
+    }
+}

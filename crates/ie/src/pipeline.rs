@@ -1,0 +1,146 @@
+//! The IE pipeline: brand dictionary + regex extractors + normalization,
+//! with oracle evaluation against the generator's attribute ground truth.
+
+use crate::brand::BrandDictionary;
+use crate::extract::{extract_all, Extraction, ExtractionRule};
+use crate::normalize::Normalizer;
+use rulekit_data::{GeneratedItem, Taxonomy};
+
+/// A configured extraction pipeline.
+pub struct IePipeline {
+    /// Brand dictionary (optional).
+    pub brands: Option<BrandDictionary>,
+    /// Regex field extractors.
+    pub rules: Vec<ExtractionRule>,
+    /// Value normalizer applied to every extraction.
+    pub normalizer: Normalizer,
+}
+
+impl IePipeline {
+    /// A pipeline with the standard extractors and a brand dictionary built
+    /// from the taxonomy's brand pools.
+    pub fn standard(taxonomy: &Taxonomy) -> IePipeline {
+        let mut brands: Vec<String> = taxonomy
+            .ids()
+            .flat_map(|id| taxonomy.def(id).brands.iter().cloned())
+            .collect();
+        brands.sort();
+        brands.dedup();
+        IePipeline {
+            brands: Some(BrandDictionary::new(
+                brands,
+                0.9,
+                vec![crate::brand::ContextPattern::TitleStart, crate::brand::ContextPattern::AfterBy],
+            )),
+            rules: crate::extract::standard_rules(),
+            normalizer: Normalizer::new(),
+        }
+    }
+
+    /// Extracts all fields from one title.
+    pub fn extract(&self, title: &str) -> Vec<Extraction> {
+        let mut out = Vec::new();
+        if let Some(dict) = &self.brands {
+            if let Some(mut b) = dict.extract(title) {
+                b.value = self.normalizer.normalize(&b.value);
+                out.push(b);
+            }
+        }
+        for mut e in extract_all(&self.rules, title) {
+            e.value = self.normalizer.normalize(&e.value);
+            out.push(e);
+        }
+        out
+    }
+}
+
+/// Brand-extraction accuracy over generated items (scored only on items
+/// whose title actually begins with the brand, the extractor's contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BrandEvalReport {
+    /// Items whose title starts with their brand attribute.
+    pub eligible: usize,
+    /// Eligible items where the pipeline extracted exactly that brand.
+    pub correct: usize,
+    /// Items where a brand was extracted but disagrees with the attribute.
+    pub wrong: usize,
+}
+
+impl BrandEvalReport {
+    /// Extraction accuracy on eligible items.
+    pub fn accuracy(&self) -> f64 {
+        if self.eligible == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.eligible as f64
+        }
+    }
+}
+
+/// Evaluates brand extraction against the `Brand Name` attribute.
+pub fn evaluate_brand(pipeline: &IePipeline, items: &[GeneratedItem]) -> BrandEvalReport {
+    let mut report = BrandEvalReport::default();
+    for item in items {
+        let Some(truth) = item.product.attr("Brand Name") else { continue };
+        if !item.product.title.starts_with(truth) {
+            continue; // brand not in title: not extractable from text
+        }
+        report.eligible += 1;
+        let extracted = pipeline
+            .extract(&item.product.title)
+            .into_iter()
+            .find(|e| e.field == "brand");
+        match extracted {
+            Some(e) if e.value == truth => report.correct += 1,
+            Some(_) => report.wrong += 1,
+            None => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::CatalogGenerator;
+
+    #[test]
+    fn standard_pipeline_extracts_brands_accurately() {
+        let tax = Taxonomy::builtin();
+        let pipeline = IePipeline::standard(&tax);
+        let mut g = CatalogGenerator::with_seed(tax, 71);
+        let items = g.generate(400);
+        let report = evaluate_brand(&pipeline, &items);
+        assert!(report.eligible > 100, "eligible = {}", report.eligible);
+        assert!(report.accuracy() > 0.9, "accuracy = {}", report.accuracy());
+    }
+
+    #[test]
+    fn pipeline_extracts_multiple_fields() {
+        let tax = Taxonomy::builtin();
+        let pipeline = IePipeline::standard(&tax);
+        let found = pipeline.extract("Mainstays ivory area rug 2.5 lbs");
+        let fields: Vec<&str> = found.iter().map(|e| e.field.as_str()).collect();
+        assert!(fields.contains(&"brand"));
+        assert!(fields.contains(&"color"));
+        assert!(fields.contains(&"weight"));
+    }
+
+    #[test]
+    fn normalizer_applies_to_extractions() {
+        let tax = Taxonomy::builtin();
+        let mut pipeline = IePipeline::standard(&tax);
+        pipeline.normalizer.add_rule("Mainstays Home", ["Mainstays"]);
+        let found = pipeline.extract("Mainstays area rug");
+        let brand = found.iter().find(|e| e.field == "brand").unwrap();
+        assert_eq!(brand.value, "Mainstays Home");
+    }
+
+    #[test]
+    fn empty_eval_on_no_items() {
+        let tax = Taxonomy::builtin();
+        let pipeline = IePipeline::standard(&tax);
+        let report = evaluate_brand(&pipeline, &[]);
+        assert_eq!(report.accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Nearest-centroid (Rocchio) classifier: one mean TF/IDF vector per class.
+//! Cheap, robust, and a natural third member of the paper's ensemble.
+
+use crate::classifier::{Classifier, Prediction, TrainingSet};
+use rulekit_data::TypeId;
+use rulekit_text::{SparseVector, TfIdf};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A trained nearest-centroid model.
+pub struct Centroid {
+    tfidf: Arc<TfIdf>,
+    /// Normalized per-class centroid vectors.
+    centroids: Vec<(TypeId, SparseVector)>,
+    top_k: usize,
+}
+
+impl Centroid {
+    /// Trains centroids from `data`.
+    pub fn train(data: &TrainingSet) -> Centroid {
+        let tfidf = TfIdf::fit(data.docs.iter().map(|(f, _)| f.iter().map(String::as_str)));
+        let mut sums: HashMap<TypeId, (SparseVector, usize)> = HashMap::new();
+        for (feats, label) in &data.docs {
+            let v = tfidf.weigh(feats.iter().map(String::as_str)).normalized();
+            let entry = sums.entry(*label).or_insert_with(|| (SparseVector::new(), 0));
+            entry.0.add_scaled(&v, 1.0);
+            entry.1 += 1;
+        }
+        let mut centroids: Vec<(TypeId, SparseVector)> = sums
+            .into_iter()
+            .map(|(ty, (sum, n))| (ty, sum.scaled(1.0 / n as f64).normalized()))
+            .collect();
+        centroids.sort_by_key(|&(ty, _)| ty);
+        Centroid { tfidf, centroids, top_k: 3 }
+    }
+
+    /// Sets how many classes the prediction reports (default 3).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k.max(1);
+        self
+    }
+
+    /// Number of classes with centroids.
+    pub fn class_count(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+impl Classifier for Centroid {
+    fn name(&self) -> &str {
+        "centroid"
+    }
+
+    fn predict(&self, features: &[String]) -> Prediction {
+        if self.centroids.is_empty() {
+            return Prediction::empty();
+        }
+        let q = self.tfidf.weigh(features.iter().map(String::as_str)).normalized();
+        if q.is_zero() {
+            return Prediction::empty();
+        }
+        let mut scored: Vec<(TypeId, f64)> = self
+            .centroids
+            .iter()
+            .map(|(ty, c)| (*ty, q.dot(c)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite cosines").then(a.0.cmp(&b.0)));
+        scored.truncate(self.top_k);
+        Prediction::from_scores(scored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy;
+
+    fn toy() -> TrainingSet {
+        TrainingSet::from_pairs(vec![
+            (vec!["diamond".into(), "ring".into()], TypeId(0)),
+            (vec!["wedding".into(), "ring".into()], TypeId(0)),
+            (vec!["area".into(), "rug".into()], TypeId(1)),
+            (vec!["shag".into(), "rug".into()], TypeId(1)),
+        ])
+    }
+
+    #[test]
+    fn classifies_toy_data() {
+        let c = Centroid::train(&toy());
+        assert_eq!(c.class_count(), 2);
+        assert_eq!(c.predict(&["diamond".into()]).top().unwrap().0, TypeId(0));
+        assert_eq!(c.predict(&["shag".into(), "area".into()]).top().unwrap().0, TypeId(1));
+    }
+
+    #[test]
+    fn training_accuracy() {
+        let data = toy();
+        let c = Centroid::train(&data);
+        assert_eq!(accuracy(&c, &data), 1.0);
+    }
+
+    #[test]
+    fn abstains_on_unseen_vocabulary() {
+        let c = Centroid::train(&toy());
+        assert!(c.predict(&["zzz".into()]).is_abstention());
+    }
+
+    #[test]
+    fn empty_model_abstains() {
+        let c = Centroid::train(&TrainingSet::default());
+        assert!(c.predict(&["ring".into()]).is_abstention());
+    }
+}

@@ -1,0 +1,122 @@
+//! Feature extraction: products → token bags.
+//!
+//! Title tokens carry most of the signal; attribute presence and values are
+//! added as prefixed tokens so learners can pick up signals like "has an
+//! ISBN" (which §3.2 calls out as an obvious Books indicator).
+
+use rulekit_data::Product;
+use rulekit_text::Tokenizer;
+
+/// Converts products into feature-token bags.
+#[derive(Debug, Clone)]
+pub struct Featurizer {
+    tokenizer: Tokenizer,
+    include_attributes: bool,
+    include_description: bool,
+}
+
+impl Default for Featurizer {
+    fn default() -> Self {
+        Featurizer::new()
+    }
+}
+
+impl Featurizer {
+    /// Title + attribute features (the production default).
+    pub fn new() -> Self {
+        Featurizer {
+            tokenizer: Tokenizer::new(),
+            include_attributes: true,
+            include_description: false,
+        }
+    }
+
+    /// Title-only features.
+    pub fn title_only() -> Self {
+        Featurizer {
+            tokenizer: Tokenizer::new(),
+            include_attributes: false,
+            include_description: false,
+        }
+    }
+
+    /// Also include description tokens.
+    pub fn with_description(mut self) -> Self {
+        self.include_description = true;
+        self
+    }
+
+    /// Extracts the feature bag for `product`.
+    pub fn features(&self, product: &Product) -> Vec<String> {
+        let mut feats = self.tokenizer.tokenize(&product.title);
+        if self.include_description && !product.description.is_empty() {
+            feats.extend(
+                self.tokenizer
+                    .tokenize(&product.description)
+                    .into_iter()
+                    .map(|t| format!("desc::{t}")),
+            );
+        }
+        if self.include_attributes {
+            for (key, value) in &product.attributes {
+                let key_norm = key.to_lowercase().replace(' ', "_");
+                // Presence feature: the §3.2 "has an isbn ⇒ book" signal.
+                feats.push(format!("attr::{key_norm}"));
+                // Value features for low-cardinality attributes.
+                if matches!(key_norm.as_str(), "brand_name" | "color" | "material" | "size") {
+                    for tok in self.tokenizer.tokenize(value) {
+                        feats.push(format!("{key_norm}::{tok}"));
+                    }
+                }
+            }
+        }
+        feats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::VendorId;
+
+    fn product() -> Product {
+        Product {
+            id: 1,
+            title: "Penguin House bestselling novel".into(),
+            description: "Discover the bestselling novel.".into(),
+            attributes: vec![
+                ("ISBN".into(), "9781234567890".into()),
+                ("Brand Name".into(), "Penguin House".into()),
+            ],
+            vendor: VendorId(0),
+        }
+    }
+
+    #[test]
+    fn title_tokens_present() {
+        let feats = Featurizer::new().features(&product());
+        assert!(feats.contains(&"novel".to_string()));
+        assert!(feats.contains(&"bestselling".to_string()));
+    }
+
+    #[test]
+    fn attribute_presence_feature() {
+        let feats = Featurizer::new().features(&product());
+        assert!(feats.contains(&"attr::isbn".to_string()));
+        assert!(feats.contains(&"brand_name::penguin".to_string()));
+    }
+
+    #[test]
+    fn title_only_skips_attributes() {
+        let feats = Featurizer::title_only().features(&product());
+        assert!(!feats.iter().any(|f| f.starts_with("attr::")));
+    }
+
+    #[test]
+    fn description_opt_in() {
+        let with = Featurizer::new().with_description().features(&product());
+        assert!(with.iter().any(|f| f.starts_with("desc::")));
+        let without = Featurizer::new().features(&product());
+        assert!(!without.iter().any(|f| f.starts_with("desc::")));
+    }
+}

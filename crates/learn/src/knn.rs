@@ -1,0 +1,168 @@
+//! k-nearest-neighbour classifier over TF/IDF vectors (§3.1's "k-NN").
+//!
+//! Scoring uses an inverted index over training vectors, so prediction cost
+//! is proportional to the postings of the query's terms rather than the
+//! training-set size — the same trick the paper's rule executor uses for
+//! rules (§4).
+
+use crate::classifier::{Classifier, Prediction, TrainingSet};
+use rulekit_data::TypeId;
+use rulekit_text::{SparseVector, TfIdf};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A trained k-NN model.
+pub struct Knn {
+    k: usize,
+    tfidf: Arc<TfIdf>,
+    labels: Vec<TypeId>,
+    /// Norms of training vectors (vectors themselves live in the postings).
+    norms: Vec<f64>,
+    /// term id → `(doc index, weight)` postings.
+    postings: HashMap<u32, Vec<(u32, f64)>>,
+}
+
+impl Knn {
+    /// Trains a model with neighbourhood size `k`.
+    pub fn train(data: &TrainingSet, k: usize) -> Knn {
+        assert!(k >= 1, "k must be at least 1");
+        let tfidf = TfIdf::fit(data.docs.iter().map(|(f, _)| f.iter().map(String::as_str)));
+        let mut labels = Vec::with_capacity(data.len());
+        let mut norms = Vec::with_capacity(data.len());
+        let mut postings: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
+        for (i, (feats, label)) in data.docs.iter().enumerate() {
+            let v = tfidf.weigh(feats.iter().map(String::as_str));
+            labels.push(*label);
+            norms.push(v.norm());
+            for &(term, w) in v.entries() {
+                postings.entry(term).or_default().push((i as u32, w));
+            }
+        }
+        Knn { k, tfidf, labels, norms, postings }
+    }
+
+    /// Number of training documents.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the model has no training documents.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    fn query_vector(&self, features: &[String]) -> SparseVector {
+        self.tfidf.weigh(features.iter().map(String::as_str))
+    }
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &str {
+        "knn"
+    }
+
+    fn predict(&self, features: &[String]) -> Prediction {
+        if self.is_empty() {
+            return Prediction::empty();
+        }
+        let q = self.query_vector(features);
+        let qnorm = q.norm();
+        if qnorm == 0.0 {
+            return Prediction::empty();
+        }
+        // Accumulate dot products via postings.
+        let mut dots: HashMap<u32, f64> = HashMap::new();
+        for &(term, qw) in q.entries() {
+            if let Some(list) = self.postings.get(&term) {
+                for &(doc, dw) in list {
+                    *dots.entry(doc).or_insert(0.0) += qw * dw;
+                }
+            }
+        }
+        if dots.is_empty() {
+            return Prediction::empty();
+        }
+        let mut scored: Vec<(u32, f64)> = dots
+            .into_iter()
+            .map(|(doc, dot)| {
+                let denom = qnorm * self.norms[doc as usize];
+                (doc, if denom > 0.0 { dot / denom } else { 0.0 })
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite cosines").then(a.0.cmp(&b.0)));
+        scored.truncate(self.k);
+
+        // Similarity-weighted vote among the k nearest.
+        let mut votes: HashMap<TypeId, f64> = HashMap::new();
+        for (doc, sim) in scored {
+            *votes.entry(self.labels[doc as usize]).or_insert(0.0) += sim;
+        }
+        Prediction::from_scores(votes.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy;
+
+    fn toy() -> TrainingSet {
+        TrainingSet::from_pairs(vec![
+            (vec!["diamond".into(), "ring".into()], TypeId(0)),
+            (vec!["wedding".into(), "band".into(), "ring".into()], TypeId(0)),
+            (vec!["gold".into(), "ring".into()], TypeId(0)),
+            (vec!["area".into(), "rug".into()], TypeId(1)),
+            (vec!["oriental".into(), "rug".into()], TypeId(1)),
+            (vec!["braided".into(), "area".into(), "rug".into()], TypeId(1)),
+        ])
+    }
+
+    #[test]
+    fn classifies_toy_data() {
+        let knn = Knn::train(&toy(), 3);
+        assert_eq!(knn.predict(&["diamond".into(), "band".into()]).top().unwrap().0, TypeId(0));
+        assert_eq!(knn.predict(&["oriental".into(), "area".into()]).top().unwrap().0, TypeId(1));
+    }
+
+    #[test]
+    fn training_accuracy_is_high() {
+        let data = toy();
+        let knn = Knn::train(&data, 1);
+        assert_eq!(accuracy(&knn, &data), 1.0);
+    }
+
+    #[test]
+    fn abstains_on_fully_unseen_features() {
+        let knn = Knn::train(&toy(), 3);
+        assert!(knn.predict(&["zzz".into()]).is_abstention());
+        assert!(knn.predict(&[]).is_abstention());
+    }
+
+    #[test]
+    fn empty_model_abstains() {
+        let knn = Knn::train(&TrainingSet::default(), 3);
+        assert!(knn.predict(&["ring".into()]).is_abstention());
+        assert!(knn.is_empty());
+    }
+
+    #[test]
+    fn k_one_matches_nearest_label() {
+        let knn = Knn::train(&toy(), 1);
+        let p = knn.predict(&["wedding".into(), "band".into(), "ring".into()]);
+        assert_eq!(p.top().unwrap(), (TypeId(0), 1.0));
+    }
+
+    #[test]
+    fn common_token_across_classes_is_downweighted() {
+        // "set" appears in both classes, type tokens are discriminative.
+        let data = TrainingSet::from_pairs(vec![
+            (vec!["set".into(), "ring".into()], TypeId(0)),
+            (vec!["set".into(), "ring".into()], TypeId(0)),
+            (vec!["set".into(), "rug".into()], TypeId(1)),
+            (vec!["set".into(), "rug".into()], TypeId(1)),
+        ]);
+        let knn = Knn::train(&data, 4);
+        let p = knn.predict(&["set".into(), "rug".into()]);
+        assert_eq!(p.top().unwrap().0, TypeId(1));
+    }
+}

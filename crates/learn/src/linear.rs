@@ -1,0 +1,186 @@
+//! Averaged multiclass perceptron — the linear max-margin-ish member of the
+//! ensemble, standing in for the paper's "SVM, etc." (§3.1). The averaged
+//! variant (Freund & Schapire) is far more stable than the vanilla update.
+
+use crate::classifier::{Classifier, Prediction, TrainingSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rulekit_data::TypeId;
+use std::collections::HashMap;
+
+/// A trained averaged perceptron.
+pub struct Perceptron {
+    /// Per-class averaged weights over feature tokens.
+    weights: HashMap<TypeId, HashMap<String, f64>>,
+    top_k: usize,
+}
+
+/// Training options.
+#[derive(Debug, Clone, Copy)]
+pub struct PerceptronConfig {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        PerceptronConfig { epochs: 5, seed: 0 }
+    }
+}
+
+impl Perceptron {
+    /// Trains with default options.
+    pub fn train(data: &TrainingSet) -> Perceptron {
+        Perceptron::train_with(data, PerceptronConfig::default())
+    }
+
+    /// Trains with explicit options.
+    pub fn train_with(data: &TrainingSet, cfg: PerceptronConfig) -> Perceptron {
+        let labels = data.labels();
+        let mut current: HashMap<TypeId, HashMap<String, f64>> =
+            labels.iter().map(|&l| (l, HashMap::new())).collect();
+        let mut averaged: HashMap<TypeId, HashMap<String, f64>> =
+            labels.iter().map(|&l| (l, HashMap::new())).collect();
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut updates = 0u64;
+
+        for _ in 0..cfg.epochs.max(1) {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let (feats, truth) = &data.docs[i];
+                let predicted = argmax(&current, feats);
+                if predicted != Some(*truth) {
+                    // Promote truth, demote the (wrong) prediction.
+                    bump(current.get_mut(truth).expect("label present"), feats, 1.0);
+                    bump_avg(averaged.get_mut(truth).expect("label present"), feats, updates as f64);
+                    if let Some(wrong) = predicted {
+                        bump(current.get_mut(&wrong).expect("label present"), feats, -1.0);
+                        bump_avg(averaged.get_mut(&wrong).expect("label present"), feats, -(updates as f64));
+                    }
+                }
+                updates += 1;
+            }
+        }
+
+        // Final averaged weights: w_avg = w_current − accumulated/updates.
+        let total = updates.max(1) as f64;
+        let mut weights = current;
+        for (label, acc) in averaged {
+            let w = weights.get_mut(&label).expect("label present");
+            for (tok, a) in acc {
+                *w.entry(tok).or_insert(0.0) -= a / total;
+            }
+        }
+        Perceptron { weights, top_k: 3 }
+    }
+
+    /// Sets how many classes the prediction reports (default 3).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k.max(1);
+        self
+    }
+}
+
+fn score(weights: &HashMap<String, f64>, feats: &[String]) -> f64 {
+    feats.iter().map(|t| weights.get(t).copied().unwrap_or(0.0)).sum()
+}
+
+fn argmax(weights: &HashMap<TypeId, HashMap<String, f64>>, feats: &[String]) -> Option<TypeId> {
+    weights
+        .iter()
+        .map(|(&ty, w)| (ty, score(w, feats)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores").then(b.0.cmp(&a.0)))
+        .map(|(ty, _)| ty)
+}
+
+fn bump(weights: &mut HashMap<String, f64>, feats: &[String], delta: f64) {
+    for tok in feats {
+        *weights.entry(tok.clone()).or_insert(0.0) += delta;
+    }
+}
+
+fn bump_avg(acc: &mut HashMap<String, f64>, feats: &[String], scaled: f64) {
+    for tok in feats {
+        *acc.entry(tok.clone()).or_insert(0.0) += scaled;
+    }
+}
+
+impl Classifier for Perceptron {
+    fn name(&self) -> &str {
+        "perceptron"
+    }
+
+    fn predict(&self, features: &[String]) -> Prediction {
+        if self.weights.is_empty() {
+            return Prediction::empty();
+        }
+        let mut scored: Vec<(TypeId, f64)> = self
+            .weights
+            .iter()
+            .map(|(&ty, w)| (ty, score(w, features)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scored.truncate(self.top_k);
+        // Shift so the weakest retained score maps to a small positive weight.
+        let min = scored.last().map_or(0.0, |&(_, s)| s);
+        let shifted: Vec<(TypeId, f64)> = scored
+            .into_iter()
+            .map(|(ty, s)| (ty, s - min + 1e-6))
+            .collect();
+        Prediction::from_scores(shifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy;
+
+    fn toy() -> TrainingSet {
+        TrainingSet::from_pairs(vec![
+            (vec!["diamond".into(), "ring".into()], TypeId(0)),
+            (vec!["wedding".into(), "ring".into()], TypeId(0)),
+            (vec!["gold".into(), "ring".into()], TypeId(0)),
+            (vec!["area".into(), "rug".into()], TypeId(1)),
+            (vec!["oriental".into(), "rug".into()], TypeId(1)),
+            (vec!["shag".into(), "rug".into()], TypeId(1)),
+            (vec!["laptop".into(), "computer".into()], TypeId(2)),
+            (vec!["gaming".into(), "laptop".into()], TypeId(2)),
+        ])
+    }
+
+    #[test]
+    fn separable_data_learned_perfectly() {
+        let data = toy();
+        let p = Perceptron::train(&data);
+        assert_eq!(accuracy(&p, &data), 1.0);
+    }
+
+    #[test]
+    fn predicts_by_discriminative_tokens() {
+        let p = Perceptron::train(&toy());
+        assert_eq!(p.predict(&["diamond".into(), "ring".into()]).top().unwrap().0, TypeId(0));
+        assert_eq!(p.predict(&["laptop".into()]).top().unwrap().0, TypeId(2));
+    }
+
+    #[test]
+    fn empty_model_abstains() {
+        let p = Perceptron::train(&TrainingSet::default());
+        assert!(p.predict(&["x".into()]).is_abstention());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = toy();
+        let a = Perceptron::train_with(&data, PerceptronConfig { epochs: 3, seed: 1 });
+        let b = Perceptron::train_with(&data, PerceptronConfig { epochs: 3, seed: 1 });
+        for feats in [["ring".to_string()], ["rug".to_string()]] {
+            assert_eq!(a.predict(&feats).top().map(|t| t.0), b.predict(&feats).top().map(|t| t.0));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Multinomial Naive Bayes with Laplace smoothing — the first learner in the
+//! paper's ensemble (§3.1).
+
+use crate::classifier::{Classifier, Prediction, TrainingSet};
+use rulekit_data::TypeId;
+use std::collections::HashMap;
+
+/// A trained multinomial Naive Bayes model.
+#[derive(Debug)]
+pub struct NaiveBayes {
+    /// Laplace smoothing constant.
+    alpha: f64,
+    /// log prior per class.
+    log_prior: HashMap<TypeId, f64>,
+    /// Per-class token counts.
+    token_counts: HashMap<TypeId, HashMap<String, u32>>,
+    /// Per-class total token count.
+    class_totals: HashMap<TypeId, u64>,
+    /// Vocabulary size (distinct tokens across all classes).
+    vocab_size: usize,
+    /// How many top classes to report.
+    top_k: usize,
+}
+
+impl NaiveBayes {
+    /// Trains a model with Laplace `alpha = 1.0`.
+    pub fn train(data: &TrainingSet) -> NaiveBayes {
+        NaiveBayes::train_with_alpha(data, 1.0)
+    }
+
+    /// Trains with an explicit smoothing constant.
+    pub fn train_with_alpha(data: &TrainingSet, alpha: f64) -> NaiveBayes {
+        assert!(alpha > 0.0, "alpha must be positive");
+        let mut class_docs: HashMap<TypeId, u64> = HashMap::new();
+        let mut token_counts: HashMap<TypeId, HashMap<String, u32>> = HashMap::new();
+        let mut class_totals: HashMap<TypeId, u64> = HashMap::new();
+        let mut vocab: HashMap<&str, ()> = HashMap::new();
+
+        for (feats, label) in &data.docs {
+            *class_docs.entry(*label).or_insert(0) += 1;
+            let counts = token_counts.entry(*label).or_default();
+            let total = class_totals.entry(*label).or_insert(0);
+            for tok in feats {
+                *counts.entry(tok.clone()).or_insert(0) += 1;
+                *total += 1;
+                vocab.entry(tok.as_str()).or_insert(());
+            }
+        }
+
+        let n_docs = data.docs.len().max(1) as f64;
+        let log_prior = class_docs
+            .iter()
+            .map(|(&ty, &n)| (ty, (n as f64 / n_docs).ln()))
+            .collect();
+
+        NaiveBayes {
+            alpha,
+            log_prior,
+            token_counts,
+            class_totals,
+            vocab_size: vocab.len().max(1),
+            top_k: 3,
+        }
+    }
+
+    /// Sets how many classes the prediction reports (default 3).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k.max(1);
+        self
+    }
+
+    fn log_likelihood(&self, ty: TypeId, features: &[String]) -> f64 {
+        let counts = self.token_counts.get(&ty);
+        let total = self.class_totals.get(&ty).copied().unwrap_or(0) as f64;
+        let denom = total + self.alpha * self.vocab_size as f64;
+        let mut ll = *self.log_prior.get(&ty).unwrap_or(&f64::NEG_INFINITY);
+        for tok in features {
+            let c = counts.and_then(|m| m.get(tok)).copied().unwrap_or(0) as f64;
+            ll += ((c + self.alpha) / denom).ln();
+        }
+        ll
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn name(&self) -> &str {
+        "naive-bayes"
+    }
+
+    fn predict(&self, features: &[String]) -> Prediction {
+        if self.log_prior.is_empty() {
+            return Prediction::empty();
+        }
+        let mut scored: Vec<(TypeId, f64)> = self
+            .log_prior
+            .keys()
+            .map(|&ty| (ty, self.log_likelihood(ty, features)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite log-likelihoods").then(a.0.cmp(&b.0)));
+        scored.truncate(self.top_k);
+        // Convert log scores to relative weights via softmax over the top-k.
+        let max = scored[0].1;
+        let weights: Vec<(TypeId, f64)> =
+            scored.into_iter().map(|(ty, ll)| (ty, (ll - max).exp())).collect();
+        Prediction::from_scores(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy;
+
+    fn toy() -> TrainingSet {
+        TrainingSet::from_pairs(vec![
+            (vec!["diamond".into(), "ring".into()], TypeId(0)),
+            (vec!["wedding".into(), "ring".into()], TypeId(0)),
+            (vec!["gold".into(), "ring".into()], TypeId(0)),
+            (vec!["area".into(), "rug".into()], TypeId(1)),
+            (vec!["oriental".into(), "rug".into()], TypeId(1)),
+            (vec!["shag".into(), "rug".into()], TypeId(1)),
+        ])
+    }
+
+    #[test]
+    fn classifies_toy_data() {
+        let nb = NaiveBayes::train(&toy());
+        let p = nb.predict(&["diamond".into(), "ring".into()]);
+        assert_eq!(p.top().unwrap().0, TypeId(0));
+        let p = nb.predict(&["braided".into(), "rug".into()]);
+        assert_eq!(p.top().unwrap().0, TypeId(1));
+    }
+
+    #[test]
+    fn perfect_accuracy_on_training_data() {
+        let data = toy();
+        let nb = NaiveBayes::train(&data);
+        assert_eq!(accuracy(&nb, &data), 1.0);
+    }
+
+    #[test]
+    fn unseen_tokens_still_yield_a_prediction() {
+        // NB never abstains: unseen tokens are smoothed, not fatal. (This is
+        // why the ensemble's confidence threshold matters — see §3.1's need
+        // to decline low-confidence items.)
+        let nb = NaiveBayes::train(&toy());
+        let p = nb.predict(&["zzz".into(), "qqq".into()]);
+        assert!(!p.is_abstention());
+        // Equal priors + equal class sizes ⇒ deterministic tie-break by id.
+        assert_eq!(p.top().unwrap().0, TypeId(0));
+    }
+
+    #[test]
+    fn prediction_weights_normalized() {
+        let nb = NaiveBayes::train(&toy());
+        let p = nb.predict(&["ring".into()]);
+        let total: f64 = p.scores.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(p.scores.len() <= 3);
+    }
+
+    #[test]
+    fn empty_model_abstains() {
+        let nb = NaiveBayes::train(&TrainingSet::default());
+        assert!(nb.predict(&["x".into()]).is_abstention());
+    }
+
+    #[test]
+    fn top_k_respected() {
+        let nb = NaiveBayes::train(&toy()).with_top_k(1);
+        assert_eq!(nb.predict(&["ring".into()]).scores.len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-type precision monitoring with drift alarms (§2.2/§3.2): "at certain
+//! times Chimera's accuracy may suddenly degrade … we need a way to detect
+//! such quality problems quickly", then scale the affected types down.
+
+use rulekit_data::TypeId;
+use std::collections::{HashMap, VecDeque};
+
+/// Sliding-window precision monitor keyed by predicted type.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    window: usize,
+    min_samples: usize,
+    threshold: f64,
+    history: HashMap<TypeId, VecDeque<bool>>,
+    alarmed: HashMap<TypeId, bool>,
+}
+
+/// A raised alarm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftAlarm {
+    /// The degraded type.
+    pub ty: TypeId,
+    /// Windowed precision at alarm time.
+    pub precision: f64,
+    /// Window samples at alarm time.
+    pub samples: usize,
+}
+
+impl DriftMonitor {
+    /// A monitor with the given sliding `window`, minimum samples before
+    /// alarming, and precision `threshold` (the paper's 0.92).
+    pub fn new(window: usize, min_samples: usize, threshold: f64) -> Self {
+        assert!(window >= min_samples && min_samples >= 1, "invalid window configuration");
+        DriftMonitor {
+            window,
+            min_samples,
+            threshold,
+            history: HashMap::new(),
+            alarmed: HashMap::new(),
+        }
+    }
+
+    /// Records a verified prediction for `ty`; returns an alarm when the
+    /// windowed precision first drops below threshold.
+    pub fn record(&mut self, ty: TypeId, correct: bool) -> Option<DriftAlarm> {
+        let window = self.history.entry(ty).or_default();
+        window.push_back(correct);
+        if window.len() > self.window {
+            window.pop_front();
+        }
+        if window.len() < self.min_samples {
+            return None;
+        }
+        let hits = window.iter().filter(|&&c| c).count();
+        let precision = hits as f64 / window.len() as f64;
+        // Alarm only when the window is *confidently* below threshold (the
+        // Wilson upper bound), so verifier noise on healthy types does not
+        // trip false alarms.
+        let est = rulekit_crowd::PrecisionEstimate { hits: hits as u64, samples: window.len() as u64 };
+        let (_, upper) = est.wilson_interval(1.96);
+        let alarmed = self.alarmed.entry(ty).or_insert(false);
+        if upper < self.threshold {
+            if !*alarmed {
+                *alarmed = true;
+                return Some(DriftAlarm { ty, precision, samples: window.len() });
+            }
+        } else {
+            *alarmed = false;
+        }
+        None
+    }
+
+    /// Current windowed precision for `ty` (1.0 when unseen).
+    pub fn precision(&self, ty: TypeId) -> f64 {
+        match self.history.get(&ty) {
+            Some(w) if !w.is_empty() => w.iter().filter(|&&c| c).count() as f64 / w.len() as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Clears a type's window (after repair + restore).
+    pub fn reset(&mut self, ty: TypeId) {
+        self.history.remove(&ty);
+        self.alarmed.remove(&ty);
+    }
+
+    /// Types currently in the alarmed state.
+    pub fn alarmed_types(&self) -> Vec<TypeId> {
+        let mut v: Vec<TypeId> = self
+            .alarmed
+            .iter()
+            .filter(|&(_, &a)| a)
+            .map(|(&t, _)| t)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_stream_never_alarms() {
+        let mut m = DriftMonitor::new(50, 10, 0.92);
+        for _ in 0..500 {
+            assert!(m.record(TypeId(1), true).is_none());
+        }
+        assert!(m.alarmed_types().is_empty());
+    }
+
+    #[test]
+    fn degraded_stream_alarms_once() {
+        let mut m = DriftMonitor::new(20, 10, 0.92);
+        let mut alarms = 0;
+        for i in 0..100 {
+            if m.record(TypeId(2), i % 2 == 0).is_some() {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 1, "alarm should fire once, not repeatedly");
+        assert_eq!(m.alarmed_types(), vec![TypeId(2)]);
+    }
+
+    #[test]
+    fn no_alarm_before_min_samples() {
+        let mut m = DriftMonitor::new(20, 10, 0.92);
+        for _ in 0..9 {
+            assert!(m.record(TypeId(3), false).is_none());
+        }
+        assert!(m.record(TypeId(3), false).is_some(), "10th sample triggers");
+    }
+
+    #[test]
+    fn recovery_rearms_the_alarm() {
+        let mut m = DriftMonitor::new(10, 5, 0.8);
+        for _ in 0..10 {
+            m.record(TypeId(4), false);
+        }
+        assert_eq!(m.alarmed_types(), vec![TypeId(4)]);
+        // Window refills with successes → precision recovers → re-armed.
+        for _ in 0..10 {
+            m.record(TypeId(4), true);
+        }
+        assert!(m.alarmed_types().is_empty());
+        let mut alarms = 0;
+        for _ in 0..10 {
+            if m.record(TypeId(4), false).is_some() {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = DriftMonitor::new(10, 5, 0.8);
+        for _ in 0..10 {
+            m.record(TypeId(5), false);
+        }
+        m.reset(TypeId(5));
+        assert_eq!(m.precision(TypeId(5)), 1.0);
+        assert!(m.alarmed_types().is_empty());
+    }
+
+    #[test]
+    fn types_are_tracked_independently() {
+        let mut m = DriftMonitor::new(10, 5, 0.8);
+        for _ in 0..10 {
+            m.record(TypeId(1), true);
+            m.record(TypeId(2), false);
+        }
+        assert_eq!(m.precision(TypeId(1)), 1.0);
+        assert_eq!(m.precision(TypeId(2)), 0.0);
+        assert_eq!(m.alarmed_types(), vec![TypeId(2)]);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut m = DriftMonitor::new(4, 2, 0.5);
+        m.record(TypeId(9), false);
+        m.record(TypeId(9), false);
+        for _ in 0..4 {
+            m.record(TypeId(9), true);
+        }
+        assert_eq!(m.precision(TypeId(9)), 1.0, "old failures slid out");
+    }
+}

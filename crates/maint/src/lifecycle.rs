@@ -1,0 +1,151 @@
+//! Imprecise-rule detection and taxonomy-change handling — the first two §4
+//! maintenance challenges: "detect and remove imprecise rules" and "monitor
+//! and remove rules that become … inapplicable" when the product taxonomy
+//! changes (the "pants" → "work pants" + "jeans" split).
+
+use rulekit_core::{Rule, RuleId, RuleRepository};
+use rulekit_crowd::PrecisionEstimate;
+use rulekit_data::{Taxonomy, TypeId};
+use std::collections::HashMap;
+
+/// An imprecise rule flagged for removal.
+#[derive(Debug, Clone)]
+pub struct ImpreciseRule {
+    /// The rule.
+    pub rule_id: RuleId,
+    /// Its estimated precision.
+    pub estimate: PrecisionEstimate,
+}
+
+/// Flags rules whose precision estimate falls below `threshold` with at
+/// least `min_samples` verified samples.
+pub fn find_imprecise(
+    estimates: &HashMap<RuleId, PrecisionEstimate>,
+    threshold: f64,
+    min_samples: u64,
+) -> Vec<ImpreciseRule> {
+    let mut out: Vec<ImpreciseRule> = estimates
+        .iter()
+        .filter(|(_, est)| est.samples >= min_samples && est.precision() < threshold)
+        .map(|(&rule_id, &estimate)| ImpreciseRule { rule_id, estimate })
+        .collect();
+    out.sort_by(|a, b| {
+        a.estimate
+            .precision()
+            .partial_cmp(&b.estimate.precision())
+            .expect("finite precisions")
+            .then(a.rule_id.cmp(&b.rule_id))
+    });
+    out
+}
+
+/// Disables every flagged rule in `repo`; returns the disabled ids.
+pub fn quarantine_imprecise(repo: &RuleRepository, flagged: &[ImpreciseRule]) -> Vec<RuleId> {
+    flagged
+        .iter()
+        .filter(|f| {
+            repo.disable(
+                f.rule_id,
+                format!("imprecise: estimated precision {:.3}", f.estimate.precision()),
+            )
+        })
+        .map(|f| f.rule_id)
+        .collect()
+}
+
+/// A rule rendered inapplicable by a taxonomy change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InapplicableRule {
+    /// The rule.
+    pub rule_id: RuleId,
+    /// The type it targeted, which no longer exists.
+    pub missing_type: TypeId,
+    /// The old type's name (for the analyst's removal report).
+    pub type_name: String,
+}
+
+/// After migrating from `old` to `new` taxonomy, finds rules whose target
+/// type no longer exists — "when 'pants' is divided into 'work pants' and
+/// 'jeans', the rules written for 'pants' become inapplicable. They need to
+/// be removed and new rules need to be written."
+pub fn find_inapplicable(rules: &[Rule], old: &Taxonomy, new: &Taxonomy) -> Vec<InapplicableRule> {
+    rules
+        .iter()
+        .filter_map(|r| {
+            let ty = r.target_type()?;
+            let name = old.name(ty);
+            if new.id_of(name).is_none() {
+                Some(InapplicableRule { rule_id: r.id, missing_type: ty, type_name: name.to_string() })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_core::{RuleMeta, RuleParser};
+
+    #[test]
+    fn imprecise_rules_flagged_and_sorted() {
+        let mut estimates = HashMap::new();
+        estimates.insert(RuleId(1), PrecisionEstimate { hits: 95, samples: 100 });
+        estimates.insert(RuleId(2), PrecisionEstimate { hits: 50, samples: 100 });
+        estimates.insert(RuleId(3), PrecisionEstimate { hits: 70, samples: 100 });
+        estimates.insert(RuleId(4), PrecisionEstimate { hits: 0, samples: 2 }); // too few samples
+        let flagged = find_imprecise(&estimates, 0.92, 10);
+        let ids: Vec<RuleId> = flagged.iter().map(|f| f.rule_id).collect();
+        assert_eq!(ids, vec![RuleId(2), RuleId(3)]);
+    }
+
+    #[test]
+    fn quarantine_disables_in_repository() {
+        let tax = Taxonomy::builtin();
+        let parser = RuleParser::new(tax);
+        let repo = RuleRepository::new();
+        let id = repo.add(parser.parse_rule("laptop -> laptop computers").unwrap(), RuleMeta::default());
+        let flagged = vec![ImpreciseRule {
+            rule_id: id,
+            estimate: PrecisionEstimate { hits: 60, samples: 100 },
+        }];
+        let disabled = quarantine_imprecise(&repo, &flagged);
+        assert_eq!(disabled, vec![id]);
+        assert!(!repo.get(id).unwrap().is_enabled());
+        // Idempotent: second quarantine is a no-op.
+        assert!(quarantine_imprecise(&repo, &flagged).is_empty());
+    }
+
+    #[test]
+    fn taxonomy_split_marks_rules_inapplicable() {
+        let old = Taxonomy::builtin();
+        let jeans = old.id_of("jeans").unwrap();
+        let new = old.split_type(
+            jeans,
+            vec![
+                ("skinny jeans".into(), vec!["jean".into()], vec!["skinny".into()]),
+                ("relaxed jeans".into(), vec!["jean".into()], vec!["relaxed".into()]),
+            ],
+        );
+        let parser = RuleParser::new(old.clone());
+        let repo = RuleRepository::new();
+        let jean_rule = repo.add(parser.parse_rule("jeans? -> jeans").unwrap(), RuleMeta::default());
+        repo.add(parser.parse_rule("rings? -> rings").unwrap(), RuleMeta::default());
+        let rules = repo.enabled_snapshot();
+        let inapplicable = find_inapplicable(&rules, &old, &new);
+        assert_eq!(inapplicable.len(), 1);
+        assert_eq!(inapplicable[0].rule_id, jean_rule);
+        assert_eq!(inapplicable[0].type_name, "jeans");
+    }
+
+    #[test]
+    fn unchanged_taxonomy_has_no_inapplicable_rules() {
+        let tax = Taxonomy::builtin();
+        let parser = RuleParser::new(tax.clone());
+        let repo = RuleRepository::new();
+        repo.add(parser.parse_rule("rings? -> rings").unwrap(), RuleMeta::default());
+        let rules = repo.enabled_snapshot();
+        assert!(find_inapplicable(&rules, &tax, &tax).is_empty());
+    }
+}

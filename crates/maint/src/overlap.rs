@@ -1,0 +1,191 @@
+//! Significant-overlap detection (§4: "a related challenge is to detect
+//! rules that overlap significantly"), plus the consolidation/split
+//! trade-off helpers the paper's last maintenance challenge describes.
+
+use rulekit_core::{compile_pattern, Condition, Rule, RuleAction, RuleId, RuleSpec, TitleIndex};
+use rulekit_text::overlap_coefficient;
+use std::collections::HashSet;
+
+/// A pair of rules whose corpus coverages overlap significantly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapPair {
+    /// First rule (lower id).
+    pub a: RuleId,
+    /// Second rule.
+    pub b: RuleId,
+    /// Overlap coefficient `|A∩B| / min(|A|,|B|)`.
+    pub coefficient: f64,
+}
+
+/// Finds same-type whitelist rule pairs with coverage overlap coefficient at
+/// least `threshold` on `corpus` (both rules must touch at least
+/// `min_touches` titles).
+pub fn find_overlaps(
+    rules: &[Rule],
+    corpus: &TitleIndex,
+    threshold: f64,
+    min_touches: usize,
+) -> Vec<OverlapPair> {
+    let whitelist: Vec<(&Rule, HashSet<u32>)> = rules
+        .iter()
+        .filter(|r| matches!(r.action, RuleAction::Assign(_)))
+        .filter_map(|r| {
+            let re = r.condition.title_regex()?;
+            let cov: HashSet<u32> = corpus.matching(re).into_iter().collect();
+            (cov.len() >= min_touches).then_some((r, cov))
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (i, (ra, cov_a)) in whitelist.iter().enumerate() {
+        for (rb, cov_b) in whitelist.iter().skip(i + 1) {
+            if ra.target_type() != rb.target_type() {
+                continue;
+            }
+            let coeff = overlap_coefficient(cov_a, cov_b);
+            if coeff >= threshold {
+                let (a, b) = if ra.id < rb.id { (ra.id, rb.id) } else { (rb.id, ra.id) };
+                out.push(OverlapPair { a, b, coefficient: coeff });
+            }
+        }
+    }
+    out.sort_by(|x, y| {
+        y.coefficient
+            .partial_cmp(&x.coefficient)
+            .expect("finite coefficients")
+            .then(x.a.cmp(&y.a))
+    });
+    out
+}
+
+/// Consolidates several same-type title rules into one alternation rule —
+/// the "merge rules A and B into C" operation whose downside (§4) is that
+/// when C misclassifies, the analyst must first work out *which part* of C
+/// is at fault.
+///
+/// Returns `None` unless all rules are whitelist title rules for the same
+/// type.
+pub fn consolidate(rules: &[Rule], type_name: &str) -> Option<RuleSpec> {
+    if rules.len() < 2 {
+        return None;
+    }
+    let ty = rules[0].target_type()?;
+    let mut branches = Vec::with_capacity(rules.len());
+    for r in rules {
+        if r.target_type() != Some(ty) || !r.is_whitelist() {
+            return None;
+        }
+        branches.push(format!("(?:{})", r.condition.title_regex()?.pattern()));
+    }
+    let pattern = branches.join("|");
+    let regex = compile_pattern(&pattern).ok()?;
+    Some(RuleSpec {
+        condition: Condition::TitleMatches(regex),
+        action: RuleAction::Assign(ty),
+        source: format!("{pattern} -> {type_name}"),
+    })
+}
+
+/// The debugging-cost side of the trade-off: given a consolidated rule's
+/// original branches and a misclassified title, how many branches must the
+/// analyst test to find the culprit? (With separate rules the executor
+/// reports the firing rule directly — cost 1.)
+pub fn blame_branches(branch_patterns: &[String], title: &str) -> (Vec<usize>, usize) {
+    let mut culprits = Vec::new();
+    let mut tested = 0usize;
+    for (i, p) in branch_patterns.iter().enumerate() {
+        tested += 1;
+        if let Ok(re) = compile_pattern(p) {
+            if re.is_match(title) {
+                culprits.push(i);
+            }
+        }
+    }
+    (culprits, tested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_core::{RuleMeta, RuleParser, RuleRepository};
+    use rulekit_data::Taxonomy;
+
+    fn rules(lines: &[&str]) -> Vec<Rule> {
+        let parser = RuleParser::new(Taxonomy::builtin());
+        let repo = RuleRepository::new();
+        for line in lines {
+            repo.add(parser.parse_rule(line).unwrap(), RuleMeta::default());
+        }
+        repo.enabled_snapshot()
+    }
+
+    fn corpus() -> TitleIndex {
+        TitleIndex::build([
+            "abrasive grinding wheel 4.5 inch",
+            "abrasive sanding disc pack",
+            "sander wheel kit",
+            "zirconia fiber abrasive disc",
+            "diamond ring",
+            "gold ring",
+        ])
+    }
+
+    #[test]
+    fn paper_wheels_discs_pair_overlaps() {
+        let rs = rules(&[
+            "(abrasive|sand(er|ing))[ -](wheels?|discs?) -> abrasive wheels & discs",
+            "abrasive.*(wheels?|discs?) -> abrasive wheels & discs",
+        ]);
+        let pairs = find_overlaps(&rs, &corpus(), 0.5, 1);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs[0].coefficient >= 0.5);
+    }
+
+    #[test]
+    fn disjoint_coverage_does_not_flag() {
+        let rs = rules(&["rings? -> rings", "wedding bands? -> rings"]);
+        assert!(find_overlaps(&rs, &corpus(), 0.3, 1).is_empty());
+    }
+
+    #[test]
+    fn cross_type_pairs_skipped() {
+        let rs = rules(&["abrasive -> abrasive wheels & discs", "abrasive -> saw blades"]);
+        assert!(find_overlaps(&rs, &corpus(), 0.1, 1).is_empty());
+    }
+
+    #[test]
+    fn min_touches_filters_tail_rules() {
+        let rs = rules(&[
+            "zirconia fiber -> abrasive wheels & discs",
+            "zirconia -> abrasive wheels & discs",
+        ]);
+        assert!(find_overlaps(&rs, &corpus(), 0.5, 5).is_empty());
+        assert_eq!(find_overlaps(&rs, &corpus(), 0.5, 1).len(), 1);
+    }
+
+    #[test]
+    fn consolidate_merges_branches() {
+        let rs = rules(&["rings? -> rings", "wedding bands? -> rings"]);
+        let spec = consolidate(&rs, "rings").unwrap();
+        let re = spec.condition.title_regex().unwrap();
+        assert!(re.is_match("diamond ring"));
+        assert!(re.is_match("platinum wedding band"));
+        assert!(!re.is_match("area rug"));
+    }
+
+    #[test]
+    fn consolidate_rejects_mixed_types() {
+        let rs = rules(&["rings? -> rings", "rugs? -> area rugs"]);
+        assert!(consolidate(&rs, "rings").is_none());
+        assert!(consolidate(&rs[..1], "rings").is_none());
+    }
+
+    #[test]
+    fn blame_requires_testing_each_branch() {
+        let branches = vec!["rings?".to_string(), "wedding bands?".to_string(), "diamond".to_string()];
+        let (culprits, tested) = blame_branches(&branches, "diamond earrings");
+        // Two branches fire on the bad title; the analyst had to test all 3.
+        assert_eq!(culprits, vec![0, 2]);
+        assert_eq!(tested, 3);
+    }
+}

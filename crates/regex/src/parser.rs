@@ -1,0 +1,515 @@
+//! Recursive-descent parser for the rulekit pattern language.
+
+use crate::ast::{Ast, ClassSet};
+use crate::Error;
+
+/// Maximum quantifier bound accepted (`a{0,1000}` is fine, `a{0,100000}` is
+/// rejected to keep compiled programs small).
+const MAX_REPEAT: u32 = 1000;
+
+/// Parses `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, Error> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        next_capture: 1,
+        depth: 0,
+    };
+    let ast = p.parse_alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected ')'"));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    next_capture: u32,
+    depth: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> Error {
+        Error::Parse { offset: self.pos, message: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `alternation := concat ('|' concat)*`
+    fn parse_alternation(&mut self) -> Result<Ast, Error> {
+        let mut arms = vec![self.parse_concat()?];
+        while self.eat('|') {
+            arms.push(self.parse_concat()?);
+        }
+        Ok(Ast::alternate(arms))
+    }
+
+    /// `concat := repeat*` — stops at `|` or `)` or end.
+    fn parse_concat(&mut self) -> Result<Ast, Error> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(Ast::concat(parts))
+    }
+
+    /// `repeat := atom quantifier?`
+    fn parse_repeat(&mut self) -> Result<Ast, Error> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('{') => {
+                // `{` not followed by a valid bound is a literal `{`.
+                match self.try_parse_counted()? {
+                    Some(bounds) => bounds,
+                    None => return Ok(atom),
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor) {
+            return Err(self.err("quantifier follows an anchor"));
+        }
+        if let Some(m) = max {
+            if min > m {
+                return Err(self.err("quantifier min exceeds max"));
+            }
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat { inner: Box::new(atom), min, max, greedy })
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}`. Returns `None` (and rewinds) when the
+    /// braces do not form a quantifier, in which case `{` is a literal.
+    fn try_parse_counted(&mut self) -> Result<Option<(u32, Option<u32>)>, Error> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.pos += 1;
+        let min = match self.parse_number() {
+            Some(n) => n,
+            None => {
+                self.pos = start;
+                return Ok(None);
+            }
+        };
+        let bounds = if self.eat(',') {
+            if self.peek() == Some('}') {
+                (min, None)
+            } else {
+                match self.parse_number() {
+                    Some(n) => (min, Some(n)),
+                    None => {
+                        self.pos = start;
+                        return Ok(None);
+                    }
+                }
+            }
+        } else {
+            (min, Some(min))
+        };
+        if !self.eat('}') {
+            self.pos = start;
+            return Ok(None);
+        }
+        if bounds.0 > MAX_REPEAT || bounds.1.is_some_and(|n| n > MAX_REPEAT) {
+            return Err(self.err("quantifier bound too large"));
+        }
+        Ok(Some(bounds))
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        let mut value: u32 = 0;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            value = value.checked_mul(10)?.checked_add(d)?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(value)
+        }
+    }
+
+    /// `atom := group | class | escape | anchor | '.' | literal`
+    fn parse_atom(&mut self) -> Result<Ast, Error> {
+        let c = self.bump().ok_or_else(|| self.err("unexpected end of pattern"))?;
+        match c {
+            '(' => self.parse_group(),
+            '[' => self.parse_class().map(Ast::Class),
+            '\\' => self.parse_escape(),
+            '.' => Ok(Ast::AnyChar),
+            '^' => Ok(Ast::StartAnchor),
+            '$' => Ok(Ast::EndAnchor),
+            '*' | '+' | '?' => {
+                self.pos -= 1;
+                Err(self.err("quantifier with nothing to repeat"))
+            }
+            _ => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Ast, Error> {
+        self.depth += 1;
+        if self.depth > 64 {
+            return Err(self.err("groups nested too deeply"));
+        }
+        let index = if self.peek() == Some('?') {
+            if self.chars.get(self.pos + 1) == Some(&':') {
+                self.pos += 2;
+                None
+            } else {
+                return Err(self.err("unsupported group flag (only (?:…) is supported)"));
+            }
+        } else {
+            let i = self.next_capture;
+            self.next_capture += 1;
+            Some(i)
+        };
+        let inner = self.parse_alternation()?;
+        if !self.eat(')') {
+            return Err(self.err("missing closing ')'"));
+        }
+        self.depth -= 1;
+        Ok(Ast::Group { index, inner: Box::new(inner) })
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, Error> {
+        let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+        match c {
+            'w' => Ok(Ast::Class(ClassSet::word())),
+            'W' => {
+                let mut set = ClassSet::word();
+                set.negated = true;
+                Ok(Ast::Class(set))
+            }
+            'd' => Ok(Ast::Class(ClassSet::digit())),
+            'D' => {
+                let mut set = ClassSet::digit();
+                set.negated = true;
+                Ok(Ast::Class(set))
+            }
+            's' => Ok(Ast::Class(ClassSet::space())),
+            'S' => {
+                let mut set = ClassSet::space();
+                set.negated = true;
+                Ok(Ast::Class(set))
+            }
+            'n' => Ok(Ast::Literal('\n')),
+            't' => Ok(Ast::Literal('\t')),
+            'r' => Ok(Ast::Literal('\r')),
+            'b' => Err(self.err("word boundaries are not supported")),
+            _ if c.is_ascii_alphanumeric() => {
+                Err(self.err("unknown escape sequence"))
+            }
+            _ => Ok(Ast::Literal(c)),
+        }
+    }
+
+    /// Parses the body of a `[...]` class (the `[` has been consumed).
+    fn parse_class(&mut self) -> Result<ClassSet, Error> {
+        let mut set = ClassSet::new();
+        set.negated = self.eat('^');
+        let mut first = true;
+        loop {
+            let c = self.bump().ok_or_else(|| self.err("missing closing ']'"))?;
+            match c {
+                ']' if !first => break,
+                '\\' => {
+                    let item = self.parse_class_escape()?;
+                    match item {
+                        ClassItem::Char(lo) => self.class_char_or_range(&mut set, lo)?,
+                        ClassItem::Set(s) => {
+                            if s.negated {
+                                // `[^\W]`-style double negation: resolve now.
+                                let mut s = s;
+                                s.canonicalize();
+                                set.ranges.extend(s.ranges);
+                            } else {
+                                set.ranges.extend(s.ranges);
+                            }
+                        }
+                    }
+                }
+                _ => self.class_char_or_range(&mut set, c)?,
+            }
+            first = false;
+        }
+        Ok(set)
+    }
+
+    /// Handles `c` possibly starting a range `c-d` inside a class.
+    fn class_char_or_range(&mut self, set: &mut ClassSet, lo: char) -> Result<(), Error> {
+        if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
+            self.pos += 1; // consume '-'
+            let hi = match self.bump().ok_or_else(|| self.err("missing closing ']'"))? {
+                '\\' => match self.parse_class_escape()? {
+                    ClassItem::Char(c) => c,
+                    ClassItem::Set(_) => {
+                        return Err(self.err("character class cannot be a range endpoint"))
+                    }
+                },
+                c => c,
+            };
+            if lo > hi {
+                return Err(self.err("invalid range (start exceeds end)"));
+            }
+            set.push_range(lo, hi);
+        } else {
+            set.push_char(lo);
+        }
+        Ok(())
+    }
+
+    fn parse_class_escape(&mut self) -> Result<ClassItem, Error> {
+        let c = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+        Ok(match c {
+            'w' => ClassItem::Set(ClassSet::word()),
+            'd' => ClassItem::Set(ClassSet::digit()),
+            's' => ClassItem::Set(ClassSet::space()),
+            'W' => {
+                let mut s = ClassSet::word();
+                s.negated = true;
+                ClassItem::Set(s)
+            }
+            'D' => {
+                let mut s = ClassSet::digit();
+                s.negated = true;
+                ClassItem::Set(s)
+            }
+            'S' => {
+                let mut s = ClassSet::space();
+                s.negated = true;
+                ClassItem::Set(s)
+            }
+            'n' => ClassItem::Char('\n'),
+            't' => ClassItem::Char('\t'),
+            'r' => ClassItem::Char('\r'),
+            _ if c.is_ascii_alphanumeric() => {
+                return Err(self.err("unknown escape sequence in class"))
+            }
+            _ => ClassItem::Char(c),
+        })
+    }
+}
+
+enum ClassItem {
+    Char(char),
+    Set(ClassSet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(pattern: &str) -> Ast {
+        parse(pattern).unwrap_or_else(|e| panic!("parse {pattern:?} failed: {e}"))
+    }
+
+    #[test]
+    fn parses_paper_rule_rings() {
+        // "rings?" from §3.3.
+        let ast = ok("rings?");
+        assert_eq!(ast.to_string(), "rings?");
+    }
+
+    #[test]
+    fn parses_paper_rule_trio_sets() {
+        // "diamond.*trio sets?" from §3.3.
+        let ast = ok("diamond.*trio sets?");
+        assert_eq!(ast.capture_count(), 0);
+    }
+
+    #[test]
+    fn parses_paper_rule_motor_oil() {
+        // Rule R2 from §5.1.
+        let ast = ok(
+            "(motor|engine|auto(motive)?|car|truck|suv|van|vehicle|motorcycle|pick[ -]?up|scooter|atv|boat)(oil|lubricant)s?",
+        );
+        assert_eq!(ast.capture_count(), 3);
+    }
+
+    #[test]
+    fn parses_paper_rule_abrasive() {
+        // From §4: "(abrasive|sand(er|ing))[ -](wheels?|discs?)".
+        let ast = ok("(abrasive|sand(er|ing))[ -](wheels?|discs?)");
+        assert_eq!(ast.capture_count(), 3);
+    }
+
+    #[test]
+    fn parses_generalized_synonym_regexes() {
+        // From §5.1: "(\w+\s+\w+) oils?".
+        let ast = ok(r"(\w+\s+\w+) oils?");
+        assert_eq!(ast.capture_count(), 1);
+    }
+
+    #[test]
+    fn space_dash_class_is_literal_dash() {
+        let Ast::Class(mut set) = ok("[ -]") else { panic!("expected class") };
+        set.canonicalize();
+        assert!(set.contains(' '));
+        assert!(set.contains('-'));
+        assert!(!set.contains('!'));
+    }
+
+    #[test]
+    fn dash_at_start_of_class_is_literal() {
+        let Ast::Class(mut set) = ok("[-a]") else { panic!("expected class") };
+        set.canonicalize();
+        assert!(set.contains('-'));
+        assert!(set.contains('a'));
+    }
+
+    #[test]
+    fn counted_repetition_bounds() {
+        let Ast::Repeat { min, max, .. } = ok("a{2,5}") else { panic!("expected repeat") };
+        assert_eq!((min, max), (2, Some(5)));
+        let Ast::Repeat { min, max, .. } = ok("a{3}") else { panic!("expected repeat") };
+        assert_eq!((min, max), (3, Some(3)));
+        let Ast::Repeat { min, max, .. } = ok("a{4,}") else { panic!("expected repeat") };
+        assert_eq!((min, max), (4, None));
+    }
+
+    #[test]
+    fn brace_without_bounds_is_literal() {
+        let ast = ok("a{b}");
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('b'), Ast::Literal('}')])
+        );
+    }
+
+    #[test]
+    fn lazy_quantifiers() {
+        let Ast::Repeat { greedy, .. } = ok("a*?") else { panic!("expected repeat") };
+        assert!(!greedy);
+        let Ast::Concat(parts) = ok(".*?b") else { panic!("expected concat") };
+        assert!(matches!(parts[0], Ast::Repeat { greedy: false, .. }));
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        let Ast::Group { index, .. } = ok("(?:ab)") else { panic!("expected group") };
+        assert!(index.is_none());
+    }
+
+    #[test]
+    fn capture_indices_assigned_in_order() {
+        let ast = ok("(a)(?:b)(c(d))");
+        assert_eq!(ast.capture_count(), 3);
+    }
+
+    #[test]
+    fn errors_on_unbalanced_parens() {
+        assert!(parse("(ab").is_err());
+        assert!(parse("ab)").is_err());
+    }
+
+    #[test]
+    fn errors_on_dangling_quantifier() {
+        assert!(parse("*a").is_err());
+        assert!(parse("|*").is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_range() {
+        assert!(parse("[z-a]").is_err());
+    }
+
+    #[test]
+    fn errors_on_huge_bound() {
+        assert!(parse("a{0,100000}").is_err());
+    }
+
+    #[test]
+    fn errors_on_min_exceeds_max() {
+        assert!(parse("a{5,2}").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_arms() {
+        assert_eq!(ok(""), Ast::Empty);
+        let ast = ok("a|");
+        assert_eq!(ast, Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty]));
+    }
+
+    #[test]
+    fn escaped_meta_characters_are_literals() {
+        let ast = ok(r"\.\*\(\)");
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![
+                Ast::Literal('.'),
+                Ast::Literal('*'),
+                Ast::Literal('('),
+                Ast::Literal(')'),
+            ])
+        );
+    }
+
+    #[test]
+    fn class_with_embedded_perl_classes() {
+        let Ast::Class(mut set) = ok(r"[\w.-]") else { panic!("expected class") };
+        set.canonicalize();
+        assert!(set.contains('a'));
+        assert!(set.contains('.'));
+        assert!(set.contains('-'));
+        assert!(!set.contains(' '));
+    }
+
+    #[test]
+    fn negated_class() {
+        let Ast::Class(mut set) = ok("[^0-9]") else { panic!("expected class") };
+        set.canonicalize();
+        assert!(set.contains('a'));
+        assert!(!set.contains('5'));
+    }
+
+    #[test]
+    fn anchors_parse() {
+        let ast = ok("^ab$");
+        let Ast::Concat(parts) = ast else { panic!("expected concat") };
+        assert!(matches!(parts[0], Ast::StartAnchor));
+        assert!(matches!(parts[3], Ast::EndAnchor));
+    }
+
+    #[test]
+    fn quantified_anchor_rejected() {
+        assert!(parse("^*").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Character q-grams and token n-grams.
+//!
+//! Character 3-grams implement the paper's `jaccard.3g` entity-matching
+//! predicate (§6); token n-grams feed sequence mining (§5.2).
+
+use std::collections::HashSet;
+
+/// Character q-grams of `text`, including `q-1` padding (`#`) on both sides —
+/// the standard construction so short strings still produce grams.
+pub fn char_qgrams(text: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be at least 1");
+    let mut chars: Vec<char> = Vec::with_capacity(text.chars().count() + 2 * (q - 1));
+    chars.resize(q - 1, '#');
+    chars.extend(text.chars());
+    chars.extend(std::iter::repeat_n('#', q - 1));
+    if chars.len() < q {
+        return Vec::new();
+    }
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Unique character q-grams as a set.
+pub fn char_qgram_set(text: &str, q: usize) -> HashSet<String> {
+    char_qgrams(text, q).into_iter().collect()
+}
+
+/// Contiguous token n-grams.
+pub fn token_ngrams<T: AsRef<str>>(tokens: &[T], n: usize) -> Vec<Vec<String>> {
+    assert!(n >= 1, "n must be at least 1");
+    if tokens.len() < n {
+        return Vec::new();
+    }
+    tokens
+        .windows(n)
+        .map(|w| w.iter().map(|t| t.as_ref().to_string()).collect())
+        .collect()
+}
+
+/// Jaccard similarity of the q-gram sets of two strings — the paper's
+/// `jaccard.3g(a.title, b.title)` when `q = 3`.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    let sa = char_qgram_set(a, q);
+    let sb = char_qgram_set(b, q);
+    crate::similarity::jaccard(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_count_with_padding() {
+        // "abc" padded → "##abc##": 5 windows of size 3.
+        assert_eq!(char_qgrams("abc", 3).len(), 5);
+        assert_eq!(char_qgrams("abc", 3)[0], "##a");
+    }
+
+    #[test]
+    fn unigrams_have_no_padding_effect() {
+        assert_eq!(char_qgrams("ab", 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_string_short_grams() {
+        assert!(!char_qgrams("", 3).is_empty()); // "####" windows: "###", "###"
+        assert!(char_qgrams("", 1).is_empty());
+    }
+
+    #[test]
+    fn token_ngrams_windows() {
+        let toks = ["blue", "denim", "jeans"];
+        assert_eq!(
+            token_ngrams(&toks, 2),
+            vec![vec!["blue", "denim"], vec!["denim", "jeans"]]
+        );
+        assert!(token_ngrams(&toks, 4).is_empty());
+    }
+
+    #[test]
+    fn identical_strings_jaccard_one() {
+        assert!((qgram_jaccard("motor oil", "motor oil", 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_strings_jaccard_zero() {
+        assert_eq!(qgram_jaccard("aaaa", "zzzz", 3), 0.0);
+    }
+
+    #[test]
+    fn similar_titles_have_high_jaccard() {
+        let a = "the art of computer programming vol 1";
+        let b = "the art of computer programming vol 2";
+        assert!(qgram_jaccard(a, b, 3) > 0.8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Rocchio relevance feedback (§5.1, "Incorporating Analyst Feedback").
+//!
+//! After each iteration the synonym finder updates the mean context vectors:
+//!
+//! ```text
+//! M' = α·M + β/|Cr| · Σ_{c ∈ Cr} M_c  −  γ/|Cnr| · Σ_{c ∈ Cnr} M_c
+//! ```
+//!
+//! where `Cr`/`Cnr` are the candidates the analyst accepted/rejected in the
+//! current iteration.
+
+use crate::vector::SparseVector;
+
+/// Rocchio balancing weights (α, β, γ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocchioWeights {
+    /// Weight of the existing profile vector.
+    pub alpha: f64,
+    /// Weight of the accepted-candidate mean.
+    pub beta: f64,
+    /// Weight of the rejected-candidate mean.
+    pub gamma: f64,
+}
+
+impl Default for RocchioWeights {
+    /// The classic SMART defaults (α=1, β=0.75, γ=0.15).
+    fn default() -> Self {
+        RocchioWeights { alpha: 1.0, beta: 0.75, gamma: 0.15 }
+    }
+}
+
+/// Applies one Rocchio update to `profile`.
+///
+/// Negative weights produced by the subtraction are clamped to zero, the
+/// standard convention (a term cannot be "negatively present").
+pub fn rocchio_update(
+    profile: &SparseVector,
+    accepted: &[SparseVector],
+    rejected: &[SparseVector],
+    weights: RocchioWeights,
+) -> SparseVector {
+    let mut updated = profile.scaled(weights.alpha);
+    if !accepted.is_empty() {
+        let mean = SparseVector::mean(accepted.iter());
+        updated.add_scaled(&mean, weights.beta);
+    }
+    if !rejected.is_empty() {
+        let mean = SparseVector::mean(rejected.iter());
+        updated.add_scaled(&mean, -weights.gamma);
+    }
+    updated.clamp_non_negative();
+    updated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn accepted_terms_gain_weight() {
+        let profile = v(&[(1, 1.0)]);
+        let updated = rocchio_update(
+            &profile,
+            &[v(&[(1, 1.0), (2, 2.0)])],
+            &[],
+            RocchioWeights::default(),
+        );
+        assert!(updated.get(1) > profile.get(1));
+        assert!(updated.get(2) > 0.0);
+    }
+
+    #[test]
+    fn rejected_terms_lose_weight() {
+        let profile = v(&[(1, 1.0), (2, 1.0)]);
+        let updated = rocchio_update(
+            &profile,
+            &[],
+            &[v(&[(2, 4.0)])],
+            RocchioWeights::default(),
+        );
+        assert_eq!(updated.get(1), 1.0);
+        assert!(updated.get(2) < 1.0);
+    }
+
+    #[test]
+    fn negative_weights_clamped() {
+        let profile = v(&[(2, 0.1)]);
+        let updated = rocchio_update(
+            &profile,
+            &[],
+            &[v(&[(2, 100.0)])],
+            RocchioWeights::default(),
+        );
+        assert_eq!(updated.get(2), 0.0);
+    }
+
+    #[test]
+    fn no_feedback_scales_by_alpha() {
+        let profile = v(&[(1, 2.0)]);
+        let updated = rocchio_update(&profile, &[], &[], RocchioWeights { alpha: 0.5, beta: 1.0, gamma: 1.0 });
+        assert_eq!(updated.get(1), 1.0);
+    }
+
+    #[test]
+    fn multiple_accepted_are_averaged() {
+        let profile = SparseVector::new();
+        let updated = rocchio_update(
+            &profile,
+            &[v(&[(1, 2.0)]), v(&[(1, 4.0)])],
+            &[],
+            RocchioWeights { alpha: 1.0, beta: 1.0, gamma: 0.0 },
+        );
+        assert_eq!(updated.get(1), 3.0);
+    }
+}

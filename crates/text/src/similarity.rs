@@ -1,0 +1,140 @@
+//! Set-based string similarity measures used by entity-matching predicates
+//! (§6) and rule-overlap analysis (§4).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|`; 1.0 when both sets are empty.
+pub fn jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)`; 1.0 when both sets are empty.
+pub fn dice<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`; 1.0 when either is empty.
+///
+/// This is the measure used for "rules that overlap significantly" (§4): a
+/// small rule entirely inside a big rule scores 1.0 even though Jaccard is
+/// tiny.
+pub fn overlap_coefficient<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    let m = a.len().min(b.len());
+    if m == 0 {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / m as f64
+}
+
+/// Token-level Jaccard of two whitespace-tokenized strings.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    jaccard(&sa, &sb)
+}
+
+/// Normalized Levenshtein similarity `1 - dist / max(len)`; 1.0 for two empty
+/// strings. Used by approximate dictionary matching in IE (§6).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / la.max(lb) as f64
+}
+
+/// Levenshtein edit distance (two-row dynamic program).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let a = set(&["a", "b", "c"]);
+        let b = set(&["b", "c", "d"]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_sets() {
+        let e: HashSet<String> = HashSet::new();
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&e, &set(&["a"])), 0.0);
+    }
+
+    #[test]
+    fn dice_basic() {
+        let a = set(&["a", "b"]);
+        let b = set(&["b", "c"]);
+        assert!((dice(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_coefficient_subset_is_one() {
+        let small = set(&["a"]);
+        let big = set(&["a", "b", "c", "d"]);
+        assert_eq!(overlap_coefficient(&small, &big), 1.0);
+        assert!(jaccard(&small, &big) < 0.3);
+    }
+
+    #[test]
+    fn token_jaccard_on_titles() {
+        assert!(token_jaccard("blue denim jeans", "black denim jeans") > 0.4);
+        assert_eq!(token_jaccard("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("IBM", "IBM Inc");
+        assert!(s > 0.3 && s < 1.0);
+    }
+}

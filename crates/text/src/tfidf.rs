@@ -1,0 +1,200 @@
+//! TF/IDF weighting (Salton & Buckley), exactly as the §5.1 synonym finder
+//! uses it: `w(t, m) = tf(t, m) · idf(t)` with `idf(t) = ln(|M| / df(t))`.
+
+use crate::vector::{SparseVector, Vocabulary};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Accumulates document frequencies, then weights token lists.
+///
+/// Thread-safe: weighting is read-only after fitting, and `Arc<TfIdf>` can be
+/// shared across executor threads.
+#[derive(Debug)]
+pub struct TfIdf {
+    vocab: RwLock<Vocabulary>,
+    doc_freq: RwLock<Vec<u32>>,
+    docs: RwLock<u64>,
+}
+
+impl Default for TfIdf {
+    fn default() -> Self {
+        TfIdf::new()
+    }
+}
+
+impl TfIdf {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        TfIdf {
+            vocab: RwLock::new(Vocabulary::new()),
+            doc_freq: RwLock::new(Vec::new()),
+            docs: RwLock::new(0),
+        }
+    }
+
+    /// Fits a model over an iterator of token lists.
+    pub fn fit<'a, I, T>(corpus: I) -> Arc<TfIdf>
+    where
+        I: IntoIterator<Item = T>,
+        T: IntoIterator<Item = &'a str>,
+    {
+        let model = TfIdf::new();
+        for doc in corpus {
+            model.observe(doc);
+        }
+        Arc::new(model)
+    }
+
+    /// Adds one document's tokens to the document-frequency counts.
+    pub fn observe<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) {
+        let mut vocab = self.vocab.write();
+        let mut df = self.doc_freq.write();
+        let mut seen: Vec<u32> = tokens.into_iter().map(|t| vocab.intern(t)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for id in seen {
+            if df.len() <= id as usize {
+                df.resize(id as usize + 1, 0);
+            }
+            df[id as usize] += 1;
+        }
+        *self.docs.write() += 1;
+    }
+
+    /// Number of observed documents.
+    pub fn doc_count(&self) -> u64 {
+        *self.docs.read()
+    }
+
+    /// IDF of `term`: `ln(N / df)`. Unseen terms get the maximum IDF
+    /// `ln(N + 1)` (they are maximally discriminative).
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = (*self.docs.read()).max(1) as f64;
+        match self.vocab.read().get(term) {
+            Some(id) => {
+                let df = self.doc_freq.read().get(id as usize).copied().unwrap_or(0);
+                if df == 0 {
+                    (n + 1.0).ln()
+                } else {
+                    (n / df as f64).ln()
+                }
+            }
+            None => (n + 1.0).ln(),
+        }
+    }
+
+    /// Document frequency of `term`.
+    pub fn df(&self, term: &str) -> u32 {
+        self.vocab
+            .read()
+            .get(term)
+            .and_then(|id| self.doc_freq.read().get(id as usize).copied())
+            .unwrap_or(0)
+    }
+
+    /// TF/IDF-weights a token list into a sparse vector. Unseen terms are
+    /// interned (so repeated calls stay consistent) but keep df = 0.
+    pub fn weigh<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> SparseVector {
+        let n = (*self.docs.read()).max(1) as f64;
+        let mut vocab = self.vocab.write();
+        let df = self.doc_freq.read();
+        let ids: Vec<u32> = tokens.into_iter().map(|t| vocab.intern(t)).collect();
+        let tf = SparseVector::term_frequencies(ids);
+        let pairs = tf
+            .entries()
+            .iter()
+            .map(|&(id, count)| {
+                let d = df.get(id as usize).copied().unwrap_or(0);
+                let idf = if d == 0 { (n + 1.0).ln() } else { (n / d as f64).ln() };
+                (id, count * idf)
+            })
+            .collect();
+        SparseVector::from_pairs(pairs)
+    }
+
+    /// Resolves a term id back to its string.
+    pub fn term(&self, id: u32) -> Option<String> {
+        self.vocab.read().term(id).map(str::to_string)
+    }
+
+    /// Resolves a term to its id, if seen.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.vocab.read().get(term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Arc<TfIdf> {
+        TfIdf::fit([
+            vec!["blue", "denim", "jeans"],
+            vec!["black", "denim", "jeans"],
+            vec!["blue", "area", "rug"],
+            vec!["oriental", "area", "rug"],
+        ])
+    }
+
+    #[test]
+    fn doc_count_tracks_observations() {
+        assert_eq!(model().doc_count(), 4);
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let m = TfIdf::fit([vec!["a", "a", "b"], vec!["a"]]);
+        assert_eq!(m.df("a"), 2);
+        assert_eq!(m.df("b"), 1);
+        assert_eq!(m.df("zzz"), 0);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let m = model();
+        assert!(m.idf("oriental") > m.idf("denim"));
+        assert!(m.idf("denim") > m.idf("jeans") - 1e-12); // equal df ⇒ equal idf
+    }
+
+    #[test]
+    fn unseen_terms_get_max_idf() {
+        let m = model();
+        assert!(m.idf("cryptic") > m.idf("oriental"));
+    }
+
+    #[test]
+    fn weigh_produces_tfidf_weights() {
+        let m = model();
+        let v = m.weigh(["denim", "denim", "jeans"]);
+        let denim_id = m.term_id("denim").unwrap();
+        let jeans_id = m.term_id("jeans").unwrap();
+        let expected_denim = 2.0 * (4.0f64 / 2.0).ln();
+        let expected_jeans = 1.0 * (4.0f64 / 2.0).ln();
+        assert!((v.get(denim_id) - expected_denim).abs() < 1e-12);
+        assert!((v.get(jeans_id) - expected_jeans).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weigh_interns_unseen_terms_consistently() {
+        let m = model();
+        let v1 = m.weigh(["novelword"]);
+        let v2 = m.weigh(["novelword"]);
+        assert_eq!(v1, v2);
+        assert!(!v1.is_zero());
+    }
+
+    #[test]
+    fn common_everywhere_term_gets_zero_idf() {
+        let m = TfIdf::fit([vec!["x", "a"], vec!["x", "b"]]);
+        assert!(m.idf("x").abs() < 1e-12);
+        let v = m.weigh(["x"]);
+        assert!(v.is_zero()); // zero weights are pruned
+    }
+
+    #[test]
+    fn term_round_trip() {
+        let m = model();
+        let id = m.term_id("rug").unwrap();
+        assert_eq!(m.term(id).as_deref(), Some("rug"));
+    }
+}

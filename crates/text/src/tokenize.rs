@@ -1,0 +1,225 @@
+//! Tokenization and normalization of product titles and descriptions.
+//!
+//! The paper's rules and mining operate on *tokens* of product titles after
+//! "some preprocessing such as lowercasing and removing certain stop words
+//! and characters that we have manually compiled in a dictionary" (§5.2).
+//! This module is that preprocessing.
+
+use std::collections::HashSet;
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Normalized token text (lowercased when the tokenizer lowercases).
+    pub text: String,
+    /// Byte offset of the token start in the original text.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// Configurable word tokenizer.
+///
+/// A token is a maximal run of alphanumeric characters plus a small set of
+/// intra-word connectors (`'`), so `men's` stays one token while `13-293snb`
+/// splits on the dash (matching how analysts write title rules).
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    lowercase: bool,
+    stopwords: HashSet<String>,
+    min_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer::new()
+    }
+}
+
+impl Tokenizer {
+    /// A lowercasing tokenizer with no stop words.
+    pub fn new() -> Self {
+        Tokenizer { lowercase: true, stopwords: HashSet::new(), min_len: 1 }
+    }
+
+    /// A tokenizer loaded with the default e-commerce stop-word dictionary.
+    pub fn with_default_stopwords() -> Self {
+        let mut t = Tokenizer::new();
+        t.stopwords = DEFAULT_STOPWORDS.iter().map(|s| (*s).to_string()).collect();
+        t
+    }
+
+    /// Disables lowercasing (extraction rules sometimes need original case).
+    pub fn case_sensitive(mut self) -> Self {
+        self.lowercase = false;
+        self
+    }
+
+    /// Sets the minimum token length (shorter tokens are dropped).
+    pub fn min_token_len(mut self, len: usize) -> Self {
+        self.min_len = len;
+        self
+    }
+
+    /// Adds extra stop words.
+    pub fn add_stopwords<I: IntoIterator<Item = S>, S: Into<String>>(mut self, words: I) -> Self {
+        self.stopwords.extend(words.into_iter().map(Into::into));
+        self
+    }
+
+    /// Tokenizes `text`, returning tokens with spans.
+    pub fn tokenize_spans(&self, text: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, c) in text.char_indices() {
+            if is_word_char(c) {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            } else if let Some(s) = start.take() {
+                self.push_token(text, s, i, &mut out);
+            }
+        }
+        if let Some(s) = start {
+            self.push_token(text, s, text.len(), &mut out);
+        }
+        out
+    }
+
+    /// Tokenizes `text` into plain strings.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        self.tokenize_spans(text).into_iter().map(|t| t.text).collect()
+    }
+
+    fn push_token(&self, text: &str, start: usize, end: usize, out: &mut Vec<Token>) {
+        let raw = &text[start..end];
+        // Trim connector characters that ended up at the edges ("'" in "'em").
+        let trimmed = raw.trim_matches('\'');
+        if trimmed.is_empty() {
+            return;
+        }
+        let norm = if self.lowercase { trimmed.to_lowercase() } else { trimmed.to_string() };
+        if norm.chars().count() < self.min_len || self.stopwords.contains(&norm) {
+            return;
+        }
+        let offset = raw.len() - raw.trim_start_matches('\'').len();
+        let tok_start = start + offset;
+        out.push(Token { text: norm, start: tok_start, end: tok_start + trimmed.len() });
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '\''
+}
+
+/// Stop words compiled for product-title preprocessing (§5.2).
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "at", "by", "for", "from", "in", "of", "on", "or", "the", "to", "with",
+    "new", "pack", "set", "pc", "pcs", "piece", "pieces", "count", "ct", "oz", "inch", "in",
+];
+
+/// Lowercases and collapses whitespace — the normalization applied to titles
+/// before analyst rules run.
+pub fn normalize_title(title: &str) -> String {
+    let mut out = String::with_capacity(title.len());
+    let mut last_space = true;
+    for c in title.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for l in c.to_lowercase() {
+                out.push(l);
+            }
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paper_title() {
+        // Figure-1-style title.
+        let t = Tokenizer::new();
+        let toks = t.tokenize("Dickies 38in. x 30in. Indigo Blue Relaxed Fit Denim Jeans");
+        assert_eq!(
+            toks,
+            vec![
+                "dickies", "38in", "x", "30in", "indigo", "blue", "relaxed", "fit", "denim",
+                "jeans"
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let t = Tokenizer::new();
+        let text = "Blue Jeans";
+        for tok in t.tokenize_spans(text) {
+            assert_eq!(text[tok.start..tok.end].to_lowercase(), tok.text);
+        }
+    }
+
+    #[test]
+    fn apostrophes_stay_inside_words() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("big men's regular fit"), vec!["big", "men's", "regular", "fit"]);
+    }
+
+    #[test]
+    fn edge_apostrophes_trimmed() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("'quoted' word"), vec!["quoted", "word"]);
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        let t = Tokenizer::with_default_stopwords();
+        assert_eq!(t.tokenize("pack of 2 rings"), vec!["2", "rings"]);
+    }
+
+    #[test]
+    fn custom_stopwords() {
+        let t = Tokenizer::new().add_stopwords(["blue"]);
+        assert_eq!(t.tokenize("blue jeans"), vec!["jeans"]);
+    }
+
+    #[test]
+    fn min_token_len_filters() {
+        let t = Tokenizer::new().min_token_len(2);
+        assert_eq!(t.tokenize("a bc def"), vec!["bc", "def"]);
+    }
+
+    #[test]
+    fn case_sensitive_mode() {
+        let t = Tokenizer::new().case_sensitive();
+        assert_eq!(t.tokenize("Apple iPhone"), vec!["Apple", "iPhone"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("--- !!! ***").is_empty());
+    }
+
+    #[test]
+    fn dashes_split_tokens() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("13-293snb 38x30"), vec!["13", "293snb", "38x30"]);
+    }
+
+    #[test]
+    fn normalize_title_collapses_space_and_case() {
+        assert_eq!(normalize_title("  Blue   JEANS \t 32x30 "), "blue jeans 32x30");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the text substrate.
+
+use proptest::prelude::*;
+use rulekit_text::{
+    char_qgram_set, jaccard, levenshtein, rocchio_update, RocchioWeights, SparseVector, TfIdf,
+    Tokenizer,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Token spans always slice cleanly out of the source text and match the
+    /// token (modulo lowercasing).
+    #[test]
+    fn tokenizer_spans_are_valid(text in "[a-zA-Z0-9 '\\-\\.,!]{0,60}") {
+        let tokenizer = Tokenizer::new();
+        for tok in tokenizer.tokenize_spans(&text) {
+            prop_assert!(tok.start <= tok.end && tok.end <= text.len());
+            prop_assert!(text.is_char_boundary(tok.start) && text.is_char_boundary(tok.end));
+            prop_assert_eq!(text[tok.start..tok.end].to_lowercase(), tok.text);
+        }
+    }
+
+    /// Tokenization is idempotent under re-joining: tokens of the joined
+    /// tokens equal the tokens.
+    #[test]
+    fn tokenization_idempotent(text in "[a-z0-9 ]{0,60}") {
+        let tokenizer = Tokenizer::new();
+        let once = tokenizer.tokenize(&text);
+        let twice = tokenizer.tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Cosine similarity is symmetric and bounded in [0, 1] for
+    /// non-negative vectors.
+    #[test]
+    fn cosine_symmetric_and_bounded(
+        a in prop::collection::vec((0u32..40, 0.0f64..10.0), 0..12),
+        b in prop::collection::vec((0u32..40, 0.0f64..10.0), 0..12),
+    ) {
+        let va = SparseVector::from_pairs(a);
+        let vb = SparseVector::from_pairs(b);
+        let ab = va.cosine(&vb);
+        let ba = vb.cosine(&va);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&ab));
+    }
+
+    /// `add_scaled` matches elementwise arithmetic.
+    #[test]
+    fn add_scaled_is_elementwise(
+        a in prop::collection::vec((0u32..20, -5.0f64..5.0), 0..10),
+        b in prop::collection::vec((0u32..20, -5.0f64..5.0), 0..10),
+        factor in -3.0f64..3.0,
+    ) {
+        let va = SparseVector::from_pairs(a);
+        let vb = SparseVector::from_pairs(b);
+        let mut sum = va.clone();
+        sum.add_scaled(&vb, factor);
+        for id in 0u32..20 {
+            let expect = va.get(id) + factor * vb.get(id);
+            prop_assert!((sum.get(id) - expect).abs() < 1e-9, "id {id}");
+        }
+    }
+
+    /// Jaccard is symmetric, bounded, and 1 exactly for equal sets.
+    #[test]
+    fn jaccard_properties(
+        a in prop::collection::hash_set("[a-e]{1,2}", 0..8),
+        b in prop::collection::hash_set("[a-e]{1,2}", 0..8),
+    ) {
+        let j = jaccard(&a, &b);
+        prop_assert!((jaccard(&b, &a) - j).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in "[ab]{0,8}",
+        b in "[ab]{0,8}",
+        c in "[ab]{0,8}",
+    ) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// q-gram sets of equal strings are equal; disjoint alphabets share at
+    /// most padding grams.
+    #[test]
+    fn qgram_set_consistency(s in "[a-d]{0,10}") {
+        let a = char_qgram_set(&s, 3);
+        let b = char_qgram_set(&s, 3);
+        prop_assert_eq!(a, b);
+    }
+
+    /// TF/IDF weights are non-negative and rarer terms weigh more.
+    #[test]
+    fn tfidf_rare_terms_weigh_more(n_common in 2u32..20) {
+        let model = TfIdf::new();
+        for i in 0..n_common {
+            model.observe(["common", if i == 0 { "rare" } else { "filler" }]);
+        }
+        prop_assert!(model.idf("rare") > model.idf("common"));
+        prop_assert!(model.idf("common") >= 0.0);
+    }
+
+    /// Rocchio with only accepted feedback never decreases any weight.
+    #[test]
+    fn rocchio_accepts_never_decrease(
+        profile in prop::collection::vec((0u32..10, 0.0f64..5.0), 0..8),
+        accepted in prop::collection::vec((0u32..10, 0.0f64..5.0), 1..6),
+    ) {
+        let p = SparseVector::from_pairs(profile);
+        let acc = vec![SparseVector::from_pairs(accepted)];
+        let updated = rocchio_update(&p, &acc, &[], RocchioWeights { alpha: 1.0, beta: 0.5, gamma: 0.2 });
+        for id in 0u32..10 {
+            prop_assert!(updated.get(id) + 1e-12 >= p.get(id));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The §6 entity-matching rule `[a.isbn = b.isbn] AND [jaccard.3g(a.title,
+//! b.title) >= 0.8] => match` run over a duplicated book catalog.
+//!
+//! ```text
+//! cargo run --release --example entity_matching
+//! ```
+
+use rulekit::data::{CatalogGenerator, Taxonomy};
+use rulekit::em::{
+    run_matcher, synthesize_duplicates, BlockingKey, MatchAction, MatchRule, Predicate,
+    RuleMatcher, Semantics,
+};
+
+fn main() {
+    let taxonomy = Taxonomy::builtin();
+    let mut generator = CatalogGenerator::with_seed(taxonomy.clone(), 55);
+    let books = taxonomy.id_of("books").expect("built-in type");
+
+    // A catalog where ~40% of books were re-listed by another vendor with
+    // perturbed titles.
+    let items = generator.generate_n_for_type(books, 1_500);
+    let corpus = synthesize_duplicates(&items, 0.4, 56);
+    println!(
+        "{} records, {} true duplicate pairs",
+        corpus.records.len(),
+        corpus.truth.len()
+    );
+    let sample = corpus.truth.iter().next().expect("has duplicates");
+    println!(
+        "example duplicate pair:\n  a: {:?}\n  b: {:?}\n",
+        corpus.records[sample.0 as usize].title,
+        corpus.records[sample.1 as usize].title
+    );
+
+    // The paper's rule, printed the way the paper writes it.
+    let matcher = RuleMatcher::paper_book_rules();
+    for rule in matcher.rules() {
+        let preds: Vec<String> = rule.predicates.iter().map(|p| p.to_string()).collect();
+        println!("rule {:<16}: {} => match", rule.name, preds.join(" and "));
+    }
+
+    let blocking = [BlockingKey::Attr("ISBN".into()), BlockingKey::TitlePrefix(2)];
+    let report = run_matcher(&corpus, &matcher, &blocking, 4);
+    println!(
+        "\nblocking produced {} candidate pairs (full cross product would be {})",
+        report.candidates,
+        corpus.records.len() * (corpus.records.len() - 1) / 2
+    );
+    println!(
+        "matched {} pairs: precision {:.1}%, recall {:.1}%, F1 {:.1}%",
+        report.predicted,
+        100.0 * report.precision(),
+        100.0 * report.recall(),
+        100.0 * report.f1()
+    );
+
+    // A title-only baseline shows why analysts conjoin predicates.
+    let loose = RuleMatcher::new(
+        vec![MatchRule {
+            name: "title-only".into(),
+            predicates: vec![Predicate::TitleQgramJaccard { q: 3, threshold: 0.6 }],
+            action: MatchAction::Match,
+        }],
+        Semantics::Declarative,
+    );
+    let loose_report = run_matcher(&corpus, &loose, &blocking, 4);
+    println!(
+        "title-only baseline: precision {:.1}%, recall {:.1}% — the conjunction wins",
+        100.0 * loose_report.precision(),
+        100.0 * loose_report.recall()
+    );
+}

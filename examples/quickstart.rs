@@ -1,0 +1,67 @@
+//! Quickstart: generate product items (Figure 1), stand up a Chimera
+//! pipeline with a few analyst rules plus learning, and classify.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rulekit::chimera::{Chimera, ChimeraConfig, Decision};
+use rulekit::data::{CatalogGenerator, LabeledCorpus, Taxonomy};
+
+fn main() {
+    let taxonomy = Taxonomy::builtin();
+    let mut generator = CatalogGenerator::with_seed(taxonomy.clone(), 42);
+
+    // --- Figure 1: product items are records of attribute-value pairs.
+    println!("== product items ==");
+    for name in ["area rugs", "rings", "laptop bags & cases"] {
+        let ty = taxonomy.id_of(name).expect("built-in type");
+        let item = generator.generate_for_type(ty);
+        println!("{}\n", item.product.to_json());
+    }
+
+    // --- A Chimera pipeline: learning ensemble + analyst rules.
+    let mut chimera = Chimera::new(taxonomy.clone(), ChimeraConfig::default());
+    let training = LabeledCorpus::generate(&mut generator, 5_000);
+    chimera.train(training.items());
+    chimera
+        .add_rules(
+            "# analyst rules (whitelist, blacklist, attribute)\n\
+             rings? -> rings\n\
+             diamond.*trio sets? -> rings\n\
+             (area|oriental|braided) rugs? -> area rugs\n\
+             laptop (bag|case|sleeve)s? -> laptop bags & cases\n\
+             laptop (bag|case|sleeve)s? -> NOT laptop computers\n\
+             attr(ISBN) -> one of books; cookbooks; children's books\n",
+        )
+        .expect("rules parse");
+
+    // --- Classify a few fresh items and show the explanations.
+    println!("== classifications ==");
+    let mut correct = 0;
+    let items: Vec<_> = (0..10).map(|_| generator.generate_one()).collect();
+    for item in &items {
+        let decision = chimera.classify(&item.product);
+        match &decision {
+            Decision::Classified { ty, confidence, explanation } => {
+                let ok = *ty == item.truth;
+                correct += usize::from(ok);
+                println!(
+                    "[{}] {:?}\n     -> {} (confidence {:.2}, truth: {})",
+                    if ok { "ok " } else { "ERR" },
+                    item.product.title,
+                    taxonomy.name(*ty),
+                    confidence,
+                    taxonomy.name(item.truth),
+                );
+                for line in explanation.iter().take(2) {
+                    println!("        because: {line}");
+                }
+            }
+            Decision::Declined { reason } => {
+                println!("[dec] {:?}\n     declined: {reason}", item.product.title);
+            }
+        }
+    }
+    println!("\n{correct}/{} classified correctly", items.len());
+}

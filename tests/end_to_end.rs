@@ -1,0 +1,144 @@
+//! End-to-end integration: the full Chimera loop over a live stream, with
+//! crowd QA, drift, scale-down and restore — every crate working together.
+
+use rulekit::chimera::{Chimera, ChimeraConfig};
+use rulekit::crowd::{CrowdConfig, CrowdSim};
+use rulekit::data::{
+    BatchStream, CatalogGenerator, DriftEvent, LabeledCorpus, StreamConfig, Taxonomy, VendorPool,
+};
+
+fn production_chimera(seed: u64) -> Chimera {
+    let taxonomy = Taxonomy::builtin();
+    let mut generator = CatalogGenerator::with_seed(taxonomy.clone(), seed);
+    let mut chimera = Chimera::new(taxonomy.clone(), ChimeraConfig { seed, ..Default::default() });
+    chimera.train(LabeledCorpus::generate(&mut generator, 4_000).items());
+    let mut rules = String::new();
+    for id in taxonomy.ids() {
+        let def = taxonomy.def(id);
+        for head in &def.heads {
+            rules.push_str(&format!(
+                "{}s? -> {}\n",
+                rulekit::regex::escape(&head.to_lowercase()),
+                def.name
+            ));
+        }
+    }
+    rules.push_str("laptop (bag|case|sleeve)s? -> NOT laptop computers\n");
+    chimera.add_rules(&rules).expect("rules parse");
+    chimera
+}
+
+#[test]
+fn precision_gate_holds_over_a_healthy_stream() {
+    let mut chimera = production_chimera(101);
+    let taxonomy = chimera.taxonomy().clone();
+    let generator = CatalogGenerator::with_seed(taxonomy, 202);
+    let vendors = VendorPool::generate(6, 0.0, 3);
+    let mut stream = BatchStream::new(
+        generator,
+        vendors,
+        StreamConfig { seed: 4, min_batch: 200, max_batch: 500, ..Default::default() },
+    );
+    let mut crowd = CrowdSim::new(CrowdConfig { seed: 9, ..Default::default() });
+
+    for _ in 0..3 {
+        let batch = stream.next_batch();
+        let report = chimera.process_batch(&batch, &mut crowd);
+        assert!(report.accepted, "batch {} missed the gate: {:?}", report.seq, report.estimate);
+        assert!(
+            report.oracle.precision() >= 0.92,
+            "oracle precision {} below gate",
+            report.oracle.precision()
+        );
+        assert!(report.oracle.recall() >= 0.85, "recall {}", report.oracle.recall());
+    }
+}
+
+#[test]
+fn drift_is_patched_and_recovery_survives_restore() {
+    let mut chimera = production_chimera(111);
+    chimera.set_auto_scale_down(true);
+    let taxonomy = chimera.taxonomy().clone();
+    let sofas = taxonomy.id_of("sofas").unwrap();
+
+    let generator = CatalogGenerator::with_seed(taxonomy.clone(), 212);
+    let vendors = VendorPool::generate(6, 0.0, 3);
+    let mut stream = BatchStream::new(
+        generator,
+        vendors,
+        StreamConfig {
+            seed: 5,
+            min_batch: 400,
+            max_batch: 600,
+            drift: vec![DriftEvent::NovelVendor { at_batch: 1, alt_head_prob: 1.0, types: vec![sofas] }],
+        },
+    );
+    let mut crowd = CrowdSim::new(CrowdConfig { seed: 10, ..Default::default() });
+
+    // Healthy batch, then pure drifted sofa batches.
+    let healthy = stream.next_batch();
+    let report = chimera.process_batch(&healthy, &mut crowd);
+    assert!(report.oracle.precision() >= 0.9);
+
+    let before_rules = chimera.rules.len();
+    for _ in 0..2 {
+        let drifted = stream.next_batch();
+        chimera.process_batch(&drifted, &mut crowd);
+    }
+    // The Analysis stage must have written novel-vocabulary rules.
+    assert!(chimera.rules.len() > before_rules, "analysis added no rules");
+
+    // Restore anything scaled down; the patched system must now classify
+    // drifted titles correctly.
+    for ty in chimera.suppressed_types() {
+        chimera.restore(ty);
+    }
+    let drifted = stream.next_batch();
+    let report = chimera.process_batch(&drifted, &mut crowd);
+    assert!(
+        report.oracle.recall() >= 0.9,
+        "post-restore recall {} on drifted stream",
+        report.oracle.recall()
+    );
+    assert!(report.oracle.precision() >= 0.9);
+}
+
+#[test]
+fn explanations_cite_fired_rules() {
+    let chimera = production_chimera(121);
+    let taxonomy = chimera.taxonomy().clone();
+    let mut generator = CatalogGenerator::with_seed(taxonomy.clone(), 222);
+    let rings = taxonomy.id_of("rings").unwrap();
+    let item = generator.generate_for_type(rings);
+    match chimera.classify(&item.product) {
+        rulekit::chimera::Decision::Classified { ty, explanation, .. } => {
+            assert_eq!(ty, rings);
+            assert!(
+                explanation.iter().any(|e| e.contains("whitelist")),
+                "no rule evidence in {explanation:?}"
+            );
+        }
+        other => panic!("expected classification, got {other:?}"),
+    }
+}
+
+#[test]
+fn scale_down_is_immediate_and_reversible() {
+    let mut chimera = production_chimera(131);
+    let taxonomy = chimera.taxonomy().clone();
+    let mut generator = CatalogGenerator::with_seed(taxonomy.clone(), 232);
+    let rugs = taxonomy.id_of("area rugs").unwrap();
+
+    let items: Vec<_> = (0..20).map(|_| generator.generate_for_type(rugs)).collect();
+    let classified = |c: &Chimera| {
+        items
+            .iter()
+            .filter(|i| c.classify(&i.product).type_id() == Some(rugs))
+            .count()
+    };
+    assert!(classified(&chimera) >= 18);
+    chimera.scale_down(rugs, "integration test");
+    assert_eq!(classified(&chimera), 0, "suppressed type must never be predicted");
+    chimera.restore(rugs);
+    assert!(classified(&chimera) >= 18);
+}
