@@ -12,16 +12,14 @@ fn bench_mining(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("sequence_mining");
     for &n in &[250usize, 1_000] {
-        let titles: Vec<String> = generator
-            .generate_n_for_type(jeans, n)
-            .into_iter()
-            .map(|i| i.product.title)
-            .collect();
+        let titles: Vec<String> =
+            generator.generate_n_for_type(jeans, n).into_iter().map(|i| i.product.title).collect();
         let docs = tokenize_titles(&titles);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("titles", n), &docs, |b, docs| {
             b.iter(|| {
-                mine_sequences(docs, MiningConfig { min_support: 0.02, min_len: 2, max_len: 4 }).len()
+                mine_sequences(docs, MiningConfig { min_support: 0.02, min_len: 2, max_len: 4 })
+                    .len()
             })
         });
     }
@@ -32,11 +30,8 @@ fn bench_support_threshold(c: &mut Criterion) {
     let scale = Scale { train_items: 2000, eval_items: 100, seed: 13 };
     let (taxonomy, mut generator) = world(scale);
     let rugs = taxonomy.id_of("area rugs").unwrap();
-    let titles: Vec<String> = generator
-        .generate_n_for_type(rugs, 1_000)
-        .into_iter()
-        .map(|i| i.product.title)
-        .collect();
+    let titles: Vec<String> =
+        generator.generate_n_for_type(rugs, 1_000).into_iter().map(|i| i.product.title).collect();
     let docs = tokenize_titles(&titles);
 
     let mut group = c.benchmark_group("mining_support_sweep");
@@ -46,7 +41,8 @@ fn bench_support_threshold(c: &mut Criterion) {
             &support,
             |b, &s| {
                 b.iter(|| {
-                    mine_sequences(&docs, MiningConfig { min_support: s, min_len: 2, max_len: 4 }).len()
+                    mine_sequences(&docs, MiningConfig { min_support: s, min_len: 2, max_len: 4 })
+                        .len()
                 })
             },
         );

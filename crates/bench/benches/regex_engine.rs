@@ -28,11 +28,8 @@ fn bench_compile(c: &mut Criterion) {
 fn bench_match(c: &mut Criterion) {
     let scale = Scale { train_items: 500, eval_items: 500, seed: 9 };
     let (_, mut generator) = world(scale);
-    let titles: Vec<String> = generator
-        .generate(500)
-        .into_iter()
-        .map(|i| i.product.title)
-        .collect();
+    let titles: Vec<String> =
+        generator.generate(500).into_iter().map(|i| i.product.title).collect();
 
     let mut group = c.benchmark_group("regex_is_match_500_titles");
     for (name, pattern) in PATTERNS {
@@ -47,11 +44,8 @@ fn bench_match(c: &mut Criterion) {
 fn bench_captures(c: &mut Criterion) {
     let scale = Scale { train_items: 500, eval_items: 500, seed: 9 };
     let (_, mut generator) = world(scale);
-    let titles: Vec<String> = generator
-        .generate(500)
-        .into_iter()
-        .map(|i| i.product.title)
-        .collect();
+    let titles: Vec<String> =
+        generator.generate(500).into_iter().map(|i| i.product.title).collect();
     let re = Regex::case_insensitive(r"(\w+) (rugs?|rings?|jeans?)").unwrap();
     c.bench_function("regex_captures_500_titles", |b| {
         b.iter(|| titles.iter().filter_map(|t| re.captures(t)).count())

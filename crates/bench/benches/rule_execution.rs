@@ -20,21 +20,11 @@ fn bench_executors(c: &mut Criterion) {
         group.throughput(Throughput::Elements(products.len() as u64));
         let naive = NaiveExecutor::new(rules.clone());
         group.bench_with_input(BenchmarkId::new("naive", n), &naive, |b, ex| {
-            b.iter(|| {
-                products
-                    .iter()
-                    .map(|p| ex.matching_rules(p).len())
-                    .sum::<usize>()
-            })
+            b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
         });
         let indexed = IndexedExecutor::new(rules.clone());
         group.bench_with_input(BenchmarkId::new("indexed", n), &indexed, |b, ex| {
-            b.iter(|| {
-                products
-                    .iter()
-                    .map(|p| ex.matching_rules(p).len())
-                    .sum::<usize>()
-            })
+            b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
         });
     }
     group.finish();

@@ -1,0 +1,96 @@
+//! Criterion bench for the serving tier: request round-trip throughput at
+//! one vs several shards, and the latency of a full snapshot rebuild +
+//! hot swap (`refresh_now`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rulekit_chimera::{Chimera, ChimeraConfig};
+use rulekit_data::{Product, Taxonomy, VendorId};
+use rulekit_serve::{Admission, ChimeraProvider, RuleService, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn ruled_chimera() -> Arc<Chimera> {
+    let taxonomy = Taxonomy::builtin();
+    let chimera = Chimera::new(taxonomy, ChimeraConfig::default());
+    chimera
+        .add_rules("rings? -> rings\nattr(ISBN) -> books\nsofas? -> sofas\n")
+        .expect("rules parse");
+    Arc::new(chimera)
+}
+
+fn product(i: usize) -> Product {
+    let titles = ["diamond wedding ring", "hardcover mystery novel", "leather sofa", "garden hose"];
+    Product {
+        id: i as u64,
+        title: titles[i % titles.len()].into(),
+        description: String::new(),
+        attributes: Vec::new(),
+        vendor: VendorId(0),
+    }
+}
+
+fn bench_shard_throughput(c: &mut Criterion) {
+    let chimera = ruled_chimera();
+    let products: Vec<Product> = (0..64).map(product).collect();
+
+    let mut group = c.benchmark_group("serve_roundtrip");
+    group.throughput(Throughput::Elements(products.len() as u64));
+    for &shards in &[1usize, 4] {
+        let service = RuleService::start(
+            Arc::new(ChimeraProvider::new(chimera.clone())),
+            ServeConfig { shards, queue_capacity: 1024, ..Default::default() },
+        );
+        group.bench_with_input(BenchmarkId::new("shards", shards), &service, |b, svc| {
+            b.iter(|| {
+                // Submit a burst, then wait for every response: measures the
+                // full submit → queue → classify → respond round trip.
+                let handles: Vec<_> = products
+                    .iter()
+                    .map(|p| match svc.submit(p.clone()) {
+                        Admission::Enqueued(h) => h,
+                        Admission::Overloaded => panic!("bench queue sized to never overload"),
+                    })
+                    .collect();
+                let mut served = 0usize;
+                for h in handles {
+                    h.wait().expect("served");
+                    served += 1;
+                }
+                served
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_swap(c: &mut Criterion) {
+    let chimera = ruled_chimera();
+    // A rule we can toggle so every iteration really changes the revision
+    // without growing the rule store.
+    let toggle = chimera.add_rules("zzqxswapxs? -> rings\n").expect("parses")[0];
+    let service = RuleService::start(
+        Arc::new(ChimeraProvider::new(chimera.clone())),
+        // Long refresh interval: only refresh_now publishes, so the bench
+        // measures rebuild+publish latency, not refresher scheduling.
+        ServeConfig { shards: 1, refresh_interval: Duration::from_secs(60), ..Default::default() },
+    );
+    let mut enabled = true;
+    c.bench_function("snapshot_swap", |b| {
+        b.iter(|| {
+            if enabled {
+                chimera.rules.disable(toggle, "bench");
+            } else {
+                chimera.rules.enable(toggle);
+            }
+            enabled = !enabled;
+            service.refresh_now()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_shard_throughput, bench_snapshot_swap
+}
+criterion_main!(benches);

@@ -32,7 +32,8 @@ fn bench_ranking(c: &mut Criterion) {
     let rugs = taxonomy.id_of("area rugs").unwrap();
     let case = build_case(&taxonomy, rugs).expect("area rugs has a rich pool");
     let titles = session_corpus(&mut generator, rugs, 1_000, 1_000);
-    let session = SynonymSession::new(&case.input_regex, &titles, SynonymConfig::default()).unwrap();
+    let session =
+        SynonymSession::new(&case.input_regex, &titles, SynonymConfig::default()).unwrap();
     c.bench_function("synonym_rank_candidates", |b| b.iter(|| session.ranked().len()));
 }
 

@@ -27,7 +27,10 @@ pub fn e4(scale: Scale) {
     let truths: Vec<_> = eval.iter().map(|i| i.truth).collect();
 
     let mut table = Table::new(&["system", "precision", "recall", "declined"]);
-    for (name, chimera) in [("learning only (§3.1 baseline)", &mut learn_only), ("learning + rules (Chimera)", &mut with_rules)] {
+    for (name, chimera) in [
+        ("learning only (§3.1 baseline)", &mut learn_only),
+        ("learning + rules (Chimera)", &mut with_rules),
+    ] {
         let m = OracleMetrics::score(&chimera.classify_batch(&products), &truths);
         table.row(vec![name.into(), pct(m.precision()), pct(m.recall()), pct(m.declined_rate())]);
     }
@@ -37,7 +40,11 @@ pub fn e4(scale: Scale) {
     let mut inv = Table::new(&["inventory", "paper", "measured"]);
     inv.row(vec!["whitelist rules".into(), "15,058".into(), stats.whitelist.to_string()]);
     inv.row(vec!["blacklist rules".into(), "5,401".into(), stats.blacklist.to_string()]);
-    inv.row(vec!["restriction/attr rules".into(), "(attr/value classifier)".into(), stats.restriction.to_string()]);
+    inv.row(vec![
+        "restriction/attr rules".into(),
+        "(attr/value classifier)".into(),
+        stats.restriction.to_string(),
+    ]);
     inv.print();
     println!("(paper: precision consistently 92–93% with rules over 16M+ items; learning alone missed the gate)");
 }
@@ -58,7 +65,15 @@ pub fn e5(scale: Scale) {
     let mut crowd = crowd(scale);
 
     let mut table = Table::new(&[
-        "batch", "size", "rounds", "accepted", "est. precision", "oracle precision", "recall", "declined", "rules added",
+        "batch",
+        "size",
+        "rounds",
+        "accepted",
+        "est. precision",
+        "oracle precision",
+        "recall",
+        "declined",
+        "rules added",
     ]);
     let mut cumulative = OracleMetrics::default();
     for _ in 0..6 {
@@ -104,12 +119,24 @@ pub fn e6(scale: Scale) {
             seed: scale.seed,
             min_batch: 500,
             max_batch: 800,
-            drift: vec![DriftEvent::NovelVendor { at_batch: 2, alt_head_prob: 1.0, types: vec![sofas] }],
+            drift: vec![DriftEvent::NovelVendor {
+                at_batch: 2,
+                alt_head_prob: 1.0,
+                types: vec![sofas],
+            }],
         },
     );
     let mut crowd = crowd(scale);
 
-    let mut table = Table::new(&["batch", "phase", "oracle precision", "recall", "alarms", "suppressed", "rules added"]);
+    let mut table = Table::new(&[
+        "batch",
+        "phase",
+        "oracle precision",
+        "recall",
+        "alarms",
+        "suppressed",
+        "rules added",
+    ]);
     for i in 0..6 {
         // §2.2: once the system is stable, CS developers move on and
         // analysts are stretched thin — during the drift the Analysis stage
@@ -132,7 +159,10 @@ pub fn e6(scale: Scale) {
             pct(report.oracle.precision()),
             pct(report.oracle.recall()),
             format!("{:?}", report.alarms.iter().map(|t| taxonomy.name(*t)).collect::<Vec<_>>()),
-            format!("{:?}", chimera.suppressed_types().iter().map(|t| taxonomy.name(*t)).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                chimera.suppressed_types().iter().map(|t| taxonomy.name(*t)).collect::<Vec<_>>()
+            ),
             report.rules_added.to_string(),
         ]);
         if i == 4 {

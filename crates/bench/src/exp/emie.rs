@@ -29,10 +29,8 @@ pub fn e11(scale: Scale) {
                 continue;
             }
             if let Some(isbn) = corpus.records[from].attr("ISBN").map(str::to_string) {
-                if let Some(slot) = corpus.records[to]
-                    .attributes
-                    .iter_mut()
-                    .find(|(k, _)| k == "ISBN")
+                if let Some(slot) =
+                    corpus.records[to].attributes.iter_mut().find(|(k, _)| k == "ISBN")
                 {
                     slot.1 = isbn;
                 }
@@ -49,12 +47,17 @@ pub fn e11(scale: Scale) {
     let blocking = [BlockingKey::Attr("ISBN".into()), BlockingKey::TitlePrefix(2)];
     let single = |name: &str, predicate: Predicate| {
         RuleMatcher::new(
-            vec![MatchRule { name: name.into(), predicates: vec![predicate], action: MatchAction::Match }],
+            vec![MatchRule {
+                name: name.into(),
+                predicates: vec![predicate],
+                action: MatchAction::Match,
+            }],
             Semantics::Declarative,
         )
     };
 
-    let mut table = Table::new(&["matcher", "candidates", "predicted", "precision", "recall", "F1"]);
+    let mut table =
+        Table::new(&["matcher", "candidates", "predicted", "precision", "recall", "F1"]);
     let matchers: Vec<(&str, RuleMatcher)> = vec![
         ("isbn only", single("isbn", Predicate::AttrEqual { attr: "ISBN".into() })),
         (

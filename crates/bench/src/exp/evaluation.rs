@@ -84,10 +84,8 @@ pub fn e8(scale: Scale) {
     table.print();
 
     // Tail blindness of Method 1 in detail.
-    let tail_missed = tail
-        .iter()
-        .filter(|c| r1.estimates.get(&c.rule_id).is_none_or(|e| e.samples == 0))
-        .count();
+    let tail_missed =
+        tail.iter().filter(|c| r1.estimates.get(&c.rule_id).is_none_or(|e| e.samples == 0)).count();
     println!(
         "method 1 tail blindness: {tail_missed} of {} tail rules got zero validation samples",
         tail.len()

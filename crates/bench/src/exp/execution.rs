@@ -31,8 +31,11 @@ pub fn synthetic_rules(taxonomy: &Arc<Taxonomy>, n: usize) -> Vec<Rule> {
                     let e = rulekit_regex::escape(q);
                     let h = rulekit_regex::escape(head);
                     let q_at = |k: usize| rulekit_regex::escape(&quals[(qi + k) % quals.len()]);
-                    let brand_at =
-                        |k: usize| rulekit_regex::escape(&def.brands[(qi + k) % def.brands.len()].to_lowercase());
+                    let brand_at = |k: usize| {
+                        rulekit_regex::escape(
+                            &def.brands[(qi + k) % def.brands.len()].to_lowercase(),
+                        )
+                    };
                     let pattern = match depth {
                         0 => format!("{e}.*{h}s?"),
                         1 => format!("{e}.*{}.*{h}s?", q_at(1)),
@@ -69,11 +72,8 @@ pub fn synthetic_rules(taxonomy: &Arc<Taxonomy>, n: usize) -> Vec<Rule> {
 pub fn e7(scale: Scale) {
     println!("\n=== E7: executing tens of thousands of rules (§4) ===");
     let (taxonomy, mut generator) = world(scale);
-    let products: Vec<_> = generator
-        .generate(2_000.min(scale.eval_items))
-        .into_iter()
-        .map(|i| i.product)
-        .collect();
+    let products: Vec<_> =
+        generator.generate(2_000.min(scale.eval_items)).into_iter().map(|i| i.product).collect();
 
     let mut table = Table::new(&[
         "rules",
@@ -99,7 +99,8 @@ pub fn e7(scale: Scale) {
         let naive_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
         let t1 = Instant::now();
-        let indexed_results: usize = naive_sample.iter().map(|p| indexed.matching_rules(p).len()).sum();
+        let indexed_results: usize =
+            naive_sample.iter().map(|p| indexed.matching_rules(p).len()).sum();
         let indexed_ms = t1.elapsed().as_secs_f64() * 1000.0;
         assert_eq!(naive_results, indexed_results, "executors must agree");
         let t1b = Instant::now();
@@ -107,7 +108,7 @@ pub fn e7(scale: Scale) {
         let indexed_full_ms = t1b.elapsed().as_secs_f64() * 1000.0;
 
         let t2 = Instant::now();
-        let _ = execute_batch_parallel(&naive, naive_sample, 4);
+        let _ = execute_batch_parallel(&naive, naive_sample, 4).expect("no worker panicked");
         let par_ms = t2.elapsed().as_secs_f64() * 1000.0;
 
         let sample = &products[..products.len().min(200)];
@@ -163,7 +164,10 @@ pub fn e10(scale: Scale) {
         },
     ];
     let blocking = [BlockingKey::Attr("ISBN".into())];
-    for (name, semantics) in [("decision list (FirstMatch)", Semantics::FirstMatch), ("declarative", Semantics::Declarative)] {
+    for (name, semantics) in [
+        ("decision list (FirstMatch)", Semantics::FirstMatch),
+        ("declarative", Semantics::Declarative),
+    ] {
         let matcher = RuleMatcher::new(conflicted_rules.clone(), semantics);
         let sensitive = order_sensitivity(&corpus, &matcher, &blocking);
         println!("EM semantics {name}: order-sensitive = {sensitive}");

@@ -19,13 +19,13 @@ pub fn e9(scale: Scale) {
     // A realistic mess: duplicates from two analysts, the paper's pairs, an
     // imprecise rule, and some healthy rules.
     let lines = [
-        "denim.*jeans? -> jeans",                                           // subsumed by the next
+        "denim.*jeans? -> jeans", // subsumed by the next
         "jeans? -> jeans",
         "(abrasive|sand(er|ing))[ -](wheels?|discs?) -> abrasive wheels & discs", // overlaps next
         "abrasive.*(wheels?|discs?) -> abrasive wheels & discs",
-        "rings? -> rings",                                                   // imprecise: hits earrings
+        "rings? -> rings", // imprecise: hits earrings
         "(wedding bands?|trio sets?) -> rings",
-        "laptop -> laptop computers",                                        // imprecise: hits bags
+        "laptop -> laptop computers", // imprecise: hits bags
         "rugs? -> area rugs",
         "attr(ISBN) -> books",
     ];
@@ -81,7 +81,11 @@ pub fn e9(scale: Scale) {
     }
     imp_table.print();
     let disabled = quarantine_imprecise(&repo, &flagged);
-    println!("quarantined {} imprecise rule(s); repository now has {} enabled rules", disabled.len(), repo.enabled_snapshot().len());
+    println!(
+        "quarantined {} imprecise rule(s); repository now has {} enabled rules",
+        disabled.len(),
+        repo.enabled_snapshot().len()
+    );
 
     // Taxonomy change: split "jeans" (the paper's "pants" example).
     let jeans = taxonomy.id_of("jeans").unwrap();

@@ -7,4 +7,5 @@ pub mod evaluation;
 pub mod execution;
 pub mod maintenance;
 pub mod rulegen;
+pub mod serving;
 pub mod synonym;

@@ -42,25 +42,44 @@ pub fn e3(scale: Scale) {
     stages.row(vec!["labeled items".into(), "885K".into(), report.titles.to_string()]);
     stages.row(vec!["types covered".into(), "3,707".into(), report.types_processed.to_string()]);
     stages.row(vec!["mined candidates".into(), "874K".into(), report.mined_candidates.to_string()]);
-    stages.row(vec!["after error filter".into(), "—".into(), report.after_error_filter.to_string()]);
-    stages.row(vec!["selected high-confidence".into(), "63K".into(), report.selected_high.to_string()]);
-    stages.row(vec!["selected low-confidence".into(), "37K".into(), report.selected_low.to_string()]);
+    stages.row(vec![
+        "after error filter".into(),
+        "—".into(),
+        report.after_error_filter.to_string(),
+    ]);
+    stages.row(vec![
+        "selected high-confidence".into(),
+        "63K".into(),
+        report.selected_high.to_string(),
+    ]);
+    stages.row(vec![
+        "selected low-confidence".into(),
+        "37K".into(),
+        report.selected_low.to_string(),
+    ]);
     stages.print();
 
     // Crowd-estimated precision per tier on held-out items (paper: 95% / 92%).
     let eval = LabeledCorpus::generate(&mut generator, scale.eval_items);
     let mut crowd = CrowdSim::new(CrowdConfig { seed: scale.seed, ..Default::default() });
     let mut tiers = Table::new(&["tier", "rules", "paper precision", "crowd-estimated", "oracle"]);
-    for (tier, label, paper) in [(Tier::High, "high confidence", "95%"), (Tier::Low, "low confidence", "92%")] {
+    for (tier, label, paper) in
+        [(Tier::High, "high confidence", "95%"), (Tier::Low, "low confidence", "92%")]
+    {
         let repo = RuleRepository::new();
         for r in report.rules.iter().filter(|r| r.tier == tier) {
-            let meta = RuleMeta { provenance: Provenance::Mined, confidence: r.confidence, ..Default::default() };
+            let meta = RuleMeta {
+                provenance: Provenance::Mined,
+                confidence: r.confidence,
+                ..Default::default()
+            };
             repo.add(r.to_spec(&taxonomy), meta);
         }
         let rules = repo.enabled_snapshot();
         let executor = IndexedExecutor::new(rules.clone());
         let coverages = compute_coverages(&rules, &executor, eval.items());
-        let (est, _) = rulekit_eval::module_eval(&coverages, eval.items(), 400, &mut crowd, scale.seed);
+        let (est, _) =
+            rulekit_eval::module_eval(&coverages, eval.items(), 400, &mut crowd, scale.seed);
         // Oracle: micro-precision over all touches.
         let (mut hits, mut total) = (0usize, 0usize);
         for cov in &coverages {
@@ -97,7 +116,8 @@ fn decline_reduction(
     // types there was insufficient training data").
     let (_, _, partial) = crate::setup::partial_training_corpus(scale);
     let _ = train;
-    let mut baseline = Chimera::new(taxonomy.clone(), ChimeraConfig { seed: scale.seed, ..Default::default() });
+    let mut baseline =
+        Chimera::new(taxonomy.clone(), ChimeraConfig { seed: scale.seed, ..Default::default() });
     baseline.train(partial.items());
 
     // Uniform eval so the untrained tail types actually arrive.
@@ -111,7 +131,11 @@ fn decline_reduction(
 
     // Add the generated rules (both tiers, as the paper did).
     for r in &report.rules {
-        let meta = RuleMeta { provenance: Provenance::Mined, confidence: r.confidence, ..Default::default() };
+        let meta = RuleMeta {
+            provenance: Provenance::Mined,
+            confidence: r.confidence,
+            ..Default::default()
+        };
         baseline.rules.add(r.to_spec(taxonomy), meta);
     }
     let after = OracleMetrics::score(&baseline.classify_batch(&products), &truths);
@@ -151,11 +175,8 @@ pub fn e15(scale: Scale) {
     let eval = LabeledCorpus::generate(&mut generator, scale.eval_items.min(8_000));
 
     // Build candidates for a handful of well-covered types via public APIs.
-    let mut by_count: Vec<(TypeId, usize)> = train
-        .by_type()
-        .into_iter()
-        .map(|(t, v)| (t, v.len()))
-        .collect();
+    let mut by_count: Vec<(TypeId, usize)> =
+        train.by_type().into_iter().map(|(t, v)| (t, v.len())).collect();
     by_count.sort_by_key(|&(t, n)| (std::cmp::Reverse(n), t));
     let targets: Vec<TypeId> = by_count.iter().take(6).map(|&(t, _)| t).collect();
 
@@ -174,7 +195,8 @@ pub fn e15(scale: Scale) {
         let (mut hits, mut touches) = (0usize, 0usize);
         for &ty in &targets {
             let type_corpus = train.only_type(ty);
-            let titles: Vec<&str> = type_corpus.items().iter().map(|i| i.product.title.as_str()).collect();
+            let titles: Vec<&str> =
+                type_corpus.items().iter().map(|i| i.product.title.as_str()).collect();
             let docs = tokenize_titles(&titles);
             let mining = MiningConfig { min_support: 0.03, min_len: 2, max_len: 4 };
             let seqs = mine_sequences(&docs, mining);

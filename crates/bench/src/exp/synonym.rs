@@ -26,10 +26,8 @@ pub fn build_case(taxonomy: &Taxonomy, ty: TypeId) -> Option<SynonymCase> {
     if single_word.len() < 3 {
         return None;
     }
-    let golden: Vec<String> = single_word[..2.min(single_word.len())]
-        .iter()
-        .map(|q| q.to_string())
-        .collect();
+    let golden: Vec<String> =
+        single_word[..2.min(single_word.len())].iter().map(|q| q.to_string()).collect();
     // Anchor on the last word of every head noun, as the paper's own
     // "(abrasive|…)[ -](wheels?|discs?)" rule does.
     let mut anchors: Vec<String> = def
@@ -62,18 +60,19 @@ pub fn build_case(taxonomy: &Taxonomy, ty: TypeId) -> Option<SynonymCase> {
 }
 
 /// Generates the session corpus: titles of the target type plus background.
-pub fn session_corpus(generator: &mut CatalogGenerator, ty: TypeId, target: usize, background: usize) -> Vec<String> {
+pub fn session_corpus(
+    generator: &mut CatalogGenerator,
+    ty: TypeId,
+    target: usize,
+    background: usize,
+) -> Vec<String> {
     let mut titles: Vec<String> = generator
         .generate_n_for_type(ty, target)
         .into_iter()
         .map(|i| i.product.title.to_lowercase())
         .collect();
-    titles.extend(
-        generator
-            .generate(background)
-            .into_iter()
-            .map(|i| i.product.title.to_lowercase()),
-    );
+    titles
+        .extend(generator.generate(background).into_iter().map(|i| i.product.title.to_lowercase()));
     titles
 }
 
@@ -102,7 +101,9 @@ pub fn table1(scale: Scale) {
         let ty = taxonomy.id_of(name).expect("paper types exist");
         let Some(case) = build_case(&taxonomy, ty) else { continue };
         let titles = session_corpus(&mut generator, ty, 600, 1200);
-        let Some((outcome, _)) = run_case(&case, &titles, SynonymConfig::default(), 3) else { continue };
+        let Some((outcome, _)) = run_case(&case, &titles, SynonymConfig::default(), 3) else {
+            continue;
+        };
         let sample: Vec<String> = outcome.accepted.iter().take(8).cloned().collect();
         table.row(vec![name.to_string(), case.input_regex.clone(), sample.join(", ")]);
     }
@@ -137,7 +138,8 @@ pub fn sweep(scale: Scale, iterations: usize, cfg: SynonymConfig) -> SweepStats 
         .collect();
     cases.truncate(25);
 
-    let mut stats = SweepStats { regexes: cases.len(), min_found: usize::MAX, ..Default::default() };
+    let mut stats =
+        SweepStats { regexes: cases.len(), min_found: usize::MAX, ..Default::default() };
     let mut total_found = 0usize;
     let mut total_minutes = 0.0;
     for case in &cases {
@@ -167,12 +169,20 @@ pub fn e2(scale: Scale) {
     println!("\n=== E2: 25-regex synonym sweep (§5.1 empirical evaluation) ===");
     let stats = sweep(scale, 3, SynonymConfig::default());
     let mut table = Table::new(&["metric", "paper", "measured"]);
-    table.row(vec!["regexes with synonyms found".into(), "24 / 25".into(), format!("{} / {}", stats.with_synonyms, stats.regexes)]);
+    table.row(vec![
+        "regexes with synonyms found".into(),
+        "24 / 25".into(),
+        format!("{} / {}", stats.with_synonyms, stats.regexes),
+    ]);
     table.row(vec!["iterations allowed".into(), "3".into(), "3".into()]);
     table.row(vec!["max synonyms".into(), "24".into(), stats.max_found.to_string()]);
     table.row(vec!["min synonyms".into(), "2".into(), stats.min_found.to_string()]);
     table.row(vec!["avg synonyms".into(), "7".into(), f3(stats.avg_found)]);
-    table.row(vec!["avg analyst minutes/regex".into(), "4 (vs hours manual)".into(), f3(stats.avg_minutes)]);
+    table.row(vec![
+        "avg analyst minutes/regex".into(),
+        "4 (vs hours manual)".into(),
+        f3(stats.avg_minutes),
+    ]);
     table.print();
 }
 
@@ -189,9 +199,18 @@ pub fn e14(scale: Scale) {
         4,
         SynonymConfig { rocchio: RocchioWeights { alpha: 1.0, beta: 0.0, gamma: 0.0 }, ..tight },
     );
-    let mut table = Table::new(&["variant", "avg synonyms found (20 judgments)", "regexes with finds"]);
-    table.row(vec!["TF/IDF + Rocchio re-ranking".into(), f3(with.avg_found), with.with_synonyms.to_string()]);
-    table.row(vec!["TF/IDF static ranking".into(), f3(without.avg_found), without.with_synonyms.to_string()]);
+    let mut table =
+        Table::new(&["variant", "avg synonyms found (20 judgments)", "regexes with finds"]);
+    table.row(vec![
+        "TF/IDF + Rocchio re-ranking".into(),
+        f3(with.avg_found),
+        with.with_synonyms.to_string(),
+    ]);
+    table.row(vec![
+        "TF/IDF static ranking".into(),
+        f3(without.avg_found),
+        without.with_synonyms.to_string(),
+    ]);
     table.print();
     println!(
         "(finding: on this cleanly separable synthetic corpus the static TF/IDF ranking is already\n\

@@ -57,17 +57,16 @@ pub fn analyst_rule_pack(taxonomy: &Taxonomy) -> String {
     lines.push("attr(ISBN) -> one of books; cookbooks; children's books".to_string());
     // Value rules: brands sold across several types restrict the candidate
     // set ("Brand Name = Apple ⇒ one of {laptop, phone, …}", §3.3).
-    let mut brand_types: std::collections::HashMap<&str, Vec<&str>> = std::collections::HashMap::new();
+    let mut brand_types: std::collections::HashMap<&str, Vec<&str>> =
+        std::collections::HashMap::new();
     for id in taxonomy.ids() {
         let def = taxonomy.def(id);
         for brand in &def.brands {
             brand_types.entry(brand.as_str()).or_default().push(def.name.as_str());
         }
     }
-    let mut brands: Vec<(&str, Vec<&str>)> = brand_types
-        .into_iter()
-        .filter(|(_, types)| types.len() >= 2)
-        .collect();
+    let mut brands: Vec<(&str, Vec<&str>)> =
+        brand_types.into_iter().filter(|(_, types)| types.len() >= 2).collect();
     brands.sort();
     for (brand, types) in brands {
         lines.push(format!("value(Brand Name = {brand}) -> one of {}", types.join("; ")));
@@ -96,9 +95,7 @@ fn head_pattern(head: &str) -> String {
 pub fn analyst_rules(taxonomy: &Arc<Taxonomy>) -> Vec<Rule> {
     let parser = RuleParser::new(taxonomy.clone());
     let repo = RuleRepository::new();
-    let specs = parser
-        .parse_rules(&analyst_rule_pack(taxonomy))
-        .expect("analyst pack parses");
+    let specs = parser.parse_rules(&analyst_rule_pack(taxonomy)).expect("analyst pack parses");
     repo.add_all(specs, &RuleMeta::default());
     repo.enabled_snapshot()
 }
@@ -111,11 +108,8 @@ pub fn partial_training_corpus(scale: Scale) -> (Arc<Taxonomy>, CatalogGenerator
     let (taxonomy, mut generator) = world(scale);
     let corpus = LabeledCorpus::generate(&mut generator, scale.train_items);
     // Drop the 30% of types with the least data (the Zipf tail).
-    let mut counts: Vec<(rulekit_data::TypeId, usize)> = corpus
-        .by_type()
-        .into_iter()
-        .map(|(t, v)| (t, v.len()))
-        .collect();
+    let mut counts: Vec<(rulekit_data::TypeId, usize)> =
+        corpus.by_type().into_iter().map(|(t, v)| (t, v.len())).collect();
     counts.sort_by_key(|&(t, n)| (n, t));
     let tail: Vec<rulekit_data::TypeId> = taxonomy
         .ids()
@@ -131,7 +125,8 @@ pub fn partial_training_corpus(scale: Scale) -> (Arc<Taxonomy>, CatalogGenerator
 /// installed — the production configuration.
 pub fn production_chimera(scale: Scale) -> (Chimera, CatalogGenerator) {
     let (taxonomy, generator, partial) = partial_training_corpus(scale);
-    let mut chimera = Chimera::new(taxonomy.clone(), ChimeraConfig { seed: scale.seed, ..Default::default() });
+    let mut chimera =
+        Chimera::new(taxonomy.clone(), ChimeraConfig { seed: scale.seed, ..Default::default() });
     chimera.train(partial.items());
     chimera.add_rules(&analyst_rule_pack(&taxonomy)).expect("rule pack parses");
     (chimera, generator)
@@ -141,7 +136,8 @@ pub fn production_chimera(scale: Scale) -> (Chimera, CatalogGenerator) {
 /// data.
 pub fn learning_only_chimera(scale: Scale) -> (Chimera, CatalogGenerator) {
     let (taxonomy, generator, partial) = partial_training_corpus(scale);
-    let mut chimera = Chimera::new(taxonomy, ChimeraConfig { seed: scale.seed, ..Default::default() });
+    let mut chimera =
+        Chimera::new(taxonomy, ChimeraConfig { seed: scale.seed, ..Default::default() });
     chimera.train(partial.items());
     (chimera, generator)
 }
@@ -166,7 +162,8 @@ mod tests {
 
     #[test]
     fn production_chimera_classifies_rings() {
-        let (chimera, mut generator) = production_chimera(Scale { train_items: 1500, eval_items: 100, seed: 3 });
+        let (chimera, mut generator) =
+            production_chimera(Scale { train_items: 1500, eval_items: 100, seed: 3 });
         let tax = chimera.taxonomy().clone();
         let rings = tax.id_of("rings").unwrap();
         let item = generator.generate_for_type(rings);

@@ -9,7 +9,9 @@
 //! recognizes in the title (and a blacklist rule against the wrong type when
 //! that same phrase caused the mistake).
 
-use rulekit_core::{compile_pattern, Condition, Provenance, RuleAction, RuleId, RuleMeta, RuleRepository, RuleSpec};
+use rulekit_core::{
+    compile_pattern, Condition, Provenance, RuleAction, RuleId, RuleMeta, RuleRepository, RuleSpec,
+};
 use rulekit_data::{pluralize, GeneratedItem, Taxonomy, TypeId};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -74,8 +76,7 @@ impl SimulatedAnalysis {
                 // blacklist that reading.
                 if let Some(wrong_ty) = wrong {
                     if *wrong_ty != truth {
-                        let source =
-                            format!("{pattern} -> NOT {}", self.taxonomy.name(*wrong_ty));
+                        let source = format!("{pattern} -> NOT {}", self.taxonomy.name(*wrong_ty));
                         if let Some(id) =
                             self.add_unique(repo, &pattern, RuleAction::Forbid(*wrong_ty), &source)
                         {
@@ -105,7 +106,11 @@ impl SimulatedAnalysis {
             action,
             source: source.to_string(),
         };
-        let meta = RuleMeta { author: "first-responder".into(), provenance: Provenance::Analyst, ..RuleMeta::default() };
+        let meta = RuleMeta {
+            author: "first-responder".into(),
+            provenance: Provenance::Analyst,
+            ..RuleMeta::default()
+        };
         Some(repo.add(spec, meta))
     }
 }
@@ -157,11 +162,8 @@ mod tests {
         let mut analysis = SimulatedAnalysis::new(tax);
         let outcome = analysis.patch(&[(item, Some(wrong))], &repo);
         assert_eq!(outcome.rules_added.len(), 2);
-        let actions: Vec<bool> = outcome
-            .rules_added
-            .iter()
-            .map(|&id| repo.get(id).unwrap().is_blacklist())
-            .collect();
+        let actions: Vec<bool> =
+            outcome.rules_added.iter().map(|&id| repo.get(id).unwrap().is_blacklist()).collect();
         assert!(actions.contains(&true) && actions.contains(&false));
     }
 

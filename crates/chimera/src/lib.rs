@@ -9,9 +9,11 @@
 pub mod analysis;
 pub mod metrics;
 pub mod pipeline;
+pub mod snapshot;
 pub mod voting;
 
 pub use analysis::{AnalysisOutcome, SimulatedAnalysis};
 pub use metrics::OracleMetrics;
 pub use pipeline::{BatchReport, Chimera, ChimeraConfig};
+pub use snapshot::{PipelineSnapshot, SnapshotDecision};
 pub use voting::{vote, Decision, VotingConfig};

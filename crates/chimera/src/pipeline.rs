@@ -107,7 +107,7 @@ pub struct Chimera {
     pub rules: Arc<RuleRepository>,
     parser: RuleParser,
     featurizer: Featurizer,
-    ensemble: Option<Ensemble>,
+    ensemble: Option<Arc<Ensemble>>,
     training: TrainingSet,
     suppressed: HashSet<TypeId>,
     monitor: DriftMonitor,
@@ -120,7 +120,8 @@ impl Chimera {
     /// A fresh pipeline over `taxonomy`.
     pub fn new(taxonomy: Arc<Taxonomy>, cfg: ChimeraConfig) -> Chimera {
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let monitor = DriftMonitor::new(cfg.monitor_window, cfg.monitor_min_samples, cfg.precision_threshold);
+        let monitor =
+            DriftMonitor::new(cfg.monitor_window, cfg.monitor_min_samples, cfg.precision_threshold);
         Chimera {
             parser: RuleParser::new(taxonomy.clone()),
             analysis: SimulatedAnalysis::new(taxonomy.clone()),
@@ -163,9 +164,7 @@ impl Chimera {
     /// Trains the learning ensemble on labeled items.
     pub fn train(&mut self, items: &[GeneratedItem]) {
         for item in items {
-            self.training
-                .docs
-                .push((self.featurizer.features(&item.product), item.truth));
+            self.training.docs.push((self.featurizer.features(&item.product), item.truth));
         }
         self.retrain();
     }
@@ -174,7 +173,8 @@ impl Chimera {
         if self.training.is_empty() {
             self.ensemble = None;
         } else {
-            self.ensemble = Some(default_ensemble(&self.training, self.cfg.ensemble_confidence));
+            self.ensemble =
+                Some(Arc::new(default_ensemble(&self.training, self.cfg.ensemble_confidence)));
         }
     }
 
@@ -234,8 +234,29 @@ impl Chimera {
             Arc::new(IndexedExecutor::new(rule_snapshot.clone())),
             rule_snapshot,
         ));
-        *cache = Some(ClassifierCache { gate_rev, rule_rev, gate: gate.clone(), rules: rules.clone() });
+        *cache =
+            Some(ClassifierCache { gate_rev, rule_rev, gate: gate.clone(), rules: rules.clone() });
         (gate, rules)
+    }
+
+    /// Captures an immutable, `Send + Sync` snapshot of the current
+    /// classification state (compiled gate + rule classifiers, ensemble,
+    /// suppression set, voting config) for lock-free serving. See
+    /// [`crate::snapshot::PipelineSnapshot`].
+    pub fn snapshot(&self) -> crate::snapshot::PipelineSnapshot {
+        let gate_rev = self.gate_rules.revision();
+        let rule_rev = self.rules.revision();
+        let (gate, rules) = self.classifiers();
+        crate::snapshot::PipelineSnapshot::new(
+            gate,
+            rules,
+            self.ensemble.clone(),
+            self.featurizer.clone(),
+            self.suppressed.clone(),
+            self.cfg.voting,
+            gate_rev,
+            rule_rev,
+        )
     }
 
     /// Classifies one product (Figure 2 left-to-right).
@@ -276,10 +297,7 @@ impl Chimera {
         let (gate, rules) = self.classifiers();
         let threads = self.cfg.threads.max(1);
         if products.len() < 64 || threads == 1 {
-            return products
-                .iter()
-                .map(|p| self.classify_with(p, &gate, &rules))
-                .collect();
+            return products.iter().map(|p| self.classify_with(p, &gate, &rules)).collect();
         }
         let chunk = products.len().div_ceil(threads);
         let mut out: Vec<Vec<Decision>> = Vec::with_capacity(threads);
@@ -290,10 +308,7 @@ impl Chimera {
                     let gate = &gate;
                     let rules = &rules;
                     scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|p| self.classify_with(p, gate, rules))
-                            .collect::<Vec<_>>()
+                        slice.iter().map(|p| self.classify_with(p, gate, rules)).collect::<Vec<_>>()
                     })
                 })
                 .collect();
@@ -516,9 +531,8 @@ mod tests {
         let mut g = CatalogGenerator::with_seed(tax.clone(), 570);
         let sofas = tax.id_of("sofas").unwrap();
         let vendor = VendorProfile::novel_vocabulary(7);
-        let items: Vec<GeneratedItem> = (0..300)
-            .map(|_| g.generate_for_type_and_vendor(sofas, &vendor))
-            .collect();
+        let items: Vec<GeneratedItem> =
+            (0..300).map(|_| g.generate_for_type_and_vendor(sofas, &vendor)).collect();
         let batch = Batch { seq: 0, vendor: vendor.clone(), items };
         let before = chimera.rules.len();
         let mut crowd = perfect_crowd();

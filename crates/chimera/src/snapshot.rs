@@ -1,0 +1,232 @@
+//! An immutable, thread-shareable view of the pipeline's classification
+//! state. `Chimera::snapshot()` compiles the current rule revisions into a
+//! [`PipelineSnapshot`] that serving workers can hold across requests: the
+//! snapshot never blocks on repository locks, never observes later edits,
+//! and can be swapped wholesale when a newer revision is published.
+
+use crate::voting::{vote, Decision, VotingConfig};
+use rulekit_core::RuleClassifier;
+use rulekit_data::{Product, TypeId};
+use rulekit_learn::{Classifier, Ensemble, Featurizer, Prediction};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The result of classifying one product against a snapshot, annotated with
+/// the serving-side observability fields the metrics layer wants.
+#[derive(Debug, Clone)]
+pub struct SnapshotDecision {
+    /// The Voting Master's decision.
+    pub decision: Decision,
+    /// Rule candidates the executors surfaced for this product (gate finals
+    /// plus main-store whitelist assignments) — the "candidates considered"
+    /// cost signal.
+    pub candidates: usize,
+    /// Whether this request skipped the learning ensemble (rules-only
+    /// degraded path).
+    pub degraded: bool,
+}
+
+/// A point-in-time, lock-free classification pipeline: compiled gate and
+/// main-store classifiers, the (optional) learning ensemble, and the voting
+/// configuration, all captured at known repository revisions.
+///
+/// Cloning is cheap (a handful of `Arc` bumps) and the snapshot is
+/// `Send + Sync`, so a worker pool can hand every shard its own copy and
+/// hot-swap by replacing the `Arc<PipelineSnapshot>` it reads.
+#[derive(Clone)]
+pub struct PipelineSnapshot {
+    gate: Arc<RuleClassifier>,
+    rules: Arc<RuleClassifier>,
+    ensemble: Option<Arc<Ensemble>>,
+    featurizer: Featurizer,
+    suppressed: Arc<HashSet<TypeId>>,
+    voting: VotingConfig,
+    gate_revision: u64,
+    rule_revision: u64,
+}
+
+impl PipelineSnapshot {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        gate: Arc<RuleClassifier>,
+        rules: Arc<RuleClassifier>,
+        ensemble: Option<Arc<Ensemble>>,
+        featurizer: Featurizer,
+        suppressed: HashSet<TypeId>,
+        voting: VotingConfig,
+        gate_revision: u64,
+        rule_revision: u64,
+    ) -> Self {
+        PipelineSnapshot {
+            gate,
+            rules,
+            ensemble,
+            featurizer,
+            suppressed: Arc::new(suppressed),
+            voting,
+            gate_revision,
+            rule_revision,
+        }
+    }
+
+    /// Repository revisions this snapshot was compiled from: `(gate, main)`.
+    pub fn revisions(&self) -> (u64, u64) {
+        (self.gate_revision, self.rule_revision)
+    }
+
+    /// A single monotone version combining both repositories, usable as a
+    /// staleness check (a snapshot built from later revisions compares
+    /// greater as long as each repository's revision is monotone).
+    pub fn version(&self) -> u64 {
+        self.gate_revision + self.rule_revision
+    }
+
+    /// Number of enabled rules compiled in (main store).
+    pub fn rule_count(&self) -> usize {
+        self.rules.rule_count()
+    }
+
+    /// Whether the learning ensemble is present (false → `classify` and
+    /// `classify_rules_only` coincide).
+    pub fn has_ensemble(&self) -> bool {
+        self.ensemble.is_some()
+    }
+
+    /// Full Figure 2 path: gate short-circuit, then rules + ensemble voting.
+    pub fn classify(&self, product: &Product) -> SnapshotDecision {
+        self.run(product, false)
+    }
+
+    /// Degraded path for overload shedding: identical gate + rule phases but
+    /// the learning ensemble is skipped, so the Voting Master sees rules
+    /// only. Cheaper and lock-free; precision characteristics follow the
+    /// rule store alone.
+    pub fn classify_rules_only(&self, product: &Product) -> SnapshotDecision {
+        self.run(product, true)
+    }
+
+    fn run(&self, product: &Product, rules_only: bool) -> SnapshotDecision {
+        // Gate Keeper: an unambiguous gate hit classifies immediately.
+        let gate_verdict = self.gate.classify(product);
+        let finals = gate_verdict.final_candidates();
+        if finals.len() == 1 && !self.suppressed.contains(&finals[0].0) {
+            return SnapshotDecision {
+                decision: Decision::Classified {
+                    ty: finals[0].0,
+                    confidence: 1.0,
+                    explanation: vec!["gate keeper short-circuit".to_string()],
+                },
+                candidates: finals.len(),
+                degraded: rules_only,
+            };
+        }
+
+        let verdict = self.rules.classify(product);
+        let learned = match (&self.ensemble, rules_only) {
+            (Some(e), false) => e.predict(&self.featurizer.features(product)),
+            _ => Prediction::empty(),
+        };
+        let candidates = finals.len() + verdict.assigned.len();
+        SnapshotDecision {
+            decision: vote(&verdict, &learned, &self.suppressed, self.voting),
+            candidates,
+            degraded: rules_only,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Chimera, ChimeraConfig};
+    use rulekit_data::{CatalogGenerator, LabeledCorpus, Taxonomy};
+
+    fn trained() -> (Chimera, CatalogGenerator) {
+        let tax = Taxonomy::builtin();
+        let mut g = CatalogGenerator::with_seed(tax.clone(), 91);
+        let mut chimera = Chimera::new(tax, ChimeraConfig::default());
+        let corpus = LabeledCorpus::generate(&mut g, 2000);
+        chimera.train(corpus.items());
+        chimera.add_rules("rings? -> rings\nattr(ISBN) -> books\n").unwrap();
+        (chimera, g)
+    }
+
+    #[test]
+    fn snapshot_matches_live_pipeline() {
+        let (chimera, mut g) = trained();
+        let snap = chimera.snapshot();
+        for item in g.generate(100) {
+            let live = chimera.classify(&item.product);
+            let frozen = snap.classify(&item.product).decision;
+            assert_eq!(live, frozen);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_edits() {
+        let (chimera, _) = trained();
+        let tax = chimera.taxonomy().clone();
+        let rings = tax.id_of("rings").unwrap();
+        let snap = chimera.snapshot();
+        let (_, rev_before) = snap.revisions();
+
+        // Disable every ring rule after taking the snapshot.
+        for rule in chimera.rules.enabled_snapshot() {
+            if rule.action == rulekit_core::RuleAction::Assign(rings) {
+                chimera.rules.disable(rule.id, "test");
+            }
+        }
+
+        // The frozen snapshot still sees the ring rule; a fresh one has a
+        // later revision with the rule gone.
+        assert_eq!(snap.classify_rules_only(&ring_product()).decision.type_id(), Some(rings));
+        let fresh = chimera.snapshot();
+        assert!(fresh.revisions().1 > rev_before);
+        assert!(fresh.version() > snap.version());
+    }
+
+    fn ring_product() -> rulekit_data::Product {
+        rulekit_data::Product {
+            id: 0,
+            title: "diamond accent wedding ring".into(),
+            description: String::new(),
+            attributes: Vec::new(),
+            vendor: rulekit_data::VendorId(0),
+        }
+    }
+
+    #[test]
+    fn rules_only_path_skips_ensemble_and_reports_degraded() {
+        let (chimera, _) = trained();
+        let snap = chimera.snapshot();
+        assert!(snap.has_ensemble());
+        let tax = chimera.taxonomy().clone();
+        let rings = tax.id_of("rings").unwrap();
+        let product = ring_product();
+
+        let full = snap.classify(&product);
+        assert!(!full.degraded);
+        let degraded = snap.classify_rules_only(&product);
+        assert!(degraded.degraded);
+        // The ring rule alone still carries the decision.
+        assert_eq!(degraded.decision.type_id(), Some(rings));
+    }
+
+    #[test]
+    fn snapshot_is_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<PipelineSnapshot>();
+        let (chimera, mut g) = trained();
+        let snap = chimera.snapshot();
+        let copy = snap.clone();
+        let item = g.generate_one();
+        assert_eq!(snap.classify(&item.product).decision, copy.classify(&item.product).decision);
+    }
+
+    #[test]
+    fn candidates_counts_rule_activity() {
+        let (chimera, _) = trained();
+        let snap = chimera.snapshot();
+        assert!(snap.classify(&ring_product()).candidates >= 1);
+    }
+}

@@ -91,7 +91,9 @@ pub fn vote(
     ranked.sort_by_key(|&(ty, _)| ty);
     let total: f64 = ranked.iter().map(|&(_, w)| w).sum();
     if total <= 0.0 {
-        return Decision::Declined { reason: "no classifier produced a permitted candidate".into() };
+        return Decision::Declined {
+            reason: "no classifier produced a permitted candidate".into(),
+        };
     }
     let &(ty, weight) = ranked
         .iter()
@@ -151,7 +153,9 @@ mod tests {
             &HashSet::new(),
             VotingConfig::default(),
         );
-        let Decision::Classified { ty, confidence, explanation } = d else { panic!("expected classified") };
+        let Decision::Classified { ty, confidence, explanation } = d else {
+            panic!("expected classified")
+        };
         assert_eq!(ty, TypeId(3));
         assert!((confidence - 1.0).abs() < 1e-12);
         assert!(explanation.iter().any(|e| e.contains("whitelist")));
@@ -208,16 +212,18 @@ mod tests {
 
     #[test]
     fn nothing_fires_declines() {
-        let d = vote(&RuleVerdict::default(), &Prediction::empty(), &HashSet::new(), VotingConfig::default());
+        let d = vote(
+            &RuleVerdict::default(),
+            &Prediction::empty(),
+            &HashSet::new(),
+            VotingConfig::default(),
+        );
         assert!(d.is_declined());
     }
 
     #[test]
     fn restriction_filters_the_vote() {
-        let v = RuleVerdict {
-            restricted: Some(vec![TypeId(7)]),
-            ..RuleVerdict::default()
-        };
+        let v = RuleVerdict { restricted: Some(vec![TypeId(7)]), ..RuleVerdict::default() };
         let d = vote(
             &v,
             &Prediction::from_scores(vec![(TypeId(7), 0.6), (TypeId(8), 0.4)]),

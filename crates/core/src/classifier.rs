@@ -128,7 +128,8 @@ impl RuleClassifier {
         }
 
         let mut assigned: Vec<(TypeId, f64)> = weights.into_iter().collect();
-        assigned.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite confidences").then(a.0.cmp(&b.0)));
+        assigned
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite confidences").then(a.0.cmp(&b.0)));
         verdict.assigned = assigned;
         verdict
     }
@@ -144,8 +145,8 @@ mod tests {
     use super::*;
     use crate::dsl::RuleParser;
     use crate::engine::NaiveExecutor;
-    use crate::rule::RuleMeta;
     use crate::repository::RuleRepository;
+    use crate::rule::RuleMeta;
     use rulekit_data::{Taxonomy, VendorId};
 
     fn classifier(lines: &[&str]) -> (RuleClassifier, Arc<Taxonomy>) {
@@ -194,7 +195,8 @@ mod tests {
 
     #[test]
     fn multiple_whitelist_hits_accumulate_weight() {
-        let (c, tax) = classifier(&["rings? -> rings", "wedding bands? -> rings", "diamond -> rings"]);
+        let (c, tax) =
+            classifier(&["rings? -> rings", "wedding bands? -> rings", "diamond -> rings"]);
         let v = c.classify(&product("diamond wedding band ring", &[]));
         let rings = tax.id_of("rings").unwrap();
         assert_eq!(v.assigned, vec![(rings, 3.0)]);

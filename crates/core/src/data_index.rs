@@ -72,11 +72,7 @@ impl TitleIndex {
             // Intersect postings of all the literal's trigrams.
             let mut docs: Option<Vec<u32>> = None;
             for w in literal.as_bytes().windows(3) {
-                let list = self
-                    .postings
-                    .get(&[w[0], w[1], w[2]])
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[]);
+                let list = self.postings.get(&[w[0], w[1], w[2]]).map(Vec::as_slice).unwrap_or(&[]);
                 docs = Some(match docs {
                     None => list.to_vec(),
                     Some(current) => intersect_sorted(&current, list),
@@ -88,7 +84,10 @@ impl TitleIndex {
             if let Some(docs) = docs {
                 // Confirm containment (trigram co-occurrence is necessary,
                 // not sufficient).
-                out.extend(docs.into_iter().filter(|&d| self.titles[d as usize].contains(literal.as_str())));
+                out.extend(
+                    docs.into_iter()
+                        .filter(|&d| self.titles[d as usize].contains(literal.as_str())),
+                );
             }
         }
         out.sort_unstable();

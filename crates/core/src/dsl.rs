@@ -85,12 +85,10 @@ impl RuleParser {
             if line.is_empty() {
                 continue;
             }
-            let spec = self
-                .parse_rule(line)
-                .map_err(|mut e| {
-                    e.line = i + 1;
-                    e
-                })?;
+            let spec = self.parse_rule(line).map_err(|mut e| {
+                e.line = i + 1;
+                e
+            })?;
             out.push(spec);
         }
         Ok(out)
@@ -98,9 +96,7 @@ impl RuleParser {
 
     /// Parses one rule line.
     pub fn parse_rule(&self, line: &str) -> Result<RuleSpec, ParseError> {
-        let (lhs, rhs) = line
-            .rsplit_once("->")
-            .ok_or_else(|| err("missing '->'"))?;
+        let (lhs, rhs) = line.rsplit_once("->").ok_or_else(|| err("missing '->'"))?;
         let condition = self.parse_condition(lhs.trim())?;
         let action = self.parse_action(rhs.trim())?;
         Ok(RuleSpec { condition, action, source: line.to_string() })
@@ -130,9 +126,8 @@ impl RuleParser {
             return Ok(Condition::AttrExists(inner.to_string()));
         }
         if let Some(inner) = call_body(atom, "value") {
-            let (attr, values) = inner
-                .split_once('=')
-                .ok_or_else(|| err("value() needs 'name = v1 | v2 | …'"))?;
+            let (attr, values) =
+                inner.split_once('=').ok_or_else(|| err("value() needs 'name = v1 | v2 | …'"))?;
             let values: Vec<String> = values
                 .split('|')
                 .map(|v| v.trim().to_lowercase())
@@ -172,9 +167,8 @@ impl RuleParser {
                     return Ok(None);
                 };
                 let rhs = rhs.trim().trim_start_matches('$');
-                let value: f64 = rhs
-                    .parse()
-                    .map_err(|_| err(&format!("invalid number {rhs:?}")))?;
+                let value: f64 =
+                    rhs.parse().map_err(|_| err(&format!("invalid number {rhs:?}")))?;
                 let op = match op_text {
                     "<=" => CompareOp::Le,
                     ">=" => CompareOp::Ge,
@@ -193,10 +187,7 @@ impl RuleParser {
             let ty = self.resolve_type(rest.trim())?;
             return Ok(RuleAction::Forbid(ty));
         }
-        if let Some(rest) = rhs
-            .strip_prefix("one of ")
-            .or_else(|| rhs.strip_prefix("ONE OF "))
-        {
+        if let Some(rest) = rhs.strip_prefix("one of ").or_else(|| rhs.strip_prefix("ONE OF ")) {
             let mut types = Vec::new();
             for name in rest.split(';') {
                 let name = name.trim();
@@ -213,9 +204,7 @@ impl RuleParser {
     }
 
     fn resolve_type(&self, name: &str) -> Result<rulekit_data::TypeId, ParseError> {
-        self.taxonomy
-            .id_of(name)
-            .ok_or_else(|| err(&format!("unknown product type {name:?}")))
+        self.taxonomy.id_of(name).ok_or_else(|| err(&format!("unknown product type {name:?}")))
     }
 }
 
@@ -233,7 +222,8 @@ fn normalize_pattern_whitespace(pattern: &str) -> String {
         if c == ' ' {
             let prev = out.chars().last();
             let next = chars[i + 1..].iter().find(|&&n| n != ' ');
-            let around_meta = matches!(prev, Some('|') | Some('(')) || matches!(next, Some('|') | Some(')'));
+            let around_meta =
+                matches!(prev, Some('|') | Some('(')) || matches!(next, Some('|') | Some(')'));
             if around_meta {
                 continue;
             }
@@ -316,7 +306,8 @@ mod tests {
 
     #[test]
     fn blacklist_rule() {
-        let spec = parser().parse_rule("laptop (bag|case|sleeve)s? -> NOT laptop computers").unwrap();
+        let spec =
+            parser().parse_rule("laptop (bag|case|sleeve)s? -> NOT laptop computers").unwrap();
         assert!(matches!(spec.action, RuleAction::Forbid(_)));
         assert!(spec.condition.matches(&product("padded laptop sleeve 15.6", &[])));
     }
@@ -339,7 +330,9 @@ mod tests {
     #[test]
     fn value_rule_with_restriction() {
         let spec = parser()
-            .parse_rule("value(Brand Name = Apple) -> one of laptop computers; smartphones; tablets")
+            .parse_rule(
+                "value(Brand Name = Apple) -> one of laptop computers; smartphones; tablets",
+            )
             .unwrap();
         let RuleAction::Restrict(types) = &spec.action else { panic!("expected restrict") };
         assert_eq!(types.len(), 3);
@@ -417,7 +410,8 @@ mod tests {
     #[test]
     fn and_inside_pattern_not_split() {
         // "(sand and grit)" contains " and " inside parens — stays one atom.
-        let spec = parser().parse_rule("(sand and grit) blaster -> abrasive wheels & discs").unwrap();
+        let spec =
+            parser().parse_rule("(sand and grit) blaster -> abrasive wheels & discs").unwrap();
         assert!(spec.condition.matches(&product("sand and grit blaster", &[])));
     }
 }

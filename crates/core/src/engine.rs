@@ -45,11 +45,7 @@ impl NaiveExecutor {
 
 impl RuleExecutor for NaiveExecutor {
     fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId> {
-        self.rules
-            .iter()
-            .filter(|r| r.matches(product))
-            .map(|r| r.id)
-            .collect()
+        self.rules.iter().filter(|r| r.matches(product)).map(|r| r.id).collect()
     }
 
     fn rule_count(&self) -> usize {
@@ -131,9 +127,9 @@ impl IndexedExecutor {
                 .iter()
                 .filter(|d| d.iter().all(|lit| lit.len() >= 3 && lit.is_ascii()))
                 .collect();
-            if let Some(best) = best_disjunction(
-                &indexable.iter().map(|d| (*d).clone()).collect::<Vec<_>>(),
-            ) {
+            if let Some(best) =
+                best_disjunction(&indexable.iter().map(|d| (*d).clone()).collect::<Vec<_>>())
+            {
                 return Admission::Literals(best.clone());
             }
         }
@@ -218,33 +214,80 @@ impl RuleExecutor for IndexedExecutor {
     }
 }
 
+/// A worker panic during [`execute_batch_parallel`], identifying which
+/// product chunk was poisoned so callers can retry, skip, or quarantine it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the product chunk whose worker panicked.
+    pub chunk: usize,
+    /// Panic payload rendered to text (when it carried a message).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch worker for chunk {} panicked: {}", self.chunk, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `executor` over `products` on `threads` workers (crossbeam scoped
 /// threads), preserving input order — the paper's "execute the rules in
 /// parallel on a cluster of machines", one machine's worth.
+///
+/// Each worker catches its own panics: one poisoned product fails only its
+/// chunk, surfaced as [`WorkerPanic`], instead of aborting the whole batch
+/// run. The always-on serving layer (`rulekit-serve`) depends on this to
+/// keep one bad request from killing a shard.
 pub fn execute_batch_parallel(
     executor: &dyn RuleExecutor,
     products: &[rulekit_data::Product],
     threads: usize,
-) -> Vec<Vec<RuleId>> {
+) -> Result<Vec<Vec<RuleId>>, WorkerPanic> {
     let threads = threads.max(1);
     if products.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let chunk = products.len().div_ceil(threads);
-    let mut results: Vec<Vec<Vec<RuleId>>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    let results = crossbeam::scope(|scope| {
         let handles: Vec<_> = products
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| slice.iter().map(|p| executor.matching_rules(p)).collect::<Vec<_>>())
+                scope.spawn(move |_| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        slice.iter().map(|p| executor.matching_rules(p)).collect::<Vec<_>>()
+                    }))
+                })
             })
             .collect();
-        for h in handles {
-            results.push(h.join().expect("worker panicked"));
-        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| match h.join() {
+                Ok(Ok(rows)) => Ok(rows),
+                // A caught panic (or, defensively, one that escaped the
+                // catch) fails this chunk only.
+                Ok(Err(payload)) | Err(payload) => {
+                    Err(WorkerPanic { chunk: i, message: panic_message(payload.as_ref()) })
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()
     })
-    .expect("scope panicked");
-    results.into_iter().flatten().collect()
+    .unwrap_or_else(|payload| {
+        Err(WorkerPanic { chunk: 0, message: panic_message(payload.as_ref()) })
+    })?;
+    Ok(results.into_iter().flatten().collect())
 }
 
 /// Statistics comparing executors on a product set (E7's metric).
@@ -259,7 +302,10 @@ pub struct ExecutionStats {
 }
 
 /// Measures consideration/fire rates of `executor` over `products`.
-pub fn execution_stats(executor: &dyn RuleExecutor, products: &[rulekit_data::Product]) -> ExecutionStats {
+pub fn execution_stats(
+    executor: &dyn RuleExecutor,
+    products: &[rulekit_data::Product],
+) -> ExecutionStats {
     if products.is_empty() {
         return ExecutionStats { rule_count: executor.rule_count(), ..Default::default() };
     }
@@ -280,8 +326,8 @@ pub fn execution_stats(executor: &dyn RuleExecutor, products: &[rulekit_data::Pr
 mod tests {
     use super::*;
     use crate::dsl::RuleParser;
-    use crate::rule::RuleMeta;
     use crate::repository::RuleRepository;
+    use crate::rule::RuleMeta;
     use rulekit_data::{Product, Taxonomy, VendorId};
 
     fn rules(lines: &[&str]) -> Vec<Rule> {
@@ -385,10 +431,45 @@ mod tests {
         let sequential: Vec<Vec<RuleId>> =
             products.iter().map(|p| indexed.matching_rules(p)).collect();
         for threads in [1, 2, 4, 7] {
-            let parallel = execute_batch_parallel(&indexed, &products, threads);
+            let parallel = execute_batch_parallel(&indexed, &products, threads).unwrap();
             assert_eq!(parallel, sequential, "threads={threads}");
         }
-        assert!(execute_batch_parallel(&indexed, &[], 4).is_empty());
+        assert!(execute_batch_parallel(&indexed, &[], 4).unwrap().is_empty());
+    }
+
+    /// An executor that panics on a marker product.
+    struct PoisonExecutor;
+
+    impl RuleExecutor for PoisonExecutor {
+        fn matching_rules(&self, product: &Product) -> Vec<RuleId> {
+            assert!(product.title != "poison", "poisoned product");
+            vec![RuleId(1)]
+        }
+
+        fn rule_count(&self) -> usize {
+            1
+        }
+
+        fn candidates_considered(&self, _product: &Product) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_reported() {
+        let mut products: Vec<Product> = (0..40).map(|_| product("fine", &[])).collect();
+        products[33] = product("poison", &[]);
+        let err = execute_batch_parallel(&PoisonExecutor, &products, 4)
+            .expect_err("poisoned chunk must fail");
+        // 40 products on 4 workers → chunks of 10; index 33 is chunk 3.
+        assert_eq!(err.chunk, 3);
+        assert!(err.message.contains("poisoned product"), "message: {}", err.message);
+        assert!(err.to_string().contains("chunk 3"));
+
+        // Healthy batches on the same executor still succeed afterwards.
+        let clean: Vec<Product> = (0..40).map(|_| product("fine", &[])).collect();
+        let rows = execute_batch_parallel(&PoisonExecutor, &clean, 4).unwrap();
+        assert_eq!(rows.len(), 40);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub use data_index::TitleIndex;
 pub use dsl::{compile_pattern, ParseError, RuleParser, RuleSpec};
 pub use engine::{
     execute_batch_parallel, execution_stats, ExecutionStats, IndexedExecutor, NaiveExecutor,
-    RuleExecutor,
+    RuleExecutor, WorkerPanic,
 };
 pub use properties::{audit_order_independence, OrderAudit};
 pub use repository::{RepositoryStats, Revision, RuleRepository};

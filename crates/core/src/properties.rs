@@ -73,8 +73,8 @@ fn verdicts(rules: Vec<Rule>, products: &[Product]) -> Vec<RuleVerdict> {
 mod tests {
     use super::*;
     use crate::dsl::RuleParser;
-    use crate::rule::RuleMeta;
     use crate::repository::RuleRepository;
+    use crate::rule::RuleMeta;
     use rulekit_data::{CatalogGenerator, Taxonomy};
 
     #[test]

@@ -49,6 +49,11 @@ pub enum Revision {
 #[derive(Debug, Default)]
 pub struct RuleRepository {
     inner: RwLock<Inner>,
+    /// Change notification: `published` mirrors the revision after every
+    /// mutation, `changed` wakes [`RuleRepository::wait_for_change`]
+    /// blockers (the serving layer's snapshot refresher).
+    published: std::sync::Mutex<u64>,
+    changed: std::sync::Condvar,
 }
 
 #[derive(Debug, Default)]
@@ -65,18 +70,65 @@ impl RuleRepository {
         Arc::new(RuleRepository::default())
     }
 
+    /// Publishes the latest revision to watchers. Always called *after* the
+    /// write lock is released (lock order: `inner` before `published`).
+    fn notify_change(&self) {
+        let rev = self.revision();
+        let mut published =
+            self.published.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if *published < rev {
+            *published = rev;
+        }
+        drop(published);
+        self.changed.notify_all();
+    }
+
+    /// Blocks until the revision exceeds `last_seen` or `timeout` elapses;
+    /// returns the latest published revision either way. This is the
+    /// rebuild hook for executor caches and the serving layer: a refresher
+    /// sleeps here instead of polling [`RuleRepository::revision`].
+    pub fn wait_for_change(&self, last_seen: u64, timeout: std::time::Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut published =
+            self.published.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if *published > last_seen {
+                return *published;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return *published;
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(published, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            published = guard;
+        }
+    }
+
     /// Adds a parsed rule with the given metadata template; returns its id.
     pub fn add(&self, spec: RuleSpec, mut meta: RuleMeta) -> RuleId {
-        let mut inner = self.inner.write();
-        let id = RuleId(inner.next_id);
-        inner.next_id += 1;
-        meta.added_at = inner.log.len() as u64;
-        inner.log.push(Revision::Added { rule_id: id, source: spec.source.clone() });
-        inner.order.push(id);
-        inner.rules.insert(
-            id,
-            Rule { id, condition: spec.condition, action: spec.action, meta, source: spec.source },
-        );
+        let id = {
+            let mut inner = self.inner.write();
+            let id = RuleId(inner.next_id);
+            inner.next_id += 1;
+            meta.added_at = inner.log.len() as u64;
+            inner.log.push(Revision::Added { rule_id: id, source: spec.source.clone() });
+            inner.order.push(id);
+            inner.rules.insert(
+                id,
+                Rule {
+                    id,
+                    condition: spec.condition,
+                    action: spec.action,
+                    meta,
+                    source: spec.source,
+                },
+            );
+            id
+        };
+        self.notify_change();
         id
     }
 
@@ -93,37 +145,49 @@ impl RuleRepository {
     /// Disables one rule ("if that rule misclassifies widely, we can simply
     /// disable it, with minimal impacts on the rest of the system", §3.2).
     pub fn disable(&self, id: RuleId, reason: impl Into<String>) -> bool {
-        let mut inner = self.inner.write();
-        let Some(rule) = inner.rules.get_mut(&id) else { return false };
-        if rule.meta.status == RuleStatus::Disabled {
-            return false;
-        }
-        rule.meta.status = RuleStatus::Disabled;
-        inner.log.push(Revision::Disabled { rule_id: id, reason: reason.into() });
-        true
+        let changed = {
+            let mut inner = self.inner.write();
+            let Some(rule) = inner.rules.get_mut(&id) else { return false };
+            if rule.meta.status == RuleStatus::Disabled {
+                return false;
+            }
+            rule.meta.status = RuleStatus::Disabled;
+            inner.log.push(Revision::Disabled { rule_id: id, reason: reason.into() });
+            true
+        };
+        self.notify_change();
+        changed
     }
 
     /// Re-enables one rule.
     pub fn enable(&self, id: RuleId) -> bool {
-        let mut inner = self.inner.write();
-        let Some(rule) = inner.rules.get_mut(&id) else { return false };
-        if rule.meta.status == RuleStatus::Enabled {
-            return false;
-        }
-        rule.meta.status = RuleStatus::Enabled;
-        inner.log.push(Revision::Enabled { rule_id: id });
-        true
+        let changed = {
+            let mut inner = self.inner.write();
+            let Some(rule) = inner.rules.get_mut(&id) else { return false };
+            if rule.meta.status == RuleStatus::Enabled {
+                return false;
+            }
+            rule.meta.status = RuleStatus::Enabled;
+            inner.log.push(Revision::Enabled { rule_id: id });
+            true
+        };
+        self.notify_change();
+        changed
     }
 
     /// Permanently removes a rule (maintenance: subsumed/imprecise rules).
     pub fn remove(&self, id: RuleId, reason: impl Into<String>) -> bool {
-        let mut inner = self.inner.write();
-        if inner.rules.remove(&id).is_none() {
-            return false;
-        }
-        inner.order.retain(|&r| r != id);
-        inner.log.push(Revision::Removed { rule_id: id, reason: reason.into() });
-        true
+        let changed = {
+            let mut inner = self.inner.write();
+            if inner.rules.remove(&id).is_none() {
+                return false;
+            }
+            inner.order.retain(|&r| r != id);
+            inner.log.push(Revision::Removed { rule_id: id, reason: reason.into() });
+            true
+        };
+        self.notify_change();
+        changed
     }
 
     /// Disables every rule that assigns or forbids `ty` — the per-type
@@ -136,9 +200,10 @@ impl RuleRepository {
                 .order
                 .iter()
                 .filter(|id| {
-                    inner.rules.get(id).is_some_and(|r| {
-                        r.is_enabled() && r.target_type() == Some(ty)
-                    })
+                    inner
+                        .rules
+                        .get(id)
+                        .is_some_and(|r| r.is_enabled() && r.target_type() == Some(ty))
                 })
                 .copied()
                 .collect()
@@ -157,9 +222,10 @@ impl RuleRepository {
                 .order
                 .iter()
                 .filter(|id| {
-                    inner.rules.get(id).is_some_and(|r| {
-                        !r.is_enabled() && r.target_type() == Some(ty)
-                    })
+                    inner
+                        .rules
+                        .get(id)
+                        .is_some_and(|r| !r.is_enabled() && r.target_type() == Some(ty))
                 })
                 .copied()
                 .collect()
@@ -172,14 +238,25 @@ impl RuleRepository {
 
     /// Immutable snapshot of all enabled rules, in insertion order.
     pub fn enabled_snapshot(&self) -> Vec<Rule> {
+        self.versioned_snapshot().1
+    }
+
+    /// Atomically captures `(revision, enabled rules)` under a single read
+    /// lock, so the rules are exactly the state at that revision — the
+    /// consistency hook for snapshot caches and the serving layer's
+    /// hot-swap rebuilds (a separate `revision()` + `enabled_snapshot()`
+    /// pair could interleave with a writer).
+    pub fn versioned_snapshot(&self) -> (u64, Vec<Rule>) {
         let inner = self.inner.read();
-        inner
+        let revision = inner.log.len() as u64;
+        let rules = inner
             .order
             .iter()
             .filter_map(|id| inner.rules.get(id))
             .filter(|r| r.is_enabled())
             .cloned()
-            .collect()
+            .collect();
+        (revision, rules)
     }
 
     /// Immutable snapshot of all rules regardless of status.
@@ -190,10 +267,7 @@ impl RuleRepository {
 
     /// Enabled rules targeting `ty`.
     pub fn rules_for_type(&self, ty: TypeId) -> Vec<Rule> {
-        self.enabled_snapshot()
-            .into_iter()
-            .filter(|r| r.target_type() == Some(ty))
-            .collect()
+        self.enabled_snapshot().into_iter().filter(|r| r.target_type() == Some(ty)).collect()
     }
 
     /// Counts: `(total, enabled, whitelist, blacklist)`.
@@ -313,11 +387,8 @@ mod tests {
 
     #[test]
     fn disable_type_scales_down() {
-        let (repo, _, tax) = repo_with(&[
-            "rings? -> rings",
-            "wedding bands? -> rings",
-            "rugs? -> area rugs",
-        ]);
+        let (repo, _, tax) =
+            repo_with(&["rings? -> rings", "wedding bands? -> rings", "rugs? -> area rugs"]);
         let rings = tax.id_of("rings").unwrap();
         let affected = repo.disable_type(rings, "precision alarm");
         assert_eq!(affected.len(), 2);
@@ -393,6 +464,37 @@ mod tests {
         reimported.add_all(parser.parse_rules(&text).unwrap(), &RuleMeta::default());
         assert_eq!(reimported.len(), 2);
         let _ = tax;
+    }
+
+    #[test]
+    fn versioned_snapshot_is_consistent() {
+        let (repo, ids, _) = repo_with(&["rings? -> rings", "rugs? -> area rugs"]);
+        let (rev, rules) = repo.versioned_snapshot();
+        assert_eq!(rev, repo.revision());
+        assert_eq!(rules.len(), 2);
+        repo.disable(ids[0], "drift");
+        let (rev2, rules2) = repo.versioned_snapshot();
+        assert_eq!(rev2, rev + 1);
+        assert_eq!(rules2.len(), 1);
+    }
+
+    #[test]
+    fn wait_for_change_wakes_on_mutation() {
+        use std::time::Duration;
+        let (repo, ids, _) = repo_with(&["rings? -> rings"]);
+        let before = repo.revision();
+        // Timeout path: nothing changes.
+        assert_eq!(repo.wait_for_change(before, Duration::from_millis(20)), before);
+        // Wake path: a writer thread disables a rule while we block.
+        std::thread::scope(|scope| {
+            let repo2 = repo.clone();
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                repo2.disable(ids[0], "churn");
+            });
+            let seen = repo.wait_for_change(before, Duration::from_secs(5));
+            assert!(seen > before, "watcher saw revision {seen} <= {before}");
+        });
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub struct Dictionary {
 
 impl Dictionary {
     /// Builds a dictionary, lowercasing entries.
-    pub fn new(name: impl Into<String>, entries: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        entries: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> Self {
         Dictionary {
             name: name.into(),
             entries: entries.into_iter().map(|e| e.as_ref().to_lowercase()).collect(),
@@ -384,10 +387,7 @@ mod tests {
 
     #[test]
     fn condition_introspection() {
-        let c = Condition::All(vec![
-            Condition::AttrExists("ISBN".into()),
-            title_cond("books?"),
-        ]);
+        let c = Condition::All(vec![Condition::AttrExists("ISBN".into()), title_cond("books?")]);
         assert_eq!(c.attr_key(), Some("ISBN"));
         assert_eq!(c.title_regex().unwrap().pattern(), "books?");
     }

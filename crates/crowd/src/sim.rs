@@ -170,7 +170,8 @@ impl CrowdSim {
             // A confused crowd picks some other plausible type.
             let mut pick = universe[self.rng.gen_range(0..universe.len())];
             if pick == truth && universe.len() > 1 {
-                pick = universe[(universe.iter().position(|&t| t == truth).unwrap_or(0) + 1) % universe.len()];
+                pick = universe
+                    [(universe.iter().position(|&t| t == truth).unwrap_or(0) + 1) % universe.len()];
             }
             Ok(pick)
         }
@@ -182,11 +183,7 @@ mod tests {
     use super::*;
 
     fn perfect_crowd(seed: u64) -> CrowdSim {
-        CrowdSim::new(CrowdConfig {
-            seed,
-            accuracy_range: (1.0, 1.0),
-            ..CrowdConfig::default()
-        })
+        CrowdSim::new(CrowdConfig { seed, accuracy_range: (1.0, 1.0), ..CrowdConfig::default() })
     }
 
     #[test]

@@ -163,7 +163,11 @@ impl CatalogGenerator {
     }
 
     /// Generates one item of type `ty` in `vendor`'s dialect.
-    pub fn generate_for_type_and_vendor(&mut self, ty: TypeId, vendor: &VendorProfile) -> GeneratedItem {
+    pub fn generate_for_type_and_vendor(
+        &mut self,
+        ty: TypeId,
+        vendor: &VendorProfile,
+    ) -> GeneratedItem {
         let def = self.taxonomy.def(ty).clone();
         let id = self.next_id;
         self.next_id += 1;
@@ -208,16 +212,19 @@ impl CatalogGenerator {
             let pool = vendor_pool(&def.qualifiers, vendor);
             let (lo, hi) = self.cfg.qualifier_range;
             let want = self.rng.gen_range(lo..=hi).min(pool.len());
-            let mut quals: Vec<&String> = pool.choose_multiple(&mut self.rng, want).copied().collect();
+            let mut quals: Vec<&String> =
+                pool.choose_multiple(&mut self.rng, want).copied().collect();
             quals.shuffle(&mut self.rng);
             parts.extend(quals.into_iter().cloned());
         }
 
         // Head noun: novel-vocabulary vendors use alternate heads.
-        let use_alt = !def.alt_heads.is_empty() && self.rng.gen_bool(vendor.alt_head_prob.clamp(0.0, 1.0));
+        let use_alt =
+            !def.alt_heads.is_empty() && self.rng.gen_bool(vendor.alt_head_prob.clamp(0.0, 1.0));
         let heads = if use_alt { &def.alt_heads } else { &def.heads };
         let head = heads.choose(&mut self.rng).expect("types have heads");
-        let head = if self.rng.gen_bool(self.cfg.plural_prob) { pluralize(head) } else { head.clone() };
+        let head =
+            if self.rng.gen_bool(self.cfg.plural_prob) { pluralize(head) } else { head.clone() };
         parts.push(head);
 
         if self.rng.gen_bool(self.cfg.size_prob) {
@@ -231,7 +238,11 @@ impl CatalogGenerator {
         }
         if self.rng.gen_bool(self.cfg.model_prob) {
             let prefix = pick(&mut self.rng, vocab::MODEL_PREFIXES);
-            parts.push(format!("{prefix}-{}{}", self.rng.gen_range(100..999), random_suffix(&mut self.rng)));
+            parts.push(format!(
+                "{prefix}-{}{}",
+                self.rng.gen_range(100..999),
+                random_suffix(&mut self.rng)
+            ));
         }
         parts.join(" ")
     }
@@ -251,10 +262,7 @@ impl CatalogGenerator {
         let mut attrs = Vec::with_capacity(def.attrs.len());
         for &kind in &def.attrs {
             let value = match kind {
-                AttrKind::Isbn => format!(
-                    "978{:010}",
-                    self.rng.gen_range(0u64..10_000_000_000)
-                ),
+                AttrKind::Isbn => format!("978{:010}", self.rng.gen_range(0u64..10_000_000_000)),
                 AttrKind::Pages => self.rng.gen_range(40u32..1200).to_string(),
                 AttrKind::Brand => brand.to_string(),
                 AttrKind::Color => pick(&mut self.rng, vocab::COLORS).to_string(),
@@ -307,8 +315,10 @@ fn random_suffix(rng: &mut StdRng) -> String {
     (0..3).map(|_| letters[rng.gen_range(0..letters.len())] as char).collect()
 }
 
-const AUTHOR_FIRST: &[&str] = &["Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Leslie", "Tony"];
-const AUTHOR_LAST: &[&str] = &["Rivers", "Hale", "Okafor", "Lindgren", "Moreau", "Tanaka", "Novak", "Reyes"];
+const AUTHOR_FIRST: &[&str] =
+    &["Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Leslie", "Tony"];
+const AUTHOR_LAST: &[&str] =
+    &["Rivers", "Hale", "Okafor", "Lindgren", "Moreau", "Tanaka", "Novak", "Reyes"];
 
 #[cfg(test)]
 mod tests {
@@ -339,14 +349,10 @@ mod tests {
         for item in g.generate(300) {
             let def = tax.def(item.truth);
             let title = item.product.title.to_lowercase();
-            let hit = def
-                .heads
-                .iter()
-                .chain(def.alt_heads.iter())
-                .any(|h| {
-                    let stem = h.to_lowercase();
-                    title.contains(&stem) || title.contains(&pluralize(&stem))
-                });
+            let hit = def.heads.iter().chain(def.alt_heads.iter()).any(|h| {
+                let stem = h.to_lowercase();
+                title.contains(&stem) || title.contains(&pluralize(&stem))
+            });
             assert!(hit, "title {:?} lacks head for {}", item.product.title, def.name);
         }
     }

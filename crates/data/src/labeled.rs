@@ -79,20 +79,13 @@ impl LabeledCorpus {
     /// Drops all items of the given types — simulates the §3.3 situation
     /// where ~30% of product types have no training data.
     pub fn without_types(&self, excluded: &[TypeId]) -> LabeledCorpus {
-        let items = self
-            .items
-            .iter()
-            .filter(|i| !excluded.contains(&i.truth))
-            .cloned()
-            .collect();
+        let items = self.items.iter().filter(|i| !excluded.contains(&i.truth)).cloned().collect();
         LabeledCorpus { items }
     }
 
     /// Keeps only items of the given type.
     pub fn only_type(&self, ty: TypeId) -> LabeledCorpus {
-        LabeledCorpus {
-            items: self.items.iter().filter(|i| i.truth == ty).cloned().collect(),
-        }
+        LabeledCorpus { items: self.items.iter().filter(|i| i.truth == ty).cloned().collect() }
     }
 }
 

@@ -32,10 +32,7 @@ pub struct Product {
 impl Product {
     /// Looks up an attribute by name (case-insensitive, as feeds are messy).
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes
-            .iter()
-            .find(|(k, _)| k.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.attributes.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// Whether the item carries an attribute named `name`.

@@ -100,9 +100,7 @@ impl BatchStream {
         let (lo, hi) = (self.cfg.min_batch as f64, self.cfg.max_batch as f64);
         let size = (lo * (hi / lo).powf(self.rng.gen_range(0.0..1.0))).round() as usize;
 
-        let items = (0..size)
-            .map(|_| self.generator.generate_for_vendor(&vendor))
-            .collect();
+        let items = (0..size).map(|_| self.generator.generate_for_vendor(&vendor)).collect();
         Batch { seq, vendor, items }
     }
 
@@ -198,7 +196,11 @@ mod tests {
         let cfg = StreamConfig {
             min_batch: 50,
             max_batch: 100,
-            drift: vec![DriftEvent::NovelVendor { at_batch: 2, alt_head_prob: 1.0, types: vec![sofas] }],
+            drift: vec![DriftEvent::NovelVendor {
+                at_batch: 2,
+                alt_head_prob: 1.0,
+                types: vec![sofas],
+            }],
             ..Default::default()
         };
         let mut s = stream(cfg);
@@ -207,13 +209,10 @@ mod tests {
         s.next_batch();
         let after = s.next_batch();
         assert!(after.items.iter().all(|i| i.truth == sofas));
-        assert!(after
-            .items
-            .iter()
-            .all(|i| {
-                let t = i.product.title.to_lowercase();
-                t.contains("couch") || t.contains("settee")
-            }));
+        assert!(after.items.iter().all(|i| {
+            let t = i.product.title.to_lowercase();
+            t.contains("couch") || t.contains("settee")
+        }));
     }
 
     #[test]

@@ -158,9 +158,7 @@ impl Taxonomy {
 
     /// Ids of all types in `department`.
     pub fn types_in_department(&self, department: &str) -> Vec<TypeId> {
-        self.ids()
-            .filter(|&id| self.def(id).department == department)
-            .collect()
+        self.ids().filter(|&id| self.def(id).department == department).collect()
     }
 
     /// Returns a new taxonomy in which `target` is split into the given
@@ -177,7 +175,8 @@ impl Taxonomy {
     ) -> Arc<Taxonomy> {
         assert!(!subtypes.is_empty(), "a split needs at least one sub-type");
         let original = self.def(target).clone();
-        let mut defs: Vec<ProductTypeDef> = Vec::with_capacity(self.types.len() + subtypes.len() - 1);
+        let mut defs: Vec<ProductTypeDef> =
+            Vec::with_capacity(self.types.len() + subtypes.len() - 1);
         for (i, def) in self.types.iter().enumerate() {
             if i as u32 != target.0 {
                 defs.push(def.clone());
@@ -210,10 +209,18 @@ pub fn pluralize(noun: &str) -> String {
             return (*plur).to_string();
         }
     }
-    if noun.ends_with('s') || noun.ends_with('x') || noun.ends_with("ch") || noun.ends_with("sh") || noun.ends_with('z')
+    if noun.ends_with('s')
+        || noun.ends_with('x')
+        || noun.ends_with("ch")
+        || noun.ends_with("sh")
+        || noun.ends_with('z')
     {
         format!("{noun}es")
-    } else if noun.ends_with('y') && !noun.ends_with("ay") && !noun.ends_with("ey") && !noun.ends_with("oy") {
+    } else if noun.ends_with('y')
+        && !noun.ends_with("ay")
+        && !noun.ends_with("ey")
+        && !noun.ends_with("oy")
+    {
         format!("{}ies", &noun[..noun.len() - 1])
     } else if let Some(stem) = noun.strip_suffix("fe") {
         format!("{stem}ves")
@@ -224,12 +231,8 @@ pub fn pluralize(noun: &str) -> String {
     }
 }
 
-const IRREGULAR_PLURALS: &[(&str, &str)] = &[
-    ("foot", "feet"),
-    ("mouse", "mice"),
-    ("shelf", "shelves"),
-    ("dress", "dresses"),
-];
+const IRREGULAR_PLURALS: &[(&str, &str)] =
+    &[("foot", "feet"), ("mouse", "mice"), ("shelf", "shelves"), ("dress", "dresses")];
 
 #[cfg(test)]
 mod tests {
@@ -260,7 +263,17 @@ mod tests {
     #[test]
     fn paper_types_present() {
         let tax = Taxonomy::builtin();
-        for name in ["area rugs", "rings", "laptop bags & cases", "books", "motor oil", "jeans", "abrasive wheels & discs", "athletic gloves", "shorts"] {
+        for name in [
+            "area rugs",
+            "rings",
+            "laptop bags & cases",
+            "books",
+            "motor oil",
+            "jeans",
+            "abrasive wheels & discs",
+            "athletic gloves",
+            "shorts",
+        ] {
             assert!(tax.id_of(name).is_some(), "missing paper type {name:?}");
         }
     }

@@ -2,43 +2,87 @@
 
 /// Color words usable across most product types.
 pub const COLORS: &[&str] = &[
-    "black", "white", "ivory", "navy", "blue", "red", "green", "gray", "brown", "beige",
-    "silver", "gold", "pink", "purple", "teal", "burgundy", "charcoal", "tan",
+    "black", "white", "ivory", "navy", "blue", "red", "green", "gray", "brown", "beige", "silver",
+    "gold", "pink", "purple", "teal", "burgundy", "charcoal", "tan",
 ];
 
 /// Material words.
 pub const MATERIALS: &[&str] = &[
-    "cotton", "leather", "stainless steel", "wood", "plastic", "aluminum", "bamboo", "wool",
-    "polyester", "ceramic", "glass", "rubber", "canvas", "microfiber",
+    "cotton",
+    "leather",
+    "stainless steel",
+    "wood",
+    "plastic",
+    "aluminum",
+    "bamboo",
+    "wool",
+    "polyester",
+    "ceramic",
+    "glass",
+    "rubber",
+    "canvas",
+    "microfiber",
 ];
 
 /// Generic marketing adjectives (add noise without type signal).
 pub const MARKETING: &[&str] = &[
-    "premium", "classic", "deluxe", "heavy duty", "ultra", "pro", "essential", "signature",
-    "everyday", "luxury", "compact", "portable", "adjustable", "ergonomic",
+    "premium",
+    "classic",
+    "deluxe",
+    "heavy duty",
+    "ultra",
+    "pro",
+    "essential",
+    "signature",
+    "everyday",
+    "luxury",
+    "compact",
+    "portable",
+    "adjustable",
+    "ergonomic",
 ];
 
 /// Audience phrases.
-pub const AUDIENCES: &[&str] = &[
-    "for men", "for women", "for kids", "for boys", "for girls", "unisex", "for adults",
-];
+pub const AUDIENCES: &[&str] =
+    &["for men", "for women", "for kids", "for boys", "for girls", "unisex", "for adults"];
 
 /// Pack/bundle phrases (the "2 pack value bundle" of §5.1's example title).
 pub const PACKS: &[&str] = &[
-    "2 pack", "3 pack", "4 pack", "value bundle", "2 pack value bundle", "single", "6 count",
-    "12 count", "gift set",
+    "2 pack",
+    "3 pack",
+    "4 pack",
+    "value bundle",
+    "2 pack value bundle",
+    "single",
+    "6 count",
+    "12 count",
+    "gift set",
 ];
 
 /// Size phrases.
 pub const SIZES: &[&str] = &[
-    "small", "medium", "large", "x-large", "5'x7'", "8'x10'", "2'x3'", "38in. x 30in.",
-    "32x30", "34x32", "size 7", "size 9", "queen", "king", "twin", "10.5", "one size",
+    "small",
+    "medium",
+    "large",
+    "x-large",
+    "5'x7'",
+    "8'x10'",
+    "2'x3'",
+    "38in. x 30in.",
+    "32x30",
+    "34x32",
+    "size 7",
+    "size 9",
+    "queen",
+    "king",
+    "twin",
+    "10.5",
+    "one size",
 ];
 
 /// Model-number fragments (`13-293snb` style).
 pub const MODEL_PREFIXES: &[&str] = &["13", "ax", "pro", "srt", "mk", "gx", "zt", "ql"];
 
 /// First words of description sentences.
-pub const DESC_OPENERS: &[&str] = &[
-    "Introducing", "Enjoy", "Discover", "Experience", "Meet", "Upgrade to",
-];
+pub const DESC_OPENERS: &[&str] =
+    &["Introducing", "Enjoy", "Discover", "Experience", "Meet", "Upgrade to"];

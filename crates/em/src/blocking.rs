@@ -56,10 +56,8 @@ pub fn candidate_pairs(records: &[Product], key: &BlockingKey) -> Vec<(u32, u32)
 /// Union of candidate pairs from several blocking keys (deduplicated) —
 /// multi-pass blocking.
 pub fn multi_pass_pairs(records: &[Product], keys: &[BlockingKey]) -> Vec<(u32, u32)> {
-    let mut pairs: Vec<(u32, u32)> = keys
-        .iter()
-        .flat_map(|k| candidate_pairs(records, k))
-        .collect();
+    let mut pairs: Vec<(u32, u32)> =
+        keys.iter().flat_map(|k| candidate_pairs(records, k)).collect();
     pairs.sort_unstable();
     pairs.dedup();
     pairs
@@ -115,10 +113,8 @@ mod tests {
 
     #[test]
     fn multi_pass_unions_and_dedups() {
-        let records = vec![
-            product(1, "same title", Some("111")),
-            product(2, "same title", Some("111")),
-        ];
+        let records =
+            vec![product(1, "same title", Some("111")), product(2, "same title", Some("111"))];
         let pairs = multi_pass_pairs(
             &records,
             &[BlockingKey::Attr("ISBN".into()), BlockingKey::TitlePrefix(2)],

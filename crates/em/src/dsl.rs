@@ -59,7 +59,11 @@ pub fn parse_match_rule(line: &str) -> Result<MatchRule, EmParseError> {
     let action = match rhs.trim().to_lowercase().as_str() {
         "match" | "a ~ b" | "a ≈ b" => MatchAction::Match,
         "non-match" | "nonmatch" | "no match" => MatchAction::NonMatch,
-        other => return Err(err(format!("unknown conclusion {other:?} (expected 'match' or 'non-match')"))),
+        other => {
+            return Err(err(format!(
+                "unknown conclusion {other:?} (expected 'match' or 'non-match')"
+            )))
+        }
     };
     let mut predicates = Vec::new();
     for clause in split_clauses(lhs)? {
@@ -77,10 +81,7 @@ fn split_clauses(lhs: &str) -> Result<Vec<&str>, EmParseError> {
     let mut rest = lhs.trim();
     while !rest.is_empty() {
         let open = rest.find('[').ok_or_else(|| err("predicates must be enclosed in [ ]"))?;
-        let close = rest[open..]
-            .find(']')
-            .ok_or_else(|| err("missing closing ']'"))?
-            + open;
+        let close = rest[open..].find(']').ok_or_else(|| err("missing closing ']'"))? + open;
         clauses.push(&rest[open + 1..close]);
         rest = rest[close + 1..].trim();
         if let Some(stripped) = rest.strip_prefix("and") {
@@ -97,7 +98,8 @@ fn parse_predicate(body: &str) -> Result<Predicate, EmParseError> {
 
     // `jaccard.3g(a.title, b.title) >= 0.8` / `jaccard.tok(...) >= t`
     if let Some(rest) = lowered.strip_prefix("jaccard.") {
-        let (kind, tail) = rest.split_once('(').ok_or_else(|| err("jaccard needs (a.title, b.title)"))?;
+        let (kind, tail) =
+            rest.split_once('(').ok_or_else(|| err("jaccard needs (a.title, b.title)"))?;
         let threshold = parse_threshold(tail, ">=")?;
         return match kind.trim() {
             "tok" | "token" => Ok(Predicate::TitleTokenJaccard { threshold }),
@@ -140,9 +142,7 @@ fn parse_predicate(body: &str) -> Result<Predicate, EmParseError> {
 }
 
 fn field_name(text: &str, prefix: &str) -> Result<String, EmParseError> {
-    let start = text
-        .find(prefix)
-        .ok_or_else(|| err(format!("expected {prefix}<attr>")))?;
+    let start = text.find(prefix).ok_or_else(|| err(format!("expected {prefix}<attr>")))?;
     let rest = &text[start + prefix.len()..];
     let name: String = rest
         .chars()
@@ -163,15 +163,10 @@ fn field_name(text: &str, prefix: &str) -> Result<String, EmParseError> {
 }
 
 fn parse_threshold(text: &str, op: &str) -> Result<f64, EmParseError> {
-    let pos = text
-        .find(op)
-        .ok_or_else(|| err(format!("expected '{op} <number>'")))?;
-    let num = text[pos + op.len()..]
-        .trim()
-        .trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.');
-    num.trim()
-        .parse()
-        .map_err(|_| err(format!("invalid threshold in {text:?}")))
+    let pos = text.find(op).ok_or_else(|| err(format!("expected '{op} <number>'")))?;
+    let num =
+        text[pos + op.len()..].trim().trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.');
+    num.trim().parse().map_err(|_| err(format!("invalid threshold in {text:?}")))
 }
 
 #[cfg(test)]
@@ -191,9 +186,10 @@ mod tests {
 
     #[test]
     fn parses_the_paper_rule_verbatim() {
-        let rule =
-            parse_match_rule("[a.isbn = b.isbn] and [jaccard.3g(a.title, b.title) >= 0.8] => match")
-                .unwrap();
+        let rule = parse_match_rule(
+            "[a.isbn = b.isbn] and [jaccard.3g(a.title, b.title) >= 0.8] => match",
+        )
+        .unwrap();
         assert_eq!(rule.action, MatchAction::Match);
         assert_eq!(rule.predicates.len(), 2);
         let a = product("The Art of Computer Programming", &[("ISBN", "978")]);
@@ -243,7 +239,10 @@ mod tests {
         assert!(parse_match_rule("[a.isbn = b.isbn] => maybe").is_err());
         assert!(parse_match_rule("a.isbn = b.isbn => match").is_err());
         assert!(parse_match_rule("=> match").is_err());
-        assert!(parse_match_rule("[a.isbn = b.isbn] [jaccard.3g(a.title,b.title) >= 0.8] => match").is_err());
+        assert!(parse_match_rule(
+            "[a.isbn = b.isbn] [jaccard.3g(a.title,b.title) >= 0.8] => match"
+        )
+        .is_err());
     }
 
     #[test]

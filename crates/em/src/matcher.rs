@@ -145,7 +145,8 @@ pub fn run_matcher(
                     slice
                         .iter()
                         .filter(|&&(i, j)| {
-                            matcher.matches(&corpus.records[i as usize], &corpus.records[j as usize])
+                            matcher
+                                .matches(&corpus.records[i as usize], &corpus.records[j as usize])
                         })
                         .copied()
                         .collect::<Vec<_>>()
@@ -158,10 +159,7 @@ pub fn run_matcher(
     })
     .expect("scope panicked");
 
-    let true_positives = predicted_pairs
-        .iter()
-        .filter(|p| corpus.truth.contains(p))
-        .count();
+    let true_positives = predicted_pairs.iter().filter(|p| corpus.truth.contains(p)).count();
     MatchReport {
         candidates: pairs.len(),
         predicted: predicted_pairs.len(),
@@ -193,8 +191,8 @@ pub fn sample_items(items: &[GeneratedItem], n: usize, seed: u64) -> Vec<Generat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{MatchAction, MatchRule, Semantics};
     use crate::predicate::Predicate;
+    use crate::rules::{MatchAction, MatchRule, Semantics};
     use rulekit_data::{CatalogGenerator, Taxonomy};
 
     fn book_corpus() -> DedupCorpus {

@@ -187,7 +187,10 @@ mod tests {
         };
         let a = product("blue denim jeans", &[("Color", "blue")]);
         let b = product("blue denim jeans slim", &[("Color", "blue")]);
-        let fwd = RuleMatcher::new(vec![match_rule.clone(), nonmatch_rule.clone()], Semantics::FirstMatch);
+        let fwd = RuleMatcher::new(
+            vec![match_rule.clone(), nonmatch_rule.clone()],
+            Semantics::FirstMatch,
+        );
         let rev = fwd.reversed();
         // Both rules fire; order decides the outcome.
         assert!(fwd.matches(&a, &b));

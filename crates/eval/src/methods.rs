@@ -12,8 +12,8 @@ use crate::outcomes::RuleCoverage;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rulekit_crowd::{CrowdSim, PrecisionEstimate};
 use rulekit_core::RuleId;
+use rulekit_crowd::{CrowdSim, PrecisionEstimate};
 use rulekit_data::GeneratedItem;
 use std::collections::{HashMap, HashSet};
 
@@ -133,8 +133,10 @@ pub fn per_rule_eval(
         }
         // Verify items in decreasing overlap order until every rule has
         // `per_rule` samples (or its coverage is exhausted).
-        let mut need: Vec<usize> = coverages.iter().map(|c| per_rule.min(c.touched.len())).collect();
-        let mut order: Vec<(u32, usize)> = item_rules.iter().map(|(&i, rs)| (i, rs.len())).collect();
+        let mut need: Vec<usize> =
+            coverages.iter().map(|c| per_rule.min(c.touched.len())).collect();
+        let mut order: Vec<(u32, usize)> =
+            item_rules.iter().map(|(&i, rs)| (i, rs.len())).collect();
         // Shuffle first so ties break randomly, then sort by overlap desc.
         order.shuffle(&mut rng);
         order.sort_by_key(|&(_, overlap)| std::cmp::Reverse(overlap));
@@ -157,10 +159,7 @@ pub fn per_rule_eval(
                 let verdict = *verdicts
                     .entry(truth)
                     .or_insert_with(|| crowd.verify_bool(truth).unwrap_or(truth));
-                estimates
-                    .get_mut(&coverages[ri].rule_id)
-                    .expect("pre-seeded")
-                    .record(verdict);
+                estimates.get_mut(&coverages[ri].rule_id).expect("pre-seeded").record(verdict);
                 need[ri] -= 1;
             }
         }
@@ -228,9 +227,9 @@ mod tests {
         let parser = RuleParser::new(tax.clone());
         let repo = RuleRepository::new();
         for line in [
-            "rings? -> rings",                 // head rule, precise
-            "rugs? -> area rugs",              // head rule, precise
-            "laptop -> laptop computers",      // imprecise (touches bags)
+            "rings? -> rings",                           // head rule, precise
+            "rugs? -> area rugs",                        // head rule, precise
+            "laptop -> laptop computers",                // imprecise (touches bags)
             "zirconia fiber -> abrasive wheels & discs", // tail rule
         ] {
             repo.add(parser.parse_rule(line).unwrap(), RuleMeta::default());
@@ -246,11 +245,12 @@ mod tests {
     fn validation_set_estimates_head_rules() {
         let (covs, items) = setup();
         let mut crowd = perfect_crowd();
-        let report = validation_set_eval(&covs, &items, 400, &mut crowd, 5);
+        let report = validation_set_eval(&covs, &items, 600, &mut crowd, 5);
         // With a perfect crowd, estimates equal true precision on sampled
         // subsets; mean abs error should be small for evaluated rules.
-        assert!(report.mean_abs_error(&covs, &items) < 0.25);
-        assert!(report.tasks_used <= 400);
+        let mae = report.mean_abs_error(&covs, &items);
+        assert!(mae < 0.25, "mean abs error {mae}");
+        assert!(report.tasks_used <= 600);
     }
 
     #[test]
@@ -261,11 +261,7 @@ mod tests {
         let report = validation_set_eval(&covs, &items, 50, &mut crowd, 7);
         let tail = covs.iter().min_by_key(|c| c.touched.len()).unwrap();
         let est = &report.estimates[&tail.rule_id];
-        assert!(
-            est.samples <= 1,
-            "tail rule unexpectedly well-covered: {} samples",
-            est.samples
-        );
+        assert!(est.samples <= 1, "tail rule unexpectedly well-covered: {} samples", est.samples);
     }
 
     #[test]

@@ -24,11 +24,8 @@ impl RuleCoverage {
         if self.touched.is_empty() {
             return 1.0;
         }
-        let hits = self
-            .touched
-            .iter()
-            .filter(|&&i| items[i as usize].truth == self.assigns)
-            .count();
+        let hits =
+            self.touched.iter().filter(|&&i| items[i as usize].truth == self.assigns).count();
         hits as f64 / self.touched.len() as f64
     }
 
@@ -67,7 +64,10 @@ pub fn compute_coverages(
 
 /// Splits coverages into head rules (touching ≥ `threshold` items) and tail
 /// rules — the §4 distinction that drives evaluation-method choice.
-pub fn head_tail_split(coverages: &[RuleCoverage], threshold: usize) -> (Vec<&RuleCoverage>, Vec<&RuleCoverage>) {
+pub fn head_tail_split(
+    coverages: &[RuleCoverage],
+    threshold: usize,
+) -> (Vec<&RuleCoverage>, Vec<&RuleCoverage>) {
     coverages.iter().partition(|c| c.touched.len() >= threshold)
 }
 
@@ -133,11 +133,8 @@ mod tests {
                 r.condition.to_string() == "title(laptop)"
             })
             .unwrap();
-        let touched_types: std::collections::HashSet<TypeId> = laptop
-            .touched
-            .iter()
-            .map(|&i| items[i as usize].truth)
-            .collect();
+        let touched_types: std::collections::HashSet<TypeId> =
+            laptop.touched.iter().map(|&i| items[i as usize].truth).collect();
         assert!(touched_types.len() >= 2, "expected cross-type touches, got {touched_types:?}");
         assert!(laptop.true_precision(&items) < 1.0);
     }

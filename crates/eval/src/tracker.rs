@@ -39,7 +39,10 @@ impl ImpactTracker {
     pub fn record_touch(&mut self, rule: RuleId) -> bool {
         let count = self.touches.entry(rule).or_insert(0);
         *count += 1;
-        if *count >= self.threshold && !self.evaluated.contains(&rule) && !self.alerted.contains(&rule) {
+        if *count >= self.threshold
+            && !self.evaluated.contains(&rule)
+            && !self.alerted.contains(&rule)
+        {
             self.alerted.insert(rule);
             return true;
         }

@@ -25,7 +25,11 @@ pub struct ScriptedAnalyst {
 
 impl ScriptedAnalyst {
     /// An analyst who knows `truth` and errs with probability `error_rate`.
-    pub fn new(truth: impl IntoIterator<Item = impl AsRef<str>>, error_rate: f64, seed: u64) -> Self {
+    pub fn new(
+        truth: impl IntoIterator<Item = impl AsRef<str>>,
+        error_rate: f64,
+        seed: u64,
+    ) -> Self {
         ScriptedAnalyst {
             truth: truth.into_iter().map(|t| t.as_ref().to_lowercase()).collect(),
             error_rate: error_rate.clamp(0.0, 1.0),

@@ -20,7 +20,12 @@ pub mod select;
 pub mod synonym;
 
 pub use analyst::{CrowdOracle, ScriptedAnalyst};
-pub use mining::{contains_sequence, mine_sequences, sequence_pattern, tokenize_titles, FrequentSequence, MiningConfig};
+pub use mining::{
+    contains_sequence, mine_sequences, sequence_pattern, tokenize_titles, FrequentSequence,
+    MiningConfig,
+};
 pub use pipeline::{generate_rules, GeneratedRule, RuleGenConfig, RuleGenReport, Tier};
 pub use select::{confidence, greedy, greedy_biased, CandidateRule, ConfidenceWeights, Selection};
-pub use synonym::{AnalystOracle, Candidate, SessionOutcome, SynPattern, SynonymConfig, SynonymSession};
+pub use synonym::{
+    AnalystOracle, Candidate, SessionOutcome, SynPattern, SynonymConfig, SynonymSession,
+};

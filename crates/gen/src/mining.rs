@@ -41,9 +41,7 @@ impl Default for MiningConfig {
 /// `tokens`.
 pub fn contains_sequence<T: AsRef<str>>(tokens: &[T], sequence: &[String]) -> bool {
     let mut it = tokens.iter();
-    sequence
-        .iter()
-        .all(|want| it.by_ref().any(|t| t.as_ref() == want))
+    sequence.iter().all(|want| it.by_ref().any(|t| t.as_ref() == want))
 }
 
 /// Mines frequent token sequences from pre-tokenized titles.
@@ -64,18 +62,13 @@ pub fn mine_sequences(docs: &[Vec<String>], cfg: MiningConfig) -> Vec<FrequentSe
             *token_counts.entry(t).or_insert(0) += 1;
         }
     }
-    let mut frequent_tokens: Vec<&str> = token_counts
-        .iter()
-        .filter(|&(_, &c)| c >= min_count)
-        .map(|(&t, _)| t)
-        .collect();
+    let mut frequent_tokens: Vec<&str> =
+        token_counts.iter().filter(|&(_, &c)| c >= min_count).map(|(&t, _)| t).collect();
     frequent_tokens.sort_unstable();
 
     let mut results: Vec<FrequentSequence> = Vec::new();
-    let mut current: Vec<Vec<String>> = frequent_tokens
-        .iter()
-        .map(|&t| vec![t.to_string()])
-        .collect();
+    let mut current: Vec<Vec<String>> =
+        frequent_tokens.iter().map(|&t| vec![t.to_string()]).collect();
     for len in 1..cfg.max_len {
         // Candidate generation (AprioriAll join): s1 + last(s2) where
         // s1[1..] == s2[..len-1]. For len==1 that is the full cross product
@@ -107,11 +100,7 @@ pub fn mine_sequences(docs: &[Vec<String>], cfg: MiningConfig) -> Vec<FrequentSe
                 }
             }
         }
-        current = counts
-            .iter()
-            .filter(|&(_, &c)| c >= min_count)
-            .map(|(s, _)| s.clone())
-            .collect();
+        current = counts.iter().filter(|&(_, &c)| c >= min_count).map(|(s, _)| s.clone()).collect();
         current.sort();
         if current.is_empty() {
             break;
@@ -140,11 +129,7 @@ pub fn tokenize_titles<S: AsRef<str>>(titles: &[S]) -> Vec<Vec<String>> {
 
 /// Renders a mined sequence as the rule pattern `a1.*a2.*…an`.
 pub fn sequence_pattern(tokens: &[String]) -> String {
-    tokens
-        .iter()
-        .map(|t| rulekit_regex::escape(t))
-        .collect::<Vec<_>>()
-        .join(".*")
+    tokens.iter().map(|t| rulekit_regex::escape(t)).collect::<Vec<_>>().join(".*")
 }
 
 #[cfg(test)]
@@ -184,21 +169,25 @@ mod tests {
 
     #[test]
     fn respects_length_bounds() {
-        let seqs = mine_sequences(&docs(), MiningConfig { min_support: 0.3, min_len: 2, max_len: 3 });
+        let seqs =
+            mine_sequences(&docs(), MiningConfig { min_support: 0.3, min_len: 2, max_len: 3 });
         assert!(seqs.iter().all(|s| s.tokens.len() >= 2 && s.tokens.len() <= 3));
     }
 
     #[test]
     fn min_support_filters() {
-        let strict = mine_sequences(&docs(), MiningConfig { min_support: 0.9, ..Default::default() });
+        let strict =
+            mine_sequences(&docs(), MiningConfig { min_support: 0.9, ..Default::default() });
         assert!(strict.is_empty());
-        let loose = mine_sequences(&docs(), MiningConfig { min_support: 0.2, ..Default::default() });
+        let loose =
+            mine_sequences(&docs(), MiningConfig { min_support: 0.2, ..Default::default() });
         assert!(!loose.is_empty());
     }
 
     #[test]
     fn longer_sequences_require_frequent_parts() {
-        let seqs = mine_sequences(&docs(), MiningConfig { min_support: 0.5, min_len: 3, max_len: 4 });
+        let seqs =
+            mine_sequences(&docs(), MiningConfig { min_support: 0.5, min_len: 3, max_len: 4 });
         // "relaxed fit denim jeans"-derived 3-sequences only exist if all
         // sub-pairs are frequent at 50%: "fit denim jeans" appears 3/5.
         for s in &seqs {
@@ -214,10 +203,7 @@ mod tests {
 
     #[test]
     fn sequence_pattern_renders() {
-        assert_eq!(
-            sequence_pattern(&["denim".into(), "jeans".into()]),
-            "denim.*jeans"
-        );
+        assert_eq!(sequence_pattern(&["denim".into(), "jeans".into()]), "denim.*jeans");
         // Metacharacters in tokens are escaped.
         assert_eq!(sequence_pattern(&["a+b".into()]), r"a\+b");
     }

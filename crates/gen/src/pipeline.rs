@@ -2,7 +2,9 @@
 //! error-filter → score → select (Greedy-Biased) → split into
 //! high/low-confidence tiers.
 
-use crate::mining::{contains_sequence, mine_sequences, sequence_pattern, tokenize_titles, MiningConfig};
+use crate::mining::{
+    contains_sequence, mine_sequences, sequence_pattern, tokenize_titles, MiningConfig,
+};
 use crate::select::{confidence, greedy_biased, CandidateRule, ConfidenceWeights};
 use rulekit_core::{compile_pattern, Condition, RuleSpec};
 use rulekit_data::{LabeledCorpus, Taxonomy, TypeId};
@@ -146,7 +148,11 @@ impl SequenceIndex {
 }
 
 /// Runs the full §5.2 pipeline over a labeled corpus.
-pub fn generate_rules(corpus: &LabeledCorpus, taxonomy: &Taxonomy, cfg: &RuleGenConfig) -> RuleGenReport {
+pub fn generate_rules(
+    corpus: &LabeledCorpus,
+    taxonomy: &Taxonomy,
+    cfg: &RuleGenConfig,
+) -> RuleGenReport {
     let titles: Vec<&str> = corpus.items().iter().map(|i| i.product.title.as_str()).collect();
     let docs = tokenize_titles(&titles);
     let labels: Vec<TypeId> = corpus.items().iter().map(|i| i.truth).collect();
@@ -170,10 +176,8 @@ pub fn generate_rules(corpus: &LabeledCorpus, taxonomy: &Taxonomy, cfg: &RuleGen
         }
         report.types_processed += 1;
 
-        let type_docs: Vec<Vec<String>> = doc_ids
-            .iter()
-            .map(|&d| index.docs[d as usize].clone())
-            .collect();
+        let type_docs: Vec<Vec<String>> =
+            doc_ids.iter().map(|&d| index.docs[d as usize].clone()).collect();
         let sequences = mine_sequences(&type_docs, cfg.mining);
         report.mined_candidates += sequences.len();
 
@@ -183,22 +187,14 @@ pub fn generate_rules(corpus: &LabeledCorpus, taxonomy: &Taxonomy, cfg: &RuleGen
         for seq in sequences {
             // Global coverage and error check via the shared index.
             let touched = index.matches(&seq.tokens);
-            let wrong = touched
-                .iter()
-                .filter(|&&d| index.labels[d as usize] != ty)
-                .count();
-            let error_rate = if touched.is_empty() {
-                1.0
-            } else {
-                wrong as f64 / touched.len() as f64
-            };
+            let wrong = touched.iter().filter(|&&d| index.labels[d as usize] != ty).count();
+            let error_rate =
+                if touched.is_empty() { 1.0 } else { wrong as f64 / touched.len() as f64 };
             if error_rate > cfg.max_error_rate {
                 continue;
             }
-            let coverage: Vec<u32> = touched
-                .into_iter()
-                .filter(|&d| index.labels[d as usize] == ty)
-                .collect();
+            let coverage: Vec<u32> =
+                touched.into_iter().filter(|&d| index.labels[d as usize] == ty).collect();
             let support_norm = seq.support / (10.0 * cfg.mining.min_support);
             let conf = confidence(&seq.tokens, &name_tokens, support_norm, cfg.weights);
             supports.push(seq.support);
@@ -256,11 +252,8 @@ mod tests {
         assert!(report.mined_candidates > 0);
         assert!(report.selected_high + report.selected_low > 0);
         assert_eq!(report.rules.len(), report.selected_high + report.selected_low);
-        let jean_rules: Vec<_> = report
-            .rules
-            .iter()
-            .filter(|r| r.type_id == tax.id_of("jeans").unwrap())
-            .collect();
+        let jean_rules: Vec<_> =
+            report.rules.iter().filter(|r| r.type_id == tax.id_of("jeans").unwrap()).collect();
         assert!(!jean_rules.is_empty());
     }
 
@@ -280,7 +273,8 @@ mod tests {
             for (i, doc) in docs.iter().enumerate() {
                 if contains_sequence(doc, &rule.tokens) {
                     assert_eq!(
-                        corpus.items()[i].truth, rule.type_id,
+                        corpus.items()[i].truth,
+                        rule.type_id,
                         "rule {:?} touches a {:?} title",
                         rule.pattern,
                         tax.name(corpus.items()[i].truth)
@@ -308,7 +302,7 @@ mod tests {
     }
 
     #[test]
-    fn generated_specs_compile_and_match(){
+    fn generated_specs_compile_and_match() {
         let (corpus, tax) = small_corpus();
         let cfg = RuleGenConfig {
             mining: MiningConfig { min_support: 0.1, ..Default::default() },

@@ -54,16 +54,15 @@ pub fn confidence(
     let rule_norm: Vec<String> = rule_tokens.iter().map(|t| norm(t)).collect();
     let name_norm: Vec<String> = type_name_tokens.iter().map(|t| norm(t)).collect();
 
-    let contains_full_name = !name_norm.is_empty()
-        && crate::mining::contains_sequence(&rule_norm, &name_norm);
-    let present = name_norm
-        .iter()
-        .filter(|nt| rule_norm.iter().any(|rt| rt == *nt))
-        .count();
+    let contains_full_name =
+        !name_norm.is_empty() && crate::mining::contains_sequence(&rule_norm, &name_norm);
+    let present = name_norm.iter().filter(|nt| rule_norm.iter().any(|rt| rt == *nt)).count();
     let frac = if name_norm.is_empty() { 0.0 } else { present as f64 / name_norm.len() as f64 };
 
-    (w.w_name * f64::from(contains_full_name) + w.w_name_tokens * frac + w.w_support * support_norm.clamp(0.0, 1.0))
-        .clamp(0.0, 1.0)
+    (w.w_name * f64::from(contains_full_name)
+        + w.w_name_tokens * frac
+        + w.w_support * support_norm.clamp(0.0, 1.0))
+    .clamp(0.0, 1.0)
 }
 
 /// Result of a selection run.
@@ -88,30 +87,18 @@ pub fn greedy(rules: &[CandidateRule], q: usize, excluded_coverage: &HashSet<u32
 
     // Lazy greedy: gains only shrink as coverage grows, so a stale bound
     // that still tops the heap is exact.
-    let mut bounds: Vec<f64> = rules
-        .iter()
-        .map(|r| r.coverage.len() as f64 * r.confidence)
-        .collect();
+    let mut bounds: Vec<f64> =
+        rules.iter().map(|r| r.coverage.len() as f64 * r.confidence).collect();
 
     while selected.len() < q && !remaining.is_empty() {
         // Find the best by (possibly stale) bound, recompute, repeat until
         // the recomputed value still leads.
         let mut best: Option<(usize, f64)> = None;
-        while let Some((pos, &idx)) = remaining
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                bounds[*a.1]
-                    .partial_cmp(&bounds[*b.1])
-                    .expect("finite bounds")
-                    .then(b.1.cmp(a.1))
-            })
-        {
-            let fresh_gain = rules[idx]
-                .coverage
-                .iter()
-                .filter(|p| !covered.contains(p))
-                .count() as f64
+        while let Some((pos, &idx)) = remaining.iter().enumerate().max_by(|a, b| {
+            bounds[*a.1].partial_cmp(&bounds[*b.1]).expect("finite bounds").then(b.1.cmp(a.1))
+        }) {
+            let fresh_gain = rules[idx].coverage.iter().filter(|p| !covered.contains(p)).count()
+                as f64
                 * rules[idx].confidence;
             bounds[idx] = fresh_gain;
             // Exact if it still beats every other bound.
@@ -195,7 +182,12 @@ mod tests {
     #[test]
     fn confidence_partial_name_tokens() {
         let name: Vec<String> = vec!["laptop".into(), "computers".into()];
-        let partial = confidence(&["laptop".into(), "gaming".into()], &name, 0.0, ConfidenceWeights::default());
+        let partial = confidence(
+            &["laptop".into(), "gaming".into()],
+            &name,
+            0.0,
+            ConfidenceWeights::default(),
+        );
         assert!((partial - 0.15).abs() < 1e-9, "got {partial}");
     }
 
@@ -208,9 +200,9 @@ mod tests {
     #[test]
     fn greedy_prefers_coverage_times_confidence() {
         let rules = vec![
-            rule(&["wide"], &[0, 1, 2, 3], 0.5),      // gain 2.0
-            rule(&["narrow"], &[4, 5], 1.0),          // gain 2.0 (tie → lower idx)
-            rule(&["overlap"], &[0, 1], 1.0),         // gain 2.0 initially
+            rule(&["wide"], &[0, 1, 2, 3], 0.5), // gain 2.0
+            rule(&["narrow"], &[4, 5], 1.0),     // gain 2.0 (tie → lower idx)
+            rule(&["overlap"], &[0, 1], 1.0),    // gain 2.0 initially
         ];
         let s = greedy(&rules, 2, &HashSet::new());
         assert_eq!(s.selected.len(), 2);
@@ -230,8 +222,7 @@ mod tests {
 
     #[test]
     fn greedy_respects_q() {
-        let rules: Vec<CandidateRule> =
-            (0..10).map(|i| rule(&["t"], &[i], 1.0)).collect();
+        let rules: Vec<CandidateRule> = (0..10).map(|i| rule(&["t"], &[i], 1.0)).collect();
         let s = greedy(&rules, 3, &HashSet::new());
         assert_eq!(s.selected.len(), 3);
     }
@@ -276,10 +267,8 @@ mod tests {
     #[test]
     fn plain_greedy_differs_from_biased() {
         // The E15 ablation in miniature.
-        let rules = vec![
-            rule(&["low-wide"], &[0, 1, 2, 3, 4, 5], 0.3),
-            rule(&["high-narrow"], &[6], 0.95),
-        ];
+        let rules =
+            vec![rule(&["low-wide"], &[0, 1, 2, 3, 4, 5], 0.3), rule(&["high-narrow"], &[6], 0.95)];
         let plain = greedy(&rules, 1, &HashSet::new());
         let (biased, _) = greedy_biased(&rules, 1, 0.7);
         assert_eq!(plain.selected, vec![0]); // max gain

@@ -54,9 +54,8 @@ impl SynPattern {
     /// disjunction (the paper's tool has the same one-disjunction-at-a-time
     /// restriction).
     pub fn parse(pattern: &str) -> Result<SynPattern, SynError> {
-        let marker = pattern
-            .find("\\syn")
-            .ok_or_else(|| SynError("pattern has no \\syn marker".into()))?;
+        let marker =
+            pattern.find("\\syn").ok_or_else(|| SynError("pattern has no \\syn marker".into()))?;
         if pattern[marker + 4..].contains("\\syn") {
             return Err(SynError("only one \\syn marker is supported".into()));
         }
@@ -214,10 +213,16 @@ struct CandidateState {
 
 impl SynonymSession {
     /// Builds a session: extracts and ranks candidates from `titles`.
-    pub fn new(pattern_text: &str, titles: &[String], cfg: SynonymConfig) -> Result<SynonymSession, SynError> {
+    pub fn new(
+        pattern_text: &str,
+        titles: &[String],
+        cfg: SynonymConfig,
+    ) -> Result<SynonymSession, SynError> {
         let pattern = SynPattern::parse(pattern_text)?;
         if pattern.golden.is_empty() {
-            return Err(SynError("the marked disjunction needs at least one golden synonym".into()));
+            return Err(SynError(
+                "the marked disjunction needs at least one golden synonym".into(),
+            ));
         }
         let tokenizer = Tokenizer::new();
 
@@ -299,7 +304,13 @@ impl SynonymSession {
             .map(|(phrase, matches)| {
                 let (mean_prefix, mean_suffix) = mean_vectors(&matches);
                 let samples = matches.iter().take(3).map(|m| m.title.clone()).collect();
-                CandidateState { phrase, mean_prefix, mean_suffix, samples, occurrences: matches.len() }
+                CandidateState {
+                    phrase,
+                    mean_prefix,
+                    mean_suffix,
+                    samples,
+                    occurrences: matches.len(),
+                }
             })
             .collect();
         candidates.sort_by(|a, b| a.phrase.cmp(&b.phrase)); // deterministic base order
@@ -314,12 +325,8 @@ impl SynonymSession {
 
     /// The current ranking (best first).
     pub fn ranked(&self) -> Vec<Candidate> {
-        let mut scored: Vec<(usize, f64)> = self
-            .candidates
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, self.score(c)))
-            .collect();
+        let mut scored: Vec<(usize, f64)> =
+            self.candidates.iter().enumerate().map(|(i, c)| (i, self.score(c))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
         scored
             .into_iter()
@@ -351,12 +358,8 @@ impl SynonymSession {
             iterations += 1;
 
             // Current top-k page.
-            let page: Vec<String> = self
-                .ranked()
-                .into_iter()
-                .take(self.cfg.page_size)
-                .map(|c| c.phrase)
-                .collect();
+            let page: Vec<String> =
+                self.ranked().into_iter().take(self.cfg.page_size).map(|c| c.phrase).collect();
 
             let mut accepted_vectors: Vec<SparseVector> = Vec::new();
             let mut rejected_vectors: Vec<SparseVector> = Vec::new();
@@ -407,10 +410,7 @@ impl SynonymSession {
 
     /// Occurrence count of a candidate (diagnostics).
     pub fn occurrences(&self, phrase: &str) -> usize {
-        self.candidates
-            .iter()
-            .find(|c| c.phrase == phrase)
-            .map_or(0, |c| c.occurrences)
+        self.candidates.iter().find(|c| c.phrase == phrase).map_or(0, |c| c.occurrences)
     }
 }
 
@@ -495,9 +495,12 @@ mod tests {
 
     #[test]
     fn session_finds_true_synonyms_first() {
-        let session =
-            SynonymSession::new(r"(motor | engine | \syn) oils?", &corpus(), SynonymConfig::default())
-                .unwrap();
+        let session = SynonymSession::new(
+            r"(motor | engine | \syn) oils?",
+            &corpus(),
+            SynonymConfig::default(),
+        )
+        .unwrap();
         let ranked = session.ranked();
         assert!(!ranked.is_empty());
         // Both true synonyms surface on the first page, ahead of the
@@ -515,9 +518,12 @@ mod tests {
 
     #[test]
     fn run_accepts_truth_and_rejects_noise() {
-        let session =
-            SynonymSession::new(r"(motor | engine | \syn) oils?", &corpus(), SynonymConfig::default())
-                .unwrap();
+        let session = SynonymSession::new(
+            r"(motor | engine | \syn) oils?",
+            &corpus(),
+            SynonymConfig::default(),
+        )
+        .unwrap();
         let mut oracle = SetOracle(vec!["car", "truck"]);
         let outcome = session.run(&mut oracle);
         assert!(outcome.accepted.contains(&"car".to_string()));
@@ -538,7 +544,8 @@ mod tests {
     #[test]
     fn max_iterations_caps_the_loop() {
         let cfg = SynonymConfig { max_iterations: 1, page_size: 2, ..SynonymConfig::default() };
-        let session = SynonymSession::new(r"(motor | engine | \syn) oils?", &corpus(), cfg).unwrap();
+        let session =
+            SynonymSession::new(r"(motor | engine | \syn) oils?", &corpus(), cfg).unwrap();
         let mut oracle = SetOracle(vec!["car", "truck"]);
         let outcome = session.run(&mut oracle);
         assert_eq!(outcome.iterations, 1);

@@ -42,10 +42,7 @@ impl Normalizer {
     /// cleanup.
     pub fn normalize(&self, value: &str) -> String {
         let cleaned = value.split_whitespace().collect::<Vec<_>>().join(" ");
-        self.mapping
-            .get(&cleaned.to_lowercase())
-            .cloned()
-            .unwrap_or(cleaned)
+        self.mapping.get(&cleaned.to_lowercase()).cloned().unwrap_or(cleaned)
     }
 
     /// Number of variant mappings.

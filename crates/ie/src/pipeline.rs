@@ -20,17 +20,18 @@ impl IePipeline {
     /// A pipeline with the standard extractors and a brand dictionary built
     /// from the taxonomy's brand pools.
     pub fn standard(taxonomy: &Taxonomy) -> IePipeline {
-        let mut brands: Vec<String> = taxonomy
-            .ids()
-            .flat_map(|id| taxonomy.def(id).brands.iter().cloned())
-            .collect();
+        let mut brands: Vec<String> =
+            taxonomy.ids().flat_map(|id| taxonomy.def(id).brands.iter().cloned()).collect();
         brands.sort();
         brands.dedup();
         IePipeline {
             brands: Some(BrandDictionary::new(
                 brands,
                 0.9,
-                vec![crate::brand::ContextPattern::TitleStart, crate::brand::ContextPattern::AfterBy],
+                vec![
+                    crate::brand::ContextPattern::TitleStart,
+                    crate::brand::ContextPattern::AfterBy,
+                ],
             )),
             rules: crate::extract::standard_rules(),
             normalizer: Normalizer::new(),
@@ -86,10 +87,8 @@ pub fn evaluate_brand(pipeline: &IePipeline, items: &[GeneratedItem]) -> BrandEv
             continue; // brand not in title: not extractable from text
         }
         report.eligible += 1;
-        let extracted = pipeline
-            .extract(&item.product.title)
-            .into_iter()
-            .find(|e| e.field == "brand");
+        let extracted =
+            pipeline.extract(&item.product.title).into_iter().find(|e| e.field == "brand");
         match extracted {
             Some(e) if e.value == truth => report.correct += 1,
             Some(_) => report.wrong += 1,

@@ -33,7 +33,8 @@ impl Prediction {
                 *w /= total;
             }
         }
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite").then(a.0.cmp(&b.0)));
+        scores
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite").then(a.0.cmp(&b.0)));
         Prediction { scores }
     }
 

@@ -47,10 +47,7 @@ impl Ensemble {
 
     /// Per-member raw predictions (for diagnostics and the Chimera filter).
     pub fn member_predictions(&self, features: &[String]) -> Vec<(&str, Prediction)> {
-        self.members
-            .iter()
-            .map(|(m, _)| (m.name(), m.predict(features)))
-            .collect()
+        self.members.iter().map(|(m, _)| (m.name(), m.predict(features))).collect()
     }
 }
 

@@ -57,10 +57,18 @@ impl Perceptron {
                 if predicted != Some(*truth) {
                     // Promote truth, demote the (wrong) prediction.
                     bump(current.get_mut(truth).expect("label present"), feats, 1.0);
-                    bump_avg(averaged.get_mut(truth).expect("label present"), feats, updates as f64);
+                    bump_avg(
+                        averaged.get_mut(truth).expect("label present"),
+                        feats,
+                        updates as f64,
+                    );
                     if let Some(wrong) = predicted {
                         bump(current.get_mut(&wrong).expect("label present"), feats, -1.0);
-                        bump_avg(averaged.get_mut(&wrong).expect("label present"), feats, -(updates as f64));
+                        bump_avg(
+                            averaged.get_mut(&wrong).expect("label present"),
+                            feats,
+                            -(updates as f64),
+                        );
                     }
                 }
                 updates += 1;
@@ -119,19 +127,14 @@ impl Classifier for Perceptron {
         if self.weights.is_empty() {
             return Prediction::empty();
         }
-        let mut scored: Vec<(TypeId, f64)> = self
-            .weights
-            .iter()
-            .map(|(&ty, w)| (ty, score(w, features)))
-            .collect();
+        let mut scored: Vec<(TypeId, f64)> =
+            self.weights.iter().map(|(&ty, w)| (ty, score(w, features))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
         scored.truncate(self.top_k);
         // Shift so the weakest retained score maps to a small positive weight.
         let min = scored.last().map_or(0.0, |&(_, s)| s);
-        let shifted: Vec<(TypeId, f64)> = scored
-            .into_iter()
-            .map(|(ty, s)| (ty, s - min + 1e-6))
-            .collect();
+        let shifted: Vec<(TypeId, f64)> =
+            scored.into_iter().map(|(ty, s)| (ty, s - min + 1e-6)).collect();
         Prediction::from_scores(shifted)
     }
 }

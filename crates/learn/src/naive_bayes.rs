@@ -48,10 +48,7 @@ impl NaiveBayes {
         }
 
         let n_docs = data.docs.len().max(1) as f64;
-        let log_prior = class_docs
-            .iter()
-            .map(|(&ty, &n)| (ty, (n as f64 / n_docs).ln()))
-            .collect();
+        let log_prior = class_docs.iter().map(|(&ty, &n)| (ty, (n as f64 / n_docs).ln())).collect();
 
         NaiveBayes {
             alpha,
@@ -91,12 +88,11 @@ impl Classifier for NaiveBayes {
         if self.log_prior.is_empty() {
             return Prediction::empty();
         }
-        let mut scored: Vec<(TypeId, f64)> = self
-            .log_prior
-            .keys()
-            .map(|&ty| (ty, self.log_likelihood(ty, features)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite log-likelihoods").then(a.0.cmp(&b.0)));
+        let mut scored: Vec<(TypeId, f64)> =
+            self.log_prior.keys().map(|&ty| (ty, self.log_likelihood(ty, features))).collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite log-likelihoods").then(a.0.cmp(&b.0))
+        });
         scored.truncate(self.top_k);
         // Convert log scores to relative weights via softmax over the top-k.
         let max = scored[0].1;

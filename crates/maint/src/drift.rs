@@ -56,7 +56,8 @@ impl DriftMonitor {
         // Alarm only when the window is *confidently* below threshold (the
         // Wilson upper bound), so verifier noise on healthy types does not
         // trip false alarms.
-        let est = rulekit_crowd::PrecisionEstimate { hits: hits as u64, samples: window.len() as u64 };
+        let est =
+            rulekit_crowd::PrecisionEstimate { hits: hits as u64, samples: window.len() as u64 };
         let (_, upper) = est.wilson_interval(1.96);
         let alarmed = self.alarmed.entry(ty).or_insert(false);
         if upper < self.threshold {
@@ -86,12 +87,8 @@ impl DriftMonitor {
 
     /// Types currently in the alarmed state.
     pub fn alarmed_types(&self) -> Vec<TypeId> {
-        let mut v: Vec<TypeId> = self
-            .alarmed
-            .iter()
-            .filter(|&(_, &a)| a)
-            .map(|(&t, _)| t)
-            .collect();
+        let mut v: Vec<TypeId> =
+            self.alarmed.iter().filter(|&(_, &a)| a).map(|(&t, _)| t).collect();
         v.sort_unstable();
         v
     }

@@ -75,7 +75,11 @@ pub fn find_inapplicable(rules: &[Rule], old: &Taxonomy, new: &Taxonomy) -> Vec<
             let ty = r.target_type()?;
             let name = old.name(ty);
             if new.id_of(name).is_none() {
-                Some(InapplicableRule { rule_id: r.id, missing_type: ty, type_name: name.to_string() })
+                Some(InapplicableRule {
+                    rule_id: r.id,
+                    missing_type: ty,
+                    type_name: name.to_string(),
+                })
             } else {
                 None
             }
@@ -105,7 +109,8 @@ mod tests {
         let tax = Taxonomy::builtin();
         let parser = RuleParser::new(tax);
         let repo = RuleRepository::new();
-        let id = repo.add(parser.parse_rule("laptop -> laptop computers").unwrap(), RuleMeta::default());
+        let id =
+            repo.add(parser.parse_rule("laptop -> laptop computers").unwrap(), RuleMeta::default());
         let flagged = vec![ImpreciseRule {
             rule_id: id,
             estimate: PrecisionEstimate { hits: 60, samples: 100 },
@@ -130,7 +135,8 @@ mod tests {
         );
         let parser = RuleParser::new(old.clone());
         let repo = RuleRepository::new();
-        let jean_rule = repo.add(parser.parse_rule("jeans? -> jeans").unwrap(), RuleMeta::default());
+        let jean_rule =
+            repo.add(parser.parse_rule("jeans? -> jeans").unwrap(), RuleMeta::default());
         repo.add(parser.parse_rule("rings? -> rings").unwrap(), RuleMeta::default());
         let rules = repo.enabled_snapshot();
         let inapplicable = find_inapplicable(&rules, &old, &new);

@@ -50,10 +50,7 @@ pub fn find_overlaps(
         }
     }
     out.sort_by(|x, y| {
-        y.coefficient
-            .partial_cmp(&x.coefficient)
-            .expect("finite coefficients")
-            .then(x.a.cmp(&y.a))
+        y.coefficient.partial_cmp(&x.coefficient).expect("finite coefficients").then(x.a.cmp(&y.a))
     });
     out
 }
@@ -182,7 +179,8 @@ mod tests {
 
     #[test]
     fn blame_requires_testing_each_branch() {
-        let branches = vec!["rings?".to_string(), "wedding bands?".to_string(), "diamond".to_string()];
+        let branches =
+            vec!["rings?".to_string(), "wedding bands?".to_string(), "diamond".to_string()];
         let (culprits, tested) = blame_branches(&branches, "diamond earrings");
         // Two branches fire on the bad title; the analyst had to test all 3.
         assert_eq!(culprits, vec![0, 2]);

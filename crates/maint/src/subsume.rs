@@ -46,7 +46,8 @@ pub fn find_subsumptions(
     min_empirical_touches: usize,
 ) -> Vec<Subsumption> {
     let mut out = Vec::new();
-    let whitelist: Vec<&Rule> = rules.iter().filter(|r| matches!(r.action, RuleAction::Assign(_))).collect();
+    let whitelist: Vec<&Rule> =
+        rules.iter().filter(|r| matches!(r.action, RuleAction::Assign(_))).collect();
 
     for a in &whitelist {
         let Some(re_a) = a.condition.title_regex() else { continue };
@@ -78,7 +79,11 @@ pub fn find_subsumptions(
                             && !cov_a.is_empty()
                             && cov_a.iter().all(|d| cov_b.contains(d))
                         {
-                            out.push(Subsumption { subsumed: a.id, by: b.id, evidence: Evidence::Empirical });
+                            out.push(Subsumption {
+                                subsumed: a.id,
+                                by: b.id,
+                                evidence: Evidence::Empirical,
+                            });
                         }
                     }
                 }

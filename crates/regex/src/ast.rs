@@ -77,10 +77,7 @@ impl ClassSet {
 
     /// The `\w` class: `[A-Za-z0-9_]`.
     pub fn word() -> Self {
-        ClassSet {
-            ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')],
-            negated: false,
-        }
+        ClassSet { ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')], negated: false }
     }
 
     /// The `\d` class: `[0-9]`.
@@ -90,10 +87,7 @@ impl ClassSet {
 
     /// The `\s` class: ASCII whitespace.
     pub fn space() -> Self {
-        ClassSet {
-            ranges: vec![('\t', '\r'), (' ', ' ')],
-            negated: false,
-        }
+        ClassSet { ranges: vec![('\t', '\r'), (' ', ' ')], negated: false }
     }
 
     /// Sorts and merges ranges; resolves negation into concrete ranges.
@@ -240,9 +234,7 @@ impl Ast {
     /// Number of capturing groups contained in this AST.
     pub fn capture_count(&self) -> u32 {
         match self {
-            Ast::Group { index, inner } => {
-                u32::from(index.is_some()) + inner.capture_count()
-            }
+            Ast::Group { index, inner } => u32::from(index.is_some()) + inner.capture_count(),
             Ast::Concat(parts) | Ast::Alternate(parts) => {
                 parts.iter().map(Ast::capture_count).sum()
             }
@@ -336,10 +328,7 @@ impl fmt::Display for Ast {
 
 /// Whether `c` is a pattern metacharacter that must be escaped in a literal.
 pub fn is_meta(c: char) -> bool {
-    matches!(
-        c,
-        '\\' | '.' | '+' | '*' | '?' | '(' | ')' | '|' | '[' | ']' | '{' | '}' | '^' | '$'
-    )
+    matches!(c, '\\' | '.' | '+' | '*' | '?' | '(' | ')' | '|' | '[' | ']' | '{' | '}' | '^' | '$')
 }
 
 fn escape_in_class(c: char) -> String {
@@ -451,12 +440,8 @@ mod tests {
 
     #[test]
     fn display_renders_quantifiers() {
-        let ast = Ast::Repeat {
-            inner: Box::new(Ast::Literal('s')),
-            min: 0,
-            max: Some(1),
-            greedy: true,
-        };
+        let ast =
+            Ast::Repeat { inner: Box::new(Ast::Literal('s')), min: 0, max: Some(1), greedy: true };
         assert_eq!(ast.to_string(), "s?");
     }
 }

@@ -100,9 +100,7 @@ fn closure(program: &Program, pcs: impl IntoIterator<Item = u32>) -> Subset {
 }
 
 fn accepts(program: &Program, subset: &Subset) -> bool {
-    subset
-        .iter()
-        .any(|&pc| matches!(program.insts[pc as usize], Inst::Match))
+    subset.iter().any(|&pc| matches!(program.insts[pc as usize], Inst::Match))
 }
 
 /// Steps `subset` on character `c`.
@@ -110,14 +108,12 @@ fn step(program: &Program, subset: &Subset, c: char) -> Subset {
     let mut next = Vec::new();
     for &pc in subset {
         match &program.insts[pc as usize] {
-            Inst::Ranges(ranges)
-                if ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi) => {
-                    next.push(pc + 1);
-                }
-            Inst::Any
-                if c != '\n' => {
-                    next.push(pc + 1);
-                }
+            Inst::Ranges(ranges) if ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi) => {
+                next.push(pc + 1);
+            }
+            Inst::Any if c != '\n' => {
+                next.push(pc + 1);
+            }
             _ => {}
         }
     }
@@ -143,10 +139,7 @@ fn representatives(pa: &Program, sa: &Subset, pb: &Program, sb: &Subset) -> Vec<
     };
     add(pa, sa);
     add(pb, sb);
-    bounds
-        .into_iter()
-        .filter_map(char::from_u32)
-        .collect()
+    bounds.into_iter().filter_map(char::from_u32).collect()
 }
 
 /// BFS over the product automaton looking for a state accepting in A but not

@@ -110,7 +110,8 @@ impl Regex {
     /// Compiles `pattern` with explicit `options`.
     pub fn with_options(pattern: &str, options: Options) -> Result<Regex, Error> {
         let ast = parser::parse(pattern)?;
-        let program = nfa::compile(&ast, CompileOptions { case_insensitive: options.case_insensitive })?;
+        let program =
+            nfa::compile(&ast, CompileOptions { case_insensitive: options.case_insensitive })?;
         Ok(Regex {
             pattern: Arc::from(pattern),
             ast: Arc::new(ast),

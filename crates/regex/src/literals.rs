@@ -140,8 +140,12 @@ mod tests {
     fn nested_alternation() {
         let c = cnf("(abrasive|sand(er|ing))[ -](wheels?|discs?)");
         // Arm "sand(er|ing)" guarantees "sand"; arm "abrasive" guarantees itself.
-        assert!(c.iter().any(|d| d.contains(&"abrasive".to_string()) && d.contains(&"sand".to_string())));
-        assert!(c.iter().any(|d| d.contains(&"wheel".to_string()) && d.contains(&"disc".to_string())));
+        assert!(c
+            .iter()
+            .any(|d| d.contains(&"abrasive".to_string()) && d.contains(&"sand".to_string())));
+        assert!(c
+            .iter()
+            .any(|d| d.contains(&"wheel".to_string()) && d.contains(&"disc".to_string())));
     }
 
     #[test]

@@ -60,12 +60,7 @@ pub fn compile(ast: &Ast, opts: CompileOptions) -> Result<Program, Error> {
     c.push(Inst::Save(1))?;
     c.push(Inst::Match)?;
     let anchored_start = starts_anchored(ast);
-    Ok(Program {
-        insts: c.insts,
-        slots: 2 * (captures as usize + 1),
-        captures,
-        anchored_start,
-    })
+    Ok(Program { insts: c.insts, slots: 2 * (captures as usize + 1), captures, anchored_start })
 }
 
 /// Whether every path through `ast` begins with `^`.
@@ -214,7 +209,13 @@ impl Compiler {
         }
     }
 
-    fn emit_repeat(&mut self, inner: &Ast, min: u32, max: Option<u32>, greedy: bool) -> Result<(), Error> {
+    fn emit_repeat(
+        &mut self,
+        inner: &Ast,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    ) -> Result<(), Error> {
         match (min, max) {
             (0, Some(1)) => {
                 // e? : split(body, after); greedy prefers body, lazy after.
@@ -340,11 +341,7 @@ mod tests {
     #[test]
     fn counted_repetition_expands() {
         let p = program("a{3}");
-        let chars = p
-            .insts
-            .iter()
-            .filter(|i| matches!(i, Inst::Ranges(_)))
-            .count();
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Ranges(_))).count();
         assert_eq!(chars, 3);
     }
 

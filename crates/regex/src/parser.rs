@@ -9,12 +9,7 @@ const MAX_REPEAT: u32 = 1000;
 
 /// Parses `pattern` into an [`Ast`].
 pub fn parse(pattern: &str) -> Result<Ast, Error> {
-    let mut p = Parser {
-        chars: pattern.chars().collect(),
-        pos: 0,
-        next_capture: 1,
-        depth: 0,
-    };
+    let mut p = Parser { chars: pattern.chars().collect(), pos: 0, next_capture: 1, depth: 0 };
     let ast = p.parse_alternation()?;
     if p.pos != p.chars.len() {
         return Err(p.err("unexpected ')'"));
@@ -234,9 +229,7 @@ impl Parser {
             't' => Ok(Ast::Literal('\t')),
             'r' => Ok(Ast::Literal('\r')),
             'b' => Err(self.err("word boundaries are not supported")),
-            _ if c.is_ascii_alphanumeric() => {
-                Err(self.err("unknown escape sequence"))
-            }
+            _ if c.is_ascii_alphanumeric() => Err(self.err("unknown escape sequence")),
             _ => Ok(Ast::Literal(c)),
         }
     }
@@ -410,7 +403,12 @@ mod tests {
         let ast = ok("a{b}");
         assert_eq!(
             ast,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('b'), Ast::Literal('}')])
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('b'),
+                Ast::Literal('}')
+            ])
         );
     }
 

@@ -64,7 +64,12 @@ impl SparseSet {
 /// Returns the capture slots of the leftmost-first match, or `None`.
 /// When `earliest` is true, returns as soon as any match is known (used by
 /// `is_match`, which does not need the full greedy extent).
-pub fn exec(program: &Program, text: &str, start: usize, earliest: bool) -> Option<Box<[Option<usize>]>> {
+pub fn exec(
+    program: &Program,
+    text: &str,
+    start: usize,
+    earliest: bool,
+) -> Option<Box<[Option<usize>]>> {
     debug_assert!(text.is_char_boundary(start));
     let mut clist = ThreadList::new(program.insts.len());
     let mut nlist = ThreadList::new(program.insts.len());
@@ -123,7 +128,11 @@ pub fn exec(program: &Program, text: &str, start: usize, earliest: bool) -> Opti
                     break;
                 }
                 // Epsilon instructions were resolved by add_thread.
-                Inst::Split(..) | Inst::Jump(..) | Inst::Save(..) | Inst::AssertStart | Inst::AssertEnd => {
+                Inst::Split(..)
+                | Inst::Jump(..)
+                | Inst::Save(..)
+                | Inst::AssertStart
+                | Inst::AssertEnd => {
                     unreachable!("epsilon instruction in dense thread list")
                 }
             }

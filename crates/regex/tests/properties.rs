@@ -89,7 +89,10 @@ fn match_ends(ast: &Ast, text: &[char], pos: usize) -> BTreeSet<usize> {
                 for &p in &current {
                     next.extend(match_ends(inner, text, p));
                 }
-                if next.is_subset(&current) && next.iter().all(|p| current.contains(p)) && next == current {
+                if next.is_subset(&current)
+                    && next.iter().all(|p| current.contains(p))
+                    && next == current
+                {
                     // Fixed point (empty-width loop): no new positions.
                     if i >= *min {
                         break;

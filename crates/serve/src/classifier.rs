@@ -1,0 +1,39 @@
+//! The serving-side classification contract. The service is generic over
+//! [`RequestClassifier`] so tests can inject slow or deterministic fakes;
+//! production uses [`rulekit_chimera::PipelineSnapshot`], which already is
+//! an immutable, lock-free compiled pipeline.
+
+use rulekit_chimera::{PipelineSnapshot, SnapshotDecision};
+use rulekit_data::Product;
+
+/// An immutable classifier a shard worker holds across requests. Must be
+/// cheap to share (`Arc`) and safe to call from many threads at once.
+pub trait RequestClassifier: Send + Sync {
+    /// Monotone version of the compiled state — used to detect swaps and
+    /// stamped onto every response for observability.
+    fn version(&self) -> u64;
+
+    /// Full-fidelity classification (rules + learning + voting).
+    fn classify(&self, product: &Product) -> SnapshotDecision;
+
+    /// Cheaper degraded classification used above the overload high-water
+    /// mark. Default: same as `classify` (fakes that don't model cost can
+    /// ignore degradation).
+    fn classify_degraded(&self, product: &Product) -> SnapshotDecision {
+        self.classify(product)
+    }
+}
+
+impl RequestClassifier for PipelineSnapshot {
+    fn version(&self) -> u64 {
+        PipelineSnapshot::version(self)
+    }
+
+    fn classify(&self, product: &Product) -> SnapshotDecision {
+        PipelineSnapshot::classify(self, product)
+    }
+
+    fn classify_degraded(&self, product: &Product) -> SnapshotDecision {
+        PipelineSnapshot::classify_rules_only(self, product)
+    }
+}

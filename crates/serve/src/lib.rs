@@ -1,0 +1,45 @@
+//! # rulekit-serve
+//!
+//! A hot-swappable, sharded rule-classification service — the serving tier
+//! the paper's §2 production setting implies ("serve heavy traffic from
+//! millions of users") for the rule machinery the rest of the workspace
+//! builds.
+//!
+//! Architecture:
+//!
+//! - **Sharded worker pool** ([`RuleService`]): N workers, each with a
+//!   bounded queue and its own `Arc` handle to the current compiled
+//!   snapshot. The classification hot path takes no locks.
+//! - **Lock-free hot swap**: a background refresher blocks on the rule
+//!   repository's change signal, recompiles a [`PipelineSnapshot`] when
+//!   analysts edit rules, and publishes it. Workers adopt it between
+//!   micro-batches; in-flight requests finish on the old snapshot, so rule
+//!   edits reach traffic within one rebuild interval with zero pauses —
+//!   the §2.2 "fix the system *while* it continues serving" requirement.
+//! - **Backpressure**: admission is [`Admission::Enqueued`] or
+//!   [`Admission::Overloaded`] — a full service rejects instead of
+//!   buffering unboundedly. Per-request deadlines shed stale queued work
+//!   with an explicit [`ServeError::DeadlineExceeded`].
+//! - **Graceful degradation**: above a queue high-water mark the service
+//!   falls back from full Chimera voting to the cheaper rules-only path
+//!   (and records that it did); hysteresis restores full fidelity once the
+//!   backlog drains.
+//! - **Built-in metrics** ([`ServiceMetrics`]): lock-free counters and a
+//!   log-bucketed latency histogram — p50/p99, throughput inputs, queue
+//!   depth, swap counts, candidates considered.
+//!
+//! [`PipelineSnapshot`]: rulekit_chimera::PipelineSnapshot
+
+pub mod classifier;
+pub mod metrics;
+pub mod provider;
+pub mod queue;
+pub mod response;
+pub mod service;
+
+pub use classifier::RequestClassifier;
+pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics};
+pub use provider::{ChimeraProvider, SnapshotProvider, StaticProvider};
+pub use queue::BoundedQueue;
+pub use response::{Admission, ClassifyOutcome, ResponseHandle, ServeError};
+pub use service::{RuleService, ServeConfig};

@@ -1,0 +1,200 @@
+//! Built-in service observability: lock-free counters plus a log-bucketed
+//! latency histogram, all plain atomics so the hot path never takes a lock
+//! to record. `ServiceMetrics::report()` folds everything into an immutable
+//! [`MetricsReport`] with the p50/p90/p99 quantiles the experiments print.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A histogram over power-of-two microsecond buckets: bucket `i` counts
+/// latencies in `[2^(i-1), 2^i)` µs (bucket 0 = sub-microsecond). Quantile
+/// estimates return the bucket's upper bound, so they are conservative
+/// (never under-report) and within 2× of the true value.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(micros: u64) -> usize {
+        (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket(micros)].fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Conservative quantile estimate (`q` in `[0, 1]`): upper bound of the
+    /// bucket containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i == 0 { 1 } else { 1u64 << i };
+                return Duration::from_micros(upper);
+            }
+        }
+        Duration::from_micros(u64::MAX)
+    }
+
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.total_micros.load(Ordering::Relaxed) / n)
+    }
+}
+
+/// All counters the service maintains. Shared (`Arc`) between the service,
+/// its workers, and whoever wants to read a [`MetricsReport`].
+#[derive(Default)]
+pub struct ServiceMetrics {
+    /// Requests admitted into a shard queue.
+    pub submitted: AtomicU64,
+    /// Requests classified and answered.
+    pub completed: AtomicU64,
+    /// Requests rejected at admission (backpressure).
+    pub overloaded: AtomicU64,
+    /// Admitted requests shed because their deadline passed while queued.
+    pub deadline_shed: AtomicU64,
+    /// Requests answered by the degraded (rules-only) path.
+    pub degraded_served: AtomicU64,
+    /// Requests whose classification panicked (contained per-request).
+    pub classifier_panics: AtomicU64,
+    /// Snapshot swaps published by the refresher.
+    pub swaps: AtomicU64,
+    /// Sum of per-request rule candidates considered.
+    pub candidates_total: AtomicU64,
+    /// High-water mark of total queued requests.
+    pub max_queue_depth: AtomicU64,
+    /// End-to-end latency (queue wait + classification) of completions.
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn note_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// An immutable snapshot of every counter plus derived quantities.
+    pub fn report(&self) -> MetricsReport {
+        let completed = self.completed.load(Ordering::Relaxed);
+        MetricsReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            classifier_panics: self.classifier_panics.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            avg_candidates: if completed == 0 {
+                0.0
+            } else {
+                self.candidates_total.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+            p50: self.latency.quantile(0.50),
+            p90: self.latency.quantile(0.90),
+            p99: self.latency.quantile(0.99),
+            mean: self.latency.mean(),
+        }
+    }
+}
+
+/// Point-in-time counter snapshot with derived latency quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    pub submitted: u64,
+    pub completed: u64,
+    pub overloaded: u64,
+    pub deadline_shed: u64,
+    pub degraded_served: u64,
+    pub classifier_panics: u64,
+    pub swaps: u64,
+    pub max_queue_depth: u64,
+    pub avg_candidates: f64,
+    pub p50: Duration,
+    pub p90: Duration,
+    pub p99: Duration,
+    pub mean: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 1);
+        assert_eq!(LatencyHistogram::bucket(2), 2);
+        assert_eq!(LatencyHistogram::bucket(3), 2);
+        assert_eq!(LatencyHistogram::bucket(1024), 11);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_and_ordered() {
+        let h = LatencyHistogram::new();
+        for micros in [10u64, 20, 40, 80, 5000, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+        assert!(p50 >= Duration::from_micros(40), "p50 {p50:?}");
+        assert!(p99 >= Duration::from_micros(100_000), "p99 {p99:?}");
+        assert!(p50 <= p99);
+        assert!(h.mean() >= Duration::from_micros(17_000));
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_derives_avg_candidates() {
+        let m = ServiceMetrics::new();
+        m.completed.store(4, Ordering::Relaxed);
+        m.candidates_total.store(10, Ordering::Relaxed);
+        m.note_queue_depth(7);
+        m.note_queue_depth(3);
+        let r = m.report();
+        assert_eq!(r.avg_candidates, 2.5);
+        assert_eq!(r.max_queue_depth, 7);
+    }
+}

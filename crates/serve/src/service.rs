@@ -1,0 +1,338 @@
+//! The worker-pool service: N shard workers, each holding its own `Arc` to
+//! the current compiled snapshot (zero locks on the classification hot
+//! path), a background refresher that republishes snapshots when the rule
+//! state changes, bounded per-shard queues with `Enqueued`/`Overloaded`
+//! admission, per-request deadlines, and rules-only degradation above the
+//! overload high-water mark.
+
+use crate::classifier::RequestClassifier;
+use crate::metrics::{MetricsReport, ServiceMetrics};
+use crate::provider::SnapshotProvider;
+use crate::queue::BoundedQueue;
+use crate::response::{response_channel, Admission, ClassifyOutcome, ResponseSlot, ServeError};
+use rulekit_data::Product;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard workers (each owns one queue and one snapshot handle).
+    pub shards: usize,
+    /// Bounded capacity of each shard's queue; admission beyond it (after
+    /// trying every shard) is `Overloaded`.
+    pub queue_capacity: usize,
+    /// Micro-batch: maximum requests a worker drains per queue lock.
+    pub batch_size: usize,
+    /// Total queued requests at/above which the service degrades to the
+    /// rules-only path.
+    pub high_water: usize,
+    /// Total queued requests at/below which full-fidelity serving resumes
+    /// (hysteresis; must be < `high_water`).
+    pub low_water: usize,
+    /// Deadline applied to requests submitted without an explicit one.
+    pub default_deadline: Option<Duration>,
+    /// Upper bound on how long the refresher sleeps between change checks;
+    /// rule edits are typically visible much sooner (the repository signals
+    /// its condvar on every mutation).
+    pub refresh_interval: Duration,
+    /// How long an idle worker waits for work before rechecking state.
+    pub worker_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_capacity: 256,
+            batch_size: 32,
+            high_water: 512,
+            low_water: 128,
+            default_deadline: None,
+            refresh_interval: Duration::from_millis(25),
+            worker_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+struct QueuedRequest {
+    product: Product,
+    enqueued_at: Instant,
+    deadline: Option<Instant>,
+    slot: ResponseSlot,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queues: Vec<BoundedQueue<QueuedRequest>>,
+    /// Total requests sitting in queues (watermark bookkeeping). Signed:
+    /// submit-side increments and worker-side decrements race benignly, so
+    /// the value can dip below zero for an instant.
+    queued: AtomicI64,
+    /// The published snapshot; workers re-read it only when `swap_count`
+    /// moves, so steady-state classification touches no lock.
+    latest: RwLock<Arc<dyn RequestClassifier>>,
+    swap_count: AtomicU64,
+    degraded: AtomicBool,
+    shutdown: AtomicBool,
+    metrics: Arc<ServiceMetrics>,
+    round_robin: AtomicUsize,
+}
+
+impl Inner {
+    fn publish(&self, snapshot: Arc<dyn RequestClassifier>) {
+        *self.latest.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
+        self.swap_count.fetch_add(1, Ordering::Release);
+        self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn current(&self) -> Arc<dyn RequestClassifier> {
+        self.latest.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// A running classification service. Dropping it shuts down gracefully
+/// (queued requests are drained, workers joined).
+pub struct RuleService {
+    inner: Arc<Inner>,
+    provider: Arc<dyn SnapshotProvider>,
+    workers: Vec<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
+}
+
+impl RuleService {
+    /// Builds the initial snapshot synchronously, then starts the shard
+    /// workers and the background refresher.
+    pub fn start(provider: Arc<dyn SnapshotProvider>, cfg: ServeConfig) -> RuleService {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.low_water < cfg.high_water, "hysteresis requires low_water < high_water");
+        let initial = provider.build();
+        let inner = Arc::new(Inner {
+            queues: (0..cfg.shards).map(|_| BoundedQueue::new(cfg.queue_capacity)).collect(),
+            queued: AtomicI64::new(0),
+            latest: RwLock::new(initial),
+            swap_count: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            metrics: Arc::new(ServiceMetrics::new()),
+            round_robin: AtomicUsize::new(0),
+            cfg,
+        });
+
+        let workers = (0..inner.cfg.shards)
+            .map(|shard| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("rulekit-serve-{shard}"))
+                    .spawn(move || worker_loop(&inner, shard))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+
+        let refresher = {
+            let inner = inner.clone();
+            let provider = provider.clone();
+            std::thread::Builder::new()
+                .name("rulekit-serve-refresh".into())
+                .spawn(move || refresher_loop(&inner, provider.as_ref()))
+                .expect("spawn refresher")
+        };
+
+        RuleService { inner, provider, workers, refresher: Some(refresher) }
+    }
+
+    /// Submits with the config's default deadline.
+    pub fn submit(&self, product: Product) -> Admission {
+        self.submit_with_deadline(product, self.inner.cfg.default_deadline)
+    }
+
+    /// Offers the request to every shard queue starting from a round-robin
+    /// cursor; if all are full (or the service is shutting down) the caller
+    /// gets `Overloaded` and nothing is queued.
+    pub fn submit_with_deadline(&self, product: Product, deadline: Option<Duration>) -> Admission {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            inner.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Admission::Overloaded;
+        }
+        let now = Instant::now();
+        let (slot, handle) = response_channel();
+        let mut request =
+            QueuedRequest { product, enqueued_at: now, deadline: deadline.map(|d| now + d), slot };
+        let shards = inner.cfg.shards;
+        let start = inner.round_robin.fetch_add(1, Ordering::Relaxed);
+        for k in 0..shards {
+            match inner.queues[(start + k) % shards].try_push(request) {
+                Ok(()) => {
+                    inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                    let depth = (inner.queued.fetch_add(1, Ordering::Relaxed) + 1).max(0) as usize;
+                    inner.metrics.note_queue_depth(depth as u64);
+                    if depth >= inner.cfg.high_water {
+                        inner.degraded.store(true, Ordering::Relaxed);
+                    }
+                    return Admission::Enqueued(handle);
+                }
+                Err(rejected) => request = rejected,
+            }
+        }
+        inner.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+        Admission::Overloaded
+    }
+
+    /// Rebuilds and publishes a snapshot right now, bypassing the
+    /// refresher's change wait. Returns the new snapshot version.
+    pub fn refresh_now(&self) -> u64 {
+        let snapshot = self.provider.build();
+        let version = snapshot.version();
+        self.inner.publish(snapshot);
+        version
+    }
+
+    /// Version of the currently published snapshot.
+    pub fn snapshot_version(&self) -> u64 {
+        self.inner.current().version()
+    }
+
+    /// Number of snapshot swaps published so far.
+    pub fn swap_count(&self) -> u64 {
+        self.inner.swap_count.load(Ordering::Acquire)
+    }
+
+    /// Whether the service is currently in rules-only degradation.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Total requests currently queued across shards.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queued.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> MetricsReport {
+        self.inner.metrics.report()
+    }
+
+    /// Stops admission, drains queued requests, and joins all threads.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for q in &self.inner.queues {
+            q.close();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.refresher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RuleService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn refresher_loop(inner: &Inner, provider: &dyn SnapshotProvider) {
+    let mut last_seen = provider.revision();
+    while !inner.shutdown.load(Ordering::Acquire) {
+        let now = provider.wait_for_change(last_seen, inner.cfg.refresh_interval);
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if now != last_seen {
+            inner.publish(provider.build());
+            last_seen = now;
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, shard: usize) {
+    let queue = &inner.queues[shard];
+    let mut snapshot = inner.current();
+    let mut seen_swap = inner.swap_count.load(Ordering::Acquire);
+
+    loop {
+        let batch = queue.pop_batch(inner.cfg.batch_size, inner.cfg.worker_poll);
+        if batch.is_empty() {
+            if queue.is_closed() {
+                break;
+            }
+            continue;
+        }
+        let n = batch.len() as i64;
+        let depth = (inner.queued.fetch_sub(n, Ordering::Relaxed) - n).max(0) as usize;
+        if depth <= inner.cfg.low_water {
+            inner.degraded.store(false, Ordering::Relaxed);
+        }
+
+        // Hot swap: adopt a newly published snapshot between micro-batches;
+        // requests already being classified finish on the old one.
+        let swap = inner.swap_count.load(Ordering::Acquire);
+        if swap != seen_swap {
+            snapshot = inner.current();
+            seen_swap = swap;
+        }
+
+        for request in batch {
+            serve_one(inner, snapshot.as_ref(), request);
+        }
+    }
+}
+
+fn serve_one(inner: &Inner, snapshot: &dyn RequestClassifier, request: QueuedRequest) {
+    let metrics = &inner.metrics;
+    if let Some(deadline) = request.deadline {
+        if Instant::now() > deadline {
+            metrics.deadline_shed.fetch_add(1, Ordering::Relaxed);
+            request.slot.fulfill(Err(ServeError::DeadlineExceeded));
+            return;
+        }
+    }
+    let degrade = inner.degraded.load(Ordering::Relaxed);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if degrade {
+            snapshot.classify_degraded(&request.product)
+        } else {
+            snapshot.classify(&request.product)
+        }
+    }));
+    match outcome {
+        Ok(decided) => {
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.candidates_total.fetch_add(decided.candidates as u64, Ordering::Relaxed);
+            if decided.degraded {
+                metrics.degraded_served.fetch_add(1, Ordering::Relaxed);
+            }
+            let latency = request.enqueued_at.elapsed();
+            metrics.latency.record(latency);
+            request.slot.fulfill(Ok(ClassifyOutcome {
+                decision: decided.decision,
+                candidates: decided.candidates,
+                degraded: decided.degraded,
+                snapshot_version: snapshot.version(),
+                latency,
+            }));
+        }
+        Err(payload) => {
+            metrics.classifier_panics.fetch_add(1, Ordering::Relaxed);
+            let message = panic_text(payload.as_ref());
+            request.slot.fulfill(Err(ServeError::ClassifierPanicked(message)));
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "classifier panicked".to_string()
+    }
+}

@@ -1,0 +1,327 @@
+//! Integration tests for the serving tier: each headline feature — hot
+//! swap, backpressure, deadline shedding, degradation, panic containment,
+//! graceful shutdown — is exercised end to end against either a fake
+//! classifier (to control cost) or a real Chimera pipeline.
+
+use rulekit_chimera::{Chimera, ChimeraConfig, Decision, SnapshotDecision};
+use rulekit_data::{Product, Taxonomy, TypeId, VendorId};
+use rulekit_serve::{
+    Admission, ChimeraProvider, RequestClassifier, RuleService, ServeConfig, ServeError,
+    SnapshotProvider, StaticProvider,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn product(title: &str) -> Product {
+    Product {
+        id: 0,
+        title: title.into(),
+        description: String::new(),
+        attributes: Vec::new(),
+        vendor: VendorId(0),
+    }
+}
+
+/// A classifier with a configurable per-request cost, so tests can saturate
+/// tiny queues deterministically.
+struct SlowClassifier {
+    version: u64,
+    delay: Duration,
+    ty: TypeId,
+}
+
+impl RequestClassifier for SlowClassifier {
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn classify(&self, product: &Product) -> SnapshotDecision {
+        if product.title == "poison" {
+            panic!("poisoned request");
+        }
+        std::thread::sleep(self.delay);
+        SnapshotDecision {
+            decision: Decision::Classified {
+                ty: self.ty,
+                confidence: 1.0,
+                explanation: vec!["fake".into()],
+            },
+            candidates: 3,
+            degraded: false,
+        }
+    }
+
+    fn classify_degraded(&self, _product: &Product) -> SnapshotDecision {
+        // The degraded path is intentionally instant: degradation should
+        // visibly cut per-request cost.
+        SnapshotDecision {
+            decision: Decision::Classified {
+                ty: self.ty,
+                confidence: 0.5,
+                explanation: vec!["fake degraded".into()],
+            },
+            candidates: 1,
+            degraded: true,
+        }
+    }
+}
+
+fn slow_service(delay: Duration, cfg: ServeConfig) -> RuleService {
+    let classifier = Arc::new(SlowClassifier { version: 1, delay, ty: TypeId(7) });
+    RuleService::start(Arc::new(StaticProvider::new(classifier)), cfg)
+}
+
+fn ruled_chimera() -> Arc<Chimera> {
+    let tax = Taxonomy::builtin();
+    let chimera = Chimera::new(tax, ChimeraConfig::default());
+    chimera.add_rules("rings? -> rings\n").unwrap();
+    Arc::new(chimera)
+}
+
+#[test]
+fn serves_real_pipeline_end_to_end() {
+    let chimera = ruled_chimera();
+    let rings = chimera.taxonomy().id_of("rings").unwrap();
+    let provider = Arc::new(ChimeraProvider::new(chimera));
+    let service = RuleService::start(provider, ServeConfig { shards: 2, ..Default::default() });
+
+    let outcome = service
+        .submit(product("diamond wedding ring"))
+        .expect_enqueued()
+        .wait()
+        .expect("classified");
+    assert_eq!(outcome.decision.type_id(), Some(rings));
+    assert!(outcome.candidates >= 1);
+    assert!(!outcome.degraded);
+
+    let report = service.metrics();
+    assert_eq!(report.submitted, 1);
+    assert_eq!(report.completed, 1);
+    assert!(report.p50 > Duration::ZERO);
+}
+
+/// The tentpole guarantee: a rule added while the service is running under
+/// load becomes visible to responses without stopping or pausing serving.
+#[test]
+fn hot_swap_makes_rule_edits_visible_without_stopping() {
+    let chimera = ruled_chimera();
+    let sofas = chimera.taxonomy().id_of("sofas").unwrap();
+    let provider = Arc::new(ChimeraProvider::new(chimera.clone()));
+    let service = RuleService::start(
+        provider,
+        ServeConfig {
+            shards: 2,
+            refresh_interval: Duration::from_millis(10),
+            ..Default::default()
+        },
+    );
+
+    // Before the edit: a sofa title has no matching rule → declined.
+    let before = service.submit(product("leather sofa")).expect_enqueued().wait().expect("served");
+    assert!(before.decision.is_declined());
+    let version_before = before.snapshot_version;
+
+    // Analyst adds a rule through the live repository handle. No service
+    // API is involved — the refresher notices the revision change.
+    chimera.add_rules("sofas? -> sofas\n").unwrap();
+
+    // Keep submitting (traffic never stops); the new rule must become
+    // visible within a rebuild interval.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut swapped_outcome = None;
+    while Instant::now() < deadline {
+        let outcome = service
+            .submit(product("leather sofa"))
+            .expect_enqueued()
+            .wait()
+            .expect("service must keep serving during the swap");
+        if outcome.decision.type_id() == Some(sofas) {
+            swapped_outcome = Some(outcome);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let outcome = swapped_outcome.expect("rule edit never became visible");
+    assert!(outcome.snapshot_version > version_before, "must be served by a newer snapshot");
+    assert!(service.swap_count() >= 1);
+    assert!(service.metrics().swaps >= 1);
+}
+
+#[test]
+fn saturation_yields_overloaded_admission() {
+    let service = slow_service(
+        Duration::from_millis(5),
+        ServeConfig {
+            shards: 1,
+            queue_capacity: 4,
+            high_water: 100, // out of the way: this test isolates admission
+            low_water: 1,
+            ..Default::default()
+        },
+    );
+
+    let mut handles = Vec::new();
+    let mut overloaded = 0usize;
+    for i in 0..200 {
+        match service.submit(product(&format!("item {i}"))) {
+            Admission::Enqueued(h) => handles.push(h),
+            Admission::Overloaded => overloaded += 1,
+        }
+    }
+    assert!(overloaded > 0, "bounded queue must reject under saturation");
+    assert_eq!(service.metrics().overloaded, overloaded as u64);
+    for h in handles {
+        h.wait().expect("admitted requests still complete");
+    }
+    assert_eq!(service.metrics().completed, (200 - overloaded) as u64);
+}
+
+#[test]
+fn expired_deadlines_are_shed_with_explicit_outcome() {
+    let service = slow_service(
+        Duration::from_millis(10),
+        ServeConfig { shards: 1, queue_capacity: 64, ..Default::default() },
+    );
+
+    // The first request occupies the worker; the rest queue behind it with
+    // a deadline shorter than the service time and must be shed.
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        if let Admission::Enqueued(h) =
+            service.submit_with_deadline(product(&format!("q{i}")), Some(Duration::from_millis(1)))
+        {
+            handles.push(h);
+        }
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    let shed = results.iter().filter(|r| **r == Err(ServeError::DeadlineExceeded)).count();
+    assert!(shed > 0, "queued requests past their deadline must be shed: {results:?}");
+    assert_eq!(service.metrics().deadline_shed, shed as u64);
+}
+
+#[test]
+fn overload_degrades_to_rules_only_and_recovers() {
+    let service = slow_service(
+        Duration::from_millis(3),
+        ServeConfig {
+            shards: 1,
+            queue_capacity: 64,
+            high_water: 8,
+            low_water: 2,
+            worker_poll: Duration::from_millis(5),
+            ..Default::default()
+        },
+    );
+
+    let handles: Vec<_> = (0..40)
+        .filter_map(|i| match service.submit(product(&format!("d{i}"))) {
+            Admission::Enqueued(h) => Some(h),
+            Admission::Overloaded => None,
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait().expect("served")).collect();
+    let degraded = outcomes.iter().filter(|o| o.degraded).count();
+    assert!(degraded > 0, "crossing the high-water mark must degrade some requests");
+    assert_eq!(service.metrics().degraded_served, degraded as u64);
+
+    // After the backlog drains below the low-water mark, full fidelity
+    // resumes and fresh requests are not degraded.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let o = service.submit(product("after")).expect_enqueued().wait().expect("served");
+        if !o.degraded {
+            break;
+        }
+        assert!(Instant::now() < deadline, "service never recovered from degradation");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(!service.is_degraded());
+}
+
+#[test]
+fn classifier_panic_is_contained_to_the_request() {
+    let service =
+        slow_service(Duration::from_micros(100), ServeConfig { shards: 1, ..Default::default() });
+    let err = service.submit(product("poison")).expect_enqueued().wait().unwrap_err();
+    assert!(matches!(err, ServeError::ClassifierPanicked(ref m) if m.contains("poisoned")));
+    // The shard worker survived and keeps serving.
+    let ok = service.submit(product("healthy")).expect_enqueued().wait().expect("served");
+    assert_eq!(ok.decision.type_id(), Some(TypeId(7)));
+    assert_eq!(service.metrics().classifier_panics, 1);
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    let mut service = slow_service(
+        Duration::from_millis(2),
+        ServeConfig { shards: 2, queue_capacity: 128, ..Default::default() },
+    );
+    let handles: Vec<_> =
+        (0..50).map(|i| service.submit(product(&format!("s{i}"))).expect_enqueued()).collect();
+    service.shutdown();
+    // Everything admitted before shutdown still gets an answer.
+    for h in handles {
+        h.wait().expect("drained during graceful shutdown");
+    }
+    // New work is rejected.
+    assert!(service.submit(product("late")).is_overloaded());
+}
+
+#[test]
+fn refresh_now_publishes_synchronously() {
+    let chimera = ruled_chimera();
+    let provider = Arc::new(ChimeraProvider::new(chimera.clone()));
+    let service = RuleService::start(
+        provider,
+        // A long refresh interval so only refresh_now can publish quickly.
+        ServeConfig { shards: 1, refresh_interval: Duration::from_secs(30), ..Default::default() },
+    );
+    let v0 = service.snapshot_version();
+    chimera.add_rules("sofas? -> sofas\n").unwrap();
+    let v1 = service.refresh_now();
+    assert!(v1 > v0);
+    assert_eq!(service.snapshot_version(), v1);
+    assert!(service.swap_count() >= 1);
+}
+
+#[test]
+fn metrics_track_load_shape() {
+    struct CountingProvider {
+        builds: AtomicU64,
+        inner: StaticProvider,
+    }
+    impl SnapshotProvider for CountingProvider {
+        fn build(&self) -> Arc<dyn RequestClassifier> {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            self.inner.build()
+        }
+        fn revision(&self) -> u64 {
+            self.inner.revision()
+        }
+        fn wait_for_change(&self, last_seen: u64, timeout: Duration) -> u64 {
+            self.inner.wait_for_change(last_seen, timeout)
+        }
+    }
+
+    let classifier =
+        Arc::new(SlowClassifier { version: 1, delay: Duration::from_micros(200), ty: TypeId(3) });
+    let provider =
+        CountingProvider { builds: AtomicU64::new(0), inner: StaticProvider::new(classifier) };
+    let service =
+        RuleService::start(Arc::new(provider), ServeConfig { shards: 2, ..Default::default() });
+
+    let handles: Vec<_> =
+        (0..64).map(|i| service.submit(product(&format!("m{i}"))).expect_enqueued()).collect();
+    for h in handles {
+        h.wait().expect("served");
+    }
+    let r = service.metrics();
+    assert_eq!(r.submitted, 64);
+    assert_eq!(r.completed, 64);
+    assert_eq!(r.overloaded, 0);
+    assert!(r.p50 <= r.p99);
+    assert!(r.p99 > Duration::ZERO);
+    assert!(r.avg_candidates > 0.0);
+    assert!(r.max_queue_depth >= 1);
+}

@@ -16,7 +16,9 @@ pub mod vector;
 
 pub use ngram::{char_qgram_set, char_qgrams, qgram_jaccard, token_ngrams};
 pub use rocchio::{rocchio_update, RocchioWeights};
-pub use similarity::{dice, jaccard, levenshtein, levenshtein_similarity, overlap_coefficient, token_jaccard};
+pub use similarity::{
+    dice, jaccard, levenshtein, levenshtein_similarity, overlap_coefficient, token_jaccard,
+};
 pub use tfidf::TfIdf;
 pub use tokenize::{normalize_title, Token, Tokenizer, DEFAULT_STOPWORDS};
 pub use vector::{SparseVector, Vocabulary};

@@ -30,10 +30,7 @@ pub fn token_ngrams<T: AsRef<str>>(tokens: &[T], n: usize) -> Vec<Vec<String>> {
     if tokens.len() < n {
         return Vec::new();
     }
-    tokens
-        .windows(n)
-        .map(|w| w.iter().map(|t| t.as_ref().to_string()).collect())
-        .collect()
+    tokens.windows(n).map(|w| w.iter().map(|t| t.as_ref().to_string()).collect()).collect()
 }
 
 /// Jaccard similarity of the q-gram sets of two strings — the paper's
@@ -69,10 +66,7 @@ mod tests {
     #[test]
     fn token_ngrams_windows() {
         let toks = ["blue", "denim", "jeans"];
-        assert_eq!(
-            token_ngrams(&toks, 2),
-            vec![vec!["blue", "denim"], vec!["denim", "jeans"]]
-        );
+        assert_eq!(token_ngrams(&toks, 2), vec![vec!["blue", "denim"], vec!["denim", "jeans"]]);
         assert!(token_ngrams(&toks, 4).is_empty());
     }
 

@@ -63,12 +63,8 @@ mod tests {
     #[test]
     fn accepted_terms_gain_weight() {
         let profile = v(&[(1, 1.0)]);
-        let updated = rocchio_update(
-            &profile,
-            &[v(&[(1, 1.0), (2, 2.0)])],
-            &[],
-            RocchioWeights::default(),
-        );
+        let updated =
+            rocchio_update(&profile, &[v(&[(1, 1.0), (2, 2.0)])], &[], RocchioWeights::default());
         assert!(updated.get(1) > profile.get(1));
         assert!(updated.get(2) > 0.0);
     }
@@ -76,12 +72,7 @@ mod tests {
     #[test]
     fn rejected_terms_lose_weight() {
         let profile = v(&[(1, 1.0), (2, 1.0)]);
-        let updated = rocchio_update(
-            &profile,
-            &[],
-            &[v(&[(2, 4.0)])],
-            RocchioWeights::default(),
-        );
+        let updated = rocchio_update(&profile, &[], &[v(&[(2, 4.0)])], RocchioWeights::default());
         assert_eq!(updated.get(1), 1.0);
         assert!(updated.get(2) < 1.0);
     }
@@ -89,19 +80,19 @@ mod tests {
     #[test]
     fn negative_weights_clamped() {
         let profile = v(&[(2, 0.1)]);
-        let updated = rocchio_update(
-            &profile,
-            &[],
-            &[v(&[(2, 100.0)])],
-            RocchioWeights::default(),
-        );
+        let updated = rocchio_update(&profile, &[], &[v(&[(2, 100.0)])], RocchioWeights::default());
         assert_eq!(updated.get(2), 0.0);
     }
 
     #[test]
     fn no_feedback_scales_by_alpha() {
         let profile = v(&[(1, 2.0)]);
-        let updated = rocchio_update(&profile, &[], &[], RocchioWeights { alpha: 0.5, beta: 1.0, gamma: 1.0 });
+        let updated = rocchio_update(
+            &profile,
+            &[],
+            &[],
+            RocchioWeights { alpha: 0.5, beta: 1.0, gamma: 1.0 },
+        );
         assert_eq!(updated.get(1), 1.0);
     }
 

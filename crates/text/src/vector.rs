@@ -153,9 +153,7 @@ impl SparseVector {
         if factor == 0.0 {
             return SparseVector::new();
         }
-        SparseVector {
-            entries: self.entries.iter().map(|&(id, w)| (id, w * factor)).collect(),
-        }
+        SparseVector { entries: self.entries.iter().map(|&(id, w)| (id, w * factor)).collect() }
     }
 
     /// Adds `factor * other` into `self`.

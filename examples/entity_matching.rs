@@ -20,16 +20,11 @@ fn main() {
     // perturbed titles.
     let items = generator.generate_n_for_type(books, 1_500);
     let corpus = synthesize_duplicates(&items, 0.4, 56);
-    println!(
-        "{} records, {} true duplicate pairs",
-        corpus.records.len(),
-        corpus.truth.len()
-    );
+    println!("{} records, {} true duplicate pairs", corpus.records.len(), corpus.truth.len());
     let sample = corpus.truth.iter().next().expect("has duplicates");
     println!(
         "example duplicate pair:\n  a: {:?}\n  b: {:?}\n",
-        corpus.records[sample.0 as usize].title,
-        corpus.records[sample.1 as usize].title
+        corpus.records[sample.0 as usize].title, corpus.records[sample.1 as usize].title
     );
 
     // The paper's rule, printed the way the paper writes it.

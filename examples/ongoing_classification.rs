@@ -24,7 +24,11 @@ fn main() {
     for id in taxonomy.ids() {
         let def = taxonomy.def(id);
         for head in &def.heads {
-            rules.push_str(&format!("{}s? -> {}\n", rulekit::regex::escape(&head.to_lowercase()), def.name));
+            rules.push_str(&format!(
+                "{}s? -> {}\n",
+                rulekit::regex::escape(&head.to_lowercase()),
+                def.name
+            ));
         }
     }
     chimera.add_rules(&rules).expect("rules parse");
@@ -41,7 +45,11 @@ fn main() {
             seed: 3,
             min_batch: 300,
             max_batch: 900,
-            drift: vec![DriftEvent::NovelVendor { at_batch: 3, alt_head_prob: 1.0, types: vec![sofas] }],
+            drift: vec![DriftEvent::NovelVendor {
+                at_batch: 3,
+                alt_head_prob: 1.0,
+                types: vec![sofas],
+            }],
         },
     );
     let mut crowd = CrowdSim::new(CrowdConfig::default());
@@ -60,11 +68,7 @@ fn main() {
             100.0 * report.estimate.precision(),
             100.0 * report.oracle.precision(),
             100.0 * report.oracle.recall(),
-            chimera
-                .suppressed_types()
-                .iter()
-                .map(|t| taxonomy.name(*t))
-                .collect::<Vec<_>>(),
+            chimera.suppressed_types().iter().map(|t| taxonomy.name(*t)).collect::<Vec<_>>(),
         );
         // After the drift batch the Analysis stage has written 'couch' rules;
         // restore the suppressed type once patched.

@@ -20,7 +20,7 @@ fn main() {
     // Years of accumulated rules from multiple analysts.
     for line in [
         "jeans? -> jeans",
-        "denim.*jeans? -> jeans",            // two analysts, two eras (§4)
+        "denim.*jeans? -> jeans", // two analysts, two eras (§4)
         "(abrasive|sand(er|ing))[ -](wheels?|discs?) -> abrasive wheels & discs",
         "abrasive.*(wheels?|discs?) -> abrasive wheels & discs",
         "rings? -> rings",
@@ -60,14 +60,13 @@ fn main() {
     let mut tracker = ImpactTracker::new(50);
     for item in &items {
         for rule in &rules {
-            if rule.matches(&item.product)
-                && tracker.record_touch(rule.id) {
-                    println!(
-                        "  alert: un-evaluated rule {} became impactful ({} touches)",
-                        repo.get(rule.id).unwrap().condition,
-                        tracker.touches(rule.id)
-                    );
-                }
+            if rule.matches(&item.product) && tracker.record_touch(rule.id) {
+                println!(
+                    "  alert: un-evaluated rule {} became impactful ({} touches)",
+                    repo.get(rule.id).unwrap().condition,
+                    tracker.touches(rule.id)
+                );
+            }
         }
     }
 

@@ -50,7 +50,11 @@ fn main() {
     // Install as a rule-based module and classify fresh items with it alone.
     let repo = RuleRepository::new();
     for rule in &report.rules {
-        let meta = RuleMeta { provenance: Provenance::Mined, confidence: rule.confidence, ..Default::default() };
+        let meta = RuleMeta {
+            provenance: Provenance::Mined,
+            confidence: rule.confidence,
+            ..Default::default()
+        };
         repo.add(rule.to_spec(&taxonomy), meta);
     }
     let rules = repo.enabled_snapshot();

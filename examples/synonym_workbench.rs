@@ -19,12 +19,7 @@ fn main() {
         .into_iter()
         .map(|i| i.product.title.to_lowercase())
         .collect();
-    titles.extend(
-        generator
-            .generate(1500)
-            .into_iter()
-            .map(|i| i.product.title.to_lowercase()),
-    );
+    titles.extend(generator.generate(1500).into_iter().map(|i| i.product.title.to_lowercase()));
 
     // The analyst's rule under development (§5.1's running example shape).
     let input = r"(shaw | oriental | \syn) rugs?";
@@ -53,6 +48,9 @@ fn main() {
 
     println!("\nafter {} iteration(s), {} candidates judged:", outcome.iterations, outcome.judged);
     println!("  accepted: {:?}", outcome.accepted);
-    println!("  analyst time: {:.1} minutes (the paper: minutes instead of hours)", analyst.minutes_spent());
+    println!(
+        "  analyst time: {:.1} minutes (the paper: minutes instead of hours)",
+        analyst.minutes_spent()
+    );
     println!("\nexpanded rule:\n  {} -> area rugs", outcome.expanded_pattern);
 }

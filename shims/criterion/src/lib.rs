@@ -1,0 +1,299 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides real wall-clock measurement (warm-up, timed iterations, mean /
+//! min / max per iteration) without criterion's statistical machinery —
+//! enough for the repo's benches to run, print comparable numbers, and act
+//! as perf baselines, while building with no network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of measured samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for measurement.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.clone(), &id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.clone(), throughput: None, _parent: self }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing config and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config = self.config.clone().sample_size(n);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config = self.config.clone().measurement_time(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one_with_throughput(self.config.clone(), &full, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one_with_throughput(self.config.clone(), &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens per-bench; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Hands the measurement loop to the benchmark closure.
+pub struct Bencher {
+    config: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        // Measurement: up to `sample_size` samples within the time budget,
+        // always at least one.
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: Criterion, id: &str, f: F) {
+    run_one_with_throughput(config, id, None, f)
+}
+
+fn run_one_with_throughput<F: FnMut(&mut Bencher)>(
+    config: Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { config, samples: Vec::new() };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<48} (no samples: routine never called b.iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let median = samples[samples.len() / 2];
+    let line = format!(
+        "{id:<48} mean {:>12} median {:>12} min {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        fmt_duration(samples[0]),
+        samples.len(),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("{line}  [{rate:.0} elem/s]");
+        }
+        Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+            let rate = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            println!("{line}  [{rate:.1} MiB/s]");
+        }
+        _ => println!("{line}"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+/// Declares a group of benchmark functions, with optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &vec![1u64, 2, 3, 4], |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+}

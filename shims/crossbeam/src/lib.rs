@@ -1,0 +1,92 @@
+//! Offline stand-in for `crossbeam::scope`, implemented on
+//! `std::thread::scope` (stable since Rust 1.63). Only the scoped-spawn
+//! surface rulekit uses is provided: `crossbeam::scope(|s| { s.spawn(|_|
+//! …) })` with crossbeam's `Result`-returning outer call.
+
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+
+    /// A scope handle; crossbeam passes it to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// (crossbeam's signature), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before
+    /// returning. Returns `Err` if the closure (or an unjoined child)
+    /// panicked, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u32, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u32>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_is_catchable_at_join() {
+        let result = crate::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker died") });
+            h.join()
+        });
+        // Outer scope succeeded; the join result carries the panic.
+        assert!(result.unwrap().is_err());
+    }
+
+    #[test]
+    fn unjoined_child_panic_fails_scope() {
+        let result = crate::scope(|s| {
+            s.spawn(|_| panic!("dropped handle"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Collection strategies (`prop::collection::{vec, hash_set}`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// A size specification: an exact count or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.max <= self.min + 1 {
+            self.min
+        } else {
+            self.min + rng.below(self.max - self.min)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+/// `Vec` strategy: `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `HashSet` strategy: aims for `size` distinct elements (best effort when
+/// the element domain is smaller than the requested size, like upstream).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// Output of [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq + 'static,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let want = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(want);
+        // Bounded attempts: small domains can't fill large sets.
+        for _ in 0..want.saturating_mul(4) {
+            if out.len() >= want {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("collection-shim", 1)
+    }
+
+    #[test]
+    fn vec_sizes_and_elements() {
+        let mut r = rng();
+        let strat = vec(0u32..5, 2..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = vec(0u32..5, 82usize);
+        assert_eq!(exact.generate(&mut r).len(), 82);
+    }
+
+    #[test]
+    fn hash_set_distinct_best_effort() {
+        let mut r = rng();
+        let strat = hash_set(0u32..1000, 5..6);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut r).len(), 5);
+        }
+        // Domain of 2 can never produce 5 distinct values; must not hang.
+        let tiny = hash_set(0u32..2, 5..6);
+        assert!(tiny.generate(&mut r).len() <= 2);
+    }
+}

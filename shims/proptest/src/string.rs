@@ -1,0 +1,166 @@
+//! Generation from the string-pattern subset rulekit's tests use:
+//! sequences of literal characters and `[…]` character classes, each
+//! optionally followed by `{n}` or `{m,n}` counted repetition. Classes
+//! support `a-z` ranges and `\x` escapes. Anything else panics loudly so a
+//! future test can't silently get wrong data.
+
+use crate::test_runner::TestRng;
+
+enum Unit {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Parsed {
+    unit: Unit,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Parsed> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let (c, escaped) = if chars[i] == '\\' {
+                        i += 1;
+                        assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+                        (chars[i], true)
+                    } else {
+                        (chars[i], false)
+                    };
+                    // Range `a-z` (a literal '-' at the start/end of the
+                    // class, or escaped, falls through to the single-char
+                    // case below).
+                    if !escaped && i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']'
+                    {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "inverted class range in pattern {pattern:?}");
+                        for v in c..=hi {
+                            set.push(v);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                Unit::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                Unit::Literal(c)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$'),
+                    "unsupported regex feature {c:?} in pattern {pattern:?} \
+                     (the proptest shim handles literals, classes and counted repeats)"
+                );
+                i += 1;
+                Unit::Literal(c)
+            }
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repeat in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat lower bound"),
+                    n.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repeat bounds in pattern {pattern:?}");
+        units.push(Parsed { unit, min, max });
+    }
+    units
+}
+
+/// Draws one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for p in parse(pattern) {
+        let count = p.min + if p.max > p.min { rng.below(p.max - p.min + 1) } else { 0 };
+        for _ in 0..count {
+            match &p.unit {
+                Unit::Literal(c) => out.push(*c),
+                Unit::Class(set) => out.push(set[rng.below(set.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-shim", 0)
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z0-9 '\\-\\.,!]{0,60}", &mut r);
+            assert!(s.len() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric()
+                    || matches!(c, ' ' | '\'' | '-' | '.' | ',' | '!')));
+        }
+    }
+
+    #[test]
+    fn counted_repeats_respect_bounds() {
+        let mut r = rng();
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ab]{2,5}", &mut r);
+            assert!((2..=5).contains(&s.len()));
+            lengths.insert(s.len());
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+        assert!(lengths.len() > 1, "repeat count varies");
+    }
+
+    #[test]
+    fn metacharacters_in_class_are_literal() {
+        let mut r = rng();
+        let s = generate_from_pattern("[a-z .*?(){}\\[\\]|+^$\\\\]{10,10}", &mut r);
+        assert_eq!(s.chars().count(), 10);
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = rng();
+        assert_eq!(generate_from_pattern("abc", &mut r), "abc");
+        assert_eq!(generate_from_pattern("x{3}", &mut r), "xxx");
+    }
+}

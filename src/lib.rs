@@ -23,6 +23,7 @@
 //! | [`eval`] | §4 rule-quality evaluation methods with crowd-cost accounting |
 //! | [`maint`] | Subsumption, overlap, imprecision, drift monitoring |
 //! | [`chimera`] | The Figure 2 pipeline end to end, with QA loop and scale-down |
+//! | [`serve`] | Sharded serving tier: hot snapshot swaps, backpressure, degradation, metrics |
 //! | [`em`] | §6 entity matching: predicates, semantics, blocking |
 //! | [`ie`] | §6 information extraction: dictionaries, regex extractors |
 //!
@@ -56,4 +57,5 @@ pub use rulekit_ie as ie;
 pub use rulekit_learn as learn;
 pub use rulekit_maint as maint;
 pub use rulekit_regex as regex;
+pub use rulekit_serve as serve;
 pub use rulekit_text as text;

@@ -70,7 +70,11 @@ fn drift_is_patched_and_recovery_survives_restore() {
             seed: 5,
             min_batch: 400,
             max_batch: 600,
-            drift: vec![DriftEvent::NovelVendor { at_batch: 1, alt_head_prob: 1.0, types: vec![sofas] }],
+            drift: vec![DriftEvent::NovelVendor {
+                at_batch: 1,
+                alt_head_prob: 1.0,
+                types: vec![sofas],
+            }],
         },
     );
     let mut crowd = CrowdSim::new(CrowdConfig { seed: 10, ..Default::default() });
@@ -131,10 +135,7 @@ fn scale_down_is_immediate_and_reversible() {
 
     let items: Vec<_> = (0..20).map(|_| generator.generate_for_type(rugs)).collect();
     let classified = |c: &Chimera| {
-        items
-            .iter()
-            .filter(|i| c.classify(&i.product).type_id() == Some(rugs))
-            .count()
+        items.iter().filter(|i| c.classify(&i.product).type_id() == Some(rugs)).count()
     };
     assert!(classified(&chimera) >= 18);
     chimera.scale_down(rugs, "integration test");

@@ -1,7 +1,9 @@
 //! Integration: the full rule lifecycle across crates — generate (§5.2),
 //! evaluate (§4), maintain (§4) — against one shared corpus.
 
-use rulekit::core::{IndexedExecutor, Provenance, RuleMeta, RuleParser, RuleRepository, TitleIndex};
+use rulekit::core::{
+    IndexedExecutor, Provenance, RuleMeta, RuleParser, RuleRepository, TitleIndex,
+};
 use rulekit::crowd::{CrowdConfig, CrowdSim};
 use rulekit::data::{CatalogGenerator, LabeledCorpus, Taxonomy};
 use rulekit::eval::{compute_coverages, per_rule_eval};
@@ -30,7 +32,11 @@ fn mined_rules_survive_evaluation_and_maintenance() {
     // Install.
     let repo = RuleRepository::new();
     for r in &report.rules {
-        let meta = RuleMeta { provenance: Provenance::Mined, confidence: r.confidence, ..Default::default() };
+        let meta = RuleMeta {
+            provenance: Provenance::Mined,
+            confidence: r.confidence,
+            ..Default::default()
+        };
         repo.add(r.to_spec(&taxonomy), meta);
     }
     let rules = repo.enabled_snapshot();
@@ -43,12 +49,8 @@ fn mined_rules_survive_evaluation_and_maintenance() {
 
     // Zero-training-error rules should mostly hold up out of sample: the
     // median estimated precision stays high.
-    let mut precisions: Vec<f64> = eval
-        .estimates
-        .values()
-        .filter(|e| e.samples >= 5)
-        .map(|e| e.precision())
-        .collect();
+    let mut precisions: Vec<f64> =
+        eval.estimates.values().filter(|e| e.samples >= 5).map(|e| e.precision()).collect();
     precisions.sort_by(|a, b| a.partial_cmp(b).unwrap());
     assert!(!precisions.is_empty());
     let median = precisions[precisions.len() / 2];
@@ -104,7 +106,10 @@ fn impact_tracker_flags_rules_that_grow_hot() {
     let taxonomy = Taxonomy::builtin();
     let parser = RuleParser::new(taxonomy.clone());
     let repo = RuleRepository::new();
-    let tail_rule = repo.add(parser.parse_rule("zirconia fiber -> abrasive wheels & discs").unwrap(), RuleMeta::default());
+    let tail_rule = repo.add(
+        parser.parse_rule("zirconia fiber -> abrasive wheels & discs").unwrap(),
+        RuleMeta::default(),
+    );
     let rules = repo.enabled_snapshot();
 
     let mut generator = CatalogGenerator::with_seed(taxonomy.clone(), 321);
