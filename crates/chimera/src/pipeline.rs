@@ -144,6 +144,13 @@ impl Chimera {
         &self.taxonomy
     }
 
+    /// The DSL parser, with whatever dictionaries have been registered —
+    /// cloneable, so a durability layer can re-parse persisted rule sources
+    /// with the same name resolution this pipeline uses.
+    pub fn parser(&self) -> &RuleParser {
+        &self.parser
+    }
+
     /// Access to the DSL parser (to register dictionaries).
     pub fn parser_mut(&mut self) -> &mut RuleParser {
         &mut self.parser

@@ -27,7 +27,7 @@ pub use engine::{
     RuleExecutor, WorkerPanic,
 };
 pub use properties::{audit_order_independence, OrderAudit};
-pub use repository::{RepositoryStats, Revision, RuleRepository};
+pub use repository::{RepositoryStats, Revision, RuleRepository, DEFAULT_LOG_CAPACITY};
 pub use rule::{
     CompareOp, Condition, Dictionary, Provenance, Rule, RuleAction, RuleId, RuleMeta, RuleStatus,
 };

@@ -11,8 +11,13 @@ use crate::dsl::RuleSpec;
 use crate::rule::{Rule, RuleAction, RuleId, RuleMeta, RuleStatus};
 use parking_lot::RwLock;
 use rulekit_data::TypeId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Default bound on the in-memory revision ring. The ring is an
+/// operational convenience (recent-change introspection); the durable
+/// audit trail under rule churn is `rulekit-store`'s write-ahead log.
+pub const DEFAULT_LOG_CAPACITY: usize = 4096;
 
 /// One entry in the revision log.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,7 +51,7 @@ pub enum Revision {
 }
 
 /// Thread-safe rule store with a revision log.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RuleRepository {
     inner: RwLock<Inner>,
     /// Change notification: `published` mirrors the revision after every
@@ -56,18 +61,69 @@ pub struct RuleRepository {
     changed: std::sync::Condvar,
 }
 
-#[derive(Debug, Default)]
+impl Default for RuleRepository {
+    fn default() -> Self {
+        RuleRepository {
+            inner: RwLock::new(Inner {
+                rules: HashMap::new(),
+                order: Vec::new(),
+                next_id: 0,
+                revision: 0,
+                log: VecDeque::new(),
+                log_capacity: DEFAULT_LOG_CAPACITY,
+            }),
+            published: std::sync::Mutex::new(0),
+            changed: std::sync::Condvar::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
 struct Inner {
     rules: HashMap<RuleId, Rule>,
     order: Vec<RuleId>,
     next_id: u64,
-    log: Vec<Revision>,
+    /// Monotonic mutation counter. Decoupled from `log.len()`: the ring
+    /// below keeps only the most recent revisions in memory.
+    revision: u64,
+    log: VecDeque<Revision>,
+    log_capacity: usize,
+}
+
+impl Inner {
+    /// Advances the revision counter and records the entry in the bounded
+    /// ring, evicting the oldest entry once the ring is full.
+    fn record(&mut self, rev: Revision) -> u64 {
+        self.revision += 1;
+        if self.log_capacity > 0 {
+            while self.log.len() >= self.log_capacity {
+                self.log.pop_front();
+            }
+            self.log.push_back(rev);
+        }
+        self.revision
+    }
 }
 
 impl RuleRepository {
-    /// An empty repository.
+    /// An empty repository with the default revision-ring capacity.
     pub fn new() -> Arc<RuleRepository> {
         Arc::new(RuleRepository::default())
+    }
+
+    /// An empty repository keeping at most `capacity` recent revisions in
+    /// memory (`0` disables in-memory history entirely). Under sustained
+    /// rule churn the ring stays bounded; long-term history lives in the
+    /// durable write-ahead log (`rulekit-store`).
+    pub fn with_log_capacity(capacity: usize) -> Arc<RuleRepository> {
+        let repo = RuleRepository::default();
+        repo.inner.write().log_capacity = capacity;
+        Arc::new(repo)
+    }
+
+    /// The configured revision-ring capacity.
+    pub fn log_capacity(&self) -> usize {
+        self.inner.read().log_capacity
     }
 
     /// Publishes the latest revision to watchers. Always called *after* the
@@ -113,8 +169,8 @@ impl RuleRepository {
             let mut inner = self.inner.write();
             let id = RuleId(inner.next_id);
             inner.next_id += 1;
-            meta.added_at = inner.log.len() as u64;
-            inner.log.push(Revision::Added { rule_id: id, source: spec.source.clone() });
+            meta.added_at = inner.revision;
+            inner.record(Revision::Added { rule_id: id, source: spec.source.clone() });
             inner.order.push(id);
             inner.rules.insert(
                 id,
@@ -152,7 +208,7 @@ impl RuleRepository {
                 return false;
             }
             rule.meta.status = RuleStatus::Disabled;
-            inner.log.push(Revision::Disabled { rule_id: id, reason: reason.into() });
+            inner.record(Revision::Disabled { rule_id: id, reason: reason.into() });
             true
         };
         self.notify_change();
@@ -168,7 +224,7 @@ impl RuleRepository {
                 return false;
             }
             rule.meta.status = RuleStatus::Enabled;
-            inner.log.push(Revision::Enabled { rule_id: id });
+            inner.record(Revision::Enabled { rule_id: id });
             true
         };
         self.notify_change();
@@ -183,7 +239,7 @@ impl RuleRepository {
                 return false;
             }
             inner.order.retain(|&r| r != id);
-            inner.log.push(Revision::Removed { rule_id: id, reason: reason.into() });
+            inner.record(Revision::Removed { rule_id: id, reason: reason.into() });
             true
         };
         self.notify_change();
@@ -248,7 +304,7 @@ impl RuleRepository {
     /// pair could interleave with a writer).
     pub fn versioned_snapshot(&self) -> (u64, Vec<Rule>) {
         let inner = self.inner.read();
-        let revision = inner.log.len() as u64;
+        let revision = inner.revision;
         let rules = inner
             .order
             .iter()
@@ -287,9 +343,12 @@ impl RuleRepository {
         stats
     }
 
-    /// The full revision log.
+    /// The most recent revisions, oldest first — at most
+    /// [`RuleRepository::log_capacity`] entries. Older history is evicted
+    /// from memory; the durable WAL (when the repository is wrapped by
+    /// `rulekit-store`) retains the complete audit trail.
     pub fn history(&self) -> Vec<Revision> {
-        self.inner.read().log.clone()
+        self.inner.read().log.iter().cloned().collect()
     }
 
     /// Renders the repository back to DSL text, one rule per line, with
@@ -314,7 +373,32 @@ impl RuleRepository {
     /// Monotonic revision number (increments on every change) — executors
     /// cache snapshots keyed on this.
     pub fn revision(&self) -> u64 {
-        self.inner.read().log.len() as u64
+        self.inner.read().revision
+    }
+
+    /// The id the next [`RuleRepository::add`] will assign. Used by the
+    /// durability layer to stamp WAL records before applying a mutation;
+    /// only meaningful while writers are externally serialized.
+    pub fn next_rule_id(&self) -> u64 {
+        self.inner.read().next_id
+    }
+
+    /// Replaces the repository's entire contents with recovered durable
+    /// state: `rules` (in order, with their original ids and metadata), the
+    /// id counter, and the revision counter as of the recovered state. The
+    /// in-memory revision ring restarts empty — pre-crash history lives in
+    /// the WAL. Watchers blocked in [`RuleRepository::wait_for_change`] are
+    /// woken.
+    pub fn restore(&self, rules: Vec<Rule>, next_id: u64, revision: u64) {
+        {
+            let mut inner = self.inner.write();
+            inner.order = rules.iter().map(|r| r.id).collect();
+            inner.rules = rules.into_iter().map(|r| (r.id, r)).collect();
+            inner.next_id = next_id;
+            inner.revision = revision;
+            inner.log.clear();
+        }
+        self.notify_change();
     }
 
     /// Number of rules (any status).
@@ -419,6 +503,51 @@ mod tests {
         assert!(matches!(log[1], Revision::Disabled { .. }));
         assert!(matches!(log[2], Revision::Enabled { .. }));
         assert!(matches!(log[3], Revision::Removed { .. }));
+    }
+
+    #[test]
+    fn revision_ring_is_bounded_but_revision_is_monotonic() {
+        let tax = Taxonomy::builtin();
+        let parser = RuleParser::new(tax);
+        let repo = RuleRepository::with_log_capacity(4);
+        assert_eq!(repo.log_capacity(), 4);
+        let id = repo.add(parser.parse_rule("rings? -> rings").unwrap(), RuleMeta::default());
+        for _ in 0..6 {
+            repo.disable(id, "churn");
+            repo.enable(id);
+        }
+        assert_eq!(repo.revision(), 13, "1 add + 12 toggles");
+        let log = repo.history();
+        assert_eq!(log.len(), 4, "ring keeps only the most recent entries");
+        // The ring holds the *latest* entries: …, Disabled, Enabled.
+        assert!(matches!(log.last(), Some(Revision::Enabled { .. })));
+        // Zero capacity disables in-memory history without touching revisions.
+        let bare = RuleRepository::with_log_capacity(0);
+        let parser2 = RuleParser::new(Taxonomy::builtin());
+        bare.add(parser2.parse_rule("rings? -> rings").unwrap(), RuleMeta::default());
+        assert_eq!(bare.revision(), 1);
+        assert!(bare.history().is_empty());
+    }
+
+    #[test]
+    fn restore_reinstates_ids_revision_and_contents() {
+        let (repo, ids, _) = repo_with(&["rings? -> rings", "rugs? -> area rugs"]);
+        repo.disable(ids[1], "drift");
+        let rules = repo.full_snapshot();
+        let (next_id, revision) = (repo.next_rule_id(), repo.revision());
+
+        let fresh = RuleRepository::new();
+        fresh.restore(rules, next_id, revision);
+        assert_eq!(fresh.revision(), revision);
+        assert_eq!(fresh.next_rule_id(), next_id);
+        assert_eq!(fresh.len(), 2);
+        assert!(!fresh.get(ids[1]).unwrap().is_enabled());
+        assert!(fresh.history().is_empty(), "restored history starts empty");
+        // Ids keep advancing from the restored counter.
+        let parser = RuleParser::new(Taxonomy::builtin());
+        let new_id = fresh.add(parser.parse_rule("sofas? -> sofas").unwrap(), RuleMeta::default());
+        assert_eq!(new_id, RuleId(next_id));
+        assert_eq!(fresh.revision(), revision + 1);
     }
 
     #[test]

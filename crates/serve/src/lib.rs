@@ -27,6 +27,15 @@
 //! - **Built-in metrics** ([`ServiceMetrics`]): lock-free counters and a
 //!   log-bucketed latency histogram — p50/p99, throughput inputs, queue
 //!   depth, swap counts, candidates considered.
+//! - **Durability** ([`DurableProvider`]): the main rule store can run on
+//!   `rulekit-store`'s write-ahead log + checkpoints. A restarted service
+//!   recovers its full rule set and rebuilds a compiled snapshot *before*
+//!   admitting traffic; rule churn through the durable handle is persisted
+//!   before it is acknowledged.
+//! - **Explicit shutdown**: stopping the service completes every queued
+//!   request with [`ServeError::ShuttingDown`] (counted in
+//!   `shutdown_shed`) — callers blocked on a [`ResponseHandle`] never
+//!   hang, backed by a fulfill-on-drop guarantee in the response channel.
 //!
 //! [`PipelineSnapshot`]: rulekit_chimera::PipelineSnapshot
 
@@ -39,7 +48,7 @@ pub mod service;
 
 pub use classifier::RequestClassifier;
 pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics};
-pub use provider::{ChimeraProvider, SnapshotProvider, StaticProvider};
+pub use provider::{ChimeraProvider, DurableProvider, SnapshotProvider, StaticProvider};
 pub use queue::BoundedQueue;
 pub use response::{Admission, ClassifyOutcome, ResponseHandle, ServeError};
 pub use service::{RuleService, ServeConfig};

@@ -85,6 +85,11 @@ pub struct ServiceMetrics {
     pub overloaded: AtomicU64,
     /// Admitted requests shed because their deadline passed while queued.
     pub deadline_shed: AtomicU64,
+    /// Admitted requests completed with [`ServeError::ShuttingDown`]
+    /// because the service stopped before a worker classified them.
+    ///
+    /// [`ServeError::ShuttingDown`]: crate::response::ServeError::ShuttingDown
+    pub shutdown_shed: AtomicU64,
     /// Requests answered by the degraded (rules-only) path.
     pub degraded_served: AtomicU64,
     /// Requests whose classification panicked (contained per-request).
@@ -116,6 +121,7 @@ impl ServiceMetrics {
             completed,
             overloaded: self.overloaded.load(Ordering::Relaxed),
             deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            shutdown_shed: self.shutdown_shed.load(Ordering::Relaxed),
             degraded_served: self.degraded_served.load(Ordering::Relaxed),
             classifier_panics: self.classifier_panics.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
@@ -140,6 +146,7 @@ pub struct MetricsReport {
     pub completed: u64,
     pub overloaded: u64,
     pub deadline_shed: u64,
+    pub shutdown_shed: u64,
     pub degraded_served: u64,
     pub classifier_panics: u64,
     pub swaps: u64,

@@ -62,6 +62,76 @@ impl SnapshotProvider for ChimeraProvider {
     }
 }
 
+/// A [`ChimeraProvider`] whose main rule store is durable: rules recover
+/// from checkpoint + write-ahead log *before* the first snapshot is built,
+/// so a restarted service re-admits traffic with its full pre-crash rule
+/// set, and every subsequent mutation made through
+/// [`DurableProvider::store`] is persisted before it is acknowledged.
+///
+/// Construction order is the durability contract: [`DurableProvider::open`]
+/// runs recovery into `chimera.rules` first; [`crate::RuleService::start`]
+/// then builds the initial [`PipelineSnapshot`] synchronously — traffic can
+/// never observe an empty post-restart rule set.
+///
+/// [`PipelineSnapshot`]: rulekit_chimera::PipelineSnapshot
+pub struct DurableProvider {
+    inner: ChimeraProvider,
+    store: Arc<rulekit_store::DurableRepository>,
+}
+
+impl DurableProvider {
+    /// Recovers durable state from `storage` into `chimera`'s main rule
+    /// store, then wraps the pipeline as a snapshot provider. Uses the
+    /// pipeline's own parser, so dictionary-based rules resolve exactly as
+    /// they did when first added (register dictionaries before calling).
+    pub fn open(
+        chimera: Arc<Chimera>,
+        storage: Arc<dyn rulekit_store::Storage>,
+        config: rulekit_store::DurableConfig,
+    ) -> Result<DurableProvider, rulekit_store::StoreError> {
+        let parser = chimera.parser().clone();
+        let store = Arc::new(rulekit_store::DurableRepository::open_into(
+            chimera.rules.clone(),
+            storage,
+            parser,
+            config,
+        )?);
+        Ok(DurableProvider { inner: ChimeraProvider::new(chimera), store })
+    }
+
+    /// The durable mutation handle. Rule churn during serving must go
+    /// through this (not the raw repository) to be crash-safe; the
+    /// refresher picks up changes exactly as with a plain
+    /// [`ChimeraProvider`].
+    pub fn store(&self) -> &Arc<rulekit_store::DurableRepository> {
+        &self.store
+    }
+
+    /// The wrapped pipeline.
+    pub fn chimera(&self) -> &Arc<Chimera> {
+        self.inner.chimera()
+    }
+
+    /// What recovery found when the provider opened.
+    pub fn recovery(&self) -> &rulekit_store::RecoveryReport {
+        self.store.recovery()
+    }
+}
+
+impl SnapshotProvider for DurableProvider {
+    fn build(&self) -> Arc<dyn RequestClassifier> {
+        self.inner.build()
+    }
+
+    fn revision(&self) -> u64 {
+        self.inner.revision()
+    }
+
+    fn wait_for_change(&self, last_seen: u64, timeout: Duration) -> u64 {
+        self.inner.wait_for_change(last_seen, timeout)
+    }
+}
+
 /// A provider over a fixed classifier — no churn, no change signal. Useful
 /// for tests and benchmarks that want full control of the snapshot.
 pub struct StaticProvider {

@@ -55,14 +55,35 @@ struct Shared {
 }
 
 /// Producer half of the one-shot response channel (held by the queue/worker).
+///
+/// Liveness guarantee: if the slot is dropped without being fulfilled (a
+/// request discarded at shutdown, a queue dropped mid-flight, a worker path
+/// that forgot to answer), `Drop` delivers [`ServeError::ShuttingDown`] —
+/// a caller blocked on the handle can never hang forever.
 pub(crate) struct ResponseSlot {
     shared: Arc<Shared>,
 }
 
 impl ResponseSlot {
     pub(crate) fn fulfill(self, result: SlotResult) {
-        *self.shared.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
-        self.shared.ready.notify_all();
+        self.set(result);
+    }
+
+    /// First write wins; later writes (including the `Drop` fallback after
+    /// a normal `fulfill`) are no-ops.
+    fn set(&self, result: SlotResult) {
+        let mut guard = self.shared.result.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(result);
+            drop(guard);
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl Drop for ResponseSlot {
+    fn drop(&mut self) {
+        self.set(Err(ServeError::ShuttingDown));
     }
 }
 
@@ -75,10 +96,12 @@ impl ResponseHandle {
     /// Blocks until the worker delivers the outcome.
     pub fn wait(self) -> SlotResult {
         let mut guard = self.shared.result.lock().unwrap_or_else(|e| e.into_inner());
-        while guard.is_none() {
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
             guard = self.shared.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
-        guard.take().expect("checked above")
     }
 
     /// Waits up to `timeout`; `None` means the result is not ready yet.
@@ -134,6 +157,23 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         slot.fulfill(Err(ServeError::ShuttingDown));
         assert_eq!(h.join().unwrap(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn dropped_slot_resolves_waiters_with_shutdown() {
+        let (slot, handle) = response_channel();
+        let h = std::thread::spawn(move || handle.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        drop(slot); // never fulfilled — e.g. discarded during shutdown
+        assert_eq!(h.join().unwrap(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn fulfill_wins_over_drop_fallback() {
+        let (slot, handle) = response_channel();
+        slot.fulfill(Err(ServeError::DeadlineExceeded));
+        // Drop ran right after fulfill; the first write must stand.
+        assert_eq!(handle.wait(), Err(ServeError::DeadlineExceeded));
     }
 
     #[test]

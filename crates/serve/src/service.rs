@@ -94,8 +94,9 @@ impl Inner {
     }
 }
 
-/// A running classification service. Dropping it shuts down gracefully
-/// (queued requests are drained, workers joined).
+/// A running classification service. Dropping it shuts down gracefully:
+/// queued requests are completed with an explicit
+/// [`ServeError::ShuttingDown`] outcome and all threads are joined.
 pub struct RuleService {
     inner: Arc<Inner>,
     provider: Arc<dyn SnapshotProvider>,
@@ -216,8 +217,12 @@ impl RuleService {
         self.inner.metrics.report()
     }
 
-    /// Stops admission, drains queued requests, and joins all threads.
-    /// Idempotent; also invoked by `Drop`.
+    /// Stops admission and completes every queued request with an explicit
+    /// [`ServeError::ShuttingDown`] outcome (counted in `shutdown_shed`),
+    /// then joins all threads. No caller blocked on a handle is ever left
+    /// hanging: workers shed their remaining queue contents, and the
+    /// [`ResponseSlot`] drop guarantee backstops any request discarded on
+    /// an unexpected path. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         for q in &self.inner.queues {
@@ -269,6 +274,17 @@ fn worker_loop(inner: &Inner, shard: usize) {
         let depth = (inner.queued.fetch_sub(n, Ordering::Relaxed) - n).max(0) as usize;
         if depth <= inner.cfg.low_water {
             inner.degraded.store(false, Ordering::Relaxed);
+        }
+
+        // Shutdown: shed remaining queued work with an explicit outcome
+        // instead of classifying it — callers unblock immediately and can
+        // tell "shut down" from "served".
+        if inner.shutdown.load(Ordering::Acquire) {
+            for request in batch {
+                inner.metrics.shutdown_shed.fetch_add(1, Ordering::Relaxed);
+                request.slot.fulfill(Err(ServeError::ShuttingDown));
+            }
+            continue;
         }
 
         // Hot swap: adopt a newly published snapshot between micro-batches;

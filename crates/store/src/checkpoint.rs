@@ -1,0 +1,273 @@
+//! Checkpoints: a full serialization of the repository (every rule's DSL
+//! source plus its metadata — enabled *and* disabled, the durable analogue
+//! of `export_dsl`), written temp-file-first, fsynced, then atomically
+//! renamed into place. Files are named `ckpt-<revision>` so recovery can
+//! pick the newest; a corrupt candidate (torn temp promoted by a buggy
+//! filesystem, bit rot) is skipped in favour of the next-newest valid one.
+//!
+//! File layout: `[ crc32(payload): u32 ][ payload ]` with
+//! `payload = [ magic "RKCP1" ][ revision: u64 ][ next_id: u64 ]
+//! [ count: u32 ] [ count rule entries ]`.
+
+use crate::codec::{put_f64, put_str, put_u32, put_u64, Cursor};
+use crate::crc::crc32;
+use crate::storage::{Storage, StoreError};
+
+const MAGIC: &[u8; 5] = b"RKCP1";
+const PREFIX: &str = "ckpt-";
+const TMP_NAME: &str = "ckpt.tmp";
+
+/// One rule as persisted in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRule {
+    /// Repository-assigned id.
+    pub id: u64,
+    /// DSL source line (parseable; disabled state is in `status`, not a
+    /// comment prefix as in `export_dsl`).
+    pub source: String,
+    /// Author.
+    pub author: String,
+    /// Provenance wire byte (see [`crate::wal::encode_provenance`]).
+    pub provenance: u8,
+    /// Status wire byte (0 enabled / 1 disabled).
+    pub status: u8,
+    /// Confidence.
+    pub confidence: f64,
+    /// Revision the rule was added at.
+    pub added_at: u64,
+}
+
+/// A decoded checkpoint: the complete repository state at `revision`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointData {
+    /// Revision the checkpoint captures.
+    pub revision: u64,
+    /// The repository's id counter at that revision.
+    pub next_id: u64,
+    /// All rules, in repository order.
+    pub rules: Vec<CheckpointRule>,
+}
+
+impl CheckpointData {
+    /// Serializes to the on-disk image (CRC header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + self.rules.len() * 64);
+        payload.extend_from_slice(MAGIC);
+        put_u64(&mut payload, self.revision);
+        put_u64(&mut payload, self.next_id);
+        put_u32(&mut payload, self.rules.len() as u32);
+        for r in &self.rules {
+            put_u64(&mut payload, r.id);
+            put_str(&mut payload, &r.source);
+            put_str(&mut payload, &r.author);
+            payload.push(r.provenance);
+            payload.push(r.status);
+            put_f64(&mut payload, r.confidence);
+            put_u64(&mut payload, r.added_at);
+        }
+        let mut out = Vec::with_capacity(4 + payload.len());
+        put_u32(&mut out, crc32(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Validates and decodes an on-disk image.
+    pub fn decode(bytes: &[u8]) -> Result<CheckpointData, StoreError> {
+        if bytes.len() < 4 + MAGIC.len() {
+            return Err(StoreError::Corrupt("checkpoint too short".into()));
+        }
+        let crc = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let payload = &bytes[4..];
+        if crc32(payload) != crc {
+            return Err(StoreError::Corrupt("checkpoint checksum mismatch".into()));
+        }
+        if &payload[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::Corrupt("bad checkpoint magic".into()));
+        }
+        let mut c = Cursor::new(&payload[MAGIC.len()..]);
+        let revision = c.get_u64()?;
+        let next_id = c.get_u64()?;
+        let count = c.get_u32()? as usize;
+        let mut rules = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            rules.push(CheckpointRule {
+                id: c.get_u64()?,
+                source: c.get_str()?,
+                author: c.get_str()?,
+                provenance: c.get_u8()?,
+                status: c.get_u8()?,
+                confidence: c.get_f64()?,
+                added_at: c.get_u64()?,
+            });
+        }
+        if c.remaining() != 0 {
+            return Err(StoreError::Corrupt("trailing checkpoint bytes".into()));
+        }
+        Ok(CheckpointData { revision, next_id, rules })
+    }
+}
+
+/// The durable file name for a checkpoint at `revision` (zero-padded so
+/// lexicographic order is numeric order).
+pub fn checkpoint_name(revision: u64) -> String {
+    format!("{PREFIX}{revision:020}")
+}
+
+fn parse_name(name: &str) -> Option<u64> {
+    name.strip_prefix(PREFIX)?.parse().ok()
+}
+
+/// Writes a checkpoint durably: temp file → fsync → atomic rename. Returns
+/// the final name. A crash anywhere before the rename leaves only a temp
+/// file that recovery ignores and deletes.
+pub fn write(storage: &dyn Storage, data: &CheckpointData) -> Result<String, StoreError> {
+    storage.remove(TMP_NAME)?;
+    let bytes = data.encode();
+    storage.append(TMP_NAME, &bytes)?;
+    storage.sync(TMP_NAME)?;
+    let name = checkpoint_name(data.revision);
+    storage.rename(TMP_NAME, &name)?;
+    Ok(name)
+}
+
+/// Result of scanning storage for checkpoints.
+#[derive(Debug, Default)]
+pub struct CheckpointScan {
+    /// The newest checkpoint that validated, if any.
+    pub latest: Option<CheckpointData>,
+    /// Candidates that failed validation (skipped, then deleted by
+    /// housekeeping).
+    pub corrupt: Vec<String>,
+}
+
+/// Finds the newest *valid* checkpoint. Candidates are tried newest-first;
+/// corrupt ones are recorded and skipped — recovery only fails if storage
+/// itself errors.
+pub fn load_latest(storage: &dyn Storage) -> Result<CheckpointScan, StoreError> {
+    let mut revisions: Vec<(u64, String)> =
+        storage.list()?.into_iter().filter_map(|n| parse_name(&n).map(|rev| (rev, n))).collect();
+    revisions.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
+    let mut scan = CheckpointScan::default();
+    for (_, name) in revisions {
+        match storage.read(&name).map_err(StoreError::from).and_then(|b| CheckpointData::decode(&b))
+        {
+            Ok(data) if scan.latest.is_none() => scan.latest = Some(data),
+            Ok(_) => {} // older valid checkpoint — retained by housekeeping policy
+            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(_) => scan.corrupt.push(name),
+        }
+    }
+    Ok(scan)
+}
+
+/// Deletes temp leftovers, corrupt candidates, and all but the newest
+/// `keep` checkpoints. Best-effort: deletion failures are ignored (they
+/// re-run next time).
+pub fn housekeep(storage: &dyn Storage, corrupt: &[String], keep: usize) {
+    let _ = storage.remove(TMP_NAME);
+    for name in corrupt {
+        let _ = storage.remove(name);
+    }
+    let Ok(names) = storage.list() else { return };
+    let mut revisions: Vec<(u64, String)> =
+        names.into_iter().filter_map(|n| parse_name(&n).map(|rev| (rev, n))).collect();
+    revisions.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
+    for (_, name) in revisions.into_iter().skip(keep.max(1)) {
+        let _ = storage.remove(&name);
+    }
+}
+
+/// Summary of one compaction (for stats/experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Revision the last checkpoint captured.
+    pub revision: u64,
+    /// Rules in it.
+    pub rules: usize,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn sample(revision: u64) -> CheckpointData {
+        CheckpointData {
+            revision,
+            next_id: 7,
+            rules: vec![
+                CheckpointRule {
+                    id: 0,
+                    source: "rings? -> rings".into(),
+                    author: "analyst".into(),
+                    provenance: 0,
+                    status: 0,
+                    confidence: 1.0,
+                    added_at: 0,
+                },
+                CheckpointRule {
+                    id: 3,
+                    source: "rugs? -> area rugs".into(),
+                    author: "miner".into(),
+                    provenance: 2,
+                    status: 1,
+                    confidence: 0.8,
+                    added_at: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let data = sample(42);
+        assert_eq!(CheckpointData::decode(&data.encode()).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut bytes = sample(1).encode();
+        bytes[20] ^= 0x02;
+        assert!(matches!(CheckpointData::decode(&bytes), Err(StoreError::Corrupt(_))));
+        assert!(CheckpointData::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn write_then_load_latest() {
+        let storage = MemStorage::new();
+        write(&storage, &sample(5)).unwrap();
+        write(&storage, &sample(9)).unwrap();
+        let scan = load_latest(&storage).unwrap();
+        assert_eq!(scan.latest.unwrap().revision, 9);
+        assert!(scan.corrupt.is_empty());
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let storage = MemStorage::new();
+        write(&storage, &sample(5)).unwrap();
+        let newest = write(&storage, &sample(9)).unwrap();
+        // Bit-rot the newest checkpoint.
+        storage.flip_bit(&newest, 30);
+        let scan = load_latest(&storage).unwrap();
+        assert_eq!(scan.latest.unwrap().revision, 5, "falls back to older valid checkpoint");
+        assert_eq!(scan.corrupt, vec![newest.clone()]);
+        housekeep(&storage, &scan.corrupt, 2);
+        assert!(!storage.list().unwrap().contains(&newest));
+    }
+
+    #[test]
+    fn housekeep_prunes_old_checkpoints_and_tmp() {
+        let storage = MemStorage::new();
+        for rev in [3u64, 6, 9, 12] {
+            write(&storage, &sample(rev)).unwrap();
+        }
+        storage.append(TMP_NAME, b"partial").unwrap();
+        housekeep(&storage, &[], 2);
+        let mut names = storage.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec![checkpoint_name(9), checkpoint_name(12)]);
+    }
+}

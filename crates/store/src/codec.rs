@@ -1,0 +1,105 @@
+//! Minimal hand-rolled binary encoding shared by the WAL and checkpoint
+//! formats: little-endian fixed-width integers and u32-length-prefixed
+//! UTF-8 strings. No serde offline; the format is deliberately trivial so
+//! corruption handling stays auditable.
+
+use crate::storage::StoreError;
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over encoded bytes; every getter fails loudly on underrun so a
+/// truncated payload surfaces as [`StoreError::Corrupt`], never a panic.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt(format!(
+                "payload underrun: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_str(&mut self) -> Result<String, StoreError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("string field is not UTF-8".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f64(&mut buf, 0.25);
+        put_str(&mut buf, "rings? -> rings");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.get_u32().unwrap(), 7);
+        assert_eq!(c.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(c.get_f64().unwrap(), 0.25);
+        assert_eq!(c.get_str().unwrap(), "rings? -> rings");
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn underrun_is_an_error_not_a_panic() {
+        let mut c = Cursor::new(&[1, 2]);
+        assert!(c.get_u64().is_err());
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 100); // claims a 100-byte string, provides none
+        let mut c = Cursor::new(&buf);
+        assert!(c.get_str().is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! CRC-32 (ISO-HDLC polynomial, the zlib/`crc32fast` variant), computed
+//! with a lazily built 256-entry table. No external crates are available
+//! offline, and the WAL needs a checksum whose reference values are easy to
+//! verify against any other implementation.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `data` (init `0xFFFF_FFFF`, reflected, final xor) — identical
+/// output to zlib's `crc32`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from zlib's crc32().
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"rules are assets");
+        let mut data = *b"rules are assets";
+        data[3] ^= 0x01;
+        assert_ne!(a, crc32(&data));
+    }
+}

@@ -1,0 +1,401 @@
+//! The storage abstraction the WAL and checkpoints are built on: a flat
+//! namespace of named byte files supporting append, whole-file read,
+//! explicit fsync, truncate, and atomic rename — the minimal contract a
+//! crash-consistent log needs. Two backends: [`FileStorage`] over a real
+//! directory, and [`MemStorage`], a deterministic in-memory model whose
+//! `crash()` simulates kernel-page-cache loss for recovery fuzzing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed (possibly transiently, under fault
+    /// injection). The mutation it carried was *not* acknowledged.
+    Io(std::io::Error),
+    /// Persisted bytes failed validation (bad magic, impossible lengths,
+    /// checksum mismatch) somewhere recovery could not repair by
+    /// truncation.
+    Corrupt(String),
+    /// A recovered rule's DSL source no longer parses (e.g. a dictionary
+    /// rule whose dictionary was not re-registered before `open`).
+    Parse(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt durable state: {m}"),
+            StoreError::Parse(m) => write!(f, "recovered rule failed to parse: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A flat namespace of append-only-ish byte files. All methods take `&self`
+/// (backends synchronize internally); writers above this layer serialize
+/// mutations themselves.
+pub trait Storage: Send + Sync {
+    /// Appends `data` at the end of `name`, creating it if absent. A crash
+    /// or injected fault may persist any prefix of `data` (torn write);
+    /// callers must frame and checksum their records.
+    fn append(&self, name: &str, data: &[u8]) -> std::io::Result<()>;
+
+    /// Reads the entire contents of `name`. Missing file → `NotFound`.
+    fn read(&self, name: &str) -> std::io::Result<Vec<u8>>;
+
+    /// Forces previously appended bytes of `name` to durable media.
+    fn sync(&self, name: &str) -> std::io::Result<()>;
+
+    /// Truncates `name` to `len` bytes (recovery chops torn tails with
+    /// this). Truncating a missing file is an error.
+    fn truncate(&self, name: &str, len: u64) -> std::io::Result<()>;
+
+    /// Atomically replaces `to` with `from`. After return, `to` durably has
+    /// `from`'s (previously synced) contents and `from` is gone — the
+    /// publish step of write-temp-then-rename checkpointing.
+    fn rename(&self, from: &str, to: &str) -> std::io::Result<()>;
+
+    /// Deletes `name`. Deleting a missing file is *not* an error (idempotent
+    /// cleanup of temp files).
+    fn remove(&self, name: &str) -> std::io::Result<()>;
+
+    /// All file names present, in unspecified order.
+    fn list(&self) -> std::io::Result<Vec<String>>;
+
+    /// Current length of `name` in bytes, or `None` if absent.
+    fn len(&self, name: &str) -> std::io::Result<Option<u64>>;
+}
+
+// ---------------------------------------------------------------------------
+// File backend
+// ---------------------------------------------------------------------------
+
+/// [`Storage`] over a real directory. Append handles are cached so the WAL
+/// hot path pays one `write(2)` per record, not an open/close pair; any
+/// structural operation (truncate / rename / remove) drops the cached
+/// handle first.
+pub struct FileStorage {
+    dir: PathBuf,
+    appenders: Mutex<HashMap<String, File>>,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) `dir` as a storage root.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<FileStorage> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileStorage { dir, appenders: Mutex::new(HashMap::new()) })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn drop_appender(&self, name: &str) {
+        self.appenders.lock().unwrap_or_else(|e| e.into_inner()).remove(name);
+    }
+
+    /// Fsyncs the directory itself so renames/creates are durable. Best
+    /// effort: some platforms cannot open directories for sync.
+    fn sync_dir(&self) {
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+impl Storage for FileStorage {
+    fn append(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+        let mut appenders = self.appenders.lock().unwrap_or_else(|e| e.into_inner());
+        if !appenders.contains_key(name) {
+            let file = OpenOptions::new().create(true).append(true).open(self.path(name))?;
+            appenders.insert(name.to_string(), file);
+        }
+        let file = appenders.get_mut(name).expect("inserted above");
+        file.write_all(data)
+    }
+
+    fn read(&self, name: &str) -> std::io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(self.path(name))?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn sync(&self, name: &str) -> std::io::Result<()> {
+        let mut appenders = self.appenders.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(file) = appenders.get_mut(name) {
+            return file.sync_data();
+        }
+        drop(appenders);
+        // Not currently open for append — sync via a fresh handle.
+        File::open(self.path(name))?.sync_data()
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> std::io::Result<()> {
+        self.drop_appender(name);
+        let file = OpenOptions::new().write(true).open(self.path(name))?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> std::io::Result<()> {
+        self.drop_appender(from);
+        self.drop_appender(to);
+        std::fs::rename(self.path(from), self.path(to))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> std::io::Result<()> {
+        self.drop_appender(name);
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => {
+                self.sync_dir();
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn len(&self, name: &str) -> std::io::Result<Option<u64>> {
+        match std::fs::metadata(self.path(name)) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend with crash simulation
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes guaranteed durable (`sync` moves this to `data.len()`).
+    synced: usize,
+}
+
+/// Deterministic in-memory [`Storage`]. Tracks, per file, how many bytes
+/// have been fsynced; [`MemStorage::crash`] keeps the synced prefix and a
+/// caller-chosen portion of the unsynced tail — exactly the state a real
+/// file can be in after power loss (the kernel may have written back any
+/// prefix of the dirty pages). Rename is modeled as atomic and durable,
+/// matching rename-onto-fsynced-file semantics on a journaling filesystem.
+#[derive(Default)]
+pub struct MemStorage {
+    files: Mutex<HashMap<String, MemFile>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory store.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// Simulates power loss: for every file, the synced prefix survives
+    /// intact and the unsynced tail is cut at an arbitrary point chosen by
+    /// `keep` (called with the file name and the unsynced byte count;
+    /// returns how many of those bytes survive). The caller drives `keep`
+    /// from a seeded RNG for deterministic fuzzing.
+    pub fn crash(&self, mut keep: impl FnMut(&str, usize) -> usize) {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, file) in files.iter_mut() {
+            let unsynced = file.data.len() - file.synced;
+            if unsynced > 0 {
+                let kept = keep(name, unsynced).min(unsynced);
+                file.data.truncate(file.synced + kept);
+            }
+            file.synced = file.data.len();
+        }
+    }
+
+    /// Total bytes across all files (diagnostics).
+    pub fn total_bytes(&self) -> usize {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.values().map(|f| f.data.len()).sum()
+    }
+
+    /// Flips one bit at `offset` in `name` (corruption-matrix tests).
+    pub fn flip_bit(&self, name: &str, offset: usize) -> bool {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        match files.get_mut(name) {
+            Some(f) if offset < f.data.len() => {
+                f.data[offset] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+fn not_found(name: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::NotFound, format!("no such file: {name}"))
+}
+
+impl Storage for MemStorage {
+    fn append(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.entry(name.to_string()).or_default().data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> std::io::Result<Vec<u8>> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.get(name).map(|f| f.data.clone()).ok_or_else(|| not_found(name))
+    }
+
+    fn sync(&self, name: &str) -> std::io::Result<()> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let file = files.get_mut(name).ok_or_else(|| not_found(name))?;
+        file.synced = file.data.len();
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> std::io::Result<()> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let file = files.get_mut(name).ok_or_else(|| not_found(name))?;
+        file.data.truncate(len as usize);
+        file.synced = file.synced.min(file.data.len());
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> std::io::Result<()> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let mut file = files.remove(from).ok_or_else(|| not_found(from))?;
+        file.synced = file.data.len(); // rename publishes durably
+        files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> std::io::Result<()> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> std::io::Result<Vec<String>> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(files.keys().cloned().collect())
+    }
+
+    fn len(&self, name: &str) -> std::io::Result<Option<u64>> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(files.get(name).map(|f| f.data.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(storage: &dyn Storage) {
+        storage.append("a", b"hello ").unwrap();
+        storage.append("a", b"world").unwrap();
+        assert_eq!(storage.read("a").unwrap(), b"hello world");
+        assert_eq!(storage.len("a").unwrap(), Some(11));
+        storage.truncate("a", 5).unwrap();
+        assert_eq!(storage.read("a").unwrap(), b"hello");
+        storage.sync("a").unwrap();
+        storage.rename("a", "b").unwrap();
+        assert!(storage.read("a").is_err());
+        assert_eq!(storage.read("b").unwrap(), b"hello");
+        assert!(storage.list().unwrap().contains(&"b".to_string()));
+        storage.remove("b").unwrap();
+        storage.remove("b").unwrap(); // idempotent
+        assert_eq!(storage.len("b").unwrap(), None);
+    }
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        roundtrip(&MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_roundtrip() {
+        let dir = std::env::temp_dir()
+            .join(format!("rulekit-store-test-{}", std::process::id()))
+            .join("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = FileStorage::open(&dir).unwrap();
+        roundtrip(&storage);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_crash_drops_unsynced_tail() {
+        let s = MemStorage::new();
+        s.append("wal", b"durable").unwrap();
+        s.sync("wal").unwrap();
+        s.append("wal", b" volatile").unwrap();
+        // Keep 3 of the 9 unsynced bytes: a torn tail.
+        s.crash(|_, unsynced| {
+            assert_eq!(unsynced, 9);
+            3
+        });
+        assert_eq!(s.read("wal").unwrap(), b"durable vo");
+        // After crash everything remaining counts as durable.
+        s.crash(|_, _| 0);
+        assert_eq!(s.read("wal").unwrap(), b"durable vo");
+    }
+
+    #[test]
+    fn mem_rename_is_durable() {
+        let s = MemStorage::new();
+        s.append("tmp", b"checkpoint-bytes").unwrap();
+        s.rename("tmp", "final").unwrap();
+        s.crash(|_, _| 0);
+        assert_eq!(s.read("final").unwrap(), b"checkpoint-bytes");
+    }
+
+    #[test]
+    fn file_append_handle_survives_interleaved_reads() {
+        let dir = std::env::temp_dir()
+            .join(format!("rulekit-store-test-{}", std::process::id()))
+            .join("interleave");
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = FileStorage::open(&dir).unwrap();
+        for i in 0..10u8 {
+            storage.append("wal", &[i]).unwrap();
+            assert_eq!(storage.read("wal").unwrap().len(), i as usize + 1);
+        }
+        storage.truncate("wal", 4).unwrap();
+        storage.append("wal", &[99]).unwrap();
+        assert_eq!(storage.read("wal").unwrap(), vec![0, 1, 2, 3, 99]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`maint`] | Subsumption, overlap, imprecision, drift monitoring |
 //! | [`chimera`] | The Figure 2 pipeline end to end, with QA loop and scale-down |
 //! | [`serve`] | Sharded serving tier: hot snapshot swaps, backpressure, degradation, metrics |
+//! | [`store`] | Durable rule repository: write-ahead log, checkpoints, crash recovery, fault injection |
 //! | [`em`] | §6 entity matching: predicates, semantics, blocking |
 //! | [`ie`] | §6 information extraction: dictionaries, regex extractors |
 //!
@@ -58,4 +59,5 @@ pub use rulekit_learn as learn;
 pub use rulekit_maint as maint;
 pub use rulekit_regex as regex;
 pub use rulekit_serve as serve;
+pub use rulekit_store as store;
 pub use rulekit_text as text;
