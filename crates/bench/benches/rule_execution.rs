@@ -1,10 +1,11 @@
-//! Criterion bench for E7: naive vs trigram-indexed rule execution at
-//! growing rule counts (§4 "Rule Execution and Optimization").
+//! Criterion bench for E7: naive vs trigram-indexed vs Aho-Corasick
+//! literal-scan rule execution at growing rule counts (§4 "Rule Execution
+//! and Optimization").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rulekit_bench::exp::execution::synthetic_rules;
 use rulekit_bench::setup::{analyst_rules, world, Scale};
-use rulekit_core::{IndexedExecutor, NaiveExecutor, RuleExecutor};
+use rulekit_core::{IndexedExecutor, LiteralScanExecutor, NaiveExecutor, RuleExecutor};
 
 fn bench_executors(c: &mut Criterion) {
     let scale = Scale { train_items: 1000, eval_items: 1000, seed: 5 };
@@ -26,6 +27,10 @@ fn bench_executors(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("indexed", n), &indexed, |b, ex| {
             b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
         });
+        let scan = LiteralScanExecutor::new(rules.clone());
+        group.bench_with_input(BenchmarkId::new("literal_scan", n), &scan, |b, ex| {
+            b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
+        });
     }
     group.finish();
 }
@@ -36,6 +41,9 @@ fn bench_index_build(c: &mut Criterion) {
     let rules = synthetic_rules(&taxonomy, 5_000);
     c.bench_function("index_build_5k_rules", |b| {
         b.iter(|| IndexedExecutor::new(rules.clone()).rule_count())
+    });
+    c.bench_function("automaton_build_5k_rules", |b| {
+        b.iter(|| LiteralScanExecutor::new(rules.clone()).rule_count())
     });
 }
 

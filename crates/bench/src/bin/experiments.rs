@@ -82,7 +82,12 @@ fn main() {
         exp::chimera::e6(scale);
     }
     if want("e7") {
-        exp::execution::e7(scale);
+        let rows = exp::execution::e7(scale);
+        let json = exp::execution::e7_json(&rows);
+        match std::fs::write("BENCH_engine.json", &json) {
+            Ok(()) => println!("wrote BENCH_engine.json ({} rows)", rows.len()),
+            Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+        }
     }
     if want("e8") {
         exp::evaluation::e8(scale);

@@ -1,11 +1,12 @@
-//! E7 (rule-execution scaling: naive vs indexed vs parallel) and E10
-//! (rule-system order-independence audits).
+//! E7 (rule-execution scaling: naive vs trigram-indexed vs Aho-Corasick
+//! literal-scan, plus parallel batches) and E10 (rule-system
+//! order-independence audits).
 
 use crate::setup::{analyst_rules, world, Scale};
 use crate::table::{f3, Table};
 use rulekit_core::{
     audit_order_independence, execute_batch_parallel, execution_stats, IndexedExecutor,
-    NaiveExecutor, Rule, RuleExecutor, RuleMeta, RuleParser, RuleRepository,
+    LiteralScanExecutor, NaiveExecutor, Rule, RuleExecutor, RuleMeta, RuleParser, RuleRepository,
 };
 use rulekit_data::Taxonomy;
 use rulekit_em::{order_sensitivity, synthesize_duplicates, BlockingKey, RuleMatcher, Semantics};
@@ -68,67 +69,177 @@ pub fn synthetic_rules(taxonomy: &Arc<Taxonomy>, n: usize) -> Vec<Rule> {
     repo.enabled_snapshot()
 }
 
-/// E7 — execution scaling table.
-pub fn e7(scale: Scale) {
+/// One E7 measurement row: the three executors compared at one rule count.
+pub struct E7Row {
+    pub rules: usize,
+    pub trigram_build_ms: f64,
+    pub literal_build_ms: f64,
+    pub automaton_states: usize,
+    pub naive_items_s: f64,
+    pub trigram_items_s: f64,
+    pub literal_items_s: f64,
+    pub literal_par_items_s: f64,
+    pub cand_naive: f64,
+    pub cand_trigram: f64,
+    pub cand_literal: f64,
+}
+
+/// Times `f(product)` over `products`, returning items/sec.
+fn items_per_sec(products: &[rulekit_data::Product], f: impl Fn(&rulekit_data::Product)) -> f64 {
+    let t = Instant::now();
+    for p in products {
+        f(p);
+    }
+    products.len() as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// E7 — three-way execution scaling (naive / trigram / literal-scan).
+/// Returns the measured rows so the caller can persist `BENCH_engine.json`.
+pub fn e7(scale: Scale) -> Vec<E7Row> {
     println!("\n=== E7: executing tens of thousands of rules (§4) ===");
     let (taxonomy, mut generator) = world(scale);
     let products: Vec<_> =
         generator.generate(2_000.min(scale.eval_items)).into_iter().map(|i| i.product).collect();
 
+    // Rule counts scale with the experiment size so `--scale 0.05` smoke
+    // runs stay fast while the default run covers the §4 regime.
+    let factor = scale.eval_items as f64 / 10_000.0;
+    let targets: Vec<usize> =
+        [1_000.0f64, 10_000.0, 50_000.0].iter().map(|b| ((b * factor) as usize).max(200)).collect();
+
     let mut table = Table::new(&[
         "rules",
-        "naive ms/1k items",
-        "naive ∥4 ms/1k",
-        "indexed ms/1k items",
-        "avg considered (naive)",
-        "avg considered (indexed)",
-        "index speedup",
+        "build trigram ms",
+        "build literal ms",
+        "naive items/s",
+        "trigram items/s",
+        "literal items/s",
+        "literal ∥4 items/s",
+        "cand naive",
+        "cand trigram",
+        "cand literal",
+        "lit/naive speedup",
     ]);
 
-    for &n in &[1_000usize, 5_000, 20_000] {
+    let mut rows: Vec<E7Row> = Vec::new();
+    for &n in &targets {
         let mut rules = analyst_rules(&taxonomy);
         rules.extend(synthetic_rules(&taxonomy, n.saturating_sub(rules.len())));
         rules.truncate(n);
+        let n = rules.len();
+        if rows.last().is_some_and(|r| r.rules == n) {
+            continue; // the synthetic pool capped out; don't re-measure
+        }
+
         let naive = NaiveExecutor::new(rules.clone());
-        let indexed = IndexedExecutor::new(rules.clone());
+        let t = Instant::now();
+        let trigram = IndexedExecutor::new(rules.clone());
+        let trigram_build_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let t = Instant::now();
+        let literal = LiteralScanExecutor::new(rules.clone());
+        let literal_build_ms = t.elapsed().as_secs_f64() * 1000.0;
 
-        // The naive executor is timed on a subsample (it is the slow one).
-        let naive_sample = &products[..products.len().min(300)];
-        let t0 = Instant::now();
-        let naive_results: usize = naive_sample.iter().map(|p| naive.matching_rules(p).len()).sum();
-        let naive_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        // Correctness gates before any timing is trusted: literal-scan must
+        // agree with naive, and its candidate sets must never exceed the
+        // trigram index's.
+        let check = &products[..products.len().min(200)];
+        for p in check {
+            let mut a = naive.matching_rules(p);
+            let mut b = trigram.matching_rules(p);
+            let mut c = literal.matching_rules(p);
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            assert_eq!(a, b, "trigram disagrees with naive on {:?}", p.title);
+            assert_eq!(a, c, "literal-scan disagrees with naive on {:?}", p.title);
+            assert!(
+                literal.candidates_considered(p) <= trigram.candidates_considered(p),
+                "literal-scan considered more than trigram on {:?}",
+                p.title
+            );
+        }
 
-        let t1 = Instant::now();
-        let indexed_results: usize =
-            naive_sample.iter().map(|p| indexed.matching_rules(p).len()).sum();
-        let indexed_ms = t1.elapsed().as_secs_f64() * 1000.0;
-        assert_eq!(naive_results, indexed_results, "executors must agree");
-        let t1b = Instant::now();
-        let _: usize = products.iter().map(|p| indexed.matching_rules(p).len()).sum();
-        let indexed_full_ms = t1b.elapsed().as_secs_f64() * 1000.0;
-
-        let t2 = Instant::now();
-        let _ = execute_batch_parallel(&naive, naive_sample, 4).expect("no worker panicked");
-        let par_ms = t2.elapsed().as_secs_f64() * 1000.0;
+        // Naive is timed on a shrinking subsample — at 50k rules it runs
+        // every regex on every product and would dominate the experiment.
+        let naive_len = (600_000 / n.max(1)).clamp(20, 300).min(products.len());
+        let naive_items_s = items_per_sec(&products[..naive_len], |p| {
+            naive.matching_rules(p);
+        });
+        let trigram_items_s = items_per_sec(&products, |p| {
+            trigram.matching_rules(p);
+        });
+        let literal_items_s = items_per_sec(&products, |p| {
+            literal.matching_rules(p);
+        });
+        let t = Instant::now();
+        let _ = execute_batch_parallel(&literal, &products, 4).expect("no worker panicked");
+        let literal_par_items_s = products.len() as f64 / t.elapsed().as_secs_f64().max(1e-9);
 
         let sample = &products[..products.len().min(200)];
         let sn = execution_stats(&naive, sample);
-        let si = execution_stats(&indexed, sample);
+        let st = execution_stats(&trigram, sample);
+        let sl = execution_stats(&literal, sample);
 
-        let per_1k_small = 1000.0 / naive_sample.len() as f64;
-        let per_1k_full = 1000.0 / products.len() as f64;
         table.row(vec![
             n.to_string(),
-            f3(naive_ms * per_1k_small),
-            f3(par_ms * per_1k_small),
-            f3(indexed_full_ms * per_1k_full),
+            f3(trigram_build_ms),
+            f3(literal_build_ms),
+            format!("{naive_items_s:.0}"),
+            format!("{trigram_items_s:.0}"),
+            format!("{literal_items_s:.0}"),
+            format!("{literal_par_items_s:.0}"),
             f3(sn.avg_considered),
-            f3(si.avg_considered),
-            format!("{:.1}x", naive_ms / indexed_ms.max(1e-9)),
+            f3(st.avg_considered),
+            f3(sl.avg_considered),
+            format!("{:.1}x", literal_items_s / naive_items_s.max(1e-9)),
         ]);
+        rows.push(E7Row {
+            rules: n,
+            trigram_build_ms,
+            literal_build_ms,
+            automaton_states: literal.automaton_states(),
+            naive_items_s,
+            trigram_items_s,
+            literal_items_s,
+            literal_par_items_s,
+            cand_naive: sn.avg_considered,
+            cand_trigram: st.avg_considered,
+            cand_literal: sl.avg_considered,
+        });
     }
     table.print();
-    println!("(the index should keep per-item cost near-flat as the rule count grows)");
+    println!("(both indexes should keep per-item cost near-flat as the rule count grows;");
+    println!(" the literal scan should also tighten candidate sets vs the trigram index)");
+    rows
+}
+
+/// Serializes E7 rows as the machine-readable perf snapshot
+/// (`BENCH_engine.json`) CI and regression tooling diff against.
+pub fn e7_json(rows: &[E7Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e7-rule-execution\",\n  \"unit\": \"items_per_sec\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rules\": {}, \"naive_items_s\": {:.1}, \"trigram_items_s\": {:.1}, \
+             \"literal_items_s\": {:.1}, \"literal_par4_items_s\": {:.1}, \
+             \"trigram_build_ms\": {:.3}, \"literal_build_ms\": {:.3}, \
+             \"automaton_states\": {}, \"cand_naive\": {:.3}, \"cand_trigram\": {:.3}, \
+             \"cand_literal\": {:.3}}}{}\n",
+            r.rules,
+            r.naive_items_s,
+            r.trigram_items_s,
+            r.literal_items_s,
+            r.literal_par_items_s,
+            r.trigram_build_ms,
+            r.literal_build_ms,
+            r.automaton_states,
+            r.cand_naive,
+            r.cand_trigram,
+            r.cand_literal,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// E10 — order-independence audits for the classification rule system and

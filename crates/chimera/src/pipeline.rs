@@ -11,7 +11,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rulekit_core::{
-    IndexedExecutor, ParseError, RuleClassifier, RuleId, RuleMeta, RuleParser, RuleRepository,
+    ExecutorKind, ParseError, RuleClassifier, RuleId, RuleMeta, RuleParser, RuleRepository,
+    WorkerPool,
 };
 use rulekit_crowd::{CrowdSim, PrecisionEstimate};
 use rulekit_data::{Batch, GeneratedItem, Product, Taxonomy, TypeId};
@@ -43,6 +44,10 @@ pub struct ChimeraConfig {
     pub analysis_enabled: bool,
     /// Worker threads for batch classification.
     pub threads: usize,
+    /// Which rule-execution engine to compile rule snapshots into (gate and
+    /// main store alike). Flows into every [`RuleClassifier`] this pipeline
+    /// builds, and from there into serving snapshots.
+    pub executor: ExecutorKind,
     /// Seed for QA sampling.
     pub seed: u64,
     /// Drift monitor sliding-window size.
@@ -63,6 +68,7 @@ impl Default for ChimeraConfig {
             auto_scale_down: false,
             analysis_enabled: true,
             threads: 4,
+            executor: ExecutorKind::default(),
             seed: 0,
             monitor_window: 60,
             monitor_min_samples: 12,
@@ -233,12 +239,12 @@ impl Chimera {
         }
         let gate_snapshot = self.gate_rules.enabled_snapshot();
         let gate = Arc::new(RuleClassifier::new(
-            Arc::new(IndexedExecutor::new(gate_snapshot.clone())),
+            self.cfg.executor.build(gate_snapshot.clone()),
             gate_snapshot,
         ));
         let rule_snapshot = self.rules.enabled_snapshot();
         let rules = Arc::new(RuleClassifier::new(
-            Arc::new(IndexedExecutor::new(rule_snapshot.clone())),
+            self.cfg.executor.build(rule_snapshot.clone()),
             rule_snapshot,
         ));
         *cache =
@@ -299,7 +305,8 @@ impl Chimera {
         vote(&verdict, &learned, &self.suppressed, self.cfg.voting)
     }
 
-    /// Classifies a slice of products on `cfg.threads` workers.
+    /// Classifies a slice of products on `cfg.threads` chunks of the
+    /// persistent process-wide worker pool (no thread spawn per batch).
     pub fn classify_batch(&self, products: &[Product]) -> Vec<Decision> {
         let (gate, rules) = self.classifiers();
         let threads = self.cfg.threads.max(1);
@@ -307,23 +314,23 @@ impl Chimera {
             return products.iter().map(|p| self.classify_with(p, &gate, &rules)).collect();
         }
         let chunk = products.len().div_ceil(threads);
-        let mut out: Vec<Vec<Decision>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = products
-                .chunks(chunk)
-                .map(|slice| {
-                    let gate = &gate;
-                    let rules = &rules;
-                    scope.spawn(move || {
-                        slice.iter().map(|p| self.classify_with(p, gate, rules)).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("classification worker panicked"));
+        let slots: Vec<parking_lot::Mutex<Option<Vec<Decision>>>> =
+            products.chunks(chunk).map(|_| parking_lot::Mutex::new(None)).collect();
+        WorkerPool::global().scope(|scope| {
+            for (slice, slot) in products.chunks(chunk).zip(&slots) {
+                let gate = &gate;
+                let rules = &rules;
+                scope.spawn(move || {
+                    let decisions: Vec<Decision> =
+                        slice.iter().map(|p| self.classify_with(p, gate, rules)).collect();
+                    *slot.lock() = Some(decisions);
+                });
             }
         });
-        out.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .flat_map(|slot| slot.into_inner().expect("classification worker panicked"))
+            .collect()
     }
 
     /// Runs the full Figure 2 loop on one batch: classify → crowd-sample →
@@ -501,6 +508,30 @@ mod tests {
         assert_eq!(chimera.suppressed_types(), vec![rings]);
         chimera.restore(rings);
         assert_eq!(chimera.classify(&item.product).type_id(), Some(rings));
+    }
+
+    #[test]
+    fn decisions_agree_across_executor_kinds() {
+        // The executor is a performance knob, never a semantics knob: every
+        // engine must produce identical decisions end to end.
+        let tax = Taxonomy::builtin();
+        let mut g = CatalogGenerator::with_seed(tax.clone(), 58);
+        let corpus = LabeledCorpus::generate(&mut g, 1500);
+        let products: Vec<Product> = g.generate(150).into_iter().map(|i| i.product).collect();
+        let mut all: Vec<Vec<Decision>> = Vec::new();
+        for executor in [ExecutorKind::Naive, ExecutorKind::Trigram, ExecutorKind::LiteralScan] {
+            let mut chimera = Chimera::new(
+                tax.clone(),
+                ChimeraConfig { threads: 2, executor, ..Default::default() },
+            );
+            chimera.train(corpus.items());
+            chimera
+                .add_rules("rings? -> rings\nattr(ISBN) -> books\nlaptop (bag|case|sleeve)s? -> NOT laptop computers\n")
+                .unwrap();
+            all.push(chimera.classify_batch(&products));
+        }
+        assert_eq!(all[0], all[1], "naive vs trigram");
+        assert_eq!(all[0], all[2], "naive vs literal-scan");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `properties` module verifies mechanically.
 
 use crate::engine::RuleExecutor;
+use crate::prepared::PreparedProduct;
 use crate::rule::{Rule, RuleAction, RuleId};
 use rulekit_data::{Product, TypeId};
 use std::collections::HashMap;
@@ -81,9 +82,11 @@ impl RuleClassifier {
         RuleClassifier { executor, rules }
     }
 
-    /// Classifies one product.
+    /// Classifies one product. The product is prepared (case-folded) once
+    /// here; the executor and every rule condition reuse that preparation.
     pub fn classify(&self, product: &Product) -> RuleVerdict {
-        let mut fired = self.executor.matching_rules(product);
+        let prepared = PreparedProduct::new(product);
+        let mut fired = self.executor.matching_rules_prepared(&prepared);
         fired.sort_unstable();
 
         let mut verdict = RuleVerdict::default();

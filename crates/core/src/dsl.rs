@@ -130,7 +130,9 @@ impl RuleParser {
                 inner.split_once('=').ok_or_else(|| err("value() needs 'name = v1 | v2 | …'"))?;
             let values: Vec<String> = values
                 .split('|')
-                .map(|v| v.trim().to_lowercase())
+                // Context-free fold, matching PreparedProduct's attribute
+                // folding so comparisons agree on non-ASCII values.
+                .map(|v| crate::prepared::fold_lower(v.trim()).into_owned())
                 .filter(|v| !v.is_empty())
                 .collect();
             if values.is_empty() {
@@ -252,7 +254,10 @@ fn split_top_level_and(s: &str) -> Vec<&str> {
             b')' | b']' => depth -= 1,
             _ => {}
         }
-        if depth == 0 && s[i..].starts_with(" and ") {
+        // `is_char_boundary` guards the slice: ` and ` is ASCII, so a real
+        // separator always starts on a boundary; a continuation byte of a
+        // multi-byte char can never begin one.
+        if depth == 0 && s.is_char_boundary(i) && s[i..].starts_with(" and ") {
             parts.push(&s[start..i]);
             i += 5;
             start = i;

@@ -6,29 +6,208 @@
 //! only a (hopefully) small set of rules … Another solution is to execute
 //! the rules in parallel on a cluster of machines."
 //!
-//! Three engines implement that design space:
+//! Three executors implement that design space, selectable via
+//! [`ExecutorKind`]:
 //!
 //! * [`NaiveExecutor`] — runs every rule (the baseline);
-//! * [`IndexedExecutor`] — a trigram index over each rule's required
-//!   literals plus an attribute-name index; only candidate rules run;
-//! * [`execute_batch_parallel`] — fans any executor out over worker threads
-//!   for batch classification (the "cluster" stand-in).
+//! * [`IndexedExecutor`] — a trigram index over one representative literal
+//!   disjunction per rule plus an attribute-name index; candidates are
+//!   confirmed with a `contains` probe before the full matcher runs;
+//! * [`LiteralScanExecutor`] — every required literal of every rule compiled
+//!   into one Aho-Corasick automaton; a single scan of the folded title
+//!   yields all literal hits, and a rule becomes a candidate only when
+//!   *each* of its required-literal disjunctions was hit (a strictly
+//!   tighter admission than the trigram index, with no re-confirmation).
+//!
+//! All three share the allocation-free per-product hot path: a
+//! [`PreparedProduct`](crate::prepared::PreparedProduct) folds the title and
+//! attributes once, and an epoch-stamped thread-local scratch replaces the
+//! per-call `vec![false; rules]` the first index generation used.
+//!
+//! [`execute_batch_parallel`] fans any executor out over the persistent
+//! [`WorkerPool`](crate::pool::WorkerPool) for batch classification (the
+//! "cluster" stand-in) — no thread spawn per batch.
 
+use crate::pool::WorkerPool;
+use crate::prepared::{fold_lower, PreparedProduct};
 use crate::rule::{Rule, RuleId};
-use rulekit_regex::best_disjunction;
+use rulekit_regex::{best_disjunction, AhoCorasick};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 
 /// Finds the rules that fire on a product.
+///
+/// Implementors provide [`RuleExecutor::rule_count`] and the combined
+/// [`RuleExecutor::matching_rules_with_stats`]; the convenience entry points
+/// are derived. External callers that don't manage a
+/// [`PreparedProduct`] can keep calling [`RuleExecutor::matching_rules`]
+/// with a raw product — preparation then happens once inside the call.
 pub trait RuleExecutor: Send + Sync {
-    /// Ids of all enabled rules whose condition matches `product`.
-    fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId>;
-
     /// Total rules served.
     fn rule_count(&self) -> usize;
 
-    /// How many rules were *considered* (condition-evaluated) for `product` —
-    /// the metric the indexing experiments report.
-    fn candidates_considered(&self, product: &rulekit_data::Product) -> usize;
+    /// Ids of all enabled rules whose condition matches the prepared
+    /// product, plus how many rules were *considered* (condition-evaluated
+    /// or admission-checked) — the metric the indexing experiments report.
+    /// One call produces both, so stats collection never pays candidate
+    /// generation twice.
+    fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize);
+
+    /// Ids of all enabled rules whose condition matches the prepared
+    /// product.
+    fn matching_rules_prepared(&self, product: &PreparedProduct<'_>) -> Vec<RuleId> {
+        self.matching_rules_with_stats(product).0
+    }
+
+    /// Ids of all enabled rules whose condition matches `product`.
+    fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId> {
+        self.matching_rules_prepared(&PreparedProduct::new(product))
+    }
+
+    /// How many rules were considered for `product`.
+    fn candidates_considered(&self, product: &rulekit_data::Product) -> usize {
+        self.matching_rules_with_stats(&PreparedProduct::new(product)).1
+    }
+}
+
+/// Which execution engine to compile a rule snapshot into — the knob the
+/// pipeline (`ChimeraConfig`) and serving tier expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// Evaluate every rule (baseline; only sensible for tiny rule sets).
+    Naive,
+    /// Trigram inverted index (first-generation index).
+    Trigram,
+    /// Aho-Corasick literal scan (default: tightest candidate sets, one
+    /// pass per title).
+    #[default]
+    LiteralScan,
+}
+
+impl ExecutorKind {
+    /// Compiles `rules` into an executor of this kind.
+    pub fn build(self, rules: Vec<Rule>) -> Arc<dyn RuleExecutor> {
+        match self {
+            ExecutorKind::Naive => Arc::new(NaiveExecutor::new(rules)),
+            ExecutorKind::Trigram => Arc::new(IndexedExecutor::new(rules)),
+            ExecutorKind::LiteralScan => Arc::new(LiteralScanExecutor::new(rules)),
+        }
+    }
+}
+
+impl fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecutorKind::Naive => "naive",
+            ExecutorKind::Trigram => "trigram",
+            ExecutorKind::LiteralScan => "literal-scan",
+        })
+    }
+}
+
+impl FromStr for ExecutorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "naive" => Ok(ExecutorKind::Naive),
+            "trigram" | "indexed" => Ok(ExecutorKind::Trigram),
+            "literal-scan" | "literal" | "aho" => Ok(ExecutorKind::LiteralScan),
+            other => Err(format!("unknown executor kind {other:?}")),
+        }
+    }
+}
+
+/// Epoch-stamped per-thread scratch for candidate generation. A mark is
+/// "set" when its cell equals the current epoch, so starting a new product
+/// is one counter increment instead of re-zeroing `O(rules)` bytes.
+#[derive(Default)]
+struct Scratch {
+    epoch: u32,
+    rule_marks: Vec<u32>,
+    pattern_marks: Vec<u32>,
+    group_marks: Vec<u32>,
+    /// Distinct-disjunction hit counts per rule, valid when the paired
+    /// epoch cell matches.
+    rule_hits: Vec<u32>,
+    rule_hits_epoch: Vec<u32>,
+    candidates: Vec<u32>,
+}
+
+impl Scratch {
+    /// Starts a new product: bumps the epoch and sizes the mark tables.
+    fn begin(&mut self, rules: usize, patterns: usize, groups: usize) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap: reset every mark so stale cells can't collide.
+            self.rule_marks.iter_mut().for_each(|m| *m = 0);
+            self.pattern_marks.iter_mut().for_each(|m| *m = 0);
+            self.group_marks.iter_mut().for_each(|m| *m = 0);
+            self.rule_hits_epoch.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.rule_marks.len() < rules {
+            self.rule_marks.resize(rules, 0);
+            self.rule_hits.resize(rules, 0);
+            self.rule_hits_epoch.resize(rules, 0);
+        }
+        if self.pattern_marks.len() < patterns {
+            self.pattern_marks.resize(patterns, 0);
+        }
+        if self.group_marks.len() < groups {
+            self.group_marks.resize(groups, 0);
+        }
+        self.candidates.clear();
+    }
+
+    /// Marks rule `i`; true when this is the first sighting this epoch.
+    fn mark_rule(&mut self, i: u32) -> bool {
+        let cell = &mut self.rule_marks[i as usize];
+        (*cell != self.epoch) && {
+            *cell = self.epoch;
+            true
+        }
+    }
+
+    fn mark_pattern(&mut self, i: u32) -> bool {
+        let cell = &mut self.pattern_marks[i as usize];
+        (*cell != self.epoch) && {
+            *cell = self.epoch;
+            true
+        }
+    }
+
+    fn mark_group(&mut self, i: u32) -> bool {
+        let cell = &mut self.group_marks[i as usize];
+        (*cell != self.epoch) && {
+            *cell = self.epoch;
+            true
+        }
+    }
+
+    /// Credits one distinct disjunction hit to rule `i`, returning the new
+    /// count.
+    fn hit_rule(&mut self, i: u32) -> u32 {
+        let i = i as usize;
+        if self.rule_hits_epoch[i] != self.epoch {
+            self.rule_hits_epoch[i] = self.epoch;
+            self.rule_hits[i] = 0;
+        }
+        self.rule_hits[i] += 1;
+        self.rule_hits[i]
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 /// Baseline: evaluate every rule on every product.
@@ -44,12 +223,18 @@ impl NaiveExecutor {
 }
 
 impl RuleExecutor for NaiveExecutor {
-    fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId> {
-        self.rules.iter().filter(|r| r.matches(product)).map(|r| r.id).collect()
-    }
-
     fn rule_count(&self) -> usize {
         self.rules.len()
+    }
+
+    fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize) {
+        let fired = self
+            .rules
+            .iter()
+            .filter(|r| r.condition.matches_prepared(product))
+            .map(|r| r.id)
+            .collect();
+        (fired, self.rules.len())
     }
 
     fn candidates_considered(&self, _product: &rulekit_data::Product) -> usize {
@@ -60,16 +245,15 @@ impl RuleExecutor for NaiveExecutor {
 /// How a rule is admitted to candidate sets.
 #[derive(Debug, Clone)]
 enum Admission {
-    /// Admitted when one of these literals appears in the lowercased title;
-    /// the usize is the index of the literal's representative trigram key.
+    /// Admitted when one of these literals appears in the folded title.
     Literals(Vec<String>),
-    /// Admitted when the product has this (lowercased) attribute.
+    /// Admitted when the product has this (folded) attribute.
     Attribute(String),
     /// Always considered.
     Always,
 }
 
-/// Trigram-indexed executor.
+/// Trigram-indexed executor (the first-generation index).
 ///
 /// For each rule with a title pattern, required-literal analysis yields a
 /// disjunction of substrings, one of which must appear in any matching
@@ -82,7 +266,7 @@ pub struct IndexedExecutor {
     admissions: Vec<Admission>,
     /// trigram → rule indices.
     trigram_postings: HashMap<[u8; 3], Vec<u32>>,
-    /// lowercased attribute name → rule indices.
+    /// folded attribute name → rule indices.
     attr_postings: HashMap<String, Vec<u32>>,
     /// Rules that must always be considered.
     always: Vec<u32>,
@@ -134,7 +318,7 @@ impl IndexedExecutor {
             }
         }
         if let Some(attr) = condition.attr_key() {
-            return Admission::Attribute(attr.to_lowercase());
+            return Admission::Attribute(fold_lower(attr).into_owned());
         }
         Admission::Always
     }
@@ -155,62 +339,206 @@ impl IndexedExecutor {
         best.expect("literal has at least one trigram").0
     }
 
-    fn candidate_indices(&self, product: &rulekit_data::Product) -> Vec<u32> {
-        let title = product.title.to_lowercase();
+    /// Fills `scratch.candidates` with admitted rule indices.
+    fn collect_candidates(&self, product: &PreparedProduct<'_>, scratch: &mut Scratch) {
+        scratch.begin(self.rules.len(), 0, 0);
+        let title = product.title_lower();
         let bytes = title.as_bytes();
-        let mut seen = vec![false; self.rules.len()];
-        let mut candidates = Vec::new();
 
         for &i in &self.always {
-            if !std::mem::replace(&mut seen[i as usize], true) {
-                candidates.push(i);
-            }
+            scratch.mark_rule(i);
+            scratch.candidates.push(i);
         }
         for w in bytes.windows(3) {
             if let Some(list) = self.trigram_postings.get(&[w[0], w[1], w[2]]) {
                 for &i in list {
-                    if !std::mem::replace(&mut seen[i as usize], true) {
-                        // Confirm the literal requirement before admitting.
+                    if scratch.mark_rule(i) {
+                        // Confirm the literal requirement before admitting;
+                        // the mark stays either way — no other trigram of
+                        // this rule can change the contains outcome.
                         if let Admission::Literals(lits) = &self.admissions[i as usize] {
                             if lits.iter().any(|l| title.contains(l.as_str())) {
-                                candidates.push(i);
-                            } else {
-                                // Leave seen=true: no other trigram of this
-                                // rule can change the contains outcome.
+                                scratch.candidates.push(i);
                             }
                         }
                     }
                 }
             }
         }
-        for (name, _) in &product.attributes {
-            if let Some(list) = self.attr_postings.get(&name.to_lowercase()) {
+        for (name, _) in product.attrs_lower() {
+            if let Some(list) = self.attr_postings.get(name) {
                 for &i in list {
-                    if !std::mem::replace(&mut seen[i as usize], true) {
-                        candidates.push(i);
+                    if scratch.mark_rule(i) {
+                        scratch.candidates.push(i);
                     }
                 }
             }
         }
-        candidates
     }
 }
 
 impl RuleExecutor for IndexedExecutor {
-    fn matching_rules(&self, product: &rulekit_data::Product) -> Vec<RuleId> {
-        self.candidate_indices(product)
-            .into_iter()
-            .filter(|&i| self.rules[i as usize].matches(product))
-            .map(|i| self.rules[i as usize].id)
-            .collect()
-    }
-
     fn rule_count(&self) -> usize {
         self.rules.len()
     }
 
-    fn candidates_considered(&self, product: &rulekit_data::Product) -> usize {
-        self.candidate_indices(product).len()
+    fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize) {
+        with_scratch(|scratch| {
+            self.collect_candidates(product, scratch);
+            let considered = scratch.candidates.len();
+            let fired = scratch
+                .candidates
+                .iter()
+                .map(|&i| &self.rules[i as usize])
+                .filter(|r| r.condition.matches_prepared(product))
+                .map(|r| r.id)
+                .collect();
+            (fired, considered)
+        })
+    }
+}
+
+/// Aho-Corasick literal-scan executor.
+///
+/// Build time compiles **every** required literal of every rule into one
+/// automaton; each rule records how many of its literal disjunctions
+/// ("groups") must be hit. At query time one scan of the folded title
+/// reports every literal occurrence; a rule is admitted exactly when all of
+/// its groups saw a hit. There are no per-window hash probes and no
+/// `contains` re-confirmation — the scan *is* the containment check — and
+/// literals shorter than a trigram or containing non-ASCII are indexed like
+/// any other, so fewer rules fall into the always-considered set than with
+/// the trigram index.
+pub struct LiteralScanExecutor {
+    rules: Vec<Rule>,
+    /// One automaton over all distinct literals (`None` when no rule
+    /// contributes a literal).
+    automaton: Option<AhoCorasick>,
+    /// pattern id → ids of the disjunction groups the literal credits.
+    pattern_groups: Vec<Vec<u32>>,
+    /// group id → owning rule index.
+    group_rule: Vec<u32>,
+    /// rule index → number of distinct groups required (0 = not
+    /// literal-admitted).
+    required: Vec<u32>,
+    /// folded attribute name → rule indices.
+    attr_postings: HashMap<String, Vec<u32>>,
+    /// Rules that must always be considered.
+    always: Vec<u32>,
+}
+
+impl LiteralScanExecutor {
+    /// Builds the literal-scan index over a rule snapshot.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let mut patterns: Vec<String> = Vec::new();
+        let mut pattern_ids: HashMap<String, u32> = HashMap::new();
+        let mut pattern_groups: Vec<Vec<u32>> = Vec::new();
+        let mut group_rule: Vec<u32> = Vec::new();
+        let mut required: Vec<u32> = Vec::with_capacity(rules.len());
+        let mut attr_postings: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut always: Vec<u32> = Vec::new();
+
+        for (i, rule) in rules.iter().enumerate() {
+            let condition = &rule.condition;
+            let cnf = condition.title_regex().map(|re| re.required_literals()).unwrap_or_default();
+            if !cnf.is_empty() {
+                // Every disjunction is a requirement; demanding all of them
+                // makes admission strictly tighter than any single-
+                // disjunction index.
+                required.push(cnf.len() as u32);
+                for disjunction in &cnf {
+                    let gid = group_rule.len() as u32;
+                    group_rule.push(i as u32);
+                    for literal in disjunction {
+                        let pid = *pattern_ids.entry(literal.clone()).or_insert_with(|| {
+                            patterns.push(literal.clone());
+                            pattern_groups.push(Vec::new());
+                            (patterns.len() - 1) as u32
+                        });
+                        pattern_groups[pid as usize].push(gid);
+                    }
+                }
+                continue;
+            }
+            required.push(0);
+            if let Some(attr) = condition.attr_key() {
+                attr_postings.entry(fold_lower(attr).into_owned()).or_default().push(i as u32);
+            } else {
+                always.push(i as u32);
+            }
+        }
+
+        let automaton = if patterns.is_empty() { None } else { Some(AhoCorasick::new(&patterns)) };
+        LiteralScanExecutor {
+            rules,
+            automaton,
+            pattern_groups,
+            group_rule,
+            required,
+            attr_postings,
+            always,
+        }
+    }
+
+    /// Number of automaton states (memory/build diagnostics).
+    pub fn automaton_states(&self) -> usize {
+        self.automaton.as_ref().map_or(0, AhoCorasick::state_count)
+    }
+
+    /// Fills `scratch.candidates` with admitted rule indices.
+    fn collect_candidates(&self, product: &PreparedProduct<'_>, scratch: &mut Scratch) {
+        scratch.begin(self.rules.len(), self.pattern_groups.len(), self.group_rule.len());
+        for &i in &self.always {
+            scratch.mark_rule(i);
+            scratch.candidates.push(i);
+        }
+        if let Some(automaton) = &self.automaton {
+            automaton.scan(product.title_lower(), |pid| {
+                // First occurrence of this literal this product: credit each
+                // distinct disjunction group it belongs to; a rule whose
+                // every group has been credited becomes a candidate.
+                if scratch.mark_pattern(pid) {
+                    for &gid in &self.pattern_groups[pid as usize] {
+                        if scratch.mark_group(gid) {
+                            let rule = self.group_rule[gid as usize];
+                            if scratch.hit_rule(rule) == self.required[rule as usize] {
+                                scratch.candidates.push(rule);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for (name, _) in product.attrs_lower() {
+            if let Some(list) = self.attr_postings.get(name) {
+                for &i in list {
+                    if scratch.mark_rule(i) {
+                        scratch.candidates.push(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl RuleExecutor for LiteralScanExecutor {
+    fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize) {
+        with_scratch(|scratch| {
+            self.collect_candidates(product, scratch);
+            let considered = scratch.candidates.len();
+            let fired = scratch
+                .candidates
+                .iter()
+                .map(|&i| &self.rules[i as usize])
+                .filter(|r| r.condition.matches_prepared(product))
+                .map(|r| r.id)
+                .collect();
+            (fired, considered)
+        })
     }
 }
 
@@ -224,8 +552,8 @@ pub struct WorkerPanic {
     pub message: String,
 }
 
-impl std::fmt::Display for WorkerPanic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "batch worker for chunk {} panicked: {}", self.chunk, self.message)
     }
 }
@@ -242,11 +570,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs `executor` over `products` on `threads` workers (crossbeam scoped
-/// threads), preserving input order — the paper's "execute the rules in
-/// parallel on a cluster of machines", one machine's worth.
+/// Runs `executor` over `products` in `threads` chunks on the persistent
+/// process-wide [`WorkerPool`], preserving input order — the paper's
+/// "execute the rules in parallel on a cluster of machines", one machine's
+/// worth, without spawning threads per batch.
 ///
-/// Each worker catches its own panics: one poisoned product fails only its
+/// Each chunk catches its own panics: one poisoned product fails only its
 /// chunk, surfaced as [`WorkerPanic`], instead of aborting the whole batch
 /// run. The always-on serving layer (`rulekit-serve`) depends on this to
 /// keep one bad request from killing a shard.
@@ -260,34 +589,39 @@ pub fn execute_batch_parallel(
         return Ok(Vec::new());
     }
     let chunk = products.len().div_ceil(threads);
-    let results = crossbeam::scope(|scope| {
-        let handles: Vec<_> = products
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move |_| {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        slice.iter().map(|p| executor.matching_rules(p)).collect::<Vec<_>>()
-                    }))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(i, h)| match h.join() {
-                Ok(Ok(rows)) => Ok(rows),
-                // A caught panic (or, defensively, one that escaped the
-                // catch) fails this chunk only.
-                Ok(Err(payload)) | Err(payload) => {
-                    Err(WorkerPanic { chunk: i, message: panic_message(payload.as_ref()) })
-                }
-            })
-            .collect::<Result<Vec<_>, _>>()
-    })
-    .unwrap_or_else(|payload| {
-        Err(WorkerPanic { chunk: 0, message: panic_message(payload.as_ref()) })
-    })?;
-    Ok(results.into_iter().flatten().collect())
+    type ChunkResult = std::thread::Result<Vec<Vec<RuleId>>>;
+    let slots: Vec<Mutex<Option<ChunkResult>>> =
+        products.chunks(chunk).map(|_| Mutex::new(None)).collect();
+
+    WorkerPool::global().scope(|scope| {
+        for (slice, slot) in products.chunks(chunk).zip(&slots) {
+            scope.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    slice
+                        .iter()
+                        .map(|p| executor.matching_rules_prepared(&PreparedProduct::new(p)))
+                        .collect::<Vec<_>>()
+                }));
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            });
+        }
+    });
+
+    let mut rows = Vec::with_capacity(products.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(Ok(chunk_rows)) => rows.extend(chunk_rows),
+            Some(Err(payload)) => {
+                return Err(WorkerPanic { chunk: i, message: panic_message(payload.as_ref()) })
+            }
+            // The scope guarantees every job ran; an empty slot would mean a
+            // job was lost, which the pool's completion count prevents.
+            None => {
+                return Err(WorkerPanic { chunk: i, message: "chunk job never ran".to_string() })
+            }
+        }
+    }
+    Ok(rows)
 }
 
 /// Statistics comparing executors on a product set (E7's metric).
@@ -301,7 +635,10 @@ pub struct ExecutionStats {
     pub avg_fired: f64,
 }
 
-/// Measures consideration/fire rates of `executor` over `products`.
+/// Measures consideration/fire rates of `executor` over `products`. Each
+/// product is prepared once and candidate generation runs once — the fired
+/// set and the considered count come from the same
+/// [`RuleExecutor::matching_rules_with_stats`] call.
 pub fn execution_stats(
     executor: &dyn RuleExecutor,
     products: &[rulekit_data::Product],
@@ -312,8 +649,10 @@ pub fn execution_stats(
     let mut considered = 0usize;
     let mut fired = 0usize;
     for p in products {
-        considered += executor.candidates_considered(p);
-        fired += executor.matching_rules(p).len();
+        let prepared = PreparedProduct::new(p);
+        let (matched, candidates) = executor.matching_rules_with_stats(&prepared);
+        considered += candidates;
+        fired += matched.len();
     }
     ExecutionStats {
         rule_count: executor.rule_count(),
@@ -360,12 +699,8 @@ mod tests {
         r"\w+ oils? -> motor oil",
     ];
 
-    #[test]
-    fn indexed_agrees_with_naive() {
-        let rs = rules(LINES);
-        let naive = NaiveExecutor::new(rs.clone());
-        let indexed = IndexedExecutor::new(rs);
-        let products = [
+    fn agreement_products() -> Vec<Product> {
+        vec![
             product("Always & Forever Diamond Accent Ring", &[]),
             product("braided area rug 5'x7'", &[]),
             product("padded laptop sleeve", &[]),
@@ -373,10 +708,31 @@ mod tests {
             product("apple phone", &[("Brand Name", "Apple")]),
             product("quaker state motor oil", &[]),
             product("garden hose", &[]),
-        ];
-        for p in &products {
+        ]
+    }
+
+    #[test]
+    fn indexed_agrees_with_naive() {
+        let rs = rules(LINES);
+        let naive = NaiveExecutor::new(rs.clone());
+        let indexed = IndexedExecutor::new(rs);
+        for p in &agreement_products() {
             let mut a = naive.matching_rules(p);
             let mut b = indexed.matching_rules(p);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "disagreement on {:?}", p.title);
+        }
+    }
+
+    #[test]
+    fn literal_scan_agrees_with_naive() {
+        let rs = rules(LINES);
+        let naive = NaiveExecutor::new(rs.clone());
+        let scan = LiteralScanExecutor::new(rs);
+        for p in &agreement_products() {
+            let mut a = naive.matching_rules(p);
+            let mut b = scan.matching_rules(p);
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "disagreement on {:?}", p.title);
@@ -390,35 +746,133 @@ mod tests {
         let naive = NaiveExecutor::new(rs);
         let p = product("garden hose", &[]);
         assert_eq!(naive.candidates_considered(&p), LINES.len());
-        // Only the `\w+ oils?` rule is unindexable… wait, " oil" is a
-        // literal requirement, so it is indexed too. Nothing matches hose.
         assert!(indexed.candidates_considered(&p) < 2);
+    }
+
+    #[test]
+    fn literal_scan_candidates_never_exceed_trigram() {
+        let rs = rules(LINES);
+        let indexed = IndexedExecutor::new(rs.clone());
+        let scan = LiteralScanExecutor::new(rs);
+        for p in &agreement_products() {
+            assert!(
+                scan.candidates_considered(p) <= indexed.candidates_considered(p),
+                "literal-scan considered more than trigram on {:?}",
+                p.title
+            );
+        }
+    }
+
+    #[test]
+    fn conjunctive_admission_is_tighter_than_one_disjunction() {
+        // `diamond.*trio sets?` requires BOTH "diamond" and "trio set"; the
+        // trigram index keys on one disjunction only, so a title containing
+        // just "trio set" is a trigram candidate but not a literal-scan one.
+        let rs = rules(&["diamond.*trio sets? -> rings"]);
+        let indexed = IndexedExecutor::new(rs.clone());
+        let scan = LiteralScanExecutor::new(rs);
+        let p = product("trio set of mixing bowls", &[]);
+        assert_eq!(indexed.candidates_considered(&p), 1);
+        assert_eq!(scan.candidates_considered(&p), 0);
+        assert!(scan.matching_rules(&p).is_empty());
+    }
+
+    #[test]
+    fn short_literals_are_indexed_by_literal_scan() {
+        // "tv" is shorter than a trigram: the trigram index must always
+        // consider the rule, the literal scan indexes it like any other.
+        let rs = rules(&["tvs? -> televisions"]);
+        let indexed = IndexedExecutor::new(rs.clone());
+        let scan = LiteralScanExecutor::new(rs);
+        let miss = product("garden hose", &[]);
+        assert_eq!(indexed.candidates_considered(&miss), 1, "trigram can't index 'tv'");
+        assert_eq!(scan.candidates_considered(&miss), 0);
+        let hit = product("55 inch smart tv", &[]);
+        assert_eq!(scan.matching_rules(&hit).len(), 1);
+    }
+
+    #[test]
+    fn non_ascii_literals_are_indexed_by_literal_scan() {
+        let rs = rules(&["café press(es)? -> coffee makers"]);
+        let scan = LiteralScanExecutor::new(rs.clone());
+        let indexed = IndexedExecutor::new(rs);
+        // Regex case folding is ASCII-only, so 'é' stays lowercase here
+        // while the ASCII words exercise the fold.
+        let hit = product("Bodum Café PRESS 8-cup", &[]);
+        assert_eq!(scan.matching_rules(&hit).len(), 1);
+        let miss = product("coffee grinder", &[]);
+        assert_eq!(scan.candidates_considered(&miss), 0);
+        assert!(scan.candidates_considered(&miss) <= indexed.candidates_considered(&miss));
     }
 
     #[test]
     fn unindexable_rules_always_considered() {
         let rs = rules(&[r"\w+\s+\w+ -> books"]);
-        let indexed = IndexedExecutor::new(rs);
-        let p = product("zz qq", &[]);
-        assert_eq!(indexed.candidates_considered(&p), 1);
-        assert_eq!(indexed.matching_rules(&p).len(), 1);
+        for executor in
+            [&IndexedExecutor::new(rs.clone()) as &dyn RuleExecutor, &LiteralScanExecutor::new(rs)]
+        {
+            let p = product("zz qq", &[]);
+            assert_eq!(executor.candidates_considered(&p), 1);
+            assert_eq!(executor.matching_rules(&p).len(), 1);
+        }
     }
 
     #[test]
     fn attribute_indexing() {
         let rs = rules(&["attr(ISBN) -> books", "attr(Screen Size) -> televisions"]);
-        let indexed = IndexedExecutor::new(rs);
-        let book = product("x", &[("ISBN", "978")]);
-        assert_eq!(indexed.candidates_considered(&book), 1);
-        assert_eq!(indexed.matching_rules(&book).len(), 1);
-        let neither = product("x", &[("Color", "red")]);
-        assert_eq!(indexed.candidates_considered(&neither), 0);
+        for executor in
+            [&IndexedExecutor::new(rs.clone()) as &dyn RuleExecutor, &LiteralScanExecutor::new(rs)]
+        {
+            let book = product("x", &[("ISBN", "978")]);
+            assert_eq!(executor.candidates_considered(&book), 1);
+            assert_eq!(executor.matching_rules(&book).len(), 1);
+            let neither = product("x", &[("Color", "red")]);
+            assert_eq!(executor.candidates_considered(&neither), 0);
+        }
+    }
+
+    #[test]
+    fn executor_kind_builds_each_engine() {
+        let rs = rules(LINES);
+        let p = product("diamond ring", &[]);
+        let mut fired: Vec<Vec<RuleId>> = Vec::new();
+        for kind in [ExecutorKind::Naive, ExecutorKind::Trigram, ExecutorKind::LiteralScan] {
+            assert_eq!(kind.to_string().parse::<ExecutorKind>().unwrap(), kind);
+            let executor = kind.build(rs.clone());
+            assert_eq!(executor.rule_count(), rs.len());
+            let mut ids = executor.matching_rules(&p);
+            ids.sort_unstable();
+            fired.push(ids);
+        }
+        assert_eq!(fired[0], fired[1]);
+        assert_eq!(fired[0], fired[2]);
+        assert_eq!(ExecutorKind::default(), ExecutorKind::LiteralScan);
+        assert!("warp-drive".parse::<ExecutorKind>().is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_over_many_calls() {
+        // The epoch-stamped scratch must give identical answers on the
+        // 1,000th call as on the first (stale-mark regression guard).
+        let rs = rules(LINES);
+        let scan = LiteralScanExecutor::new(rs);
+        let products = agreement_products();
+        let first: Vec<(Vec<RuleId>, usize)> = products
+            .iter()
+            .map(|p| scan.matching_rules_with_stats(&PreparedProduct::new(p)))
+            .collect();
+        for _ in 0..1000 {
+            for (p, expected) in products.iter().zip(&first) {
+                let got = scan.matching_rules_with_stats(&PreparedProduct::new(p));
+                assert_eq!(&got, expected);
+            }
+        }
     }
 
     #[test]
     fn parallel_execution_preserves_order_and_results() {
         let rs = rules(LINES);
-        let indexed = IndexedExecutor::new(rs);
+        let indexed = LiteralScanExecutor::new(rs);
         let products: Vec<Product> = (0..97)
             .map(|i| {
                 if i % 2 == 0 {
@@ -441,17 +895,13 @@ mod tests {
     struct PoisonExecutor;
 
     impl RuleExecutor for PoisonExecutor {
-        fn matching_rules(&self, product: &Product) -> Vec<RuleId> {
-            assert!(product.title != "poison", "poisoned product");
-            vec![RuleId(1)]
-        }
-
         fn rule_count(&self) -> usize {
             1
         }
 
-        fn candidates_considered(&self, _product: &Product) -> usize {
-            1
+        fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize) {
+            assert!(product.product().title != "poison", "poisoned product");
+            (vec![RuleId(1)], 1)
         }
     }
 
@@ -475,20 +925,25 @@ mod tests {
     #[test]
     fn execution_stats_shape() {
         let rs = rules(LINES);
-        let indexed = IndexedExecutor::new(rs.clone());
-        let naive = NaiveExecutor::new(rs);
+        let naive = NaiveExecutor::new(rs.clone());
         let products = vec![product("diamond ring", &[]), product("hose", &[])];
-        let si = execution_stats(&indexed, &products);
         let sn = execution_stats(&naive, &products);
-        assert_eq!(si.rule_count, sn.rule_count);
-        assert!(si.avg_considered < sn.avg_considered);
-        assert_eq!(si.avg_fired, sn.avg_fired);
+        for executor in
+            [&IndexedExecutor::new(rs.clone()) as &dyn RuleExecutor, &LiteralScanExecutor::new(rs)]
+        {
+            let si = execution_stats(executor, &products);
+            assert_eq!(si.rule_count, sn.rule_count);
+            assert!(si.avg_considered < sn.avg_considered);
+            assert_eq!(si.avg_fired, sn.avg_fired);
+        }
     }
 
     #[test]
     fn case_insensitive_index_lookup() {
         let rs = rules(&["rings? -> rings"]);
-        let indexed = IndexedExecutor::new(rs);
+        let indexed = IndexedExecutor::new(rs.clone());
         assert_eq!(indexed.matching_rules(&product("DIAMOND RING", &[])).len(), 1);
+        let scan = LiteralScanExecutor::new(rs);
+        assert_eq!(scan.matching_rules(&product("DIAMOND RING", &[])).len(), 1);
     }
 }

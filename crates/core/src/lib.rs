@@ -3,9 +3,11 @@
 //! The rule-management core: the rule model and analyst DSL, a versioned
 //! rule repository with per-type scale-down controls, rule-based
 //! classification with whitelist-before-blacklist phase semantics, three
-//! execution engines (naive, trigram-indexed, parallel batch), a data-side
-//! index for rule development, and mechanical audits of rule-system
-//! properties (order independence).
+//! execution engines (naive, trigram-indexed, Aho-Corasick literal-scan)
+//! behind an [`ExecutorKind`] switch, an allocation-free prepared-product
+//! match path with a persistent worker pool for parallel batches, a
+//! data-side index for rule development, and mechanical audits of
+//! rule-system properties (order independence).
 //!
 //! This crate is the direct reproduction of §3.3's rule machinery and §4's
 //! "rule languages / system properties / execution and optimization"
@@ -15,6 +17,8 @@ pub mod classifier;
 pub mod data_index;
 pub mod dsl;
 pub mod engine;
+pub mod pool;
+pub mod prepared;
 pub mod properties;
 pub mod repository;
 pub mod rule;
@@ -23,9 +27,11 @@ pub use classifier::{RuleClassifier, RuleVerdict};
 pub use data_index::TitleIndex;
 pub use dsl::{compile_pattern, ParseError, RuleParser, RuleSpec};
 pub use engine::{
-    execute_batch_parallel, execution_stats, ExecutionStats, IndexedExecutor, NaiveExecutor,
-    RuleExecutor, WorkerPanic,
+    execute_batch_parallel, execution_stats, ExecutionStats, ExecutorKind, IndexedExecutor,
+    LiteralScanExecutor, NaiveExecutor, RuleExecutor, WorkerPanic,
 };
+pub use pool::{PoolScope, WorkerPool};
+pub use prepared::PreparedProduct;
 pub use properties::{audit_order_independence, OrderAudit};
 pub use repository::{RepositoryStats, Revision, RuleRepository, DEFAULT_LOG_CAPACITY};
 pub use rule::{

@@ -1,0 +1,250 @@
+//! A persistent worker pool for batch execution.
+//!
+//! `execute_batch_parallel` and `Chimera::classify_batch` used to spawn (and
+//! join) a fresh set of OS threads for every batch — acceptable for one-shot
+//! experiments, but a serving tier classifying batches continuously pays
+//! thread creation and teardown on every call. This pool spawns its workers
+//! once (process-wide, lazily) and hands out scoped batches: `scope` blocks
+//! until every job submitted inside it has run, which is what makes lending
+//! non-`'static` borrows (the product slice, the executor) to the workers
+//! sound.
+//!
+//! Worker threads never die: each job runs under `catch_unwind`, so a
+//! panicking classification poisons only its own job (callers observe the
+//! panic through their result slot, exactly as with per-batch spawning).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads supporting scoped batch
+/// submission.
+pub struct WorkerPool {
+    sender: Sender<Job>,
+    size: usize,
+}
+
+// The sender is used behind &self from many threads.
+unsafe impl Sync for WorkerPool {}
+
+impl WorkerPool {
+    /// Spawns `size` workers (min 1).
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..size {
+            let receiver: Arc<Mutex<Receiver<Job>>> = receiver.clone();
+            std::thread::Builder::new()
+                .name(format!("rulekit-pool-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    match job {
+                        // Job panics are contained here so the worker
+                        // survives; the submitting scope's completion count
+                        // is maintained by the job wrapper's drop guard.
+                        Ok(job) => {
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                        Err(_) => break, // pool dropped
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        WorkerPool { sender, size }
+    }
+
+    /// The process-wide shared pool, sized to the machine's parallelism.
+    /// Spawned on first use and kept for the process lifetime.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            WorkerPool::new(n)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f` with a [`PoolScope`] that can lend borrows of the caller's
+    /// stack to pool workers. Every job spawned inside the scope is
+    /// guaranteed to have finished before `scope` returns — including when
+    /// `f` itself unwinds — which is the invariant that makes the internal
+    /// lifetime erasure sound.
+    ///
+    /// `self` is borrowed for `'env`, so `'env` necessarily spans the whole
+    /// `scope` call: jobs can borrow the caller's stack but never `f`'s own
+    /// locals (they die before the scope's completion wait).
+    pub fn scope<'env, F, R>(&'env self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'env>) -> R,
+    {
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::new(ScopeState { pending: Mutex::new(0), all_done: Condvar::new() }),
+            _env: std::marker::PhantomData,
+        };
+        // Wait for completion even if `f` panics: jobs still hold borrows
+        // into this frame until the count drains.
+        let guard = WaitGuard { state: scope.state.clone() };
+        let out = f(&scope);
+        drop(guard);
+        out
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl ScopeState {
+    fn wait_idle(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        while *pending > 0 {
+            pending = self.all_done.wait(pending).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn job_done(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+}
+
+struct WaitGuard {
+    state: Arc<ScopeState>,
+}
+
+impl Drop for WaitGuard {
+    fn drop(&mut self) {
+        self.state.wait_idle();
+    }
+}
+
+/// Decrements the scope's pending count when the job finishes — in `Drop`,
+/// so a panicking job still releases the scope.
+struct DoneGuard {
+    state: Arc<ScopeState>,
+}
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.state.job_done();
+    }
+}
+
+/// A scope handle: spawn jobs borrowing from `'env`.
+pub struct PoolScope<'env> {
+    pool: &'env WorkerPool,
+    state: Arc<ScopeState>,
+    /// Invariant in `'env` so the region can't be shrunk by variance.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> PoolScope<'env> {
+    /// Submits a job to the pool. The job may borrow anything live for
+    /// `'env`; the owning [`WorkerPool::scope`] call does not return until
+    /// the job has run.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        {
+            let mut pending = self.state.pending.lock().unwrap_or_else(|e| e.into_inner());
+            *pending += 1;
+        }
+        let done = DoneGuard { state: self.state.clone() };
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _done = done;
+            f();
+        });
+        // SAFETY: the `'env` borrows inside `job` outlive its execution
+        // because `WorkerPool::scope` blocks (via `WaitGuard`, even on
+        // unwind) until the pending count — incremented above, decremented
+        // by `DoneGuard` after the job body finishes — returns to zero.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        if self.pool.sender.send(job).is_err() {
+            // Pool shut down (only possible for owned pools being dropped
+            // mid-scope, which the borrow in `scope` prevents; defensive).
+            unreachable!("worker pool disconnected during scope");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_jobs_with_borrows() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<usize> = (0..100).collect();
+        let total = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(7) {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn workers_survive_job_panics() {
+        let pool = WorkerPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| panic!("job panic"));
+            }
+        });
+        // All workers still alive and serving.
+        let ran = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let ran = &ran;
+                s.spawn(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.size() >= 1);
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_workers() {
+        let pool = WorkerPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.scope(|s| {
+                let count = &count;
+                s.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-product preparation for the matching hot path.
+//!
+//! Before this module existed, every layer of the match path lowercased text
+//! on its own: `Dictionary::matches_title` lowercased the title once *per
+//! dictionary rule*, `Condition::AttrValueIn` lowercased the attribute value
+//! once *per value rule*, and `IndexedExecutor` lowercased every attribute
+//! name once *per call*. At tens of thousands of rules those per-rule
+//! allocations dominate the per-item cost the §4 index was built to remove.
+//!
+//! [`PreparedProduct`] hoists all of that to once per product: the title and
+//! each attribute name/value are case-folded a single time, then threaded by
+//! reference through `RuleExecutor::matching_rules`, `Condition::matches`
+//! and `RuleClassifier::classify`. Folding is per-character (context-free),
+//! so a prepared literal is found in a prepared title exactly when the
+//! original literal occurs in the original title under the same folding —
+//! the invariant both the trigram and literal-scan indexes rely on.
+//! Already-lowercase ASCII (the common case for vendor feeds) borrows
+//! instead of allocating.
+
+use rulekit_data::Product;
+use std::borrow::Cow;
+
+/// Context-free lowercase: each char folds independently (`char::to_lowercase`),
+/// unlike `str::to_lowercase`, whose Greek final-sigma special case is
+/// context-sensitive and would break the substring-preservation invariant
+/// the literal indexes need. Borrows when `s` is already caseless.
+pub(crate) fn fold_lower(s: &str) -> Cow<'_, str> {
+    if s.bytes().all(|b| !b.is_ascii_uppercase()) && s.is_ascii() {
+        return Cow::Borrowed(s);
+    }
+    // Check for non-ASCII needing fold only after the cheap ASCII fast path.
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.extend(c.to_lowercase());
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// A product plus everything the match path needs pre-computed once:
+/// case-folded title, case-folded attribute names and values.
+pub struct PreparedProduct<'p> {
+    product: &'p Product,
+    title_lower: Cow<'p, str>,
+    /// `(name_lower, value_lower)` aligned with `product.attributes`.
+    attrs_lower: Vec<(Cow<'p, str>, Cow<'p, str>)>,
+}
+
+impl<'p> PreparedProduct<'p> {
+    /// Prepares `product` for matching. One pass over title and attributes;
+    /// already-lowercase ASCII strings are borrowed, not copied.
+    pub fn new(product: &'p Product) -> Self {
+        PreparedProduct {
+            title_lower: fold_lower(&product.title),
+            attrs_lower: product
+                .attributes
+                .iter()
+                .map(|(k, v)| (fold_lower(k), fold_lower(v)))
+                .collect(),
+            product,
+        }
+    }
+
+    /// The underlying product.
+    pub fn product(&self) -> &'p Product {
+        self.product
+    }
+
+    /// The case-folded title.
+    pub fn title_lower(&self) -> &str {
+        &self.title_lower
+    }
+
+    /// Case-folded `(name, value)` pairs, in feed order.
+    pub fn attrs_lower(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs_lower.iter().map(|(k, v)| (k.as_ref(), v.as_ref()))
+    }
+
+    /// Case-folded value of the attribute named `name` (any case), if
+    /// present. Allocation-free: compares against the pre-folded names.
+    pub fn attr_value_lower(&self, name: &str) -> Option<&str> {
+        self.attrs_lower.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::VendorId;
+
+    fn product(title: &str, attrs: &[(&str, &str)]) -> Product {
+        Product {
+            id: 0,
+            title: title.into(),
+            description: String::new(),
+            attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            vendor: VendorId(0),
+        }
+    }
+
+    #[test]
+    fn folds_title_and_attributes_once() {
+        let p = product("Diamond RING", &[("Brand Name", "Apple")]);
+        let prep = PreparedProduct::new(&p);
+        assert_eq!(prep.title_lower(), "diamond ring");
+        assert_eq!(prep.attr_value_lower("brand name"), Some("apple"));
+        assert_eq!(prep.attr_value_lower("BRAND NAME"), Some("apple"));
+        assert_eq!(prep.attr_value_lower("Color"), None);
+    }
+
+    #[test]
+    fn lowercase_ascii_borrows() {
+        let p = product("plain lowercase title", &[("isbn", "9781")]);
+        let prep = PreparedProduct::new(&p);
+        assert!(matches!(prep.title_lower, Cow::Borrowed(_)));
+        assert!(prep
+            .attrs_lower
+            .iter()
+            .all(|(k, v)| { matches!(k, Cow::Borrowed(_)) && matches!(v, Cow::Borrowed(_)) }));
+    }
+
+    #[test]
+    fn non_ascii_folding_is_context_free() {
+        // str::to_lowercase would map the final sigma to 'ς'; the
+        // context-free fold must always produce 'σ' so that literal
+        // extraction (also per-char) and title folding agree.
+        assert_eq!(fold_lower("ΟΔΟΣ"), "οδοσ");
+        assert_eq!(fold_lower("CAFÉ au Lait"), "café au lait");
+    }
+
+    #[test]
+    fn attrs_lower_iterates_in_feed_order() {
+        let p = product("x", &[("B", "2"), ("A", "1")]);
+        let prep = PreparedProduct::new(&p);
+        let pairs: Vec<(&str, &str)> = prep.attrs_lower().collect();
+        assert_eq!(pairs, vec![("b", "2"), ("a", "1")]);
+    }
+}

@@ -12,6 +12,7 @@
 //!   laptop") — [`Condition::All`], [`Condition::NumCompare`],
 //!   [`Condition::InDictionary`].
 
+use crate::prepared::{fold_lower, PreparedProduct};
 use rulekit_data::{Product, TypeId};
 use rulekit_regex::Regex;
 use std::collections::HashSet;
@@ -38,20 +39,26 @@ pub struct Dictionary {
 }
 
 impl Dictionary {
-    /// Builds a dictionary, lowercasing entries.
+    /// Builds a dictionary, case-folding entries (context-free, matching
+    /// the fold applied to prepared titles).
     pub fn new(
         name: impl Into<String>,
         entries: impl IntoIterator<Item = impl AsRef<str>>,
     ) -> Self {
         Dictionary {
             name: name.into(),
-            entries: entries.into_iter().map(|e| e.as_ref().to_lowercase()).collect(),
+            entries: entries.into_iter().map(|e| fold_lower(e.as_ref()).into_owned()).collect(),
         }
     }
 
-    /// Whether `title` contains any entry as a substring (lowercased).
+    /// Whether `title` contains any entry as a substring (case-folded).
     pub fn matches_title(&self, title: &str) -> bool {
-        let lowered = title.to_lowercase();
+        self.matches_title_lower(&fold_lower(title))
+    }
+
+    /// Like [`Dictionary::matches_title`] for a title that is already
+    /// case-folded (the prepared hot path — no allocation per rule).
+    pub fn matches_title_lower(&self, lowered: &str) -> bool {
         self.entries.iter().any(|e| lowered.contains(e.as_str()))
     }
 }
@@ -126,25 +133,33 @@ pub enum Condition {
 }
 
 impl Condition {
-    /// Evaluates the condition against `product`.
+    /// Evaluates the condition against `product`. One-shot entry point:
+    /// prepares the product internally. Batch callers (the executors)
+    /// prepare once and use [`Condition::matches_prepared`].
     pub fn matches(&self, product: &Product) -> bool {
+        self.matches_prepared(&PreparedProduct::new(product))
+    }
+
+    /// Evaluates the condition against an already-prepared product — the
+    /// allocation-free hot path: dictionary and value comparisons run
+    /// against the pre-folded title/attributes instead of lowercasing per
+    /// rule.
+    pub fn matches_prepared(&self, product: &PreparedProduct<'_>) -> bool {
         match self {
-            Condition::TitleMatches(re) => re.is_match(&product.title),
-            Condition::AttrExists(name) => product.has_attr(name),
+            Condition::TitleMatches(re) => re.is_match(&product.product().title),
+            Condition::AttrExists(name) => product.product().has_attr(name),
             Condition::AttrValueIn { attr, values } => product
-                .attr(attr)
-                .map(|v| {
-                    let lowered = v.to_lowercase();
-                    values.contains(&lowered)
-                })
+                .attr_value_lower(attr)
+                .map(|lowered| values.iter().any(|v| v == lowered))
                 .unwrap_or(false),
             Condition::NumCompare { attr, op, value } => product
+                .product()
                 .attr(attr)
                 .and_then(|v| v.trim().parse::<f64>().ok())
                 .map(|v| op.apply(v, *value))
                 .unwrap_or(false),
-            Condition::InDictionary(dict) => dict.matches_title(&product.title),
-            Condition::All(conds) => conds.iter().all(|c| c.matches(product)),
+            Condition::InDictionary(dict) => dict.matches_title_lower(product.title_lower()),
+            Condition::All(conds) => conds.iter().all(|c| c.matches_prepared(product)),
         }
     }
 
@@ -276,6 +291,11 @@ impl Rule {
     /// Whether the rule's condition fires on `product`.
     pub fn matches(&self, product: &Product) -> bool {
         self.condition.matches(product)
+    }
+
+    /// Whether the rule's condition fires on an already-prepared product.
+    pub fn matches_prepared(&self, product: &PreparedProduct<'_>) -> bool {
+        self.condition.matches_prepared(product)
     }
 
     /// Whether the rule is enabled.

@@ -1,0 +1,134 @@
+//! Differential test across all three rule executors.
+//!
+//! One fixed-seed generated catalog plus a few hundred synthesized rules;
+//! Naive, Trigram, and LiteralScan must return identical fired-rule sets on
+//! every product. The corpus deliberately includes what the indexes treat
+//! specially: rules whose only literals are shorter than a trigram, rules
+//! with non-ASCII literals, products with non-ASCII titles, attribute and
+//! dictionary rules, and conjunctive rules with numeric guards.
+
+use rulekit_core::{
+    Dictionary, IndexedExecutor, LiteralScanExecutor, NaiveExecutor, RuleExecutor, RuleId,
+    RuleMeta, RuleParser, RuleRepository,
+};
+use rulekit_data::{CatalogGenerator, Product, Taxonomy, VendorId};
+use std::sync::Arc;
+
+fn build_rules(taxonomy: &Arc<Taxonomy>) -> Vec<rulekit_core::Rule> {
+    let mut parser = RuleParser::new(taxonomy.clone());
+    parser.register_dictionary(Dictionary::new(
+        "pc_words",
+        ["thinkpad", "ideapad", "chromebook", "überbook"],
+    ));
+    let repo = RuleRepository::new();
+
+    // A few hundred taxonomy-derived title rules (the realistic bulk).
+    let mut lines: Vec<String> = Vec::new();
+    for id in taxonomy.ids() {
+        let def = taxonomy.def(id);
+        let head = def.heads[0].to_lowercase();
+        lines.push(format!("{}s? -> {}", rulekit_regex::escape(&head), def.name));
+        for q in def.qualifiers.iter().take(2) {
+            lines.push(format!(
+                "{}.*{}s? -> {}",
+                rulekit_regex::escape(&q.to_lowercase()),
+                rulekit_regex::escape(&head),
+                def.name
+            ));
+        }
+    }
+    // Short-literal rules (< 3 bytes): un-indexable for the trigram index,
+    // indexed normally by the literal scan.
+    lines.push("tvs? -> televisions".into());
+    lines.push("pcs? -> desktop computers".into());
+    lines.push("4k tvs? -> televisions".into());
+    // Non-ASCII literals and titles.
+    lines.push("café press(es)? -> coffee makers".into());
+    lines.push("überbook pro -> laptop computers".into());
+    lines.push("crème brûlée torch(es)? -> tool boxes".into());
+    // Attribute / value / numeric / dictionary / conjunctive rules.
+    lines.push("attr(ISBN) -> books".into());
+    lines.push("value(Brand Name = Apple) -> one of laptop computers; smartphones; tablets".into());
+    lines.push("price < 5 -> NOT laptop computers".into());
+    lines.push("dict(pc_words) -> one of laptop computers; desktop computers".into());
+    lines.push("laptop (bag|case|sleeve)s? -> NOT laptop computers".into());
+
+    for line in &lines {
+        repo.add(parser.parse_rule(line).unwrap(), RuleMeta::default());
+    }
+    let rules = repo.enabled_snapshot();
+    assert!(rules.len() >= 200, "expected a few hundred rules, got {}", rules.len());
+    rules
+}
+
+fn adversarial_products() -> Vec<Product> {
+    let mk = |title: &str, attrs: &[(&str, &str)]| Product {
+        id: 0,
+        title: title.into(),
+        description: String::new(),
+        attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        vendor: VendorId(0),
+    };
+    vec![
+        mk("55\" 4K TV wall-mountable", &[]),
+        mk("tv", &[]),
+        mk("Bodum café PRESS 8-cup", &[]),
+        mk("ΕΛΛΗΝΙΚΟΣ ΟΔΟΣ crème BRÛLÉE torch", &[]),
+        mk("überbook pro 14", &[]),
+        mk("refurbished PC tower", &[("Price", "4.99")]),
+        mk("Lenovo ThinkPad X1", &[]),
+        mk("novel", &[("ISBN", "9781234567890"), ("isbn", "dup")]),
+        mk("apple thing", &[("Brand Name", "APPLE")]),
+        mk("padded laptop sleeve", &[]),
+        mk("", &[]),
+        mk("ss", &[]), // shorter than any trigram window
+    ]
+}
+
+#[test]
+fn all_executors_agree_on_generated_catalog() {
+    let taxonomy = Taxonomy::builtin();
+    let rules = build_rules(&taxonomy);
+    let naive = NaiveExecutor::new(rules.clone());
+    let indexed = IndexedExecutor::new(rules.clone());
+    let scan = LiteralScanExecutor::new(rules);
+
+    let mut generator = CatalogGenerator::with_seed(taxonomy, 0xD1FF);
+    let mut products: Vec<Product> =
+        generator.generate(400).into_iter().map(|i| i.product).collect();
+    products.extend(adversarial_products());
+
+    for p in &products {
+        let fired = |e: &dyn RuleExecutor| -> Vec<RuleId> {
+            let mut v = e.matching_rules(p);
+            v.sort_unstable();
+            v
+        };
+        let a = fired(&naive);
+        assert_eq!(a, fired(&indexed), "trigram disagreement on {:?}", p.title);
+        assert_eq!(a, fired(&scan), "literal-scan disagreement on {:?}", p.title);
+
+        let n = naive.candidates_considered(p);
+        let t = indexed.candidates_considered(p);
+        let l = scan.candidates_considered(p);
+        assert!(t <= n, "trigram considered {t} > naive {n} on {:?}", p.title);
+        assert!(l <= t, "literal-scan considered {l} > trigram {t} on {:?}", p.title);
+    }
+}
+
+#[test]
+fn stats_and_plain_paths_are_consistent() {
+    // matching_rules / matching_rules_with_stats / candidates_considered
+    // must be views of the same computation.
+    let taxonomy = Taxonomy::builtin();
+    let rules = build_rules(&taxonomy);
+    let scan = LiteralScanExecutor::new(rules);
+    for p in adversarial_products() {
+        let prepared = rulekit_core::PreparedProduct::new(&p);
+        let (fired, considered) = scan.matching_rules_with_stats(&prepared);
+        assert_eq!(fired, scan.matching_rules_prepared(&prepared));
+        assert_eq!(fired, scan.matching_rules(&p));
+        assert_eq!(considered, scan.candidates_considered(&p));
+        assert!(fired.len() <= considered);
+    }
+}

@@ -1,0 +1,280 @@
+//! Multi-pattern literal matching: a from-scratch Aho-Corasick automaton.
+//!
+//! The rule index (§4 "Rule Execution and Optimization") reduces "which of
+//! 10⁵ rules could fire on this title?" to "which required literals occur in
+//! this title?". Answering that one literal at a time (`contains` per rule,
+//! or a trigram probe per window) pays per-rule or per-window costs; an
+//! Aho-Corasick automaton answers it for *every* literal of *every* rule in
+//! a single left-to-right scan of the title, worst-case linear in
+//! `title.len() + matches`.
+//!
+//! The implementation is the textbook construction: a byte-trie over the
+//! patterns, failure links computed breadth-first, and per-node output sets
+//! pre-merged along the failure chain so reporting a match never walks
+//! links. The root's transitions are densified into a 256-entry table
+//! because almost every byte of a title restarts there.
+
+/// A compiled set of literal patterns supporting one-pass scanning.
+///
+/// Patterns are matched as raw byte substrings (callers wanting
+/// case-insensitivity lowercase both sides). Duplicate patterns are allowed
+/// and report their own ids. Empty patterns are rejected at build time.
+pub struct AhoCorasick {
+    /// Sparse transitions per node: sorted by byte for binary search.
+    trans: Vec<Vec<(u8, u32)>>,
+    /// Failure link per node (root's is root).
+    fail: Vec<u32>,
+    /// Pattern ids ending at each node, pre-merged with the failure chain.
+    out: Vec<Vec<u32>>,
+    /// Dense transition table for the root node.
+    root_dense: [u32; 256],
+    /// Number of patterns compiled in.
+    patterns: usize,
+    /// Length of each pattern in bytes (for match spans).
+    pattern_len: Vec<u32>,
+}
+
+const ROOT: u32 = 0;
+
+impl AhoCorasick {
+    /// Builds the automaton over `patterns`.
+    ///
+    /// # Panics
+    /// Panics if any pattern is empty — an empty required literal carries no
+    /// information and would match at every position.
+    pub fn new<I, P>(patterns: I) -> AhoCorasick
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<str>,
+    {
+        let mut ac = AhoCorasick {
+            trans: vec![Vec::new()],
+            fail: vec![ROOT],
+            out: vec![Vec::new()],
+            root_dense: [ROOT; 256],
+            patterns: 0,
+            pattern_len: Vec::new(),
+        };
+        for pattern in patterns {
+            let bytes = pattern.as_ref().as_bytes();
+            assert!(!bytes.is_empty(), "empty literal pattern");
+            let id = ac.patterns as u32;
+            ac.patterns += 1;
+            ac.pattern_len.push(bytes.len() as u32);
+            let mut node = ROOT;
+            for &b in bytes {
+                node = match ac.child(node, b) {
+                    Some(next) => next,
+                    None => {
+                        let next = ac.trans.len() as u32;
+                        ac.trans.push(Vec::new());
+                        ac.fail.push(ROOT);
+                        ac.out.push(Vec::new());
+                        let row = &mut ac.trans[node as usize];
+                        let pos = row.partition_point(|&(k, _)| k < b);
+                        row.insert(pos, (b, next));
+                        next
+                    }
+                };
+            }
+            ac.out[node as usize].push(id);
+        }
+        ac.build_links();
+        ac
+    }
+
+    fn child(&self, node: u32, b: u8) -> Option<u32> {
+        let row = &self.trans[node as usize];
+        row.binary_search_by_key(&b, |&(k, _)| k).ok().map(|i| row[i].1)
+    }
+
+    /// BFS over the trie: compute failure links, merge output sets down the
+    /// failure chain, and densify the root row.
+    fn build_links(&mut self) {
+        let mut queue = std::collections::VecDeque::new();
+        for &(b, child) in &self.trans[ROOT as usize] {
+            self.root_dense[b as usize] = child;
+            queue.push_back(child);
+        }
+        while let Some(node) = queue.pop_front() {
+            for i in 0..self.trans[node as usize].len() {
+                let (b, child) = self.trans[node as usize][i];
+                // Follow the parent's failure chain to the deepest proper
+                // suffix state that can consume `b`.
+                let mut f = self.fail[node as usize];
+                let fallback = loop {
+                    if let Some(next) = self.child(f, b) {
+                        break next;
+                    }
+                    if f == ROOT {
+                        break self.root_dense[b as usize];
+                    }
+                    f = self.fail[f as usize];
+                };
+                // `fallback` can equal `child` only when node is the root's
+                // own child chain; guard against self-links.
+                self.fail[child as usize] = if fallback == child { ROOT } else { fallback };
+                let inherited = self.out[self.fail[child as usize] as usize].clone();
+                self.out[child as usize].extend(inherited);
+                queue.push_back(child);
+            }
+        }
+    }
+
+    /// Number of patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns
+    }
+
+    /// Number of trie states (diagnostics / memory accounting).
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Scans `haystack` once, invoking `on_match(pattern_id)` for every
+    /// occurrence of every pattern (overlaps included). A pattern occurring
+    /// `k` times is reported `k` times; callers that only need set
+    /// membership dedupe on their side (the rule executor uses an
+    /// epoch-stamped mark table).
+    pub fn scan<F: FnMut(u32)>(&self, haystack: &str, mut on_match: F) {
+        let mut node = ROOT;
+        for &b in haystack.as_bytes() {
+            node = self.step(node, b);
+            for &id in &self.out[node as usize] {
+                on_match(id);
+            }
+        }
+    }
+
+    /// Advances one byte from `node`.
+    #[inline]
+    fn step(&self, mut node: u32, b: u8) -> u32 {
+        loop {
+            if node == ROOT {
+                return self.root_dense[b as usize];
+            }
+            if let Some(next) = self.child(node, b) {
+                return next;
+            }
+            node = self.fail[node as usize];
+        }
+    }
+
+    /// All matches as `(pattern_id, start, end)` byte spans, in scan order
+    /// (by end position). Convenience for tests and diagnostics; the hot
+    /// path uses [`AhoCorasick::scan`].
+    pub fn find_all(&self, haystack: &str) -> Vec<(u32, usize, usize)> {
+        let mut hits = Vec::new();
+        let mut node = ROOT;
+        for (i, &b) in haystack.as_bytes().iter().enumerate() {
+            node = self.step(node, b);
+            for &id in &self.out[node as usize] {
+                let len = self.pattern_len[id as usize] as usize;
+                hits.push((id, i + 1 - len, i + 1));
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn hit_set(ac: &AhoCorasick, text: &str) -> HashSet<u32> {
+        let mut seen = HashSet::new();
+        ac.scan(text, |id| {
+            seen.insert(id);
+        });
+        seen
+    }
+
+    #[test]
+    fn classic_example() {
+        // The textbook {he, she, his, hers} automaton.
+        let ac = AhoCorasick::new(["he", "she", "his", "hers"]);
+        let hits = ac.find_all("ushers");
+        assert_eq!(hits, vec![(1, 1, 4), (0, 2, 4), (3, 2, 6)]);
+    }
+
+    #[test]
+    fn overlapping_and_repeated_patterns() {
+        let ac = AhoCorasick::new(["aa"]);
+        let hits = ac.find_all("aaaa");
+        assert_eq!(hits.len(), 3, "overlapping occurrences all reported");
+    }
+
+    #[test]
+    fn duplicate_patterns_each_report() {
+        let ac = AhoCorasick::new(["ring", "ring"]);
+        assert_eq!(hit_set(&ac, "earring"), HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn suffix_pattern_found_inside_longer_pattern() {
+        // "ring" ends inside every "earring" occurrence — output merging
+        // along failure links must surface it.
+        let ac = AhoCorasick::new(["earring", "ring"]);
+        assert_eq!(hit_set(&ac, "gold earrings"), HashSet::from([0, 1]));
+        assert_eq!(hit_set(&ac, "o-ring kit"), HashSet::from([1]));
+    }
+
+    #[test]
+    fn non_ascii_patterns() {
+        let ac = AhoCorasick::new(["café", "straße", "änder"]);
+        assert_eq!(hit_set(&ac, "le café crème"), HashSet::from([0]));
+        assert_eq!(hit_set(&ac, "hauptstraße 7"), HashSet::from([1]));
+        assert_eq!(hit_set(&ac, "plain text"), HashSet::new());
+    }
+
+    #[test]
+    fn single_byte_patterns() {
+        let ac = AhoCorasick::new(["a", "b"]);
+        let hits = ac.find_all("abc");
+        assert_eq!(hits, vec![(0, 0, 1), (1, 1, 2)]);
+    }
+
+    #[test]
+    fn no_match_on_empty_haystack() {
+        let ac = AhoCorasick::new(["x"]);
+        assert!(ac.find_all("").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty literal pattern")]
+    fn empty_pattern_rejected() {
+        let _ = AhoCorasick::new([""]);
+    }
+
+    #[test]
+    fn agrees_with_contains_on_random_inputs() {
+        // Deterministic pseudo-random cross-check against `str::contains`.
+        let alphabet = ["ring", "rug", "lap", "top", "oil", "o", "ri", "ngr"];
+        let ac = AhoCorasick::new(alphabet);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..200 {
+            let len = next() % 24;
+            let text: String = (0..len).map(|_| b"rignutopl o"[next() % 11] as char).collect();
+            let expected: HashSet<u32> = alphabet
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| text.contains(*p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(hit_set(&ac, &text), expected, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn state_and_pattern_counts() {
+        let ac = AhoCorasick::new(["he", "she"]);
+        assert_eq!(ac.pattern_count(), 2);
+        // root + h,e + s,sh,she = 6 states.
+        assert_eq!(ac.state_count(), 6);
+    }
+}

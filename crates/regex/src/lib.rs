@@ -19,6 +19,10 @@
 //! * [`touch_subset`] — language containment used by rule maintenance to
 //!   detect subsumed rules (`jeans?` subsumes `denim.*jeans?`).
 //!
+//! plus the [`AhoCorasick`] multi-pattern literal matcher the literal-scan
+//! rule executor uses to find every rule's required literals in one pass
+//! over a title.
+//!
 //! ## Example
 //!
 //! ```
@@ -34,6 +38,7 @@
 //! assert_eq!(caps.get(1).unwrap().as_str(), "motor");
 //! ```
 
+pub mod aho;
 pub mod ast;
 pub mod contain;
 pub mod literals;
@@ -41,6 +46,7 @@ pub mod nfa;
 pub mod parser;
 pub mod pikevm;
 
+pub use aho::AhoCorasick;
 pub use ast::{escape, Ast};
 pub use contain::{touch_subset, Containment};
 pub use literals::{best_disjunction, literal_cnf, Disjunction};
