@@ -1,0 +1,81 @@
+//! Criterion bench for the observability layer: raw primitive costs
+//! (counter add, histogram record, span timer) and the end-to-end question
+//! the overhead guard test enforces — rule execution with instrumentation
+//! on vs off. Recorded alongside the PR 3 engine benches so the candidate
+//! numbers stay comparable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rulekit_bench::exp::execution::synthetic_rules;
+use rulekit_bench::setup::{analyst_rules, world, Scale};
+use rulekit_core::{ExecMetrics, ExecutorKind};
+use rulekit_obs::{Histogram, Registry, SpanTimer};
+
+fn bench_primitives(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter_total");
+    let hist = registry.histogram("bench_hist_nanos");
+
+    c.bench_function("obs/counter_inc", |b| b.iter(|| counter.inc()));
+    c.bench_function("obs/histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            hist.record(black_box(v >> 40));
+        })
+    });
+    c.bench_function("obs/span_timer", |b| {
+        b.iter(|| {
+            let span = SpanTimer::start(&hist);
+            black_box(span.finish())
+        })
+    });
+    c.bench_function("obs/registry_snapshot_2_metrics", |b| {
+        b.iter(|| registry.snapshot().metrics.len())
+    });
+
+    // Snapshot + quantile over a well-populated histogram: the read path
+    // operators hit on every scrape.
+    let full = Histogram::new();
+    for i in 0..100_000u64 {
+        full.record(i * 37 % 1_000_000);
+    }
+    c.bench_function("obs/histogram_quantiles", |b| {
+        b.iter(|| {
+            let snap = full.snapshot();
+            (snap.quantile(0.5), snap.quantile(0.99))
+        })
+    });
+}
+
+/// Instrumented vs uninstrumented execution of the same batch — the delta is
+/// the true hot-path cost of `ExecMetrics` (one striped add + one histogram
+/// record per product).
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let scale = Scale { train_items: 1000, eval_items: 1000, seed: 5 };
+    let (taxonomy, mut generator) = world(scale);
+    let products: Vec<_> = generator.generate(60).into_iter().map(|i| i.product).collect();
+    let mut rules = analyst_rules(&taxonomy);
+    rules.extend(synthetic_rules(&taxonomy, 5_000usize.saturating_sub(rules.len())));
+
+    let mut group = c.benchmark_group("observability_overhead");
+    group.throughput(Throughput::Elements(products.len() as u64));
+    for kind in [ExecutorKind::Trigram, ExecutorKind::LiteralScan] {
+        let off = kind.build_with(rules.clone(), None);
+        group.bench_with_input(BenchmarkId::new("off", kind), &off, |b, ex| {
+            b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
+        });
+        let registry = Registry::new();
+        let on = kind.build_with(rules.clone(), Some(ExecMetrics::register(&registry, kind)));
+        group.bench_with_input(BenchmarkId::new("on", kind), &on, |b, ex| {
+            b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_primitives, bench_instrumentation_overhead
+}
+criterion_main!(benches);

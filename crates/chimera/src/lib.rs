@@ -8,12 +8,14 @@
 
 pub mod analysis;
 pub mod metrics;
+pub mod obs;
 pub mod pipeline;
 pub mod snapshot;
 pub mod voting;
 
 pub use analysis::{AnalysisOutcome, SimulatedAnalysis};
 pub use metrics::OracleMetrics;
+pub use obs::PipelineMetrics;
 pub use pipeline::{BatchReport, Chimera, ChimeraConfig};
 pub use snapshot::{PipelineSnapshot, SnapshotDecision};
 pub use voting::{vote, Decision, VotingConfig};

@@ -5,6 +5,7 @@
 
 use crate::analysis::SimulatedAnalysis;
 use crate::metrics::OracleMetrics;
+use crate::obs::PipelineMetrics;
 use crate::voting::{vote, Decision, VotingConfig};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -18,6 +19,7 @@ use rulekit_crowd::{CrowdSim, PrecisionEstimate};
 use rulekit_data::{Batch, GeneratedItem, Product, Taxonomy, TypeId};
 use rulekit_learn::{default_ensemble, Classifier, Ensemble, Featurizer, TrainingSet};
 use rulekit_maint::DriftMonitor;
+use rulekit_obs::{MetricsSnapshot, Registry, SpanTimer};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -119,15 +121,29 @@ pub struct Chimera {
     monitor: DriftMonitor,
     analysis: SimulatedAnalysis,
     cache: Mutex<Option<ClassifierCache>>,
+    obs: Arc<PipelineMetrics>,
     rng: StdRng,
 }
 
 impl Chimera {
-    /// A fresh pipeline over `taxonomy`.
+    /// A fresh pipeline over `taxonomy`, with its own metrics registry.
     pub fn new(taxonomy: Arc<Taxonomy>, cfg: ChimeraConfig) -> Chimera {
+        let registry = Arc::new(Registry::new());
+        Chimera::with_registry(taxonomy, cfg, registry)
+    }
+
+    /// A fresh pipeline recording its telemetry into a caller-supplied
+    /// `registry` (so one process-wide registry can aggregate pipeline,
+    /// store and serving metrics into a single exposition).
+    pub fn with_registry(
+        taxonomy: Arc<Taxonomy>,
+        cfg: ChimeraConfig,
+        registry: Arc<Registry>,
+    ) -> Chimera {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let monitor =
             DriftMonitor::new(cfg.monitor_window, cfg.monitor_min_samples, cfg.precision_threshold);
+        let obs = PipelineMetrics::register(registry, cfg.executor);
         Chimera {
             parser: RuleParser::new(taxonomy.clone()),
             analysis: SimulatedAnalysis::new(taxonomy.clone()),
@@ -141,8 +157,22 @@ impl Chimera {
             suppressed: HashSet::new(),
             monitor,
             cache: Mutex::new(None),
+            obs,
             rng,
         }
+    }
+
+    /// The pipeline's metric handles (stage latencies, decision counters,
+    /// per-executor candidate accounting).
+    pub fn metrics(&self) -> &Arc<PipelineMetrics> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric the pipeline's registry
+    /// holds — per-stage latency histograms, decision/declined counters,
+    /// and the configured executor's candidate/automaton-hit counts.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// The taxonomy.
@@ -239,12 +269,12 @@ impl Chimera {
         }
         let gate_snapshot = self.gate_rules.enabled_snapshot();
         let gate = Arc::new(RuleClassifier::new(
-            self.cfg.executor.build(gate_snapshot.clone()),
+            self.cfg.executor.build_with(gate_snapshot.clone(), Some(self.obs.exec.clone())),
             gate_snapshot,
         ));
         let rule_snapshot = self.rules.enabled_snapshot();
         let rules = Arc::new(RuleClassifier::new(
-            self.cfg.executor.build(rule_snapshot.clone()),
+            self.cfg.executor.build_with(rule_snapshot.clone(), Some(self.obs.exec.clone())),
             rule_snapshot,
         ));
         *cache =
@@ -285,9 +315,13 @@ impl Chimera {
         rules: &RuleClassifier,
     ) -> Decision {
         // Gate Keeper: an unambiguous gate hit classifies immediately.
+        let span = SpanTimer::start(&self.obs.stage_gate);
         let gate_verdict = gate.classify(product);
+        span.finish();
         let finals = gate_verdict.final_candidates();
         if finals.len() == 1 && !self.suppressed.contains(&finals[0].0) {
+            self.obs.gate_shortcircuits.inc();
+            self.obs.decisions.inc();
             return Decision::Classified {
                 ty: finals[0].0,
                 confidence: 1.0,
@@ -296,13 +330,24 @@ impl Chimera {
         }
 
         // Rule-based + attribute/value classifiers.
+        let span = SpanTimer::start(&self.obs.stage_rules);
         let verdict = rules.classify(product);
+        span.finish();
         // Learning ensemble.
+        let span = SpanTimer::start(&self.obs.stage_learn);
         let learned = match &self.ensemble {
             Some(e) => e.predict(&self.featurizer.features(product)),
             None => rulekit_learn::Prediction::empty(),
         };
-        vote(&verdict, &learned, &self.suppressed, self.cfg.voting)
+        span.finish();
+        let span = SpanTimer::start(&self.obs.stage_vote);
+        let decision = vote(&verdict, &learned, &self.suppressed, self.cfg.voting);
+        span.finish();
+        self.obs.decisions.inc();
+        if decision.is_declined() {
+            self.obs.declined.inc();
+        }
+        decision
     }
 
     /// Classifies a slice of products on `cfg.threads` chunks of the
@@ -336,6 +381,7 @@ impl Chimera {
     /// Runs the full Figure 2 loop on one batch: classify → crowd-sample →
     /// gate → (analysis patch → rerun)*.
     pub fn process_batch(&mut self, batch: &Batch, crowd: &mut CrowdSim) -> BatchReport {
+        self.obs.batches.inc();
         let products: Vec<Product> = batch.items.iter().map(|i| i.product.clone()).collect();
         let truths: Vec<TypeId> = batch.items.iter().map(|i| i.truth).collect();
 
@@ -402,7 +448,9 @@ impl Chimera {
             if !self.cfg.analysis_enabled {
                 flagged.clear();
             }
+            let span = SpanTimer::start(&self.obs.stage_analysis);
             let outcome = self.analysis.patch(&flagged, &self.rules);
+            span.finish();
             rules_added += outcome.rules_added.len();
             if !outcome.relabeled.is_empty() && self.cfg.retrain_on_patch {
                 for (item, ty) in &outcome.relabeled {
@@ -532,6 +580,41 @@ mod tests {
         }
         assert_eq!(all[0], all[1], "naive vs trigram");
         assert_eq!(all[0], all[2], "naive vs literal-scan");
+    }
+
+    #[test]
+    fn pipeline_records_stage_metrics() {
+        let (chimera, mut g) = trained_chimera(59);
+        let products: Vec<Product> = g.generate(80).into_iter().map(|i| i.product).collect();
+        let decisions = chimera.classify_batch(&products);
+
+        let snap = chimera.metrics_snapshot();
+        let stage = |s: &str| {
+            snap.histogram(&format!("rulekit_chimera_stage_nanos{{stage=\"{s}\"}}"))
+                .unwrap_or_else(|| panic!("stage {s} registered"))
+        };
+        // Every product passes the gate; only non-short-circuited ones vote.
+        assert_eq!(stage("gate").count(), 80);
+        let shorts = snap.counter("rulekit_chimera_gate_shortcircuits_total").unwrap();
+        assert_eq!(stage("vote").count() + shorts, 80);
+        assert_eq!(stage("rules").count(), stage("vote").count());
+        assert_eq!(snap.counter("rulekit_chimera_decisions_total"), Some(80));
+        let declined = decisions.iter().filter(|d| d.is_declined()).count() as u64;
+        assert_eq!(snap.counter("rulekit_chimera_declined_total"), Some(declined));
+
+        // Executor candidate accounting flows from the compiled classifiers:
+        // gate classify + rules classify both record, so the per-product
+        // count is at least the number of gate passes.
+        let exec = &chimera.metrics().exec;
+        assert!(exec.products.value() >= 80, "exec products {}", exec.products.value());
+        assert_eq!(exec.candidates.count(), exec.products.value());
+
+        // The text exposition names every stage and renders quantiles.
+        let text = chimera.metrics().registry().render_text();
+        for s in ["gate", "rules", "learn", "vote"] {
+            assert!(text.contains(&format!("stage=\"{s}\"")), "missing stage {s} in:\n{text}");
+        }
+        assert!(text.contains("quantile=\"0.99\""), "no quantiles in:\n{text}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use crate::pool::WorkerPool;
 use crate::prepared::{fold_lower, PreparedProduct};
 use crate::rule::{Rule, RuleId};
+use rulekit_obs::{Counter, Histogram, Registry};
 use rulekit_regex::{best_disjunction, AhoCorasick};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -74,6 +75,60 @@ pub trait RuleExecutor: Send + Sync {
     }
 }
 
+/// Hot-path executor instrumentation: per-product candidate-set sizes, fire
+/// counts, and (for the literal scan) automaton pattern hits. Recording is
+/// wait-free — striped counter adds and one histogram record per product —
+/// and the whole block is skipped when an executor carries no metrics, so
+/// uninstrumented engines pay one branch.
+///
+/// The candidate accounting here is *defined* to agree with
+/// [`execution_stats`]: both views read the `considered` count off the same
+/// [`RuleExecutor::matching_rules_with_stats`] call, which the differential
+/// test asserts.
+pub struct ExecMetrics {
+    /// Per-product candidates-considered distribution.
+    pub candidates: Histogram,
+    /// Products classified through this executor.
+    pub products: Counter,
+    /// Total rules fired.
+    pub fired: Counter,
+    /// Aho-Corasick literal occurrences observed (literal-scan only;
+    /// stays 0 for other engines).
+    pub automaton_hits: Counter,
+}
+
+impl ExecMetrics {
+    /// Registers the executor metric family for `kind` in `registry`,
+    /// labelled `{executor="<kind>"}` so multiple engines can share one
+    /// registry.
+    pub fn register(registry: &Registry, kind: ExecutorKind) -> Arc<ExecMetrics> {
+        let name = |metric: &str| format!("{metric}{{executor=\"{kind}\"}}");
+        Arc::new(ExecMetrics {
+            candidates: registry.histogram(&name("rulekit_exec_candidates")),
+            products: registry.counter(&name("rulekit_exec_products_total")),
+            fired: registry.counter(&name("rulekit_exec_fired_total")),
+            automaton_hits: registry.counter(&name("rulekit_exec_automaton_hits_total")),
+        })
+    }
+
+    /// Metrics attached to no registry (tests, ad-hoc measurement).
+    pub fn detached() -> Arc<ExecMetrics> {
+        Arc::new(ExecMetrics {
+            candidates: Histogram::new(),
+            products: Counter::new(),
+            fired: Counter::new(),
+            automaton_hits: Counter::new(),
+        })
+    }
+
+    #[inline]
+    fn record(&self, considered: usize, fired: usize) {
+        self.products.inc();
+        self.candidates.record(considered as u64);
+        self.fired.add(fired as u64);
+    }
+}
+
 /// Which execution engine to compile a rule snapshot into — the knob the
 /// pipeline (`ChimeraConfig`) and serving tier expose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,12 +144,24 @@ pub enum ExecutorKind {
 }
 
 impl ExecutorKind {
-    /// Compiles `rules` into an executor of this kind.
+    /// Compiles `rules` into an executor of this kind, uninstrumented.
     pub fn build(self, rules: Vec<Rule>) -> Arc<dyn RuleExecutor> {
+        self.build_with(rules, None)
+    }
+
+    /// Compiles `rules` into an executor of this kind, recording per-product
+    /// candidate counts (and automaton hits) into `metrics` when given.
+    pub fn build_with(
+        self,
+        rules: Vec<Rule>,
+        metrics: Option<Arc<ExecMetrics>>,
+    ) -> Arc<dyn RuleExecutor> {
         match self {
-            ExecutorKind::Naive => Arc::new(NaiveExecutor::new(rules)),
-            ExecutorKind::Trigram => Arc::new(IndexedExecutor::new(rules)),
-            ExecutorKind::LiteralScan => Arc::new(LiteralScanExecutor::new(rules)),
+            ExecutorKind::Naive => Arc::new(NaiveExecutor::new(rules).with_metrics(metrics)),
+            ExecutorKind::Trigram => Arc::new(IndexedExecutor::new(rules).with_metrics(metrics)),
+            ExecutorKind::LiteralScan => {
+                Arc::new(LiteralScanExecutor::new(rules).with_metrics(metrics))
+            }
         }
     }
 }
@@ -213,12 +280,19 @@ fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
 /// Baseline: evaluate every rule on every product.
 pub struct NaiveExecutor {
     rules: Vec<Rule>,
+    metrics: Option<Arc<ExecMetrics>>,
 }
 
 impl NaiveExecutor {
     /// Wraps a rule snapshot.
     pub fn new(rules: Vec<Rule>) -> Self {
-        NaiveExecutor { rules }
+        NaiveExecutor { rules, metrics: None }
+    }
+
+    /// Attaches (or detaches) hot-path instrumentation.
+    pub fn with_metrics(mut self, metrics: Option<Arc<ExecMetrics>>) -> Self {
+        self.metrics = metrics;
+        self
     }
 }
 
@@ -228,12 +302,15 @@ impl RuleExecutor for NaiveExecutor {
     }
 
     fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize) {
-        let fired = self
+        let fired: Vec<RuleId> = self
             .rules
             .iter()
             .filter(|r| r.condition.matches_prepared(product))
             .map(|r| r.id)
             .collect();
+        if let Some(m) = &self.metrics {
+            m.record(self.rules.len(), fired.len());
+        }
         (fired, self.rules.len())
     }
 
@@ -270,6 +347,7 @@ pub struct IndexedExecutor {
     attr_postings: HashMap<String, Vec<u32>>,
     /// Rules that must always be considered.
     always: Vec<u32>,
+    metrics: Option<Arc<ExecMetrics>>,
 }
 
 impl IndexedExecutor {
@@ -280,6 +358,7 @@ impl IndexedExecutor {
             trigram_postings: HashMap::new(),
             attr_postings: HashMap::new(),
             always: Vec::new(),
+            metrics: None,
             rules,
         };
         for i in 0..executor.rules.len() {
@@ -299,6 +378,12 @@ impl IndexedExecutor {
             executor.admissions.push(admission);
         }
         executor
+    }
+
+    /// Attaches (or detaches) hot-path instrumentation.
+    pub fn with_metrics(mut self, metrics: Option<Arc<ExecMetrics>>) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     fn classify_rule(&self, i: usize) -> Admission {
@@ -386,13 +471,16 @@ impl RuleExecutor for IndexedExecutor {
         with_scratch(|scratch| {
             self.collect_candidates(product, scratch);
             let considered = scratch.candidates.len();
-            let fired = scratch
+            let fired: Vec<RuleId> = scratch
                 .candidates
                 .iter()
                 .map(|&i| &self.rules[i as usize])
                 .filter(|r| r.condition.matches_prepared(product))
                 .map(|r| r.id)
                 .collect();
+            if let Some(m) = &self.metrics {
+                m.record(considered, fired.len());
+            }
             (fired, considered)
         })
     }
@@ -425,6 +513,7 @@ pub struct LiteralScanExecutor {
     attr_postings: HashMap<String, Vec<u32>>,
     /// Rules that must always be considered.
     always: Vec<u32>,
+    metrics: Option<Arc<ExecMetrics>>,
 }
 
 impl LiteralScanExecutor {
@@ -477,7 +566,14 @@ impl LiteralScanExecutor {
             required,
             attr_postings,
             always,
+            metrics: None,
         }
+    }
+
+    /// Attaches (or detaches) hot-path instrumentation.
+    pub fn with_metrics(mut self, metrics: Option<Arc<ExecMetrics>>) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Number of automaton states (memory/build diagnostics).
@@ -485,15 +581,19 @@ impl LiteralScanExecutor {
         self.automaton.as_ref().map_or(0, AhoCorasick::state_count)
     }
 
-    /// Fills `scratch.candidates` with admitted rule indices.
-    fn collect_candidates(&self, product: &PreparedProduct<'_>, scratch: &mut Scratch) {
+    /// Fills `scratch.candidates` with admitted rule indices, returning how
+    /// many literal occurrences the automaton reported (every occurrence,
+    /// not just first-per-pattern — the raw scan workload signal).
+    fn collect_candidates(&self, product: &PreparedProduct<'_>, scratch: &mut Scratch) -> u64 {
         scratch.begin(self.rules.len(), self.pattern_groups.len(), self.group_rule.len());
+        let mut hits = 0u64;
         for &i in &self.always {
             scratch.mark_rule(i);
             scratch.candidates.push(i);
         }
         if let Some(automaton) = &self.automaton {
             automaton.scan(product.title_lower(), |pid| {
+                hits += 1;
                 // First occurrence of this literal this product: credit each
                 // distinct disjunction group it belongs to; a rule whose
                 // every group has been credited becomes a candidate.
@@ -518,6 +618,7 @@ impl LiteralScanExecutor {
                 }
             }
         }
+        hits
     }
 }
 
@@ -528,15 +629,19 @@ impl RuleExecutor for LiteralScanExecutor {
 
     fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize) {
         with_scratch(|scratch| {
-            self.collect_candidates(product, scratch);
+            let hits = self.collect_candidates(product, scratch);
             let considered = scratch.candidates.len();
-            let fired = scratch
+            let fired: Vec<RuleId> = scratch
                 .candidates
                 .iter()
                 .map(|&i| &self.rules[i as usize])
                 .filter(|r| r.condition.matches_prepared(product))
                 .map(|r| r.id)
                 .collect();
+            if let Some(m) = &self.metrics {
+                m.record(considered, fired.len());
+                m.automaton_hits.add(hits);
+            }
             (fired, considered)
         })
     }
@@ -936,6 +1041,42 @@ mod tests {
             assert!(si.avg_considered < sn.avg_considered);
             assert_eq!(si.avg_fired, sn.avg_fired);
         }
+    }
+
+    #[test]
+    fn exec_metrics_count_candidates_and_hits() {
+        let registry = Registry::new();
+        let rs = rules(LINES);
+        let products = agreement_products();
+        for kind in [ExecutorKind::Naive, ExecutorKind::Trigram, ExecutorKind::LiteralScan] {
+            let metrics = ExecMetrics::register(&registry, kind);
+            let executor = kind.build_with(rs.clone(), Some(metrics.clone()));
+            let mut considered_total = 0u64;
+            let mut fired_total = 0u64;
+            for p in &products {
+                let (fired, considered) =
+                    executor.matching_rules_with_stats(&PreparedProduct::new(p));
+                considered_total += considered as u64;
+                fired_total += fired.len() as u64;
+            }
+            assert_eq!(metrics.products.value(), products.len() as u64, "{kind}");
+            assert_eq!(metrics.candidates.count(), products.len() as u64, "{kind}");
+            assert_eq!(metrics.candidates.sum(), considered_total, "{kind}");
+            assert_eq!(metrics.fired.value(), fired_total, "{kind}");
+            match kind {
+                ExecutorKind::LiteralScan => {
+                    assert!(metrics.automaton_hits.value() > 0, "titles contain rule literals")
+                }
+                _ => assert_eq!(metrics.automaton_hits.value(), 0, "{kind}"),
+            }
+        }
+        // Registering the same kind twice shares the underlying metric.
+        let again = ExecMetrics::register(&registry, ExecutorKind::Naive);
+        assert_eq!(again.products.value(), products.len() as u64);
+        // Uninstrumented build records nothing anywhere.
+        let before = registry.snapshot();
+        ExecutorKind::LiteralScan.build(rs).matching_rules(&products[0]);
+        assert_eq!(registry.snapshot(), before);
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub use classifier::{RuleClassifier, RuleVerdict};
 pub use data_index::TitleIndex;
 pub use dsl::{compile_pattern, ParseError, RuleParser, RuleSpec};
 pub use engine::{
-    execute_batch_parallel, execution_stats, ExecutionStats, ExecutorKind, IndexedExecutor,
-    LiteralScanExecutor, NaiveExecutor, RuleExecutor, WorkerPanic,
+    execute_batch_parallel, execution_stats, ExecMetrics, ExecutionStats, ExecutorKind,
+    IndexedExecutor, LiteralScanExecutor, NaiveExecutor, RuleExecutor, WorkerPanic,
 };
 pub use pool::{PoolScope, WorkerPool};
 pub use prepared::PreparedProduct;

@@ -8,8 +8,8 @@
 //! dictionary rules, and conjunctive rules with numeric guards.
 
 use rulekit_core::{
-    Dictionary, IndexedExecutor, LiteralScanExecutor, NaiveExecutor, RuleExecutor, RuleId,
-    RuleMeta, RuleParser, RuleRepository,
+    execution_stats, Dictionary, ExecMetrics, ExecutorKind, IndexedExecutor, LiteralScanExecutor,
+    NaiveExecutor, RuleExecutor, RuleId, RuleMeta, RuleParser, RuleRepository,
 };
 use rulekit_data::{CatalogGenerator, Product, Taxonomy, VendorId};
 use std::sync::Arc;
@@ -113,6 +113,59 @@ fn all_executors_agree_on_generated_catalog() {
         let l = scan.candidates_considered(p);
         assert!(t <= n, "trigram considered {t} > naive {n} on {:?}", p.title);
         assert!(l <= t, "literal-scan considered {l} > trigram {t} on {:?}", p.title);
+    }
+}
+
+#[test]
+fn candidate_metrics_agree_with_execution_stats() {
+    // The observability counters and `execution_stats` are two views of the
+    // same `matching_rules_with_stats` call; across all three executors they
+    // must report identical product, candidate, and fired totals.
+    let taxonomy = Taxonomy::builtin();
+    let rules = build_rules(&taxonomy);
+    let mut generator = CatalogGenerator::with_seed(taxonomy, 0xD1FF);
+    let mut products: Vec<Product> =
+        generator.generate(200).into_iter().map(|i| i.product).collect();
+    products.extend(adversarial_products());
+    let n = products.len() as u64;
+
+    let registry = rulekit_obs::Registry::new();
+    let mut candidate_sums = Vec::new();
+    for kind in [ExecutorKind::Naive, ExecutorKind::Trigram, ExecutorKind::LiteralScan] {
+        let metrics = ExecMetrics::register(&registry, kind);
+        let executor = kind.build_with(rules.clone(), Some(metrics.clone()));
+        let stats = execution_stats(executor.as_ref(), &products);
+
+        assert_eq!(metrics.products.value(), n, "{kind}: one record per product");
+        assert_eq!(metrics.candidates.count(), n, "{kind}: one histogram sample per product");
+        let avg_considered = metrics.candidates.snapshot().sum as f64 / n as f64;
+        assert_eq!(avg_considered, stats.avg_considered, "{kind}: candidate totals diverge");
+        let avg_fired = metrics.fired.value() as f64 / n as f64;
+        assert_eq!(avg_fired, stats.avg_fired, "{kind}: fired totals diverge");
+        // No per-product count can exceed the rule count, and the histogram's
+        // max is exact below SUB_BUCKETS so it is bounded by it too.
+        assert!(metrics.candidates.snapshot().max <= stats.rule_count as u64, "{kind}");
+        match kind {
+            ExecutorKind::LiteralScan => assert!(
+                metrics.automaton_hits.value() > 0,
+                "catalog titles must contain rule literals"
+            ),
+            _ => assert_eq!(metrics.automaton_hits.value(), 0, "{kind}: no automaton"),
+        }
+        candidate_sums.push(metrics.candidates.snapshot().sum);
+    }
+    // Index selectivity ordering holds in aggregate, mirroring the
+    // per-product assertion in `all_executors_agree_on_generated_catalog`.
+    assert!(candidate_sums[2] <= candidate_sums[1], "literal-scan considered more than trigram");
+    assert!(candidate_sums[1] <= candidate_sums[0], "trigram considered more than naive");
+
+    // The shared registry renders all three executor families side by side.
+    let text = registry.render_text();
+    for kind in ["naive", "trigram", "literal-scan"] {
+        assert!(
+            text.contains(&format!("rulekit_exec_candidates_count{{executor=\"{kind}\"}}")),
+            "missing exposition for {kind}:\n{text}"
+        );
     }
 }
 

@@ -1,0 +1,318 @@
+//! Log-linear histogram: HdrHistogram's bucketing scheme reduced to the
+//! essentials, on plain atomics.
+//!
+//! Values below [`SUB_BUCKETS`] get an exact bucket each; every octave
+//! above that is split into [`SUB_BUCKETS`] linear sub-buckets, so a
+//! bucket's bounds are never more than `1/SUB_BUCKETS` (6.25%) apart in
+//! relative terms. That gives quantile estimates with bounded relative
+//! error over the full `u64` range out of ~1k buckets (≈8 KiB).
+//!
+//! Recording is allocation-free and lock-free: one relaxed `fetch_add` on
+//! the bucket, one on the running sum, one relaxed `fetch_max` on the
+//! maximum. There is deliberately no separate total-count cell — the count
+//! *is* the sum of bucket counts, so "count equals sum of buckets" holds by
+//! construction no matter how reads interleave with concurrent writers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Linear sub-buckets per octave; also the top of the exact range.
+pub const SUB_BUCKETS: u64 = 16;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 4
+
+/// 16 exact buckets + 16 per octave for magnitudes 4..=63.
+const BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let mag = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = (v >> (mag - SUB_BITS)) - SUB_BUCKETS;
+    ((u64::from(mag) - u64::from(SUB_BITS)) * SUB_BUCKETS + SUB_BUCKETS + sub) as usize
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if (i as u64) < SUB_BUCKETS {
+        return (i as u64, i as u64);
+    }
+    let mag = (i as u64 - SUB_BUCKETS) / SUB_BUCKETS + u64::from(SUB_BITS);
+    let sub = (i as u64 - SUB_BUCKETS) % SUB_BUCKETS;
+    let shift = (mag - u64::from(SUB_BITS)) as u32;
+    let lower = (SUB_BUCKETS + sub) << shift;
+    let width = 1u64 << shift;
+    (lower, lower + (width - 1))
+}
+
+struct HistogramCore {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        // Box the array directly from a Vec to keep the 8 KiB off the stack.
+        let counts: Box<[AtomicU64; BUCKETS]> = (0..BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("BUCKETS-sized vec"));
+        HistogramCore { counts, sum: AtomicU64::new(0), max: AtomicU64::new(0) }
+    }
+}
+
+/// A shareable log-linear histogram handle. Cloning shares the buckets.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.core.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+        self.core.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded values (sum of bucket counts).
+    pub fn count(&self) -> u64 {
+        self.core.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// Conservative quantile estimate; see [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.snapshot().mean()
+    }
+
+    /// Folds another histogram's counts into this one. Equivalent (bucket
+    /// by bucket) to having recorded both streams into one histogram.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.core.counts.iter().zip(other.core.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.core.sum.fetch_add(other.core.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.core.max.fetch_max(other.core.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// An immutable point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, c) in self.core.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.core.sum.load(Ordering::Relaxed),
+            max: self.core.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state: the non-empty buckets plus sum and max.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Inclusive value bounds of the bucket holding the rank-`q` sample.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        let total = self.count();
+        if total == 0 {
+            return (0, 0);
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i as usize);
+            }
+        }
+        bucket_bounds(self.buckets.last().map_or(0, |&(i, _)| i as usize))
+    }
+
+    /// Conservative quantile estimate (`q` in `[0, 1]`): the upper bound of
+    /// the bucket holding the rank-`q` sample, clamped to the observed
+    /// maximum — never under-reports, and over-reports by at most one part
+    /// in [`SUB_BUCKETS`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let (_, upper) = self.quantile_bounds(q);
+        upper.min(self.max)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Bucket-wise sum of two snapshots.
+    pub fn merge(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u32, u64)> = Vec::with_capacity(a.buckets.len() + b.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.buckets.len() || j < b.buckets.len() {
+            match (a.buckets.get(i), b.buckets.get(j)) {
+                (Some(&(ia, na)), Some(&(ib, _))) if ia < ib => {
+                    buckets.push((ia, na));
+                    i += 1;
+                }
+                (Some(&(ia, _)), Some(&(ib, nb))) if ib < ia => {
+                    buckets.push((ib, nb));
+                    j += 1;
+                }
+                (Some(&(ia, na)), Some(&(_, nb))) => {
+                    buckets.push((ia, na + nb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(ia, na)), None) => {
+                    buckets.push((ia, na));
+                    i += 1;
+                }
+                (None, Some(&(ib, nb))) => {
+                    buckets.push((ib, nb));
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        // Wrapping, to match live recording: `Histogram::record` accumulates
+        // the sum with atomic fetch_add, which wraps on overflow.
+        HistogramSnapshot { buckets, sum: a.sum.wrapping_add(b.sum), max: a.max.max(b.max) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        // Every value maps into a bucket whose bounds contain it, and bucket
+        // indices are monotone in the value.
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|shift| [0u64, 1, 7].map(|off| (1u64 << shift).saturating_add(off)))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} bucket={i} bounds=({lo},{hi})");
+            assert!(i >= last, "index regressed at v={v}");
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_below_sub_buckets() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v));
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for shift in SUB_BITS..63 {
+            let v = (1u64 << shift) + (1u64 << shift.saturating_sub(1));
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let width = (hi - lo) as f64;
+            assert!(width / lo as f64 <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_never_under_report() {
+        let h = Histogram::new();
+        let values = [3u64, 17, 170, 1700, 17_000, 1_700_000];
+        for &v in &values {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), values.iter().sum::<u64>());
+        assert_eq!(h.max(), 1_700_000);
+        assert!(h.quantile(0.5) >= 170);
+        assert!(h.quantile(1.0) >= 1_700_000);
+        assert_eq!(h.quantile(1.0), 1_700_000, "p100 clamps to observed max");
+        assert!(h.quantile(0.0) >= 3);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn merge_from_equals_combined_recording() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 5, 900, 40_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 5, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+        assert_eq!(
+            HistogramSnapshot::merge(&b.snapshot(), &Histogram::new().snapshot()),
+            b.snapshot()
+        );
+    }
+}

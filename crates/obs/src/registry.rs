@@ -1,0 +1,148 @@
+//! The sharded metrics registry: name → metric, get-or-register semantics.
+//!
+//! Registration and snapshotting take a shard lock; steady-state recording
+//! never does — callers hold the returned [`Counter`]/[`Gauge`]/
+//! [`Histogram`] handles, which reach the atomics directly. Names follow
+//! the Prometheus convention (`subsystem_metric_unit`, optional
+//! `{label="value"}` suffix); the registry treats the full string as the
+//! identity.
+
+use crate::histogram::Histogram;
+use crate::metric::{Counter, Gauge};
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+const SHARDS: usize = 8;
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A registry of named metrics, sharded by name hash so concurrent
+/// registration from many subsystems doesn't serialize.
+#[derive(Default)]
+pub struct Registry {
+    shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by name.
+    /// Counter and histogram values are monotone across successive
+    /// snapshots taken by one reader (atomic coherence: a later load never
+    /// observes an earlier value).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut metrics: Vec<(String, MetricValue)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, metric) in map.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                metrics.push((name.clone(), value));
+            }
+        }
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { metrics }
+    }
+
+    /// Prometheus-style text exposition of [`Registry::snapshot`].
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_metric() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.counter("a_total").inc();
+        assert_eq!(r.counter("a_total").value(), 2);
+        r.gauge("b").set(5);
+        assert_eq!(r.gauge("b").value(), 5);
+        r.histogram("c_nanos").record(7);
+        assert_eq!(r.histogram("c_nanos").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z_total").add(3);
+        r.gauge("a_depth").set(-2);
+        r.histogram("m_nanos").record(100);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a_depth", "m_nanos", "z_total"]);
+        assert_eq!(snap.counter("z_total"), Some(3));
+        assert_eq!(snap.gauge("a_depth"), Some(-2));
+        assert_eq!(snap.histogram("m_nanos").map(|h| h.count()), Some(1));
+    }
+}

@@ -1,0 +1,161 @@
+//! Point-in-time registry state and its text exposition.
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Signed gauge level.
+    Gauge(i64),
+    /// Full distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// Everything a [`crate::Registry`] held at snapshot time, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    fn find(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// The counter registered as `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge registered as `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.find(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram registered as `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.find(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as single
+    /// samples, histograms as quantile-labelled summaries plus
+    /// `_count`/`_sum`/`_max` samples. Label suffixes in metric names
+    /// (`name{shard="0"}`) are preserved verbatim; one `# TYPE` line is
+    /// emitted per metric family, not per labelled series.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut typed: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (name, value) in &self.metrics {
+            // `name{label="v"}` → base name for TYPE lines and suffixing.
+            let (base, labels) = match name.find('{') {
+                Some(i) => (&name[..i], &name[i..]),
+                None => (name.as_str(), ""),
+            };
+            let mut type_line = |out: &mut String, kind: &str| {
+                if typed.insert(base) {
+                    let _ = writeln!(out, "# TYPE {base} {kind}");
+                }
+            };
+            match value {
+                MetricValue::Counter(v) => {
+                    type_line(&mut out, "counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    type_line(&mut out, "gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    type_line(&mut out, "summary");
+                    for q in [0.5, 0.95, 0.99] {
+                        let sep = if labels.is_empty() { "" } else { "," };
+                        let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                        let _ = writeln!(
+                            out,
+                            "{base}{{{inner}{sep}quantile=\"{q}\"}} {}",
+                            h.quantile(q)
+                        );
+                    }
+                    let _ = writeln!(out, "{base}_max{labels} {}", h.max);
+                    let _ = writeln!(out, "{base}_count{labels} {}", h.count());
+                    let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn render_text_exposes_all_kinds() {
+        let r = Registry::new();
+        r.counter("req_total").add(9);
+        r.gauge("queue_depth{shard=\"1\"}").set(4);
+        let h = r.histogram("latency_nanos");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let text = r.render_text();
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total 9"), "{text}");
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        assert!(text.contains("queue_depth{shard=\"1\"} 4"), "{text}");
+        assert!(text.contains("latency_nanos{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("latency_nanos_count 3"), "{text}");
+        assert!(text.contains("latency_nanos_sum 600"), "{text}");
+        assert!(text.contains("latency_nanos_max 300"), "{text}");
+    }
+
+    #[test]
+    fn labelled_histograms_merge_label_sets() {
+        let r = Registry::new();
+        r.histogram("lat{shard=\"2\"}").record(50);
+        let text = r.render_text();
+        assert!(text.contains("lat{shard=\"2\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("lat_count{shard=\"2\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn type_line_appears_once_per_family() {
+        let r = Registry::new();
+        for shard in 0..4 {
+            r.gauge(&format!("depth{{shard=\"{shard}\"}}")).set(shard);
+        }
+        // A distinct family whose name sorts between the bare base and the
+        // labelled series must not break the dedup.
+        r.gauge("depth_max").set(9);
+        let text = r.render_text();
+        assert_eq!(text.matches("# TYPE depth gauge\n").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE depth_max gauge\n").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn lookups_hit_by_exact_name() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("a"), None, "kind mismatch reads as absent");
+    }
+}

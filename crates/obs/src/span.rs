@@ -1,0 +1,82 @@
+//! Span timers: structured per-stage tracing that costs one `Instant::now`
+//! at each end and one histogram record, with no allocation.
+//!
+//! A [`SpanTimer`] is deliberately *not* a distributed-tracing span — no
+//! ids, no context propagation. It is the part the pipeline actually
+//! needs: "how long did the gate-keeper stage take on this product",
+//! recorded into a per-stage latency histogram whose quantiles the
+//! operator dashboards read.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// RAII stage timer: records elapsed nanoseconds into its histogram when
+/// dropped (or earlier, via [`SpanTimer::finish`]).
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+    done: bool,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing against `hist`.
+    pub fn start(hist: &'a Histogram) -> SpanTimer<'a> {
+        SpanTimer { hist, start: Instant::now(), done: false }
+    }
+
+    /// Stops the timer and records, returning the elapsed nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        self.done = true;
+        let nanos = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.hist.record(nanos);
+        nanos
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+/// Times `f` against `hist` and passes its value through.
+#[inline]
+pub fn timed<R>(hist: &Histogram, f: impl FnOnce() -> R) -> R {
+    let span = SpanTimer::start(hist);
+    let out = f();
+    span.finish();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_on_drop_and_on_finish() {
+        let h = Histogram::new();
+        {
+            let _span = SpanTimer::start(&h);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let explicit = {
+            let span = SpanTimer::start(&h);
+            std::thread::sleep(Duration::from_millis(1));
+            span.finish()
+        };
+        assert_eq!(h.count(), 2);
+        assert!(explicit >= 1_000_000, "slept ≥1ms, recorded {explicit}ns");
+        assert!(h.quantile(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn timed_passes_value_through() {
+        let h = Histogram::new();
+        let v = timed(&h, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Concurrency guarantees of the metrics surface: writer threads hammer
+//! counters and histograms while a reader takes snapshots; no increment may
+//! be lost, and a single reader's successive snapshots must be monotone.
+
+use rulekit_obs::{Registry, SUB_BUCKETS};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const WRITERS: usize = 8;
+const INCREMENTS: u64 = 50_000;
+
+#[test]
+fn no_lost_increments_and_monotone_snapshots() {
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("hammer_total");
+    let hist = registry.histogram("hammer_values");
+    let gauge = registry.gauge("hammer_level");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Reader: snapshot continuously; counter totals and histogram counts
+    // must never move backwards between successive reads.
+    let reader = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let (mut last_count, mut last_hist, mut last_sum, mut snapshots) =
+                (0u64, 0u64, 0u64, 0u64);
+            while !stop.load(Ordering::Acquire) {
+                let snap = registry.snapshot();
+                let count = snap.counter("hammer_total").expect("registered");
+                let h = snap.histogram("hammer_values").expect("registered");
+                let (hist_count, hist_sum) = (h.count(), h.sum);
+                assert!(count >= last_count, "counter regressed: {count} < {last_count}");
+                assert!(hist_count >= last_hist, "histogram count regressed");
+                assert!(hist_sum >= last_sum, "histogram sum regressed");
+                // Mid-flight invariant: count is DEFINED as the bucket sum,
+                // so it can never disagree with the buckets it came from.
+                assert_eq!(hist_count, h.buckets.iter().map(|&(_, n)| n).sum::<u64>());
+                (last_count, last_hist, last_sum) = (count, hist_count, hist_sum);
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            let gauge = gauge.clone();
+            thread::spawn(move || {
+                for i in 0..INCREMENTS {
+                    counter.inc();
+                    // Values spread across exact and log-linear buckets.
+                    hist.record((w as u64 + 1) * (i % (SUB_BUCKETS * 40) + 1));
+                    gauge.set_max((w as u64 * INCREMENTS / 2 + i) as i64);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    stop.store(true, Ordering::Release);
+    let snapshots = reader.join().expect("reader");
+    assert!(snapshots > 0, "reader never snapshotted");
+
+    // After the join, every single increment is visible: nothing lost to
+    // striping, relaxed ordering, or reader interference.
+    let total = (WRITERS as u64) * INCREMENTS;
+    assert_eq!(counter.value(), total);
+    assert_eq!(hist.count(), total);
+    let final_snap = registry.snapshot();
+    assert_eq!(final_snap.counter("hammer_total"), Some(total));
+    assert_eq!(final_snap.histogram("hammer_values").map(|h| h.count()), Some(total));
+    assert!(final_snap.gauge("hammer_level").unwrap() > 0);
+}
+
+#[test]
+fn concurrent_registration_yields_one_metric_per_name() {
+    // Many threads race get-or-register on the same names; all must end up
+    // sharing one underlying metric per name.
+    let registry = Arc::new(Registry::new());
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                for i in 0..100 {
+                    registry.counter(&format!("shared_{}_total", i % 10)).inc();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("registrar");
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.metrics.len(), 10, "exactly one metric per distinct name");
+    for i in 0..10 {
+        assert_eq!(snap.counter(&format!("shared_{i}_total")), Some(80));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the log-linear histogram: the structural invariants
+//! (count ≡ bucket sum), quantile bracketing with bounded relative error,
+//! and merge ≡ combined recording, over randomly generated value streams.
+
+use proptest::prelude::*;
+use rulekit_obs::{Histogram, HistogramSnapshot, SUB_BUCKETS};
+
+/// The sorted-rank value the quantile estimate must bracket, matching the
+/// histogram's rank rule: `rank = max(1, ceil(q * n))`, 1-based.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn count_is_sum_of_bucket_counts(values in prop::collection::vec(0u64..u64::MAX, 1..300)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let bucket_sum: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(snap.count(), bucket_sum);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        // Sum and max reflect the stream exactly (no bucket rounding).
+        let mut exact_sum = 0u64;
+        for &v in &values {
+            exact_sum = exact_sum.wrapping_add(v);
+        }
+        prop_assert_eq!(snap.sum, exact_sum);
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values_within_bucket_error(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        q_millis in prop::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let qs: Vec<f64> = q_millis.iter().map(|&m| m as f64 / 1000.0).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        for &q in &qs {
+            let truth = true_quantile(&sorted, q);
+            let (lo, hi) = snap.quantile_bounds(q);
+            prop_assert!(lo <= truth && truth <= hi,
+                "q={} truth={} outside bucket bounds ({}, {})", q, truth, lo, hi);
+            let estimate = snap.quantile(q);
+            // Conservative: never under-reports…
+            prop_assert!(estimate >= truth, "q={}: estimate {} < true {}", q, estimate, truth);
+            // …and over-reports by at most one bucket width (≤ 1/SUB_BUCKETS
+            // relative, with an absolute floor of 1 in the exact range).
+            let slack = truth / SUB_BUCKETS + 1;
+            prop_assert!(estimate - truth <= slack,
+                "q={}: estimate {} too far above true {}", q, estimate, truth);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams(
+        a_values in prop::collection::vec(0u64..u64::MAX, 0..200),
+        b_values in prop::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a_values {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &b_values {
+            b.record(v);
+            both.record(v);
+        }
+        // Snapshot-level merge…
+        let merged = HistogramSnapshot::merge(&a.snapshot(), &b.snapshot());
+        prop_assert_eq!(&merged, &both.snapshot());
+        // …and handle-level fold agree with single-stream recording,
+        // including derived quantiles.
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), both.snapshot());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), both.quantile(q));
+        }
+    }
+}

@@ -51,7 +51,7 @@ pub mod response;
 pub mod service;
 
 pub use classifier::RequestClassifier;
-pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics};
+pub use metrics::{MetricsReport, ServiceMetrics};
 pub use provider::{ChimeraProvider, DurableProvider, SnapshotProvider, StaticProvider};
 pub use queue::BoundedQueue;
 pub use response::{Admission, ClassifyOutcome, ResponseHandle, ServeError};

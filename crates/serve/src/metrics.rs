@@ -1,140 +1,132 @@
-//! Built-in service observability: lock-free counters plus a log-bucketed
-//! latency histogram, all plain atomics so the hot path never takes a lock
-//! to record. `ServiceMetrics::report()` folds everything into an immutable
-//! [`MetricsReport`] with the p50/p90/p99 quantiles the experiments print.
+//! Service observability over the shared `rulekit-obs` registry: lock-free
+//! counters, per-shard queue-depth gauges, and log-linear latency
+//! histograms, so the hot path never takes a lock to record.
+//!
+//! [`ServiceMetrics::report`] folds everything into the immutable
+//! [`MetricsReport`] the experiments print; [`ServiceMetrics::render_text`]
+//! emits the full Prometheus-style exposition (queue depths, shed counts,
+//! latency quantiles) for scraping.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rulekit_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
-const BUCKETS: usize = 64;
-
-/// A histogram over power-of-two microsecond buckets: bucket `i` counts
-/// latencies in `[2^(i-1), 2^i)` µs (bucket 0 = sub-microsecond). Quantile
-/// estimates return the bucket's upper bound, so they are conservative
-/// (never under-report) and within 2× of the true value.
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-    total_micros: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            total_micros: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bucket(micros: u64) -> usize {
-        (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.counts[Self::bucket(micros)].fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Conservative quantile estimate (`q` in `[0, 1]`): upper bound of the
-    /// bucket containing the q-th sample.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= rank {
-                let upper = if i == 0 { 1 } else { 1u64 << i };
-                return Duration::from_micros(upper);
-            }
-        }
-        Duration::from_micros(u64::MAX)
-    }
-
-    pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros(self.total_micros.load(Ordering::Relaxed) / n)
-    }
-}
-
 /// All counters the service maintains. Shared (`Arc`) between the service,
-/// its workers, and whoever wants to read a [`MetricsReport`].
-#[derive(Default)]
+/// its workers, and whoever wants to read a [`MetricsReport`]. Every handle
+/// lives in the registry, so one text exposition covers the whole tier.
 pub struct ServiceMetrics {
+    registry: Arc<Registry>,
     /// Requests admitted into a shard queue.
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Requests classified and answered.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Requests rejected at admission (backpressure).
-    pub overloaded: AtomicU64,
+    pub overloaded: Counter,
     /// Admitted requests shed because their deadline passed while queued.
-    pub deadline_shed: AtomicU64,
+    pub deadline_shed: Counter,
     /// Admitted requests completed with [`ServeError::ShuttingDown`]
     /// because the service stopped before a worker classified them.
     ///
     /// [`ServeError::ShuttingDown`]: crate::response::ServeError::ShuttingDown
-    pub shutdown_shed: AtomicU64,
+    pub shutdown_shed: Counter,
     /// Requests answered by the degraded (rules-only) path.
-    pub degraded_served: AtomicU64,
+    pub degraded_served: Counter,
     /// Requests whose classification panicked (contained per-request).
-    pub classifier_panics: AtomicU64,
+    pub classifier_panics: Counter,
     /// Snapshot swaps published by the refresher.
-    pub swaps: AtomicU64,
+    pub swaps: Counter,
     /// Sum of per-request rule candidates considered.
-    pub candidates_total: AtomicU64,
+    pub candidates_total: Counter,
     /// High-water mark of total queued requests.
-    pub max_queue_depth: AtomicU64,
-    /// End-to-end latency (queue wait + classification) of completions.
-    pub latency: LatencyHistogram,
+    pub max_queue_depth: Gauge,
+    /// End-to-end latency (queue wait + classification) of completions,
+    /// in nanoseconds.
+    pub latency: Histogram,
+    /// Snapshot build + publish latency (initial build, refresher swaps,
+    /// and explicit `refresh_now` calls), in nanoseconds.
+    pub snapshot_build_nanos: Histogram,
+    /// Live queue depth per shard (`rulekit_serve_queue_depth{shard="i"}`).
+    shard_depth: Vec<Gauge>,
 }
 
 impl ServiceMetrics {
-    pub fn new() -> Self {
-        Self::default()
+    /// Metrics for a `shards`-wide service, in a registry of their own.
+    pub fn new(shards: usize) -> Self {
+        ServiceMetrics::with_registry(Arc::new(Registry::new()), shards)
+    }
+
+    /// Metrics registered in a caller-supplied `registry` (so serving,
+    /// pipeline and store telemetry can share one exposition).
+    pub fn with_registry(registry: Arc<Registry>, shards: usize) -> Self {
+        ServiceMetrics {
+            submitted: registry.counter("rulekit_serve_submitted_total"),
+            completed: registry.counter("rulekit_serve_completed_total"),
+            overloaded: registry.counter("rulekit_serve_overloaded_total"),
+            deadline_shed: registry.counter("rulekit_serve_deadline_shed_total"),
+            shutdown_shed: registry.counter("rulekit_serve_shutdown_shed_total"),
+            degraded_served: registry.counter("rulekit_serve_degraded_served_total"),
+            classifier_panics: registry.counter("rulekit_serve_classifier_panics_total"),
+            swaps: registry.counter("rulekit_serve_snapshot_swaps_total"),
+            candidates_total: registry.counter("rulekit_serve_candidates_total"),
+            max_queue_depth: registry.gauge("rulekit_serve_queue_depth_max"),
+            latency: registry.histogram("rulekit_serve_latency_nanos"),
+            snapshot_build_nanos: registry.histogram("rulekit_serve_snapshot_build_nanos"),
+            shard_depth: (0..shards)
+                .map(|i| registry.gauge(&format!("rulekit_serve_queue_depth{{shard=\"{i}\"}}")))
+                .collect(),
+            registry,
+        }
+    }
+
+    /// The registry the handles live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The live queue-depth gauge of shard `i`.
+    pub fn shard_depth(&self, i: usize) -> &Gauge {
+        &self.shard_depth[i]
     }
 
     pub(crate) fn note_queue_depth(&self, depth: u64) {
-        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.max_queue_depth.set_max(depth.min(i64::MAX as u64) as i64);
+    }
+
+    /// A point-in-time snapshot of every registered serving metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Prometheus-style text exposition of the full serving metric family:
+    /// per-shard queue depths, admission/shed/deadline counters, and the
+    /// end-to-end latency summary.
+    pub fn render_text(&self) -> String {
+        self.registry.render_text()
     }
 
     /// An immutable snapshot of every counter plus derived quantities.
     pub fn report(&self) -> MetricsReport {
-        let completed = self.completed.load(Ordering::Relaxed);
+        let completed = self.completed.value();
+        let latency = self.latency.snapshot();
         MetricsReport {
-            submitted: self.submitted.load(Ordering::Relaxed),
+            submitted: self.submitted.value(),
             completed,
-            overloaded: self.overloaded.load(Ordering::Relaxed),
-            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
-            shutdown_shed: self.shutdown_shed.load(Ordering::Relaxed),
-            degraded_served: self.degraded_served.load(Ordering::Relaxed),
-            classifier_panics: self.classifier_panics.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            overloaded: self.overloaded.value(),
+            deadline_shed: self.deadline_shed.value(),
+            shutdown_shed: self.shutdown_shed.value(),
+            degraded_served: self.degraded_served.value(),
+            classifier_panics: self.classifier_panics.value(),
+            swaps: self.swaps.value(),
+            max_queue_depth: self.max_queue_depth.value().max(0) as u64,
             avg_candidates: if completed == 0 {
                 0.0
             } else {
-                self.candidates_total.load(Ordering::Relaxed) as f64 / completed as f64
+                self.candidates_total.value() as f64 / completed as f64
             },
-            p50: self.latency.quantile(0.50),
-            p90: self.latency.quantile(0.90),
-            p99: self.latency.quantile(0.99),
-            mean: self.latency.mean(),
+            p50: Duration::from_nanos(latency.quantile(0.50)),
+            p90: Duration::from_nanos(latency.quantile(0.90)),
+            p99: Duration::from_nanos(latency.quantile(0.99)),
+            mean: Duration::from_nanos(latency.mean()),
         }
     }
 }
@@ -163,45 +155,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_are_log2() {
-        assert_eq!(LatencyHistogram::bucket(0), 0);
-        assert_eq!(LatencyHistogram::bucket(1), 1);
-        assert_eq!(LatencyHistogram::bucket(2), 2);
-        assert_eq!(LatencyHistogram::bucket(3), 2);
-        assert_eq!(LatencyHistogram::bucket(1024), 11);
-        assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
-    }
-
-    #[test]
-    fn quantiles_are_conservative_and_ordered() {
-        let h = LatencyHistogram::new();
-        for micros in [10u64, 20, 40, 80, 5000, 100_000] {
-            h.record(Duration::from_micros(micros));
-        }
-        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
-        assert!(p50 >= Duration::from_micros(40), "p50 {p50:?}");
-        assert!(p99 >= Duration::from_micros(100_000), "p99 {p99:?}");
-        assert!(p50 <= p99);
-        assert!(h.mean() >= Duration::from_micros(17_000));
-        assert_eq!(h.count(), 6);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
-    }
-
-    #[test]
     fn report_derives_avg_candidates() {
-        let m = ServiceMetrics::new();
-        m.completed.store(4, Ordering::Relaxed);
-        m.candidates_total.store(10, Ordering::Relaxed);
+        let m = ServiceMetrics::new(2);
+        m.completed.add(4);
+        m.candidates_total.add(10);
         m.note_queue_depth(7);
         m.note_queue_depth(3);
         let r = m.report();
         assert_eq!(r.avg_candidates, 2.5);
         assert_eq!(r.max_queue_depth, 7);
+    }
+
+    #[test]
+    fn latency_quantiles_are_conservative_and_ordered() {
+        let m = ServiceMetrics::new(1);
+        for micros in [10u64, 20, 40, 80, 5000, 100_000] {
+            m.latency.record_duration(Duration::from_micros(micros));
+        }
+        let r = m.report();
+        assert!(r.p50 >= Duration::from_micros(40), "p50 {:?}", r.p50);
+        assert!(r.p99 >= Duration::from_micros(100_000), "p99 {:?}", r.p99);
+        assert!(r.p50 <= r.p90 && r.p90 <= r.p99);
+        assert!(r.mean >= Duration::from_micros(17_000));
+    }
+
+    #[test]
+    fn empty_metrics_report_zero() {
+        let m = ServiceMetrics::new(1);
+        let r = m.report();
+        assert_eq!(r.p99, Duration::ZERO);
+        assert_eq!(r.mean, Duration::ZERO);
+        assert_eq!(r.avg_candidates, 0.0);
+    }
+
+    #[test]
+    fn shard_depth_gauges_render_with_labels() {
+        let m = ServiceMetrics::new(3);
+        m.shard_depth(0).inc();
+        m.shard_depth(2).add(4);
+        m.overloaded.inc();
+        let text = m.render_text();
+        assert!(text.contains("rulekit_serve_queue_depth{shard=\"0\"} 1"), "text:\n{text}");
+        assert!(text.contains("rulekit_serve_queue_depth{shard=\"2\"} 4"), "text:\n{text}");
+        assert!(text.contains("rulekit_serve_overloaded_total 1"), "text:\n{text}");
     }
 }

@@ -11,6 +11,7 @@ use crate::provider::SnapshotProvider;
 use crate::queue::BoundedQueue;
 use crate::response::{response_channel, Admission, ClassifyOutcome, ResponseSlot, ServeError};
 use rulekit_data::Product;
+use rulekit_obs::SpanTimer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -86,7 +87,15 @@ impl Inner {
     fn publish(&self, snapshot: Arc<dyn RequestClassifier>) {
         *self.latest.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
         self.swap_count.fetch_add(1, Ordering::Release);
-        self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        self.metrics.swaps.inc();
+    }
+
+    /// `provider.build()` with the build latency recorded.
+    fn timed_build(&self, provider: &dyn SnapshotProvider) -> Arc<dyn RequestClassifier> {
+        let span = SpanTimer::start(&self.metrics.snapshot_build_nanos);
+        let snapshot = provider.build();
+        span.finish();
+        snapshot
     }
 
     fn current(&self) -> Arc<dyn RequestClassifier> {
@@ -110,7 +119,13 @@ impl RuleService {
     pub fn start(provider: Arc<dyn SnapshotProvider>, cfg: ServeConfig) -> RuleService {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.low_water < cfg.high_water, "hysteresis requires low_water < high_water");
-        let initial = provider.build();
+        let metrics = Arc::new(ServiceMetrics::new(cfg.shards));
+        let initial = {
+            let span = SpanTimer::start(&metrics.snapshot_build_nanos);
+            let snapshot = provider.build();
+            span.finish();
+            snapshot
+        };
         let inner = Arc::new(Inner {
             queues: (0..cfg.shards).map(|_| BoundedQueue::new(cfg.queue_capacity)).collect(),
             queued: AtomicI64::new(0),
@@ -118,7 +133,7 @@ impl RuleService {
             swap_count: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
-            metrics: Arc::new(ServiceMetrics::new()),
+            metrics,
             round_robin: AtomicUsize::new(0),
             cfg,
         });
@@ -156,7 +171,7 @@ impl RuleService {
     pub fn submit_with_deadline(&self, product: Product, deadline: Option<Duration>) -> Admission {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::Acquire) {
-            inner.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.overloaded.inc();
             return Admission::Overloaded;
         }
         let now = Instant::now();
@@ -166,9 +181,11 @@ impl RuleService {
         let shards = inner.cfg.shards;
         let start = inner.round_robin.fetch_add(1, Ordering::Relaxed);
         for k in 0..shards {
-            match inner.queues[(start + k) % shards].try_push(request) {
+            let shard = (start + k) % shards;
+            match inner.queues[shard].try_push(request) {
                 Ok(()) => {
-                    inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.submitted.inc();
+                    inner.metrics.shard_depth(shard).inc();
                     let depth = (inner.queued.fetch_add(1, Ordering::Relaxed) + 1).max(0) as usize;
                     inner.metrics.note_queue_depth(depth as u64);
                     if depth >= inner.cfg.high_water {
@@ -179,14 +196,14 @@ impl RuleService {
                 Err(rejected) => request = rejected,
             }
         }
-        inner.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.overloaded.inc();
         Admission::Overloaded
     }
 
     /// Rebuilds and publishes a snapshot right now, bypassing the
     /// refresher's change wait. Returns the new snapshot version.
     pub fn refresh_now(&self) -> u64 {
-        let snapshot = self.provider.build();
+        let snapshot = self.inner.timed_build(self.provider.as_ref());
         let version = snapshot.version();
         self.inner.publish(snapshot);
         version
@@ -215,6 +232,18 @@ impl RuleService {
     /// Current metrics snapshot.
     pub fn metrics(&self) -> MetricsReport {
         self.inner.metrics.report()
+    }
+
+    /// The live metric handles (per-shard gauges, histograms, registry).
+    pub fn service_metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.inner.metrics
+    }
+
+    /// Prometheus-style text exposition of the serving tier: per-shard
+    /// queue depths, admission/shed/deadline outcome counters, snapshot
+    /// build timings, and the end-to-end latency summary.
+    pub fn render_metrics(&self) -> String {
+        self.inner.metrics.render_text()
     }
 
     /// Stops admission and completes every queued request with an explicit
@@ -251,7 +280,8 @@ fn refresher_loop(inner: &Inner, provider: &dyn SnapshotProvider) {
             break;
         }
         if now != last_seen {
-            inner.publish(provider.build());
+            let snapshot = inner.timed_build(provider);
+            inner.publish(snapshot);
             last_seen = now;
         }
     }
@@ -271,6 +301,7 @@ fn worker_loop(inner: &Inner, shard: usize) {
             continue;
         }
         let n = batch.len() as i64;
+        inner.metrics.shard_depth(shard).add(-n);
         let depth = (inner.queued.fetch_sub(n, Ordering::Relaxed) - n).max(0) as usize;
         if depth <= inner.cfg.low_water {
             inner.degraded.store(false, Ordering::Relaxed);
@@ -281,7 +312,7 @@ fn worker_loop(inner: &Inner, shard: usize) {
         // tell "shut down" from "served".
         if inner.shutdown.load(Ordering::Acquire) {
             for request in batch {
-                inner.metrics.shutdown_shed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.shutdown_shed.inc();
                 request.slot.fulfill(Err(ServeError::ShuttingDown));
             }
             continue;
@@ -305,7 +336,7 @@ fn serve_one(inner: &Inner, snapshot: &dyn RequestClassifier, request: QueuedReq
     let metrics = &inner.metrics;
     if let Some(deadline) = request.deadline {
         if Instant::now() > deadline {
-            metrics.deadline_shed.fetch_add(1, Ordering::Relaxed);
+            metrics.deadline_shed.inc();
             request.slot.fulfill(Err(ServeError::DeadlineExceeded));
             return;
         }
@@ -320,13 +351,13 @@ fn serve_one(inner: &Inner, snapshot: &dyn RequestClassifier, request: QueuedReq
     }));
     match outcome {
         Ok(decided) => {
-            metrics.completed.fetch_add(1, Ordering::Relaxed);
-            metrics.candidates_total.fetch_add(decided.candidates as u64, Ordering::Relaxed);
+            metrics.completed.inc();
+            metrics.candidates_total.add(decided.candidates as u64);
             if decided.degraded {
-                metrics.degraded_served.fetch_add(1, Ordering::Relaxed);
+                metrics.degraded_served.inc();
             }
             let latency = request.enqueued_at.elapsed();
-            metrics.latency.record(latency);
+            metrics.latency.record_duration(latency);
             request.slot.fulfill(Ok(ClassifyOutcome {
                 decision: decided.decision,
                 candidates: decided.candidates,
@@ -336,7 +367,7 @@ fn serve_one(inner: &Inner, snapshot: &dyn RequestClassifier, request: QueuedReq
             }));
         }
         Err(payload) => {
-            metrics.classifier_panics.fetch_add(1, Ordering::Relaxed);
+            metrics.classifier_panics.inc();
             let message = panic_text(payload.as_ref());
             request.slot.fulfill(Err(ServeError::ClassifierPanicked(message)));
         }

@@ -428,3 +428,73 @@ fn metrics_track_load_shape() {
     assert!(r.avg_candidates > 0.0);
     assert!(r.max_queue_depth >= 1);
 }
+
+#[test]
+fn text_exposition_covers_queue_shed_and_latency() {
+    // The scrape surface the tier promises: per-shard queue depth, every
+    // admission/shed outcome, snapshot-build timing, and the end-to-end
+    // latency summary — all from one render_metrics() call.
+    let service = slow_service(
+        Duration::from_millis(5),
+        ServeConfig {
+            shards: 2,
+            queue_capacity: 4,
+            high_water: 100,
+            low_water: 1,
+            ..Default::default()
+        },
+    );
+
+    let mut handles = Vec::new();
+    for i in 0..64 {
+        if let Admission::Enqueued(h) = service.submit(product(&format!("t{i}"))) {
+            handles.push(h);
+        }
+    }
+    // One short-deadline request that must be shed while queued (retry
+    // admission: the flood keeps the queues at capacity for a while).
+    let doomed = loop {
+        match service.submit_with_deadline(product("doomed"), Some(Duration::from_micros(1))) {
+            Admission::Enqueued(h) => break h,
+            Admission::Overloaded => std::thread::sleep(Duration::from_millis(1)),
+        }
+    };
+    let _ = doomed.wait();
+    for h in handles {
+        h.wait().expect("served");
+    }
+
+    let text = service.render_metrics();
+    for required in [
+        "# TYPE rulekit_serve_queue_depth gauge",
+        "rulekit_serve_queue_depth{shard=\"0\"}",
+        "rulekit_serve_queue_depth{shard=\"1\"}",
+        "rulekit_serve_queue_depth_max",
+        "rulekit_serve_submitted_total",
+        "rulekit_serve_completed_total",
+        "rulekit_serve_overloaded_total",
+        "rulekit_serve_deadline_shed_total",
+        "# TYPE rulekit_serve_latency_nanos summary",
+        "rulekit_serve_latency_nanos{quantile=\"0.99\"}",
+        "rulekit_serve_latency_nanos_count",
+        "rulekit_serve_snapshot_build_nanos_count 1",
+    ] {
+        assert!(text.contains(required), "missing {required:?} in exposition:\n{text}");
+    }
+
+    // The gauges drain back to zero once the queues are empty, and the
+    // structured snapshot agrees with the report counters.
+    let m = service.service_metrics();
+    assert_eq!(m.shard_depth(0).value() + m.shard_depth(1).value(), 0);
+    let snap = m.snapshot();
+    let report = service.metrics();
+    assert_eq!(snap.counter("rulekit_serve_submitted_total"), Some(report.submitted));
+    assert_eq!(snap.counter("rulekit_serve_overloaded_total"), Some(report.overloaded));
+    assert!(report.overloaded > 0, "tiny queues must have rejected something");
+    // The latency histogram records completions only — shed requests never
+    // reach it.
+    assert_eq!(
+        snap.histogram("rulekit_serve_latency_nanos").map(|h| h.count()),
+        Some(report.completed),
+    );
+}

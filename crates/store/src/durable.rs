@@ -17,8 +17,10 @@ use rulekit_core::{Rule, RuleId, RuleMeta, RuleParser, RuleRepository, RuleSpec}
 use rulekit_data::TypeId;
 
 use crate::checkpoint::{self, CheckpointData, CheckpointRule, CheckpointStats};
+use crate::obs::StoreMetrics;
 use crate::storage::{Storage, StoreError};
 use crate::wal::{self, WalOp, WalRecord, WalWriter};
+use rulekit_obs::{Registry, SpanTimer};
 
 /// The WAL's file name inside its storage namespace.
 pub const WAL_NAME: &str = "wal";
@@ -112,6 +114,7 @@ pub struct DurableRepository {
     config: DurableConfig,
     state: Mutex<WriterState>,
     recovery: RecoveryReport,
+    metrics: Option<Arc<StoreMetrics>>,
 }
 
 impl DurableRepository {
@@ -124,6 +127,24 @@ impl DurableRepository {
         DurableRepository::open_into(RuleRepository::new(), storage, parser, config)
     }
 
+    /// [`DurableRepository::open`] with durability telemetry (WAL append/
+    /// fsync latency, checkpoint timing, recovery accounting) registered in
+    /// `registry`.
+    pub fn open_observed(
+        storage: Arc<dyn Storage>,
+        parser: RuleParser,
+        config: DurableConfig,
+        registry: &Registry,
+    ) -> Result<DurableRepository, StoreError> {
+        DurableRepository::open_into_observed(
+            RuleRepository::new(),
+            storage,
+            parser,
+            config,
+            Some(StoreMetrics::register(registry)),
+        )
+    }
+
     /// Opens over a caller-supplied repository (e.g. one already wired into
     /// a pipeline). Its previous contents are replaced by the recovered
     /// state; watchers see one change notification.
@@ -132,6 +153,25 @@ impl DurableRepository {
         storage: Arc<dyn Storage>,
         parser: RuleParser,
         config: DurableConfig,
+    ) -> Result<DurableRepository, StoreError> {
+        DurableRepository::open_into_observed(repo, storage, parser, config, None)
+    }
+
+    /// [`DurableRepository::open_into`] with optional telemetry handles.
+    ///
+    /// Recovery treats persisted-entry metrics as *levels*: it **sets**
+    /// `rulekit_store_persisted_rules` / `_revision` from the recovered
+    /// state rather than incrementing per replayed record, so reopening the
+    /// same durable state twice cannot double-count entries that were
+    /// persisted exactly once. Replay work counters (`replay_applied` /
+    /// `replay_skipped`) do accumulate — they measure replay effort, not
+    /// persisted state.
+    pub fn open_into_observed(
+        repo: Arc<RuleRepository>,
+        storage: Arc<dyn Storage>,
+        parser: RuleParser,
+        config: DurableConfig,
+        metrics: Option<Arc<StoreMetrics>>,
     ) -> Result<DurableRepository, StoreError> {
         let mut report = RecoveryReport::default();
 
@@ -178,13 +218,22 @@ impl DurableRepository {
 
         report.recovered_revision = repo.revision();
         report.recovered_rules = repo.len();
+        if let Some(m) = &metrics {
+            m.recoveries.inc();
+            m.replay_applied.add(report.replayed);
+            m.replay_skipped.add(report.skipped);
+            m.persisted_rules.set(report.recovered_rules as i64);
+            m.persisted_revision.set(report.recovered_revision as i64);
+            m.wal_records.set(wal_scan.records.len() as i64);
+        }
         let wal = WalWriter::new(
             Arc::clone(&storage),
             WAL_NAME,
             config.fsync,
             wal_scan.valid_len,
             wal_scan.records.len() as u64,
-        );
+        )
+        .with_metrics(metrics.clone());
         Ok(DurableRepository {
             repo,
             parser,
@@ -196,7 +245,24 @@ impl DurableRepository {
                 last_checkpoint: CheckpointStats::default(),
             }),
             recovery: report,
+            metrics,
         })
+    }
+
+    /// The durability telemetry handles, if this instance was opened
+    /// observed.
+    pub fn metrics(&self) -> Option<&Arc<StoreMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Re-points the persisted-state level gauges at the current repository
+    /// state. Levels are set, never incremented (see
+    /// [`DurableRepository::open_into_observed`]).
+    fn note_persisted_levels(&self) {
+        if let Some(m) = &self.metrics {
+            m.persisted_rules.set(self.repo.len() as i64);
+            m.persisted_revision.set(self.repo.revision() as i64);
+        }
     }
 
     /// The underlying repository (shareable with executors/snapshots; do
@@ -253,6 +319,7 @@ impl DurableRepository {
         st.wal.append(&record)?;
         let assigned = self.repo.add(spec, meta);
         debug_assert_eq!(assigned, RuleId(id));
+        self.note_persisted_levels();
         self.maybe_compact(st);
         Ok(assigned)
     }
@@ -341,6 +408,7 @@ impl DurableRepository {
         st.wal.append(&record)?;
         let applied = apply(&self.repo);
         debug_assert!(applied, "precondition checked under the mutation lock");
+        self.note_persisted_levels();
         self.maybe_compact(st);
         Ok(true)
     }
@@ -364,6 +432,7 @@ impl DurableRepository {
         &self,
         mut st: MutexGuard<'_, WriterState>,
     ) -> Result<CheckpointStats, StoreError> {
+        let span = self.metrics.as_ref().map(|m| SpanTimer::start(&m.checkpoint_nanos));
         // Consistent under the mutation lock: no writer can interleave.
         let rules = self.repo.full_snapshot();
         let data = CheckpointData {
@@ -392,6 +461,12 @@ impl DurableRepository {
         let stats = CheckpointStats { revision: data.revision, rules: data.rules.len(), bytes };
         st.checkpoints_written += 1;
         st.last_checkpoint = stats;
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+        }
+        if let Some(span) = span {
+            span.finish();
+        }
         Ok(stats)
     }
 }

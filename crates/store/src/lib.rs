@@ -39,6 +39,7 @@ mod codec;
 pub mod crc;
 pub mod durable;
 pub mod fault;
+pub mod obs;
 pub mod storage;
 pub mod wal;
 
@@ -48,5 +49,6 @@ pub use durable::{
     DurableConfig, DurableRepository, FsyncPolicy, RecoveryReport, StoreStats, WAL_NAME,
 };
 pub use fault::{FaultConfig, FaultStats, FaultyStorage};
+pub use obs::StoreMetrics;
 pub use storage::{FileStorage, MemStorage, Storage, StoreError};
 pub use wal::{WalOp, WalRecord, WalScan, WalWriter};

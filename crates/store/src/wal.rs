@@ -19,7 +19,9 @@
 use crate::codec::{put_str, put_u32, put_u64, Cursor};
 use crate::crc::crc32;
 use crate::durable::FsyncPolicy;
+use crate::obs::StoreMetrics;
 use crate::storage::{Storage, StoreError};
+use rulekit_obs::SpanTimer;
 use std::sync::Arc;
 
 /// Cap on a single record's payload; anything larger in a length prefix is
@@ -270,6 +272,7 @@ pub struct WalWriter {
     /// next append.
     dirty: bool,
     appends_since_sync: u32,
+    metrics: Option<Arc<StoreMetrics>>,
 }
 
 impl WalWriter {
@@ -290,7 +293,14 @@ impl WalWriter {
             records,
             dirty: false,
             appends_since_sync: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches (or detaches) append/fsync instrumentation.
+    pub fn with_metrics(mut self, metrics: Option<Arc<StoreMetrics>>) -> WalWriter {
+        self.metrics = metrics;
+        self
     }
 
     /// Acknowledged log length in bytes.
@@ -327,14 +337,14 @@ impl WalWriter {
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
         self.repair_if_dirty()?;
         let frame = record.encode_frame();
-        if let Err(e) = self.storage.append(&self.name, &frame) {
+        if let Err(e) = self.timed_append(&frame) {
             // The failed append may have persisted a prefix of the frame.
             self.dirty = true;
             return Err(e.into());
         }
         match self.policy {
             FsyncPolicy::Always => {
-                if let Err(e) = self.storage.sync(&self.name) {
+                if let Err(e) = self.timed_sync() {
                     // Written but not durable — not acknowledged. Truncate
                     // before the next append so recovery can never see an
                     // unacknowledged record *behind* an acknowledged one.
@@ -347,7 +357,7 @@ impl WalWriter {
                 if self.appends_since_sync >= n.max(1) {
                     // Periodic syncs are best-effort; a failure narrows the
                     // durability window but the append itself stands.
-                    let _ = self.storage.sync(&self.name);
+                    let _ = self.timed_sync();
                     self.appends_since_sync = 0;
                 }
             }
@@ -355,7 +365,38 @@ impl WalWriter {
         }
         self.acked_len += frame.len() as u64;
         self.records += 1;
+        if let Some(m) = &self.metrics {
+            m.wal_appends.inc();
+            m.wal_records.set(self.records as i64);
+        }
         Ok(())
+    }
+
+    /// `storage.append` with attempt latency recorded (failed attempts
+    /// included: a stalling disk should show up in the histogram).
+    fn timed_append(&self, frame: &[u8]) -> std::io::Result<()> {
+        match &self.metrics {
+            Some(m) => {
+                let span = SpanTimer::start(&m.wal_append_nanos);
+                let out = self.storage.append(&self.name, frame);
+                span.finish();
+                out
+            }
+            None => self.storage.append(&self.name, frame),
+        }
+    }
+
+    /// `storage.sync` with attempt latency recorded.
+    fn timed_sync(&self) -> std::io::Result<()> {
+        match &self.metrics {
+            Some(m) => {
+                let span = SpanTimer::start(&m.wal_fsync_nanos);
+                let out = self.storage.sync(&self.name);
+                span.finish();
+                out
+            }
+            None => self.storage.sync(&self.name),
+        }
     }
 
     /// Empties the log after a successful checkpoint. Crash *before* this
@@ -370,6 +411,9 @@ impl WalWriter {
         self.records = 0;
         self.dirty = false;
         self.appends_since_sync = 0;
+        if let Some(m) = &self.metrics {
+            m.wal_records.set(0);
+        }
         Ok(())
     }
 }

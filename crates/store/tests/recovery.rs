@@ -194,3 +194,70 @@ fn file_storage_survives_restart_and_torn_tail() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn recovery_metrics_are_idempotent_across_reopens() {
+    // Persisted-entry metrics are levels, set from recovered state. If
+    // recovery *incremented* them per replayed record, every crash-reopen
+    // cycle would double-count rules that were persisted exactly once.
+    use rulekit_obs::Registry;
+
+    let registry = Arc::new(Registry::new());
+    let storage = Arc::new(MemStorage::new());
+    let dyn_storage = Arc::clone(&storage) as Arc<dyn Storage>;
+
+    let durable =
+        DurableRepository::open_observed(dyn_storage, parser(), manual_config(), &registry)
+            .expect("open");
+    durable
+        .add_rules("rings? -> rings\nrugs? -> area rugs\nsofas? -> sofas", &RuleMeta::default())
+        .unwrap();
+    let m = durable.metrics().expect("observed open attaches metrics").clone();
+    assert_eq!(m.persisted_rules.value(), 3);
+    assert_eq!(m.persisted_revision.value(), 3);
+    assert_eq!(m.wal_appends.value(), 3);
+    assert_eq!(m.wal_append_nanos.count(), 3);
+    assert_eq!(m.wal_fsync_nanos.count(), 3, "FsyncPolicy::Always syncs per record");
+    assert_eq!(m.wal_records.value(), 3);
+    drop(durable);
+
+    // Crash-reopen twice into the SAME registry: replay applies 3 records
+    // each time, but the persisted levels must stay flat at 3 and no WAL
+    // appends/fsyncs may be recorded (replay bypasses the writer).
+    for reopen in 1..=2u64 {
+        let dyn_storage = Arc::clone(&storage) as Arc<dyn Storage>;
+        let reopened =
+            DurableRepository::open_observed(dyn_storage, parser(), manual_config(), &registry)
+                .expect("reopen");
+        let m = reopened.metrics().unwrap();
+        assert_eq!(m.persisted_rules.value(), 3, "reopen {reopen} double-counted rules");
+        assert_eq!(m.persisted_revision.value(), 3);
+        assert_eq!(m.wal_appends.value(), 3, "replay must not count as appends");
+        assert_eq!(m.wal_append_nanos.count(), 3);
+        assert_eq!(reopened.recovery().replayed, 3);
+        // Replay-work counters DO accumulate: they measure effort, not state.
+        assert_eq!(m.replay_applied.value(), 3 * reopen);
+        assert_eq!(m.recoveries.value(), reopen + 1);
+    }
+
+    // Checkpoint + reopen: records fold into the checkpoint, levels hold.
+    let dyn_storage = Arc::clone(&storage) as Arc<dyn Storage>;
+    let durable =
+        DurableRepository::open_observed(dyn_storage, parser(), manual_config(), &registry)
+            .expect("reopen for checkpoint");
+    durable.checkpoint().unwrap();
+    let m = durable.metrics().unwrap().clone();
+    assert_eq!(m.checkpoints.value(), 1);
+    assert_eq!(m.checkpoint_nanos.count(), 1);
+    assert_eq!(m.wal_records.value(), 0, "WAL reset after checkpoint");
+    drop(durable);
+
+    let dyn_storage = Arc::clone(&storage) as Arc<dyn Storage>;
+    let reopened =
+        DurableRepository::open_observed(dyn_storage, parser(), manual_config(), &registry)
+            .expect("reopen from checkpoint");
+    let m = reopened.metrics().unwrap();
+    assert_eq!(m.persisted_rules.value(), 3);
+    assert_eq!(m.persisted_revision.value(), 3);
+    assert_eq!(reopened.recovery().replayed, 0, "checkpoint absorbed the log");
+}

@@ -100,4 +100,14 @@ fn main() {
         (100 * m.degraded_served).checked_div(m.completed).unwrap_or(0),
         m.max_queue_depth
     );
+
+    // The same numbers as a Prometheus-style scrape (a few of the ~40 lines).
+    println!("\ntext exposition sample:");
+    for line in service
+        .render_metrics()
+        .lines()
+        .filter(|l| l.contains("queue_depth") || l.contains("quantile=\"0.99\""))
+    {
+        println!("  {line}");
+    }
 }

@@ -18,6 +18,7 @@
 //! | [`data`] | Synthetic product catalog, vendors, batch streams, concept drift |
 //! | [`crowd`] | Simulated crowdsourcing with worker noise and budgets |
 //! | [`learn`] | NB / k-NN / centroid / perceptron classifiers + voting ensemble |
+//! | [`obs`] | Metrics registry, wait-free counters & latency histograms, span timers, text exposition |
 //! | [`core`] | Rule model & DSL, repository, indexed executors, property audits |
 //! | [`gen`] | §5.1 synonym finder and §5.2 rule generation (Algorithms 1–2) |
 //! | [`eval`] | §4 rule-quality evaluation methods with crowd-cost accounting |
@@ -57,6 +58,7 @@ pub use rulekit_gen as gen;
 pub use rulekit_ie as ie;
 pub use rulekit_learn as learn;
 pub use rulekit_maint as maint;
+pub use rulekit_obs as obs;
 pub use rulekit_regex as regex;
 pub use rulekit_serve as serve;
 pub use rulekit_store as store;
