@@ -4,7 +4,7 @@
 //! experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]
 //!
 //! EXPERIMENT: all | table1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 |
-//!             e11 | e12 | e13 | e14 | e15 | serve | recovery
+//!             e11 | e12 | e13 | e14 | e15 | serve | netload | recovery
 //! --scale     multiplies corpus sizes (default 1.0; the default corpus is
 //!             ~20k training items, a ~1/40 scale model of the paper's 885K)
 //! --seed      master RNG seed (default 1)
@@ -107,6 +107,9 @@ fn main() {
     if want("serve") {
         exp::serving::serve(scale);
     }
+    if want("netload") {
+        exp::netload::netload(scale);
+    }
     if want("recovery") {
         exp::recovery::recovery(scale);
     }
@@ -118,7 +121,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]\n\
-         experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 serve recovery"
+         experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 serve netload \
+         recovery"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -6,6 +6,7 @@ pub mod emie;
 pub mod evaluation;
 pub mod execution;
 pub mod maintenance;
+pub mod netload;
 pub mod recovery;
 pub mod rulegen;
 pub mod serving;

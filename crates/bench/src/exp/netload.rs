@@ -1,0 +1,149 @@
+//! NETLOAD — the rulekit-net experiment: a real TCP server on an ephemeral
+//! port driven by multiple closed-loop client connections pipelining
+//! `POST /classify`, with latency reported from the *server-side* per-route
+//! histograms (`rulekit_net_route_latency_nanos{route="classify"}`), so the
+//! numbers include parse + dispatch + admission + classification + encode
+//! but not client-side queueing.
+
+use crate::setup::{production_chimera, Scale};
+use crate::table::Table;
+use rulekit_data::Product;
+use rulekit_net::{HttpClient, Method, NetConfig, NetServer, RuleApp};
+use rulekit_serve::ServeConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Renders a product as its `/classify` wire object.
+fn classify_body(p: &Product) -> String {
+    // Titles from the synthetic catalog are ASCII without quotes or
+    // backslashes, so plain formatting is a faithful JSON encoding.
+    format!("{{\"id\": {}, \"title\": \"{}\", \"vendor\": {}}}", p.id, p.title, p.vendor.0)
+}
+
+struct LevelResult {
+    connections: usize,
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    wall: Duration,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+/// Runs one load level: `connections` threads, each pipelining classify
+/// requests over its own keep-alive connection for `window`.
+fn run_level(bodies: &Arc<Vec<String>>, connections: usize, window: Duration) -> LevelResult {
+    let (chimera, _) = production_chimera(Scale { train_items: 400, eval_items: 200, seed: 7 });
+    let app = RuleApp::in_memory(
+        Arc::new(chimera),
+        ServeConfig {
+            shards: 2,
+            refresh_interval: Duration::from_millis(50),
+            ..Default::default()
+        },
+    );
+    let server = NetServer::start(
+        app,
+        NetConfig { handler_threads: connections.max(2), ..Default::default() },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let drivers: Vec<_> = (0..connections)
+        .map(|c| {
+            let bodies = bodies.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    HttpClient::connect(addr, Duration::from_secs(10)).expect("connect");
+                let (mut sent, mut ok, mut shed) = (0u64, 0u64, 0u64);
+                let mut at = c; // stagger which bodies each connection sends
+                while !stop.load(Ordering::Relaxed) {
+                    const PIPELINE: usize = 16;
+                    let body = &bodies[at % bodies.len()];
+                    at += 1;
+                    let responses = client
+                        .pipeline(Method::Post, "/classify", body.as_bytes(), PIPELINE)
+                        .expect("pipeline");
+                    for r in &responses {
+                        sent += 1;
+                        match r.status {
+                            200 => ok += 1,
+                            503 => shed += 1,
+                            other => panic!("unexpected status {other}: {}", r.text()),
+                        }
+                    }
+                }
+                (sent, ok, shed)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let mut requests = 0u64;
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for d in drivers {
+        let (s, o, e) = d.join().expect("driver thread");
+        requests += s;
+        ok += o;
+        shed += e;
+    }
+    let wall = start.elapsed();
+
+    // Server-side truth: the per-route latency histogram in the shared
+    // registry, scraped directly (the /metrics route serves the same data).
+    let snapshot = server.registry().snapshot();
+    let hist = snapshot
+        .histogram("rulekit_net_route_latency_nanos{route=\"classify\"}")
+        .expect("classify latency histogram");
+    let us = |q: f64| hist.quantile(q) as f64 / 1_000.0;
+    LevelResult {
+        connections,
+        requests,
+        ok,
+        shed,
+        wall,
+        p50_us: us(0.5),
+        p99_us: us(0.99),
+        p999_us: us(0.999),
+    }
+}
+
+/// NETLOAD — multi-connection socket load against the HTTP front-end.
+pub fn netload(scale: Scale) {
+    println!("\n=== NETLOAD: HTTP front-end under multi-connection load ===");
+    let (_, mut generator) =
+        production_chimera(Scale { train_items: 400, eval_items: 200, seed: scale.seed });
+    let bodies: Arc<Vec<String>> =
+        Arc::new(generator.generate(200).into_iter().map(|i| classify_body(&i.product)).collect());
+
+    // Window scales with --scale so smoke runs stay fast.
+    let window = Duration::from_millis(
+        ((1500.0 * scale.eval_items as f64 / 10_000.0) as u64).clamp(300, 5_000),
+    );
+
+    let mut table =
+        Table::new(&["conns", "requests", "ok", "shed", "req/s", "p50 µs", "p99 µs", "p999 µs"]);
+    for connections in [1usize, 2, 4] {
+        let r = run_level(&bodies, connections, window);
+        table.row(vec![
+            r.connections.to_string(),
+            r.requests.to_string(),
+            r.ok.to_string(),
+            r.shed.to_string(),
+            format!("{:.0}", r.requests as f64 / r.wall.as_secs_f64().max(1e-9)),
+            format!("{:.0}", r.p50_us),
+            format!("{:.0}", r.p99_us),
+            format!("{:.0}", r.p999_us),
+        ]);
+    }
+    table.print();
+    println!("(latency quantiles are server-side, from the shared registry's per-route");
+    println!(" histograms — the same series `GET /metrics` exposes for scraping)");
+}

@@ -675,10 +675,32 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs `executor` over `products` in `threads` chunks on the persistent
-/// process-wide [`WorkerPool`], preserving input order — the paper's
-/// "execute the rules in parallel on a cluster of machines", one machine's
-/// worth, without spawning threads per batch.
+/// Minimum items per stolen chunk: small enough that a skewed batch still
+/// load-balances, large enough that the per-chunk dispatch cost (one
+/// relaxed `fetch_add` + one slot lock) is noise next to the work.
+const STEAL_CHUNK_MIN: usize = 16;
+/// Maximum items per stolen chunk, so very large batches still rebalance.
+const STEAL_CHUNK_MAX: usize = 512;
+/// Below this many items the batch runs serially on the caller's thread:
+/// dispatching to the pool costs more than it saves, which is exactly the
+/// regime where `literal_par4` used to lose to single-thread execution.
+const SERIAL_CUTOFF: usize = 2 * STEAL_CHUNK_MIN;
+
+/// Runs `executor` over `products` on the persistent process-wide
+/// [`WorkerPool`], preserving input order — the paper's "execute the rules
+/// in parallel on a cluster of machines", one machine's worth, without
+/// spawning threads per batch.
+///
+/// Dispatch is chunked work-stealing rather than a static 1/`threads`
+/// split: the batch is cut into small fixed-size chunks and `threads` pool
+/// jobs race an atomic cursor for the next unclaimed chunk. A worker that
+/// lands cheap products just steals more chunks, so one expensive chunk
+/// can no longer stall the whole batch behind a single thread — the
+/// imbalance that made `literal_par4` slower than serial execution at
+/// 200–500 rules. Batches too small to amortize dispatch — and requests
+/// for more parallelism than the pool physically has (a single-core host
+/// clamps to one worker) — run serially on the calling thread, so
+/// "parallel" can never lose to serial.
 ///
 /// Each chunk catches its own panics: one poisoned product fails only its
 /// chunk, surfaced as [`WorkerPanic`], instead of aborting the whole batch
@@ -689,25 +711,72 @@ pub fn execute_batch_parallel(
     products: &[rulekit_data::Product],
     threads: usize,
 ) -> Result<Vec<Vec<RuleId>>, WorkerPanic> {
-    let threads = threads.max(1);
+    execute_batch_on(WorkerPool::global(), executor, products, threads)
+}
+
+/// Per-chunk outcome: the rows, or the payload of a contained panic.
+type ChunkResult = std::thread::Result<Vec<Vec<RuleId>>>;
+
+/// Runs one chunk under `catch_unwind` so a poisoned product fails only
+/// its chunk.
+fn run_chunk(executor: &dyn RuleExecutor, slice: &[rulekit_data::Product]) -> ChunkResult {
+    catch_unwind(AssertUnwindSafe(|| {
+        slice
+            .iter()
+            .map(|p| executor.matching_rules_prepared(&PreparedProduct::new(p)))
+            .collect::<Vec<_>>()
+    }))
+}
+
+/// [`execute_batch_parallel`] against an explicit pool — separated so tests
+/// can drive the work-stealing dispatch on a private multi-worker pool even
+/// when the host (and therefore the global pool) has a single core.
+fn execute_batch_on(
+    pool: &WorkerPool,
+    executor: &dyn RuleExecutor,
+    products: &[rulekit_data::Product],
+    threads: usize,
+) -> Result<Vec<Vec<RuleId>>, WorkerPanic> {
+    // More jobs than workers just queue behind each other; clamping keeps
+    // the dispatch honest about the parallelism actually available.
+    let threads = threads.clamp(1, pool.size().max(1));
     if products.is_empty() {
         return Ok(Vec::new());
     }
-    let chunk = products.len().div_ceil(threads);
-    type ChunkResult = std::thread::Result<Vec<Vec<RuleId>>>;
-    let slots: Vec<Mutex<Option<ChunkResult>>> =
-        products.chunks(chunk).map(|_| Mutex::new(None)).collect();
 
-    WorkerPool::global().scope(|scope| {
-        for (slice, slot) in products.chunks(chunk).zip(&slots) {
-            scope.spawn(move || {
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    slice
-                        .iter()
-                        .map(|p| executor.matching_rules_prepared(&PreparedProduct::new(p)))
-                        .collect::<Vec<_>>()
-                }));
-                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+    if threads == 1 || products.len() < SERIAL_CUTOFF {
+        let mut rows = Vec::with_capacity(products.len());
+        for (i, slice) in products.chunks(STEAL_CHUNK_MIN).enumerate() {
+            match run_chunk(executor, slice) {
+                Ok(chunk_rows) => rows.extend(chunk_rows),
+                Err(payload) => {
+                    return Err(WorkerPanic { chunk: i, message: panic_message(payload.as_ref()) })
+                }
+            }
+        }
+        return Ok(rows);
+    }
+
+    // Aim for several chunks per worker so stealing has slack to balance,
+    // within the [min, max] granularity bounds.
+    let chunk = products
+        .len()
+        .div_ceil(threads.saturating_mul(4).max(1))
+        .clamp(STEAL_CHUNK_MIN, STEAL_CHUNK_MAX);
+    let chunks: Vec<&[rulekit_data::Product]> = products.chunks(chunk).collect();
+    let slots: Vec<Mutex<Option<ChunkResult>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+
+    pool.scope(|scope| {
+        for _ in 0..threads.min(chunks.len()) {
+            let cursor = &cursor;
+            let chunks = &chunks;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(slice) = chunks.get(i) else { break };
+                let outcome = run_chunk(executor, slice);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
             });
         }
     });
@@ -1016,15 +1085,49 @@ mod tests {
         products[33] = product("poison", &[]);
         let err = execute_batch_parallel(&PoisonExecutor, &products, 4)
             .expect_err("poisoned chunk must fail");
-        // 40 products on 4 workers → chunks of 10; index 33 is chunk 3.
-        assert_eq!(err.chunk, 3);
+        // Work-stealing cuts 40 products into 16-item chunks (the minimum
+        // steal granularity); index 33 lands in chunk 2.
+        assert_eq!(err.chunk, 33 / STEAL_CHUNK_MIN);
         assert!(err.message.contains("poisoned product"), "message: {}", err.message);
-        assert!(err.to_string().contains("chunk 3"));
+        assert!(err.to_string().contains(&format!("chunk {}", 33 / STEAL_CHUNK_MIN)));
 
         // Healthy batches on the same executor still succeed afterwards.
         let clean: Vec<Product> = (0..40).map(|_| product("fine", &[])).collect();
         let rows = execute_batch_parallel(&PoisonExecutor, &clean, 4).unwrap();
         assert_eq!(rows.len(), 40);
+    }
+
+    /// Drives the work-stealing dispatch on a private multi-worker pool, so
+    /// the parallel path is exercised even when the host is single-core and
+    /// the global pool clamps `execute_batch_parallel` to the serial path.
+    #[test]
+    fn work_stealing_dispatch_matches_serial_and_contains_panics() {
+        let pool = WorkerPool::new(3);
+        let rs = rules(LINES);
+        let indexed = IndexedExecutor::new(rs);
+        let products: Vec<Product> = (0..SERIAL_CUTOFF * 10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    product("diamond ring", &[])
+                } else {
+                    product("garden hose", &[])
+                }
+            })
+            .collect();
+        let sequential: Vec<Vec<RuleId>> =
+            products.iter().map(|p| indexed.matching_rules(p)).collect();
+        let parallel = execute_batch_on(&pool, &indexed, &products, 3).unwrap();
+        assert_eq!(parallel, sequential);
+
+        // A poisoned product fails only its chunk, via the stealing path.
+        let mut poisoned: Vec<Product> =
+            (0..SERIAL_CUTOFF * 10).map(|_| product("fine", &[])).collect();
+        poisoned[SERIAL_CUTOFF * 4 + 1] = product("poison", &[]);
+        let err = execute_batch_on(&pool, &PoisonExecutor, &poisoned, 3)
+            .expect_err("poisoned chunk must fail");
+        let chunk = poisoned.len().div_ceil(3 * 4).clamp(STEAL_CHUNK_MIN, STEAL_CHUNK_MAX);
+        assert_eq!(err.chunk, (SERIAL_CUTOFF * 4 + 1) / chunk);
+        assert!(err.message.contains("poisoned product"));
     }
 
     #[test]

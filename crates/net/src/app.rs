@@ -1,0 +1,95 @@
+//! The application behind the socket: a running [`RuleService`], the rule
+//! repository it serves, the (optional) durable store that makes rule edits
+//! crash-safe, and the shared metrics registry every tier records into.
+//!
+//! The invariants the handlers rely on live here:
+//!
+//! * **No side door for traffic**: classification goes through
+//!   [`RuleService::submit_with_deadline`] — admission queue, deadlines,
+//!   and rules-only degradation all apply to network traffic exactly as to
+//!   in-process callers.
+//! * **No side door for edits**: when the app is durable, rule CRUD goes
+//!   through the [`DurableRepository`], so a mutation is WAL-logged before
+//!   the HTTP response acknowledges it.
+//! * **One registry**: serving-tier, pipeline, store, and front-end metrics
+//!   all land in the same [`Registry`], so `GET /metrics` is one scrape.
+
+use rulekit_chimera::Chimera;
+use rulekit_core::{RuleId, RuleMeta, RuleParser, RuleRepository};
+use rulekit_data::Taxonomy;
+use rulekit_obs::Registry;
+use rulekit_serve::{ChimeraProvider, DurableProvider, RuleService, ServeConfig};
+use rulekit_store::{DurableConfig, DurableRepository, Storage, StoreError};
+use std::sync::Arc;
+
+/// Everything the HTTP handlers need, bundled. Construct with
+/// [`RuleApp::durable`] (production shape) or [`RuleApp::in_memory`]
+/// (tests, benchmarks, ephemeral demos).
+pub struct RuleApp {
+    /// The serving tier network traffic routes through.
+    pub service: RuleService,
+    /// The durable mutation handle; `None` for in-memory apps.
+    pub store: Option<Arc<DurableRepository>>,
+    /// The main rule repository (reads for the CRUD surface).
+    pub rules: Arc<RuleRepository>,
+    /// Parser for the non-durable mutation path.
+    pub parser: RuleParser,
+    /// Taxonomy for rendering type ids as names on the wire.
+    pub taxonomy: Arc<Taxonomy>,
+    /// The shared metrics registry `/metrics` renders.
+    pub registry: Arc<Registry>,
+}
+
+impl RuleApp {
+    /// A durable app: recovers rules from `storage` before serving, then
+    /// WAL-logs every subsequent edit before acknowledging it.
+    pub fn durable(
+        chimera: Arc<Chimera>,
+        storage: Arc<dyn Storage>,
+        store_cfg: DurableConfig,
+        serve_cfg: ServeConfig,
+    ) -> Result<RuleApp, StoreError> {
+        let registry = Arc::new(Registry::new());
+        let taxonomy = chimera.taxonomy().clone();
+        let parser = chimera.parser().clone();
+        let rules = chimera.rules.clone();
+        let provider = Arc::new(DurableProvider::open(chimera, storage, store_cfg)?);
+        let store = provider.store().clone();
+        let service = RuleService::start_with_registry(provider, serve_cfg, registry.clone());
+        Ok(RuleApp { service, store: Some(store), rules, parser, taxonomy, registry })
+    }
+
+    /// An in-memory app: rule edits apply immediately but do not survive a
+    /// restart. Same serving path, no WAL.
+    pub fn in_memory(chimera: Arc<Chimera>, serve_cfg: ServeConfig) -> RuleApp {
+        let registry = Arc::new(Registry::new());
+        let taxonomy = chimera.taxonomy().clone();
+        let parser = chimera.parser().clone();
+        let rules = chimera.rules.clone();
+        let provider = Arc::new(ChimeraProvider::new(chimera));
+        let service = RuleService::start_with_registry(provider, serve_cfg, registry.clone());
+        RuleApp { service, store: None, rules, parser, taxonomy, registry }
+    }
+
+    /// Adds DSL rules through the durable path when there is one. On `Ok`
+    /// the rules are applied — and, for durable apps, WAL-logged first.
+    pub fn add_rules(&self, text: &str, meta: &RuleMeta) -> Result<Vec<RuleId>, StoreError> {
+        match &self.store {
+            Some(store) => store.add_rules(text, meta),
+            None => {
+                let specs =
+                    self.parser.parse_rules(text).map_err(|e| StoreError::Parse(e.to_string()))?;
+                Ok(self.rules.add_all(specs, meta))
+            }
+        }
+    }
+
+    /// Removes a rule through the durable path when there is one.
+    /// `Ok(false)` = no such rule.
+    pub fn remove_rule(&self, id: RuleId, reason: &str) -> Result<bool, StoreError> {
+        match &self.store {
+            Some(store) => store.remove(id, reason),
+            None => Ok(self.rules.remove(id, reason)),
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! A minimal JSON value, parser, and writer — enough for the wire protocol,
+//! nothing more. No dependencies; strict on structure (trailing garbage,
+//! unterminated strings, bad escapes are errors), forgiving on whitespace.
+//!
+//! Numbers are kept as `f64` (the wire protocol's integers — item ids, rule
+//! ids, versions — fit exactly below 2^53, far beyond anything a catalog
+//! feed carries).
+
+use std::fmt;
+
+/// Hard cap on parser recursion (arrays/objects nested deeper than this are
+/// rejected rather than risking a stack overflow on hostile input).
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key-value pairs in document order (duplicate keys: first wins on
+    /// lookup).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why a JSON parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one complete JSON document; trailing non-whitespace is an
+    /// error.
+    pub fn parse(input: &[u8]) -> Result<Json, JsonError> {
+        let mut p = Parser { input, pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing data after document"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => escape_string_into(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_string_into(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+/// Builds an object from `(key, value)` pairs (the handlers' one-liner).
+pub fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn escape_string_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { at: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: Json) -> Result<Json, JsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        let n: f64 = text.parse().map_err(|_| self.err(format!("invalid number {text:?}")))?;
+        if !n.is_finite() {
+            return Err(self.err("non-finite number"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape consumed its bytes
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences whole).
+                    let rest = &self.input[self.pos..];
+                    let s = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err(self.err("invalid utf-8 in string")),
+                    };
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        // self.pos is at the 'u'.
+        self.pos += 1;
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair: require the low half.
+            if self.input[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&lo) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                return char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"));
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let bytes = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(bytes).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = br#"{"id": 7, "title": "area rug 5'x7'", "attrs": {"Brand": "Mainstays"}, "tags": ["a", "b"], "price": 19.99, "ok": true, "gone": null}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("title").and_then(Json::as_str), Some("area rug 5'x7'"));
+        assert_eq!(
+            v.get("attrs").and_then(|a| a.get("Brand")).and_then(Json::as_str),
+            Some("Mainstays")
+        );
+        assert_eq!(v.get("tags").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("price").and_then(Json::as_f64), Some(19.99));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("gone"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn round_trips_escapes_and_unicode() {
+        let original = Json::Obj(vec![(
+            "s".to_string(),
+            Json::Str("quote \" slash \\ newline \n tab \t é 日本 \u{1}".to_string()),
+        )]);
+        let text = original.render();
+        assert_eq!(Json::parse(text.as_bytes()).unwrap(), original);
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogates() {
+        let v = Json::parse("\"é 😀\"".as_bytes()).unwrap();
+        assert_eq!(v.as_str(), Some("é 😀"));
+        assert!(Json::parse(br#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            &b"{"[..],
+            b"[1,",
+            b"\"unterminated",
+            b"{\"a\": }",
+            b"nulla",
+            b"1 2",
+            b"{\"a\":1,}",
+            b"[01e]",
+            b"\"\x01\"",
+            b"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let mut doc = Vec::new();
+        doc.extend(std::iter::repeat_n(b'[', 2000));
+        doc.extend(std::iter::repeat_n(b']', 2000));
+        assert!(Json::parse(&doc).is_err());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(3.5).render(), "3.5");
+    }
+}

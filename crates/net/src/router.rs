@@ -1,0 +1,132 @@
+//! Route table: `(method, path)` → handler dispatch tag.
+//!
+//! | Method & path          | Route                | Purpose |
+//! |------------------------|----------------------|---------|
+//! | `POST /classify`       | [`Route::Classify`]  | classify one product or a batch |
+//! | `POST /rulesets`       | [`Route::CreateRules`] | add DSL rules (durably) |
+//! | `GET /rulesets`        | [`Route::ListRules`] | list all rules |
+//! | `GET /rulesets/{id}`   | [`Route::GetRule`]   | fetch one rule |
+//! | `DELETE /rulesets/{id}`| [`Route::DeleteRule`]| remove one rule (durably) |
+//! | `GET /health`          | [`Route::Health`]    | snapshot version, degradation, queue depths |
+//! | `GET /metrics`         | [`Route::Metrics`]   | Prometheus text exposition |
+
+use crate::http::Method;
+
+/// A resolved route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    Classify,
+    CreateRules,
+    ListRules,
+    GetRule(u64),
+    DeleteRule(u64),
+    Health,
+    Metrics,
+}
+
+impl Route {
+    /// Stable label for per-route metrics (`{route="..."}`). Parameterized
+    /// routes share one label so cardinality stays bounded.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Classify => "classify",
+            Route::CreateRules => "rulesets_create",
+            Route::ListRules => "rulesets_list",
+            Route::GetRule(_) => "rulesets_get",
+            Route::DeleteRule(_) => "rulesets_delete",
+            Route::Health => "health",
+            Route::Metrics => "metrics",
+        }
+    }
+
+    /// Every metric label the router can produce (metric pre-registration).
+    pub fn labels() -> [&'static str; 7] {
+        [
+            "classify",
+            "rulesets_create",
+            "rulesets_list",
+            "rulesets_get",
+            "rulesets_delete",
+            "health",
+            "metrics",
+        ]
+    }
+}
+
+/// Why a request matched no route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Unknown path — 404.
+    NotFound,
+    /// Known path, wrong method — 405.
+    MethodNotAllowed,
+}
+
+impl RouteError {
+    pub fn status(self) -> u16 {
+        match self {
+            RouteError::NotFound => 404,
+            RouteError::MethodNotAllowed => 405,
+        }
+    }
+}
+
+/// Resolves `(method, path)` to a route. Trailing slashes are tolerated
+/// (`/rulesets/` ≡ `/rulesets`).
+pub fn route(method: Method, path: &str) -> Result<Route, RouteError> {
+    let path = if path.len() > 1 { path.trim_end_matches('/') } else { path };
+    match path {
+        "/classify" => match method {
+            Method::Post => Ok(Route::Classify),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        "/rulesets" => match method {
+            Method::Post => Ok(Route::CreateRules),
+            Method::Get | Method::Head => Ok(Route::ListRules),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        "/health" => match method {
+            Method::Get | Method::Head => Ok(Route::Health),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        "/metrics" => match method {
+            Method::Get | Method::Head => Ok(Route::Metrics),
+            _ => Err(RouteError::MethodNotAllowed),
+        },
+        _ => match path.strip_prefix("/rulesets/") {
+            Some(rest) => {
+                let id: u64 = rest.parse().map_err(|_| RouteError::NotFound)?;
+                match method {
+                    Method::Get | Method::Head => Ok(Route::GetRule(id)),
+                    Method::Delete => Ok(Route::DeleteRule(id)),
+                    _ => Err(RouteError::MethodNotAllowed),
+                }
+            }
+            None => Err(RouteError::NotFound),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve() {
+        assert_eq!(route(Method::Post, "/classify"), Ok(Route::Classify));
+        assert_eq!(route(Method::Post, "/rulesets"), Ok(Route::CreateRules));
+        assert_eq!(route(Method::Get, "/rulesets"), Ok(Route::ListRules));
+        assert_eq!(route(Method::Get, "/rulesets/42"), Ok(Route::GetRule(42)));
+        assert_eq!(route(Method::Delete, "/rulesets/7/"), Ok(Route::DeleteRule(7)));
+        assert_eq!(route(Method::Get, "/health"), Ok(Route::Health));
+        assert_eq!(route(Method::Get, "/metrics"), Ok(Route::Metrics));
+    }
+
+    #[test]
+    fn unknown_paths_404_and_wrong_methods_405() {
+        assert_eq!(route(Method::Get, "/nope"), Err(RouteError::NotFound));
+        assert_eq!(route(Method::Get, "/rulesets/abc"), Err(RouteError::NotFound));
+        assert_eq!(route(Method::Get, "/classify"), Err(RouteError::MethodNotAllowed));
+        assert_eq!(route(Method::Delete, "/health"), Err(RouteError::MethodNotAllowed));
+    }
+}

@@ -1,0 +1,291 @@
+//! The TCP server: one acceptor thread feeding a fixed pool of connection
+//! handlers through a bounded queue, keep-alive HTTP/1.1 sessions with
+//! read/write timeouts, and a graceful three-phase shutdown — stop
+//! accepting, flush in-flight requests, then let the serving tier shed
+//! whatever is still queued.
+//!
+//! Overload surfaces at two points, both explicit:
+//!
+//! * the **socket edge**: when every handler is busy and the pending-
+//!   connection queue is full, new connections get an immediate canned 503
+//!   and are closed (counted in `rulekit_net_accept_rejected_total`);
+//! * the **admission queue**: a classify request the serving tier cannot
+//!   admit is answered 503 (`rulekit_net_overload_shed_total`) — the same
+//!   backpressure in-process callers see as [`Admission::Overloaded`].
+//!
+//! [`Admission::Overloaded`]: rulekit_serve::Admission::Overloaded
+
+use crate::app::RuleApp;
+use crate::handler::{dispatch, draining_response};
+use crate::http::{parse_request, HttpError, HttpLimits, Method, ParseOutcome, Response};
+use crate::metrics::NetMetrics;
+use crate::wire::error_json;
+use rulekit_obs::Registry;
+use rulekit_serve::BoundedQueue;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Connection-handler threads (each serves one connection at a time).
+    pub handler_threads: usize,
+    /// Accepted connections waiting for a free handler; beyond this the
+    /// acceptor answers a canned 503 and closes.
+    pub pending_connections: usize,
+    /// HTTP parser limits.
+    pub limits: HttpLimits,
+    /// Per-connection read timeout (also bounds idle keep-alive lifetime
+    /// and how long drain waits for a handler to notice shutdown).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Deadline attached to classify submissions (`None`: the service
+    /// config's default deadline).
+    pub classify_deadline: Option<Duration>,
+    /// Maximum products in one batch classify request.
+    pub max_batch: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            handler_threads: 8,
+            pending_connections: 64,
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            classify_deadline: None,
+            max_batch: 256,
+        }
+    }
+}
+
+/// Shared server state (app + config + telemetry + shutdown flag).
+pub(crate) struct ServerState {
+    pub(crate) app: RuleApp,
+    pub(crate) cfg: NetConfig,
+    pub(crate) metrics: NetMetrics,
+    pub(crate) shutdown: AtomicBool,
+    conns: BoundedQueue<TcpStream>,
+}
+
+impl ServerState {
+    pub(crate) fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running front-end. Dropping it shuts down gracefully.
+pub struct NetServer {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `cfg.addr` and starts the acceptor and handler threads. The
+    /// app's [`RuleService`] must already be running (it is, by
+    /// construction of [`RuleApp`]).
+    ///
+    /// [`RuleService`]: rulekit_serve::RuleService
+    pub fn start(app: RuleApp, cfg: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = NetMetrics::new(app.registry.clone());
+        let state = Arc::new(ServerState {
+            conns: BoundedQueue::new(cfg.pending_connections.max(1)),
+            app,
+            cfg,
+            metrics,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let handlers = (0..state.cfg.handler_threads.max(1))
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("rulekit-net-{i}"))
+                    .spawn(move || handler_loop(&state))
+                    .expect("spawn net handler")
+            })
+            .collect();
+
+        let acceptor = {
+            let state = state.clone();
+            std::thread::Builder::new()
+                .name("rulekit-net-accept".into())
+                .spawn(move || acceptor_loop(&state, listener))
+                .expect("spawn net acceptor")
+        };
+
+        Ok(NetServer { state, local_addr, acceptor: Some(acceptor), handlers })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.state.app.registry
+    }
+
+    /// The full Prometheus-style exposition `GET /metrics` serves.
+    pub fn render_metrics(&self) -> String {
+        self.state.app.registry.render_text()
+    }
+
+    /// The serving tier behind the socket.
+    pub fn service(&self) -> &rulekit_serve::RuleService {
+        &self.state.app.service
+    }
+
+    /// The durable store, when the app has one.
+    pub fn store(&self) -> Option<&Arc<rulekit_store::DurableRepository>> {
+        self.state.app.store.as_ref()
+    }
+
+    /// Whether a graceful shutdown is in progress (or finished).
+    pub fn is_draining(&self) -> bool {
+        self.state.is_draining()
+    }
+
+    /// Graceful drain: stop accepting, answer new requests on live
+    /// connections with 503, let in-flight requests finish, join the
+    /// network threads. The serving tier itself keeps running until the
+    /// server (and its [`RuleApp`]) is dropped, at which point any still-
+    /// queued work is shed with an explicit shutdown outcome. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.conns.close();
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection; it re-checks the flag on wake.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(state: &ServerState, listener: TcpListener) {
+    loop {
+        let conn = listener.accept();
+        if state.is_draining() {
+            return;
+        }
+        match conn {
+            Ok((stream, _peer)) => {
+                state.metrics.accepted.inc();
+                if let Err(stream) = state.conns.try_push(stream) {
+                    state.metrics.accept_rejected.inc();
+                    reject_connection(stream, state);
+                }
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Answers a connection the handler pool has no room for: one canned 503,
+/// then close. Best-effort — the peer may already be gone.
+fn reject_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let mut resp = Response::json(503, error_json("server at connection capacity"));
+    resp.close = true;
+    let mut stream = stream;
+    let _ = stream.write_all(&resp.serialize());
+}
+
+fn handler_loop(state: &Arc<ServerState>) {
+    loop {
+        let mut batch = state.conns.pop_batch(1, Duration::from_millis(50));
+        match batch.pop() {
+            Some(stream) => {
+                state.metrics.connections.inc();
+                handle_connection(state, stream);
+                state.metrics.connections.dec();
+            }
+            None => {
+                if state.conns.is_closed() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one keep-alive session: parse a request, dispatch, respond,
+/// repeat until the peer closes, an error ends the session, or drain
+/// begins.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let cfg = &state.cfg;
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+
+    loop {
+        match parse_request(&mut reader, &cfg.limits) {
+            Ok(ParseOutcome::Closed) => return,
+            Ok(ParseOutcome::Request(req)) => {
+                let draining = state.is_draining();
+                let mut resp = if draining {
+                    state.metrics.drain_rejected.inc();
+                    draining_response()
+                } else {
+                    dispatch(state, &req)
+                };
+                resp.close = resp.close || !req.keep_alive || draining;
+                if req.method == Method::Head {
+                    resp.body.clear();
+                }
+                let close = resp.close;
+                if resp.write_to(&mut stream).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Err(err) => {
+                state.metrics.http_errors.inc();
+                if let Some(status) = err.status() {
+                    let mut resp = Response::json(status, error_json(&err.message()));
+                    resp.close = true;
+                    let _ = resp.write_to(&mut stream);
+                } else if let HttpError::Io(_) = err {
+                    // Timeout or transport failure: nothing to say.
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! HTTP codec round-trip property tests and a malformed-input corpus.
+//!
+//! The codec promises two things the serving tier leans on:
+//!
+//! 1. **Round-trip fidelity** — bytes produced by [`Request::serialize`] /
+//!    [`Response::serialize`] parse back to the same request/response, so
+//!    the in-crate client, the load driver, and the server all speak the
+//!    same dialect.
+//! 2. **No panics, only statuses** — arbitrary junk on the socket maps to
+//!    a 4xx/5xx [`HttpError`] (or a clean close), never a crash of the
+//!    handler thread.
+
+use proptest::prelude::*;
+use rulekit_net::{HttpError, HttpLimits, Method, ParseOutcome, Request, Response};
+use std::io::BufReader;
+
+fn parse(bytes: &[u8]) -> Result<ParseOutcome, HttpError> {
+    let mut reader = BufReader::new(bytes);
+    rulekit_net::parse_request(&mut reader, &HttpLimits::default())
+}
+
+fn parse_ok(bytes: &[u8]) -> Request {
+    match parse(bytes).expect("expected a parse") {
+        ParseOutcome::Request(r) => r,
+        ParseOutcome::Closed => panic!("unexpected close"),
+    }
+}
+
+/// Asserts the bytes produce a 4xx/5xx status — not a panic, not a
+/// connection-level failure, not a successful parse.
+fn assert_rejected(bytes: &[u8], expect_status: u16) {
+    let err = parse(bytes).expect_err("malformed input must not parse");
+    assert_eq!(
+        err.status(),
+        Some(expect_status),
+        "wrong status for {:?}: {}",
+        String::from_utf8_lossy(&bytes[..bytes.len().min(60)]),
+        err.message()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// serialize → parse is the identity on every field the wire carries.
+    #[test]
+    fn request_round_trips(
+        method_ix in 0usize..4,
+        path_tail in "[a-z0-9/._-]{0,24}",
+        query in "[a-z0-9=&+]{0,16}",
+        names in prop::collection::vec("[a-z][a-z0-9-]{0,10}", 0..6),
+        values in prop::collection::vec("[a-z0-9 _.;]{0,18}", 0..6),
+        body in prop::collection::vec(any::<u8>(), 0..200),
+        keep_alive in any::<bool>(),
+    ) {
+        let method = [Method::Get, Method::Post, Method::Delete, Method::Head][method_ix];
+        let reserved = ["content-length", "connection", "transfer-encoding"];
+        let headers: Vec<(String, String)> = names
+            .iter()
+            .zip(&values)
+            .filter(|(n, _)| !reserved.contains(&n.as_str()))
+            .map(|(n, v)| (n.clone(), v.trim().to_string()))
+            .collect();
+        let original = Request {
+            method,
+            path: format!("/{path_tail}"),
+            query,
+            headers,
+            body,
+            keep_alive,
+        };
+
+        let parsed = parse_ok(&original.serialize());
+        prop_assert_eq!(parsed.method, original.method);
+        prop_assert_eq!(&parsed.path, &original.path);
+        prop_assert_eq!(&parsed.query, &original.query);
+        prop_assert_eq!(&parsed.body, &original.body);
+        prop_assert_eq!(parsed.keep_alive, original.keep_alive);
+        // Every caller-supplied header survives (the codec may add
+        // content-length / connection on top).
+        for (k, v) in &original.headers {
+            prop_assert_eq!(parsed.header(k), Some(v.as_str()), "header {} lost", k);
+        }
+    }
+
+    /// Response serialize → parse_response preserves status and body.
+    #[test]
+    fn response_round_trips(
+        status_ix in 0usize..8,
+        body in prop::collection::vec(any::<u8>(), 0..300),
+        close in any::<bool>(),
+    ) {
+        let status = [200u16, 201, 400, 404, 422, 500, 503, 504][status_ix];
+        let original = Response { status, content_type: "application/json", body, close };
+        let bytes = original.serialize();
+        let mut reader = BufReader::new(&bytes[..]);
+        let (got_status, headers, got_body) =
+            rulekit_net::parse_response(&mut reader, &HttpLimits::default()).unwrap();
+        prop_assert_eq!(got_status, status);
+        prop_assert_eq!(&got_body, &original.body);
+        let has_close = headers.iter().any(|(k, v)| k == "connection" && v == "close");
+        prop_assert_eq!(has_close, close);
+    }
+
+    /// Arbitrary bytes never panic the parser: every outcome is a request,
+    /// a clean close, or a typed error.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let _ = parse(&bytes);
+    }
+
+    /// A plausible-but-corrupted request (valid prefix + junk) never
+    /// panics either — this walks the parser deeper than pure noise does.
+    #[test]
+    fn parser_never_panics_on_corrupted_tail(
+        junk in prop::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let mut bytes = b"POST /classify HTTP/1.1\r\ncontent-length: 10\r\n".to_vec();
+        bytes.extend_from_slice(&junk);
+        let _ = parse(&bytes);
+    }
+
+    /// N serialized requests concatenated into one buffer parse back as
+    /// exactly N requests followed by a clean close — the property that
+    /// makes pipelining safe.
+    #[test]
+    fn pipelined_requests_parse_exactly(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..6),
+    ) {
+        let mut wire = Vec::new();
+        for body in &bodies {
+            let req = Request {
+                method: Method::Post,
+                path: "/classify".to_string(),
+                query: String::new(),
+                headers: vec![],
+                body: body.clone(),
+                keep_alive: true,
+            };
+            wire.extend_from_slice(&req.serialize());
+        }
+        let mut reader = BufReader::new(&wire[..]);
+        let limits = HttpLimits::default();
+        for body in &bodies {
+            match rulekit_net::parse_request(&mut reader, &limits).unwrap() {
+                ParseOutcome::Request(r) => prop_assert_eq!(&r.body, body),
+                ParseOutcome::Closed => prop_assert!(false, "closed before all requests"),
+            }
+        }
+        prop_assert!(matches!(
+            rulekit_net::parse_request(&mut reader, &limits).unwrap(),
+            ParseOutcome::Closed
+        ));
+    }
+}
+
+// --- malformed-input corpus -------------------------------------------------
+
+#[test]
+fn truncated_request_line_is_400() {
+    assert_rejected(b"GET /health HT", 400);
+    assert_rejected(b"GET", 400);
+    assert_rejected(b"POST /classify HTTP/1.1\r\ncontent-len", 400);
+}
+
+#[test]
+fn empty_input_is_clean_close() {
+    assert!(matches!(parse(b"").unwrap(), ParseOutcome::Closed));
+}
+
+#[test]
+fn oversized_request_line_is_414() {
+    let mut bytes = b"GET /".to_vec();
+    bytes.extend(std::iter::repeat_n(b'a', 9 * 1024));
+    bytes.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    assert_rejected(&bytes, 414);
+}
+
+#[test]
+fn oversized_header_line_is_431() {
+    let mut bytes = b"GET / HTTP/1.1\r\nx-big: ".to_vec();
+    bytes.extend(std::iter::repeat_n(b'b', 9 * 1024));
+    bytes.extend_from_slice(b"\r\n\r\n");
+    assert_rejected(&bytes, 431);
+}
+
+#[test]
+fn too_many_headers_is_431() {
+    let mut bytes = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..80 {
+        bytes.extend_from_slice(format!("x-h{i}: v\r\n").as_bytes());
+    }
+    bytes.extend_from_slice(b"\r\n");
+    assert_rejected(&bytes, 431);
+}
+
+#[test]
+fn bad_content_length_is_400() {
+    assert_rejected(b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n", 400);
+    assert_rejected(b"POST / HTTP/1.1\r\ncontent-length: -5\r\n\r\n", 400);
+    assert_rejected(b"POST / HTTP/1.1\r\ncontent-length: 4.5\r\n\r\n", 400);
+}
+
+#[test]
+fn huge_content_length_is_413_before_reading_the_body() {
+    // No body bytes follow at all: the limit check must fire on the
+    // declared length, not after attempting a 10 GB read.
+    assert_rejected(b"POST / HTTP/1.1\r\ncontent-length: 10737418240\r\n\r\n", 413);
+}
+
+#[test]
+fn body_shorter_than_content_length_is_400() {
+    assert_rejected(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc", 400);
+}
+
+#[test]
+fn structural_garbage_is_400_or_501() {
+    assert_rejected(b"GET / HTTP/2.0\r\n\r\n", 400); // unsupported version
+    assert_rejected(b"BREW /coffee HTTP/1.1\r\n\r\n", 501); // unknown method
+    assert_rejected(b"GET relative-path HTTP/1.1\r\n\r\n", 400); // not absolute
+    assert_rejected(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400);
+    assert_rejected(b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n", 400); // space in name
+    assert_rejected(b"GET / HTTP/1.1 extra\r\n\r\n", 400); // 4-part request line
+    assert_rejected(b"GET /\xff\xfe HTTP/1.1\r\n\r\n", 400); // non-utf8 line
+}
+
+#[test]
+fn interleaved_pipelined_requests_fail_only_at_the_bad_one() {
+    // A valid request, then a malformed one, back-to-back on one reader:
+    // the first parses fully, the second errors with a status, no panic.
+    let wire = b"POST /classify HTTP/1.1\r\ncontent-length: 2\r\n\r\nhiBREW /x HTTP/1.1\r\n\r\n";
+    let mut reader = BufReader::new(&wire[..]);
+    let limits = HttpLimits::default();
+    let first = match rulekit_net::parse_request(&mut reader, &limits).unwrap() {
+        ParseOutcome::Request(r) => r,
+        ParseOutcome::Closed => panic!("first request must parse"),
+    };
+    assert_eq!(first.body, b"hi");
+    let err = rulekit_net::parse_request(&mut reader, &limits).unwrap_err();
+    assert_eq!(err.status(), Some(501));
+}
+
+#[test]
+fn pipelined_body_bytes_are_not_mistaken_for_a_request_line() {
+    // The body of the first request *looks like* a request line; exact
+    // consumption means it must be read as body, and the real second
+    // request parses after it.
+    let body = b"GET /fake HTTP/1.1\r\n\r\n";
+    let wire = format!(
+        "POST /classify HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}GET /health HTTP/1.1\r\n\r\n",
+        body.len(),
+        String::from_utf8_lossy(body),
+    );
+    let mut reader = BufReader::new(wire.as_bytes());
+    let limits = HttpLimits::default();
+    let first = match rulekit_net::parse_request(&mut reader, &limits).unwrap() {
+        ParseOutcome::Request(r) => r,
+        _ => panic!(),
+    };
+    assert_eq!(first.path, "/classify");
+    assert_eq!(first.body, body);
+    let second = match rulekit_net::parse_request(&mut reader, &limits).unwrap() {
+        ParseOutcome::Request(r) => r,
+        _ => panic!(),
+    };
+    assert_eq!(second.path, "/health");
+}

@@ -55,18 +55,24 @@ impl MetricsSnapshot {
 
     /// Prometheus-style text exposition: counters and gauges as single
     /// samples, histograms as quantile-labelled summaries plus
-    /// `_count`/`_sum`/`_max` samples. Label suffixes in metric names
-    /// (`name{shard="0"}`) are preserved verbatim; one `# TYPE` line is
-    /// emitted per metric family, not per labelled series.
+    /// `_count`/`_sum`/`_max` samples. Label *values* in metric-name
+    /// suffixes (`name{shard="0"}`) are escaped per the text format
+    /// (`\\`, `\"`, `\n`); one `# TYPE` line is emitted per metric family,
+    /// not per labelled series, and the exposition always ends with a
+    /// newline so scrapers that lint for an unterminated final line accept
+    /// it.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         let mut typed: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for (name, value) in &self.metrics {
             // `name{label="v"}` → base name for TYPE lines and suffixing.
-            let (base, labels) = match name.find('{') {
+            let (base, raw_labels) = match name.find('{') {
                 Some(i) => (&name[..i], &name[i..]),
                 None => (name.as_str(), ""),
             };
+            let inner =
+                escape_label_values(raw_labels.trim_start_matches('{').trim_end_matches('}'));
+            let labels = if inner.is_empty() { String::new() } else { format!("{{{inner}}}") };
             let mut type_line = |out: &mut String, kind: &str| {
                 if typed.insert(base) {
                     let _ = writeln!(out, "# TYPE {base} {kind}");
@@ -75,17 +81,16 @@ impl MetricsSnapshot {
             match value {
                 MetricValue::Counter(v) => {
                     type_line(&mut out, "counter");
-                    let _ = writeln!(out, "{name} {v}");
+                    let _ = writeln!(out, "{base}{labels} {v}");
                 }
                 MetricValue::Gauge(v) => {
                     type_line(&mut out, "gauge");
-                    let _ = writeln!(out, "{name} {v}");
+                    let _ = writeln!(out, "{base}{labels} {v}");
                 }
                 MetricValue::Histogram(h) => {
                     type_line(&mut out, "summary");
                     for q in [0.5, 0.95, 0.99] {
-                        let sep = if labels.is_empty() { "" } else { "," };
-                        let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                        let sep = if inner.is_empty() { "" } else { "," };
                         let _ = writeln!(
                             out,
                             "{base}{{{inner}{sep}quantile=\"{q}\"}} {}",
@@ -98,8 +103,62 @@ impl MetricsSnapshot {
                 }
             }
         }
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
         out
     }
+}
+
+/// Escapes label *values* inside a brace-stripped label block
+/// (`key="value",key2="value2"`) per the Prometheus text format: backslash,
+/// double-quote, and newline become `\\`, `\"`, and `\n`. Keys and the
+/// `key="…"` structure pass through untouched. A `"` inside a value is
+/// recognized as the closing quote only when followed by `,` or the end of
+/// the block, so raw (unescaped) quotes in registered label values render
+/// as `\"` instead of corrupting the exposition.
+fn escape_label_values(inner: &str) -> String {
+    let mut out = String::with_capacity(inner.len());
+    let chars: Vec<char> = inner.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Key, up to '='.
+        while i < chars.len() && chars[i] != '=' {
+            out.push(chars[i]);
+            i += 1;
+        }
+        if i < chars.len() {
+            out.push('=');
+            i += 1;
+        }
+        // Quoted value.
+        if i < chars.len() && chars[i] == '"' {
+            out.push('"');
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                if c == '"' && (i + 1 == chars.len() || chars[i + 1] == ',') {
+                    break;
+                }
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    _ => out.push(c),
+                }
+                i += 1;
+            }
+            if i < chars.len() {
+                out.push('"');
+                i += 1;
+            }
+        }
+        if i < chars.len() && chars[i] == ',' {
+            out.push(',');
+            i += 1;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -147,6 +206,30 @@ mod tests {
         let text = r.render_text();
         assert_eq!(text.matches("# TYPE depth gauge\n").count(), 1, "{text}");
         assert_eq!(text.matches("# TYPE depth_max gauge\n").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_output_ends_with_newline() {
+        let r = Registry::new();
+        r.counter("hits{path=\"a\\b\"}").inc();
+        r.gauge("depth{note=\"say \"hi\"\"}").set(2);
+        r.histogram("lat{src=\"line\none\"}").record(7);
+        let text = r.render_text();
+        assert!(text.contains("hits{path=\"a\\\\b\"} 1"), "{text}");
+        assert!(text.contains("depth{note=\"say \\\"hi\\\"\"} 2"), "{text}");
+        assert!(text.contains("lat{src=\"line\\none\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("lat_count{src=\"line\\none\"} 1"), "{text}");
+        assert!(text.ends_with('\n'), "exposition must end with a newline");
+        // No raw (unescaped) newline may survive inside any sample line.
+        for line in text.lines() {
+            assert!(!line.contains("line\none"), "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_terminated_output() {
+        let r = Registry::new();
+        assert!(r.render_text().ends_with('\n'));
     }
 
     #[test]

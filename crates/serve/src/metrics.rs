@@ -88,6 +88,17 @@ impl ServiceMetrics {
         &self.shard_depth[i]
     }
 
+    /// How many shards this service was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shard_depth.len()
+    }
+
+    /// Live queue depth of every shard, in shard order (the `/health`
+    /// endpoint's per-shard view).
+    pub fn shard_depths(&self) -> Vec<i64> {
+        self.shard_depth.iter().map(Gauge::value).collect()
+    }
+
     pub(crate) fn note_queue_depth(&self, depth: u64) {
         self.max_queue_depth.set_max(depth.min(i64::MAX as u64) as i64);
     }

@@ -117,9 +117,30 @@ impl RuleService {
     /// Builds the initial snapshot synchronously, then starts the shard
     /// workers and the background refresher.
     pub fn start(provider: Arc<dyn SnapshotProvider>, cfg: ServeConfig) -> RuleService {
+        let shards = cfg.shards;
+        RuleService::start_with_metrics(provider, cfg, Arc::new(ServiceMetrics::new(shards)))
+    }
+
+    /// Like [`RuleService::start`] but registers the service's metrics in a
+    /// caller-supplied registry, so one `/metrics` exposition can cover the
+    /// serving tier together with the store and any network front-end.
+    pub fn start_with_registry(
+        provider: Arc<dyn SnapshotProvider>,
+        cfg: ServeConfig,
+        registry: Arc<rulekit_obs::Registry>,
+    ) -> RuleService {
+        let shards = cfg.shards;
+        let metrics = Arc::new(ServiceMetrics::with_registry(registry, shards));
+        RuleService::start_with_metrics(provider, cfg, metrics)
+    }
+
+    fn start_with_metrics(
+        provider: Arc<dyn SnapshotProvider>,
+        cfg: ServeConfig,
+        metrics: Arc<ServiceMetrics>,
+    ) -> RuleService {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.low_water < cfg.high_water, "hysteresis requires low_water < high_water");
-        let metrics = Arc::new(ServiceMetrics::new(cfg.shards));
         let initial = {
             let span = SpanTimer::start(&metrics.snapshot_build_nanos);
             let snapshot = provider.build();

@@ -26,6 +26,7 @@
 //! | [`chimera`] | The Figure 2 pipeline end to end, with QA loop and scale-down |
 //! | [`serve`] | Sharded serving tier: hot snapshot swaps, backpressure, degradation, metrics |
 //! | [`store`] | Durable rule repository: write-ahead log, checkpoints, crash recovery, fault injection |
+//! | [`net`] | TCP/HTTP front-end: hardened HTTP/1.1 codec, JSON wire protocol, classify + rule CRUD + health + metrics routes |
 //! | [`em`] | §6 entity matching: predicates, semantics, blocking |
 //! | [`ie`] | §6 information extraction: dictionaries, regex extractors |
 //!
@@ -58,6 +59,7 @@ pub use rulekit_gen as gen;
 pub use rulekit_ie as ie;
 pub use rulekit_learn as learn;
 pub use rulekit_maint as maint;
+pub use rulekit_net as net;
 pub use rulekit_obs as obs;
 pub use rulekit_regex as regex;
 pub use rulekit_serve as serve;
