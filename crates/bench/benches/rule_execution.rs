@@ -3,7 +3,7 @@
 //! and Optimization").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rulekit_bench::exp::execution::synthetic_rules;
+use rulekit_bench::exp::execution::{expression_rule_pairs, synthetic_rules};
 use rulekit_bench::setup::{analyst_rules, world, Scale};
 use rulekit_core::{IndexedExecutor, LiteralScanExecutor, NaiveExecutor, RuleExecutor};
 
@@ -35,6 +35,30 @@ fn bench_executors(c: &mut Criterion) {
     group.finish();
 }
 
+/// E16 smoke: the same mixed keyword/numeric/boolean workload as legacy
+/// conditions and as expression-language rules. Both lower to the same
+/// bytecode, so the two throughputs should track each other — the CI job
+/// runs this group as its expression-tier regression smoke.
+fn bench_expr_vs_legacy(c: &mut Criterion) {
+    let scale = Scale { train_items: 1000, eval_items: 1000, seed: 5 };
+    let (taxonomy, mut generator) = world(scale);
+    let products: Vec<_> = generator.generate(60).into_iter().map(|i| i.product).collect();
+
+    let mut group = c.benchmark_group("expr_rules");
+    let n = 1_000usize;
+    let (legacy_rules, expr_rules) = expression_rule_pairs(&taxonomy, n);
+    group.throughput(Throughput::Elements(products.len() as u64));
+    let legacy = LiteralScanExecutor::new(legacy_rules);
+    group.bench_with_input(BenchmarkId::new("legacy", n), &legacy, |b, ex| {
+        b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
+    });
+    let expr = LiteralScanExecutor::new(expr_rules);
+    group.bench_with_input(BenchmarkId::new("expr", n), &expr, |b, ex| {
+        b.iter(|| products.iter().map(|p| ex.matching_rules(p).len()).sum::<usize>())
+    });
+    group.finish();
+}
+
 fn bench_index_build(c: &mut Criterion) {
     let scale = Scale { train_items: 1000, eval_items: 1000, seed: 5 };
     let (taxonomy, _) = world(scale);
@@ -50,6 +74,6 @@ fn bench_index_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_executors, bench_index_build
+    targets = bench_executors, bench_expr_vs_legacy, bench_index_build
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]
 //!
 //! EXPERIMENT: all | table1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 |
-//!             e11 | e12 | e13 | e14 | e15 | serve | netload | recovery
+//!             e11 | e12 | e13 | e14 | e15 | e16 | serve | netload | recovery
 //! --scale     multiplies corpus sizes (default 1.0; the default corpus is
 //!             ~20k training items, a ~1/40 scale model of the paper's 885K)
 //! --seed      master RNG seed (default 1)
@@ -81,11 +81,16 @@ fn main() {
     if want("e6") {
         exp::chimera::e6(scale);
     }
-    if want("e7") {
-        let rows = exp::execution::e7(scale);
-        let json = exp::execution::e7_json(&rows);
+    let e7_rows = if want("e7") { exp::execution::e7(scale) } else { Vec::new() };
+    let e16_rows = if want("e16") { exp::execution::e16(scale) } else { Vec::new() };
+    if !e7_rows.is_empty() || !e16_rows.is_empty() {
+        let json = exp::execution::engine_json(&e7_rows, &e16_rows);
         match std::fs::write("BENCH_engine.json", &json) {
-            Ok(()) => println!("wrote BENCH_engine.json ({} rows)", rows.len()),
+            Ok(()) => println!(
+                "wrote BENCH_engine.json ({} e7 rows, {} e16 rows)",
+                e7_rows.len(),
+                e16_rows.len()
+            ),
             Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
         }
     }
@@ -121,8 +126,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]\n\
-         experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 serve netload \
-         recovery"
+         experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 serve \
+         netload recovery"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

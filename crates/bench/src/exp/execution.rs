@@ -1,5 +1,6 @@
 //! E7 (rule-execution scaling: naive vs trigram-indexed vs Aho-Corasick
-//! literal-scan, plus parallel batches) and E10 (rule-system
+//! literal-scan, plus parallel batches), E16 (expression-language rules vs
+//! equivalent legacy conditions on one executor), and E10 (rule-system
 //! order-independence audits).
 
 use crate::setup::{analyst_rules, world, Scale};
@@ -213,11 +214,166 @@ pub fn e7(scale: Scale) -> Vec<E7Row> {
     rows
 }
 
-/// Serializes E7 rows as the machine-readable perf snapshot
-/// (`BENCH_engine.json`) CI and regression tooling diff against.
-pub fn e7_json(rows: &[E7Row]) -> String {
+/// One E16 measurement row: the same workload expressed as legacy DSL
+/// conditions and as expression-language rules, run on one executor.
+pub struct E16Row {
+    pub rules: usize,
+    pub legacy_build_ms: f64,
+    pub expr_build_ms: f64,
+    pub legacy_items_s: f64,
+    pub expr_items_s: f64,
+    pub cand_legacy: f64,
+    pub cand_expr: f64,
+}
+
+/// Manufactures `n` rule *pairs*: each index holds a legacy-DSL rule and
+/// the expression-language rule with identical semantics. The mix cycles
+/// keyword (title regex), conjunctive (regex && numeric guard), and
+/// attribute-existence species — the "mixed keyword + numeric + boolean"
+/// workload the expression tier was built for.
+pub fn expression_rule_pairs(taxonomy: &Arc<Taxonomy>, n: usize) -> (Vec<Rule>, Vec<Rule>) {
+    let parser = RuleParser::new(taxonomy.clone());
+    let legacy = RuleRepository::new();
+    let expr = RuleRepository::new();
+    let mut produced = 0usize;
+    // Multiple passes over the taxonomy pools: `produced % 3` rotates, so a
+    // later pass emits a different species for the same (qualifier, head).
+    'outer: for _round in 0..4usize {
+        for id in taxonomy.ids() {
+            let def = taxonomy.def(id);
+            let heads: Vec<String> = def.heads.iter().map(|h| h.to_lowercase()).collect();
+            let quals: Vec<String> = def.qualifiers.iter().map(|q| q.to_lowercase()).collect();
+            for q in &quals {
+                for head in &heads {
+                    let e = rulekit_regex::escape(q);
+                    let h = rulekit_regex::escape(head);
+                    let price = 5 + (produced % 90);
+                    let (old, new) = match produced % 3 {
+                        0 => (
+                            format!("{e}.*{h}s? -> {}", def.name),
+                            format!("rule: title ~ /{e}.*{h}s?/ => {}", def.name),
+                        ),
+                        1 => (
+                            format!("title({h}) and price < {price} -> NOT {}", def.name),
+                            format!("rule: title ~ /{h}/ && price < {price} => NOT {}", def.name),
+                        ),
+                        _ => (
+                            format!("{e} {h}s? -> {}", def.name),
+                            format!("rule: title ~ /{e} {h}s?/ && vendor >= 0 => {}", def.name),
+                        ),
+                    };
+                    let (Ok(a), Ok(b)) = (parser.parse_rule(&old), parser.parse_rule(&new)) else {
+                        continue;
+                    };
+                    legacy.add(a, RuleMeta::default());
+                    expr.add(b, RuleMeta::default());
+                    produced += 1;
+                    if produced >= n {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    (legacy.enabled_snapshot(), expr.enabled_snapshot())
+}
+
+/// E16 — expression-language rules vs equivalent legacy conditions. Both
+/// corpora run on the literal-scan executor; the acceptance bar is that the
+/// expression side stays within 2× of legacy throughput (they compile to
+/// the same bytecode, so in practice they should be near-identical).
+pub fn e16(scale: Scale) -> Vec<E16Row> {
+    println!("\n=== E16: expression-language rules vs legacy conditions ===");
+    let (taxonomy, mut generator) = world(scale);
+    let products: Vec<_> =
+        generator.generate(2_000.min(scale.eval_items)).into_iter().map(|i| i.product).collect();
+
+    let factor = scale.eval_items as f64 / 10_000.0;
+    let targets: Vec<usize> =
+        [1_000.0f64, 10_000.0].iter().map(|b| ((b * factor) as usize).max(200)).collect();
+
+    let mut table = Table::new(&[
+        "rules",
+        "build legacy ms",
+        "build expr ms",
+        "legacy items/s",
+        "expr items/s",
+        "expr/legacy",
+        "cand legacy",
+        "cand expr",
+    ]);
+    let mut rows: Vec<E16Row> = Vec::new();
+    for &n in &targets {
+        let (legacy_rules, expr_rules) = expression_rule_pairs(&taxonomy, n);
+        let n = legacy_rules.len();
+        if rows.last().is_some_and(|r| r.rules == n) {
+            continue;
+        }
+        let t = Instant::now();
+        let legacy = LiteralScanExecutor::new(legacy_rules);
+        let legacy_build_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let t = Instant::now();
+        let expr = LiteralScanExecutor::new(expr_rules);
+        let expr_build_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+        // Correctness gate: the corpora are semantically identical rule for
+        // rule, so the fired sets must match on every checked product.
+        for p in &products[..products.len().min(200)] {
+            let mut a = legacy.matching_rules(p);
+            let mut b = expr.matching_rules(p);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "expression corpus disagrees with legacy on {:?}", p.title);
+        }
+
+        let legacy_items_s = items_per_sec(&products, |p| {
+            legacy.matching_rules(p);
+        });
+        let expr_items_s = items_per_sec(&products, |p| {
+            expr.matching_rules(p);
+        });
+        let sample = &products[..products.len().min(200)];
+        let sl = execution_stats(&legacy, sample);
+        let se = execution_stats(&expr, sample);
+
+        let ratio = expr_items_s / legacy_items_s.max(1e-9);
+        assert!(
+            ratio >= 0.5,
+            "expression rules fell below half of legacy throughput: \
+             {expr_items_s:.0} vs {legacy_items_s:.0} items/s at {n} rules"
+        );
+        table.row(vec![
+            n.to_string(),
+            f3(legacy_build_ms),
+            f3(expr_build_ms),
+            format!("{legacy_items_s:.0}"),
+            format!("{expr_items_s:.0}"),
+            format!("{ratio:.2}x"),
+            f3(sl.avg_considered),
+            f3(se.avg_considered),
+        ]);
+        rows.push(E16Row {
+            rules: n,
+            legacy_build_ms,
+            expr_build_ms,
+            legacy_items_s,
+            expr_items_s,
+            cand_legacy: sl.avg_considered,
+            cand_expr: se.avg_considered,
+        });
+    }
+    table.print();
+    println!("(legacy conditions and expression rules lower to the same bytecode, so the");
+    println!(" throughput ratio should hover near 1.0x — 0.5x is the acceptance floor)");
+    rows
+}
+
+/// Serializes the E7 and E16 rows as the machine-readable perf snapshot
+/// (`BENCH_engine.json`) CI and regression tooling diff against. Either
+/// section may be empty when only one experiment was selected.
+pub fn engine_json(e7_rows: &[E7Row], e16_rows: &[E16Row]) -> String {
     let mut out = String::from("{\n  \"experiment\": \"e7-rule-execution\",\n  \"unit\": \"items_per_sec\",\n  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    for (i, r) in e7_rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"rules\": {}, \"naive_items_s\": {:.1}, \"trigram_items_s\": {:.1}, \
              \"literal_items_s\": {:.1}, \"literal_par4_items_s\": {:.1}, \
@@ -235,10 +391,27 @@ pub fn e7_json(rows: &[E7Row]) -> String {
             r.cand_naive,
             r.cand_trigram,
             r.cand_literal,
-            if i + 1 == rows.len() { "" } else { "," },
+            if i + 1 == e7_rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"expr\": {\n    \"experiment\": \"e16-expression-rules\",\n    \"unit\": \"items_per_sec\",\n    \"rows\": [\n");
+    for (i, r) in e16_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"rules\": {}, \"legacy_items_s\": {:.1}, \"expr_items_s\": {:.1}, \
+             \"ratio\": {:.3}, \"legacy_build_ms\": {:.3}, \"expr_build_ms\": {:.3}, \
+             \"cand_legacy\": {:.3}, \"cand_expr\": {:.3}}}{}\n",
+            r.rules,
+            r.legacy_items_s,
+            r.expr_items_s,
+            r.expr_items_s / r.legacy_items_s.max(1e-9),
+            r.legacy_build_ms,
+            r.expr_build_ms,
+            r.cand_legacy,
+            r.cand_expr,
+            if i + 1 == e16_rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 

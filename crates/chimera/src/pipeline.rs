@@ -583,6 +583,28 @@ mod tests {
     }
 
     #[test]
+    fn expression_rules_classify_and_cache_across_rebuilds() {
+        let (chimera, mut g) = trained_chimera(60);
+        let tax = chimera.taxonomy().clone();
+        let books = tax.id_of("books").unwrap();
+        let line = "rule: has(ISBN) && vendor >= 0 => books";
+        chimera.add_gate_rules(line).unwrap();
+        let item = g.generate_for_type(books);
+        assert_eq!(chimera.classify(&item.product).type_id(), Some(books));
+        let before = chimera.parser().expr_cache().stats();
+        assert_eq!(before.misses, 1);
+
+        // Re-submitting the same source forces a classifier rebuild (new
+        // repository revision) but reuses the compiled bytecode: the second
+        // parse is a cache hit, not a second lex/parse/compile.
+        chimera.add_gate_rules(line).unwrap();
+        assert_eq!(chimera.classify(&item.product).type_id(), Some(books));
+        let after = chimera.parser().expr_cache().stats();
+        assert_eq!(after.misses, before.misses, "rebuild recompiled the expression");
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
     fn pipeline_records_stage_metrics() {
         let (chimera, mut g) = trained_chimera(59);
         let products: Vec<Product> = g.generate(80).into_iter().map(|i| i.product).collect();

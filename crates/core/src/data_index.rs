@@ -6,7 +6,7 @@
 //! every variant through [`TitleIndex::matching`], which scans only
 //! candidate titles instead of all of `D`.
 
-use rulekit_regex::{best_disjunction, Regex};
+use rulekit_regex::{best_indexable_disjunction, Regex};
 use std::collections::HashMap;
 
 /// An inverted trigram index over a corpus of titles.
@@ -60,11 +60,9 @@ impl TitleIndex {
     /// the pattern has no indexable literal.
     pub fn candidates(&self, regex: &Regex) -> Vec<u32> {
         let cnf = regex.required_literals();
-        let indexable: Vec<Vec<String>> = cnf
-            .into_iter()
-            .filter(|d| d.iter().all(|lit| lit.len() >= 3 && lit.is_ascii()))
-            .collect();
-        let Some(best) = best_disjunction(&indexable) else {
+        // Same indexability predicate as the trigram rule index (shared
+        // helper — the two admission paths cannot drift apart).
+        let Some(best) = best_indexable_disjunction(&cnf, 3) else {
             return (0..self.titles.len() as u32).collect();
         };
         let mut out: Vec<u32> = Vec::new();

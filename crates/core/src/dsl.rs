@@ -18,11 +18,20 @@
 //! # §4 extensions: conjunctions, price predicates, dictionaries
 //! title(apple) and price < 100 -> NOT smartphones
 //! dict(pc_words) -> one of laptop computers; desktop computers
+//!
+//! # the expression tier: full boolean/arithmetic predicates
+//! rule: price < 20 && category == "rug" && title ~ /braided/ => NOT area rugs
+//! rule: (vendor in [12, 97] || has(ISBN)) && !(title ~ /poster/) => books
 //! ```
 //!
 //! Patterns are written the way the paper prints them — spaces around `|`
-//! are cosmetic and removed before compilation.
+//! are cosmetic and removed before compilation. A line starting with
+//! `rule:` switches to the expression language (`<expr> => <action>`); the
+//! expression is compiled through the parser's shared [`ExprCache`], so the
+//! same rule text re-parsed on WAL replay or checkpoint rebuild reuses the
+//! compiled bytecode.
 
+use crate::expr::ExprCache;
 use crate::rule::{CompareOp, Condition, Dictionary, RuleAction};
 use rulekit_data::Taxonomy;
 use rulekit_regex::Regex;
@@ -63,17 +72,26 @@ impl std::error::Error for ParseError {}
 pub struct RuleParser {
     taxonomy: Arc<Taxonomy>,
     dictionaries: HashMap<String, Arc<Dictionary>>,
+    /// Shared source → bytecode memo for expression rules. Cloning the
+    /// parser (the durable store and the serving tier each hold one) shares
+    /// this cache, so one process compiles each distinct expression once.
+    expr_cache: ExprCache,
 }
 
 impl RuleParser {
     /// Creates a parser over `taxonomy`.
     pub fn new(taxonomy: Arc<Taxonomy>) -> Self {
-        RuleParser { taxonomy, dictionaries: HashMap::new() }
+        RuleParser { taxonomy, dictionaries: HashMap::new(), expr_cache: ExprCache::new() }
     }
 
     /// Registers a dictionary usable via `dict(name)`.
     pub fn register_dictionary(&mut self, dict: Dictionary) {
         self.dictionaries.insert(dict.name.clone(), Arc::new(dict));
+    }
+
+    /// The compiled-expression cache this parser (and its clones) share.
+    pub fn expr_cache(&self) -> &ExprCache {
+        &self.expr_cache
     }
 
     /// Parses a multi-line rule file; `#` starts a comment, blank lines are
@@ -96,10 +114,23 @@ impl RuleParser {
 
     /// Parses one rule line.
     pub fn parse_rule(&self, line: &str) -> Result<RuleSpec, ParseError> {
+        if let Some(rest) = line.trim_start().strip_prefix("rule:") {
+            return self.parse_expr_rule(line, rest);
+        }
         let (lhs, rhs) = line.rsplit_once("->").ok_or_else(|| err("missing '->'"))?;
         let condition = self.parse_condition(lhs.trim())?;
         let action = self.parse_action(rhs.trim())?;
         Ok(RuleSpec { condition, action, source: line.to_string() })
+    }
+
+    /// `rule: <expr> => <action>` — the expression-language tier.
+    fn parse_expr_rule(&self, line: &str, rest: &str) -> Result<RuleSpec, ParseError> {
+        let (expr_src, rhs) =
+            rest.rsplit_once("=>").ok_or_else(|| err("expression rule needs '=>'"))?;
+        let compiled =
+            self.expr_cache.compile(expr_src).map_err(|e| err(&format!("bad expression: {e}")))?;
+        let action = self.parse_action(rhs.trim())?;
+        Ok(RuleSpec { condition: Condition::Expr(compiled), action, source: line.to_string() })
     }
 
     fn parse_condition(&self, lhs: &str) -> Result<Condition, ParseError> {
@@ -155,9 +186,9 @@ impl RuleParser {
         Ok(Condition::TitleMatches(re))
     }
 
-    /// `price < 100`, `num(Weight) >= 5` …
+    /// `price < 100`, `num(Weight) >= 5`, `num(Pages) == 300` …
     fn try_parse_compare(&self, atom: &str) -> Result<Option<Condition>, ParseError> {
-        for op_text in ["<=", ">=", "<", ">", "="] {
+        for op_text in ["<=", ">=", "==", "<", ">", "="] {
             if let Some((lhs, rhs)) = atom.split_once(op_text) {
                 let lhs = lhs.trim();
                 let attr = if let Some(inner) = call_body(lhs, "num") {
@@ -174,6 +205,7 @@ impl RuleParser {
                 let op = match op_text {
                     "<=" => CompareOp::Le,
                     ">=" => CompareOp::Ge,
+                    "==" => CompareOp::EqExact,
                     "<" => CompareOp::Lt,
                     ">" => CompareOp::Gt,
                     _ => CompareOp::Eq,
@@ -410,6 +442,55 @@ mod tests {
         let text = "rings? -> rings\nbroken -> nowhere";
         let e = parser().parse_rules(text).unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn expression_rule_parses_and_matches() {
+        let spec = parser()
+            .parse_rule(r#"rule: price < 20 && title ~ /braided/ => NOT area rugs"#)
+            .unwrap();
+        assert!(matches!(spec.action, RuleAction::Forbid(_)));
+        assert!(matches!(spec.condition, Condition::Expr(_)));
+        assert!(spec.condition.matches(&product("Braided Rug", &[("Price", "9.99")])));
+        assert!(!spec.condition.matches(&product("Braided Rug", &[("Price", "49.99")])));
+        assert!(!spec.condition.matches(&product("Shag Rug", &[("Price", "9.99")])));
+    }
+
+    #[test]
+    fn expression_rule_with_restriction_action() {
+        let spec =
+            parser().parse_rule("rule: has(ISBN) || has(Pages) => one of books; tablets").unwrap();
+        let RuleAction::Restrict(types) = &spec.action else { panic!("expected restrict") };
+        assert_eq!(types.len(), 2);
+        assert!(spec.condition.matches(&product("x", &[("Pages", "30")])));
+    }
+
+    #[test]
+    fn expression_rule_reuses_the_cache() {
+        let p = parser();
+        let line = "rule: vendor in [3, 9] => books";
+        p.parse_rule(line).unwrap();
+        p.parse_rule(line).unwrap();
+        let stats = p.expr_cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Clones (the durable store, the serving tier) share the memo.
+        let clone = p.clone();
+        clone.parse_rule(line).unwrap();
+        assert_eq!(clone.expr_cache().stats().hits, 2);
+    }
+
+    #[test]
+    fn malformed_expression_rule_reports_error() {
+        for bad in ["rule: price < => books", "rule: price < 20", "rule: title ~ /(/ => books"] {
+            assert!(parser().parse_rule(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn exact_equality_in_legacy_dsl() {
+        let spec = parser().parse_rule("num(Pages) == 300 -> books").unwrap();
+        assert!(spec.condition.matches(&product("x", &[("Pages", "300")])));
+        assert!(!spec.condition.matches(&product("x", &[("Pages", "299.9999999999")])));
     }
 
     #[test]

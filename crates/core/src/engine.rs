@@ -28,11 +28,12 @@
 //! [`WorkerPool`](crate::pool::WorkerPool) for batch classification (the
 //! "cluster" stand-in) — no thread spawn per batch.
 
+use crate::expr::{ExecContext, Program};
 use crate::pool::WorkerPool;
 use crate::prepared::{fold_lower, PreparedProduct};
 use crate::rule::{Rule, RuleId};
 use rulekit_obs::{Counter, Histogram, Registry};
-use rulekit_regex::{best_disjunction, AhoCorasick};
+use rulekit_regex::{best_indexable_disjunction, AhoCorasick};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -277,16 +278,26 @@ fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
     SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
+/// Compiles every rule's condition to stack bytecode — done once per
+/// executor build, so the hot path is a VM dispatch per candidate rather
+/// than a tree walk. Expression rules return their already-shared program
+/// (the compile cache makes this an `Arc` clone).
+fn compile_programs(rules: &[Rule]) -> Vec<Arc<Program>> {
+    rules.iter().map(|r| r.condition.compile()).collect()
+}
+
 /// Baseline: evaluate every rule on every product.
 pub struct NaiveExecutor {
     rules: Vec<Rule>,
+    programs: Vec<Arc<Program>>,
     metrics: Option<Arc<ExecMetrics>>,
 }
 
 impl NaiveExecutor {
     /// Wraps a rule snapshot.
     pub fn new(rules: Vec<Rule>) -> Self {
-        NaiveExecutor { rules, metrics: None }
+        let programs = compile_programs(&rules);
+        NaiveExecutor { rules, programs, metrics: None }
     }
 
     /// Attaches (or detaches) hot-path instrumentation.
@@ -302,11 +313,13 @@ impl RuleExecutor for NaiveExecutor {
     }
 
     fn matching_rules_with_stats(&self, product: &PreparedProduct<'_>) -> (Vec<RuleId>, usize) {
+        let ctx = ExecContext::new(product);
         let fired: Vec<RuleId> = self
             .rules
             .iter()
-            .filter(|r| r.condition.matches_prepared(product))
-            .map(|r| r.id)
+            .zip(&self.programs)
+            .filter(|(_, p)| p.eval(&ctx))
+            .map(|(r, _)| r.id)
             .collect();
         if let Some(m) = &self.metrics {
             m.record(self.rules.len(), fired.len());
@@ -340,6 +353,7 @@ enum Admission {
 /// requirement, and only then does the full matcher run.
 pub struct IndexedExecutor {
     rules: Vec<Rule>,
+    programs: Vec<Arc<Program>>,
     admissions: Vec<Admission>,
     /// trigram → rule indices.
     trigram_postings: HashMap<[u8; 3], Vec<u32>>,
@@ -354,6 +368,7 @@ impl IndexedExecutor {
     /// Builds the index over a rule snapshot.
     pub fn new(rules: Vec<Rule>) -> Self {
         let mut executor = IndexedExecutor {
+            programs: compile_programs(&rules),
             admissions: Vec::with_capacity(rules.len()),
             trigram_postings: HashMap::new(),
             attr_postings: HashMap::new(),
@@ -388,19 +403,13 @@ impl IndexedExecutor {
 
     fn classify_rule(&self, i: usize) -> Admission {
         let condition = &self.rules[i].condition;
-        if let Some(re) = condition.title_regex() {
-            let cnf = re.required_literals();
-            // Choose the best disjunction whose every literal is indexable
-            // (ASCII, length ≥ 3 — trigram keys are 3 bytes).
-            let indexable: Vec<&Vec<String>> = cnf
-                .iter()
-                .filter(|d| d.iter().all(|lit| lit.len() >= 3 && lit.is_ascii()))
-                .collect();
-            if let Some(best) =
-                best_disjunction(&indexable.iter().map(|d| (*d).clone()).collect::<Vec<_>>())
-            {
-                return Admission::Literals(best.clone());
-            }
+        // One admission interface for every condition species (regex,
+        // dictionary, conjunction, expression): the condition's required-
+        // literal CNF. Pick the best disjunction whose every literal is
+        // indexable (ASCII, length ≥ 3 — trigram keys are 3 bytes).
+        let cnf = condition.required_literal_cnf();
+        if let Some(best) = best_indexable_disjunction(&cnf, 3) {
+            return Admission::Literals(best.clone());
         }
         if let Some(attr) = condition.attr_key() {
             return Admission::Attribute(fold_lower(attr).into_owned());
@@ -471,12 +480,12 @@ impl RuleExecutor for IndexedExecutor {
         with_scratch(|scratch| {
             self.collect_candidates(product, scratch);
             let considered = scratch.candidates.len();
+            let ctx = ExecContext::new(product);
             let fired: Vec<RuleId> = scratch
                 .candidates
                 .iter()
-                .map(|&i| &self.rules[i as usize])
-                .filter(|r| r.condition.matches_prepared(product))
-                .map(|r| r.id)
+                .filter(|&&i| self.programs[i as usize].eval(&ctx))
+                .map(|&i| self.rules[i as usize].id)
                 .collect();
             if let Some(m) = &self.metrics {
                 m.record(considered, fired.len());
@@ -499,6 +508,7 @@ impl RuleExecutor for IndexedExecutor {
 /// the trigram index.
 pub struct LiteralScanExecutor {
     rules: Vec<Rule>,
+    programs: Vec<Arc<Program>>,
     /// One automaton over all distinct literals (`None` when no rule
     /// contributes a literal).
     automaton: Option<AhoCorasick>,
@@ -529,7 +539,10 @@ impl LiteralScanExecutor {
 
         for (i, rule) in rules.iter().enumerate() {
             let condition = &rule.condition;
-            let cnf = condition.title_regex().map(|re| re.required_literals()).unwrap_or_default();
+            // The unified admission interface: regex, dictionary,
+            // conjunction and expression conditions all surface their
+            // requirement as one literal CNF.
+            let cnf = condition.required_literal_cnf();
             if !cnf.is_empty() {
                 // Every disjunction is a requirement; demanding all of them
                 // makes admission strictly tighter than any single-
@@ -559,6 +572,7 @@ impl LiteralScanExecutor {
 
         let automaton = if patterns.is_empty() { None } else { Some(AhoCorasick::new(&patterns)) };
         LiteralScanExecutor {
+            programs: compile_programs(&rules),
             rules,
             automaton,
             pattern_groups,
@@ -631,12 +645,12 @@ impl RuleExecutor for LiteralScanExecutor {
         with_scratch(|scratch| {
             let hits = self.collect_candidates(product, scratch);
             let considered = scratch.candidates.len();
+            let ctx = ExecContext::new(product);
             let fired: Vec<RuleId> = scratch
                 .candidates
                 .iter()
-                .map(|&i| &self.rules[i as usize])
-                .filter(|r| r.condition.matches_prepared(product))
-                .map(|r| r.id)
+                .filter(|&&i| self.programs[i as usize].eval(&ctx))
+                .map(|&i| self.rules[i as usize].id)
                 .collect();
             if let Some(m) = &self.metrics {
                 m.record(considered, fired.len());
@@ -883,6 +897,61 @@ mod tests {
             product("quaker state motor oil", &[]),
             product("garden hose", &[]),
         ]
+    }
+
+    #[test]
+    fn expression_rules_are_literal_scan_admissible() {
+        // The acceptance property of the expression tier: an expression
+        // rule with an extractable literal joins the automaton like a regex
+        // rule — its candidate set is NOT universal.
+        let mut lines = LINES.to_vec();
+        lines.push("rule: price < 20 && title ~ /braided/ => NOT area rugs");
+        let rs = rules(&lines);
+        let expr_id = rs.last().unwrap().id;
+        let scan = LiteralScanExecutor::new(rs.clone());
+
+        let hit = product("braided area rug", &[("Price", "9.99")]);
+        assert!(scan.matching_rules(&hit).contains(&expr_id));
+        // Price gate holds even when the literal hits.
+        let pricey = product("braided area rug", &[("Price", "99")]);
+        assert!(!scan.matching_rules(&pricey).contains(&expr_id));
+
+        // A title without "braided" (or any rule literal) admits no
+        // literal-gated rule at all — the expression rule did not fall
+        // into the always-considered set.
+        let (fired, considered) =
+            scan.matching_rules_with_stats(&PreparedProduct::new(&product("garden hose", &[])));
+        assert!(fired.is_empty());
+        assert_eq!(considered, 0, "expression rule admitted universally");
+
+        // Same property on the trigram index.
+        let indexed = IndexedExecutor::new(rs);
+        assert!(indexed.matching_rules(&hit).contains(&expr_id));
+        let considered = indexed.candidates_considered(&product("garden hose", &[]));
+        assert_eq!(considered, 0, "expression rule admitted universally by trigram index");
+    }
+
+    #[test]
+    fn dictionary_rules_are_literal_scan_admissible() {
+        // Dictionary entries form one required disjunction, so dict rules
+        // also leave the always-considered set.
+        let tax = Taxonomy::builtin();
+        let mut parser = RuleParser::new(tax);
+        parser
+            .register_dictionary(crate::rule::Dictionary::new("pc_words", ["thinkpad", "ideapad"]));
+        let repo = RuleRepository::new();
+        repo.add(
+            parser
+                .parse_rule("dict(pc_words) -> one of laptop computers; desktop computers")
+                .unwrap(),
+            RuleMeta::default(),
+        );
+        let scan = LiteralScanExecutor::new(repo.enabled_snapshot());
+        assert_eq!(scan.matching_rules(&product("Lenovo ThinkPad X1", &[])).len(), 1);
+        let (fired, considered) =
+            scan.matching_rules_with_stats(&PreparedProduct::new(&product("garden hose", &[])));
+        assert!(fired.is_empty());
+        assert_eq!(considered, 0, "dict rule should be literal-gated");
     }
 
     #[test]

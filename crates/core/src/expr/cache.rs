@@ -1,0 +1,108 @@
+//! Source-text → compiled-program memo.
+//!
+//! Rules are persisted as DSL source and re-parsed on every recovery,
+//! checkpoint rebuild, and repeated submission; snapshot rebuilds in the
+//! pipeline recompile executors from the same conditions. The cache keys on
+//! the normalized expression source so each distinct expression is lexed /
+//! parsed / compiled **once per process**, and every later sighting — a WAL
+//! replay, a checkpoint rebuild, the same rule text POSTed again — shares
+//! the same `Arc<CompiledExpr>` (and therefore the same `Arc<Program>`
+//! inside every executor built from any snapshot).
+//!
+//! Clones share storage: the parser is cloned into the durable store and
+//! the serving tier, and all of them hit one memo.
+
+use super::{compile, CompiledExpr};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache hit/miss counters (monotonic, process-wide for a cache family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExprCacheStats {
+    /// Compilations avoided.
+    pub hits: u64,
+    /// Compilations performed (successful ones enter the cache).
+    pub misses: u64,
+    /// Distinct cached expressions.
+    pub entries: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: Mutex<HashMap<String, Arc<CompiledExpr>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A cloneable, thread-safe compiled-expression cache. Cloning shares the
+/// underlying memo (the clone is an `Arc` copy).
+#[derive(Debug, Clone, Default)]
+pub struct ExprCache {
+    inner: Arc<CacheInner>,
+}
+
+impl ExprCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ExprCache::default()
+    }
+
+    /// Compiles `source`, reusing the cached program when this exact
+    /// (trimmed) source was compiled before. Errors are not cached —
+    /// malformed text is rare and re-erroring is cheap and re-readable.
+    pub fn compile(&self, source: &str) -> Result<Arc<CompiledExpr>, super::ExprError> {
+        let key = source.trim();
+        let mut map = self.inner.map.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = map.get(key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(compile(key)?);
+        map.insert(key.to_string(), compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ExprCacheStats {
+        ExprCacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            entries: self.inner.map.lock().unwrap_or_else(|p| p.into_inner()).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_compile_is_a_pointer_equal_hit() {
+        let cache = ExprCache::new();
+        let a = cache.compile("price < 20").unwrap();
+        let b = cache.compile("  price < 20  ").unwrap(); // trims to the same key
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn clones_share_the_memo() {
+        let cache = ExprCache::new();
+        let clone = cache.clone();
+        let a = cache.compile("vendor == 3").unwrap();
+        let b = clone.compile("vendor == 3").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ExprCache::new();
+        assert!(cache.compile("price <").is_err());
+        assert!(cache.compile("price <").is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,642 @@
+//! AST → bytecode compiler, legacy-`Condition` front-ends, and the
+//! conservative required-literal / required-attribute analyses.
+//!
+//! ## Typing
+//!
+//! The compiler infers a type for every subexpression — `Bool`, `Num`,
+//! `Str`, or `Dyn` (an attribute reference, which is a string in string
+//! positions and a cached numeric parse in numeric positions):
+//!
+//! * arithmetic and relational operators compile their operands in the
+//!   numeric mode (`LoadAttrNum` for attributes);
+//! * `==`/`!=` pick a mode from the operands: any string-ish side (string
+//!   literal, `title`) forces folded string comparison, any numeric side
+//!   (number, `vendor`, arithmetic) forces **exact** numeric comparison,
+//!   and attribute-vs-attribute compares as strings;
+//! * `~` takes a string-ish left side and a regex literal;
+//! * `in` takes a homogeneous list — all numbers or all strings — and
+//!   compiles the left side in the matching mode;
+//! * `&&`, `||`, `!` and the expression as a whole must be boolean.
+//!
+//! Anything else is a compile error: expressions are checked once at rule
+//! load, never at match time.
+//!
+//! ## Required-literal extraction (admission soundness)
+//!
+//! [`literal_cnf`] computes a CNF over folded title substrings such that
+//! every product the expression accepts contains, **for each clause, at
+//! least one of its literals**. The extraction is conservative:
+//!
+//! * `title ~ /re/` contributes the regex's own required-literal CNF;
+//!   `title == "s"` contributes `[[s]]`; `title in [..]` contributes the
+//!   list as one clause — folded equality implies containment;
+//! * `a && b` takes the union of both CNFs (requirements accumulate);
+//! * `a || b` merges pairwise: each `Da ∪ Db` clause is required, because
+//!   any accepted product satisfies `a` (so some `Da` clause holds) or `b`
+//!   (so some `Db` clause holds) — capped to keep clause growth bounded;
+//! * `!e` contributes nothing (except `!!e`, which recurses) — a negation
+//!   can only *weaken* what the title must contain, so dropping it is
+//!   always sound;
+//! * every other node contributes nothing.
+//!
+//! [`required_attrs`] mirrors the same shape for attribute presence: a
+//! comparison involving an attribute can only hold when the attribute is
+//! present (missing compares as false — see the VM), `&&` unions, `||`
+//! intersects, and `!` drops.
+
+use super::parser::{BinOp, Expr, ListItem};
+use super::vm::{Instr, Program, MAX_STACK};
+use super::ExprError;
+use crate::prepared::fold_lower;
+use crate::rule::{CompareOp, Condition};
+use rulekit_regex::Regex;
+use std::sync::Arc;
+
+/// Pairwise-merge cap for `||` clauses: beyond this many product clauses we
+/// keep a sound prefix rather than exploding the CNF.
+const OR_MERGE_CAP: usize = 16;
+
+/// Static type of a subexpression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Bool,
+    Num,
+    Str,
+    /// An attribute: string or number depending on the consuming position.
+    Dyn,
+}
+
+/// Bytecode emitter: code buffer, constant pools, stack-depth tracking.
+#[derive(Default)]
+pub(super) struct Emitter {
+    program: Program,
+    depth: u32,
+    max_depth: u32,
+}
+
+impl Emitter {
+    pub(super) fn new() -> Self {
+        Emitter::default()
+    }
+
+    pub(super) fn finish(mut self) -> Result<Program, ExprError> {
+        if self.max_depth as usize > MAX_STACK {
+            return Err(ExprError::new(format!(
+                "expression needs {} operand slots (limit {MAX_STACK}); simplify it",
+                self.max_depth
+            )));
+        }
+        self.program.max_stack = self.max_depth;
+        Ok(self.program)
+    }
+
+    fn grow(&mut self, delta: i32) {
+        self.depth = self.depth.saturating_add_signed(delta);
+        self.max_depth = self.max_depth.max(self.depth);
+    }
+
+    /// Emits `instr`, adjusting the tracked stack depth by `delta`.
+    fn emit(&mut self, instr: Instr, delta: i32) {
+        self.program.code.push(instr);
+        self.grow(delta);
+    }
+
+    fn here(&self) -> usize {
+        self.program.code.len()
+    }
+
+    /// Emits a placeholder jump, returning its pc for later patching.
+    fn emit_jump(&mut self, truthy: bool) -> usize {
+        let pc = self.here();
+        self.program.code.push(if truthy {
+            Instr::JumpIfTrue(u32::MAX)
+        } else {
+            Instr::JumpIfFalse(u32::MAX)
+        });
+        pc
+    }
+
+    fn patch_jump(&mut self, pc: usize) {
+        let target = self.here() as u32;
+        match &mut self.program.code[pc] {
+            Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => *t = target,
+            _ => {}
+        }
+    }
+
+    fn str_idx(&mut self, s: String) -> u32 {
+        pool_idx(&mut self.program.strs, s)
+    }
+
+    fn attr_idx(&mut self, name: &str) -> u32 {
+        pool_idx(&mut self.program.attrs, name.to_string())
+    }
+
+    fn regex_idx(&mut self, re: Regex) -> u32 {
+        // Regexes are cheap Arc clones; dedup by pattern text.
+        if let Some(i) = self.program.regexes.iter().position(|r| r.pattern() == re.pattern()) {
+            return i as u32;
+        }
+        self.program.regexes.push(re);
+        (self.program.regexes.len() - 1) as u32
+    }
+
+    pub(super) fn emit_dict(&mut self, dict: Arc<crate::rule::Dictionary>) {
+        self.program.dicts.push(dict);
+        let i = (self.program.dicts.len() - 1) as u32;
+        self.emit(Instr::Dict(i), 1);
+    }
+
+    pub(super) fn emit_title_regex_raw(&mut self, re: Regex) {
+        let i = self.regex_idx(re);
+        self.emit(Instr::MatchTitleRaw(i), 1);
+    }
+
+    pub(super) fn emit_attr_exists(&mut self, name: &str) {
+        let i = self.attr_idx(name);
+        self.emit(Instr::AttrExists(i), 1);
+    }
+
+    pub(super) fn emit_attr_in_strs(&mut self, attr: &str, values: Vec<String>) {
+        let a = self.attr_idx(attr);
+        self.emit(Instr::LoadAttrStr(a), 1);
+        self.program.str_lists.push(values);
+        let l = (self.program.str_lists.len() - 1) as u32;
+        self.emit(Instr::InStrList(l), 0);
+    }
+
+    pub(super) fn emit_num_compare(&mut self, attr: &str, op: CompareOp, value: f64) {
+        let a = self.attr_idx(attr);
+        self.emit(Instr::LoadAttrNum(a), 1);
+        self.emit(Instr::PushNum(value), 1);
+        let instr = match op {
+            CompareOp::Lt => Instr::Lt,
+            CompareOp::Le => Instr::Le,
+            CompareOp::Gt => Instr::Gt,
+            CompareOp::Ge => Instr::Ge,
+            CompareOp::Eq => Instr::EqApprox,
+            CompareOp::EqExact => Instr::EqNum,
+        };
+        self.emit(instr, -1);
+    }
+}
+
+fn pool_idx(pool: &mut Vec<String>, s: String) -> u32 {
+    if let Some(i) = pool.iter().position(|p| *p == s) {
+        return i as u32;
+    }
+    pool.push(s);
+    (pool.len() - 1) as u32
+}
+
+/// Compiles a parsed boolean expression to bytecode.
+pub(super) fn compile_ast(root: &Expr) -> Result<Program, ExprError> {
+    let mut e = Emitter::new();
+    emit_bool(&mut e, root)?;
+    e.finish()
+}
+
+/// Emits `expr` in boolean position.
+fn emit_bool(e: &mut Emitter, expr: &Expr) -> Result<(), ExprError> {
+    match expr {
+        Expr::Bin(BinOp::And, a, b) => {
+            emit_bool(e, a)?;
+            let jump = e.emit_jump(false);
+            e.emit(Instr::Pop, -1);
+            emit_bool(e, b)?;
+            e.patch_jump(jump);
+            Ok(())
+        }
+        Expr::Bin(BinOp::Or, a, b) => {
+            emit_bool(e, a)?;
+            let jump = e.emit_jump(true);
+            e.emit(Instr::Pop, -1);
+            emit_bool(e, b)?;
+            e.patch_jump(jump);
+            Ok(())
+        }
+        Expr::Not(inner) => {
+            emit_bool(e, inner)?;
+            e.emit(Instr::Not, 0);
+            Ok(())
+        }
+        Expr::AttrExists(name) => {
+            e.emit_attr_exists(name);
+            Ok(())
+        }
+        Expr::Bin(BinOp::Match, lhs, rhs) => {
+            let Expr::Regex(re) = rhs.as_ref() else {
+                return Err(ExprError::new("'~' needs a /regex/ on its right side"));
+            };
+            emit_str(e, lhs)?;
+            let i = e.regex_idx(re.clone());
+            e.emit(Instr::MatchRe(i), 0);
+            Ok(())
+        }
+        Expr::Bin(BinOp::In, lhs, rhs) => {
+            let Expr::List(items) = rhs.as_ref() else {
+                return Err(ExprError::new("'in' needs a [..] list on its right side"));
+            };
+            emit_in(e, lhs, items)
+        }
+        Expr::Bin(op @ (BinOp::Eq | BinOp::Ne), lhs, rhs) => emit_eq(e, *op, lhs, rhs),
+        Expr::Bin(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), lhs, rhs) => {
+            emit_num(e, lhs)?;
+            emit_num(e, rhs)?;
+            let instr = match op {
+                BinOp::Lt => Instr::Lt,
+                BinOp::Le => Instr::Le,
+                BinOp::Gt => Instr::Gt,
+                _ => Instr::Ge,
+            };
+            e.emit(instr, -1);
+            Ok(())
+        }
+        other => {
+            Err(ExprError::new(format!("expected a boolean expression, found {}", describe(other))))
+        }
+    }
+}
+
+/// Emits `expr` in numeric position.
+fn emit_num(e: &mut Emitter, expr: &Expr) -> Result<(), ExprError> {
+    match expr {
+        Expr::Num(n) => {
+            e.emit(Instr::PushNum(*n), 1);
+            Ok(())
+        }
+        Expr::Vendor => {
+            e.emit(Instr::LoadVendor, 1);
+            Ok(())
+        }
+        Expr::Attr(name) => {
+            let i = e.attr_idx(name);
+            e.emit(Instr::LoadAttrNum(i), 1);
+            Ok(())
+        }
+        Expr::Neg(inner) => {
+            emit_num(e, inner)?;
+            e.emit(Instr::Neg, 0);
+            Ok(())
+        }
+        Expr::Bin(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div), a, b) => {
+            emit_num(e, a)?;
+            emit_num(e, b)?;
+            let instr = match op {
+                BinOp::Add => Instr::Add,
+                BinOp::Sub => Instr::Sub,
+                BinOp::Mul => Instr::Mul,
+                _ => Instr::Div,
+            };
+            e.emit(instr, -1);
+            Ok(())
+        }
+        other => Err(ExprError::new(format!("expected a number, found {}", describe(other)))),
+    }
+}
+
+/// Emits `expr` in string position (folded).
+fn emit_str(e: &mut Emitter, expr: &Expr) -> Result<(), ExprError> {
+    match expr {
+        Expr::Str(s) => {
+            let i = e.str_idx(fold_lower(s).into_owned());
+            e.emit(Instr::PushStr(i), 1);
+            Ok(())
+        }
+        Expr::Title => {
+            e.emit(Instr::LoadTitle, 1);
+            Ok(())
+        }
+        Expr::Attr(name) => {
+            let i = e.attr_idx(name);
+            e.emit(Instr::LoadAttrStr(i), 1);
+            Ok(())
+        }
+        other => Err(ExprError::new(format!("expected a string, found {}", describe(other)))),
+    }
+}
+
+/// Static type of an expression in equality position (no code emitted).
+fn ty_of(expr: &Expr) -> Ty {
+    match expr {
+        Expr::Num(_) | Expr::Vendor | Expr::Neg(_) => Ty::Num,
+        Expr::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div, _, _) => Ty::Num,
+        Expr::Str(_) | Expr::Title => Ty::Str,
+        Expr::Attr(_) => Ty::Dyn,
+        _ => Ty::Bool,
+    }
+}
+
+fn emit_eq(e: &mut Emitter, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<(), ExprError> {
+    let (lt, rt) = (ty_of(lhs), ty_of(rhs));
+    let string_mode = match (lt, rt) {
+        (Ty::Str, Ty::Str | Ty::Dyn) | (Ty::Dyn, Ty::Str) => true,
+        (Ty::Num, Ty::Num | Ty::Dyn) | (Ty::Dyn, Ty::Num) => false,
+        // Attribute vs attribute: compare the folded strings.
+        (Ty::Dyn, Ty::Dyn) => true,
+        _ => {
+            return Err(ExprError::new(
+                "'==' / '!=' compare two numbers or two strings".to_string(),
+            ))
+        }
+    };
+    if string_mode {
+        emit_str(e, lhs)?;
+        emit_str(e, rhs)?;
+        e.emit(if op == BinOp::Eq { Instr::EqStr } else { Instr::NeStr }, -1);
+    } else {
+        emit_num(e, lhs)?;
+        emit_num(e, rhs)?;
+        e.emit(if op == BinOp::Eq { Instr::EqNum } else { Instr::NeNum }, -1);
+    }
+    Ok(())
+}
+
+fn emit_in(e: &mut Emitter, lhs: &Expr, items: &[ListItem]) -> Result<(), ExprError> {
+    if items.is_empty() {
+        return Err(ExprError::new("'in' list must not be empty"));
+    }
+    let all_num = items.iter().all(|i| matches!(i, ListItem::Num(_)));
+    let all_str = items.iter().all(|i| matches!(i, ListItem::Str(_)));
+    if all_num {
+        emit_num(e, lhs)?;
+        let nums = items
+            .iter()
+            .map(|i| match i {
+                ListItem::Num(n) => *n,
+                ListItem::Str(_) => unreachable!("all_num checked"),
+            })
+            .collect();
+        e.program.num_lists.push(nums);
+        let l = (e.program.num_lists.len() - 1) as u32;
+        e.emit(Instr::InNumList(l), 0);
+        Ok(())
+    } else if all_str {
+        emit_str(e, lhs)?;
+        let strs = items
+            .iter()
+            .map(|i| match i {
+                ListItem::Str(s) => fold_lower(s).into_owned(),
+                ListItem::Num(_) => unreachable!("all_str checked"),
+            })
+            .collect();
+        e.program.str_lists.push(strs);
+        let l = (e.program.str_lists.len() - 1) as u32;
+        e.emit(Instr::InStrList(l), 0);
+        Ok(())
+    } else {
+        Err(ExprError::new("'in' lists must be all numbers or all strings"))
+    }
+}
+
+fn describe(expr: &Expr) -> &'static str {
+    match expr {
+        Expr::Num(_) => "a number",
+        Expr::Str(_) => "a string",
+        Expr::Title => "the title",
+        Expr::Vendor => "the vendor id",
+        Expr::Attr(_) => "an attribute",
+        Expr::AttrExists(_) => "has(…)",
+        Expr::List(_) => "a list",
+        Expr::Regex(_) => "a regex",
+        Expr::Not(_) => "'!'",
+        Expr::Neg(_) => "a negated number",
+        Expr::Bin(_, _, _) => "an operator expression",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conservative analyses
+// ---------------------------------------------------------------------------
+
+/// Required-literal CNF over folded title substrings (see module docs for
+/// the soundness argument). Clauses never contain an empty literal.
+pub(super) fn literal_cnf(expr: &Expr) -> Vec<Vec<String>> {
+    match expr {
+        Expr::Bin(BinOp::And, a, b) => {
+            let mut cnf = literal_cnf(a);
+            cnf.extend(literal_cnf(b));
+            cnf
+        }
+        Expr::Bin(BinOp::Or, a, b) => {
+            let ca = literal_cnf(a);
+            let cb = literal_cnf(b);
+            let mut out = Vec::new();
+            'merge: for da in &ca {
+                for db in &cb {
+                    if out.len() >= OR_MERGE_CAP {
+                        break 'merge;
+                    }
+                    let mut merged = da.clone();
+                    merged.extend(db.iter().cloned());
+                    merged.sort_unstable();
+                    merged.dedup();
+                    out.push(merged);
+                }
+            }
+            out
+        }
+        // `!!e ≡ e`; a single `!` can only weaken the requirement, so it
+        // contributes nothing.
+        Expr::Not(inner) => match inner.as_ref() {
+            Expr::Not(inner2) => literal_cnf(inner2),
+            _ => Vec::new(),
+        },
+        Expr::Bin(BinOp::Match, lhs, rhs) => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Title, Expr::Regex(re)) => clean(re.required_literals()),
+            _ => Vec::new(),
+        },
+        Expr::Bin(BinOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Title, Expr::Str(s)) | (Expr::Str(s), Expr::Title) => {
+                clean(vec![vec![fold_lower(s).into_owned()]])
+            }
+            _ => Vec::new(),
+        },
+        Expr::Bin(BinOp::In, lhs, rhs) => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Title, Expr::List(items)) => {
+                let lits: Vec<String> = items
+                    .iter()
+                    .filter_map(|i| match i {
+                        ListItem::Str(s) => Some(fold_lower(s).into_owned()),
+                        ListItem::Num(_) => None,
+                    })
+                    .collect();
+                if lits.len() == items.len() {
+                    clean(vec![lits])
+                } else {
+                    Vec::new() // a numeric member can't constrain the title
+                }
+            }
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+/// Drops clauses containing an empty literal (an empty substring requirement
+/// is vacuous and would poison the Aho-Corasick automaton).
+fn clean(cnf: Vec<Vec<String>>) -> Vec<Vec<String>> {
+    cnf.into_iter().filter(|d| !d.is_empty() && d.iter().all(|l| !l.is_empty())).collect()
+}
+
+/// Attributes that must be present for the expression to hold (missing
+/// values compare as false). `&&` unions, `||` intersects, `!` drops.
+pub(super) fn required_attrs(expr: &Expr) -> Vec<String> {
+    match expr {
+        Expr::Bin(BinOp::And, a, b) => {
+            let mut out = required_attrs(a);
+            for attr in required_attrs(b) {
+                if !out.contains(&attr) {
+                    out.push(attr);
+                }
+            }
+            out
+        }
+        Expr::Bin(BinOp::Or, a, b) => {
+            let right = required_attrs(b);
+            required_attrs(a).into_iter().filter(|a| right.contains(a)).collect()
+        }
+        Expr::Not(inner) => match inner.as_ref() {
+            Expr::Not(inner2) => required_attrs(inner2),
+            _ => Vec::new(),
+        },
+        Expr::AttrExists(name) => vec![name.clone()],
+        Expr::Bin(
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::Match
+            | BinOp::In,
+            a,
+            b,
+        ) => {
+            let mut out = attr_refs(a);
+            for attr in attr_refs(b) {
+                if !out.contains(&attr) {
+                    out.push(attr);
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Attribute names referenced anywhere in an operand subtree (through
+/// arithmetic and negation).
+fn attr_refs(expr: &Expr) -> Vec<String> {
+    match expr {
+        Expr::Attr(name) => vec![name.clone()],
+        Expr::Neg(inner) => attr_refs(inner),
+        Expr::Bin(_, a, b) => {
+            let mut out = attr_refs(a);
+            for attr in attr_refs(b) {
+                if !out.contains(&attr) {
+                    out.push(attr);
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy front-ends: every pre-expression Condition compiles to the same IR
+// ---------------------------------------------------------------------------
+
+/// Compiles any [`Condition`] to a bytecode program — the single evaluation
+/// path the executors run. Legacy variants map to dedicated opcodes that
+/// reproduce the interpreted semantics exactly (the differential suite
+/// asserts this), and [`Condition::Expr`] reuses its pre-compiled program
+/// without recompiling.
+pub fn compile_condition(condition: &Condition) -> Arc<Program> {
+    if let Condition::Expr(ce) = condition {
+        return ce.program_arc();
+    }
+    let mut e = Emitter::new();
+    emit_condition(&mut e, condition);
+    // Legacy conditions are flat conjunctions: depth is 2 at most, far
+    // below MAX_STACK, so finish() cannot fail.
+    Arc::new(e.finish().unwrap_or_default())
+}
+
+fn emit_condition(e: &mut Emitter, condition: &Condition) {
+    match condition {
+        Condition::TitleMatches(re) => e.emit_title_regex_raw(re.clone()),
+        Condition::AttrExists(name) => e.emit_attr_exists(name),
+        Condition::AttrValueIn { attr, values } => e.emit_attr_in_strs(attr, values.clone()),
+        Condition::NumCompare { attr, op, value } => e.emit_num_compare(attr, *op, *value),
+        Condition::InDictionary(dict) => e.emit_dict(dict.clone()),
+        Condition::All(conds) => {
+            if conds.is_empty() {
+                // An empty conjunction is vacuously true (interpreted
+                // `iter().all` over nothing).
+                e.emit(Instr::PushBool(true), 1);
+                return;
+            }
+            let mut jumps = Vec::new();
+            for (i, c) in conds.iter().enumerate() {
+                if i > 0 {
+                    jumps.push(e.emit_jump(false));
+                    e.emit(Instr::Pop, -1);
+                }
+                emit_condition(e, c);
+            }
+            for pc in jumps {
+                e.patch_jump(pc);
+            }
+        }
+        Condition::Expr(ce) => {
+            // Nested under All: splice is possible but needless — evaluate
+            // through a sub-eval would require a call opcode; instead the
+            // conjunction compiler re-emits the expression body from its
+            // AST-free program. Simplest correct inline: run the shared
+            // program's own opcodes with pools re-based.
+            e.splice(ce.program());
+        }
+    }
+}
+
+impl Emitter {
+    /// Appends another program's code, re-basing every pool index — used to
+    /// inline a pre-compiled expression under a legacy conjunction.
+    fn splice(&mut self, sub: &Program) {
+        let base_str = self.program.strs.len() as u32;
+        let base_attr = self.program.attrs.len() as u32;
+        let base_re = self.program.regexes.len() as u32;
+        let base_dict = self.program.dicts.len() as u32;
+        let base_sl = self.program.str_lists.len() as u32;
+        let base_nl = self.program.num_lists.len() as u32;
+        let base_pc = self.here() as u32;
+        self.program.strs.extend(sub.strs.iter().cloned());
+        self.program.attrs.extend(sub.attrs.iter().cloned());
+        self.program.regexes.extend(sub.regexes.iter().cloned());
+        self.program.dicts.extend(sub.dicts.iter().cloned());
+        self.program.str_lists.extend(sub.str_lists.iter().cloned());
+        self.program.num_lists.extend(sub.num_lists.iter().cloned());
+        for instr in &sub.code {
+            let rebased = match instr {
+                Instr::PushStr(i) => Instr::PushStr(i + base_str),
+                Instr::LoadAttrStr(i) => Instr::LoadAttrStr(i + base_attr),
+                Instr::LoadAttrNum(i) => Instr::LoadAttrNum(i + base_attr),
+                Instr::AttrExists(i) => Instr::AttrExists(i + base_attr),
+                Instr::MatchRe(i) => Instr::MatchRe(i + base_re),
+                Instr::MatchTitleRaw(i) => Instr::MatchTitleRaw(i + base_re),
+                Instr::Dict(i) => Instr::Dict(i + base_dict),
+                Instr::InStrList(i) => Instr::InStrList(i + base_sl),
+                Instr::InNumList(i) => Instr::InNumList(i + base_nl),
+                Instr::JumpIfFalse(t) => Instr::JumpIfFalse(t + base_pc),
+                Instr::JumpIfTrue(t) => Instr::JumpIfTrue(t + base_pc),
+                other => other.clone(),
+            };
+            self.program.code.push(rebased);
+        }
+        // The sub-program leaves exactly one value.
+        self.grow(sub.max_stack as i32);
+        self.grow(-(sub.max_stack as i32 - 1));
+    }
+}

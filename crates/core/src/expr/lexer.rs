@@ -1,0 +1,388 @@
+//! Tokenizer for the expression rule language.
+//!
+//! Produces a flat token stream for the shunting-yard parser. Lexical
+//! shapes:
+//!
+//! * numbers — `20`, `19.99`, `$49` (a `$` immediately before a digit is
+//!   analyst sugar and is skipped);
+//! * strings — `"braided rug"` with `\"` and `\\` escapes;
+//! * regexes — `/braided/` with `\/` escaping the delimiter; the body is
+//!   kept verbatim and compiled by the parser;
+//! * identifiers — `price`, `category`, `` `Brand Name` `` (backticks admit
+//!   spaces); `in` is a keyword, everything else names an attribute or one
+//!   of the built-in context fields (`title`, `vendor`);
+//! * operators — `&& || ! == != <= >= < > ~ + - * / ( ) [ ] ,`.
+//!
+//! Lexing never panics: every malformed input is a [`ExprError`] value.
+
+use super::ExprError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (raw; folding happens at compile time).
+    Str(String),
+    /// Regex literal body (between `/…/`), uncompiled.
+    Regex(String),
+    /// Identifier (bare or backtick-quoted).
+    Ident(String),
+    /// Keyword `in`.
+    In,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~`
+    Tilde,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/` (division; only when a regex literal is not expected here)
+    Slash,
+}
+
+/// Hard cap on tokens per expression. Bounds parser/compiler recursion and
+/// AST depth so arbitrary (adversarial) input can never overflow the stack;
+/// analyst rules are a handful of terms.
+pub const MAX_TOKENS: usize = 512;
+
+/// Tokenizes `src`. `/` is context-sensitive: after a value it divides,
+/// otherwise it opens a regex literal — the classic lexer disambiguation,
+/// resolved with a one-bit "was the previous token a value?" state.
+pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    // True when the previous token can end an operand (so `/` = division).
+    let mut after_value = false;
+
+    while let Some(&(i, c)) = chars.peek() {
+        if tokens.len() > MAX_TOKENS {
+            return Err(ExprError::new(format!("expression exceeds {MAX_TOKENS} tokens")));
+        }
+        match c {
+            _ if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+                after_value = false;
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+                after_value = true;
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token::LBracket);
+                after_value = false;
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token::RBracket);
+                after_value = true;
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+                after_value = false;
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Plus);
+                after_value = false;
+            }
+            '-' => {
+                chars.next();
+                tokens.push(Token::Minus);
+                after_value = false;
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+                after_value = false;
+            }
+            '~' => {
+                chars.next();
+                tokens.push(Token::Tilde);
+                after_value = false;
+            }
+            '&' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '&')) => {
+                        chars.next();
+                        tokens.push(Token::AndAnd);
+                        after_value = false;
+                    }
+                    _ => {
+                        return Err(ExprError::new("expected '&&' (single '&' is not an operator)"))
+                    }
+                }
+            }
+            '|' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '|')) => {
+                        chars.next();
+                        tokens.push(Token::OrOr);
+                        after_value = false;
+                    }
+                    _ => {
+                        return Err(ExprError::new("expected '||' (single '|' is not an operator)"))
+                    }
+                }
+            }
+            '!' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token::Ne);
+                } else {
+                    tokens.push(Token::Not);
+                }
+                after_value = false;
+            }
+            '=' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        tokens.push(Token::EqEq);
+                        after_value = false;
+                    }
+                    _ => {
+                        return Err(ExprError::new(
+                            "expected '==' (assignment '=' is not an operator)",
+                        ))
+                    }
+                }
+            }
+            '<' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token::Le);
+                } else {
+                    tokens.push(Token::Lt);
+                }
+                after_value = false;
+            }
+            '>' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token::Ge);
+                } else {
+                    tokens.push(Token::Gt);
+                }
+                after_value = false;
+            }
+            '/' => {
+                chars.next();
+                if after_value {
+                    tokens.push(Token::Slash);
+                    after_value = false;
+                } else {
+                    tokens.push(Token::Regex(delimited(src, &mut chars, i, '/', "regex")?));
+                    after_value = true;
+                }
+            }
+            '"' => {
+                chars.next();
+                tokens.push(Token::Str(delimited(src, &mut chars, i, '"', "string")?));
+                after_value = true;
+            }
+            '`' => {
+                chars.next();
+                tokens.push(Token::Ident(delimited(src, &mut chars, i, '`', "identifier")?));
+                after_value = true;
+            }
+            '$' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, d)) if d.is_ascii_digit() => {} // $ sugar before a number
+                    _ => return Err(ExprError::new("'$' must directly precede a number")),
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                tokens.push(number(&mut chars)?);
+                after_value = true;
+            }
+            _ if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if ident == "in" {
+                    tokens.push(Token::In);
+                    after_value = false;
+                } else {
+                    tokens.push(Token::Ident(ident));
+                    after_value = true;
+                }
+            }
+            other => return Err(ExprError::new(format!("unexpected character {other:?}"))),
+        }
+    }
+    if tokens.len() > MAX_TOKENS {
+        return Err(ExprError::new(format!("expression exceeds {MAX_TOKENS} tokens")));
+    }
+    Ok(tokens)
+}
+
+/// Consumes a `close`-delimited literal body (opening delimiter already
+/// consumed); `\<close>` and `\\` escape.
+fn delimited(
+    src: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    open_at: usize,
+    close: char,
+    what: &str,
+) -> Result<String, ExprError> {
+    let mut out = String::new();
+    while let Some((_, c)) = chars.next() {
+        if c == close {
+            return Ok(out);
+        }
+        if c == '\\' {
+            match chars.next() {
+                Some((_, e)) if e == close || e == '\\' => out.push(e),
+                Some((_, e)) => {
+                    // Unknown escape: keep both chars verbatim (regex bodies
+                    // use many backslash escapes the regex engine owns).
+                    out.push('\\');
+                    out.push(e);
+                }
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Err(ExprError::new(format!("unterminated {what} starting at byte {open_at} of {src:?}")))
+}
+
+fn number(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Result<Token, ExprError> {
+    let mut text = String::new();
+    let mut seen_dot = false;
+    while let Some(&(_, c)) = chars.peek() {
+        if c.is_ascii_digit() {
+            text.push(c);
+            chars.next();
+        } else if c == '.' && !seen_dot {
+            seen_dot = true;
+            text.push(c);
+            chars.next();
+        } else if c == '_' {
+            chars.next(); // 1_000 readability separators
+        } else {
+            break;
+        }
+    }
+    text.parse::<f64>()
+        .map(Token::Num)
+        .map_err(|_| ExprError::new(format!("invalid number {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_headline_example() {
+        let t = lex(r#"price < 20 && category == "rug" && title ~ /braided/"#).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("price".into()),
+                Token::Lt,
+                Token::Num(20.0),
+                Token::AndAnd,
+                Token::Ident("category".into()),
+                Token::EqEq,
+                Token::Str("rug".into()),
+                Token::AndAnd,
+                Token::Ident("title".into()),
+                Token::Tilde,
+                Token::Regex("braided".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn slash_is_division_after_a_value() {
+        let t = lex("price / 2 < 10").unwrap();
+        assert!(t.contains(&Token::Slash));
+        let t = lex("title ~ /rugs?/").unwrap();
+        assert!(matches!(t[2], Token::Regex(_)));
+    }
+
+    #[test]
+    fn dollar_sugar_and_separators() {
+        assert_eq!(lex("$1_000.50").unwrap(), vec![Token::Num(1000.50)]);
+        assert!(lex("$ x").is_err());
+    }
+
+    #[test]
+    fn backtick_identifiers_admit_spaces() {
+        let t = lex("`Brand Name` == \"apple\"").unwrap();
+        assert_eq!(t[0], Token::Ident("Brand Name".into()));
+    }
+
+    #[test]
+    fn escapes_in_strings_and_regexes() {
+        assert_eq!(lex(r#""a\"b""#).unwrap(), vec![Token::Str("a\"b".into())]);
+        assert_eq!(lex(r"/a\/b/").unwrap(), vec![Token::Regex("a/b".into())]);
+        assert_eq!(lex(r"/\d+/").unwrap(), vec![Token::Regex(r"\d+".into())]);
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panic() {
+        for bad in ["\"unterminated", "/unterminated", "1 & 2", "a | b", "price = 20", "§", "1.2.3"]
+        {
+            assert!(lex(bad).is_err(), "expected lex error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn token_cap_is_enforced() {
+        let long = "1 + ".repeat(600) + "1";
+        assert!(lex(&long).is_err());
+    }
+}

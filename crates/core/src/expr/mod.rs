@@ -1,0 +1,271 @@
+//! The expression rule language: infix boolean/arithmetic predicates over a
+//! typed product context, compiled once to stack bytecode.
+//!
+//! §4 of the paper asks for "more expressive rule languages that analysts
+//! can use" — pricing thresholds, vendor gates, boolean combinations the
+//! keyword/attribute DSL cannot state. This module is that tier:
+//!
+//! ```text
+//! price < 20 && category == "rug" && title ~ /braided/
+//! (vendor in [12, 97] || has(ISBN)) && !(title ~ /bulk lot/)
+//! price / 2 + 5 <= 20
+//! ```
+//!
+//! The pipeline is lexer → shunting-yard parser → typed AST → flat
+//! stack-machine bytecode ([`Program`]), evaluated by an allocation-free VM
+//! against an [`ExecContext`] built from a
+//! [`PreparedProduct`](crate::prepared::PreparedProduct) (title folded once,
+//! numeric attributes parsed once per product). A [`CompiledExpr`] carries
+//! the program plus everything the executors need for admission: the
+//! conservative required-literal CNF (so expression rules ride the
+//! Aho-Corasick literal scan) and the required-attribute set (so they ride
+//! the attribute index). [`ExprCache`] memoizes source text → compiled
+//! program across WAL replays, checkpoint rebuilds, and snapshot rebuilds.
+//!
+//! Legacy [`Condition`](crate::rule::Condition) variants compile to the
+//! same IR via [`compile_condition`], making the bytecode VM the single
+//! evaluation path for every executor; the tree-walk interpreter in
+//! `rule.rs` remains as the reference semantics the differential suite
+//! checks the bytecode against.
+
+mod cache;
+mod compile;
+mod lexer;
+mod parser;
+mod vm;
+
+pub use cache::{ExprCache, ExprCacheStats};
+pub use compile::compile_condition;
+pub use vm::{ExecContext, Instr, Program, MAX_STACK};
+
+use crate::prepared::PreparedProduct;
+use std::fmt;
+use std::sync::Arc;
+
+/// An expression that failed to lex, parse, or compile. Every malformed
+/// input becomes one of these — the front end never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ExprError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ExprError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// A compiled expression rule condition: source text, bytecode, and the
+/// conservative admission analyses.
+#[derive(Debug, Clone)]
+pub struct CompiledExpr {
+    source: String,
+    program: Arc<Program>,
+    cnf: Vec<Vec<String>>,
+    attrs: Vec<String>,
+}
+
+impl CompiledExpr {
+    /// The (trimmed) source text the expression was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The bytecode program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Shared handle to the program (what executors store per rule).
+    pub fn program_arc(&self) -> Arc<Program> {
+        self.program.clone()
+    }
+
+    /// Conservative required-literal CNF over folded title substrings: any
+    /// matching product's title contains, per clause, at least one literal.
+    pub fn required_literals(&self) -> &[Vec<String>] {
+        &self.cnf
+    }
+
+    /// Attributes that must be present on any matching product.
+    pub fn required_attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Evaluates against a prepared product (allocation-free).
+    pub fn matches_prepared(&self, product: &PreparedProduct<'_>) -> bool {
+        self.program.eval(&ExecContext::new(product))
+    }
+}
+
+/// Compiles expression source text end to end (lex → parse → typecheck →
+/// bytecode → admission analyses). Use [`ExprCache::compile`] when the same
+/// source may recur.
+pub fn compile(source: &str) -> Result<CompiledExpr, ExprError> {
+    let source = source.trim();
+    if source.is_empty() {
+        return Err(ExprError::new("empty expression"));
+    }
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    let program = compile::compile_ast(&ast)?;
+    Ok(CompiledExpr {
+        source: source.to_string(),
+        program: Arc::new(program),
+        cnf: compile::literal_cnf(&ast),
+        attrs: compile::required_attrs(&ast),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_data::{Product, VendorId};
+
+    fn product(title: &str, attrs: &[(&str, &str)]) -> Product {
+        Product {
+            id: 1,
+            title: title.to_string(),
+            description: String::new(),
+            attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            vendor: VendorId(7),
+        }
+    }
+
+    fn eval(src: &str, p: &Product) -> bool {
+        let compiled = compile(src).expect(src);
+        compiled.matches_prepared(&PreparedProduct::new(p))
+    }
+
+    #[test]
+    fn headline_example() {
+        let src = r#"price < 20 && category == "rug" && title ~ /braided/"#;
+        let hit = product("Braided Area Rug 5x7", &[("Price", "17.99"), ("Category", "Rug")]);
+        let expensive = product("Braided Area Rug", &[("Price", "99"), ("Category", "Rug")]);
+        let wrong_cat = product("Braided Area Rug", &[("Price", "5"), ("Category", "Mat")]);
+        let no_braids = product("Area Rug", &[("Price", "5"), ("Category", "Rug")]);
+        assert!(eval(src, &hit));
+        assert!(!eval(src, &expensive));
+        assert!(!eval(src, &wrong_cat));
+        assert!(!eval(src, &no_braids));
+    }
+
+    #[test]
+    fn boolean_structure_and_negation() {
+        let src = "(has(ISBN) || has(Pages)) && !(title ~ /poster/)";
+        assert!(eval(src, &product("novel", &[("ISBN", "978")])));
+        assert!(eval(src, &product("novel", &[("Pages", "300")])));
+        assert!(!eval(src, &product("book poster", &[("ISBN", "978")])));
+        assert!(!eval(src, &product("novel", &[])));
+    }
+
+    #[test]
+    fn arithmetic_and_vendor() {
+        assert!(eval("price * 2 <= 40", &product("x", &[("Price", "20")])));
+        assert!(!eval("price * 2 <= 40", &product("x", &[("Price", "20.01")])));
+        assert!(eval("vendor == 7", &product("x", &[])));
+        assert!(eval("vendor in [1, 7, 9]", &product("x", &[])));
+        assert!(!eval("vendor in [1, 9]", &product("x", &[])));
+    }
+
+    #[test]
+    fn in_list_of_strings() {
+        let src = r#"category in ["rug", "mat", "runner"]"#;
+        assert!(eval(src, &product("x", &[("Category", "MAT")])));
+        assert!(!eval(src, &product("x", &[("Category", "sofa")])));
+        assert!(!eval(src, &product("x", &[])));
+    }
+
+    #[test]
+    fn missing_semantics() {
+        // Comparisons on a missing attribute are false — for != too.
+        assert!(!eval("price < 20", &product("x", &[])));
+        assert!(!eval("price != 20", &product("x", &[])));
+        assert!(!eval(r#"category != "rug""#, &product("x", &[])));
+        // Negation of a failed comparison is true.
+        assert!(eval("!(price < 20)", &product("x", &[])));
+        // Non-numeric values are missing in numeric positions.
+        assert!(!eval("price < 20", &product("x", &[("Price", "n/a")])));
+    }
+
+    #[test]
+    fn exact_equality_is_exact() {
+        assert!(eval("price == 20", &product("x", &[("Price", "20.0")])));
+        assert!(!eval("price == 20", &product("x", &[("Price", "19.999999999")])));
+    }
+
+    #[test]
+    fn string_equality_folds_case() {
+        assert!(eval(r#"`Brand Name` == "Apple""#, &product("x", &[("Brand Name", "APPLE")])));
+        assert!(eval(r#"title == "area rug""#, &product("Area RUG", &[])));
+    }
+
+    #[test]
+    fn required_literals_from_the_headline_example() {
+        let ce = compile(r#"price < 20 && category == "rug" && title ~ /braided/"#).unwrap();
+        assert_eq!(ce.required_literals(), &[vec!["braided".to_string()]]);
+        // Attribute names keep their as-written case; lookups are
+        // case-insensitive so "category" finds "Category".
+        assert_eq!(ce.required_attrs(), &["Price".to_string(), "category".to_string()]);
+    }
+
+    #[test]
+    fn required_literals_push_through_or() {
+        let ce = compile("title ~ /rug/ || title ~ /mat/").unwrap();
+        assert_eq!(ce.required_literals(), &[vec!["mat".to_string(), "rug".to_string()]]);
+        // A disjunct with no extractable literal erases the requirement.
+        let ce = compile("title ~ /rug/ || price < 5").unwrap();
+        assert!(ce.required_literals().is_empty());
+    }
+
+    #[test]
+    fn negation_drops_literals_but_double_negation_keeps_them() {
+        let ce = compile("!(title ~ /rug/)").unwrap();
+        assert!(ce.required_literals().is_empty());
+        let ce = compile("!!(title ~ /rug/)").unwrap();
+        assert_eq!(ce.required_literals(), &[vec!["rug".to_string()]]);
+    }
+
+    #[test]
+    fn or_intersects_required_attrs() {
+        let ce = compile("price < 5 || price > 100").unwrap();
+        assert_eq!(ce.required_attrs(), &["Price".to_string()]);
+        let ce = compile("price < 5 || has(ISBN)").unwrap();
+        assert!(ce.required_attrs().is_empty());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        for bad in [
+            "price",               // not boolean
+            "[1, 2]",              // bare list
+            "title < 5",           // string in numeric position
+            r#"5 ~ /x/"#,          // number in string position
+            "price in [1, \"a\"]", // mixed list
+            "price in []",         // empty list
+            "title ~ \"rug\"",     // ~ needs a regex literal
+            "5 == \"cheap\"",      // number vs string
+            "has(ISBN) == 5",      // bool in equality
+        ] {
+            assert!(compile(bad).is_err(), "expected compile error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = format!("{}1 < 2{}", "(".repeat(400), ")".repeat(400));
+        // Either the token cap or parsing handles it — never a panic.
+        let _ = compile(&deep);
+        let wide = (0..100).map(|_| "1 < 2").collect::<Vec<_>>().join(" && ");
+        let _ = compile(&wide);
+    }
+}

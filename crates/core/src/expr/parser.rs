@@ -1,0 +1,429 @@
+//! Shunting-yard parser: token stream → typed AST.
+//!
+//! The classic two-stack algorithm (operator stack + output stack), with the
+//! output stack holding AST nodes instead of RPN text. Precedence, loosest
+//! to tightest:
+//!
+//! | level | operators                          | assoc |
+//! |-------|------------------------------------|-------|
+//! | 1     | `\|\|`                             | left  |
+//! | 2     | `&&`                               | left  |
+//! | 3     | `== != < <= > >= ~ in`             | left  |
+//! | 4     | `+ -`                              | left  |
+//! | 5     | `* /`                              | left  |
+//! | 6     | unary `! -`                        | right |
+//!
+//! Two constructs are handled as primaries rather than operators: list
+//! literals `[ "a", "b", 3 ]` (only meaningful as the right side of `in`)
+//! and the attribute-presence call `has(name)`. Identifiers resolve at parse
+//! time: `title` and `vendor` are context fields, `price` is sugar for the
+//! `Price` attribute, anything else names an attribute verbatim.
+//!
+//! Parsing is iterative (no recursion) and token count is capped by the
+//! lexer, so arbitrary input can neither overflow the stack nor run away.
+
+use super::lexer::Token;
+use super::ExprError;
+use rulekit_regex::Regex;
+
+/// A list element (`in [..]` right-hand side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ListItem {
+    /// Numeric member.
+    Num(f64),
+    /// String member (raw; folded at compile time).
+    Str(String),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~`
+    Match,
+    /// `in`
+    In,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Typed expression AST. `Regex` is compiled here (case-insensitive, like
+/// every title pattern in the DSL) so malformed patterns surface as parse
+/// errors, not compile errors.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (raw).
+    Str(String),
+    /// The product title (case-folded at evaluation time).
+    Title,
+    /// The numeric vendor id.
+    Vendor,
+    /// An attribute reference by (raw) name.
+    Attr(String),
+    /// `has(name)` — attribute presence.
+    AttrExists(String),
+    /// List literal.
+    List(Vec<ListItem>),
+    /// Regex literal.
+    Regex(Regex),
+    /// `!e`
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Operator-stack entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Bin(BinOp),
+    Not,
+    Neg,
+    LParen,
+}
+
+impl Op {
+    fn prec(self) -> u8 {
+        match self {
+            Op::LParen => 0,
+            Op::Bin(BinOp::Or) => 1,
+            Op::Bin(BinOp::And) => 2,
+            Op::Bin(
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Match
+                | BinOp::In,
+            ) => 3,
+            Op::Bin(BinOp::Add | BinOp::Sub) => 4,
+            Op::Bin(BinOp::Mul | BinOp::Div) => 5,
+            Op::Not | Op::Neg => 6,
+        }
+    }
+}
+
+/// Parses a full expression; every token must be consumed.
+pub fn parse(tokens: &[Token]) -> Result<Expr, ExprError> {
+    let mut out: Vec<Expr> = Vec::new();
+    let mut ops: Vec<Op> = Vec::new();
+    // True when the next token must be an operand (start, after an operator
+    // or `(`); false when it must be an operator or `)`.
+    let mut expect_operand = true;
+    let mut i = 0usize;
+
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        i += 1;
+        match tok {
+            Token::Num(n) => {
+                operand_slot(&mut expect_operand, "number")?;
+                out.push(Expr::Num(*n));
+            }
+            Token::Str(s) => {
+                operand_slot(&mut expect_operand, "string")?;
+                out.push(Expr::Str(s.clone()));
+            }
+            Token::Regex(body) => {
+                operand_slot(&mut expect_operand, "regex")?;
+                let re = Regex::case_insensitive(body)
+                    .map_err(|e| ExprError::new(format!("bad regex /{body}/: {e}")))?;
+                out.push(Expr::Regex(re));
+            }
+            Token::Ident(name) => {
+                operand_slot(&mut expect_operand, "identifier")?;
+                // `has(name)` is a primary, parsed by lookahead.
+                if name == "has" && tokens.get(i) == Some(&Token::LParen) {
+                    let attr = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                        (Some(Token::Ident(a)), Some(Token::RParen)) => a.clone(),
+                        (Some(Token::Str(a)), Some(Token::RParen)) => a.clone(),
+                        _ => {
+                            return Err(ExprError::new(
+                                "has(…) takes one attribute name, e.g. has(ISBN)",
+                            ))
+                        }
+                    };
+                    i += 3;
+                    out.push(Expr::AttrExists(attr));
+                } else {
+                    out.push(resolve_ident(name));
+                }
+            }
+            Token::LBracket => {
+                operand_slot(&mut expect_operand, "list")?;
+                let (items, next) = parse_list(tokens, i)?;
+                i = next;
+                out.push(Expr::List(items));
+            }
+            Token::LParen => {
+                if !expect_operand {
+                    return Err(ExprError::new("unexpected '(' after a value"));
+                }
+                ops.push(Op::LParen);
+            }
+            Token::RParen => {
+                if expect_operand {
+                    return Err(ExprError::new("unexpected ')' where a value was expected"));
+                }
+                loop {
+                    match ops.pop() {
+                        Some(Op::LParen) => break,
+                        Some(op) => apply(op, &mut out)?,
+                        None => return Err(ExprError::new("unbalanced ')'")),
+                    }
+                }
+            }
+            Token::Not => {
+                if !expect_operand {
+                    return Err(ExprError::new("'!' must precede an operand"));
+                }
+                ops.push(Op::Not);
+            }
+            Token::Minus if expect_operand => ops.push(Op::Neg),
+            _ => {
+                // Everything left is a binary operator.
+                let op = match tok {
+                    Token::OrOr => BinOp::Or,
+                    Token::AndAnd => BinOp::And,
+                    Token::EqEq => BinOp::Eq,
+                    Token::Ne => BinOp::Ne,
+                    Token::Lt => BinOp::Lt,
+                    Token::Le => BinOp::Le,
+                    Token::Gt => BinOp::Gt,
+                    Token::Ge => BinOp::Ge,
+                    Token::Tilde => BinOp::Match,
+                    Token::In => BinOp::In,
+                    Token::Plus => BinOp::Add,
+                    Token::Minus => BinOp::Sub,
+                    Token::Star => BinOp::Mul,
+                    Token::Slash => BinOp::Div,
+                    other => return Err(ExprError::new(format!("unexpected token {other:?}"))),
+                };
+                if expect_operand {
+                    return Err(ExprError::new(format!(
+                        "operator {op:?} where a value was expected"
+                    )));
+                }
+                // Left-associative: pop everything of >= precedence first.
+                let prec = Op::Bin(op).prec();
+                while ops.last().is_some_and(|top| top.prec() >= prec) {
+                    let top = ops.pop().expect("peeked");
+                    apply(top, &mut out)?;
+                }
+                ops.push(Op::Bin(op));
+                expect_operand = true;
+            }
+        }
+    }
+
+    if expect_operand {
+        return Err(ExprError::new("expression ends where a value was expected"));
+    }
+    while let Some(op) = ops.pop() {
+        if op == Op::LParen {
+            return Err(ExprError::new("unbalanced '('"));
+        }
+        apply(op, &mut out)?;
+    }
+    match (out.pop(), out.is_empty()) {
+        (Some(expr), true) => Ok(expr),
+        _ => Err(ExprError::new("malformed expression")),
+    }
+}
+
+/// Flips the operand/operator expectation for a value token.
+fn operand_slot(expect_operand: &mut bool, what: &str) -> Result<(), ExprError> {
+    if !*expect_operand {
+        return Err(ExprError::new(format!("unexpected {what} after a value")));
+    }
+    *expect_operand = false;
+    Ok(())
+}
+
+fn resolve_ident(name: &str) -> Expr {
+    if name.eq_ignore_ascii_case("title") {
+        Expr::Title
+    } else if name.eq_ignore_ascii_case("vendor") {
+        Expr::Vendor
+    } else if name.eq_ignore_ascii_case("price") {
+        // The paper's examples write bare `price`; the feed attribute is
+        // `Price` (lookups are case-insensitive anyway — this is cosmetic).
+        Expr::Attr("Price".to_string())
+    } else {
+        Expr::Attr(name.to_string())
+    }
+}
+
+/// Parses the interior of `[ … ]`; `from` indexes the token after `[`.
+/// Returns the items and the index after the closing `]`.
+fn parse_list(tokens: &[Token], mut from: usize) -> Result<(Vec<ListItem>, usize), ExprError> {
+    let mut items = Vec::new();
+    loop {
+        match tokens.get(from) {
+            Some(Token::RBracket) => return Ok((items, from + 1)),
+            Some(Token::Num(n)) => items.push(ListItem::Num(*n)),
+            Some(Token::Str(s)) => items.push(ListItem::Str(s.clone())),
+            Some(other) => {
+                return Err(ExprError::new(format!(
+                    "lists hold numbers and strings, found {other:?}"
+                )))
+            }
+            None => return Err(ExprError::new("unterminated list")),
+        }
+        from += 1;
+        match tokens.get(from) {
+            Some(Token::Comma) => from += 1,
+            Some(Token::RBracket) => {}
+            _ => return Err(ExprError::new("expected ',' or ']' in list")),
+        }
+    }
+}
+
+fn apply(op: Op, out: &mut Vec<Expr>) -> Result<(), ExprError> {
+    match op {
+        Op::Not => {
+            let e = out.pop().ok_or_else(|| ExprError::new("'!' lacks an operand"))?;
+            out.push(Expr::Not(Box::new(e)));
+        }
+        Op::Neg => {
+            let e = out.pop().ok_or_else(|| ExprError::new("'-' lacks an operand"))?;
+            out.push(Expr::Neg(Box::new(e)));
+        }
+        Op::Bin(b) => {
+            let rhs = out.pop().ok_or_else(|| ExprError::new("operator lacks a right operand"))?;
+            let lhs = out.pop().ok_or_else(|| ExprError::new("operator lacks a left operand"))?;
+            out.push(Expr::Bin(b, Box::new(lhs), Box::new(rhs)));
+        }
+        Op::LParen => return Err(ExprError::new("unbalanced '('")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn p(src: &str) -> Expr {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // a || b && c  ≡  a || (b && c)
+        let Expr::Bin(BinOp::Or, _, rhs) = p("has(a) || has(b) && has(c)") else {
+            panic!("expected || at the root")
+        };
+        assert!(matches!(*rhs, Expr::Bin(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn comparison_binds_tighter_than_and() {
+        let Expr::Bin(BinOp::And, lhs, _) = p("price < 20 && has(ISBN)") else {
+            panic!("expected && at the root")
+        };
+        assert!(matches!(*lhs, Expr::Bin(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // price + 2 * 3 < 20  →  Lt(Add(price, Mul(2,3)), 20)
+        let Expr::Bin(BinOp::Lt, lhs, _) = p("price + 2 * 3 < 20") else { panic!("expected <") };
+        let Expr::Bin(BinOp::Add, _, addend) = *lhs else { panic!("expected +") };
+        assert!(matches!(*addend, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let Expr::Bin(BinOp::And, lhs, _) = p("(has(a) || has(b)) && has(c)") else {
+            panic!("expected && at the root")
+        };
+        assert!(matches!(*lhs, Expr::Bin(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn unary_not_and_neg() {
+        assert!(matches!(p("!has(ISBN)"), Expr::Not(_)));
+        let Expr::Bin(BinOp::Lt, lhs, _) = p("-price < -5") else { panic!("expected <") };
+        assert!(matches!(*lhs, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn identifiers_resolve() {
+        assert!(
+            matches!(p("title ~ /x/"), Expr::Bin(BinOp::Match, lhs, _) if matches!(*lhs, Expr::Title))
+        );
+        assert!(matches!(p("vendor == 3"), Expr::Bin(_, lhs, _) if matches!(*lhs, Expr::Vendor)));
+        assert!(
+            matches!(p("price < 1"), Expr::Bin(_, lhs, _) if matches!(*lhs, Expr::Attr(ref a) if a == "Price"))
+        );
+    }
+
+    #[test]
+    fn lists_parse() {
+        let Expr::Bin(BinOp::In, _, rhs) = p(r#"category in ["rug", "mat"]"#) else {
+            panic!("expected in")
+        };
+        let Expr::List(items) = *rhs else { panic!("expected a list") };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn malformed_expressions_error() {
+        for bad in [
+            "",
+            "price <",
+            "< 20",
+            "(price < 20",
+            "price < 20)",
+            "price 20",
+            "has()",
+            "has(a, b)",
+            "[1, 2]",         // a bare list parses; type checking rejects it later
+            "price in [1 2]", // missing comma
+            "price in [",
+            "a && && b",
+            "!",
+        ] {
+            let r = lex(bad).and_then(|t| parse(&t));
+            if bad == "[1, 2]" {
+                // A bare list is a valid parse; type checking rejects it later.
+                assert!(r.is_ok());
+            } else {
+                assert!(r.is_err(), "expected parse error for {bad:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_regex_is_a_parse_error() {
+        let r = lex("title ~ /(/").and_then(|t| parse(&t));
+        assert!(r.is_err());
+    }
+}

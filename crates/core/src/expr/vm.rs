@@ -1,0 +1,359 @@
+//! The flat stack-machine bytecode and its allocation-free VM.
+//!
+//! A [`Program`] is a `Vec<Instr>` plus constant pools (strings, attribute
+//! names, regexes, dictionaries, membership lists) and a compile-time
+//! `max_stack`. Evaluation runs against an [`ExecContext`] — a thin view
+//! over [`PreparedProduct`] — on a fixed operand-stack array, so the hot
+//! path performs **zero heap allocation**: string operands are borrowed
+//! slices of the prepared product or the constant pools, numeric attribute
+//! operands come from the per-product parse cache, and the compiler rejects
+//! any expression deeper than the fixed stack.
+//!
+//! ## Missing-value semantics
+//!
+//! Referencing an absent attribute (or one that does not parse as a number
+//! in a numeric position) pushes `Missing`. Arithmetic propagates `Missing`;
+//! **every comparison with a `Missing` operand is `false`** — including
+//! `!=`, matching the SQL-null-like reading "unknown compares as false" and
+//! the legacy `Condition::NumCompare` behaviour on absent attributes.
+//! `!` takes the truthiness of its operand (`Missing` is falsy), so
+//! `!(price < 20)` is *true* for a product with no price.
+//!
+//! The VM never panics on any program the compiler emits: pool indices are
+//! compiler-assigned, stack depth is pre-checked, and type confusion
+//! degrades to `false` rather than unwinding.
+
+use crate::prepared::PreparedProduct;
+use crate::rule::Dictionary;
+use rulekit_regex::Regex;
+use std::sync::Arc;
+
+/// Operand-stack capacity. The compiler rejects expressions needing more
+/// (`max_stack > MAX_STACK`), so `eval` can use a fixed array.
+pub const MAX_STACK: usize = 64;
+
+/// One bytecode instruction. Pool indices are `u32`s assigned by the
+/// compiler and always in-bounds for the owning [`Program`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push a numeric constant.
+    PushNum(f64),
+    /// Push string-pool entry `i` (pre-folded).
+    PushStr(u32),
+    /// Push `true`/`false`.
+    PushBool(bool),
+    /// Push the case-folded title.
+    LoadTitle,
+    /// Push the vendor id as a number.
+    LoadVendor,
+    /// Push the folded value of attribute `attrs[i]`, or `Missing`.
+    LoadAttrStr(u32),
+    /// Push the cached numeric parse of attribute `attrs[i]`, or `Missing`.
+    LoadAttrNum(u32),
+    /// Push whether attribute `attrs[i]` is present.
+    AttrExists(u32),
+    /// Arithmetic; `Missing` propagates.
+    Add,
+    /// See [`Instr::Add`].
+    Sub,
+    /// See [`Instr::Add`].
+    Mul,
+    /// See [`Instr::Add`]. Division by zero follows IEEE (±inf/NaN), and
+    /// NaN fails every comparison.
+    Div,
+    /// Unary negation; `Missing` propagates.
+    Neg,
+    /// Numeric `<`; `Missing` → `false`.
+    Lt,
+    /// Numeric `<=`.
+    Le,
+    /// Numeric `>`.
+    Gt,
+    /// Numeric `>=`.
+    Ge,
+    /// Numeric equality, **exact** (`==` in the expression language and
+    /// `CompareOp::EqExact`).
+    EqNum,
+    /// Exact numeric inequality; `Missing` → `false`.
+    NeNum,
+    /// Numeric equality within the legacy `1e-9` epsilon — the compiled
+    /// form of `CompareOp::Eq` (the DSL's `=`), kept as its own opcode so
+    /// bytecode reproduces interpreted semantics bit-for-bit.
+    EqApprox,
+    /// Folded string equality.
+    EqStr,
+    /// Folded string inequality; `Missing` → `false`.
+    NeStr,
+    /// Pop a string, push whether `regexes[i]` matches it.
+    MatchRe(u32),
+    /// Push whether `regexes[i]` matches the **raw** (unfolded) title — the
+    /// compiled form of the legacy `Condition::TitleMatches`, whose regexes
+    /// are case-insensitive and historically ran on the raw title.
+    MatchTitleRaw(u32),
+    /// Push whether `dicts[i]` hits the folded title.
+    Dict(u32),
+    /// Pop a string, push membership in `str_lists[i]` (folded equality).
+    InStrList(u32),
+    /// Pop a number, push exact membership in `num_lists[i]`.
+    InNumList(u32),
+    /// Pop, push logical negation of truthiness.
+    Not,
+    /// Jump to absolute pc `i` when the top of stack is falsy (the operand
+    /// stays — `&&` short circuit; the fall-through path pops it).
+    JumpIfFalse(u32),
+    /// Jump to absolute pc `i` when the top of stack is truthy (`||`).
+    JumpIfTrue(u32),
+    /// Discard the top of stack.
+    Pop,
+}
+
+/// A compiled, immediately-executable expression.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub(super) code: Vec<Instr>,
+    pub(super) strs: Vec<String>,
+    pub(super) attrs: Vec<String>,
+    pub(super) regexes: Vec<Regex>,
+    pub(super) dicts: Vec<Arc<Dictionary>>,
+    pub(super) str_lists: Vec<Vec<String>>,
+    pub(super) num_lists: Vec<Vec<f64>>,
+    pub(super) max_stack: u32,
+}
+
+impl Program {
+    /// Number of instructions (diagnostics).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty (an empty program evaluates to `false`).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The operand-stack depth this program needs.
+    pub fn max_stack(&self) -> u32 {
+        self.max_stack
+    }
+
+    /// Evaluates the program against a prepared product. Allocation-free.
+    pub fn eval(&self, ctx: &ExecContext<'_>) -> bool {
+        let mut stack = [Val::Missing; MAX_STACK];
+        let mut sp = 0usize;
+        let mut pc = 0usize;
+        // Compile-time guarantee, re-checked so a hand-built program can
+        // never write out of bounds.
+        if self.max_stack as usize > MAX_STACK {
+            return false;
+        }
+        while pc < self.code.len() {
+            match &self.code[pc] {
+                Instr::PushNum(n) => push(&mut stack, &mut sp, Val::Num(*n)),
+                Instr::PushStr(i) => push(&mut stack, &mut sp, Val::Str(&self.strs[*i as usize])),
+                Instr::PushBool(b) => push(&mut stack, &mut sp, Val::Bool(*b)),
+                Instr::LoadTitle => push(&mut stack, &mut sp, Val::Str(ctx.title_lower())),
+                Instr::LoadVendor => push(&mut stack, &mut sp, Val::Num(ctx.vendor())),
+                Instr::LoadAttrStr(i) => {
+                    let v = ctx.attr_str(&self.attrs[*i as usize]);
+                    push(&mut stack, &mut sp, v.map_or(Val::Missing, Val::Str));
+                }
+                Instr::LoadAttrNum(i) => {
+                    let v = ctx.attr_num(&self.attrs[*i as usize]);
+                    push(&mut stack, &mut sp, v.map_or(Val::Missing, Val::Num));
+                }
+                Instr::AttrExists(i) => {
+                    let b = ctx.attr_exists(&self.attrs[*i as usize]);
+                    push(&mut stack, &mut sp, Val::Bool(b));
+                }
+                Instr::Add => arith(&mut stack, &mut sp, |a, b| a + b),
+                Instr::Sub => arith(&mut stack, &mut sp, |a, b| a - b),
+                Instr::Mul => arith(&mut stack, &mut sp, |a, b| a * b),
+                Instr::Div => arith(&mut stack, &mut sp, |a, b| a / b),
+                Instr::Neg => {
+                    let v = pop(&mut stack, &mut sp);
+                    let out = match v {
+                        Val::Num(n) => Val::Num(-n),
+                        _ => Val::Missing,
+                    };
+                    push(&mut stack, &mut sp, out);
+                }
+                Instr::Lt => cmp_num(&mut stack, &mut sp, |a, b| a < b),
+                Instr::Le => cmp_num(&mut stack, &mut sp, |a, b| a <= b),
+                Instr::Gt => cmp_num(&mut stack, &mut sp, |a, b| a > b),
+                Instr::Ge => cmp_num(&mut stack, &mut sp, |a, b| a >= b),
+                Instr::EqNum => cmp_num(&mut stack, &mut sp, |a, b| a == b),
+                Instr::NeNum => cmp_num(&mut stack, &mut sp, |a, b| a != b),
+                Instr::EqApprox => cmp_num(&mut stack, &mut sp, |a, b| (a - b).abs() < 1e-9),
+                Instr::EqStr => cmp_str(&mut stack, &mut sp, |a, b| a == b),
+                Instr::NeStr => cmp_str(&mut stack, &mut sp, |a, b| a != b),
+                Instr::MatchRe(i) => {
+                    let v = pop(&mut stack, &mut sp);
+                    let b = match v {
+                        Val::Str(s) => self.regexes[*i as usize].is_match(s),
+                        _ => false,
+                    };
+                    push(&mut stack, &mut sp, Val::Bool(b));
+                }
+                Instr::MatchTitleRaw(i) => {
+                    let b = self.regexes[*i as usize].is_match(ctx.raw_title());
+                    push(&mut stack, &mut sp, Val::Bool(b));
+                }
+                Instr::Dict(i) => {
+                    let b = self.dicts[*i as usize].matches_title_lower(ctx.title_lower());
+                    push(&mut stack, &mut sp, Val::Bool(b));
+                }
+                Instr::InStrList(i) => {
+                    let v = pop(&mut stack, &mut sp);
+                    let b = match v {
+                        Val::Str(s) => self.str_lists[*i as usize].iter().any(|m| m == s),
+                        _ => false,
+                    };
+                    push(&mut stack, &mut sp, Val::Bool(b));
+                }
+                Instr::InNumList(i) => {
+                    let v = pop(&mut stack, &mut sp);
+                    let b = match v {
+                        Val::Num(n) => self.num_lists[*i as usize].contains(&n),
+                        _ => false,
+                    };
+                    push(&mut stack, &mut sp, Val::Bool(b));
+                }
+                Instr::Not => {
+                    let v = pop(&mut stack, &mut sp);
+                    push(&mut stack, &mut sp, Val::Bool(!v.truthy()));
+                }
+                Instr::JumpIfFalse(target) => {
+                    if sp > 0 && !stack[sp - 1].truthy() {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpIfTrue(target) => {
+                    if sp > 0 && stack[sp - 1].truthy() {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Instr::Pop => {
+                    pop(&mut stack, &mut sp);
+                }
+            }
+            pc += 1;
+        }
+        sp == 1 && stack[0].truthy()
+    }
+}
+
+/// A VM operand. `Copy` (string operands are borrowed), so the operand
+/// stack is a plain array.
+#[derive(Debug, Clone, Copy)]
+enum Val<'a> {
+    /// Absent attribute / failed numeric parse.
+    Missing,
+    /// Boolean.
+    Bool(bool),
+    /// Number.
+    Num(f64),
+    /// Borrowed, case-folded string.
+    Str(&'a str),
+}
+
+impl Val<'_> {
+    fn truthy(self) -> bool {
+        matches!(self, Val::Bool(true))
+    }
+}
+
+#[inline]
+fn push<'a>(stack: &mut [Val<'a>; MAX_STACK], sp: &mut usize, v: Val<'a>) {
+    if *sp < MAX_STACK {
+        stack[*sp] = v;
+        *sp += 1;
+    }
+}
+
+#[inline]
+fn pop<'a>(stack: &mut [Val<'a>; MAX_STACK], sp: &mut usize) -> Val<'a> {
+    if *sp == 0 {
+        return Val::Missing;
+    }
+    *sp -= 1;
+    stack[*sp]
+}
+
+#[inline]
+fn arith(stack: &mut [Val<'_>; MAX_STACK], sp: &mut usize, f: impl Fn(f64, f64) -> f64) {
+    let b = pop(stack, sp);
+    let a = pop(stack, sp);
+    let out = match (a, b) {
+        (Val::Num(a), Val::Num(b)) => Val::Num(f(a, b)),
+        _ => Val::Missing,
+    };
+    push(stack, sp, out);
+}
+
+#[inline]
+fn cmp_num(stack: &mut [Val<'_>; MAX_STACK], sp: &mut usize, f: impl Fn(f64, f64) -> bool) {
+    let b = pop(stack, sp);
+    let a = pop(stack, sp);
+    let out = match (a, b) {
+        (Val::Num(a), Val::Num(b)) => f(a, b),
+        _ => false,
+    };
+    push(stack, sp, Val::Bool(out));
+}
+
+#[inline]
+fn cmp_str(stack: &mut [Val<'_>; MAX_STACK], sp: &mut usize, f: impl Fn(&str, &str) -> bool) {
+    let b = pop(stack, sp);
+    let a = pop(stack, sp);
+    let out = match (a, b) {
+        (Val::Str(a), Val::Str(b)) => f(a, b),
+        _ => false,
+    };
+    push(stack, sp, Val::Bool(out));
+}
+
+/// The typed evaluation context: a view over one [`PreparedProduct`]. All
+/// lookups are against pre-folded names/values and the per-product numeric
+/// parse cache, so no evaluation step folds or parses anything.
+pub struct ExecContext<'a> {
+    prepared: &'a PreparedProduct<'a>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Wraps a prepared product.
+    pub fn new(prepared: &'a PreparedProduct<'a>) -> Self {
+        ExecContext { prepared }
+    }
+
+    #[inline]
+    fn title_lower(&self) -> &str {
+        self.prepared.title_lower()
+    }
+
+    #[inline]
+    fn raw_title(&self) -> &str {
+        &self.prepared.product().title
+    }
+
+    #[inline]
+    fn vendor(&self) -> f64 {
+        self.prepared.product().vendor.0 as f64
+    }
+
+    #[inline]
+    fn attr_str(&self, name: &str) -> Option<&'a str> {
+        self.prepared.attr_value_lower(name)
+    }
+
+    #[inline]
+    fn attr_num(&self, name: &str) -> Option<f64> {
+        self.prepared.attr_num(name)
+    }
+
+    #[inline]
+    fn attr_exists(&self, name: &str) -> bool {
+        self.prepared.product().has_attr(name)
+    }
+}

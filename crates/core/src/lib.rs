@@ -17,6 +17,7 @@ pub mod classifier;
 pub mod data_index;
 pub mod dsl;
 pub mod engine;
+pub mod expr;
 pub mod pool;
 pub mod prepared;
 pub mod properties;
@@ -29,6 +30,9 @@ pub use dsl::{compile_pattern, ParseError, RuleParser, RuleSpec};
 pub use engine::{
     execute_batch_parallel, execution_stats, ExecMetrics, ExecutionStats, ExecutorKind,
     IndexedExecutor, LiteralScanExecutor, NaiveExecutor, RuleExecutor, WorkerPanic,
+};
+pub use expr::{
+    compile_condition, CompiledExpr, ExecContext, ExprCache, ExprCacheStats, ExprError, Program,
 };
 pub use pool::{PoolScope, WorkerPool};
 pub use prepared::PreparedProduct;

@@ -41,12 +41,18 @@ pub(crate) fn fold_lower(s: &str) -> Cow<'_, str> {
 }
 
 /// A product plus everything the match path needs pre-computed once:
-/// case-folded title, case-folded attribute names and values.
+/// case-folded title, case-folded attribute names and values, and the
+/// numeric parse of each attribute value.
 pub struct PreparedProduct<'p> {
     product: &'p Product,
     title_lower: Cow<'p, str>,
     /// `(name_lower, value_lower)` aligned with `product.attributes`.
     attrs_lower: Vec<(Cow<'p, str>, Cow<'p, str>)>,
+    /// `value.trim().parse::<f64>()` of each attribute, aligned with
+    /// `product.attributes`. Parsed once here so numeric predicates
+    /// (`Condition::NumCompare`, the expression VM's `LoadAttrNum`) cost a
+    /// lookup per rule instead of a parse per rule per product.
+    attrs_num: Vec<Option<f64>>,
 }
 
 impl<'p> PreparedProduct<'p> {
@@ -59,6 +65,11 @@ impl<'p> PreparedProduct<'p> {
                 .attributes
                 .iter()
                 .map(|(k, v)| (fold_lower(k), fold_lower(v)))
+                .collect(),
+            attrs_num: product
+                .attributes
+                .iter()
+                .map(|(_, v)| v.trim().parse::<f64>().ok())
                 .collect(),
             product,
         }
@@ -83,6 +94,16 @@ impl<'p> PreparedProduct<'p> {
     /// present. Allocation-free: compares against the pre-folded names.
     pub fn attr_value_lower(&self, name: &str) -> Option<&str> {
         self.attrs_lower.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_ref())
+    }
+
+    /// The cached numeric parse of the attribute named `name` (any case):
+    /// `Some` when the attribute is present and its trimmed value parses as
+    /// an `f64`. Allocation- and parse-free per call.
+    pub fn attr_num(&self, name: &str) -> Option<f64> {
+        self.attrs_lower
+            .iter()
+            .position(|(k, _)| k.eq_ignore_ascii_case(name))
+            .and_then(|i| self.attrs_num[i])
     }
 }
 
@@ -129,6 +150,20 @@ mod tests {
         // extraction (also per-char) and title folding agree.
         assert_eq!(fold_lower("ΟΔΟΣ"), "οδοσ");
         assert_eq!(fold_lower("CAFÉ au Lait"), "café au lait");
+    }
+
+    #[test]
+    fn numeric_values_are_parsed_once_and_cached() {
+        let p = product(
+            "x",
+            &[("Price", " 19.99 "), ("Pages", "300"), ("Color", "red"), ("ISBN", "978-1")],
+        );
+        let prep = PreparedProduct::new(&p);
+        assert_eq!(prep.attr_num("price"), Some(19.99)); // trimmed
+        assert_eq!(prep.attr_num("PAGES"), Some(300.0)); // case-insensitive
+        assert_eq!(prep.attr_num("Color"), None); // not numeric
+        assert_eq!(prep.attr_num("ISBN"), None); // "978-1" is not a number
+        assert_eq!(prep.attr_num("Weight"), None); // absent
     }
 
     #[test]

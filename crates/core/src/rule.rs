@@ -74,12 +74,24 @@ pub enum CompareOp {
     Gt,
     /// `>=`
     Ge,
-    /// `=`
+    /// `=` — **approximate** equality within an absolute tolerance of
+    /// `1e-9`. Analyst rules compare feed strings like `"19.99"` against
+    /// decimal constants, and the nearest-f64 representations of the two
+    /// sides can differ in the last bits; the epsilon absorbs that. The
+    /// consequence is that values closer than `1e-9` are indistinguishable:
+    /// `price = 20` does *not* fire on `"19.999999999"` (a full `1e-9`
+    /// away) but does on `"19.9999999999"`. Use [`CompareOp::EqExact`]
+    /// (spelled `==`) when bit-exact comparison is wanted — e.g. integer
+    /// ids and counts, which f64 represents exactly up to 2⁵³.
     Eq,
+    /// `==` — exact numeric equality, no epsilon (the expression
+    /// language's `==` compiles to this).
+    EqExact,
 }
 
 impl CompareOp {
-    /// Applies the comparison.
+    /// Applies the comparison. See [`CompareOp::Eq`] for the epsilon
+    /// semantics of `=` vs `==`.
     pub fn apply(self, lhs: f64, rhs: f64) -> bool {
         match self {
             CompareOp::Lt => lhs < rhs,
@@ -87,6 +99,7 @@ impl CompareOp {
             CompareOp::Gt => lhs > rhs,
             CompareOp::Ge => lhs >= rhs,
             CompareOp::Eq => (lhs - rhs).abs() < 1e-9,
+            CompareOp::EqExact => lhs == rhs,
         }
     }
 }
@@ -99,6 +112,7 @@ impl fmt::Display for CompareOp {
             CompareOp::Gt => ">",
             CompareOp::Ge => ">=",
             CompareOp::Eq => "=",
+            CompareOp::EqExact => "==",
         })
     }
 }
@@ -130,6 +144,11 @@ pub enum Condition {
     InDictionary(Arc<Dictionary>),
     /// All sub-conditions hold (the §4 conjunctive extension).
     All(Vec<Condition>),
+    /// A compiled expression-language predicate (the §4 "more expressive
+    /// language" tier): arbitrary boolean/arithmetic structure evaluated by
+    /// the stack VM. `Arc` because the same compiled program is shared by
+    /// every snapshot/executor that carries the rule.
+    Expr(Arc<crate::expr::CompiledExpr>),
 }
 
 impl Condition {
@@ -152,14 +171,14 @@ impl Condition {
                 .attr_value_lower(attr)
                 .map(|lowered| values.iter().any(|v| v == lowered))
                 .unwrap_or(false),
-            Condition::NumCompare { attr, op, value } => product
-                .product()
-                .attr(attr)
-                .and_then(|v| v.trim().parse::<f64>().ok())
-                .map(|v| op.apply(v, *value))
-                .unwrap_or(false),
+            Condition::NumCompare { attr, op, value } => {
+                // The numeric parse is cached in the prepared product, so a
+                // thousand price rules cost a thousand lookups, not parses.
+                product.attr_num(attr).map(|v| op.apply(v, *value)).unwrap_or(false)
+            }
             Condition::InDictionary(dict) => dict.matches_title_lower(product.title_lower()),
             Condition::All(conds) => conds.iter().all(|c| c.matches_prepared(product)),
+            Condition::Expr(ce) => ce.matches_prepared(product),
         }
     }
 
@@ -179,8 +198,53 @@ impl Condition {
             Condition::AttrValueIn { attr, .. } => Some(attr),
             Condition::NumCompare { attr, .. } => Some(attr),
             Condition::All(conds) => conds.iter().find_map(Condition::attr_key),
+            Condition::Expr(ce) => ce.required_attrs().first().map(String::as_str),
             _ => None,
         }
+    }
+
+    /// Conservative required-literal CNF over the case-folded title: for any
+    /// product this condition matches, each inner clause has at least one
+    /// literal occurring as a substring of the folded title. An empty outer
+    /// vector means "no requirement" (the condition may match titles
+    /// containing none of our literals). This is the single admission
+    /// interface the literal-scan and trigram executors use, across every
+    /// condition species:
+    ///
+    /// * `TitleMatches` — the regex's own required-literal analysis;
+    /// * `InDictionary` — the entry set is one disjunction (the title must
+    ///   contain *some* entry), unless any entry is empty;
+    /// * `All` — the union of the conjuncts' clauses (each holds
+    ///   independently);
+    /// * `Expr` — the CNF extracted at compile time (negation drops
+    ///   requirements, disjunction merges clause-pairwise);
+    /// * everything else — no requirement.
+    pub fn required_literal_cnf(&self) -> Vec<Vec<String>> {
+        match self {
+            Condition::TitleMatches(re) => re.required_literals(),
+            Condition::InDictionary(dict) => {
+                if dict.entries.is_empty() || dict.entries.iter().any(|e| e.is_empty()) {
+                    return Vec::new();
+                }
+                let mut clause: Vec<String> = dict.entries.iter().cloned().collect();
+                clause.sort();
+                vec![clause]
+            }
+            Condition::All(conds) => {
+                conds.iter().flat_map(Condition::required_literal_cnf).collect()
+            }
+            Condition::Expr(ce) => ce.required_literals().to_vec(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Compiles this condition to stack bytecode — the unified IR every
+    /// executor evaluates. `Expr` conditions return their already-compiled
+    /// program (shared, not recompiled); legacy variants are lowered through
+    /// dedicated opcodes that reproduce the interpreted semantics exactly
+    /// (including `CompareOp::Eq`'s epsilon).
+    pub fn compile(&self) -> Arc<crate::expr::Program> {
+        crate::expr::compile_condition(self)
     }
 }
 
@@ -194,6 +258,7 @@ impl fmt::Display for Condition {
             }
             Condition::NumCompare { attr, op, value } => write!(f, "num({attr}) {op} {value}"),
             Condition::InDictionary(d) => write!(f, "dict({})", d.name),
+            Condition::Expr(ce) => write!(f, "expr({})", ce.source()),
             Condition::All(conds) => {
                 for (i, c) in conds.iter().enumerate() {
                     if i > 0 {
@@ -386,6 +451,28 @@ mod tests {
     }
 
     #[test]
+    fn approximate_eq_boundary_behavior() {
+        // `=` tolerates sub-epsilon differences ...
+        let approx = Condition::NumCompare { attr: "Price".into(), op: CompareOp::Eq, value: 20.0 };
+        assert!(approx.matches(&product("x", &[("Price", "20")])));
+        assert!(approx.matches(&product("x", &[("Price", "20.0000000000")])));
+        // "19.9999999999" is 1e-10 from 20 — inside the 1e-9 tolerance.
+        assert!(approx.matches(&product("x", &[("Price", "19.9999999999")])));
+        // "19.999999999" is a full 1e-9 from 20 — |Δ| < 1e-9 fails (the
+        // nearest f64 to the difference is slightly above 1e-9).
+        assert!(!approx.matches(&product("x", &[("Price", "19.999999999")])));
+
+        // ... while `==` is bit-exact.
+        let exact =
+            Condition::NumCompare { attr: "Price".into(), op: CompareOp::EqExact, value: 20.0 };
+        assert!(exact.matches(&product("x", &[("Price", "20")])));
+        assert!(exact.matches(&product("x", &[("Price", "20.000")])));
+        assert!(!exact.matches(&product("x", &[("Price", "19.9999999999")])));
+        assert!(!exact.matches(&product("x", &[("Price", "19.999999999")])));
+        assert_eq!(CompareOp::EqExact.to_string(), "==");
+    }
+
+    #[test]
     fn dictionary_condition() {
         let dict = Arc::new(Dictionary::new("pc_words", ["thinkpad", "ideapad"]));
         let c = Condition::InDictionary(dict);
@@ -410,6 +497,41 @@ mod tests {
         let c = Condition::All(vec![Condition::AttrExists("ISBN".into()), title_cond("books?")]);
         assert_eq!(c.attr_key(), Some("ISBN"));
         assert_eq!(c.title_regex().unwrap().pattern(), "books?");
+    }
+
+    #[test]
+    fn expr_condition_matches_and_introspects() {
+        let ce = Arc::new(crate::expr::compile(r#"price < 20 && title ~ /braided/"#).unwrap());
+        let c = Condition::Expr(ce);
+        assert!(c.matches(&product("Braided Rug", &[("Price", "15")])));
+        assert!(!c.matches(&product("Braided Rug", &[("Price", "25")])));
+        assert!(!c.matches(&product("Flat Rug", &[("Price", "15")])));
+        assert_eq!(c.attr_key(), Some("Price"));
+        assert_eq!(c.required_literal_cnf(), vec![vec!["braided".to_string()]]);
+        assert_eq!(c.to_string(), "expr(price < 20 && title ~ /braided/)");
+    }
+
+    #[test]
+    fn required_literal_cnf_across_condition_species() {
+        // Regex: clause per required literal.
+        assert_eq!(
+            title_cond("braided rug").required_literal_cnf(),
+            vec![vec!["braided rug".to_string()]]
+        );
+        // Dictionary: entries form one disjunction.
+        let dict = Arc::new(Dictionary::new("pc", ["thinkpad", "ideapad"]));
+        assert_eq!(
+            Condition::InDictionary(dict).required_literal_cnf(),
+            vec![vec!["ideapad".to_string(), "thinkpad".to_string()]]
+        );
+        // Conjunction: union of the children's clauses.
+        let all = Condition::All(vec![
+            title_cond("apple"),
+            Condition::NumCompare { attr: "Price".into(), op: CompareOp::Lt, value: 100.0 },
+        ]);
+        assert_eq!(all.required_literal_cnf(), vec![vec!["apple".to_string()]]);
+        // Attribute-only conditions impose nothing on the title.
+        assert!(Condition::AttrExists("ISBN".into()).required_literal_cnf().is_empty());
     }
 
     #[test]

@@ -52,6 +52,13 @@ fn build_rules(taxonomy: &Arc<Taxonomy>) -> Vec<rulekit_core::Rule> {
     lines.push("price < 5 -> NOT laptop computers".into());
     lines.push("dict(pc_words) -> one of laptop computers; desktop computers".into());
     lines.push("laptop (bag|case|sleeve)s? -> NOT laptop computers".into());
+    // Expression-language rules ride the same executors and the same
+    // admission machinery (literal CNF → automaton, attrs → postings).
+    lines.push("rule: price < 5 && title ~ /tower/ => NOT desktop computers".into());
+    lines.push("rule: has(ISBN) && vendor >= 0 => books".into());
+    lines.push("rule: title ~ /thinkpad/ || title ~ /ideapad/ => laptop computers".into());
+    lines.push(r#"rule: `Brand Name` == "apple" && !(title ~ /cable/) => smartphones"#.into());
+    lines.push("num(Pages) == 300 -> books".into());
 
     for line in &lines {
         repo.add(parser.parse_rule(line).unwrap(), RuleMeta::default());

@@ -1,0 +1,178 @@
+//! Robustness suite for the expression front end: the lexer, parser, and
+//! compiler must never panic — every input, however malformed or
+//! adversarial, either compiles or returns an `ExprError`. Mirrors the
+//! http_codec fuzz contract ("no panics, only statuses") for the rule
+//! language, and runs in the same CI job.
+
+use proptest::prelude::*;
+use rulekit_core::expr::compile;
+use rulekit_core::{ExecContext, PreparedProduct};
+use rulekit_data::{Product, VendorId};
+
+fn product(title: &str, attrs: &[(&str, &str)], vendor: u32) -> Product {
+    Product {
+        id: 0,
+        title: title.into(),
+        description: String::new(),
+        attributes: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        vendor: VendorId(vendor),
+    }
+}
+
+/// Hand-curated malformed corpus: every class of front-end error, plus the
+/// truncations and operator misuse a typo-prone analyst actually produces.
+#[test]
+fn malformed_corpus_errors_cleanly() {
+    let corpus: &[&str] = &[
+        "",
+        "   ",
+        "&&",
+        "price <",
+        "< 20",
+        "price < 20 &&",
+        "|| price < 20",
+        "price & 20",
+        "price | 20",
+        "price = 20",
+        "(price < 20",
+        "price < 20)",
+        "()",
+        "price in",
+        "price in [",
+        "price in []",
+        "price in [1 2]",
+        "price in [1, \"a\"]",
+        "title ~",
+        "title ~ 5",
+        "title ~ \"rug\"",
+        "5 ~ /x/",
+        "title ~ /(/",
+        "title ~ /rug",
+        "\"unterminated",
+        "`unterminated",
+        "/bare regex/",
+        "has",
+        "has(",
+        "has()",
+        "price < 20 extra",
+        "1.2.3 < 4",
+        "price == ==",
+        "!",
+        "- ",
+        "[1, 2]",
+        "price",
+        "title",
+        "vendor + 1",
+        "price < 20 || [1]",
+        "has(ISBN) == 5",
+        "5 == \"five\"",
+        "\u{0}\u{1}\u{2}",
+        "🦀 < 20",
+    ];
+    for src in corpus {
+        assert!(compile(src).is_err(), "expected error for {src:?}");
+    }
+}
+
+/// The token cap bounds every recursive structure: pathological nesting and
+/// width both reject (or compile) without overflowing the stack.
+#[test]
+fn adversarial_depth_and_width_never_panic() {
+    for n in [10usize, 100, 300, 2000, 20_000] {
+        let deep_parens = format!("{}1 < 2{}", "(".repeat(n), ")".repeat(n));
+        let _ = compile(&deep_parens);
+        let deep_not = format!("{}(price < 20)", "!".repeat(n));
+        let _ = compile(&deep_not);
+        let deep_neg = format!("{}5 < 20", "-".repeat(n));
+        let _ = compile(&deep_neg);
+        let wide_and = vec!["1 < 2"; n].join(" && ");
+        let _ = compile(&wide_and);
+        let wide_arith = format!("{} < 99", vec!["1"; n].join(" + "));
+        let _ = compile(&wide_arith);
+        let wide_list = format!("price in [{}]", vec!["1"; n].join(", "));
+        let _ = compile(&wide_list);
+    }
+}
+
+/// A generative grammar of *valid* expressions: everything it emits must
+/// compile, and the resulting program must evaluate (not panic) against a
+/// panel of products, including attribute-less and non-numeric ones.
+fn arb_expr() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("price < 20".to_string()),
+        Just("price >= 5.5".to_string()),
+        Just("vendor == 7".to_string()),
+        Just("price + 1 * 2 <= 40".to_string()),
+        Just("-price < -1".to_string()),
+        Just("has(ISBN)".to_string()),
+        Just("has(`Brand Name`)".to_string()),
+        Just("title ~ /braided/".to_string()),
+        Just("title ~ /rugs?/".to_string()),
+        Just(r#"category == "rug""#.to_string()),
+        Just(r#"category != "mat""#.to_string()),
+        Just(r#"title == "exact title""#.to_string()),
+        Just("vendor in [1, 7, 9]".to_string()),
+        Just(r#"category in ["rug", "mat"]"#.to_string()),
+        Just("price / 2 - 1 > 0".to_string()),
+    ];
+    atom.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) && ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) || ({b})")),
+            inner.prop_map(|a| format!("!({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary junk never panics the front end.
+    #[test]
+    fn arbitrary_text_never_panics(src in "\\PC{0,80}") {
+        let _ = compile(&src);
+    }
+
+    /// Arbitrary bytes (lossily decoded) never panic either.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..120)) {
+        let _ = compile(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Operator soup — random splices of grammar fragments. Most won't
+    /// compile; none may panic.
+    #[test]
+    fn fragment_soup_never_panics(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("price"), Just("title"), Just("vendor"), Just("has(ISBN)"),
+                Just("&&"), Just("||"), Just("!"), Just("=="), Just("!="),
+                Just("<"), Just("<="), Just("~"), Just("in"), Just("("), Just(")"),
+                Just("["), Just("]"), Just(","), Just("/re/"), Just("\"s\""),
+                Just("5"), Just("5.5"), Just("+"), Just("-"), Just("*"), Just("/"),
+            ],
+            0..24,
+        ),
+    ) {
+        let _ = compile(&parts.join(" "));
+    }
+
+    /// Every grammatically valid expression compiles and evaluates.
+    #[test]
+    fn generated_expressions_compile_and_evaluate(src in arb_expr()) {
+        let compiled = compile(&src).unwrap_or_else(|e| panic!("{src:?} failed: {e}"));
+        let panel = [
+            product("Braided Area Rug", &[("Price", "17.99"), ("Category", "Rug")], 7),
+            product("exact title", &[("ISBN", "978"), ("Brand Name", "apple")], 1),
+            product("", &[], 0),
+            product("rug rug rug", &[("Price", "not a number")], 9),
+        ];
+        for p in &panel {
+            let prepared = PreparedProduct::new(p);
+            // Both entry points: the convenience wrapper and the raw VM.
+            let a = compiled.matches_prepared(&prepared);
+            let b = compiled.program().eval(&ExecContext::new(&prepared));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -138,21 +138,43 @@ fn classify_batch(state: &ServerState, items: &[Json]) -> Response {
     Response::json(200, obj(vec![("results", Json::Arr(results))]).render())
 }
 
-/// `POST /rulesets` — body `{"rules": "<dsl text>", "author"?: "…"}`.
-/// Durable apps WAL-log every rule before this returns 201.
+/// `POST /rulesets` — body `{"rules"?: "<dsl text>", "expr"?: "<expression
+/// lines>", "author"?: "…"}`. At least one of `rules`/`expr` is required.
+/// `expr` lines are expression-language predicates (`<expr> => <action>`,
+/// one per line); the handler prefixes each with `rule: ` so they enter the
+/// same DSL path — and therefore the same WAL/recovery story — as every
+/// other rule. Durable apps WAL-log every rule before this returns 201.
 fn create_rules(state: &ServerState, req: &Request) -> Response {
     let doc = match Json::parse(&req.body) {
         Ok(v) => v,
         Err(e) => return Response::json(400, error_json(&e.to_string())),
     };
-    let Some(text) = doc.get("rules").and_then(Json::as_str) else {
-        return Response::json(422, error_json("body needs a string \"rules\" field"));
-    };
+    let rules_text = doc.get("rules").and_then(Json::as_str);
+    let expr_text = doc.get("expr").and_then(Json::as_str);
+    if rules_text.is_none() && expr_text.is_none() {
+        return Response::json(422, error_json("body needs a string \"rules\" or \"expr\" field"));
+    }
+    let mut text = rules_text.unwrap_or("").to_string();
+    for line in expr_text.unwrap_or("").lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        if line.starts_with("rule:") {
+            text.push_str(line);
+        } else {
+            text.push_str("rule: ");
+            text.push_str(line);
+        }
+    }
     let mut meta = RuleMeta::default();
     if let Some(author) = doc.get("author").and_then(Json::as_str) {
         meta.author = author.to_string();
     }
-    match state.app.add_rules(text, &meta) {
+    match state.app.add_rules(&text, &meta) {
         Ok(ids) => {
             let ids: Vec<Json> = ids.iter().map(|id| Json::from(id.0)).collect();
             let body = obj(vec![

@@ -173,6 +173,83 @@ fn rule_edit_is_durable_across_server_restart() {
     assert_eq!(gone.status, 404);
 }
 
+/// An expression rule travels the same durable path as every other rule:
+/// POSTed through the `expr` field, WAL-logged before the 201, visible to
+/// classify traffic (with its numeric predicate enforced), and alive after
+/// a full server restart.
+#[test]
+fn expression_rule_posts_persists_and_survives_restart() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let rule_id;
+    {
+        let app = RuleApp::durable(
+            ruled_chimera(),
+            storage.clone(),
+            DurableConfig::default(),
+            serve_cfg(),
+        )
+        .unwrap();
+        let server = NetServer::start(app, NetConfig::default()).unwrap();
+        let mut c = client(&server);
+
+        // Neither "rules" nor "expr" → 422; malformed expression → 422.
+        let missing = c.post_json("/rulesets", "{\"author\": \"ops\"}").unwrap();
+        assert_eq!(missing.status, 422, "{}", missing.text());
+        let bad = c.post_json("/rulesets", "{\"expr\": \"price < => sofas\"}").unwrap();
+        assert_eq!(bad.status, 422, "{}", bad.text());
+
+        let created = c
+            .post_json("/rulesets", "{\"expr\": \"price < 20 && title ~ /sofa/ => sofas\"}")
+            .unwrap();
+        assert_eq!(created.status, 201, "{}", created.text());
+        let body = created.text();
+        let ids_at = body.find("\"ids\":[").expect("ids in body") + "\"ids\":[".len();
+        rule_id = body[ids_at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .expect("numeric id");
+
+        // The stored source carries the `rule:` prefix (round-trippable
+        // through any parser), and classify traffic sees the rule within
+        // one snapshot swap — numeric predicate included.
+        let rule = c.get(&format!("/rulesets/{rule_id}")).unwrap();
+        assert!(rule.text().contains("rule: price < 20"), "{}", rule.text());
+        let cheap = "{\"title\": \"leather sofa\", \"attributes\": {\"Price\": \"15.99\"}}";
+        let pricey = "{\"title\": \"leather sofa\", \"attributes\": {\"Price\": \"899\"}}";
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let r = c.post_json("/classify", cheap).unwrap();
+            assert_eq!(r.status, 200);
+            if r.text().contains("\"type\":\"sofas\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "expression rule never became visible");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let r = c.post_json("/classify", pricey).unwrap();
+        assert!(r.text().contains("declined"), "price gate ignored: {}", r.text());
+    } // server drains; storage outlives it
+
+    // Fresh process, same storage: WAL replay re-compiles the expression.
+    let app =
+        RuleApp::durable(ruled_chimera(), storage, DurableConfig::default(), serve_cfg()).unwrap();
+    let server = NetServer::start(app, NetConfig::default()).unwrap();
+    let mut c = client(&server);
+    let rule = c.get(&format!("/rulesets/{rule_id}")).unwrap();
+    assert_eq!(rule.status, 200, "{}", rule.text());
+    assert!(rule.text().contains("price < 20"), "{}", rule.text());
+    let cheap = "{\"title\": \"leather sofa\", \"attributes\": {\"Price\": \"15.99\"}}";
+    let r = c.post_json("/classify", cheap).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(
+        r.text().contains("\"type\":\"sofas\""),
+        "recovered expr rule must serve: {}",
+        r.text()
+    );
+}
+
 /// A classifier that holds every request long enough to back up a
 /// one-deep admission queue.
 struct SlowClassifier(Duration);

@@ -49,7 +49,7 @@ pub mod pikevm;
 pub use aho::AhoCorasick;
 pub use ast::{escape, Ast};
 pub use contain::{touch_subset, Containment};
-pub use literals::{best_disjunction, literal_cnf, Disjunction};
+pub use literals::{best_disjunction, best_indexable_disjunction, literal_cnf, Disjunction};
 
 use nfa::{CompileOptions, Program};
 use std::fmt;

@@ -44,6 +44,23 @@ pub fn best_disjunction(cnf: &[Disjunction]) -> Option<&Disjunction> {
     })
 }
 
+/// [`best_disjunction`] restricted to disjunctions an n-gram index can key
+/// on: every literal ASCII and at least `min_len` bytes long. Returns `None`
+/// when no disjunction qualifies (the rule must then be admitted another
+/// way). Shared by the trigram rule index and the data-side title index so
+/// their admission predicates can never drift apart.
+pub fn best_indexable_disjunction(cnf: &[Disjunction], min_len: usize) -> Option<&Disjunction> {
+    let indexable: Vec<&Disjunction> =
+        cnf.iter().filter(|d| d.iter().all(|lit| lit.len() >= min_len && lit.is_ascii())).collect();
+    indexable
+        .iter()
+        .max_by_key(|d| {
+            let shortest = d.iter().map(|s| s.chars().count()).min().unwrap_or(0);
+            (shortest, std::cmp::Reverse(d.len()))
+        })
+        .copied()
+}
+
 fn collect(ast: &Ast, ci: bool, out: &mut Vec<Disjunction>) {
     match ast {
         Ast::Concat(parts) => {

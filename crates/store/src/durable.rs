@@ -594,6 +594,43 @@ mod tests {
     }
 
     #[test]
+    fn expression_rules_survive_reopen_and_reuse_compiled_bytecode() {
+        use rulekit_core::Condition;
+        let storage = Arc::new(MemStorage::new());
+        let config = DurableConfig { checkpoint_every: 0, ..DurableConfig::default() };
+        let p = parser();
+        let line = "rule: price < 20 && title ~ /braided/ => NOT area rugs";
+
+        let dyn_storage: Arc<dyn Storage> = Arc::clone(&storage) as Arc<dyn Storage>;
+        let durable = DurableRepository::open(dyn_storage, p.clone(), config).unwrap();
+        let ids = durable.add_rules(line, &RuleMeta::default()).unwrap();
+        drop(durable);
+        assert_eq!(p.expr_cache().stats().misses, 1);
+
+        // WAL replay re-parses the persisted source — expression rules come
+        // back as compiled bytecode, via the shared cache (a hit, not a
+        // recompile, because the process already compiled this source).
+        let dyn_storage: Arc<dyn Storage> = Arc::clone(&storage) as Arc<dyn Storage>;
+        let reopened = DurableRepository::open(dyn_storage, p.clone(), config).unwrap();
+        let rule = reopened.repository().get(ids[0]).unwrap();
+        assert_eq!(rule.source, line);
+        assert!(matches!(rule.condition, Condition::Expr(_)));
+        let stats = p.expr_cache().stats();
+        assert_eq!(stats.misses, 1, "recovery recompiled the expression");
+        assert!(stats.hits >= 1);
+
+        // Checkpoint compaction and recovery-from-checkpoint round-trip the
+        // rule too (checkpoints store the same source text).
+        reopened.checkpoint().unwrap();
+        drop(reopened);
+        let dyn_storage: Arc<dyn Storage> = Arc::clone(&storage) as Arc<dyn Storage>;
+        let again = DurableRepository::open(dyn_storage, p.clone(), config).unwrap();
+        let rule = again.repository().get(ids[0]).unwrap();
+        assert!(matches!(rule.condition, Condition::Expr(_)));
+        assert_eq!(p.expr_cache().stats().misses, 1, "checkpoint rebuild recompiled");
+    }
+
+    #[test]
     fn checkpoint_resets_wal_and_recovers_alone() {
         let storage = Arc::new(MemStorage::new());
         let config = DurableConfig { checkpoint_every: 0, ..DurableConfig::default() };
