@@ -4,7 +4,8 @@
 //! experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]
 //!
 //! EXPERIMENT: all | table1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 |
-//!             e11 | e12 | e13 | e14 | e15 | e16 | serve | netload | recovery
+//!             e11 | e12 | e13 | e14 | e15 | e16 | serve | netload | recovery |
+//!             repl
 //! --scale     multiplies corpus sizes (default 1.0; the default corpus is
 //!             ~20k training items, a ~1/40 scale model of the paper's 885K)
 //! --seed      master RNG seed (default 1)
@@ -118,6 +119,9 @@ fn main() {
     if want("recovery") {
         exp::recovery::recovery(scale);
     }
+    if want("repl") {
+        exp::replication::replication(scale);
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -127,7 +131,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]\n\
          experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 serve \
-         netload recovery"
+         netload recovery repl"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -8,6 +8,7 @@ pub mod execution;
 pub mod maintenance;
 pub mod netload;
 pub mod recovery;
+pub mod replication;
 pub mod rulegen;
 pub mod serving;
 pub mod synonym;

@@ -1,0 +1,155 @@
+//! REPL — edit-visibility lag across WAL-shipping followers under rule
+//! churn. A leader `DurableRepository` streams WAL records to N in-process
+//! followers (`rulekit-repl`); the experiment applies a burst of rule edits
+//! on the leader, waits for every follower's catalog hash to converge, and
+//! reports the per-edit visibility lag from each follower's
+//! `rulekit_repl_edit_visibility_lag_nanos` histogram — the same series the
+//! follower exposes through `/metrics` in a deployed cluster.
+
+use crate::setup::Scale;
+use crate::table::Table;
+use rulekit_core::{RuleMeta, RuleParser};
+use rulekit_data::Taxonomy;
+use rulekit_obs::Registry;
+use rulekit_repl::{FollowerConfig, FollowerState, LeaderConfig, ReplFollower, ReplLeader};
+use rulekit_store::{catalog_hash, DurableConfig, DurableRepository, MemStorage, Storage};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn open_store() -> Arc<DurableRepository> {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    Arc::new(
+        DurableRepository::open(
+            storage,
+            RuleParser::new(Taxonomy::builtin()),
+            DurableConfig::default(),
+        )
+        .expect("open in-memory durable store"),
+    )
+}
+
+struct LevelResult {
+    followers: usize,
+    edits: usize,
+    churn: Duration,
+    converge: Duration,
+    records_applied: u64,
+    snapshots: u64,
+    lag_p50_us: f64,
+    lag_p99_us: f64,
+    lag_max_us: f64,
+}
+
+/// One churn level: a leader, `followers` tailing replicas, `edits` rule
+/// edits applied back to back, then convergence on catalog hash.
+fn run_level(followers: usize, edits: usize, seed: u64) -> LevelResult {
+    let leader_store = open_store();
+    let leader_registry = Registry::new();
+    let leader = ReplLeader::start(
+        leader_store.clone(),
+        LeaderConfig { heartbeat: Duration::from_millis(50), ..Default::default() },
+        &leader_registry,
+    )
+    .expect("start leader");
+
+    let replicas: Vec<(Arc<DurableRepository>, Registry, ReplFollower)> = (0..followers)
+        .map(|i| {
+            let store = open_store();
+            let registry = Registry::new();
+            let mut cfg = FollowerConfig::new(leader.local_addr());
+            cfg.backoff_base = Duration::from_millis(5);
+            cfg.backoff_cap = Duration::from_millis(50);
+            cfg.seed = seed.wrapping_add(i as u64);
+            let follower = ReplFollower::start(store.clone(), cfg, &registry);
+            (store, registry, follower)
+        })
+        .collect();
+    for (_, _, f) in &replicas {
+        assert!(
+            f.wait_for_state(FollowerState::Tailing, Duration::from_secs(10)),
+            "follower never started tailing"
+        );
+    }
+
+    // Churn: each edit is a distinct literal rule so every revision ships a
+    // real catalog change (same shape as analyst edits arriving via HTTP).
+    let started = Instant::now();
+    for i in 0..edits {
+        let line = format!("bench{seed}x{i} rings? -> rings\n");
+        leader_store.add_rules(&line, &RuleMeta::default()).expect("leader edit");
+    }
+    let churn = started.elapsed();
+
+    let target = catalog_hash(leader_store.repository());
+    let converge_started = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if replicas.iter().all(|(s, _, _)| catalog_hash(s.repository()) == target) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "followers failed to converge within 30s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let converge = converge_started.elapsed();
+
+    // Aggregate follower-side lag: worst quantiles across replicas, summed
+    // apply counts. Every record's lag lands in the histogram as it applies.
+    let mut records_applied = 0u64;
+    let mut snapshots = 0u64;
+    let (mut p50, mut p99, mut max) = (0u64, 0u64, 0u64);
+    for (_, registry, _) in &replicas {
+        let hist = registry.histogram("rulekit_repl_edit_visibility_lag_nanos");
+        p50 = p50.max(hist.quantile(0.5));
+        p99 = p99.max(hist.quantile(0.99));
+        max = max.max(hist.max());
+        records_applied += registry.counter("rulekit_repl_records_applied_total").value();
+        snapshots += registry.counter("rulekit_repl_snapshots_installed_total").value();
+    }
+
+    LevelResult {
+        followers,
+        edits,
+        churn,
+        converge,
+        records_applied,
+        snapshots,
+        lag_p50_us: p50 as f64 / 1_000.0,
+        lag_p99_us: p99 as f64 / 1_000.0,
+        lag_max_us: max as f64 / 1_000.0,
+    }
+}
+
+/// REPL — follower edit-visibility lag under churn, by replica count.
+pub fn replication(scale: Scale) {
+    println!("\n=== REPL: edit-visibility lag across WAL-shipping followers ===");
+    let edits = (scale.eval_items / 20).clamp(25, 400);
+    let mut table = Table::new(&[
+        "followers",
+        "edits",
+        "churn ms",
+        "converge ms",
+        "applied",
+        "snapshots",
+        "lag p50 µs",
+        "lag p99 µs",
+        "lag max µs",
+    ]);
+    for followers in [1usize, 2, 4] {
+        let r = run_level(followers, edits, scale.seed);
+        table.row(vec![
+            r.followers.to_string(),
+            r.edits.to_string(),
+            format!("{:.1}", r.churn.as_secs_f64() * 1_000.0),
+            format!("{:.1}", r.converge.as_secs_f64() * 1_000.0),
+            r.records_applied.to_string(),
+            r.snapshots.to_string(),
+            format!("{:.0}", r.lag_p50_us),
+            format!("{:.0}", r.lag_p99_us),
+            format!("{:.0}", r.lag_max_us),
+        ]);
+    }
+    table.print();
+    println!("(lag is leader-send → follower-apply, from each follower's");
+    println!(" `rulekit_repl_edit_visibility_lag_nanos` histogram — the series /metrics exposes;");
+    println!(" `converge` is the wall time from last edit to identical catalog hashes everywhere)");
+}

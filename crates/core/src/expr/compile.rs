@@ -224,6 +224,10 @@ fn emit_bool(e: &mut Emitter, expr: &Expr) -> Result<(), ExprError> {
             e.emit_attr_exists(name);
             Ok(())
         }
+        Expr::Bool(b) => {
+            e.emit(Instr::PushBool(*b), 1);
+            Ok(())
+        }
         Expr::Bin(BinOp::Match, lhs, rhs) => {
             let Expr::Regex(re) = rhs.as_ref() else {
                 return Err(ExprError::new("'~' needs a /regex/ on its right side"));
@@ -392,6 +396,7 @@ fn emit_in(e: &mut Emitter, lhs: &Expr, items: &[ListItem]) -> Result<(), ExprEr
 fn describe(expr: &Expr) -> &'static str {
     match expr {
         Expr::Num(_) => "a number",
+        Expr::Bool(_) => "a boolean constant",
         Expr::Str(_) => "a string",
         Expr::Title => "the title",
         Expr::Vendor => "the vendor id",

@@ -1,0 +1,123 @@
+//! Constant folding over the parsed expression AST.
+//!
+//! Rules are compiled once at load and evaluated millions of times, so any
+//! literal-only subexpression (`10 + 5`, `1 < 2`, `"A" == "a"`,
+//! `3 in [1, 2, 3]`) is work the VM would redo on every product. This pass
+//! collapses such subtrees to `Expr::Num` / `Expr::Bool` literals before
+//! bytecode emission, and simplifies `&&` / `||` around the resulting
+//! boolean constants.
+//!
+//! ## Semantics contract
+//!
+//! Every fold reproduces the VM bit-for-bit (the folding differential suite
+//! enforces this):
+//!
+//! * arithmetic is IEEE `f64` — `10 / 0` folds to `+inf`, `0 / 0` to `NaN`,
+//!   and a folded `NaN` fails every comparison exactly as [`Instr::EqNum`]
+//!   and friends do;
+//! * `==` / `!=` on numbers are **exact**, on strings **case-folded** —
+//!   the same `fold_lower` the compiler applies to string-pool constants;
+//! * `~` and `in` on literals fold through the same folded-string /
+//!   exact-number membership the `MatchRe` / `InStrList` / `InNumList`
+//!   opcodes implement;
+//! * operands are pure, so `x && false` folds to `false` even though the
+//!   VM would have evaluated `x` first — evaluation order is unobservable.
+//!
+//! ## What folding must not do
+//!
+//! Folding never erases a compile error. `false && title < 5` folds to
+//! `false`, but the dead right branch is still a type error and the
+//! expression must still be rejected — the front end typechecks the
+//! *unfolded* tree before this pass runs (see [`super::compile_impl`]).
+//! Accordingly this pass only rewrites combinations it can prove
+//! well-typed; anything questionable is left for the compiler to reject.
+//!
+//! [`Instr::EqNum`]: super::vm::Instr::EqNum
+
+use super::parser::{BinOp, Expr, ListItem};
+use crate::prepared::fold_lower;
+
+/// Folds literal-only subexpressions, returning an equivalent (often
+/// smaller) AST. Nodes with no literal operands are cloned unchanged.
+pub(super) fn fold(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Not(inner) => match fold(inner) {
+            Expr::Bool(b) => Expr::Bool(!b),
+            other => Expr::Not(Box::new(other)),
+        },
+        Expr::Neg(inner) => match fold(inner) {
+            Expr::Num(n) => Expr::Num(-n),
+            other => Expr::Neg(Box::new(other)),
+        },
+        Expr::Bin(op, a, b) => fold_bin(*op, fold(a), fold(b)),
+        other => other.clone(),
+    }
+}
+
+fn fold_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    match op {
+        BinOp::And => match (a, b) {
+            (Expr::Bool(false), _) | (_, Expr::Bool(false)) => Expr::Bool(false),
+            (Expr::Bool(true), other) | (other, Expr::Bool(true)) => other,
+            (a, b) => bin(op, a, b),
+        },
+        BinOp::Or => match (a, b) {
+            (Expr::Bool(true), _) | (_, Expr::Bool(true)) => Expr::Bool(true),
+            (Expr::Bool(false), other) | (other, Expr::Bool(false)) => other,
+            (a, b) => bin(op, a, b),
+        },
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => match (&a, &b) {
+            (Expr::Num(x), Expr::Num(y)) => Expr::Num(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                _ => x / y,
+            }),
+            _ => bin(op, a, b),
+        },
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (&a, &b) {
+            (Expr::Num(x), Expr::Num(y)) => Expr::Bool(match op {
+                BinOp::Lt => x < y,
+                BinOp::Le => x <= y,
+                BinOp::Gt => x > y,
+                _ => x >= y,
+            }),
+            _ => bin(op, a, b),
+        },
+        BinOp::Eq | BinOp::Ne => match (&a, &b) {
+            (Expr::Num(x), Expr::Num(y)) => {
+                Expr::Bool(if op == BinOp::Eq { x == y } else { x != y })
+            }
+            (Expr::Str(x), Expr::Str(y)) => {
+                let equal = fold_lower(x) == fold_lower(y);
+                Expr::Bool(if op == BinOp::Eq { equal } else { !equal })
+            }
+            _ => bin(op, a, b),
+        },
+        BinOp::Match => match (&a, &b) {
+            (Expr::Str(s), Expr::Regex(re)) => Expr::Bool(re.is_match(&fold_lower(s))),
+            _ => bin(op, a, b),
+        },
+        BinOp::In => match (&a, &b) {
+            (Expr::Num(x), Expr::List(items))
+                if !items.is_empty() && items.iter().all(|i| matches!(i, ListItem::Num(_))) =>
+            {
+                Expr::Bool(items.iter().any(|i| matches!(i, ListItem::Num(n) if n == x)))
+            }
+            (Expr::Str(s), Expr::List(items))
+                if !items.is_empty() && items.iter().all(|i| matches!(i, ListItem::Str(_))) =>
+            {
+                let folded = fold_lower(s);
+                Expr::Bool(items.iter().any(|i| match i {
+                    ListItem::Str(m) => fold_lower(m) == folded,
+                    ListItem::Num(_) => false,
+                }))
+            }
+            _ => bin(op, a, b),
+        },
+    }
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::Bin(op, Box::new(a), Box::new(b))
+}

@@ -30,6 +30,7 @@
 
 mod cache;
 mod compile;
+mod fold;
 mod lexer;
 mod parser;
 mod vm;
@@ -108,16 +109,41 @@ impl CompiledExpr {
 }
 
 /// Compiles expression source text end to end (lex → parse → typecheck →
-/// bytecode → admission analyses). Use [`ExprCache::compile`] when the same
-/// source may recur.
+/// constant fold → bytecode → admission analyses). Use
+/// [`ExprCache::compile`] when the same source may recur.
 pub fn compile(source: &str) -> Result<CompiledExpr, ExprError> {
+    compile_impl(source, true)
+}
+
+/// Compiles without the constant-folding pass. Semantically identical to
+/// [`compile`] — this is the reference side of the folding differential
+/// suite, and a debugging aid when a fold is suspected of changing
+/// behaviour.
+pub fn compile_unfolded(source: &str) -> Result<CompiledExpr, ExprError> {
+    compile_impl(source, false)
+}
+
+fn compile_impl(source: &str, fold_constants: bool) -> Result<CompiledExpr, ExprError> {
     let source = source.trim();
     if source.is_empty() {
         return Err(ExprError::new("empty expression"));
     }
     let tokens = lexer::lex(source)?;
     let ast = parser::parse(&tokens)?;
-    let program = compile::compile_ast(&ast)?;
+    // Typecheck the full unfolded tree first: folding can collapse a dead
+    // branch (`false && title < 5`), and a branch that is ill-typed must
+    // stay an error even when a constant makes it unreachable.
+    let unfolded = compile::compile_ast(&ast)?;
+    let (ast, program) = if fold_constants {
+        let folded = fold::fold(&ast);
+        let program = compile::compile_ast(&folded)?;
+        (folded, program)
+    } else {
+        (ast, unfolded)
+    };
+    // The admission analyses run on the (possibly folded) tree: folding is
+    // semantics-preserving, and pruning a constant-false disjunct can only
+    // tighten the conservative CNF / attribute requirements.
     Ok(CompiledExpr {
         source: source.to_string(),
         program: Arc::new(program),
@@ -258,6 +284,82 @@ mod tests {
         ] {
             assert!(compile(bad).is_err(), "expected compile error for {bad:?}");
         }
+    }
+
+    #[test]
+    fn folding_collapses_literal_subexpressions() {
+        // A tautological disjunct folds the whole expression to one opcode.
+        let folded = compile("1 < 2 || title ~ /rug/").unwrap();
+        assert_eq!(folded.program().len(), 1);
+        let unfolded = compile_unfolded("1 < 2 || title ~ /rug/").unwrap();
+        assert!(unfolded.program().len() > 1);
+        // Literal arithmetic folds into the comparison constant.
+        let folded = compile("price < 10 + 5 * 2").unwrap();
+        let unfolded = compile_unfolded("price < 10 + 5 * 2").unwrap();
+        assert!(folded.program().len() < unfolded.program().len());
+        let p = product("x", &[("Price", "15")]);
+        let prepared = PreparedProduct::new(&p);
+        assert!(folded.matches_prepared(&prepared));
+        assert_eq!(folded.matches_prepared(&prepared), unfolded.matches_prepared(&prepared));
+    }
+
+    #[test]
+    fn folding_matches_vm_semantics_on_literal_cases() {
+        let p = product("anything", &[]);
+        let prepared = PreparedProduct::new(&p);
+        for (src, expected) in [
+            // Exact numeric equality, not epsilon.
+            ("1 == 1.0", true),
+            ("19.999999999 == 20", false),
+            // IEEE division: /0 is inf, 0/0 is NaN and NaN fails comparisons.
+            ("10 / 0 > 1000000", true),
+            ("0 / 0 == 0 / 0", false),
+            ("-(3 - 5) == 2", true),
+            // Case-folded string comparison.
+            (r#""Apple" == "APPLE""#, true),
+            (r#""a" != "b""#, true),
+            // Literal regex match runs on the folded string.
+            (r#""Braided Rug" ~ /rug/"#, true),
+            (r#""mat" ~ /rug/"#, false),
+            // Literal membership: exact numbers, folded strings.
+            ("3 in [1, 2, 3]", true),
+            ("3.5 in [1, 2, 3]", false),
+            (r#""MAT" in ["mat", "rug"]"#, true),
+            // NaN != NaN is IEEE-true, so the negation kills the conjunction.
+            ("1 < 2 && !(0 / 0 != 0 / 0)", false),
+        ] {
+            let folded = compile(src).expect(src);
+            // Each of these is literal-only: it must fold to a single
+            // PushBool, and agree with the unfolded program.
+            assert_eq!(folded.program().len(), 1, "not fully folded: {src}");
+            assert_eq!(folded.matches_prepared(&prepared), expected, "{src}");
+            let unfolded = compile_unfolded(src).expect(src);
+            assert_eq!(unfolded.matches_prepared(&prepared), expected, "unfolded disagrees: {src}");
+        }
+    }
+
+    #[test]
+    fn folding_never_masks_errors_in_dead_branches() {
+        for bad in [
+            "2 < 1 && title < 5",      // dead right branch, ill-typed
+            "1 < 2 || price in []",    // dead right branch, empty list
+            "2 < 1 && 5 ~ /x/",        // dead branch with a non-string match
+            r#"1 < 2 || 5 == "five""#, // dead branch, mixed equality
+        ] {
+            assert!(compile(bad).is_err(), "expected compile error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn folding_a_constant_false_disjunct_recovers_admission_requirements() {
+        // Unfolded, the `||` merge sees a literal-free disjunct and drops the
+        // requirement; folding prunes the impossible branch first.
+        let folded = compile("title ~ /rug/ || 2 < 1").unwrap();
+        assert_eq!(folded.required_literals(), &[vec!["rug".to_string()]]);
+        let unfolded = compile_unfolded("title ~ /rug/ || 2 < 1").unwrap();
+        assert!(unfolded.required_literals().is_empty());
+        let folded = compile("price < 5 || 2 < 1").unwrap();
+        assert_eq!(folded.required_attrs(), &["Price".to_string()]);
     }
 
     #[test]

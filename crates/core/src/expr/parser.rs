@@ -75,6 +75,10 @@ pub enum BinOp {
 pub enum Expr {
     /// Numeric literal.
     Num(f64),
+    /// Boolean literal. The surface language has no `true`/`false` tokens —
+    /// this variant is produced only by the constant-folding pass when a
+    /// literal-only boolean subexpression collapses.
+    Bool(bool),
     /// String literal (raw).
     Str(String),
     /// The product title (case-folded at evaluation time).

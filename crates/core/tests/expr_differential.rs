@@ -115,6 +115,64 @@ fn bytecode_agrees_with_interpreter_on_every_condition() {
     }
 }
 
+/// Expressions mixing literal-only subtrees with product references —
+/// fodder for the constant folder. Each must evaluate identically with and
+/// without folding on every product.
+fn constant_heavy_corpus() -> Vec<&'static str> {
+    vec![
+        "price < 10 + 5 * 2",
+        "price / 2 + 5 <= 20 && 1 < 2",
+        "2 < 1 || title ~ /rug/",
+        "1 < 2 || title ~ /rug/",
+        "1 < 2 && title ~ /rug/",
+        "price < 20 && 2 < 1",
+        r#""A" == "a" && has(ISBN)"#,
+        r#""A" != "a" || has(ISBN)"#,
+        "vendor in [0, 7, 12] && 3 in [1, 2, 3]",
+        "vendor in [0, 7, 12] && 4 in [1, 2, 3]",
+        "!(2 < 1) && price != 20",
+        "!(1 < 2) || !(price < 20)",
+        "0 / 0 == 0 / 0 || price < 20",
+        "10 / 0 > 1000000 && has(Pages)",
+        "-(3 - 5) == 2 && vendor == 7",
+        r#""braided rug" ~ /braided/ && title ~ /rug/"#,
+        r#"category in ["rug", "mat"] || "MAT" in ["mat"]"#,
+        "price * 1 + 0 < 7 * 3",
+        "(1 < 2 || price < 5) && (2 < 1 || price > 1)",
+    ]
+}
+
+#[test]
+fn folded_bytecode_agrees_with_unfolded_on_every_product() {
+    let taxonomy = Taxonomy::builtin();
+    let mut generator = CatalogGenerator::with_seed(taxonomy, 0xF01D);
+    let mut products: Vec<Product> =
+        generator.generate(400).into_iter().map(|i| i.product).collect();
+    products.extend(adversarial_products());
+
+    for src in constant_heavy_corpus() {
+        let folded = rulekit_core::expr::compile(src).expect(src);
+        let unfolded = rulekit_core::expr::compile_unfolded(src).expect(src);
+        // Folding must never grow the program.
+        assert!(
+            folded.program().len() <= unfolded.program().len(),
+            "folding grew `{src}`: {} -> {} instructions",
+            unfolded.program().len(),
+            folded.program().len(),
+        );
+        for p in &products {
+            let prepared = PreparedProduct::new(p);
+            assert_eq!(
+                folded.matches_prepared(&prepared),
+                unfolded.matches_prepared(&prepared),
+                "folded vs unfolded disagree for `{src}` on {:?} {:?}",
+                p.title,
+                p.attributes,
+            );
+        }
+    }
+}
+
 #[test]
 fn bytecode_agrees_with_interpreter_on_parsed_dsl() {
     // Same property through the DSL front door: every parsed rule (legacy

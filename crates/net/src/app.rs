@@ -22,6 +22,28 @@ use rulekit_serve::{ChimeraProvider, DurableProvider, RuleService, ServeConfig};
 use rulekit_store::{DurableConfig, DurableRepository, Storage, StoreError};
 use std::sync::Arc;
 
+/// What a replication role exposes to the HTTP surface: `/health` renders
+/// it, and the mutation routes consult [`ReplicationInfo::accepts_writes`]
+/// so followers answer rule edits with 409 instead of silently forking
+/// their catalog from the leader's. Implemented by `rulekit-repl`'s leader
+/// and follower handles; `net` itself only consumes the trait.
+pub trait ReplicationInfo: Send + Sync {
+    /// `"leader"` or `"follower"`.
+    fn role(&self) -> &'static str;
+    /// Leader: `"leading"`. Follower: `"syncing"` / `"tailing"` /
+    /// `"stale"`.
+    fn state(&self) -> &'static str;
+    /// Highest WAL revision applied locally.
+    fn last_applied(&self) -> u64;
+    /// Highest revision known at the leader (for followers: last heard via
+    /// the record/heartbeat stream; 0 before the first contact).
+    fn leader_seq(&self) -> u64;
+    /// Whether this node accepts rule mutations. Only the leader does.
+    fn accepts_writes(&self) -> bool {
+        self.role() == "leader"
+    }
+}
+
 /// Everything the HTTP handlers need, bundled. Construct with
 /// [`RuleApp::durable`] (production shape) or [`RuleApp::in_memory`]
 /// (tests, benchmarks, ephemeral demos).
@@ -38,6 +60,9 @@ pub struct RuleApp {
     pub taxonomy: Arc<Taxonomy>,
     /// The shared metrics registry `/metrics` renders.
     pub registry: Arc<Registry>,
+    /// Replication role, when this app is part of a replica set (set via
+    /// [`RuleApp::with_replication`] after the repl layer starts).
+    pub replication: Option<Arc<dyn ReplicationInfo>>,
 }
 
 impl RuleApp {
@@ -56,7 +81,15 @@ impl RuleApp {
         let provider = Arc::new(DurableProvider::open(chimera, storage, store_cfg)?);
         let store = provider.store().clone();
         let service = RuleService::start_with_registry(provider, serve_cfg, registry.clone());
-        Ok(RuleApp { service, store: Some(store), rules, parser, taxonomy, registry })
+        Ok(RuleApp {
+            service,
+            store: Some(store),
+            rules,
+            parser,
+            taxonomy,
+            registry,
+            replication: None,
+        })
     }
 
     /// An in-memory app: rule edits apply immediately but do not survive a
@@ -68,7 +101,14 @@ impl RuleApp {
         let rules = chimera.rules.clone();
         let provider = Arc::new(ChimeraProvider::new(chimera));
         let service = RuleService::start_with_registry(provider, serve_cfg, registry.clone());
-        RuleApp { service, store: None, rules, parser, taxonomy, registry }
+        RuleApp { service, store: None, rules, parser, taxonomy, registry, replication: None }
+    }
+
+    /// Attaches a replication role: `/health` gains the role block and
+    /// rule mutations are rejected with 409 unless the role accepts writes.
+    pub fn with_replication(mut self, info: Arc<dyn ReplicationInfo>) -> RuleApp {
+        self.replication = Some(info);
+        self
     }
 
     /// Adds DSL rules through the durable path when there is one. On `Ok`

@@ -145,6 +145,9 @@ fn classify_batch(state: &ServerState, items: &[Json]) -> Response {
 /// same DSL path — and therefore the same WAL/recovery story — as every
 /// other rule. Durable apps WAL-log every rule before this returns 201.
 fn create_rules(state: &ServerState, req: &Request) -> Response {
+    if let Some(resp) = reject_non_leader_write(state) {
+        return resp;
+    }
     let doc = match Json::parse(&req.body) {
         Ok(v) => v,
         Err(e) => return Response::json(400, error_json(&e.to_string())),
@@ -215,8 +218,27 @@ fn get_rule(state: &ServerState, id: u64) -> Response {
     }
 }
 
+/// Followers mirror the leader's WAL; a locally-applied edit would fork
+/// their catalog, so mutation routes answer 409 and name the write target.
+fn reject_non_leader_write(state: &ServerState) -> Option<Response> {
+    match &state.app.replication {
+        Some(repl) if !repl.accepts_writes() => Some(Response::json(
+            409,
+            error_json(&format!(
+                "this node is a {} ({}); rule writes go to the leader",
+                repl.role(),
+                repl.state()
+            )),
+        )),
+        _ => None,
+    }
+}
+
 /// `DELETE /rulesets/{id}` — durable apps WAL-log the removal first.
 fn delete_rule(state: &ServerState, id: u64) -> Response {
+    if let Some(resp) = reject_non_leader_write(state) {
+        return resp;
+    }
     match state.app.remove_rule(RuleId(id), "removed via api") {
         Ok(true) => {
             let body = obj(vec![("removed", Json::from(true)), ("id", Json::from(id))]);
@@ -229,7 +251,8 @@ fn delete_rule(state: &ServerState, id: u64) -> Response {
 
 /// `GET /health` — liveness plus the overload signals an operator (or load
 /// balancer) keys on: snapshot version, degradation state, per-shard queue
-/// depths.
+/// depths, and — on replicated nodes — the replication role block a front
+/// tier keys staleness routing on.
 fn health(state: &ServerState) -> Response {
     let service = &state.app.service;
     let status = if state.is_draining() {
@@ -241,16 +264,36 @@ fn health(state: &ServerState) -> Response {
     };
     let shard_depths: Vec<Json> =
         service.service_metrics().shard_depths().into_iter().map(|d| Json::Num(d as f64)).collect();
-    let body = obj(vec![
+    let mut fields = vec![
         ("status", Json::from(status)),
         ("snapshot_version", Json::from(service.snapshot_version())),
         ("snapshot_swaps", Json::from(service.swap_count())),
         ("degraded", Json::from(service.is_degraded())),
+        ("degradation", Json::from(if service.is_degraded() { "rules_only" } else { "none" })),
         ("queue_depth", Json::from(service.queue_depth() as u64)),
         ("shard_queue_depths", Json::Arr(shard_depths)),
         ("rules", Json::from(state.app.rules.len() as u64)),
-    ]);
-    Response::json(200, body.render())
+        // Hex-rendered: JSON numbers are f64 and would round a u64 digest.
+        (
+            "catalog_hash",
+            Json::from(format!("{:016x}", rulekit_store::catalog_hash(&state.app.rules))),
+        ),
+    ];
+    if let Some(repl) = &state.app.replication {
+        let (last_applied, leader_seq) = (repl.last_applied(), repl.leader_seq());
+        fields.push((
+            "replication",
+            obj(vec![
+                ("role", Json::from(repl.role())),
+                ("state", Json::from(repl.state())),
+                ("last_applied_seq", Json::from(last_applied)),
+                ("leader_seq", Json::from(leader_seq)),
+                ("seq_delta", Json::from(leader_seq.saturating_sub(last_applied))),
+                ("accepts_writes", Json::from(repl.accepts_writes())),
+            ]),
+        ));
+    }
+    Response::json(200, obj(fields).render())
 }
 
 /// `GET /metrics` — the shared registry's Prometheus text exposition.

@@ -37,7 +37,9 @@
 //!   registry.
 
 pub mod app;
+pub mod backoff;
 pub mod client;
+pub mod front;
 pub mod handler;
 pub mod http;
 pub mod json;
@@ -46,8 +48,10 @@ pub mod router;
 pub mod server;
 pub mod wire;
 
-pub use app::RuleApp;
-pub use client::{ClientResponse, HttpClient};
+pub use app::{ReplicationInfo, RuleApp};
+pub use backoff::Backoff;
+pub use client::{ClientResponse, HttpClient, RetryPolicy};
+pub use front::{BreakerConfig, FrontConfig, FrontError, FrontTier};
 pub use http::{
     parse_request, parse_response, HttpError, HttpLimits, Method, ParseOutcome, Request, Response,
 };

@@ -1,0 +1,256 @@
+//! The replication wire protocol: length-prefixed, CRC-32-framed messages
+//! over a plain TCP stream, reusing the store's binary codec so the whole
+//! stack has exactly one encoding discipline.
+//!
+//! Frame layout (everything little-endian):
+//!
+//! ```text
+//! [payload_len: u32][crc32(payload): u32][payload]
+//! payload = [kind: u8][kind-specific fields]
+//! ```
+//!
+//! Kinds:
+//!
+//! | kind | name      | direction         | fields                                          |
+//! |-----:|-----------|-------------------|-------------------------------------------------|
+//! | 1    | Hello     | follower → leader | proto version u32, last_seq u64, force_snap u8  |
+//! | 2    | Snapshot  | leader → follower | ts_nanos u64, `CheckpointData::encode` bytes    |
+//! | 3    | Record    | leader → follower | ts_nanos u64, one `WalRecord::encode_frame`     |
+//! | 4    | Heartbeat | leader → follower | ts_nanos u64, leader_seq u64                    |
+//!
+//! A `Record` payload embeds the record's *WAL frame* (the record's own
+//! length, CRC, and payload), so a shipped record is covered by two
+//! independent checksums and the follower appends the exact bytes the
+//! leader logged. Torn or corrupt frames surface as
+//! [`StoreError::Corrupt`]; transport failures as [`StoreError::Io`] — the
+//! session loop treats both as "drop the connection and resync", never a
+//! panic.
+
+use rulekit_store::codec::{put_u32, put_u64, Cursor};
+use rulekit_store::{crc32, CheckpointData, StoreError, WalRecord};
+use std::io::{Read, Write};
+
+/// Protocol version in `Hello`; a leader refuses mismatches so a frame
+/// layout change cannot be half-understood.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Frame size ceiling — generous because a `Snapshot` carries the full
+/// catalog (the WAL's own per-record ceiling is 16 MB).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+const KIND_HELLO: u8 = 1;
+const KIND_SNAPSHOT: u8 = 2;
+const KIND_RECORD: u8 = 3;
+const KIND_HEARTBEAT: u8 = 4;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Follower's opening message: where its log ends and whether it wants
+    /// a full snapshot regardless (the divergence-recovery path).
+    Hello { last_seq: u64, force_snapshot: bool },
+    /// Full-catalog catch-up image; the follower installs it and resumes
+    /// the stream from the snapshot's revision.
+    Snapshot { ts_nanos: u64, data: CheckpointData },
+    /// One WAL record, as the leader logged it.
+    Record { ts_nanos: u64, record: WalRecord },
+    /// Liveness + lag signal while the log is idle.
+    Heartbeat { ts_nanos: u64, leader_seq: u64 },
+}
+
+impl Frame {
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Frame::Hello { last_seq, force_snapshot } => {
+                out.push(KIND_HELLO);
+                put_u32(&mut out, PROTO_VERSION);
+                put_u64(&mut out, *last_seq);
+                out.push(u8::from(*force_snapshot));
+            }
+            Frame::Snapshot { ts_nanos, data } => {
+                out.push(KIND_SNAPSHOT);
+                put_u64(&mut out, *ts_nanos);
+                out.extend_from_slice(&data.encode());
+            }
+            Frame::Record { ts_nanos, record } => {
+                out.push(KIND_RECORD);
+                put_u64(&mut out, *ts_nanos);
+                out.extend_from_slice(&record.encode_frame());
+            }
+            Frame::Heartbeat { ts_nanos, leader_seq } => {
+                out.push(KIND_HEARTBEAT);
+                put_u64(&mut out, *ts_nanos);
+                put_u64(&mut out, *leader_seq);
+            }
+        }
+        out
+    }
+
+    /// Serializes into a complete wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Frame, StoreError> {
+        let mut c = Cursor::new(payload);
+        let kind = c.get_u8()?;
+        match kind {
+            KIND_HELLO => {
+                let version = c.get_u32()?;
+                if version != PROTO_VERSION {
+                    return Err(StoreError::Corrupt(format!(
+                        "protocol version mismatch: peer speaks {version}, this node {PROTO_VERSION}"
+                    )));
+                }
+                let last_seq = c.get_u64()?;
+                let force_snapshot = c.get_u8()? != 0;
+                expect_drained(&c)?;
+                Ok(Frame::Hello { last_seq, force_snapshot })
+            }
+            KIND_SNAPSHOT => {
+                let ts_nanos = c.get_u64()?;
+                let data = CheckpointData::decode(c.rest())?;
+                Ok(Frame::Snapshot { ts_nanos, data })
+            }
+            KIND_RECORD => {
+                let ts_nanos = c.get_u64()?;
+                let record = WalRecord::decode_frame(c.rest())?;
+                Ok(Frame::Record { ts_nanos, record })
+            }
+            KIND_HEARTBEAT => {
+                let ts_nanos = c.get_u64()?;
+                let leader_seq = c.get_u64()?;
+                expect_drained(&c)?;
+                Ok(Frame::Heartbeat { ts_nanos, leader_seq })
+            }
+            other => Err(StoreError::Corrupt(format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+fn expect_drained(c: &Cursor<'_>) -> Result<(), StoreError> {
+    if c.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!("{} trailing frame bytes", c.remaining())));
+    }
+    Ok(())
+}
+
+/// Writes one frame (buffered by the caller's stream; flushed here).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Reads one frame, verifying length bound and checksum. Blocks up to the
+/// stream's read timeout; a timeout surfaces as [`StoreError::Io`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, StoreError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(StoreError::Corrupt(format!("implausible frame length {len}")));
+    }
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(StoreError::Corrupt("frame checksum mismatch".into()));
+    }
+    Frame::decode_payload(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rulekit_store::{CheckpointRule, WalOp};
+
+    fn sample_record() -> WalRecord {
+        WalRecord {
+            revision: 42,
+            op: WalOp::Add {
+                id: 7,
+                source: "rings? -> rings".into(),
+                author: "analyst".into(),
+                provenance: 0,
+                status: 0,
+                confidence: 0.9,
+                added_at: 41,
+            },
+        }
+    }
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame.encode();
+        let mut cursor = &bytes[..];
+        let decoded = read_frame(&mut cursor).expect("roundtrip");
+        assert_eq!(decoded, frame);
+        assert!(cursor.is_empty(), "frame self-describes its length");
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(Frame::Hello { last_seq: 9, force_snapshot: true });
+        roundtrip(Frame::Heartbeat { ts_nanos: 123, leader_seq: 5 });
+        roundtrip(Frame::Record { ts_nanos: 7, record: sample_record() });
+        roundtrip(Frame::Snapshot {
+            ts_nanos: 1,
+            data: CheckpointData {
+                revision: 3,
+                next_id: 4,
+                rules: vec![CheckpointRule {
+                    id: 1,
+                    source: "rings? -> rings".into(),
+                    author: String::new(),
+                    provenance: 0,
+                    status: 0,
+                    confidence: 1.0,
+                    added_at: 0,
+                }],
+            },
+        });
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_errors_not_panics() {
+        let bytes = Frame::Heartbeat { ts_nanos: 1, leader_seq: 2 }.encode();
+        // Torn at every prefix length.
+        for cut in 0..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            assert!(read_frame(&mut cursor).is_err(), "cut at {cut} must fail");
+        }
+        // Any single flipped bit fails the checksum (or the parse).
+        for byte in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 0x10;
+            let mut cursor = &bad[..];
+            assert!(read_frame(&mut cursor).is_err(), "flip in byte {byte} must fail");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = Frame::Hello { last_seq: 0, force_snapshot: false }.encode();
+        bytes[9] = 99; // version field, first payload byte after kind
+                       // Re-stamp the CRC so only the version check can object.
+        let crc = crc32(&bytes[8..]);
+        bytes[4..8].copy_from_slice(&crc.to_le_bytes());
+        let mut cursor = &bytes[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = vec![];
+        put_u32(&mut bytes, MAX_FRAME + 1);
+        put_u32(&mut bytes, 0);
+        let mut cursor = &bytes[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

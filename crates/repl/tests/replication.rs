@@ -1,0 +1,363 @@
+//! End-to-end replication: an in-process leader with two followers
+//! (convergence, crash/resume-by-records, lag metrics), and the
+//! acceptance-path multi-process test — one leader and two follower
+//! *processes*, an edit landing over HTTP and becoming visible on both
+//! followers within bounded lag, then a follower killed and restarted and
+//! returning to `tailing` with an identical catalog hash.
+
+use rulekit_core::RuleMeta;
+use rulekit_core::RuleParser;
+use rulekit_data::Taxonomy;
+use rulekit_net::HttpClient;
+use rulekit_obs::Registry;
+use rulekit_repl::{FollowerConfig, FollowerState, LeaderConfig, ReplFollower, ReplLeader};
+use rulekit_store::{catalog_hash, DurableConfig, DurableRepository, MemStorage, Storage};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn parser() -> RuleParser {
+    RuleParser::new(Taxonomy::builtin())
+}
+
+fn open_store(storage: &Arc<MemStorage>) -> Arc<DurableRepository> {
+    Arc::new(
+        DurableRepository::open(
+            Arc::clone(storage) as Arc<dyn Storage>,
+            parser(),
+            DurableConfig::default(),
+        )
+        .expect("open store"),
+    )
+}
+
+fn fast_follower_cfg(leader_addr: SocketAddr, seed: u64) -> FollowerConfig {
+    let mut cfg = FollowerConfig::new(leader_addr);
+    cfg.heartbeat_deadline = Duration::from_millis(400);
+    cfg.backoff_base = Duration::from_millis(10);
+    cfg.backoff_cap = Duration::from_millis(100);
+    cfg.seed = seed;
+    cfg
+}
+
+fn fast_leader_cfg() -> LeaderConfig {
+    LeaderConfig { heartbeat: Duration::from_millis(50), ..Default::default() }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(cond(), "timed out waiting for {what}");
+}
+
+#[test]
+fn leader_and_two_followers_converge_then_crashed_follower_resumes_by_records() {
+    let leader_store = open_store(&Arc::new(MemStorage::new()));
+    let leader_registry = Registry::new();
+    let leader = ReplLeader::start(leader_store.clone(), fast_leader_cfg(), &leader_registry)
+        .expect("leader start");
+
+    // Two edits land *before* any follower exists: follower 1 must catch up
+    // from history (here: ring replay from revision 0).
+    leader_store.add_rules("rings? -> rings\n", &RuleMeta::default()).unwrap();
+    leader_store.add_rules("sofas? -> sofas\n", &RuleMeta::default()).unwrap();
+
+    let f1_storage = Arc::new(MemStorage::new());
+    let f1_store = open_store(&f1_storage);
+    let f1_registry = Registry::new();
+    let f1 = ReplFollower::start(
+        f1_store.clone(),
+        fast_follower_cfg(leader.local_addr(), 1),
+        &f1_registry,
+    );
+
+    let f2_storage = Arc::new(MemStorage::new());
+    let f2_store = open_store(&f2_storage);
+    let f2_registry = Registry::new();
+    let f2 = ReplFollower::start(
+        f2_store.clone(),
+        fast_follower_cfg(leader.local_addr(), 2),
+        &f2_registry,
+    );
+
+    let target = catalog_hash(leader_store.repository());
+    wait_until("both followers converge", Duration::from_secs(10), || {
+        catalog_hash(f1_store.repository()) == target
+            && catalog_hash(f2_store.repository()) == target
+    });
+    assert!(f1.wait_for_state(FollowerState::Tailing, Duration::from_secs(5)));
+    assert!(f2.wait_for_state(FollowerState::Tailing, Duration::from_secs(5)));
+
+    // Lag instrumentation recorded something and the delta gauge settled at 0.
+    assert!(f1_registry.histogram("rulekit_repl_edit_visibility_lag_nanos").count() > 0);
+    assert_eq!(f1_registry.gauge("rulekit_repl_seq_delta").value(), 0);
+    assert_eq!(leader.connected_followers(), 2);
+
+    // Crash follower 2 (drop thread + store), keep editing, reopen from the
+    // same storage: it must resume from its own WAL position via record
+    // replay — no snapshot needed, nothing applied twice.
+    drop(f2);
+    drop(f2_store);
+    leader_store.add_rules("rugs? -> area rugs\n", &RuleMeta::default()).unwrap();
+    leader_store.add_rules("wedding bands? -> rings\n", &RuleMeta::default()).unwrap();
+
+    let f2_store = open_store(&f2_storage);
+    let resumed_from = f2_store.repository().revision();
+    assert!(resumed_from >= 2, "follower WAL must have persisted replicated records");
+    let f2_registry = Registry::new();
+    let f2 = ReplFollower::start(
+        f2_store.clone(),
+        fast_follower_cfg(leader.local_addr(), 3),
+        &f2_registry,
+    );
+    let target = catalog_hash(leader_store.repository());
+    wait_until("restarted follower reconverges", Duration::from_secs(10), || {
+        catalog_hash(f2_store.repository()) == target
+    });
+    assert!(f2.wait_for_state(FollowerState::Tailing, Duration::from_secs(5)));
+    assert_eq!(
+        f2_registry.counter("rulekit_repl_snapshots_installed_total").value(),
+        0,
+        "a briefly-absent follower resumes by records, not snapshot"
+    );
+    assert!(f2_registry.counter("rulekit_repl_records_applied_total").value() > 0);
+
+    drop(f1);
+    drop(f2);
+    let mut leader = leader;
+    leader.shutdown();
+}
+
+/// A cold follower whose cursor predates the ring (tiny ring + many edits)
+/// catches up by snapshot, then tails.
+#[test]
+fn cold_follower_catches_up_by_snapshot_when_ring_is_too_short() {
+    let leader_store = open_store(&Arc::new(MemStorage::new()));
+    let leader_registry = Registry::new();
+    let cfg = LeaderConfig { ring_capacity: 2, ..fast_leader_cfg() };
+    let leader =
+        ReplLeader::start(leader_store.clone(), cfg, &leader_registry).expect("leader start");
+
+    for source in [
+        "rings? -> rings",
+        "sofas? -> sofas",
+        "rugs? -> area rugs",
+        "wedding bands? -> rings",
+        "necklaces? -> necklaces",
+    ] {
+        leader_store.add_rules(source, &RuleMeta::default()).unwrap();
+    }
+
+    let f_store = open_store(&Arc::new(MemStorage::new()));
+    let f_registry = Registry::new();
+    let f = ReplFollower::start(
+        f_store.clone(),
+        fast_follower_cfg(leader.local_addr(), 7),
+        &f_registry,
+    );
+    let target = catalog_hash(leader_store.repository());
+    wait_until("snapshot catch-up", Duration::from_secs(10), || {
+        catalog_hash(f_store.repository()) == target
+    });
+    assert!(f.wait_for_state(FollowerState::Tailing, Duration::from_secs(5)));
+    assert!(
+        f_registry.counter("rulekit_repl_snapshots_installed_total").value() >= 1,
+        "cursor 0 with a 2-entry ring must go through snapshot catch-up"
+    );
+
+    // And it keeps tailing after the snapshot: a fresh edit arrives as a
+    // record.
+    let applied_before = f_registry.counter("rulekit_repl_records_applied_total").value();
+    leader_store.add_rules("lamps? -> NOT rings", &RuleMeta::default()).unwrap();
+    let target = catalog_hash(leader_store.repository());
+    wait_until("post-snapshot tailing", Duration::from_secs(10), || {
+        catalog_hash(f_store.repository()) == target
+    });
+    assert!(f_registry.counter("rulekit_repl_records_applied_total").value() > applied_before);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process acceptance path
+// ---------------------------------------------------------------------------
+
+struct NodeProc {
+    child: Child,
+    http: SocketAddr,
+    repl: Option<SocketAddr>,
+}
+
+impl NodeProc {
+    fn spawn(args: &[&str]) -> NodeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_repl_node"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn repl_node");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = std::io::BufRead::lines(std::io::BufReader::new(stdout));
+        let mut http = None;
+        let mut repl = None;
+        for line in lines.by_ref() {
+            let line = line.expect("read child stdout");
+            if let Some(addr) = line.strip_prefix("HTTP ") {
+                http = Some(addr.parse().expect("http addr"));
+            } else if let Some(addr) = line.strip_prefix("REPL ") {
+                repl = Some(addr.parse().expect("repl addr"));
+            } else if line == "READY" {
+                break;
+            }
+        }
+        // Keep draining stdout in the background so the child never blocks
+        // on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        NodeProc { child, http: http.expect("child printed HTTP addr"), repl }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Graceful stop: close stdin, wait for exit.
+    fn stop(&mut self) {
+        drop(self.child.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn http(addr: SocketAddr) -> HttpClient {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match HttpClient::connect(addr, Duration::from_secs(5)) {
+            Ok(c) => return c,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "cannot reach {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn get_health(addr: SocketAddr) -> String {
+    let mut c = http(addr);
+    let r = c.get("/health").expect("GET /health");
+    assert_eq!(r.status, 200, "{}", r.text());
+    r.text().to_string()
+}
+
+fn json_str_field(body: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = body.find(&tag)? + tag.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+fn tmp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rulekit-repl-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.to_string_lossy().into_owned()
+}
+
+#[test]
+fn multi_process_cluster_replicates_edits_and_survives_follower_restart() {
+    let leader_dir = tmp_dir("leader");
+    let f1_dir = tmp_dir("f1");
+    let f2_dir = tmp_dir("f2");
+
+    let mut leader = NodeProc::spawn(&["leader", "--dir", &leader_dir]);
+    let repl_addr = leader.repl.expect("leader prints repl addr").to_string();
+    let mut f1 = NodeProc::spawn(&["follower", "--dir", &f1_dir, "--leader", &repl_addr]);
+    let mut f2 = NodeProc::spawn(&["follower", "--dir", &f2_dir, "--leader", &repl_addr]);
+
+    // Roles and write fencing: the leader takes the edit, a follower
+    // answers 409.
+    let mut lc = http(leader.http);
+    let health = get_health(leader.http);
+    assert!(health.contains("\"role\":\"leader\""), "{health}");
+    let mut fc = http(f1.http);
+    let rejected = fc.post_json("/rulesets", "{\"rules\": \"rings? -> rings\\n\"}").unwrap();
+    assert_eq!(rejected.status, 409, "{}", rejected.text());
+
+    // The edit lands on the leader over HTTP…
+    let edited_at = Instant::now();
+    let created = lc
+        .post_json("/rulesets", "{\"rules\": \"rings? -> rings\\n\", \"author\": \"ops\"}")
+        .unwrap();
+    assert_eq!(created.status, 201, "{}", created.text());
+
+    // …and must become *classify-visible* on both followers within bounded
+    // lag (replication + snapshot swap).
+    let lag_bound = Duration::from_secs(10);
+    for follower in [f1.http, f2.http] {
+        let mut c = http(follower);
+        wait_until("edit visible on follower", lag_bound, || {
+            let r = c
+                .post_json("/classify", "{\"title\": \"diamond wedding ring\"}")
+                .expect("classify");
+            assert_eq!(r.status, 200, "{}", r.text());
+            r.text().contains("\"type\":\"rings\"")
+        });
+    }
+    let visibility_lag = edited_at.elapsed();
+    assert!(visibility_lag < lag_bound, "visibility lag {visibility_lag:?} out of bounds");
+
+    // Both followers report tailing and the leader's exact catalog hash.
+    let leader_hash = json_str_field(&get_health(leader.http), "catalog_hash").unwrap();
+    for follower in [f1.http, f2.http] {
+        wait_until("follower tails at leader hash", Duration::from_secs(10), || {
+            let h = get_health(follower);
+            json_str_field(&h, "catalog_hash").as_deref() == Some(leader_hash.as_str())
+                && h.contains("\"state\":\"tailing\"")
+                && h.contains("\"accepts_writes\":false")
+        });
+    }
+
+    // The replication series ride the same /metrics endpoint as everything
+    // else: the lag histogram and seq-delta gauge must be present in the
+    // text exposition on a follower.
+    let mut mc = http(f1.http);
+    let metrics = mc.get("/metrics").expect("GET /metrics");
+    assert_eq!(metrics.status, 200, "{}", metrics.text());
+    let body = metrics.text();
+    for series in ["rulekit_repl_seq_delta", "rulekit_repl_edit_visibility_lag_nanos"] {
+        assert!(body.contains(series), "/metrics missing {series}:\n{body}");
+    }
+
+    // Kill follower 2 outright (SIGKILL — no graceful anything), land more
+    // edits, restart it on the same directory: it must recover its WAL,
+    // resync, and return to tailing with the leader's hash.
+    f2.kill();
+    for body in ["{\"rules\": \"sofas? -> sofas\\n\"}", "{\"rules\": \"rugs? -> area rugs\\n\"}"] {
+        let r = lc.post_json("/rulesets", body).unwrap();
+        assert_eq!(r.status, 201, "{}", r.text());
+    }
+    let mut f2 = NodeProc::spawn(&["follower", "--dir", &f2_dir, "--leader", &repl_addr]);
+    let leader_hash = json_str_field(&get_health(leader.http), "catalog_hash").unwrap();
+    wait_until("restarted follower reconverges", Duration::from_secs(15), || {
+        let h = get_health(f2.http);
+        json_str_field(&h, "catalog_hash").as_deref() == Some(leader_hash.as_str())
+            && h.contains("\"state\":\"tailing\"")
+    });
+
+    f1.stop();
+    f2.stop();
+    leader.stop();
+    for dir in [leader_dir, f1_dir, f2_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

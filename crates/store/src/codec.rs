@@ -1,30 +1,30 @@
-//! Minimal hand-rolled binary encoding shared by the WAL and checkpoint
-//! formats: little-endian fixed-width integers and u32-length-prefixed
-//! UTF-8 strings. No serde offline; the format is deliberately trivial so
-//! corruption handling stays auditable.
+//! Minimal hand-rolled binary encoding shared by the WAL, checkpoint, and
+//! replication wire formats: little-endian fixed-width integers and
+//! u32-length-prefixed UTF-8 strings. No serde offline; the format is
+//! deliberately trivial so corruption handling stays auditable.
 
 use crate::storage::StoreError;
 
-pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
 /// A cursor over encoded bytes; every getter fails loudly on underrun so a
 /// truncated payload surfaces as [`StoreError::Corrupt`], never a panic.
-pub(crate) struct Cursor<'a> {
+pub struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
@@ -64,6 +64,14 @@ impl<'a> Cursor<'a> {
 
     pub fn get_f64(&mut self) -> Result<f64, StoreError> {
         Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Consumes and returns every remaining byte (for trailing
+    /// variable-length fields that carry their own framing).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        slice
     }
 
     pub fn get_str(&mut self) -> Result<String, StoreError> {

@@ -104,6 +104,52 @@ struct WriterState {
     last_checkpoint: CheckpointStats,
 }
 
+/// Observer invoked (under the mutation lock, so in exact log order) with
+/// every WAL record this repository acknowledges. Replication leaders hang
+/// their shipping log off this hook; keep the callback cheap — it runs on
+/// the mutating thread.
+pub type RecordSink = Arc<dyn Fn(&WalRecord) + Send + Sync>;
+
+/// What [`DurableRepository::apply_replicated`] did with a shipped record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The record was the next revision: logged locally and applied.
+    Applied,
+    /// The record's revision was already folded in (duplicate after a
+    /// resume); nothing logged, nothing applied.
+    Skipped,
+}
+
+/// Order-insensitive-free digest of the full rule catalog (id, source,
+/// status, metadata, revision, next id), FNV-1a over a canonical byte walk
+/// in id order. Two repositories with equal hashes hold identical rule
+/// state — the replication suite's divergence check.
+pub fn catalog_hash(repo: &RuleRepository) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let mut rules = repo.full_snapshot();
+    rules.sort_by_key(|r| r.id.0);
+    eat(&repo.revision().to_le_bytes());
+    eat(&repo.next_rule_id().to_le_bytes());
+    for r in &rules {
+        eat(&r.id.0.to_le_bytes());
+        eat(r.source.as_bytes());
+        eat(&[0xff, wal::encode_status(r.meta.status), wal::encode_provenance(r.meta.provenance)]);
+        eat(r.meta.author.as_bytes());
+        eat(&[0xfe]);
+        eat(&r.meta.confidence.to_bits().to_le_bytes());
+        eat(&r.meta.added_at.to_le_bytes());
+    }
+    h
+}
+
 /// A [`RuleRepository`] with a write-ahead log and checkpoints underneath.
 /// Reads go straight to [`DurableRepository::repository`]; all mutations
 /// must flow through this wrapper, which serializes them internally.
@@ -115,6 +161,7 @@ pub struct DurableRepository {
     state: Mutex<WriterState>,
     recovery: RecoveryReport,
     metrics: Option<Arc<StoreMetrics>>,
+    sink: Mutex<Option<RecordSink>>,
 }
 
 impl DurableRepository {
@@ -246,7 +293,23 @@ impl DurableRepository {
             }),
             recovery: report,
             metrics,
+            sink: Mutex::new(None),
         })
+    }
+
+    /// Installs (or clears) the acknowledged-record observer. The sink sees
+    /// every record logged *after* this call, in exact log order; a leader
+    /// that needs the records before the hookup reads them via
+    /// [`DurableRepository::snapshot_data`].
+    pub fn set_record_sink(&self, sink: Option<RecordSink>) {
+        *self.sink.lock().unwrap_or_else(|e| e.into_inner()) = sink;
+    }
+
+    fn emit(&self, record: &WalRecord) {
+        let guard = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(sink) = guard.as_ref() {
+            sink(record);
+        }
     }
 
     /// The durability telemetry handles, if this instance was opened
@@ -320,6 +383,7 @@ impl DurableRepository {
         let assigned = self.repo.add(spec, meta);
         debug_assert_eq!(assigned, RuleId(id));
         self.note_persisted_levels();
+        self.emit(&record);
         self.maybe_compact(st);
         Ok(assigned)
     }
@@ -409,8 +473,73 @@ impl DurableRepository {
         let applied = apply(&self.repo);
         debug_assert!(applied, "precondition checked under the mutation lock");
         self.note_persisted_levels();
+        self.emit(&record);
         self.maybe_compact(st);
         Ok(true)
+    }
+
+    /// Consistent full-catalog image (rules + next id + revision) under the
+    /// mutation lock, without writing anything. The leader serves this to
+    /// cold or gap-stranded followers as the catch-up snapshot.
+    pub fn snapshot_data(&self) -> CheckpointData {
+        let _st = self.lock_state();
+        self.build_checkpoint_data()
+    }
+
+    /// Replaces all local state with a leader-supplied snapshot: persists it
+    /// as a local checkpoint (temp → fsync → rename), restores the
+    /// repository from it, and resets the WAL. Afterwards the follower
+    /// resumes the record stream from `data.revision`. A snapshot *older*
+    /// than local state is installed too — the follower's contract is to
+    /// mirror the leader, even one that lost an unsynced tail in a crash.
+    pub fn install_snapshot(&self, data: &CheckpointData) -> Result<(), StoreError> {
+        let mut st = self.lock_state();
+        let rules = rebuild_rules(&self.parser, &data.rules)?;
+        checkpoint::write(&*self.storage, data)?;
+        self.repo.restore(rules, data.next_id, data.revision);
+        // Local WAL records are now ≤ the checkpoint revision (or orphaned
+        // divergent state being discarded); either way the reset is safe and
+        // a failure merely leaves redundant records that replay skips.
+        let _ = st.wal.reset();
+        checkpoint::housekeep(&*self.storage, &[], self.config.keep_checkpoints);
+        let stats = CheckpointStats {
+            revision: data.revision,
+            rules: data.rules.len(),
+            bytes: data.encode().len() as u64,
+        };
+        st.checkpoints_written += 1;
+        st.last_checkpoint = stats;
+        self.note_persisted_levels();
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+        }
+        Ok(())
+    }
+
+    /// Applies one leader-shipped record: duplicates (revision already
+    /// folded in) are skipped, the next revision is WAL-logged locally then
+    /// applied, and anything else — a gap, an id mismatch, a no-op replay —
+    /// is [`StoreError::Corrupt`], the follower's signal to resync from a
+    /// snapshot. Same log-then-apply contract as first-hand mutations, so a
+    /// follower restart recovers replicated edits from its *own* WAL.
+    pub fn apply_replicated(&self, record: &WalRecord) -> Result<ReplayOutcome, StoreError> {
+        let mut st = self.lock_state();
+        let current = self.repo.revision();
+        if record.revision <= current {
+            return Ok(ReplayOutcome::Skipped);
+        }
+        if record.revision != current + 1 {
+            return Err(StoreError::Corrupt(format!(
+                "replication gap: local revision {current}, shipped record {}",
+                record.revision
+            )));
+        }
+        st.wal.append(record)?;
+        apply_record(&self.repo, &self.parser, record)?;
+        self.note_persisted_levels();
+        self.emit(record);
+        self.maybe_compact(st);
+        Ok(ReplayOutcome::Applied)
     }
 
     fn maybe_compact(&self, st: MutexGuard<'_, WriterState>) {
@@ -433,24 +562,7 @@ impl DurableRepository {
         mut st: MutexGuard<'_, WriterState>,
     ) -> Result<CheckpointStats, StoreError> {
         let span = self.metrics.as_ref().map(|m| SpanTimer::start(&m.checkpoint_nanos));
-        // Consistent under the mutation lock: no writer can interleave.
-        let rules = self.repo.full_snapshot();
-        let data = CheckpointData {
-            revision: self.repo.revision(),
-            next_id: self.repo.next_rule_id(),
-            rules: rules
-                .iter()
-                .map(|r| CheckpointRule {
-                    id: r.id.0,
-                    source: r.source.clone(),
-                    author: r.meta.author.clone(),
-                    provenance: wal::encode_provenance(r.meta.provenance),
-                    status: wal::encode_status(r.meta.status),
-                    confidence: r.meta.confidence,
-                    added_at: r.meta.added_at,
-                })
-                .collect(),
-        };
+        let data = self.build_checkpoint_data();
         let bytes = data.encode().len() as u64;
         checkpoint::write(&*self.storage, &data)?;
         // Checkpoint is published; stale WAL records are now redundant
@@ -468,6 +580,29 @@ impl DurableRepository {
             span.finish();
         }
         Ok(stats)
+    }
+
+    /// Consistent catalog image. Callers must hold the mutation lock (or
+    /// accept a torn read — no internal callers do).
+    fn build_checkpoint_data(&self) -> CheckpointData {
+        CheckpointData {
+            revision: self.repo.revision(),
+            next_id: self.repo.next_rule_id(),
+            rules: self
+                .repo
+                .full_snapshot()
+                .iter()
+                .map(|r| CheckpointRule {
+                    id: r.id.0,
+                    source: r.source.clone(),
+                    author: r.meta.author.clone(),
+                    provenance: wal::encode_provenance(r.meta.provenance),
+                    status: wal::encode_status(r.meta.status),
+                    confidence: r.meta.confidence,
+                    added_at: r.meta.added_at,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -739,6 +874,108 @@ mod tests {
         assert!(!durable.disable(RuleId(999), "ghost").unwrap());
         assert!(!durable.remove(RuleId(999), "ghost").unwrap());
         assert_eq!(durable.stats().wal_records, 1, "only the add was logged");
+    }
+
+    #[test]
+    fn record_sink_sees_every_mutation_in_log_order() {
+        let storage = Arc::new(MemStorage::new());
+        let config = DurableConfig { checkpoint_every: 0, ..DurableConfig::default() };
+        let durable = open(&storage, config);
+        let seen: Arc<Mutex<Vec<WalRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        durable.set_record_sink(Some(Arc::new(move |r: &WalRecord| {
+            sink_seen.lock().unwrap().push(r.clone());
+        })));
+        let ids =
+            durable.add_rules("rings? -> rings\nrugs? -> area rugs", &RuleMeta::default()).unwrap();
+        durable.disable(ids[0], "drift").unwrap();
+        assert!(!durable.enable(ids[1]).unwrap(), "no-op must not reach the sink");
+        let records = seen.lock().unwrap().clone();
+        assert_eq!(records.len(), 3);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.revision, i as u64 + 1, "sink sees contiguous revisions");
+        }
+        assert!(matches!(records[2].op, WalOp::Disable { .. }));
+        durable.set_record_sink(None);
+        durable.disable(ids[1], "quiet").unwrap();
+        assert_eq!(seen.lock().unwrap().len(), 3, "cleared sink sees nothing");
+    }
+
+    #[test]
+    fn apply_replicated_mirrors_leader_and_survives_reopen() {
+        let config = DurableConfig { checkpoint_every: 0, ..DurableConfig::default() };
+        let leader_storage = Arc::new(MemStorage::new());
+        let leader = open(&leader_storage, config);
+        let shipped: Arc<Mutex<Vec<WalRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_shipped = Arc::clone(&shipped);
+        leader.set_record_sink(Some(Arc::new(move |r: &WalRecord| {
+            sink_shipped.lock().unwrap().push(r.clone());
+        })));
+        let ids =
+            leader.add_rules("rings? -> rings\nrugs? -> area rugs", &RuleMeta::default()).unwrap();
+        leader.disable(ids[0], "drift").unwrap();
+
+        let follower_storage = Arc::new(MemStorage::new());
+        let follower = open(&follower_storage, config);
+        let records = shipped.lock().unwrap().clone();
+        for r in &records {
+            assert_eq!(follower.apply_replicated(r).unwrap(), ReplayOutcome::Applied);
+        }
+        assert_eq!(
+            catalog_hash(leader.repository()),
+            catalog_hash(follower.repository()),
+            "follower mirrors leader"
+        );
+        // Duplicates after a resume are skipped, not re-applied.
+        assert_eq!(follower.apply_replicated(&records[1]).unwrap(), ReplayOutcome::Skipped);
+        // A gap is corruption — the resync signal.
+        let mut gap = records[2].clone();
+        gap.revision = 99;
+        assert!(matches!(follower.apply_replicated(&gap), Err(StoreError::Corrupt(_))));
+
+        // Replicated records went through the follower's own WAL.
+        drop(follower);
+        let reopened = open(&follower_storage, config);
+        assert_eq!(catalog_hash(leader.repository()), catalog_hash(reopened.repository()));
+        assert_eq!(reopened.recovery().replayed, 3);
+    }
+
+    #[test]
+    fn install_snapshot_resets_follower_to_leader_image() {
+        let config = DurableConfig { checkpoint_every: 0, ..DurableConfig::default() };
+        let leader_storage = Arc::new(MemStorage::new());
+        let leader = open(&leader_storage, config);
+        let ids = leader
+            .add_rules("rings? -> rings\nrugs? -> area rugs\nsofas? -> sofas", &RuleMeta::default())
+            .unwrap();
+        leader.remove(ids[2], "churn").unwrap();
+
+        // Follower with unrelated local state (divergent trial data).
+        let follower_storage = Arc::new(MemStorage::new());
+        let follower = open(&follower_storage, config);
+        follower.add_rules("bands? -> rings", &RuleMeta::default()).unwrap();
+
+        let snap = leader.snapshot_data();
+        follower.install_snapshot(&snap).unwrap();
+        assert_eq!(catalog_hash(leader.repository()), catalog_hash(follower.repository()));
+        assert_eq!(follower.stats().wal_records, 0, "WAL reset under the new checkpoint");
+
+        // The stream resumes from the snapshot revision.
+        let shipped: Arc<Mutex<Vec<WalRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_shipped = Arc::clone(&shipped);
+        leader.set_record_sink(Some(Arc::new(move |r: &WalRecord| {
+            sink_shipped.lock().unwrap().push(r.clone());
+        })));
+        leader.disable(ids[0], "post-snapshot").unwrap();
+        for r in shipped.lock().unwrap().iter() {
+            follower.apply_replicated(r).unwrap();
+        }
+        assert_eq!(catalog_hash(leader.repository()), catalog_hash(follower.repository()));
+
+        // And the whole follower state survives its own crash/reopen.
+        drop(follower);
+        let reopened = open(&follower_storage, config);
+        assert_eq!(catalog_hash(leader.repository()), catalog_hash(reopened.repository()));
     }
 
     #[test]

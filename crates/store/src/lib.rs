@@ -35,7 +35,7 @@
 //! before admitting traffic.
 
 pub mod checkpoint;
-mod codec;
+pub mod codec;
 pub mod crc;
 pub mod durable;
 pub mod fault;
@@ -46,7 +46,8 @@ pub mod wal;
 pub use checkpoint::{CheckpointData, CheckpointRule, CheckpointStats};
 pub use crc::crc32;
 pub use durable::{
-    DurableConfig, DurableRepository, FsyncPolicy, RecoveryReport, StoreStats, WAL_NAME,
+    catalog_hash, DurableConfig, DurableRepository, FsyncPolicy, RecordSink, RecoveryReport,
+    ReplayOutcome, StoreStats, WAL_NAME,
 };
 pub use fault::{FaultConfig, FaultStats, FaultyStorage};
 pub use obs::StoreMetrics;

@@ -172,6 +172,32 @@ impl WalRecord {
         frame
     }
 
+    /// Decodes exactly one framed record from `bytes` (the inverse of
+    /// [`WalRecord::encode_frame`]); trailing bytes are corruption. This is
+    /// what the replication wire uses: each shipped record travels as its
+    /// own WAL frame, so the receiver re-verifies length and CRC end to end.
+    pub fn decode_frame(bytes: &[u8]) -> Result<WalRecord, StoreError> {
+        if bytes.len() < 8 {
+            return Err(StoreError::Corrupt(format!("torn frame header ({} bytes)", bytes.len())));
+        }
+        let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+        if len as u32 > MAX_PAYLOAD {
+            return Err(StoreError::Corrupt(format!("implausible payload length {len}")));
+        }
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if bytes.len() != 8 + len {
+            return Err(StoreError::Corrupt(format!(
+                "frame length mismatch: header says {len}, have {}",
+                bytes.len() - 8
+            )));
+        }
+        let payload = &bytes[8..];
+        if crc32(payload) != crc {
+            return Err(StoreError::Corrupt("payload checksum mismatch".to_string()));
+        }
+        WalRecord::decode_payload(payload)
+    }
+
     fn decode_payload(payload: &[u8]) -> Result<WalRecord, StoreError> {
         let mut c = Cursor::new(payload);
         let revision = c.get_u64()?;
