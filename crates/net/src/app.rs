@@ -42,6 +42,11 @@ pub trait ReplicationInfo: Send + Sync {
     fn accepts_writes(&self) -> bool {
         self.role() == "leader"
     }
+    /// Leader incarnation this node's state is grounded under (leaders:
+    /// their own; followers: the one last installed; 0 = unknown).
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// Everything the HTTP handlers need, bundled. Construct with

@@ -274,10 +274,7 @@ fn health(state: &ServerState) -> Response {
         ("shard_queue_depths", Json::Arr(shard_depths)),
         ("rules", Json::from(state.app.rules.len() as u64)),
         // Hex-rendered: JSON numbers are f64 and would round a u64 digest.
-        (
-            "catalog_hash",
-            Json::from(format!("{:016x}", rulekit_store::catalog_hash(&state.app.rules))),
-        ),
+        ("catalog_hash", Json::from(state.catalog_hash_hex())),
     ];
     if let Some(repl) = &state.app.replication {
         let (last_applied, leader_seq) = (repl.last_applied(), repl.leader_seq());
@@ -289,6 +286,7 @@ fn health(state: &ServerState) -> Response {
                 ("last_applied_seq", Json::from(last_applied)),
                 ("leader_seq", Json::from(leader_seq)),
                 ("seq_delta", Json::from(leader_seq.saturating_sub(last_applied))),
+                ("epoch", Json::from(repl.epoch())),
                 ("accepts_writes", Json::from(repl.accepts_writes())),
             ]),
         ));

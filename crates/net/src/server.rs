@@ -25,7 +25,7 @@ use rulekit_serve::BoundedQueue;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -74,12 +74,35 @@ pub(crate) struct ServerState {
     pub(crate) cfg: NetConfig,
     pub(crate) metrics: NetMetrics,
     pub(crate) shutdown: AtomicBool,
+    /// `(revision, hash)` of the last catalog hash computed for `/health`.
+    /// The hash walks every rule, so recompute only when the revision moves
+    /// — health is polled by load balancers and the front tier.
+    catalog_hash_cache: Mutex<Option<(u64, u64)>>,
     conns: BoundedQueue<TcpStream>,
 }
 
 impl ServerState {
     pub(crate) fn is_draining(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// The catalog hash at the current revision, as `/health` renders it,
+    /// cached by revision.
+    pub(crate) fn catalog_hash_hex(&self) -> String {
+        let mut cache = self.catalog_hash_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let revision = self.app.rules.revision();
+        if let Some((rev, hash)) = *cache {
+            if rev == revision {
+                return format!("{hash:016x}");
+            }
+        }
+        let hash = rulekit_store::catalog_hash(&self.app.rules);
+        // Only cache if the catalog didn't move underneath the walk; a
+        // racing mutation would otherwise pin a stale hash at its revision.
+        if self.app.rules.revision() == revision {
+            *cache = Some((revision, hash));
+        }
+        format!("{hash:016x}")
     }
 }
 
@@ -107,6 +130,7 @@ impl NetServer {
             cfg,
             metrics,
             shutdown: AtomicBool::new(false),
+            catalog_hash_cache: Mutex::new(None),
         });
 
         let handlers = (0..state.cfg.handler_threads.max(1))

@@ -151,6 +151,11 @@ struct FollowerShared {
     state: AtomicU8,
     last_applied: AtomicU64,
     leader_seq_seen: AtomicU64,
+    /// Leader incarnation this follower's state was last grounded under
+    /// (persisted; 0 = unknown). Sent in Hello so a restarted leader — same
+    /// revisions, different history — forces a snapshot instead of silently
+    /// letting the follower tail a fork.
+    epoch: AtomicU64,
     shutdown: AtomicBool,
     metrics: FollowerMetrics,
 }
@@ -209,6 +214,7 @@ impl ReplFollower {
         let shared = Arc::new(FollowerShared {
             last_applied: AtomicU64::new(store.repository().revision()),
             leader_seq_seen: AtomicU64::new(0),
+            epoch: AtomicU64::new(store.load_epoch()),
             store,
             cfg,
             state: AtomicU8::new(FollowerState::Syncing.code()),
@@ -293,6 +299,10 @@ impl ReplicationInfo for FollowerInfo {
     fn leader_seq(&self) -> u64 {
         self.shared.leader_seq_seen.load(Ordering::Acquire)
     }
+
+    fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
 }
 
 /// How a session ended (drives the next Hello).
@@ -362,7 +372,11 @@ fn run_session(
         return SessionEnd::Disconnect;
     }
     let mut w = &stream;
-    let hello = Frame::Hello { last_seq: shared.store.repository().revision(), force_snapshot };
+    let hello = Frame::Hello {
+        last_seq: shared.store.repository().revision(),
+        epoch: shared.epoch.load(Ordering::Acquire),
+        force_snapshot,
+    };
     if proto::write_frame(&mut w, &hello).is_err() {
         return SessionEnd::Disconnect;
     }
@@ -386,12 +400,18 @@ fn run_session(
             heard = true;
         }
         match frame {
-            Frame::Snapshot { ts_nanos, data } => {
+            Frame::Snapshot { ts_nanos, epoch, data } => {
                 let revision = data.revision;
                 if shared.store.install_snapshot(&data).is_err() {
                     // Local storage trouble; retry the whole catch-up.
                     return SessionEnd::NeedSnapshot;
                 }
+                // Adopt the leader's epoch only *after* local state matches
+                // its image. Persistence is best-effort: a lost epoch reads
+                // back as 0, which merely costs one extra snapshot at the
+                // next handshake — never a fork.
+                let _ = shared.store.save_epoch(epoch);
+                shared.epoch.store(epoch, Ordering::Release);
                 shared.metrics.snapshots_installed.inc();
                 record_lag(shared, ts_nanos);
                 // A snapshot *replaces* our view of the leader's head — a

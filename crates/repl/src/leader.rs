@@ -88,6 +88,10 @@ struct LeaderShared {
     store: Arc<DurableRepository>,
     log: Arc<ReplLog>,
     cfg: LeaderConfig,
+    /// This leader incarnation (persisted, bumped at every start). Followers
+    /// compare it at handshake; a mismatch forces a snapshot because a
+    /// restarted leader may hold different history at the same revisions.
+    epoch: u64,
     shutdown: AtomicBool,
     metrics: LeaderMetrics,
     sessions: Mutex<Vec<JoinHandle<()>>>,
@@ -111,14 +115,16 @@ impl ReplLeader {
     ) -> std::io::Result<ReplLeader> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let initial_seq = store.repository().revision();
-        let log = Arc::new(ReplLog::new(cfg.ring_capacity, initial_seq));
+        let epoch = store
+            .bump_epoch()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+        let log = Arc::new(ReplLog::new(cfg.ring_capacity, 0));
         let metrics = LeaderMetrics::new(registry);
-        metrics.leader_seq.set(initial_seq as i64);
         let shared = Arc::new(LeaderShared {
             store: store.clone(),
             log: log.clone(),
             cfg,
+            epoch,
             shutdown: AtomicBool::new(false),
             metrics,
             sessions: Mutex::new(Vec::new()),
@@ -131,6 +137,13 @@ impl ReplLeader {
                 seq_gauge.set(record.revision as i64);
             })));
         }
+        // Sink first, *then* fold in the store revision: a mutation racing
+        // the hookup either reached the sink (advance_to is then a no-op) or
+        // raises the head here so followers see a Gap and snapshot, instead
+        // of tailing a stale head. Never read the revision before the sink
+        // is live.
+        log.advance_to(store.repository().revision());
+        shared.metrics.leader_seq.set(log.leader_seq() as i64);
         let acceptor = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -149,6 +162,11 @@ impl ReplLeader {
     /// Highest acknowledged revision (what heartbeats advertise).
     pub fn leader_seq(&self) -> u64 {
         self.shared.log.leader_seq()
+    }
+
+    /// This leader incarnation (bumped and persisted at start).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch
     }
 
     /// Currently connected follower sessions.
@@ -205,6 +223,10 @@ impl ReplicationInfo for LeaderInfo {
     fn leader_seq(&self) -> u64 {
         self.shared.log.leader_seq()
     }
+
+    fn epoch(&self) -> u64 {
+        self.shared.epoch
+    }
 }
 
 fn acceptor_loop(shared: &Arc<LeaderShared>, listener: TcpListener) {
@@ -242,11 +264,16 @@ fn session(shared: &LeaderShared, stream: TcpStream) {
         return;
     }
     let mut reader = &stream;
-    let Ok(Frame::Hello { last_seq, force_snapshot }) = proto::read_frame(&mut reader) else {
+    let Ok(Frame::Hello { last_seq, epoch, force_snapshot }) = proto::read_frame(&mut reader)
+    else {
         return;
     };
+    // A follower fed by a different leader incarnation (or by none — epoch
+    // 0) may hold divergent history at revisions the ring would happily
+    // skip past; only a snapshot re-grounds it.
+    let need_snapshot = force_snapshot || epoch != shared.epoch;
     shared.metrics.followers.inc();
-    let _ = run_session(shared, &stream, last_seq, force_snapshot);
+    let _ = run_session(shared, &stream, last_seq, need_snapshot);
     shared.metrics.followers.dec();
 }
 
@@ -301,7 +328,7 @@ fn run_session(
 fn send_snapshot(shared: &LeaderShared, w: &mut impl std::io::Write) -> std::io::Result<u64> {
     let data = shared.store.snapshot_data();
     let revision = data.revision;
-    proto::write_frame(w, &Frame::Snapshot { ts_nanos: now_nanos(), data })?;
+    proto::write_frame(w, &Frame::Snapshot { ts_nanos: now_nanos(), epoch: shared.epoch, data })?;
     shared.metrics.snapshots_served.inc();
     Ok(revision)
 }

@@ -78,6 +78,21 @@ impl ReplLog {
         self.lock().leader_seq
     }
 
+    /// Raises the head to at least `seq` without publishing a record, waking
+    /// waiters if it moved. Lets a leader install its record sink *first*
+    /// and then fold in the store revision — any mutation racing the hookup
+    /// either published through the sink (same seq, idempotent) or is
+    /// covered by this call; neither window strands a follower at a stale
+    /// head.
+    pub fn advance_to(&self, seq: u64) {
+        let mut inner = self.lock();
+        if seq > inner.leader_seq {
+            inner.leader_seq = seq;
+            drop(inner);
+            self.newer.notify_all();
+        }
+    }
+
     /// Everything after `cursor`, or why that's not possible.
     pub fn after(&self, cursor: u64) -> Coverage {
         let inner = self.lock();
@@ -153,6 +168,27 @@ mod tests {
         assert!(matches!(log.after(1), Coverage::Gap));
         assert!(matches!(log.after(6), Coverage::UpToDate));
         assert!(matches!(log.after(9), Coverage::Gap), "cursor ahead of leader = gap");
+    }
+
+    #[test]
+    fn advance_to_raises_head_and_gaps_missed_records() {
+        let log = ReplLog::new(4, 0);
+        log.advance_to(3);
+        assert_eq!(log.leader_seq(), 3);
+        // Revisions 1..=3 were never published (pre-sink mutations): a
+        // follower behind the head must get a snapshot, not UpToDate.
+        assert!(matches!(log.after(1), Coverage::Gap));
+        assert!(matches!(log.after(3), Coverage::UpToDate));
+        // Never moves backwards, and a racing publish is idempotent.
+        log.advance_to(2);
+        assert_eq!(log.leader_seq(), 3);
+        log.publish(rec(4));
+        log.advance_to(4);
+        assert_eq!(log.leader_seq(), 4);
+        match log.after(3) {
+            Coverage::Records(rs) => assert_eq!(rs.len(), 1),
+            other => panic!("expected records, got {other:?}"),
+        }
     }
 
     #[test]

@@ -11,12 +11,19 @@
 //!
 //! Kinds:
 //!
-//! | kind | name      | direction         | fields                                          |
-//! |-----:|-----------|-------------------|-------------------------------------------------|
-//! | 1    | Hello     | follower → leader | proto version u32, last_seq u64, force_snap u8  |
-//! | 2    | Snapshot  | leader → follower | ts_nanos u64, `CheckpointData::encode` bytes    |
-//! | 3    | Record    | leader → follower | ts_nanos u64, one `WalRecord::encode_frame`     |
-//! | 4    | Heartbeat | leader → follower | ts_nanos u64, leader_seq u64                    |
+//! | kind | name      | direction         | fields                                                    |
+//! |-----:|-----------|-------------------|-----------------------------------------------------------|
+//! | 1    | Hello     | follower → leader | proto version u32, last_seq u64, epoch u64, force_snap u8 |
+//! | 2    | Snapshot  | leader → follower | ts_nanos u64, epoch u64, `CheckpointData::encode` bytes   |
+//! | 3    | Record    | leader → follower | ts_nanos u64, one `WalRecord::encode_frame`               |
+//! | 4    | Heartbeat | leader → follower | ts_nanos u64, leader_seq u64                              |
+//!
+//! `epoch` is the leader's incarnation counter (bumped at every leader
+//! start). A follower sends the epoch it last installed state under; the
+//! leader forces a snapshot on any mismatch, because revision arithmetic
+//! alone cannot see a leader that lost an unsynced WAL tail, restarted, and
+//! re-advanced past the follower's revision with different history. Epoch
+//! `0` means "unknown" and never matches.
 //!
 //! A `Record` payload embeds the record's *WAL frame* (the record's own
 //! length, CRC, and payload), so a shipped record is covered by two
@@ -31,8 +38,9 @@ use rulekit_store::{crc32, CheckpointData, StoreError, WalRecord};
 use std::io::{Read, Write};
 
 /// Protocol version in `Hello`; a leader refuses mismatches so a frame
-/// layout change cannot be half-understood.
-pub const PROTO_VERSION: u32 = 1;
+/// layout change cannot be half-understood. v2 added the epoch fields to
+/// `Hello` and `Snapshot`.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Frame size ceiling — generous because a `Snapshot` carries the full
 /// catalog (the WAL's own per-record ceiling is 16 MB).
@@ -46,12 +54,14 @@ const KIND_HEARTBEAT: u8 = 4;
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Follower's opening message: where its log ends and whether it wants
-    /// a full snapshot regardless (the divergence-recovery path).
-    Hello { last_seq: u64, force_snapshot: bool },
-    /// Full-catalog catch-up image; the follower installs it and resumes
-    /// the stream from the snapshot's revision.
-    Snapshot { ts_nanos: u64, data: CheckpointData },
+    /// Follower's opening message: where its log ends, which leader
+    /// incarnation last fed it (0 = unknown), and whether it wants a full
+    /// snapshot regardless (the divergence-recovery path).
+    Hello { last_seq: u64, epoch: u64, force_snapshot: bool },
+    /// Full-catalog catch-up image, stamped with the leader's epoch; the
+    /// follower installs it and resumes the stream from the snapshot's
+    /// revision.
+    Snapshot { ts_nanos: u64, epoch: u64, data: CheckpointData },
     /// One WAL record, as the leader logged it.
     Record { ts_nanos: u64, record: WalRecord },
     /// Liveness + lag signal while the log is idle.
@@ -62,15 +72,17 @@ impl Frame {
     fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32);
         match self {
-            Frame::Hello { last_seq, force_snapshot } => {
+            Frame::Hello { last_seq, epoch, force_snapshot } => {
                 out.push(KIND_HELLO);
                 put_u32(&mut out, PROTO_VERSION);
                 put_u64(&mut out, *last_seq);
+                put_u64(&mut out, *epoch);
                 out.push(u8::from(*force_snapshot));
             }
-            Frame::Snapshot { ts_nanos, data } => {
+            Frame::Snapshot { ts_nanos, epoch, data } => {
                 out.push(KIND_SNAPSHOT);
                 put_u64(&mut out, *ts_nanos);
+                put_u64(&mut out, *epoch);
                 out.extend_from_slice(&data.encode());
             }
             Frame::Record { ts_nanos, record } => {
@@ -109,14 +121,16 @@ impl Frame {
                     )));
                 }
                 let last_seq = c.get_u64()?;
+                let epoch = c.get_u64()?;
                 let force_snapshot = c.get_u8()? != 0;
                 expect_drained(&c)?;
-                Ok(Frame::Hello { last_seq, force_snapshot })
+                Ok(Frame::Hello { last_seq, epoch, force_snapshot })
             }
             KIND_SNAPSHOT => {
                 let ts_nanos = c.get_u64()?;
+                let epoch = c.get_u64()?;
                 let data = CheckpointData::decode(c.rest())?;
-                Ok(Frame::Snapshot { ts_nanos, data })
+                Ok(Frame::Snapshot { ts_nanos, epoch, data })
             }
             KIND_RECORD => {
                 let ts_nanos = c.get_u64()?;
@@ -195,11 +209,12 @@ mod tests {
 
     #[test]
     fn all_kinds_roundtrip() {
-        roundtrip(Frame::Hello { last_seq: 9, force_snapshot: true });
+        roundtrip(Frame::Hello { last_seq: 9, epoch: 3, force_snapshot: true });
         roundtrip(Frame::Heartbeat { ts_nanos: 123, leader_seq: 5 });
         roundtrip(Frame::Record { ts_nanos: 7, record: sample_record() });
         roundtrip(Frame::Snapshot {
             ts_nanos: 1,
+            epoch: 2,
             data: CheckpointData {
                 revision: 3,
                 next_id: 4,
@@ -235,7 +250,7 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut bytes = Frame::Hello { last_seq: 0, force_snapshot: false }.encode();
+        let mut bytes = Frame::Hello { last_seq: 0, epoch: 0, force_snapshot: false }.encode();
         bytes[9] = 99; // version field, first payload byte after kind
                        // Re-stamp the CRC so only the version check can object.
         let crc = crc32(&bytes[8..]);

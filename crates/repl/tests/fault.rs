@@ -354,6 +354,66 @@ fn leader_restart_with_lost_tail_rebuilds_follower_from_snapshot() {
     assert_eq!(f_store.repository().revision(), leader2_store.repository().revision());
 }
 
+/// The nastiest divergence: a leader loses an unsynced WAL tail, restarts,
+/// and re-advances to the *same* revision with different history. Revision
+/// arithmetic alone cannot see this — the follower's cursor equals the
+/// leader's head, so the ring answers UpToDate and the follower would tail
+/// a fork forever while reporting healthy. The leader epoch (bumped each
+/// start, compared at handshake) must force a snapshot instead.
+#[test]
+fn leader_restart_at_same_revision_is_caught_by_epoch_not_revision() {
+    let leader_mem = Arc::new(MemStorage::new());
+    let leader1_store = open_store(&leader_mem);
+    let registry = Registry::new();
+    let leader1 =
+        ReplLeader::start(leader1_store.clone(), leader_cfg(), &registry).expect("leader1");
+    let proxy = ChaosProxy::start(leader1.local_addr());
+
+    let f_store = open_store(&Arc::new(MemStorage::new()));
+    let f_registry = Registry::new();
+    let follower =
+        ReplFollower::start(f_store.clone(), follower_cfg(proxy.local, 0xe90c), &f_registry);
+    for source in ["rings? -> rings", "rugs? -> area rugs", "sofas? -> sofas"] {
+        leader1_store.add_rules(source, &RuleMeta::default()).unwrap();
+    }
+    wait_converged(&leader1_store, &f_store, "pre-fork sync");
+
+    // Power-loss the leader with its last acknowledged record unsynced:
+    // drop everything, then chop the final record off the WAL.
+    proxy.set_mode(Chaos::Partition);
+    drop(leader1);
+    drop(leader1_store);
+    let wal_bytes = leader_mem.read(rulekit_store::WAL_NAME).expect("leader wal");
+    let scan = rulekit_store::wal::scan(&wal_bytes);
+    let cut = *scan.record_starts.last().expect("records in wal");
+    leader_mem.truncate(rulekit_store::WAL_NAME, cut).expect("drop unsynced tail");
+
+    // The restarted leader re-advances to the follower's exact revision
+    // with *different* history.
+    let leader2_store = open_store(&leader_mem);
+    assert_eq!(leader2_store.repository().revision() + 1, f_store.repository().revision());
+    leader2_store.add_rules("necklaces? -> necklaces", &RuleMeta::default()).unwrap();
+    assert_eq!(leader2_store.repository().revision(), f_store.repository().revision());
+    assert_ne!(
+        catalog_hash(leader2_store.repository()),
+        catalog_hash(f_store.repository()),
+        "same revision, forked history — the scenario under test"
+    );
+
+    let leader2 =
+        ReplLeader::start(leader2_store.clone(), leader_cfg(), &registry).expect("leader2");
+    assert!(leader2.epoch() > 1, "restart must bump the persisted epoch");
+    proxy.retarget(leader2.local_addr());
+    proxy.set_mode(Chaos::Forward);
+
+    wait_converged(&leader2_store, &f_store, "epoch-forced resync");
+    assert!(follower.wait_for_state(FollowerState::Tailing, Duration::from_secs(5)));
+    assert!(
+        f_registry.counter("rulekit_repl_snapshots_installed_total").value() >= 2,
+        "the fork is only healable by an epoch-forced snapshot"
+    );
+}
+
 /// The crash/reopen fuzz, extended across the wire: each seeded cycle
 /// interleaves leader edits, replication-stream truncation at a random
 /// offset, a follower power-loss crash with a randomly torn WAL tail, and

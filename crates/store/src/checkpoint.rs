@@ -160,6 +160,23 @@ pub fn load_latest(storage: &dyn Storage) -> Result<CheckpointScan, StoreError> 
     Ok(scan)
 }
 
+/// Deletes every checkpoint whose revision is strictly above `revision`.
+/// Recovery picks the newest checkpoint, so when a follower installs a
+/// leader snapshot *older* than its own divergent history (the
+/// follower-ahead-of-restarted-leader path), any higher-revision local
+/// checkpoint must go first or it would win the next recovery scan and
+/// resurrect the forked state. Unlike housekeeping this is a correctness
+/// operation: failures propagate so the install aborts instead of
+/// publishing alongside a survivor.
+pub fn remove_above(storage: &dyn Storage, revision: u64) -> Result<(), StoreError> {
+    for name in storage.list()? {
+        if parse_name(&name).is_some_and(|rev| rev > revision) {
+            storage.remove(&name)?;
+        }
+    }
+    Ok(())
+}
+
 /// Deletes temp leftovers, corrupt candidates, and all but the newest
 /// `keep` checkpoints. Best-effort: deletion failures are ignored (they
 /// re-run next time).

@@ -17,6 +17,7 @@ use rulekit_core::{Rule, RuleId, RuleMeta, RuleParser, RuleRepository, RuleSpec}
 use rulekit_data::TypeId;
 
 use crate::checkpoint::{self, CheckpointData, CheckpointRule, CheckpointStats};
+use crate::crc::crc32;
 use crate::obs::StoreMetrics;
 use crate::storage::{Storage, StoreError};
 use crate::wal::{self, WalOp, WalRecord, WalWriter};
@@ -24,6 +25,21 @@ use rulekit_obs::{Registry, SpanTimer};
 
 /// The WAL's file name inside its storage namespace.
 pub const WAL_NAME: &str = "wal";
+
+/// File holding the replication leader epoch (incarnation counter).
+pub const EPOCH_NAME: &str = "epoch";
+const EPOCH_TMP: &str = "epoch.tmp";
+
+fn decode_epoch(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() != 12 {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    if crc32(&bytes[4..]) != crc {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[4..12].try_into().ok()?))
+}
 
 /// When acknowledged mutations become crash-proof.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,8 +91,15 @@ pub struct RecoveryReport {
     /// WAL records skipped because the checkpoint already contained them
     /// (a crash between checkpoint publish and WAL reset leaves them).
     pub skipped: u64,
-    /// Torn/corrupt WAL tail bytes truncated.
+    /// Torn/corrupt WAL tail bytes truncated (including the bytes of any
+    /// discarded non-applying suffix).
     pub truncated_bytes: u64,
+    /// Well-formed WAL records discarded because they could not apply on
+    /// top of the recovered state (revision gap, id mismatch, no-op
+    /// replay). Non-zero only after an interrupted snapshot install left
+    /// records from a divergent history behind; the suffix is truncated
+    /// from disk so the next open is clean.
+    pub discarded_records: u64,
     /// Why the WAL scan stopped early, if it did.
     pub wal_stop_reason: Option<String>,
     /// Repository revision after recovery.
@@ -251,14 +274,43 @@ impl DurableRepository {
 
         // 3. Replay the tail through the normal mutation API. Records at or
         //    below the checkpoint revision are already folded in (crash
-        //    between checkpoint publish and WAL reset) and are skipped.
-        for record in &wal_scan.records {
+        //    between checkpoint publish and WAL reset) and are skipped. A
+        //    suffix that cannot apply — a revision gap, an id mismatch, a
+        //    no-op replay — is the residue of an interrupted snapshot
+        //    install (divergent pre-snapshot history alongside a newer
+        //    checkpoint) and is discarded: truncated from disk and reported,
+        //    rather than failing the open and stranding the node.
+        //    Contiguity is checked *before* applying, so a discarded record
+        //    never half-mutates the repository.
+        let mut wal_len = wal_scan.valid_len;
+        let mut wal_records = wal_scan.records.len() as u64;
+        for (i, record) in wal_scan.records.iter().enumerate() {
             if record.revision <= repo.revision() {
                 report.skipped += 1;
                 continue;
             }
-            apply_record(&repo, &parser, record)?;
-            report.replayed += 1;
+            let applied = if record.revision == repo.revision() + 1 {
+                apply_record(&repo, &parser, record)
+            } else {
+                Err(StoreError::Corrupt(format!(
+                    "revision gap: record {} after repository revision {}",
+                    record.revision,
+                    repo.revision()
+                )))
+            };
+            match applied {
+                Ok(()) => report.replayed += 1,
+                Err(e) => {
+                    let cut = wal_scan.record_starts[i];
+                    storage.truncate(WAL_NAME, cut)?;
+                    report.discarded_records = (wal_scan.records.len() - i) as u64;
+                    report.truncated_bytes += wal_len - cut;
+                    report.wal_stop_reason = Some(format!("discarded non-applying suffix: {e}"));
+                    wal_len = cut;
+                    wal_records = i as u64;
+                    break;
+                }
+            }
         }
 
         checkpoint::housekeep(&*storage, &ckpt_scan.corrupt, config.keep_checkpoints);
@@ -271,16 +323,10 @@ impl DurableRepository {
             m.replay_skipped.add(report.skipped);
             m.persisted_rules.set(report.recovered_rules as i64);
             m.persisted_revision.set(report.recovered_revision as i64);
-            m.wal_records.set(wal_scan.records.len() as i64);
+            m.wal_records.set(wal_records as i64);
         }
-        let wal = WalWriter::new(
-            Arc::clone(&storage),
-            WAL_NAME,
-            config.fsync,
-            wal_scan.valid_len,
-            wal_scan.records.len() as u64,
-        )
-        .with_metrics(metrics.clone());
+        let wal = WalWriter::new(Arc::clone(&storage), WAL_NAME, config.fsync, wal_len, wal_records)
+            .with_metrics(metrics.clone());
         Ok(DurableRepository {
             repo,
             parser,
@@ -486,21 +532,62 @@ impl DurableRepository {
         self.build_checkpoint_data()
     }
 
+    /// Reads the persisted replication epoch. `0` means "unknown" — no file,
+    /// or one that failed its checksum — and by convention never matches a
+    /// live leader's epoch, so an epoch-less node always resyncs by
+    /// snapshot.
+    pub fn load_epoch(&self) -> u64 {
+        match self.storage.read(EPOCH_NAME) {
+            Ok(bytes) => decode_epoch(&bytes).unwrap_or(0),
+            Err(_) => 0,
+        }
+    }
+
+    /// Durably records `epoch` (CRC-framed, temp → fsync → rename).
+    pub fn save_epoch(&self, epoch: u64) -> Result<(), StoreError> {
+        self.storage.remove(EPOCH_TMP)?;
+        let payload = epoch.to_le_bytes();
+        let mut bytes = Vec::with_capacity(12);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        self.storage.append(EPOCH_TMP, &bytes)?;
+        self.storage.sync(EPOCH_TMP)?;
+        self.storage.rename(EPOCH_TMP, EPOCH_NAME)?;
+        Ok(())
+    }
+
+    /// Advances and persists the epoch; returns the new value (always ≥ 1).
+    /// A replication leader calls this once per process start so followers
+    /// can tell a restarted leader — which may have lost an unsynced WAL
+    /// tail and silently re-advanced its revisions — from the incarnation
+    /// they were tailing.
+    pub fn bump_epoch(&self) -> Result<u64, StoreError> {
+        let next = self.load_epoch() + 1;
+        self.save_epoch(next)?;
+        Ok(next)
+    }
+
     /// Replaces all local state with a leader-supplied snapshot: persists it
     /// as a local checkpoint (temp → fsync → rename), restores the
     /// repository from it, and resets the WAL. Afterwards the follower
     /// resumes the record stream from `data.revision`. A snapshot *older*
     /// than local state is installed too — the follower's contract is to
     /// mirror the leader, even one that lost an unsynced tail in a crash.
+    ///
+    /// Ordering is crash-window-safe. Higher-revision local checkpoints are
+    /// removed first (recovery picks the newest by revision, so a divergent
+    /// survivor would win the next scan and resurrect the fork), then the
+    /// WAL is reset, then the snapshot checkpoint is written. A crash after
+    /// any single step recovers to either the old consistent state or the
+    /// installed snapshot — never a mix; the one residue (divergent WAL over
+    /// an older checkpoint) is discarded by tolerant recovery.
     pub fn install_snapshot(&self, data: &CheckpointData) -> Result<(), StoreError> {
         let mut st = self.lock_state();
         let rules = rebuild_rules(&self.parser, &data.rules)?;
+        checkpoint::remove_above(&*self.storage, data.revision)?;
+        st.wal.reset()?;
         checkpoint::write(&*self.storage, data)?;
         self.repo.restore(rules, data.next_id, data.revision);
-        // Local WAL records are now ≤ the checkpoint revision (or orphaned
-        // divergent state being discarded); either way the reset is safe and
-        // a failure merely leaves redundant records that replay skips.
-        let _ = st.wal.reset();
         checkpoint::housekeep(&*self.storage, &[], self.config.keep_checkpoints);
         let stats = CheckpointStats {
             revision: data.revision,
@@ -976,6 +1063,98 @@ mod tests {
         drop(follower);
         let reopened = open(&follower_storage, config);
         assert_eq!(catalog_hash(leader.repository()), catalog_hash(reopened.repository()));
+    }
+
+    #[test]
+    fn install_snapshot_clears_stale_higher_checkpoints() {
+        // Follower ahead of a restarted leader: its divergent state sits at a
+        // *higher* revision, checkpointed locally. Installing the older
+        // leader snapshot must not let that checkpoint win the next recovery
+        // scan — even with keep_checkpoints: 1, where housekeeping retains
+        // only the newest-by-revision survivor.
+        let config =
+            DurableConfig { checkpoint_every: 0, keep_checkpoints: 1, ..DurableConfig::default() };
+        let leader_storage = Arc::new(MemStorage::new());
+        let leader = open(&leader_storage, config);
+        leader.add_rules("rings? -> rings\nrugs? -> area rugs", &RuleMeta::default()).unwrap();
+
+        let follower_storage = Arc::new(MemStorage::new());
+        let follower = open(&follower_storage, config);
+        follower
+            .add_rules("rings? -> rings\nrugs? -> area rugs\nsofas? -> sofas", &RuleMeta::default())
+            .unwrap();
+        follower.checkpoint().unwrap(); // divergent checkpoint at revision 3
+
+        let snap = leader.snapshot_data();
+        assert!(snap.revision < follower.repository().revision());
+        follower.install_snapshot(&snap).unwrap();
+        assert_eq!(catalog_hash(leader.repository()), catalog_hash(follower.repository()));
+        drop(follower);
+
+        let reopened = open(&follower_storage, config);
+        assert_eq!(
+            catalog_hash(leader.repository()),
+            catalog_hash(reopened.repository()),
+            "reopen must not resurrect the divergent higher-revision checkpoint"
+        );
+        assert_eq!(reopened.recovery().checkpoint_revision, snap.revision);
+    }
+
+    #[test]
+    fn recovery_discards_non_applying_wal_suffix() {
+        // The residue of an interrupted snapshot install: a checkpoint plus
+        // WAL records from a *different* history above its revision. Open
+        // must succeed, discard the suffix, and leave disk clean.
+        let config = DurableConfig { checkpoint_every: 0, ..DurableConfig::default() };
+        let storage = Arc::new(MemStorage::new());
+        let durable = open(&storage, config);
+        durable.add_rules("rings? -> rings\nrugs? -> area rugs", &RuleMeta::default()).unwrap();
+        durable.checkpoint().unwrap(); // checkpoint at revision 2, WAL empty
+        let revision = durable.repository().revision();
+        drop(durable);
+
+        // Divergent leftovers: a contiguous no-op (Enable of an already
+        // enabled rule) and a gap record, appended straight to the WAL.
+        let divergent = [
+            WalRecord { revision: revision + 1, op: WalOp::Enable { id: 0 } },
+            WalRecord { revision: revision + 5, op: WalOp::Disable { id: 1, reason: "x".into() } },
+        ];
+        for r in &divergent {
+            storage.append(WAL_NAME, &r.encode_frame()).unwrap();
+        }
+
+        let reopened = open(&storage, config);
+        let report = reopened.recovery();
+        assert_eq!(report.discarded_records, 2, "whole divergent suffix discarded");
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.recovered_revision, revision);
+        assert!(report.wal_stop_reason.as_deref().unwrap().contains("non-applying"));
+        assert_eq!(reopened.repository().len(), 2);
+        drop(reopened);
+
+        // The suffix was truncated from disk: the next open is clean.
+        let again = open(&storage, config);
+        assert_eq!(again.recovery().discarded_records, 0);
+        assert!(again.recovery().wal_stop_reason.is_none());
+        assert_eq!(again.repository().revision(), revision);
+    }
+
+    #[test]
+    fn epoch_persists_and_bumps() {
+        let storage = Arc::new(MemStorage::new());
+        let config = DurableConfig::default();
+        let durable = open(&storage, config);
+        assert_eq!(durable.load_epoch(), 0, "no epoch file yet");
+        assert_eq!(durable.bump_epoch().unwrap(), 1);
+        assert_eq!(durable.bump_epoch().unwrap(), 2);
+        drop(durable);
+
+        let reopened = open(&storage, config);
+        assert_eq!(reopened.load_epoch(), 2, "epoch survives reopen");
+        // Corruption degrades to 0 (unknown), never to a stale value.
+        assert!(storage.flip_bit(EPOCH_NAME, 5), "corrupt a payload byte");
+        assert_eq!(reopened.load_epoch(), 0);
+        assert_eq!(reopened.bump_epoch().unwrap(), 1);
     }
 
     #[test]

@@ -229,6 +229,10 @@ impl WalRecord {
 pub struct WalScan {
     /// Records decoded from the valid prefix, in append order.
     pub records: Vec<WalRecord>,
+    /// Byte offset where `records[i]` starts (parallel to `records`).
+    /// Recovery that discards a suffix of records truncates the file at
+    /// the first discarded record's start.
+    pub record_starts: Vec<u64>,
     /// Byte length of the valid prefix; recovery truncates the file here.
     pub valid_len: u64,
     /// Bytes past `valid_len` (torn/corrupt tail). Zero for a clean log.
@@ -241,6 +245,7 @@ pub struct WalScan {
 /// the first torn or corrupt frame.
 pub fn scan(bytes: &[u8]) -> WalScan {
     let mut records = Vec::new();
+    let mut record_starts = Vec::new();
     let mut pos = 0usize;
     let mut stop_reason = None;
     while pos < bytes.len() {
@@ -265,7 +270,10 @@ pub fn scan(bytes: &[u8]) -> WalScan {
             break;
         }
         match WalRecord::decode_payload(payload) {
-            Ok(record) => records.push(record),
+            Ok(record) => {
+                records.push(record);
+                record_starts.push(pos as u64);
+            }
             Err(e) => {
                 stop_reason = Some(format!("undecodable payload: {e}"));
                 break;
@@ -275,6 +283,7 @@ pub fn scan(bytes: &[u8]) -> WalScan {
     }
     WalScan {
         records,
+        record_starts,
         valid_len: pos as u64,
         truncated_bytes: (bytes.len() - pos) as u64,
         stop_reason,
