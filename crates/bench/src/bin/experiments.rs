@@ -84,7 +84,10 @@ fn main() {
     }
     let e7_rows = if want("e7") { exp::execution::e7(scale) } else { Vec::new() };
     let e16_rows = if want("e16") { exp::execution::e16(scale) } else { Vec::new() };
-    if !e7_rows.is_empty() || !e16_rows.is_empty() {
+    // A row-filtered run (profiling escape hatch) measures a partial sweep;
+    // never let it clobber the full snapshot CI diffs against.
+    let filtered = std::env::var("RULEKIT_E7_ROWS").is_ok();
+    if (!e7_rows.is_empty() || !e16_rows.is_empty()) && !filtered {
         let json = exp::execution::engine_json(&e7_rows, &e16_rows);
         match std::fs::write("BENCH_engine.json", &json) {
             Ok(()) => println!(

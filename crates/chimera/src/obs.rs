@@ -10,6 +10,7 @@
 //! snapshots pays a few atomic adds per product.
 
 use rulekit_core::{ExecMetrics, ExecutorKind};
+use rulekit_maint::OptimizeMetrics;
 use rulekit_obs::{Counter, Histogram, MetricsSnapshot, Registry};
 use std::sync::Arc;
 
@@ -40,6 +41,10 @@ pub struct PipelineMetrics {
     /// Candidate accounting for the configured execution engine (shared by
     /// the gate and main-store classifiers, labelled by executor kind).
     pub exec: Arc<ExecMetrics>,
+    /// Snapshot-optimizer outcomes (rules merged/dropped/reordered and the
+    /// post-optimization rule count), populated when
+    /// `ChimeraConfig::optimize_rules` is on.
+    pub opt: OptimizeMetrics,
 }
 
 impl PipelineMetrics {
@@ -59,6 +64,7 @@ impl PipelineMetrics {
             gate_shortcircuits: registry.counter("rulekit_chimera_gate_shortcircuits_total"),
             batches: registry.counter("rulekit_chimera_batches_total"),
             exec: ExecMetrics::register(&registry, kind),
+            opt: OptimizeMetrics::register(&registry),
             registry,
         })
     }

@@ -50,6 +50,15 @@ pub struct ChimeraConfig {
     /// main store alike). Flows into every [`RuleClassifier`] this pipeline
     /// builds, and from there into serving snapshots.
     pub executor: ExecutorKind,
+    /// Run the offline rule-set optimizer ([`rulekit_maint::optimize`])
+    /// over each main-store snapshot before compiling it: duplicates merge,
+    /// formally-subsumed blacklist rules drop, dictionary blacklists union,
+    /// and confirmation order is rewritten cheapest-probe first. Only the
+    /// decision-exact passes run (no guard corpus is wired through the
+    /// pipeline), so classifications are bit-identical either way; the
+    /// outcome is recorded in the pipeline registry's
+    /// `rulekit_maint_opt_*` series.
+    pub optimize_rules: bool,
     /// Seed for QA sampling.
     pub seed: u64,
     /// Drift monitor sliding-window size.
@@ -71,6 +80,7 @@ impl Default for ChimeraConfig {
             analysis_enabled: true,
             threads: 4,
             executor: ExecutorKind::default(),
+            optimize_rules: false,
             seed: 0,
             monitor_window: 60,
             monitor_min_samples: 12,
@@ -272,7 +282,19 @@ impl Chimera {
             self.cfg.executor.build_with(gate_snapshot.clone(), Some(self.obs.exec.clone())),
             gate_snapshot,
         ));
-        let rule_snapshot = self.rules.enabled_snapshot();
+        let mut rule_snapshot = self.rules.enabled_snapshot();
+        if self.cfg.optimize_rules {
+            // Only the decision-exact passes run (no guard corpus here), so
+            // the optimized snapshot classifies identically — it's purely a
+            // build-time compaction of what the executor must serve.
+            let (optimized, report) = rulekit_maint::optimize(
+                rule_snapshot,
+                &rulekit_maint::OptimizeOptions::default(),
+                None,
+            );
+            self.obs.opt.record(&report);
+            rule_snapshot = optimized;
+        }
         let rules = Arc::new(RuleClassifier::new(
             self.cfg.executor.build_with(rule_snapshot.clone(), Some(self.obs.exec.clone())),
             rule_snapshot,
@@ -580,6 +602,55 @@ mod tests {
         }
         assert_eq!(all[0], all[1], "naive vs trigram");
         assert_eq!(all[0], all[2], "naive vs literal-scan");
+    }
+
+    #[test]
+    fn optimized_snapshot_classifies_identically() {
+        // optimize_rules is a build-time compaction, never a semantics
+        // knob: a store salted with duplicates and subsumed blacklist rules
+        // must decide every product exactly as the unoptimized build does.
+        let tax = Taxonomy::builtin();
+        let mut g = CatalogGenerator::with_seed(tax.clone(), 61);
+        let corpus = LabeledCorpus::generate(&mut g, 1500);
+        let products: Vec<Product> = g.generate(200).into_iter().map(|i| i.product).collect();
+        let redundant = "rings? -> rings\nrings? -> rings\n\
+                         denim.*jeans? -> NOT shorts\njeans? -> NOT shorts\n\
+                         laptop (bag|case|sleeve)s? -> NOT laptop computers\n";
+        // Compare (type, confidence) — explanations legitimately shrink
+        // when merged/dropped rules stop being listed as voters.
+        let mut all: Vec<Vec<(Option<TypeId>, Option<u64>)>> = Vec::new();
+        for optimize in [false, true] {
+            let mut chimera = Chimera::new(
+                tax.clone(),
+                ChimeraConfig { optimize_rules: optimize, ..Default::default() },
+            );
+            chimera.train(corpus.items());
+            chimera.add_rules(redundant).unwrap();
+            all.push(
+                chimera
+                    .classify_batch(&products)
+                    .into_iter()
+                    .map(|d| {
+                        let conf = match &d {
+                            Decision::Classified { confidence, .. } => Some(confidence.to_bits()),
+                            _ => None,
+                        };
+                        (d.type_id(), conf)
+                    })
+                    .collect(),
+            );
+            let opt = &chimera.metrics().opt;
+            if optimize {
+                assert!(opt.merged.value() >= 1, "duplicate rings rule merged");
+                assert!(opt.dropped.value() >= 1, "subsumed jeans blacklist dropped");
+                assert!(opt.active_rules.value() >= 1);
+                let text = chimera.metrics().registry().render_text();
+                assert!(text.contains("rulekit_maint_opt_rules_dropped_total"));
+            } else {
+                assert_eq!(opt.merged.value() + opt.dropped.value(), 0);
+            }
+        }
+        assert_eq!(all[0], all[1], "optimized vs raw snapshot decisions");
     }
 
     #[test]

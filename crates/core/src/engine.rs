@@ -700,6 +700,28 @@ const STEAL_CHUNK_MAX: usize = 512;
 /// regime where `literal_par4` used to lose to single-thread execution.
 const SERIAL_CUTOFF: usize = 2 * STEAL_CHUNK_MIN;
 
+/// Work-stealing chunk size, clamped by batch length *and* the worker count
+/// actually available. Three forces:
+///
+/// * aim for ~8 chunks per worker, so stealing has slack to rebalance when
+///   per-item cost is skewed — at high rule counts one expensive title costs
+///   100µs+ and the PR 5 policy (4 chunks/worker, floored at 16) could leave
+///   a worker stalled behind a single hot chunk while the rest sat idle;
+/// * floor at [`STEAL_CHUNK_MIN`] so per-chunk dispatch stays noise — unless
+///   the batch is so small that the floor would leave workers with nothing
+///   to steal, in which case the floor shrinks until every worker gets at
+///   least one chunk;
+/// * cap at [`STEAL_CHUNK_MAX`] so very large batches still rebalance.
+///
+/// The serial path uses the same function (with one thread) for its
+/// panic-containment chunks, so [`WorkerPanic::chunk`] indices stay
+/// consistent between paths for a given dispatch width.
+fn steal_chunk_size(len: usize, threads: usize) -> usize {
+    let threads = threads.max(1);
+    let floor = STEAL_CHUNK_MIN.min(len.div_ceil(threads)).max(1);
+    len.div_ceil(threads.saturating_mul(8)).clamp(floor, STEAL_CHUNK_MAX)
+}
+
 /// Runs `executor` over `products` on the persistent process-wide
 /// [`WorkerPool`], preserving input order — the paper's "execute the rules
 /// in parallel on a cluster of machines", one machine's worth, without
@@ -760,7 +782,7 @@ fn execute_batch_on(
 
     if threads == 1 || products.len() < SERIAL_CUTOFF {
         let mut rows = Vec::with_capacity(products.len());
-        for (i, slice) in products.chunks(STEAL_CHUNK_MIN).enumerate() {
+        for (i, slice) in products.chunks(steal_chunk_size(products.len(), 1)).enumerate() {
             match run_chunk(executor, slice) {
                 Ok(chunk_rows) => rows.extend(chunk_rows),
                 Err(payload) => {
@@ -771,12 +793,7 @@ fn execute_batch_on(
         return Ok(rows);
     }
 
-    // Aim for several chunks per worker so stealing has slack to balance,
-    // within the [min, max] granularity bounds.
-    let chunk = products
-        .len()
-        .div_ceil(threads.saturating_mul(4).max(1))
-        .clamp(STEAL_CHUNK_MIN, STEAL_CHUNK_MAX);
+    let chunk = steal_chunk_size(products.len(), threads);
     let chunks: Vec<&[rulekit_data::Product]> = products.chunks(chunk).collect();
     let slots: Vec<Mutex<Option<ChunkResult>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
@@ -1154,11 +1171,18 @@ mod tests {
         products[33] = product("poison", &[]);
         let err = execute_batch_parallel(&PoisonExecutor, &products, 4)
             .expect_err("poisoned chunk must fail");
-        // Work-stealing cuts 40 products into 16-item chunks (the minimum
-        // steal granularity); index 33 lands in chunk 2.
-        assert_eq!(err.chunk, 33 / STEAL_CHUNK_MIN);
+        // The reported chunk index follows the shared chunking policy for
+        // whatever dispatch width the global pool actually granted (a
+        // single-core host clamps to the serial path).
+        let eff = 4usize.clamp(1, WorkerPool::global().size().max(1));
+        let chunk = if eff == 1 || products.len() < SERIAL_CUTOFF {
+            steal_chunk_size(products.len(), 1)
+        } else {
+            steal_chunk_size(products.len(), eff)
+        };
+        assert_eq!(err.chunk, 33 / chunk);
         assert!(err.message.contains("poisoned product"), "message: {}", err.message);
-        assert!(err.to_string().contains(&format!("chunk {}", 33 / STEAL_CHUNK_MIN)));
+        assert!(err.to_string().contains(&format!("chunk {}", 33 / chunk)));
 
         // Healthy batches on the same executor still succeed afterwards.
         let clean: Vec<Product> = (0..40).map(|_| product("fine", &[])).collect();
@@ -1194,9 +1218,22 @@ mod tests {
         poisoned[SERIAL_CUTOFF * 4 + 1] = product("poison", &[]);
         let err = execute_batch_on(&pool, &PoisonExecutor, &poisoned, 3)
             .expect_err("poisoned chunk must fail");
-        let chunk = poisoned.len().div_ceil(3 * 4).clamp(STEAL_CHUNK_MIN, STEAL_CHUNK_MAX);
+        let chunk = steal_chunk_size(poisoned.len(), 3);
         assert_eq!(err.chunk, (SERIAL_CUTOFF * 4 + 1) / chunk);
         assert!(err.message.contains("poisoned product"));
+    }
+
+    #[test]
+    fn steal_chunk_size_clamps_by_batch_and_pool() {
+        // Small batch, many workers: the floor shrinks so no worker idles.
+        assert_eq!(steal_chunk_size(40, 4), 10);
+        // One worker: the floor holds at the steal minimum.
+        assert_eq!(steal_chunk_size(40, 1), STEAL_CHUNK_MIN);
+        // Large batch: ~8 chunks per worker.
+        assert_eq!(steal_chunk_size(2000, 4), 63);
+        // Degenerate inputs stay sane.
+        assert_eq!(steal_chunk_size(1, 8), 1);
+        assert!(steal_chunk_size(1_000_000, 2) <= STEAL_CHUNK_MAX);
     }
 
     #[test]

@@ -47,15 +47,25 @@ impl AhoCorasick {
         I: IntoIterator<Item = P>,
         P: AsRef<str>,
     {
+        // Pre-size every per-state vector from the literal stats: total
+        // pattern bytes bound the state count (shared prefixes only shrink
+        // it), so at 100k-rule scale the build never reallocates the spine
+        // vectors mid-insertion.
+        let patterns: Vec<P> = patterns.into_iter().collect();
+        let total_bytes: usize = patterns.iter().map(|p| p.as_ref().len()).sum();
+        let state_cap = total_bytes + 1;
         let mut ac = AhoCorasick {
-            trans: vec![Vec::new()],
-            fail: vec![ROOT],
-            out: vec![Vec::new()],
+            trans: Vec::with_capacity(state_cap),
+            fail: Vec::with_capacity(state_cap),
+            out: Vec::with_capacity(state_cap),
             root_dense: [ROOT; 256],
             patterns: 0,
-            pattern_len: Vec::new(),
+            pattern_len: Vec::with_capacity(patterns.len()),
         };
-        for pattern in patterns {
+        ac.trans.push(Vec::new());
+        ac.fail.push(ROOT);
+        ac.out.push(Vec::new());
+        for pattern in &patterns {
             let bytes = pattern.as_ref().as_bytes();
             assert!(!bytes.is_empty(), "empty literal pattern");
             let id = ac.patterns as u32;
@@ -91,7 +101,9 @@ impl AhoCorasick {
     /// BFS over the trie: compute failure links, merge output sets down the
     /// failure chain, and densify the root row.
     fn build_links(&mut self) {
-        let mut queue = std::collections::VecDeque::new();
+        // One queue allocation sized for the whole trie — BFS visits every
+        // state exactly once, so this never grows.
+        let mut queue = std::collections::VecDeque::with_capacity(self.trans.len());
         for &(b, child) in &self.trans[ROOT as usize] {
             self.root_dense[b as usize] = child;
             queue.push_back(child);
@@ -114,8 +126,7 @@ impl AhoCorasick {
                 // `fallback` can equal `child` only when node is the root's
                 // own child chain; guard against self-links.
                 self.fail[child as usize] = if fallback == child { ROOT } else { fallback };
-                let inherited = self.out[self.fail[child as usize] as usize].clone();
-                self.out[child as usize].extend(inherited);
+                extend_out(&mut self.out, child as usize, self.fail[child as usize] as usize);
                 queue.push_back(child);
             }
         }
@@ -174,6 +185,22 @@ impl AhoCorasick {
             }
         }
         hits
+    }
+}
+
+/// Appends `out[src]` onto `out[dst]` without cloning the source set —
+/// the failure-chain merge runs once per state and used to pay a fresh
+/// `Vec` per inherited set.
+fn extend_out(out: &mut [Vec<u32>], dst: usize, src: usize) {
+    if dst == src || out[src].is_empty() {
+        return;
+    }
+    if dst < src {
+        let (lo, hi) = out.split_at_mut(src);
+        lo[dst].extend_from_slice(&hi[0]);
+    } else {
+        let (lo, hi) = out.split_at_mut(dst);
+        hi[0].extend_from_slice(&lo[src]);
     }
 }
 

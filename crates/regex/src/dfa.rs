@@ -1,0 +1,675 @@
+//! Lazy DFA: cached on-the-fly subset construction over the Thompson NFA.
+//!
+//! The Pike VM answers `is_match` in `O(text × program)` with two thread
+//! lists and an `Rc` slot box allocated per call — fine for ad-hoc matching,
+//! ruinous when the literal-scan executor confirms ~100 candidate rules per
+//! title at 100k-rule scale. The lazy DFA converts the same NFA program into
+//! a deterministic automaton *one state at a time, as the input demands*:
+//!
+//! * a **state** is the sorted epsilon-closure of NFA pcs (consuming
+//!   instructions, `Match`, and *pending* end-of-text assertions);
+//! * the **alphabet** is compressed into character equivalence classes
+//!   derived from every `Ranges` boundary in the program (plus `\n` for
+//!   `Any`), so a state's transition row is a handful of entries, not 1112k
+//!   code points;
+//! * transitions are discovered on first use and memoized in a flat
+//!   `state × class` table — steady-state matching is one table load per
+//!   character and allocates nothing;
+//! * the state cache is **bounded**: when a pathological pattern mints more
+//!   than [`DEFAULT_STATE_BUDGET`] distinct states, the cache is cleared and
+//!   rebuilt in place; after [`MAX_CLEARS_PER_SEARCH`] clears within a
+//!   single search the engine gives up (`None`) and the caller falls back to
+//!   the Pike VM, preserving the linear worst case. A regex whose searches
+//!   keep falling back is marked hostile and stops trying the DFA at all.
+//!
+//! Capture extraction always runs on the Pike VM — the DFA answers only the
+//! boolean confirmation query, which is all rule execution needs.
+//!
+//! Thread safety: the immutable construction (`LazyDfa`) is shared via
+//! `Arc` by cloned regexes; mutable scratch (`Cache`) lives in a pooled
+//! free-list guarded by a `Mutex` held only to pop/push, never during a
+//! search, so concurrent batch workers each warm their own cache without
+//! contending.
+
+use crate::nfa::{Inst, Program};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maximum distinct states cached per search cache before eviction.
+pub const DEFAULT_STATE_BUDGET: usize = 256;
+/// Cache clears tolerated within one search before falling back to PikeVM.
+const MAX_CLEARS_PER_SEARCH: u32 = 3;
+/// Searches that fell back before the regex stops trying the DFA entirely.
+const HOSTILE_FALLBACK_LIMIT: u64 = 8;
+/// Programs larger than this skip the DFA (counted-repetition bombs would
+/// churn the state cache for nothing).
+const MAX_DFA_PROGRAM: usize = 2048;
+/// Alphabet-compression cap: more equivalence classes than this and the
+/// transition rows stop paying for themselves.
+const MAX_CLASSES: usize = 128;
+/// Caches kept in the per-regex free list.
+const MAX_POOL: usize = 8;
+
+/// Transition-table sentinel: not yet computed. Checked before
+/// [`MATCH_BIT`], so the overlap of the two encodings is harmless.
+const UNKNOWN: u32 = u32::MAX;
+/// The dead state (empty closure) is always state 0.
+const DEAD: u32 = 0;
+/// Set on a memoized transition whose target state is a match state, so the
+/// hot loop learns "matched" from the transition word itself instead of a
+/// second dependent load. State ids stay far below 2³¹ (the budget caps
+/// them), so the bit is free.
+const MATCH_BIT: u32 = 1 << 31;
+
+/// End-of-input resolution per state: not yet computed / match / no match.
+const EOI_UNKNOWN: u8 = 0;
+const EOI_MATCH: u8 = 1;
+const EOI_NO_MATCH: u8 = 2;
+
+/// Shared, immutable part of a lazy DFA for one compiled program.
+pub struct LazyDfa {
+    program: Arc<Program>,
+    /// Sorted equivalence-class boundaries; class of `c` = number of
+    /// boundaries ≤ `c`.
+    boundaries: Vec<char>,
+    /// Dense `char → class` table for ASCII, the common case for titles.
+    ascii: [u16; 128],
+    /// Lowest character of each class — because classes refine every range
+    /// in the program, testing the representative is exact.
+    repr: Vec<char>,
+    class_count: usize,
+    /// Every match must start at position 0 (`^` on all paths): no reseeding,
+    /// and the dead state is terminal.
+    anchored: bool,
+    budget: usize,
+    /// Single-slot fast path for the pool: one atomic swap per checkout /
+    /// checkin in the common one-thread-per-regex case. Rule execution
+    /// calls `is_match` once per admitted candidate, so two mutex ops per
+    /// call were a measurable fraction of short-title searches.
+    stash: AtomicPtr<Cache>,
+    /// Boxed so caches move between `stash` (raw pointer) and the overflow
+    /// list without reallocating — the Box *is* the stashed allocation.
+    #[allow(clippy::vec_box)]
+    pool: Mutex<Vec<Box<Cache>>>,
+    /// Set after [`HOSTILE_FALLBACK_LIMIT`] searches fell back: this pattern
+    /// thrashes the cache, stop burning work before each PikeVM run.
+    hostile: AtomicBool,
+    fallbacks: AtomicU64,
+}
+
+/// Mutable search state: discovered states, memoized transitions, scratch.
+#[derive(Default)]
+struct Cache {
+    /// State id → sorted closure key. Keys contain consuming pcs, `Match`
+    /// pcs, and pending `AssertEnd` pcs (resolved only at end of input) —
+    /// all three influence behaviour, so all three are part of identity.
+    keys: Vec<Box<[u32]>>,
+    /// State id → "contains a `Match` pc" (match ends at current position).
+    is_match: Vec<bool>,
+    map: HashMap<Box<[u32]>, u32>,
+    /// Flat `state × class_count` transition table; `UNKNOWN` = unmemoized.
+    trans: Vec<u32>,
+    /// Per-state end-of-input verdict (pending `$` resolved at text end).
+    eoi: Vec<u8>,
+    /// Start state id (computed with the at-start assertion satisfied).
+    start: u32,
+    clears: u32,
+    // Closure scratch, reused across searches.
+    stack: Vec<u32>,
+    seen: Vec<u32>,
+    epoch: u32,
+    key_buf: Vec<u32>,
+    moved: Vec<u32>,
+}
+
+impl LazyDfa {
+    /// Builds the shared half of a lazy DFA, or `None` when the program is
+    /// too large or its alphabet too fragmented to benefit.
+    pub fn new(program: Arc<Program>) -> Option<LazyDfa> {
+        Self::with_budget(program, DEFAULT_STATE_BUDGET)
+    }
+
+    /// Like [`LazyDfa::new`] with an explicit state budget — exposed so the
+    /// eviction tests can force a tiny cache.
+    pub fn with_budget(program: Arc<Program>, budget: usize) -> Option<LazyDfa> {
+        if program.insts.len() > MAX_DFA_PROGRAM {
+            return None;
+        }
+        let mut boundaries: Vec<char> = Vec::new();
+        let mut any = false;
+        for inst in &program.insts {
+            match inst {
+                Inst::Ranges(ranges) => {
+                    for &(lo, hi) in ranges.iter() {
+                        boundaries.push(lo);
+                        if let Some(s) = char_succ(hi) {
+                            boundaries.push(s);
+                        }
+                    }
+                }
+                Inst::Any => any = true,
+                _ => {}
+            }
+        }
+        if any {
+            boundaries.push('\n');
+            boundaries.push('\u{b}'); // succ('\n')
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let class_count = boundaries.len() + 1;
+        if class_count > MAX_CLASSES {
+            return None;
+        }
+        let mut ascii = [0u16; 128];
+        for (i, slot) in ascii.iter_mut().enumerate() {
+            let c = i as u8 as char;
+            *slot = boundaries.partition_point(|&b| b <= c) as u16;
+        }
+        let mut repr = Vec::with_capacity(class_count);
+        repr.push('\0');
+        repr.extend(boundaries.iter().copied());
+        let anchored = program.anchored_start;
+        Some(LazyDfa {
+            program,
+            boundaries,
+            ascii,
+            repr,
+            class_count,
+            anchored,
+            budget: budget.max(8),
+            stash: AtomicPtr::new(std::ptr::null_mut()),
+            pool: Mutex::new(Vec::new()),
+            hostile: AtomicBool::new(false),
+            fallbacks: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the pattern matches anywhere in `text`.
+    ///
+    /// `None` means the DFA gave up (cache thrash) and the caller must run
+    /// the Pike VM; the answer is never wrong, only occasionally absent.
+    pub fn is_match(&self, text: &str) -> Option<bool> {
+        if self.hostile.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut cache = self.checkout();
+        let verdict = self.search(&mut cache, text);
+        if verdict.is_none() {
+            // Leave a clean cache for the next search; a few more misses and
+            // the regex stops trying altogether.
+            cache = Box::default();
+            if self.fallbacks.fetch_add(1, Ordering::Relaxed) + 1 >= HOSTILE_FALLBACK_LIMIT {
+                self.hostile.store(true, Ordering::Relaxed);
+            }
+        }
+        self.checkin(cache);
+        verdict
+    }
+
+    /// Searches fell back to the Pike VM so far (diagnostics).
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    fn checkout(&self) -> Box<Cache> {
+        // Fast path: claim the stashed cache with one atomic swap. Only when
+        // another thread holds it (or on the very first search) fall through
+        // to the mutex-guarded overflow list.
+        let p = self.stash.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if !p.is_null() {
+            // SAFETY: a non-null stash pointer was produced by
+            // `Box::into_raw` in `checkin`, and the swap transferred sole
+            // ownership to this call.
+            return unsafe { Box::from_raw(p) };
+        }
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default()
+    }
+
+    fn checkin(&self, cache: Box<Cache>) {
+        let p = Box::into_raw(cache);
+        if self
+            .stash
+            .compare_exchange(std::ptr::null_mut(), p, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        // SAFETY: the exchange failed, so `p` was never published; this call
+        // still owns it.
+        let cache = unsafe { Box::from_raw(p) };
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < MAX_POOL {
+            pool.push(cache);
+        }
+    }
+
+    fn search(&self, cache: &mut Cache, text: &str) -> Option<bool> {
+        if cache.keys.is_empty() {
+            self.reset(cache);
+        }
+        cache.clears = 0;
+        let mut sid = cache.start;
+        if cache.is_match[sid as usize] {
+            return Some(true);
+        }
+        let width = self.class_count;
+        // Byte-wise walk with an ASCII fast path: titles are almost always
+        // pure ASCII, and `chars()` decode overhead is measurable when the
+        // per-transition work is two array loads. Multi-byte sequences
+        // decode exactly one char and skip its full width.
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            let class = if b < 0x80 {
+                i += 1;
+                self.ascii[b as usize] as usize
+            } else {
+                let c = text[i..].chars().next().expect("non-empty UTF-8 tail");
+                i += c.len_utf8();
+                self.boundaries.partition_point(|&lo| lo <= c)
+            };
+            debug_assert!(sid as usize * width + class < cache.trans.len());
+            // SAFETY: `insert_state` grows `trans` by exactly `width` per
+            // state and `is_match` by one, so every state id (including any
+            // re-seeded `sid` after a cache clear) indexes both in bounds;
+            // `class` is always < `width` by construction of the class maps.
+            let mut next = unsafe { *cache.trans.get_unchecked(sid as usize * width + class) };
+            if next == UNKNOWN {
+                next = self.compute_transition(cache, &mut sid, class)?;
+            }
+            if next & MATCH_BIT != 0 {
+                return Some(true);
+            }
+            // Match transitions returned above, so `next` is a plain id here.
+            if next == DEAD && self.anchored {
+                return Some(false);
+            }
+            sid = next;
+        }
+        Some(self.eoi_match(cache, sid, text.is_empty()))
+    }
+
+    /// (Re)initializes a cache: dead state, then the start state (closure of
+    /// pc 0 with the start-of-text assertion satisfied).
+    fn reset(&self, cache: &mut Cache) {
+        cache.keys.clear();
+        cache.is_match.clear();
+        cache.map.clear();
+        cache.trans.clear();
+        cache.eoi.clear();
+        cache.seen.clear();
+        cache.seen.resize(self.program.insts.len(), 0);
+        cache.epoch = 0;
+        let dead = self.insert_state(cache, Box::new([]));
+        debug_assert_eq!(dead, DEAD);
+        // The dead state has no outgoing NFA threads; for anchored programs
+        // it is terminal, for unanchored ones its transitions re-seed from
+        // pc 0 (computed lazily like any other row).
+        self.closure(cache, &[0], true);
+        let key: Box<[u32]> = cache.key_buf.as_slice().into();
+        cache.start = self.insert_state(cache, key);
+    }
+
+    fn insert_state(&self, cache: &mut Cache, key: Box<[u32]>) -> u32 {
+        if let Some(&id) = cache.map.get(&key) {
+            return id;
+        }
+        let id = cache.keys.len() as u32;
+        let is_match = key.iter().any(|&pc| matches!(self.program.insts[pc as usize], Inst::Match));
+        cache.is_match.push(is_match);
+        cache.map.insert(key.clone(), id);
+        cache.keys.push(key);
+        cache.trans.extend(std::iter::repeat_n(UNKNOWN, self.class_count));
+        cache.eoi.push(EOI_UNKNOWN);
+        id
+    }
+
+    /// Computes (and memoizes) the successor of `*sid` on `class`, returned
+    /// as a transition word (state id, plus [`MATCH_BIT`] when the successor
+    /// is a match state).
+    ///
+    /// On cache overflow the whole cache is cleared and `*sid` is re-seeded
+    /// into the fresh cache (its key survives the clear), which is why the
+    /// current state id is passed by reference. Returns `None` when the
+    /// search has thrashed the cache too many times.
+    fn compute_transition(&self, cache: &mut Cache, sid: &mut u32, class: usize) -> Option<u32> {
+        loop {
+            let repr = self.repr[class];
+            // Move: advance every consuming pc that accepts this class.
+            // Pending `$` pcs and `Match` pcs die on consumption.
+            let Cache { keys, moved, .. } = cache;
+            moved.clear();
+            for &pc in keys[*sid as usize].iter() {
+                match &self.program.insts[pc as usize] {
+                    Inst::Ranges(ranges) if ranges_contain(ranges, repr) => moved.push(pc + 1),
+                    Inst::Any if repr != '\n' => moved.push(pc + 1),
+                    _ => {}
+                }
+            }
+            if !self.anchored {
+                // Unanchored search: a fresh attempt starts at every position.
+                moved.push(0);
+            }
+            let moved = std::mem::take(&mut cache.moved);
+            self.closure(cache, &moved, false);
+            cache.moved = moved;
+            if let Some(&id) = cache.map.get(cache.key_buf.as_slice()) {
+                let word = id | if cache.is_match[id as usize] { MATCH_BIT } else { 0 };
+                cache.trans[*sid as usize * self.class_count + class] = word;
+                return Some(word);
+            }
+            if cache.keys.len() >= self.budget {
+                cache.clears += 1;
+                if cache.clears > MAX_CLEARS_PER_SEARCH {
+                    return None;
+                }
+                let clears = cache.clears;
+                let cur_key = std::mem::take(&mut cache.keys[*sid as usize]);
+                self.reset(cache);
+                cache.clears = clears;
+                *sid = self.insert_state(cache, cur_key);
+                // Recompute against the fresh cache (room is now guaranteed).
+                continue;
+            }
+            let key: Box<[u32]> = cache.key_buf.as_slice().into();
+            let id = self.insert_state(cache, key);
+            let word = id | if cache.is_match[id as usize] { MATCH_BIT } else { 0 };
+            cache.trans[*sid as usize * self.class_count + class] = word;
+            return Some(word);
+        }
+    }
+
+    /// Epsilon closure of `init` into `cache.key_buf` (sorted, deduped).
+    ///
+    /// Consuming pcs and `Match` pcs are collected; `AssertEnd` pcs are kept
+    /// *pending* (they resolve only at end of input); `AssertStart` passes
+    /// only when `at_start`.
+    fn closure(&self, cache: &mut Cache, init: &[u32], at_start: bool) {
+        let Cache { stack, seen, epoch, key_buf, .. } = cache;
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            seen.fill(0);
+            *epoch = 1;
+        }
+        key_buf.clear();
+        stack.clear();
+        stack.extend_from_slice(init);
+        while let Some(pc) = stack.pop() {
+            if seen[pc as usize] == *epoch {
+                continue;
+            }
+            seen[pc as usize] = *epoch;
+            match &self.program.insts[pc as usize] {
+                Inst::Jump(to) => stack.push(*to),
+                Inst::Split(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Inst::Save(_) => stack.push(pc + 1),
+                Inst::AssertStart => {
+                    if at_start {
+                        stack.push(pc + 1);
+                    }
+                }
+                Inst::AssertEnd | Inst::Ranges(_) | Inst::Any | Inst::Match => key_buf.push(pc),
+            }
+        }
+        key_buf.sort_unstable();
+    }
+
+    /// Resolves a state at end of input: a match already flagged, or a
+    /// pending `$` whose continuation reaches `Match` with the end assertion
+    /// satisfied. `at_start` is true only for empty input (the start state is
+    /// the only state live at position 0), so the cached verdict covers the
+    /// common case and empty input is computed fresh.
+    fn eoi_match(&self, cache: &mut Cache, sid: u32, at_start: bool) -> bool {
+        if cache.is_match[sid as usize] {
+            return true;
+        }
+        if !at_start {
+            match cache.eoi[sid as usize] {
+                EOI_MATCH => return true,
+                EOI_NO_MATCH => return false,
+                _ => {}
+            }
+        }
+        let verdict = self.eoi_resolves(cache, sid, at_start);
+        if !at_start {
+            cache.eoi[sid as usize] = if verdict { EOI_MATCH } else { EOI_NO_MATCH };
+        }
+        verdict
+    }
+
+    fn eoi_resolves(&self, cache: &mut Cache, sid: u32, at_start: bool) -> bool {
+        let Cache { keys, stack, seen, epoch, .. } = cache;
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            seen.fill(0);
+            *epoch = 1;
+        }
+        stack.clear();
+        for &pc in keys[sid as usize].iter() {
+            if matches!(self.program.insts[pc as usize], Inst::AssertEnd) {
+                stack.push(pc + 1);
+            }
+        }
+        while let Some(pc) = stack.pop() {
+            if seen[pc as usize] == *epoch {
+                continue;
+            }
+            seen[pc as usize] = *epoch;
+            match &self.program.insts[pc as usize] {
+                Inst::Match => return true,
+                Inst::Jump(to) => stack.push(*to),
+                Inst::Split(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Inst::Save(_) | Inst::AssertEnd => stack.push(pc + 1),
+                Inst::AssertStart => {
+                    if at_start {
+                        stack.push(pc + 1);
+                    }
+                }
+                // No input remains: consuming instructions are dead ends.
+                Inst::Ranges(_) | Inst::Any => {}
+            }
+        }
+        false
+    }
+}
+
+impl Drop for LazyDfa {
+    fn drop(&mut self) {
+        let p = self.stash.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if !p.is_null() {
+            // SAFETY: a non-null stash pointer came from `Box::into_raw` and
+            // nothing else can claim it after the swap.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+/// The next code point after `c`, skipping the surrogate gap.
+fn char_succ(c: char) -> Option<char> {
+    let mut u = c as u32 + 1;
+    if u == 0xD800 {
+        u = 0xE000;
+    }
+    char::from_u32(u)
+}
+
+fn ranges_contain(ranges: &[(char, char)], c: char) -> bool {
+    // Rule classes are tiny (1–4 ranges); linear scan beats binary search.
+    if ranges.len() <= 4 {
+        return ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+    }
+    ranges
+        .binary_search_by(|&(lo, hi)| {
+            if c < lo {
+                std::cmp::Ordering::Greater
+            } else if c > hi {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::{compile, CompileOptions};
+    use crate::parser::parse;
+    use crate::pikevm;
+
+    fn dfa_for(pattern: &str) -> (LazyDfa, Arc<Program>) {
+        let program =
+            Arc::new(compile(&parse(pattern).unwrap(), CompileOptions::default()).unwrap());
+        (LazyDfa::new(program.clone()).expect("dfa built"), program)
+    }
+
+    fn check(pattern: &str, text: &str) {
+        let (dfa, program) = dfa_for(pattern);
+        let expected = pikevm::exec(&program, text, 0, true).is_some();
+        assert_eq!(dfa.is_match(text), Some(expected), "pattern {pattern:?} on {text:?}");
+    }
+
+    #[test]
+    fn agrees_with_pikevm_on_basics() {
+        for (p, t) in [
+            ("ring", "wedding ring set"),
+            ("ring", "necklace"),
+            ("rings?", "three rings"),
+            ("a+b", "aab"),
+            ("a+b", "b"),
+            ("a|b|c", "zzz"),
+            ("a|b|c", "zbz"),
+            ("", ""),
+            ("", "abc"),
+            ("a.c", "a\nc"),
+            ("a.c", "axc"),
+            ("denim.*jeans?", "blue denim skinny jean"),
+            ("denim.*jeans?", "skinny jean denim"),
+        ] {
+            check(p, t);
+        }
+    }
+
+    #[test]
+    fn anchors_resolve_at_the_right_positions() {
+        for (p, t) in [
+            ("^ring", "ring first"),
+            ("^ring", "a ring"),
+            ("ring$", "wedding ring"),
+            ("ring$", "ring size"),
+            ("^ring$", "ring"),
+            ("^ring$", "ring "),
+            ("^$", ""),
+            ("^$", "x"),
+            ("$", "abc"),
+            ("a$|b", "cba"),
+            ("a$|b", "cab"),
+            ("^(a|b)c$", "bc"),
+        ] {
+            check(p, t);
+        }
+    }
+
+    #[test]
+    fn non_ascii_inputs_and_patterns() {
+        for (p, t) in [
+            ("café", "un café noir"),
+            ("café", "un cafe noir"),
+            ("straße", "hauptstraße 7"),
+            ("a", "日本語テキスト"),
+            ("日本", "日本語テキスト"),
+            ("[α-ω]+", "ΑΒΓ αβγ"),
+        ] {
+            check(p, t);
+        }
+    }
+
+    #[test]
+    fn earliest_exit_still_correct_mid_text() {
+        // Match found long before end of text: DFA must stop early with the
+        // same verdict.
+        let (dfa, program) = dfa_for("ab");
+        let text = format!("ab{}", "x".repeat(1000));
+        assert_eq!(dfa.is_match(&text), Some(pikevm::exec(&program, &text, 0, true).is_some()));
+    }
+
+    #[test]
+    fn tiny_budget_evicts_but_stays_correct() {
+        // Enough distinct states to overflow a floor-sized budget repeatedly.
+        let program = Arc::new(
+            compile(&parse("(a|b)(c|d)(e|f)(g|h)(i|j)k").unwrap(), CompileOptions::default())
+                .unwrap(),
+        );
+        let dfa = LazyDfa::with_budget(program.clone(), 1).expect("dfa built");
+        for text in ["acegik", "bdfhjk", "aceg", "zzzzzz", "acegika", "xacegik"] {
+            let expected = pikevm::exec(&program, text, 0, true).is_some();
+            let got = dfa.is_match(text);
+            assert!(
+                got == Some(expected) || got.is_none(),
+                "wrong verdict for {text:?}: {got:?} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_patterns_fall_back_and_then_disable() {
+        // A pattern whose DFA state count explodes past any budget quickly:
+        // counted repetition over a class forces ~2^n subsets.
+        let program = Arc::new(
+            compile(&parse("[ab]*a[ab]{15}$").unwrap(), CompileOptions::default()).unwrap(),
+        );
+        let dfa = LazyDfa::with_budget(program.clone(), 8).expect("dfa built");
+        // Aperiodic input: periodic text like "abab…" cycles through a
+        // handful of states and never stresses the cache.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut fell_back = false;
+        for _ in 0..16 {
+            let text: String = (0..256)
+                .map(|_| {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if state >> 63 == 0 {
+                        'a'
+                    } else {
+                        'b'
+                    }
+                })
+                .collect();
+            if dfa.is_match(&text).is_none() {
+                fell_back = true;
+            }
+        }
+        assert!(fell_back, "tiny budget on a subset-explosion pattern must fall back");
+        assert!(dfa.is_match("anything").is_none(), "hostile pattern disables the DFA");
+        assert!(dfa.fallback_count() >= 1);
+    }
+
+    #[test]
+    fn oversized_programs_are_rejected() {
+        let program =
+            Arc::new(compile(&parse("(?:a{60}){60}").unwrap(), CompileOptions::default()).unwrap());
+        assert!(program.insts.len() > MAX_DFA_PROGRAM);
+        assert!(LazyDfa::new(program).is_none());
+    }
+
+    #[test]
+    fn case_insensitive_programs_match_both_cases() {
+        let program = Arc::new(
+            compile(&parse("wedding band").unwrap(), CompileOptions { case_insensitive: true })
+                .unwrap(),
+        );
+        let dfa = LazyDfa::new(program).unwrap();
+        assert_eq!(dfa.is_match("Sterling Silver WEDDING BAND size 7"), Some(true));
+        assert_eq!(dfa.is_match("sterling ring"), Some(false));
+    }
+}

@@ -41,6 +41,7 @@
 pub mod aho;
 pub mod ast;
 pub mod contain;
+pub mod dfa;
 pub mod literals;
 pub mod nfa;
 pub mod parser;
@@ -98,6 +99,10 @@ pub struct Regex {
     pattern: Arc<str>,
     ast: Arc<Ast>,
     program: Arc<Program>,
+    /// Lazy DFA for the boolean confirmation path; `None` when the program
+    /// is too large or its alphabet too fragmented (see [`dfa`]). Shared by
+    /// clones so the memoized state cache warms once per pattern.
+    dfa: Option<Arc<dfa::LazyDfa>>,
     options: Options,
 }
 
@@ -118,12 +123,9 @@ impl Regex {
         let ast = parser::parse(pattern)?;
         let program =
             nfa::compile(&ast, CompileOptions { case_insensitive: options.case_insensitive })?;
-        Ok(Regex {
-            pattern: Arc::from(pattern),
-            ast: Arc::new(ast),
-            program: Arc::new(program),
-            options,
-        })
+        let program = Arc::new(program);
+        let dfa = dfa::LazyDfa::new(program.clone()).map(Arc::new);
+        Ok(Regex { pattern: Arc::from(pattern), ast: Arc::new(ast), program, dfa, options })
     }
 
     /// The source pattern.
@@ -147,8 +149,26 @@ impl Regex {
     }
 
     /// Whether the pattern matches anywhere in `text`.
+    ///
+    /// Runs on the lazy DFA (memoized subset construction, allocation-free
+    /// once warm) and falls back to the Pike VM when the DFA is unavailable
+    /// or its bounded state cache thrashes. Capture extraction
+    /// ([`Regex::find`], [`Regex::captures`]) always uses the Pike VM.
     pub fn is_match(&self, text: &str) -> bool {
+        if let Some(dfa) = &self.dfa {
+            if let Some(verdict) = dfa.is_match(text) {
+                return verdict;
+            }
+        }
         pikevm::exec(&self.program, text, 0, true).is_some()
+    }
+
+    /// The DFA's answer alone, bypassing the Pike VM fallback: `None` when
+    /// this pattern has no DFA or the search gave up. Exposed for the
+    /// differential test suites; production code wants [`Regex::is_match`].
+    #[doc(hidden)]
+    pub fn try_match_dfa(&self, text: &str) -> Option<bool> {
+        self.dfa.as_ref()?.is_match(text)
     }
 
     /// Leftmost-first match, if any.

@@ -1,0 +1,118 @@
+//! Zero-allocation guard for the lazy DFA's steady state.
+//!
+//! The confirmation tier's speed claim rests on warm searches being pure
+//! table walks: once the states a workload touches are cached, `is_match`
+//! must not allocate — not for thread lists (the Pike VM's cost), not for
+//! state keys, not per call. This test warms a set of rule-shaped patterns
+//! on representative titles, then counts heap allocations across thousands
+//! of repeat searches. Any future change that sneaks a per-search
+//! allocation into the DFA path (or silently diverts these patterns to the
+//! Pike VM) fails here, not in a profile.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use rulekit_regex::Regex;
+
+thread_local! {
+    /// `Some(n)` while counting on this thread; thread-local so the test
+    /// harness's own allocations never pollute the count.
+    static ALLOCS: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| {
+            if let Some(n) = c.get() {
+                c.set(Some(n + 1));
+            }
+        });
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| {
+            if let Some(n) = c.get() {
+                c.set(Some(n + 1));
+            }
+        });
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| {
+            if let Some(n) = c.get() {
+                c.set(Some(n + 1));
+            }
+        });
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting enabled and returns how many heap
+/// allocations it performed on this thread.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|c| c.set(Some(0)));
+    f();
+    ALLOCS.with(|c| c.replace(None)).expect("counter armed")
+}
+
+#[test]
+fn warm_dfa_searches_are_allocation_free() {
+    // Rule-shaped patterns: the qualifier.*head idiom, alternation groups,
+    // optional plurals, a dictionary-ish disjunction, and anchors.
+    let patterns = [
+        "denim.*jeans?",
+        "(motor|engine) oils?",
+        "abrasive.*(wheels?|discs?)",
+        "^wedding bands?$",
+        "(gold|silver|platinum) ring",
+    ];
+    let regexes: Vec<Regex> =
+        patterns.iter().map(|p| Regex::case_insensitive(p).expect(p)).collect();
+
+    // Mostly non-matching titles so every search scans to the end — the
+    // worst (and common) case for a confirmation tier: candidate admitted
+    // by a literal hit, rejected by the full pattern.
+    let titles = [
+        "mens denim jacket distressed",
+        "synthetic motor oil 5w-30",
+        "angle grinder abrasive flap sanding",
+        "wedding bands",
+        "sterling silver earrings with gold accents",
+        "braided area rug 5x7 indoor outdoor",
+    ];
+
+    // Warm: populate every DFA state this workload can touch, and let each
+    // regex's cache pool settle (first search may allocate its cache).
+    for re in &regexes {
+        for t in &titles {
+            std::hint::black_box(re.is_match(t));
+        }
+        assert!(
+            re.try_match_dfa(titles[0]).is_some(),
+            "pattern {:?} fell off the DFA path; the guard would test the wrong engine",
+            re.pattern()
+        );
+    }
+
+    let n = count_allocs(|| {
+        for _ in 0..2_000 {
+            for re in &regexes {
+                for t in &titles {
+                    std::hint::black_box(re.is_match(std::hint::black_box(t)));
+                }
+            }
+        }
+    });
+    assert_eq!(n, 0, "warm DFA searches allocated {n} times in steady state");
+}

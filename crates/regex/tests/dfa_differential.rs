@@ -1,0 +1,161 @@
+//! Differential suite for the lazy-DFA confirmation tier: on every input
+//! the DFA either returns exactly the Pike VM's verdict or declines
+//! (`None`) and the engine falls back — it must never *disagree*.
+//!
+//! `Regex::find` never routes through the DFA (span extraction is the Pike
+//! VM's job), so `find(text).is_some()` is an independent oracle for the
+//! same compiled program. The generators deliberately cover the DFA's hard
+//! cases: anchors at both ends, non-ASCII characters (multi-byte classes
+//! and equivalence-class boundaries), empty patterns/texts, and nested
+//! repetition that blows up determinization state counts.
+
+use proptest::prelude::*;
+use rulekit_regex::ast::{Ast, ClassSet};
+use rulekit_regex::{Options, Regex};
+
+/// Random AST over a small alphabet salted with non-ASCII, rendered to a
+/// pattern via `Display` (the same contract the Pike VM property suite
+/// uses).
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!['a', 'b', 'c', ' ', 'é', 'ß']).prop_map(Ast::Literal),
+        Just(Ast::AnyChar),
+        Just(Ast::Class(ClassSet { ranges: vec![('a', 'c')], negated: false })),
+        Just(Ast::Class(ClassSet { ranges: vec![('b', 'c')], negated: true })),
+        Just(Ast::Class(ClassSet { ranges: vec![('a', 'b'), ('é', 'é')], negated: false })),
+        Just(Ast::StartAnchor),
+        Just(Ast::EndAnchor),
+        Just(Ast::Empty),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Ast::alternate),
+            (inner.clone(), 0u32..3, 0u32..3, any::<bool>()).prop_map(|(a, min, extra, greedy)| {
+                Ast::Repeat { inner: Box::new(a), min, max: Some(min + extra), greedy }
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(a, greedy)| Ast::Repeat {
+                inner: Box::new(a),
+                min: 0,
+                max: None,
+                greedy,
+            }),
+            inner.prop_map(|a| Ast::Group { index: Some(1), inner: Box::new(a) }),
+        ]
+    })
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec!['a', 'b', 'c', 'd', ' ', 'é', 'ß', '☃', '\n']),
+        0..16,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+/// Asserts the three-way agreement for one compiled regex and text.
+fn check(re: &Regex, text: &str) -> Result<(), TestCaseError> {
+    let vm = re.find(text).is_some();
+    if let Some(dfa) = re.try_match_dfa(text) {
+        prop_assert_eq!(
+            dfa,
+            vm,
+            "DFA disagrees with Pike VM: pattern={:?} text={:?}",
+            re.pattern(),
+            text
+        );
+    }
+    // The public entry point routes through the DFA and must land on the
+    // same verdict regardless of which engine answered.
+    prop_assert_eq!(
+        re.is_match(text),
+        vm,
+        "is_match diverged: pattern={:?} text={:?}",
+        re.pattern(),
+        text
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// DFA ≡ Pike VM on arbitrary generated patterns and texts.
+    #[test]
+    fn dfa_agrees_with_pikevm(ast in arb_ast(), text in arb_text()) {
+        let pattern = ast.to_string();
+        let re = Regex::new(&pattern).unwrap_or_else(|e| {
+            panic!("display produced unparseable pattern {pattern:?}: {e:?}")
+        });
+        check(&re, &text)?;
+    }
+
+    /// Same agreement under case-insensitive compilation (the mode every
+    /// title rule uses), which doubles literal classes and exercises
+    /// equivalence-class splitting.
+    #[test]
+    fn dfa_agrees_case_insensitive(ast in arb_ast(), text in arb_text(), upper in any::<bool>()) {
+        let pattern = ast.to_string();
+        let re = Regex::case_insensitive(&pattern).unwrap();
+        let text = if upper { text.to_uppercase() } else { text };
+        check(&re, &text)?;
+    }
+
+    /// Explicitly anchored patterns: `^…$`, `^…`, and `…$` shapes resolve
+    /// assertions in the DFA's start-state closure and EOI handling.
+    #[test]
+    fn dfa_agrees_on_anchored_shapes(
+        ast in arb_ast(),
+        text in arb_text(),
+        head in any::<bool>(),
+        tail in any::<bool>(),
+    ) {
+        let mut pattern = ast.to_string();
+        if head {
+            pattern = format!("^{pattern}");
+        }
+        if tail {
+            pattern = format!("{pattern}$");
+        }
+        let Ok(re) = Regex::with_options(&pattern, Options::default()) else {
+            return Ok(()); // ^/$ injection can produce shapes Display never emits
+        };
+        check(&re, &text)?;
+    }
+}
+
+/// Deterministic adversarial sweep: patterns chosen to thrash the bounded
+/// state cache (exponential determinization) against aperiodic
+/// pseudo-random texts, including non-ASCII. Correctness must survive
+/// eviction, fallback, and the hostile-pattern disable switch.
+#[test]
+fn adversarial_patterns_agree_on_aperiodic_texts() {
+    let patterns = [
+        "[ab]*a[ab][ab][ab][ab][ab][ab][ab][ab]$",
+        "(a|ab)*c",
+        "(?:a*b*)*c",
+        "[^x]*éß[^x]*",
+        "^(a|b|ab)*$",
+        "(ab|ba)*(a|b)?$",
+    ];
+    let alphabet = ['a', 'b', 'c', 'x', 'é', 'ß'];
+    for pattern in patterns {
+        let re = Regex::new(pattern).expect(pattern);
+        let mut state = 0x2545f4914f6cdd1du64;
+        for round in 0..48 {
+            let len = (round * 7) % 200;
+            let text: String = (0..len)
+                .map(|_| {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    alphabet[(state >> 33) as usize % alphabet.len()]
+                })
+                .collect();
+            let vm = re.find(&text).is_some();
+            if let Some(dfa) = re.try_match_dfa(&text) {
+                assert_eq!(dfa, vm, "pattern={pattern:?} text={text:?}");
+            }
+            assert_eq!(re.is_match(&text), vm, "pattern={pattern:?} text={text:?}");
+        }
+    }
+}

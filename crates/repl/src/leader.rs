@@ -115,9 +115,7 @@ impl ReplLeader {
     ) -> std::io::Result<ReplLeader> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let epoch = store
-            .bump_epoch()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+        let epoch = store.bump_epoch().map_err(|e| std::io::Error::other(e.to_string()))?;
         let log = Arc::new(ReplLog::new(cfg.ring_capacity, 0));
         let metrics = LeaderMetrics::new(registry);
         let shared = Arc::new(LeaderShared {

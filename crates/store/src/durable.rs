@@ -325,8 +325,9 @@ impl DurableRepository {
             m.persisted_revision.set(report.recovered_revision as i64);
             m.wal_records.set(wal_records as i64);
         }
-        let wal = WalWriter::new(Arc::clone(&storage), WAL_NAME, config.fsync, wal_len, wal_records)
-            .with_metrics(metrics.clone());
+        let wal =
+            WalWriter::new(Arc::clone(&storage), WAL_NAME, config.fsync, wal_len, wal_records)
+                .with_metrics(metrics.clone());
         Ok(DurableRepository {
             repo,
             parser,
