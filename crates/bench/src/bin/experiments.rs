@@ -4,8 +4,8 @@
 //! experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]
 //!
 //! EXPERIMENT: all | table1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 |
-//!             e11 | e12 | e13 | e14 | e15 | e16 | serve | netload | recovery |
-//!             repl
+//!             e11 | e12 | e13 | e14 | e15 | e16 | e17 | serve | netload |
+//!             recovery | repl
 //! --scale     multiplies corpus sizes (default 1.0; the default corpus is
 //!             ~20k training items, a ~1/40 scale model of the paper's 885K)
 //! --seed      master RNG seed (default 1)
@@ -113,6 +113,9 @@ fn main() {
     if want("e12") {
         exp::emie::e12(scale);
     }
+    if want("e17") {
+        exp::infer::e17(scale);
+    }
     if want("serve") {
         exp::serving::serve(scale);
     }
@@ -133,7 +136,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [EXPERIMENT…] [--scale FACTOR] [--seed SEED]\n\
-         experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 serve \
+         experiments: all table1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 serve \
          netload recovery repl"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

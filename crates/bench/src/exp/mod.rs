@@ -5,6 +5,7 @@ pub mod chimera;
 pub mod emie;
 pub mod evaluation;
 pub mod execution;
+pub mod infer;
 pub mod maintenance;
 pub mod netload;
 pub mod recovery;

@@ -15,7 +15,7 @@ pub mod voting;
 
 pub use analysis::{AnalysisOutcome, SimulatedAnalysis};
 pub use metrics::OracleMetrics;
-pub use obs::PipelineMetrics;
+pub use obs::{InferMetrics, PipelineMetrics};
 pub use pipeline::{BatchReport, Chimera, ChimeraConfig};
 pub use snapshot::{PipelineSnapshot, SnapshotDecision};
 pub use voting::{vote, Decision, VotingConfig};

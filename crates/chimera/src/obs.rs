@@ -45,6 +45,47 @@ pub struct PipelineMetrics {
     /// post-optimization rule count), populated when
     /// `ChimeraConfig::optimize_rules` is on.
     pub opt: OptimizeMetrics,
+    /// Fact-inference tier accounting (`rulekit_infer_*`), populated when
+    /// the tier is enabled and infer rules exist. `Arc` so serving
+    /// snapshots can carry a handle past the pipeline's lifetime.
+    pub infer: Arc<InferMetrics>,
+}
+
+/// Counters and histograms for the forward-chaining inference tier.
+pub struct InferMetrics {
+    /// Products run through inference (tier enabled, ≥1 infer rule).
+    pub products: Counter,
+    /// Facts derived across all products.
+    pub facts: Counter,
+    /// Products whose chaining stopped at the round bound before fixpoint.
+    pub bound_hits: Counter,
+    /// Chaining rounds per product.
+    pub rounds: Histogram,
+    /// Inference latency per product (nanoseconds), including `ie` seeding.
+    pub nanos: Histogram,
+}
+
+impl InferMetrics {
+    /// Registers the `rulekit_infer_*` family in `registry`.
+    pub fn register(registry: &Registry) -> Arc<InferMetrics> {
+        Arc::new(InferMetrics {
+            products: registry.counter("rulekit_infer_products_total"),
+            facts: registry.counter("rulekit_infer_facts_total"),
+            bound_hits: registry.counter("rulekit_infer_bound_hits_total"),
+            rounds: registry.histogram("rulekit_infer_rounds"),
+            nanos: registry.histogram("rulekit_infer_nanos"),
+        })
+    }
+
+    /// Records one chained product.
+    pub fn record(&self, outcome: &rulekit_core::InferenceOutcome) {
+        self.products.inc();
+        self.facts.add(outcome.facts.len() as u64);
+        self.rounds.record(outcome.rounds as u64);
+        if outcome.hit_bound {
+            self.bound_hits.inc();
+        }
+    }
 }
 
 impl PipelineMetrics {
@@ -65,6 +106,7 @@ impl PipelineMetrics {
             batches: registry.counter("rulekit_chimera_batches_total"),
             exec: ExecMetrics::register(&registry, kind),
             opt: OptimizeMetrics::register(&registry),
+            infer: InferMetrics::register(&registry),
             registry,
         })
     }

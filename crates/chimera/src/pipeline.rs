@@ -12,11 +12,12 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rulekit_core::{
-    ExecutorKind, ParseError, RuleClassifier, RuleId, RuleMeta, RuleParser, RuleRepository,
-    WorkerPool,
+    AggregateStore, ExecutorKind, InferenceEngine, ParseError, PreparedProduct, RuleAction,
+    RuleClassifier, RuleId, RuleMeta, RuleParser, RuleRepository, WorkerPool,
 };
 use rulekit_crowd::{CrowdSim, PrecisionEstimate};
 use rulekit_data::{Batch, GeneratedItem, Product, Taxonomy, TypeId};
+use rulekit_ie::IePipeline;
 use rulekit_learn::{default_ensemble, Classifier, Ensemble, Featurizer, TrainingSet};
 use rulekit_maint::DriftMonitor;
 use rulekit_obs::{MetricsSnapshot, Registry, SpanTimer};
@@ -59,6 +60,16 @@ pub struct ChimeraConfig {
     /// outcome is recorded in the pipeline registry's
     /// `rulekit_maint_opt_*` series.
     pub optimize_rules: bool,
+    /// Run the fact-inference tier (`core::infer`) before classification:
+    /// `infer:` rules forward-chain over a working memory seeded from the
+    /// product's attributes and the `ie` extractors, and derived facts are
+    /// appended to the product as attributes every downstream stage sees.
+    /// Also attaches the pipeline's streaming [`AggregateStore`] so
+    /// expression rules can reference `agg("...")`. With no infer rules
+    /// loaded the tier is inert; with the flag off, classification is
+    /// bit-identical to the pre-inference pipeline (the differential suite
+    /// asserts both).
+    pub infer_enabled: bool,
     /// Seed for QA sampling.
     pub seed: u64,
     /// Drift monitor sliding-window size.
@@ -81,6 +92,7 @@ impl Default for ChimeraConfig {
             threads: 4,
             executor: ExecutorKind::default(),
             optimize_rules: false,
+            infer_enabled: true,
             seed: 0,
             monitor_window: 60,
             monitor_min_samples: 12,
@@ -113,6 +125,9 @@ struct ClassifierCache {
     rule_rev: u64,
     gate: Arc<RuleClassifier>,
     rules: Arc<RuleClassifier>,
+    /// Forward-chaining engine over the `infer:` rules of both stores
+    /// (possibly empty — then inference is skipped entirely).
+    infer: Arc<InferenceEngine>,
 }
 
 /// The Chimera pipeline.
@@ -132,6 +147,13 @@ pub struct Chimera {
     analysis: SimulatedAnalysis,
     cache: Mutex<Option<ClassifierCache>>,
     obs: Arc<PipelineMetrics>,
+    /// Streaming aggregates fed by the QA loop (vendor mismatch rate,
+    /// decline rate) and readable from `agg("...")` expressions.
+    aggregates: Arc<AggregateStore>,
+    /// Lazily-built `ie` extraction pipeline; seeds inference working
+    /// memory with `ie_<field>` facts. Built on first use so pipelines
+    /// without infer rules never pay for it.
+    ie: Mutex<Option<Arc<IePipeline>>>,
     rng: StdRng,
 }
 
@@ -168,8 +190,18 @@ impl Chimera {
             monitor,
             cache: Mutex::new(None),
             obs,
+            aggregates: Arc::new(AggregateStore::new()),
+            ie: Mutex::new(None),
             rng,
         }
+    }
+
+    /// The pipeline's streaming-aggregate store. Fed continuously by the
+    /// QA loop (`vendor_mismatch_rate`, `decline_rate`); callers may feed
+    /// additional series and expression rules read any of them via
+    /// `agg("name")`.
+    pub fn aggregates(&self) -> &Arc<AggregateStore> {
+        &self.aggregates
     }
 
     /// The pipeline's metric handles (stage latencies, decision counters,
@@ -268,21 +300,31 @@ impl Chimera {
         self.rules.enable_type(ty)
     }
 
-    fn classifiers(&self) -> (Arc<RuleClassifier>, Arc<RuleClassifier>) {
+    fn classifiers(&self) -> (Arc<RuleClassifier>, Arc<RuleClassifier>, Arc<InferenceEngine>) {
         let gate_rev = self.gate_rules.revision();
         let rule_rev = self.rules.revision();
         let mut cache = self.cache.lock();
         if let Some(c) = cache.as_ref() {
             if c.gate_rev == gate_rev && c.rule_rev == rule_rev {
-                return (c.gate.clone(), c.rules.clone());
+                return (c.gate.clone(), c.rules.clone(), c.infer.clone());
             }
         }
-        let gate_snapshot = self.gate_rules.enabled_snapshot();
+        // `infer:` rules are evaluated by the forward-chaining tier, never
+        // by the classification phases: partition them out of both
+        // snapshots before optimizing/compiling.
+        let is_infer = |r: &rulekit_core::Rule| matches!(r.action, RuleAction::Infer(_));
+        let mut infer_rules: Vec<rulekit_core::Rule> = Vec::new();
+        let mut gate_snapshot = self.gate_rules.enabled_snapshot();
+        infer_rules.extend(gate_snapshot.iter().filter(|r| is_infer(r)).cloned());
+        gate_snapshot.retain(|r| !is_infer(r));
         let gate = Arc::new(RuleClassifier::new(
             self.cfg.executor.build_with(gate_snapshot.clone(), Some(self.obs.exec.clone())),
             gate_snapshot,
         ));
         let mut rule_snapshot = self.rules.enabled_snapshot();
+        infer_rules.extend(rule_snapshot.iter().filter(|r| is_infer(r)).cloned());
+        rule_snapshot.retain(|r| !is_infer(r));
+        let infer = Arc::new(InferenceEngine::from_rules(&infer_rules));
         if self.cfg.optimize_rules {
             // Only the decision-exact passes run (no guard corpus here), so
             // the optimized snapshot classifies identically — it's purely a
@@ -299,9 +341,29 @@ impl Chimera {
             self.cfg.executor.build_with(rule_snapshot.clone(), Some(self.obs.exec.clone())),
             rule_snapshot,
         ));
-        *cache =
-            Some(ClassifierCache { gate_rev, rule_rev, gate: gate.clone(), rules: rules.clone() });
-        (gate, rules)
+        *cache = Some(ClassifierCache {
+            gate_rev,
+            rule_rev,
+            gate: gate.clone(),
+            rules: rules.clone(),
+            infer: infer.clone(),
+        });
+        (gate, rules, infer)
+    }
+
+    /// The lazily-built `ie` extraction pipeline (shared with snapshots).
+    fn ie_pipeline(&self) -> Arc<IePipeline> {
+        let mut slot = self.ie.lock();
+        slot.get_or_insert_with(|| Arc::new(IePipeline::standard(&self.taxonomy))).clone()
+    }
+
+    /// Working-memory seeds from the `ie` extractors: each extraction
+    /// becomes an `ie_<field>` fact (first extraction per field wins).
+    pub(crate) fn ie_seeds(ie: &IePipeline, product: &Product) -> Vec<(String, String)> {
+        ie.extract(&product.title)
+            .into_iter()
+            .map(|ex| (format!("ie_{}", ex.field), ex.value))
+            .collect()
     }
 
     /// Captures an immutable, `Send + Sync` snapshot of the current
@@ -311,10 +373,17 @@ impl Chimera {
     pub fn snapshot(&self) -> crate::snapshot::PipelineSnapshot {
         let gate_rev = self.gate_rules.revision();
         let rule_rev = self.rules.revision();
-        let (gate, rules) = self.classifiers();
+        let (gate, rules, infer) = self.classifiers();
+        let infer_active = self.cfg.infer_enabled && !infer.is_empty();
+        let ie = infer_active.then(|| self.ie_pipeline());
+        let aggregates = self.cfg.infer_enabled.then(|| self.aggregates.clone());
         crate::snapshot::PipelineSnapshot::new(
             gate,
             rules,
+            infer,
+            ie,
+            aggregates,
+            Some(self.obs.infer.clone()),
             self.ensemble.clone(),
             self.featurizer.clone(),
             self.suppressed.clone(),
@@ -326,8 +395,8 @@ impl Chimera {
 
     /// Classifies one product (Figure 2 left-to-right).
     pub fn classify(&self, product: &Product) -> Decision {
-        let (gate, rules) = self.classifiers();
-        self.classify_with(product, &gate, &rules)
+        let (gate, rules, infer) = self.classifiers();
+        self.classify_with(product, &gate, &rules, &infer)
     }
 
     fn classify_with(
@@ -335,10 +404,38 @@ impl Chimera {
         product: &Product,
         gate: &RuleClassifier,
         rules: &RuleClassifier,
+        infer: &InferenceEngine,
     ) -> Decision {
+        // Fact-inference tier: chain to fixpoint, then classify the
+        // augmented product. With the tier off (or no infer rules) the
+        // original product flows through untouched.
+        let infer_active = self.cfg.infer_enabled && !infer.is_empty();
+        let aggregates = self.cfg.infer_enabled.then(|| self.aggregates.clone());
+        let augmented;
+        let product = if infer_active {
+            let span = SpanTimer::start(&self.obs.infer.nanos);
+            let ie = self.ie_pipeline();
+            let seeds = Self::ie_seeds(&ie, product);
+            let outcome = infer.infer(product, &seeds, aggregates.clone());
+            span.finish();
+            self.obs.infer.record(&outcome);
+            match outcome.augmented(product) {
+                Some(p) => {
+                    augmented = p;
+                    &augmented
+                }
+                None => product,
+            }
+        } else {
+            product
+        };
+        // Prepare once; the gate and the main rule layer share the view
+        // (and any attached aggregate store).
+        let prepared = PreparedProduct::with_aggregates(product, aggregates);
+
         // Gate Keeper: an unambiguous gate hit classifies immediately.
         let span = SpanTimer::start(&self.obs.stage_gate);
-        let gate_verdict = gate.classify(product);
+        let gate_verdict = gate.classify_prepared(&prepared);
         span.finish();
         let finals = gate_verdict.final_candidates();
         if finals.len() == 1 && !self.suppressed.contains(&finals[0].0) {
@@ -353,7 +450,7 @@ impl Chimera {
 
         // Rule-based + attribute/value classifiers.
         let span = SpanTimer::start(&self.obs.stage_rules);
-        let verdict = rules.classify(product);
+        let verdict = rules.classify_prepared(&prepared);
         span.finish();
         // Learning ensemble.
         let span = SpanTimer::start(&self.obs.stage_learn);
@@ -375,10 +472,10 @@ impl Chimera {
     /// Classifies a slice of products on `cfg.threads` chunks of the
     /// persistent process-wide worker pool (no thread spawn per batch).
     pub fn classify_batch(&self, products: &[Product]) -> Vec<Decision> {
-        let (gate, rules) = self.classifiers();
+        let (gate, rules, infer) = self.classifiers();
         let threads = self.cfg.threads.max(1);
         if products.len() < 64 || threads == 1 {
-            return products.iter().map(|p| self.classify_with(p, &gate, &rules)).collect();
+            return products.iter().map(|p| self.classify_with(p, &gate, &rules, &infer)).collect();
         }
         let chunk = products.len().div_ceil(threads);
         let slots: Vec<parking_lot::Mutex<Option<Vec<Decision>>>> =
@@ -387,9 +484,10 @@ impl Chimera {
             for (slice, slot) in products.chunks(chunk).zip(&slots) {
                 let gate = &gate;
                 let rules = &rules;
+                let infer = &infer;
                 scope.spawn(move || {
                     let decisions: Vec<Decision> =
-                        slice.iter().map(|p| self.classify_with(p, gate, rules)).collect();
+                        slice.iter().map(|p| self.classify_with(p, gate, rules, infer)).collect();
                     *slot.lock() = Some(decisions);
                 });
             }
@@ -437,6 +535,9 @@ impl Chimera {
                     Err(_) => break, // budget exhausted: stop sampling
                 };
                 estimate.record(verdict.accepted);
+                // Feed the streaming aggregates: rules can gate on
+                // `agg("vendor_mismatch_rate")` from the next item on.
+                self.aggregates.ratio("vendor_mismatch_rate").record(!verdict.accepted);
                 if let Some(alarm) = self.monitor.record(predicted, verdict.accepted) {
                     alarms.push(alarm.ty);
                     if self.cfg.auto_scale_down {

@@ -4,10 +4,13 @@
 //! snapshot never blocks on repository locks, never observes later edits,
 //! and can be swapped wholesale when a newer revision is published.
 
+use crate::obs::InferMetrics;
 use crate::voting::{vote, Decision, VotingConfig};
-use rulekit_core::RuleClassifier;
+use rulekit_core::{AggregateStore, InferenceEngine, PreparedProduct, RuleClassifier};
 use rulekit_data::{Product, TypeId};
+use rulekit_ie::IePipeline;
 use rulekit_learn::{Classifier, Ensemble, Featurizer, Prediction};
+use rulekit_obs::SpanTimer;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -37,6 +40,17 @@ pub struct SnapshotDecision {
 pub struct PipelineSnapshot {
     gate: Arc<RuleClassifier>,
     rules: Arc<RuleClassifier>,
+    /// Forward-chaining fact rules captured at snapshot time. Empty (or with
+    /// `ie: None`) the inference stage is skipped entirely.
+    infer: Arc<InferenceEngine>,
+    /// Extraction pipeline seeding the working memory. `None` when the
+    /// inference tier is disabled or no infer rules exist.
+    ie: Option<Arc<IePipeline>>,
+    /// Live handle to the pipeline's streaming aggregates — snapshots see
+    /// rates/quantiles as they move, matching the live pipeline. `None`
+    /// when the tier is disabled (then `agg(...)` evaluates to Missing).
+    aggregates: Option<Arc<AggregateStore>>,
+    infer_metrics: Option<Arc<InferMetrics>>,
     ensemble: Option<Arc<Ensemble>>,
     featurizer: Featurizer,
     suppressed: Arc<HashSet<TypeId>>,
@@ -50,6 +64,10 @@ impl PipelineSnapshot {
     pub(crate) fn new(
         gate: Arc<RuleClassifier>,
         rules: Arc<RuleClassifier>,
+        infer: Arc<InferenceEngine>,
+        ie: Option<Arc<IePipeline>>,
+        aggregates: Option<Arc<AggregateStore>>,
+        infer_metrics: Option<Arc<InferMetrics>>,
         ensemble: Option<Arc<Ensemble>>,
         featurizer: Featurizer,
         suppressed: HashSet<TypeId>,
@@ -60,6 +78,10 @@ impl PipelineSnapshot {
         PipelineSnapshot {
             gate,
             rules,
+            infer,
+            ie,
+            aggregates,
+            infer_metrics,
             ensemble,
             featurizer,
             suppressed: Arc::new(suppressed),
@@ -106,8 +128,33 @@ impl PipelineSnapshot {
     }
 
     fn run(&self, product: &Product, rules_only: bool) -> SnapshotDecision {
+        // Fact-inference tier (mirrors `Chimera::classify_with`): chain to
+        // fixpoint and classify the augmented product. Both the degraded and
+        // full paths run inference — derived facts are part of the rule
+        // layer's input, not of the ensemble.
+        let augmented;
+        let product = if let (Some(ie), false) = (&self.ie, self.infer.is_empty()) {
+            let span = self.infer_metrics.as_ref().map(|m| SpanTimer::start(&m.nanos));
+            let seeds = crate::pipeline::Chimera::ie_seeds(ie, product);
+            let outcome = self.infer.infer(product, &seeds, self.aggregates.clone());
+            drop(span);
+            if let Some(m) = &self.infer_metrics {
+                m.record(&outcome);
+            }
+            match outcome.augmented(product) {
+                Some(p) => {
+                    augmented = p;
+                    &augmented
+                }
+                None => product,
+            }
+        } else {
+            product
+        };
+        let prepared = PreparedProduct::with_aggregates(product, self.aggregates.clone());
+
         // Gate Keeper: an unambiguous gate hit classifies immediately.
-        let gate_verdict = self.gate.classify(product);
+        let gate_verdict = self.gate.classify_prepared(&prepared);
         let finals = gate_verdict.final_candidates();
         if finals.len() == 1 && !self.suppressed.contains(&finals[0].0) {
             return SnapshotDecision {
@@ -121,7 +168,7 @@ impl PipelineSnapshot {
             };
         }
 
-        let verdict = self.rules.classify(product);
+        let verdict = self.rules.classify_prepared(&prepared);
         let learned = match (&self.ensemble, rules_only) {
             (Some(e), false) => e.predict(&self.featurizer.features(product)),
             _ => Prediction::empty(),

@@ -1,0 +1,428 @@
+//! Frugal streaming aggregates: O(1)-memory per-key rates and quantile
+//! sketches over the event stream, referenceable from expression rules as
+//! `agg("vendor_mismatch_rate") > 0.05`.
+//!
+//! Two series kinds live behind one name registry:
+//!
+//! * [`RatioSeries`] — a pair of wait-free counters (hits / total). The
+//!   rate is exact, and merging two ratios is exact (sum of counts), so
+//!   merged ≡ the combined stream by construction.
+//! * [`QuantileSketch`] — a fixed log-linear bucket array (the same
+//!   layout idea as the obs histograms): bucket `i` covers one
+//!   sixteenth-of-an-octave of the positive reals, so any reported
+//!   quantile is within a bounded *relative* error of the true order
+//!   statistic (≤ `2^(1/32) − 1` ≈ 2.2% for positive values). Memory is
+//!   a constant ~11 KiB per series regardless of stream length, and
+//!   merging is element-wise bucket addition — bit-identical to having
+//!   sketched the concatenated stream.
+//!
+//! Both are written with relaxed atomics so recording on the classify hot
+//! path is a handful of uncontended `fetch_add`s. Readers take a
+//! point-in-time view; the store itself is an `RwLock<HashMap>` that is
+//! only write-locked when a *new* series name first appears.
+//!
+//! # Query language
+//!
+//! [`AggregateStore::value`] resolves the string inside `agg("...")`:
+//!
+//! * `name` — ratio series: the rate `hits/total`; sketch: the median.
+//! * `name:rate` — ratio rate (explicit form).
+//! * `name:hits` / `name:total` — ratio raw counts.
+//! * `name:pNN` (e.g. `p95`, `p99.9`) — sketch quantile.
+//! * `name:count` — number of recorded observations (either kind).
+//!
+//! Unknown names or stats yield `None`, which the expression VM surfaces
+//! as `Missing` — comparisons against Missing are false, so a rule
+//! gated on an aggregate that has never been fed simply does not fire.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Sub-buckets per octave (power of two). Relative quantile error is
+/// bounded by `2^(1/(2*SUB_PER_OCTAVE)) - 1`.
+const SUB_PER_OCTAVE: i32 = 16;
+/// Smallest distinguishable positive value: `2^MIN_EXP`.
+const MIN_EXP: i32 = -30;
+/// Largest distinguishable value: `2^MAX_EXP`.
+const MAX_EXP: i32 = 60;
+/// Index of the underflow bucket (zero, negatives, and tiny values).
+const UNDERFLOW: usize = 0;
+/// Total bucket count: underflow + one per sixteenth-octave + overflow.
+const BUCKETS: usize = ((MAX_EXP - MIN_EXP) * SUB_PER_OCTAVE) as usize + 2;
+
+/// Exact streaming ratio: `hits / total`.
+#[derive(Debug, Default)]
+pub struct RatioSeries {
+    hits: AtomicU64,
+    total: AtomicU64,
+}
+
+impl RatioSeries {
+    /// Record one observation; `hit` marks it as counting toward the rate.
+    pub fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `hits / total`, or `None` before the first observation.
+    pub fn rate(&self) -> Option<f64> {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        Some(self.hits.load(Ordering::Relaxed) as f64 / total as f64)
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Fold another ratio into this one. Exact: the result is identical
+    /// to having recorded both streams into a single series.
+    pub fn merge_from(&self, other: &RatioSeries) {
+        self.hits.fetch_add(other.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Log-linear quantile sketch with a fixed bucket array.
+pub struct QuantileSketch {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+}
+
+impl std::fmt::Debug for QuantileSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantileSketch").field("count", &self.count()).finish()
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = match buckets.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("bucket vec has BUCKETS elements"),
+        };
+        Self { buckets }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if !value.is_finite() {
+            return if value == f64::INFINITY { BUCKETS - 1 } else { UNDERFLOW };
+        }
+        if value < f64::powi(2.0, MIN_EXP) {
+            // Zero, negatives, and sub-resolution values share the
+            // underflow bucket whose representative value is 0.
+            return UNDERFLOW;
+        }
+        let idx = (value.log2() * SUB_PER_OCTAVE as f64).floor() as i64
+            - (MIN_EXP * SUB_PER_OCTAVE) as i64;
+        (idx + 1).clamp(1, (BUCKETS - 1) as i64) as usize
+    }
+
+    /// Representative value for a bucket: the geometric midpoint.
+    fn bucket_value(idx: usize) -> f64 {
+        if idx == UNDERFLOW {
+            return 0.0;
+        }
+        let exp = (idx as i64 - 1) + (MIN_EXP * SUB_PER_OCTAVE) as i64;
+        f64::powf(2.0, (exp as f64 + 0.5) / SUB_PER_OCTAVE as f64)
+    }
+
+    pub fn record(&self, value: f64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`; `None` before the first
+    /// observation. The returned value is the representative of the
+    /// bucket containing the order statistic, so for positive inputs it
+    /// is within the sketch's relative-error bound of the true value.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target order statistic, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_value(idx));
+            }
+        }
+        Some(Self::bucket_value(BUCKETS - 1))
+    }
+
+    /// Element-wise bucket addition. The merged sketch is bit-identical
+    /// to one fed the concatenation of both streams.
+    pub fn merge_from(&self, other: &QuantileSketch) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Raw bucket counts, for equality assertions in tests.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Upper bound on the relative error of `quantile` for positive,
+    /// in-range inputs.
+    pub fn relative_error_bound() -> f64 {
+        f64::powf(2.0, 1.0 / (2.0 * SUB_PER_OCTAVE as f64)) - 1.0
+    }
+}
+
+/// One named series: either a ratio or a quantile sketch.
+#[derive(Debug, Clone)]
+enum Series {
+    Ratio(Arc<RatioSeries>),
+    Sketch(Arc<QuantileSketch>),
+}
+
+/// Named registry of streaming aggregates, shared between the pipeline
+/// (writers) and the expression VM (readers).
+#[derive(Debug, Default)]
+pub struct AggregateStore {
+    series: RwLock<HashMap<String, Series>>,
+}
+
+impl AggregateStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the ratio series `name`. If the name is already
+    /// registered as a sketch, a detached series is returned (records to
+    /// it are invisible to queries) rather than clobbering the registry;
+    /// series kinds are fixed at first registration.
+    pub fn ratio(&self, name: &str) -> Arc<RatioSeries> {
+        if let Some(Series::Ratio(r)) = self.series.read().get(name) {
+            return Arc::clone(r);
+        }
+        let mut map = self.series.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Series::Ratio(Arc::new(RatioSeries::default())))
+        {
+            Series::Ratio(r) => Arc::clone(r),
+            Series::Sketch(_) => Arc::new(RatioSeries::default()),
+        }
+    }
+
+    /// Get-or-create the quantile sketch `name` (same kind-conflict
+    /// policy as [`AggregateStore::ratio`]).
+    pub fn sketch(&self, name: &str) -> Arc<QuantileSketch> {
+        if let Some(Series::Sketch(s)) = self.series.read().get(name) {
+            return Arc::clone(s);
+        }
+        let mut map = self.series.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Series::Sketch(Arc::new(QuantileSketch::new())))
+        {
+            Series::Sketch(s) => Arc::clone(s),
+            Series::Ratio(_) => Arc::new(QuantileSketch::new()),
+        }
+    }
+
+    /// Resolve an `agg("...")` query (see module docs for the grammar).
+    pub fn value(&self, query: &str) -> Option<f64> {
+        let (name, stat) = match query.split_once(':') {
+            Some((n, s)) => (n.trim(), s.trim()),
+            None => (query.trim(), ""),
+        };
+        let series = self.series.read().get(name)?.clone();
+        match series {
+            Series::Ratio(r) => match stat {
+                "" | "rate" => r.rate(),
+                "hits" => Some(r.hits() as f64),
+                "total" | "count" => Some(r.total() as f64),
+                _ => None,
+            },
+            Series::Sketch(s) => match stat {
+                "" => s.quantile(0.5),
+                "count" => Some(s.count() as f64),
+                _ => {
+                    let q: f64 = stat.strip_prefix('p')?.parse().ok()?;
+                    if !(0.0..=100.0).contains(&q) {
+                        return None;
+                    }
+                    s.quantile(q / 100.0)
+                }
+            },
+        }
+    }
+
+    /// Fold every series of `other` into this store (creating missing
+    /// names). Merges are exact / bit-identical per series kind.
+    pub fn merge_from(&self, other: &AggregateStore) {
+        let theirs: Vec<(String, Series)> =
+            other.series.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        for (name, series) in theirs {
+            match series {
+                Series::Ratio(r) => self.ratio(&name).merge_from(&r),
+                Series::Sketch(s) => self.sketch(&name).merge_from(&s),
+            }
+        }
+    }
+
+    /// Registered series names, sorted (diagnostics / tests).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.series.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_rate_and_merge_are_exact() {
+        let a = RatioSeries::default();
+        for i in 0..100 {
+            a.record(i % 4 == 0);
+        }
+        assert_eq!(a.rate(), Some(0.25));
+        let b = RatioSeries::default();
+        for _ in 0..100 {
+            b.record(true);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.rate(), Some(125.0 / 200.0));
+        assert_eq!(a.total(), 200);
+    }
+
+    #[test]
+    fn empty_series_yield_none() {
+        let store = AggregateStore::new();
+        assert_eq!(store.value("nope"), None);
+        store.ratio("r");
+        assert_eq!(store.value("r"), None, "no observations yet");
+        store.sketch("s");
+        assert_eq!(store.value("s:p95"), None);
+    }
+
+    #[test]
+    fn sketch_quantiles_within_bound() {
+        let s = QuantileSketch::new();
+        let mut vals: Vec<f64> = (1..=10_000).map(|i| i as f64 / 7.0).collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bound = QuantileSketch::relative_error_bound();
+        for &q in &[0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= bound * 1.001, "q={q}: est={est} exact={exact} rel={rel} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn sketch_handles_degenerate_inputs() {
+        let s = QuantileSketch::new();
+        for v in [0.0, -5.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e300, 1e-300] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 7);
+        assert!(s.quantile(0.5).is_some());
+        // All-underflow stream reports 0.
+        let z = QuantileSketch::new();
+        z.record(0.0);
+        assert_eq!(z.quantile(0.99), Some(0.0));
+    }
+
+    #[test]
+    fn sketch_merge_equals_combined_stream() {
+        let a = QuantileSketch::new();
+        let b = QuantileSketch::new();
+        let combined = QuantileSketch::new();
+        for i in 0..1000 {
+            let v = (i as f64).sqrt() + 0.5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.bucket_counts(), combined.bucket_counts());
+    }
+
+    #[test]
+    fn store_query_grammar() {
+        let store = AggregateStore::new();
+        let r = store.ratio("mismatch");
+        r.record(true);
+        r.record(false);
+        r.record(false);
+        r.record(false);
+        assert_eq!(store.value("mismatch"), Some(0.25));
+        assert_eq!(store.value("mismatch:rate"), Some(0.25));
+        assert_eq!(store.value("mismatch:hits"), Some(1.0));
+        assert_eq!(store.value("mismatch:total"), Some(4.0));
+        assert_eq!(store.value("mismatch:p95"), None, "ratio has no quantiles");
+
+        let s = store.sketch("latency");
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        assert!(store.value("latency:p99").is_some());
+        assert_eq!(store.value("latency:count"), Some(100.0));
+        assert_eq!(store.value("latency:zzz"), None);
+        assert_eq!(store.value("latency:p200"), None);
+
+        // Kind is fixed at first registration; a conflicting handle is
+        // detached, not a clobber.
+        let detached = store.ratio("latency");
+        detached.record(true);
+        assert_eq!(store.value("latency:count"), Some(100.0));
+    }
+
+    #[test]
+    fn store_merge_covers_both_kinds() {
+        let a = AggregateStore::new();
+        a.ratio("r").record(true);
+        a.sketch("s").record(2.0);
+        let b = AggregateStore::new();
+        b.ratio("r").record(false);
+        b.sketch("s").record(4.0);
+        b.sketch("only_b").record(1.0);
+        a.merge_from(&b);
+        assert_eq!(a.value("r:total"), Some(2.0));
+        assert_eq!(a.value("s:count"), Some(2.0));
+        assert_eq!(a.value("only_b:count"), Some(1.0));
+        assert_eq!(a.names(), vec!["only_b", "r", "s"]);
+    }
+}

@@ -86,7 +86,14 @@ impl RuleClassifier {
     /// here; the executor and every rule condition reuse that preparation.
     pub fn classify(&self, product: &Product) -> RuleVerdict {
         let prepared = PreparedProduct::new(product);
-        let mut fired = self.executor.matching_rules_prepared(&prepared);
+        self.classify_prepared(&prepared)
+    }
+
+    /// Classifies an already-prepared product — used by the pipeline to
+    /// prepare once (optionally with an aggregate store attached) and run
+    /// both the gate keeper and the main rule layer on the same view.
+    pub fn classify_prepared(&self, prepared: &PreparedProduct<'_>) -> RuleVerdict {
+        let mut fired = self.executor.matching_rules_prepared(prepared);
         fired.sort_unstable();
 
         let mut verdict = RuleVerdict::default();

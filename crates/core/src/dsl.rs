@@ -32,7 +32,7 @@
 //! compiled bytecode.
 
 use crate::expr::ExprCache;
-use crate::rule::{CompareOp, Condition, Dictionary, RuleAction};
+use crate::rule::{CompareOp, Condition, Dictionary, InferFact, RuleAction};
 use rulekit_data::Taxonomy;
 use rulekit_regex::Regex;
 use std::collections::HashMap;
@@ -117,6 +117,9 @@ impl RuleParser {
         if let Some(rest) = line.trim_start().strip_prefix("rule:") {
             return self.parse_expr_rule(line, rest);
         }
+        if let Some(rest) = line.trim_start().strip_prefix("infer:") {
+            return self.parse_infer_rule(line, rest);
+        }
         let (lhs, rhs) = line.rsplit_once("->").ok_or_else(|| err("missing '->'"))?;
         let condition = self.parse_condition(lhs.trim())?;
         let action = self.parse_action(rhs.trim())?;
@@ -131,6 +134,24 @@ impl RuleParser {
             self.expr_cache.compile(expr_src).map_err(|e| err(&format!("bad expression: {e}")))?;
         let action = self.parse_action(rhs.trim())?;
         Ok(RuleSpec { condition: Condition::Expr(compiled), action, source: line.to_string() })
+    }
+
+    /// `infer: <expr> => fact <name> = <value> [@<conf>] [^<priority>]` —
+    /// the fact-inference tier. The antecedent is a full expression-language
+    /// predicate; the consequent derives a working-memory fact. Trailing
+    /// `@0.9` (confidence, default 1.0) and `^10` (priority, default 0)
+    /// modifiers may appear in either order.
+    fn parse_infer_rule(&self, line: &str, rest: &str) -> Result<RuleSpec, ParseError> {
+        let (expr_src, rhs) =
+            rest.rsplit_once("=>").ok_or_else(|| err("inference rule needs '=>'"))?;
+        let compiled =
+            self.expr_cache.compile(expr_src).map_err(|e| err(&format!("bad antecedent: {e}")))?;
+        let fact = parse_fact_consequent(rhs.trim())?;
+        Ok(RuleSpec {
+            condition: Condition::Expr(compiled),
+            action: RuleAction::Infer(fact),
+            source: line.to_string(),
+        })
     }
 
     fn parse_condition(&self, lhs: &str) -> Result<Condition, ParseError> {
@@ -265,6 +286,59 @@ fn normalize_pattern_whitespace(pattern: &str) -> String {
         out.push(c);
     }
     out
+}
+
+/// Parses `fact <name> = <value> [@<conf>] [^<priority>]` (modifiers in
+/// either order, at most once each). The value may contain spaces and `=`;
+/// name and value are case-folded to match prepared-product lookups.
+fn parse_fact_consequent(rhs: &str) -> Result<InferFact, ParseError> {
+    let body = rhs.strip_prefix("fact").filter(|r| r.starts_with(char::is_whitespace)).ok_or_else(
+        || err("inference consequent must be 'fact <name> = <value> [@conf] [^prio]'"),
+    )?;
+    let mut body = body.trim();
+    let mut confidence_ppm: Option<u32> = None;
+    let mut priority: Option<i32> = None;
+    // Peel trailing @conf / ^prio modifier tokens off the end.
+    while let Some((head, tail)) = body.rsplit_once(char::is_whitespace) {
+        let tail = tail.trim();
+        if let Some(conf) = tail.strip_prefix('@') {
+            if confidence_ppm.is_some() {
+                return Err(err("duplicate '@confidence' modifier"));
+            }
+            let c: f64 = conf.parse().map_err(|_| err(&format!("invalid confidence {conf:?}")))?;
+            if !(0.0..=1.0).contains(&c) {
+                return Err(err("confidence must be in [0, 1]"));
+            }
+            confidence_ppm = Some((c * 1_000_000.0).round() as u32);
+            body = head.trim_end();
+            continue;
+        }
+        if let Some(prio) = tail.strip_prefix('^') {
+            if priority.is_some() {
+                return Err(err("duplicate '^priority' modifier"));
+            }
+            priority = Some(prio.parse().map_err(|_| err(&format!("invalid priority {prio:?}")))?);
+            body = head.trim_end();
+            continue;
+        }
+        break;
+    }
+    let (name, value) =
+        body.split_once('=').ok_or_else(|| err("fact consequent needs '<name> = <value>'"))?;
+    let name = crate::prepared::fold_lower(name.trim()).into_owned();
+    let value = crate::prepared::fold_lower(value.trim()).into_owned();
+    if name.is_empty() {
+        return Err(err("fact name must not be empty"));
+    }
+    if value.is_empty() {
+        return Err(err("fact value must not be empty"));
+    }
+    Ok(InferFact {
+        name,
+        value,
+        confidence_ppm: confidence_ppm.unwrap_or(1_000_000),
+        priority: priority.unwrap_or(0),
+    })
 }
 
 fn call_body<'a>(atom: &'a str, func: &str) -> Option<&'a str> {
@@ -482,6 +556,59 @@ mod tests {
     #[test]
     fn malformed_expression_rule_reports_error() {
         for bad in ["rule: price < => books", "rule: price < 20", "rule: title ~ /(/ => books"] {
+            assert!(parser().parse_rule(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn infer_rule_parses() {
+        let spec = parser()
+            .parse_rule(
+                r#"infer: `brand name` == "lego" && has(Pieces) => fact category = toys @0.9 ^10"#,
+            )
+            .unwrap();
+        let RuleAction::Infer(fact) = &spec.action else { panic!("expected Infer") };
+        assert_eq!(fact.name, "category");
+        assert_eq!(fact.value, "toys");
+        assert_eq!(fact.confidence_ppm, 900_000);
+        assert_eq!(fact.priority, 10);
+        assert!(matches!(spec.condition, Condition::Expr(_)));
+    }
+
+    #[test]
+    fn infer_rule_defaults_and_modifier_order() {
+        let p = parser();
+        let spec = p.parse_rule("infer: has(ISBN) => fact media = book").unwrap();
+        let RuleAction::Infer(fact) = &spec.action else { panic!("expected Infer") };
+        assert_eq!((fact.confidence_ppm, fact.priority), (1_000_000, 0));
+        // Modifiers are order-independent; values may hold spaces and '='.
+        let spec = p.parse_rule("infer: has(a) => fact k = v one = two ^-3 @0.5").unwrap();
+        let RuleAction::Infer(fact) = &spec.action else { panic!("expected Infer") };
+        assert_eq!(fact.value, "v one = two");
+        assert_eq!((fact.confidence_ppm, fact.priority), (500_000, -3));
+    }
+
+    #[test]
+    fn infer_rule_folds_name_and_value() {
+        let spec = parser().parse_rule("infer: has(a) => fact Category = TOYS").unwrap();
+        let RuleAction::Infer(fact) = &spec.action else { panic!("expected Infer") };
+        assert_eq!((fact.name.as_str(), fact.value.as_str()), ("category", "toys"));
+    }
+
+    #[test]
+    fn malformed_infer_rules_report_typed_errors() {
+        for bad in [
+            "infer: has(a) fact k = v",          // missing =>
+            "infer: has(a) => k = v",            // missing 'fact'
+            "infer: has(a) => fact k",           // missing '='
+            "infer: has(a) => fact = v",         // empty name
+            "infer: has(a) => fact k =",         // empty value
+            "infer: has(a) => fact k = v @2",    // confidence out of range
+            "infer: has(a) => fact k = v @x",    // unparsable confidence
+            "infer: has(a) => fact k = v ^x",    // unparsable priority
+            "infer: has(a) => fact k = v @1 @1", // duplicate modifier
+            "infer: price < => fact k = v",      // bad antecedent
+        ] {
             assert!(parser().parse_rule(bad).is_err(), "expected error for {bad:?}");
         }
     }

@@ -132,6 +132,10 @@ impl Emitter {
         pool_idx(&mut self.program.attrs, name.to_string())
     }
 
+    fn agg_idx(&mut self, query: &str) -> u32 {
+        pool_idx(&mut self.program.aggs, query.to_string())
+    }
+
     fn regex_idx(&mut self, re: Regex) -> u32 {
         // Regexes are cheap Arc clones; dedup by pattern text.
         if let Some(i) = self.program.regexes.iter().position(|r| r.pattern() == re.pattern()) {
@@ -278,6 +282,11 @@ fn emit_num(e: &mut Emitter, expr: &Expr) -> Result<(), ExprError> {
             e.emit(Instr::LoadAttrNum(i), 1);
             Ok(())
         }
+        Expr::Agg(query) => {
+            let i = e.agg_idx(query);
+            e.emit(Instr::LoadAgg(i), 1);
+            Ok(())
+        }
         Expr::Neg(inner) => {
             emit_num(e, inner)?;
             e.emit(Instr::Neg, 0);
@@ -323,7 +332,7 @@ fn emit_str(e: &mut Emitter, expr: &Expr) -> Result<(), ExprError> {
 /// Static type of an expression in equality position (no code emitted).
 fn ty_of(expr: &Expr) -> Ty {
     match expr {
-        Expr::Num(_) | Expr::Vendor | Expr::Neg(_) => Ty::Num,
+        Expr::Num(_) | Expr::Vendor | Expr::Neg(_) | Expr::Agg(_) => Ty::Num,
         Expr::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div, _, _) => Ty::Num,
         Expr::Str(_) | Expr::Title => Ty::Str,
         Expr::Attr(_) => Ty::Dyn,
@@ -402,6 +411,7 @@ fn describe(expr: &Expr) -> &'static str {
         Expr::Vendor => "the vendor id",
         Expr::Attr(_) => "an attribute",
         Expr::AttrExists(_) => "has(…)",
+        Expr::Agg(_) => "agg(…)",
         Expr::List(_) => "a list",
         Expr::Regex(_) => "a regex",
         Expr::Not(_) => "'!'",
@@ -612,6 +622,7 @@ impl Emitter {
     fn splice(&mut self, sub: &Program) {
         let base_str = self.program.strs.len() as u32;
         let base_attr = self.program.attrs.len() as u32;
+        let base_agg = self.program.aggs.len() as u32;
         let base_re = self.program.regexes.len() as u32;
         let base_dict = self.program.dicts.len() as u32;
         let base_sl = self.program.str_lists.len() as u32;
@@ -619,6 +630,7 @@ impl Emitter {
         let base_pc = self.here() as u32;
         self.program.strs.extend(sub.strs.iter().cloned());
         self.program.attrs.extend(sub.attrs.iter().cloned());
+        self.program.aggs.extend(sub.aggs.iter().cloned());
         self.program.regexes.extend(sub.regexes.iter().cloned());
         self.program.dicts.extend(sub.dicts.iter().cloned());
         self.program.str_lists.extend(sub.str_lists.iter().cloned());
@@ -629,6 +641,7 @@ impl Emitter {
                 Instr::LoadAttrStr(i) => Instr::LoadAttrStr(i + base_attr),
                 Instr::LoadAttrNum(i) => Instr::LoadAttrNum(i + base_attr),
                 Instr::AttrExists(i) => Instr::AttrExists(i + base_attr),
+                Instr::LoadAgg(i) => Instr::LoadAgg(i + base_agg),
                 Instr::MatchRe(i) => Instr::MatchRe(i + base_re),
                 Instr::MatchTitleRaw(i) => Instr::MatchTitleRaw(i + base_re),
                 Instr::Dict(i) => Instr::Dict(i + base_dict),

@@ -89,6 +89,9 @@ pub enum Expr {
     Attr(String),
     /// `has(name)` — attribute presence.
     AttrExists(String),
+    /// `agg("query")` — streaming-aggregate lookup (numeric; Missing when
+    /// the series is unknown or has no observations yet).
+    Agg(String),
     /// List literal.
     List(Vec<ListItem>),
     /// Regex literal.
@@ -175,6 +178,17 @@ pub fn parse(tokens: &[Token]) -> Result<Expr, ExprError> {
                     };
                     i += 3;
                     out.push(Expr::AttrExists(attr));
+                } else if name == "agg" && tokens.get(i) == Some(&Token::LParen) {
+                    let query =
+                        match (tokens.get(i + 1), tokens.get(i + 2)) {
+                            (Some(Token::Str(q)), Some(Token::RParen)) => q.clone(),
+                            (Some(Token::Ident(q)), Some(Token::RParen)) => q.clone(),
+                            _ => return Err(ExprError::new(
+                                "agg(…) takes one series query, e.g. agg(\"mismatch_rate:p95\")",
+                            )),
+                        };
+                    i += 3;
+                    out.push(Expr::Agg(query));
                 } else {
                     out.push(resolve_ident(name));
                 }
@@ -396,6 +410,19 @@ mod tests {
         };
         let Expr::List(items) = *rhs else { panic!("expected a list") };
         assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn agg_parses_as_a_primary() {
+        let Expr::Bin(BinOp::Gt, lhs, _) = p(r#"agg("vendor_mismatch_rate") > 0.05"#) else {
+            panic!("expected >")
+        };
+        assert!(matches!(*lhs, Expr::Agg(ref q) if q == "vendor_mismatch_rate"));
+        // Bare identifier form works for simple names.
+        assert!(matches!(p("agg(decline_rate) < 1"), Expr::Bin(BinOp::Lt, _, _)));
+        for bad in ["agg()", "agg(a, b)", "agg(", "agg(1)"] {
+            assert!(lex(bad).and_then(|t| parse(&t)).is_err(), "expected error for {bad:?}");
+        }
     }
 
     #[test]

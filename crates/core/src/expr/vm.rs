@@ -52,6 +52,9 @@ pub enum Instr {
     LoadAttrNum(u32),
     /// Push whether attribute `attrs[i]` is present.
     AttrExists(u32),
+    /// Push the value of streaming-aggregate query `aggs[i]`, or `Missing`
+    /// when no aggregate store is attached / the series is unknown.
+    LoadAgg(u32),
     /// Arithmetic; `Missing` propagates.
     Add,
     /// See [`Instr::Add`].
@@ -113,6 +116,7 @@ pub struct Program {
     pub(super) code: Vec<Instr>,
     pub(super) strs: Vec<String>,
     pub(super) attrs: Vec<String>,
+    pub(super) aggs: Vec<String>,
     pub(super) regexes: Vec<Regex>,
     pub(super) dicts: Vec<Arc<Dictionary>>,
     pub(super) str_lists: Vec<Vec<String>>,
@@ -164,6 +168,10 @@ impl Program {
                 Instr::AttrExists(i) => {
                     let b = ctx.attr_exists(&self.attrs[*i as usize]);
                     push(&mut stack, &mut sp, Val::Bool(b));
+                }
+                Instr::LoadAgg(i) => {
+                    let v = ctx.agg(&self.aggs[*i as usize]);
+                    push(&mut stack, &mut sp, v.map_or(Val::Missing, Val::Num));
                 }
                 Instr::Add => arith(&mut stack, &mut sp, |a, b| a + b),
                 Instr::Sub => arith(&mut stack, &mut sp, |a, b| a - b),
@@ -355,5 +363,10 @@ impl<'a> ExecContext<'a> {
     #[inline]
     fn attr_exists(&self, name: &str) -> bool {
         self.prepared.product().has_attr(name)
+    }
+
+    #[inline]
+    fn agg(&self, query: &str) -> Option<f64> {
+        self.prepared.aggregates()?.value(query)
     }
 }

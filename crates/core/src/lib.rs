@@ -13,17 +13,20 @@
 //! "rule languages / system properties / execution and optimization"
 //! research agenda.
 
+pub mod aggregate;
 pub mod classifier;
 pub mod data_index;
 pub mod dsl;
 pub mod engine;
 pub mod expr;
+pub mod infer;
 pub mod pool;
 pub mod prepared;
 pub mod properties;
 pub mod repository;
 pub mod rule;
 
+pub use aggregate::{AggregateStore, QuantileSketch, RatioSeries};
 pub use classifier::{RuleClassifier, RuleVerdict};
 pub use data_index::TitleIndex;
 pub use dsl::{compile_pattern, ParseError, RuleParser, RuleSpec};
@@ -34,10 +37,12 @@ pub use engine::{
 pub use expr::{
     compile_condition, CompiledExpr, ExecContext, ExprCache, ExprCacheStats, ExprError, Program,
 };
+pub use infer::{DerivedFact, InferRule, InferenceEngine, InferenceOutcome, DEFAULT_MAX_ROUNDS};
 pub use pool::{PoolScope, WorkerPool};
 pub use prepared::PreparedProduct;
 pub use properties::{audit_order_independence, OrderAudit};
 pub use repository::{RepositoryStats, Revision, RuleRepository, DEFAULT_LOG_CAPACITY};
 pub use rule::{
-    CompareOp, Condition, Dictionary, Provenance, Rule, RuleAction, RuleId, RuleMeta, RuleStatus,
+    CompareOp, Condition, Dictionary, InferFact, Provenance, Rule, RuleAction, RuleId, RuleMeta,
+    RuleStatus,
 };

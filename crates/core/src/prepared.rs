@@ -17,8 +17,10 @@
 //! Already-lowercase ASCII (the common case for vendor feeds) borrows
 //! instead of allocating.
 
+use crate::aggregate::AggregateStore;
 use rulekit_data::Product;
 use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Context-free lowercase: each char folds independently (`char::to_lowercase`),
 /// unlike `str::to_lowercase`, whose Greek final-sigma special case is
@@ -53,12 +55,21 @@ pub struct PreparedProduct<'p> {
     /// (`Condition::NumCompare`, the expression VM's `LoadAttrNum`) cost a
     /// lookup per rule instead of a parse per rule per product.
     attrs_num: Vec<Option<f64>>,
+    /// Streaming-aggregate store visible to `agg(...)` expressions; `None`
+    /// outside the inference-enabled pipeline (then `agg` yields Missing).
+    aggregates: Option<Arc<AggregateStore>>,
 }
 
 impl<'p> PreparedProduct<'p> {
     /// Prepares `product` for matching. One pass over title and attributes;
     /// already-lowercase ASCII strings are borrowed, not copied.
     pub fn new(product: &'p Product) -> Self {
+        Self::with_aggregates(product, None)
+    }
+
+    /// Like [`PreparedProduct::new`], additionally attaching a streaming-
+    /// aggregate store so `agg("...")` expressions resolve during matching.
+    pub fn with_aggregates(product: &'p Product, aggregates: Option<Arc<AggregateStore>>) -> Self {
         PreparedProduct {
             title_lower: fold_lower(&product.title),
             attrs_lower: product
@@ -72,7 +83,13 @@ impl<'p> PreparedProduct<'p> {
                 .map(|(_, v)| v.trim().parse::<f64>().ok())
                 .collect(),
             product,
+            aggregates,
         }
+    }
+
+    /// The attached aggregate store, if any.
+    pub fn aggregates(&self) -> Option<&AggregateStore> {
+        self.aggregates.as_deref()
     }
 
     /// The underlying product.

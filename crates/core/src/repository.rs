@@ -338,6 +338,7 @@ impl RuleRepository {
                 RuleAction::Assign(_) => stats.whitelist += 1,
                 RuleAction::Forbid(_) => stats.blacklist += 1,
                 RuleAction::Restrict(_) => stats.restriction += 1,
+                RuleAction::Infer(_) => stats.infer += 1,
             }
         }
         stats
@@ -425,6 +426,8 @@ pub struct RepositoryStats {
     pub blacklist: usize,
     /// Restriction rules.
     pub restriction: usize,
+    /// Fact-inference (`Infer`) rules.
+    pub infer: usize,
 }
 
 #[cfg(test)]

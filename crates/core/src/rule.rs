@@ -272,6 +272,30 @@ impl fmt::Display for Condition {
     }
 }
 
+/// The consequent of a fact-inference rule: the derived fact written into
+/// working memory (and, at fixpoint, appended to the product as an
+/// attribute). Confidence is stored in parts-per-million so the action
+/// stays `Eq`-comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferFact {
+    /// Fact name (case-folded at parse time).
+    pub name: String,
+    /// Fact value (case-folded at parse time).
+    pub value: String,
+    /// Confidence in parts per million (`1_000_000` = certain).
+    pub confidence_ppm: u32,
+    /// Conflict-resolution priority: when several rules derive the same
+    /// fact name in one round, higher priority wins.
+    pub priority: i32,
+}
+
+impl InferFact {
+    /// Confidence as a float in `[0, 1]`.
+    pub fn confidence(&self) -> f64 {
+        self.confidence_ppm as f64 / 1_000_000.0
+    }
+}
+
 /// What a rule does when its condition fires.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuleAction {
@@ -282,6 +306,10 @@ pub enum RuleAction {
     /// Restriction: the type must be one of these (the "Brand Name = Apple"
     /// value-rule semantics of §3.3).
     Restrict(Vec<TypeId>),
+    /// Fact inference: derive a working-memory fact instead of touching the
+    /// candidate type set. Evaluated by `core::infer`, never by the
+    /// classification phases (the snapshot build partitions these out).
+    Infer(InferFact),
 }
 
 /// Where a rule came from.
@@ -372,7 +400,7 @@ impl Rule {
     pub fn target_type(&self) -> Option<TypeId> {
         match &self.action {
             RuleAction::Assign(t) | RuleAction::Forbid(t) => Some(*t),
-            RuleAction::Restrict(_) => None,
+            RuleAction::Restrict(_) | RuleAction::Infer(_) => None,
         }
     }
 

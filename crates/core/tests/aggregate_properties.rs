@@ -1,0 +1,126 @@
+//! Correctness wall for the frugal-streaming aggregates: the O(1)-memory
+//! sketches must track an exact offline computation within their
+//! documented error bound, and merging two sketches must be
+//! indistinguishable from having sketched the combined stream.
+
+use proptest::prelude::*;
+use rulekit_core::{AggregateStore, QuantileSketch};
+
+/// Exact offline quantile with the same rank convention the sketch uses:
+/// `rank = ceil(q·n)` clamped to `1..=n`, 1-indexed into the sorted data.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every queried quantile lands within the sketch's relative error
+    /// bound of the exact offline answer, across stream lengths and value
+    /// magnitudes spanning several octaves.
+    #[test]
+    fn sketch_quantiles_track_exact_offline_computation(
+        values in prop::collection::vec(0.001f64..50_000.0, 1..400),
+        scale in 0.01f64..100.0,
+    ) {
+        let sketch = QuantileSketch::new();
+        let mut sorted: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        for v in &sorted {
+            sketch.record(*v);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(sketch.count(), sorted.len() as u64);
+
+        // Slack covers representative rounding at the very edge of a bucket.
+        let bound = QuantileSketch::relative_error_bound() * 1.001;
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = sketch.quantile(q).unwrap();
+            prop_assert!(
+                (est - exact).abs() <= bound * exact,
+                "q={q}: estimate {est} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+
+    /// Merging sketch B into sketch A yields the same buckets — and hence
+    /// the same answers to every possible quantile query — as one sketch
+    /// that saw both streams.
+    #[test]
+    fn sketch_merge_is_equivalent_to_the_combined_stream(
+        a in prop::collection::vec(0.001f64..10_000.0, 0..200),
+        b in prop::collection::vec(0.001f64..10_000.0, 0..200),
+    ) {
+        let left = QuantileSketch::new();
+        let right = QuantileSketch::new();
+        let combined = QuantileSketch::new();
+        for v in &a {
+            left.record(*v);
+            combined.record(*v);
+        }
+        for v in &b {
+            right.record(*v);
+            combined.record(*v);
+        }
+        left.merge_from(&right);
+        prop_assert_eq!(left.bucket_counts(), combined.bucket_counts());
+        prop_assert_eq!(left.count(), combined.count());
+        if left.count() > 0 {
+            for q in [0.1, 0.5, 0.99] {
+                prop_assert_eq!(left.quantile(q), combined.quantile(q));
+            }
+        }
+    }
+
+    /// Ratio series merge exactly: hits and totals add, and the merged
+    /// rate equals the rate of the concatenated stream.
+    #[test]
+    fn ratio_merge_is_exact(
+        a in prop::collection::vec(0..2u32, 0..300),
+        b in prop::collection::vec(0..2u32, 0..300),
+    ) {
+        let left = AggregateStore::new();
+        let right = AggregateStore::new();
+        let combined = AggregateStore::new();
+        for hit in a.iter().map(|v| *v == 1) {
+            left.ratio("r").record(hit);
+            combined.ratio("r").record(hit);
+        }
+        for hit in b.iter().map(|v| *v == 1) {
+            right.ratio("r").record(hit);
+            combined.ratio("r").record(hit);
+        }
+        left.merge_from(&right);
+        prop_assert_eq!(left.ratio("r").hits(), combined.ratio("r").hits());
+        prop_assert_eq!(left.ratio("r").total(), combined.ratio("r").total());
+        prop_assert_eq!(left.value("r:rate"), combined.value("r:rate"));
+    }
+
+    /// Store-level merge covers every registered series by name: queries
+    /// against the merged store agree with the combined-stream store.
+    #[test]
+    fn store_merge_covers_all_series(
+        rates in prop::collection::vec(0..2u32, 1..100),
+        lats in prop::collection::vec(0.1f64..5_000.0, 1..100),
+    ) {
+        let shard = AggregateStore::new();
+        let total = AggregateStore::new();
+        let merged = AggregateStore::new();
+        for hit in rates.iter().map(|v| *v == 1) {
+            shard.ratio("mismatch").record(hit);
+            total.ratio("mismatch").record(hit);
+        }
+        for v in &lats {
+            shard.sketch("latency").record(*v);
+            total.sketch("latency").record(*v);
+        }
+        merged.merge_from(&shard);
+        for query in ["mismatch:rate", "mismatch:hits", "mismatch:total", "latency:p50",
+                      "latency:p95", "latency:count"] {
+            prop_assert_eq!(merged.value(query), total.value(query), "query {}", query);
+        }
+        prop_assert_eq!(merged.value("never_registered"), None);
+    }
+}

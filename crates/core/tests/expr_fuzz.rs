@@ -68,6 +68,19 @@ fn malformed_corpus_errors_cleanly() {
         "5 == \"five\"",
         "\u{0}\u{1}\u{2}",
         "🦀 < 20",
+        // The agg() surface: arity, argument type, and context misuse.
+        "agg",
+        "agg(",
+        "agg()",
+        "agg(,)",
+        "agg(1)",
+        "agg(/re/)",
+        "agg(\"a\", \"b\")",
+        "agg(\"rate\"",
+        "agg(\"rate\")",          // bare Num is not a Bool expression
+        "agg(\"rate\") ~ /x/",    // Num on the regex side
+        "agg(\"rate\") == \"s\"", // Num vs Str
+        "has(agg(\"rate\"))",
     ];
     for src in corpus {
         assert!(compile(src).is_err(), "expected error for {src:?}");
@@ -91,6 +104,8 @@ fn adversarial_depth_and_width_never_panic() {
         let _ = compile(&wide_arith);
         let wide_list = format!("price in [{}]", vec!["1"; n].join(", "));
         let _ = compile(&wide_list);
+        let wide_agg = format!("{} < 99", vec![r#"agg("r")"#; n].join(" + "));
+        let _ = compile(&wide_agg);
     }
 }
 
@@ -114,6 +129,12 @@ fn arb_expr() -> impl Strategy<Value = String> {
         Just("vendor in [1, 7, 9]".to_string()),
         Just(r#"category in ["rug", "mat"]"#.to_string()),
         Just("price / 2 - 1 > 0".to_string()),
+        // Streaming-aggregate atoms: unregistered series evaluate to
+        // Missing, so these exercise the Missing-propagation paths too.
+        Just(r#"agg("vendor_mismatch_rate") > 0.05"#.to_string()),
+        Just(r#"agg("latency:p95") < 250"#.to_string()),
+        Just(r#"agg("mismatch:hits") + 1 >= 1"#.to_string()),
+        Just(r#"agg(series) == agg(series)"#.to_string()),
     ];
     atom.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
@@ -150,6 +171,7 @@ proptest! {
                 Just("<"), Just("<="), Just("~"), Just("in"), Just("("), Just(")"),
                 Just("["), Just("]"), Just(","), Just("/re/"), Just("\"s\""),
                 Just("5"), Just("5.5"), Just("+"), Just("-"), Just("*"), Just("/"),
+                Just("agg"), Just("agg(\"r\")"), Just("agg(\"r:p95\")"),
             ],
             0..24,
         ),

@@ -1,0 +1,139 @@
+//! Robustness suite for the `infer:` DSL surface, mirroring the
+//! `expr_fuzz` contract: every input — malformed consequents, operator
+//! soup, arbitrary bytes, adversarial nesting — either parses or returns a
+//! typed [`ParseError`]; nothing panics. Runs in the same CI fuzz job as
+//! the expression front end.
+
+use proptest::prelude::*;
+use rulekit_core::{ParseError, RuleParser};
+use rulekit_data::Taxonomy;
+
+fn parser() -> RuleParser {
+    RuleParser::new(Taxonomy::builtin())
+}
+
+/// Hand-curated malformed corpus: every class of `infer:` front-end error
+/// an analyst can plausibly type.
+#[test]
+fn malformed_infer_corpus_errors_cleanly() {
+    let corpus: &[&str] = &[
+        "infer:",
+        "infer: ",
+        "infer: =>",
+        "infer: => fact a = 1",
+        "infer: has(x) =>",
+        "infer: has(x) => a = 1",     // missing `fact`
+        "infer: has(x) => facta = 1", // `fact` must be a word
+        "infer: has(x) => fact",
+        "infer: has(x) => fact a",
+        "infer: has(x) => fact a =",
+        "infer: has(x) => fact = 1",
+        "infer: has(x) => fact a = 1 @",
+        "infer: has(x) => fact a = 1 @conf",
+        "infer: has(x) => fact a = 1 @1.5", // confidence outside [0,1]
+        "infer: has(x) => fact a = 1 @-0.1",
+        "infer: has(x) => fact a = 1 @0.5 @0.6",
+        "infer: has(x) => fact a = 1 ^",
+        "infer: has(x) => fact a = 1 ^high",
+        "infer: has(x) => fact a = 1 ^2 ^3",
+        "infer: price < => fact a = 1", // malformed antecedent
+        "infer: (has(x) => fact a = 1",
+        "infer: has(x) && => fact a = 1",
+        "infer: fact a = 1",           // no antecedent/arrow at all
+        "infer: has(x) -> fact a = 1", // legacy arrow in infer line
+        "infer: 🦀 => fact a = 1",
+        "infer: has(x) => fact 🦀🦀 = ",
+    ];
+    let p = parser();
+    for src in corpus {
+        let err = p.parse_rule(src).expect_err(&format!("expected error for {src:?}"));
+        // Typed, renderable error — not a panic, not an empty message.
+        let msg = err.to_string();
+        assert!(!msg.is_empty(), "empty error for {src:?}");
+        let _: &ParseError = &err;
+    }
+}
+
+/// Nesting and width bombs in the antecedent stay bounded (the expression
+/// token cap), and absurdly long consequents are linear-time string work.
+#[test]
+fn adversarial_infer_inputs_never_panic() {
+    let p = parser();
+    for n in [10usize, 300, 2000, 20_000] {
+        let deep = format!("infer: {}1 < 2{} => fact a = 1", "(".repeat(n), ")".repeat(n));
+        let _ = p.parse_rule(&deep);
+        let wide = format!("infer: {} => fact a = 1", vec!["has(x)"; n].join(" && "));
+        let _ = p.parse_rule(&wide);
+        let long_value = format!("infer: has(x) => fact a = {}", "v".repeat(n));
+        let _ = p.parse_rule(&long_value);
+        let many_mods = format!("infer: has(x) => fact a = 1 {}", "@0.5 ".repeat(n));
+        let _ = p.parse_rule(&many_mods);
+        let agg_chain = format!("infer: {} < 9 => fact a = 1", vec![r#"agg("r")"#; n].join(" + "));
+        let _ = p.parse_rule(&agg_chain);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary text after the `infer:` prefix never panics the parser.
+    #[test]
+    fn arbitrary_infer_lines_never_panic(src in "\\PC{0,100}") {
+        let _ = parser().parse_rule(&format!("infer: {src}"));
+    }
+
+    /// Arbitrary bytes (lossily decoded) never panic either.
+    #[test]
+    fn arbitrary_infer_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..140)) {
+        let _ = parser().parse_rule(&format!("infer: {}", String::from_utf8_lossy(&bytes)));
+    }
+
+    /// Grammar-fragment soup: random splices of the infer surface. Most
+    /// don't parse; none may panic; the ones that do parse round-trip into
+    /// an `Infer` action.
+    #[test]
+    fn infer_fragment_soup_never_panics(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("has(x)"), Just("price < 5"), Just(r#"agg("r") > 0.5"#),
+                Just("&&"), Just("||"), Just("!"), Just("=>"), Just("fact"),
+                Just("a"), Just("b"), Just("="), Just("1"), Just("two words"),
+                Just("@0.5"), Just("@2"), Just("^1"), Just("^-3"), Just("@"),
+                Just("^"), Just("("), Just(")"),
+            ],
+            0..20,
+        ),
+    ) {
+        let line = format!("infer: {}", parts.join(" "));
+        if let Ok(spec) = parser().parse_rule(&line) {
+            prop_assert!(
+                matches!(spec.action, rulekit_core::RuleAction::Infer(_)),
+                "infer line parsed to a non-infer action: {}", line
+            );
+        }
+    }
+
+    /// Well-formed generated infer lines all parse, fold their fact names,
+    /// and keep their modifiers.
+    #[test]
+    fn generated_infer_lines_parse(
+        value in "[A-Za-z0-9 ]{1,12}",
+        conf in 0.0f64..1.0,
+        prio in -9i32..10,
+    ) {
+        let value = value.trim().to_string();
+        if value.is_empty() {
+            return Ok(());
+        }
+        let line = format!("infer: has(Seed) => fact Verdict = {value} @{conf:.3} ^{prio}");
+        let spec = parser().parse_rule(&line)
+            .map_err(|e| TestCaseError::fail(format!("{line:?}: {e}")))?;
+        let rulekit_core::RuleAction::Infer(fact) = spec.action else {
+            return Err(TestCaseError::fail("not an infer action"));
+        };
+        prop_assert_eq!(&fact.name, "verdict");
+        prop_assert_eq!(fact.value, value.to_lowercase());
+        prop_assert_eq!(fact.priority, prio);
+        prop_assert!((fact.confidence() - conf).abs() < 0.001);
+    }
+}

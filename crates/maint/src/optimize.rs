@@ -307,7 +307,7 @@ fn drop_subsumed(
         let key = match rule.action {
             RuleAction::Assign(ty) => (true, ty),
             RuleAction::Forbid(ty) => (false, ty),
-            RuleAction::Restrict(_) => continue,
+            RuleAction::Restrict(_) | RuleAction::Infer(_) => continue,
         };
         groups.entry(key).or_default().push(i);
     }

@@ -79,7 +79,9 @@ impl RuleApp {
         store_cfg: DurableConfig,
         serve_cfg: ServeConfig,
     ) -> Result<RuleApp, StoreError> {
-        let registry = Arc::new(Registry::new());
+        // Share the pipeline's registry so one /metrics scrape covers
+        // pipeline + inference-tier + store + serving + route metrics.
+        let registry = chimera.metrics().registry().clone();
         let taxonomy = chimera.taxonomy().clone();
         let parser = chimera.parser().clone();
         let rules = chimera.rules.clone();
@@ -100,7 +102,7 @@ impl RuleApp {
     /// An in-memory app: rule edits apply immediately but do not survive a
     /// restart. Same serving path, no WAL.
     pub fn in_memory(chimera: Arc<Chimera>, serve_cfg: ServeConfig) -> RuleApp {
-        let registry = Arc::new(Registry::new());
+        let registry = chimera.metrics().registry().clone();
         let taxonomy = chimera.taxonomy().clone();
         let parser = chimera.parser().clone();
         let rules = chimera.rules.clone();

@@ -139,11 +139,15 @@ fn classify_batch(state: &ServerState, items: &[Json]) -> Response {
 }
 
 /// `POST /rulesets` — body `{"rules"?: "<dsl text>", "expr"?: "<expression
-/// lines>", "author"?: "…"}`. At least one of `rules`/`expr` is required.
-/// `expr` lines are expression-language predicates (`<expr> => <action>`,
-/// one per line); the handler prefixes each with `rule: ` so they enter the
-/// same DSL path — and therefore the same WAL/recovery story — as every
-/// other rule. Durable apps WAL-log every rule before this returns 201.
+/// lines>", "infer"?: "<fact-rule lines>", "author"?: "…"}`. At least one of
+/// `rules`/`expr`/`infer` is required. `expr` lines are expression-language
+/// predicates (`<expr> => <action>`, one per line); the handler prefixes each
+/// with `rule: ` so they enter the same DSL path — and therefore the same
+/// WAL/recovery story — as every other rule. `infer` lines are fact rules
+/// (`<expr> => fact <name> = <value> [@conf] [^prio]`, one per line),
+/// prefixed with `infer: ` the same way, so derived-fact rules replicate and
+/// recover exactly like classification rules. Durable apps WAL-log every
+/// rule before this returns 201.
 fn create_rules(state: &ServerState, req: &Request) -> Response {
     if let Some(resp) = reject_non_leader_write(state) {
         return resp;
@@ -154,25 +158,32 @@ fn create_rules(state: &ServerState, req: &Request) -> Response {
     };
     let rules_text = doc.get("rules").and_then(Json::as_str);
     let expr_text = doc.get("expr").and_then(Json::as_str);
-    if rules_text.is_none() && expr_text.is_none() {
-        return Response::json(422, error_json("body needs a string \"rules\" or \"expr\" field"));
+    let infer_text = doc.get("infer").and_then(Json::as_str);
+    if rules_text.is_none() && expr_text.is_none() && infer_text.is_none() {
+        return Response::json(
+            422,
+            error_json("body needs a string \"rules\", \"expr\" or \"infer\" field"),
+        );
     }
     let mut text = rules_text.unwrap_or("").to_string();
-    for line in expr_text.unwrap_or("").lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if !text.is_empty() {
-            text.push('\n');
-        }
-        if line.starts_with("rule:") {
+    let mut splice = |raw: &str, prefix: &str| {
+        for line in raw.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            if !line.starts_with(prefix) {
+                text.push_str(prefix);
+                text.push(' ');
+            }
             text.push_str(line);
-        } else {
-            text.push_str("rule: ");
-            text.push_str(line);
         }
-    }
+    };
+    splice(expr_text.unwrap_or(""), "rule:");
+    splice(infer_text.unwrap_or(""), "infer:");
     let mut meta = RuleMeta::default();
     if let Some(author) = doc.get("author").and_then(Json::as_str) {
         meta.author = author.to_string();

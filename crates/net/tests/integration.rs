@@ -502,3 +502,70 @@ fn client_retry_rides_out_503_and_refused_connect() {
     assert_eq!(c.get("/health").unwrap().status, 200);
     late.join().unwrap();
 }
+
+/// The inference-tier CRUD path: an `infer:` fact rule and an expression
+/// rule gated on the derived fact post through `/rulesets` in one body,
+/// WAL-log like any other rule, drive classify traffic, and both survive a
+/// full server restart.
+#[test]
+fn infer_rule_posts_derives_and_survives_restart() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let item = "{\"title\": \"mystery item\", \"attributes\": {\"ISBN\": \"9781234567890\"}}";
+    {
+        let app = RuleApp::durable(
+            ruled_chimera(),
+            storage.clone(),
+            DurableConfig::default(),
+            serve_cfg(),
+        )
+        .unwrap();
+        let server = NetServer::start(app, NetConfig::default()).unwrap();
+        let mut c = client(&server);
+
+        // Malformed consequent → typed 422, nothing stored.
+        let bad = c.post_json("/rulesets", "{\"infer\": \"has(isbn) => media = book\"}").unwrap();
+        assert_eq!(bad.status, 422, "{}", bad.text());
+
+        // A fact rule plus a classification rule that only its derived
+        // fact can trigger, in one atomic POST.
+        let created = c
+            .post_json(
+                "/rulesets",
+                "{\"infer\": \"has(isbn) => fact media = book\", \
+                  \"expr\": \"media == \\\"book\\\" => books\"}",
+            )
+            .unwrap();
+        assert_eq!(created.status, 201, "{}", created.text());
+
+        // Both rules list with their round-trippable prefixes.
+        let list = c.get("/rulesets").unwrap();
+        assert!(list.text().contains("infer: has(isbn)"), "{}", list.text());
+        assert!(list.text().contains("rule: media =="), "{}", list.text());
+
+        // Classification sees the derived fact within one snapshot swap.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let r = c.post_json("/classify", item).unwrap();
+            assert_eq!(r.status, 200);
+            if r.text().contains("\"type\":\"books\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "derived fact never drove a decision");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    } // server drains; storage outlives it
+
+    // Fresh process, same storage: WAL replay re-compiles the fact rule
+    // from its source text and inference resumes immediately.
+    let app =
+        RuleApp::durable(ruled_chimera(), storage, DurableConfig::default(), serve_cfg()).unwrap();
+    let server = NetServer::start(app, NetConfig::default()).unwrap();
+    let mut c = client(&server);
+    let r = c.post_json("/classify", item).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(
+        r.text().contains("\"type\":\"books\""),
+        "recovered infer rule must serve: {}",
+        r.text()
+    );
+}

@@ -327,6 +327,33 @@ fn multi_process_cluster_replicates_edits_and_survives_follower_restart() {
         });
     }
 
+    // Fact-inference rules are ordinary WAL records: a chained pair of
+    // `infer:` rules plus a classification rule gated on the *second*
+    // derived fact land on the leader in one POST…
+    let created = lc
+        .post_json(
+            "/rulesets",
+            "{\"infer\": \"has(isbn) => fact media = book\\nmedia == \\\"book\\\" => fact shelf = stacks\\n\", \
+              \"expr\": \"shelf == \\\"stacks\\\" => books\\n\"}",
+        )
+        .unwrap();
+    assert_eq!(created.status, 201, "{}", created.text());
+
+    // …and every replica must produce the identical derived-fact decision.
+    let book_item =
+        "{\"title\": \"mystery volume\", \"attributes\": {\"ISBN\": \"9781234567890\"}}";
+    let book_decision = |addr: SocketAddr| -> Option<String> {
+        let mut c = http(addr);
+        let r = c.post_json("/classify", book_item).expect("classify");
+        assert_eq!(r.status, 200, "{}", r.text());
+        json_str_field(&r.text().to_string(), "type")
+    };
+    for node in [leader.http, f1.http, f2.http] {
+        wait_until("derived fact drives identical decisions", lag_bound, || {
+            book_decision(node).as_deref() == Some("books")
+        });
+    }
+
     // The replication series ride the same /metrics endpoint as everything
     // else: the lag histogram and seq-delta gauge must be present in the
     // text exposition on a follower.
@@ -353,11 +380,43 @@ fn multi_process_cluster_replicates_edits_and_survives_follower_restart() {
         json_str_field(&h, "catalog_hash").as_deref() == Some(leader_hash.as_str())
             && h.contains("\"state\":\"tailing\"")
     });
+    // The recovered follower chains the replicated fact rules too.
+    assert_eq!(book_decision(f2.http).as_deref(), Some("books"));
+
+    // Kill the *leader* outright and restart it on the same directory: WAL
+    // recovery must bring back the fact rules as source text, and the
+    // revived leader must chain them identically.
+    let pre_restart_hash = leader_hash;
+    leader.kill();
+    let mut leader = NodeProc::spawn(&["leader", "--dir", &leader_dir]);
+    let health = get_health(leader.http);
+    assert!(health.contains("\"role\":\"leader\""), "{health}");
+    assert_eq!(
+        json_str_field(&health, "catalog_hash").as_deref(),
+        Some(pre_restart_hash.as_str()),
+        "leader restart lost rules"
+    );
+    wait_until("restarted leader chains fact rules", Duration::from_secs(10), || {
+        book_decision(leader.http).as_deref() == Some("books")
+    });
+
+    // A fresh follower of the revived leader receives the fact rules over
+    // replication and produces the same derived-fact decision.
+    let repl_addr = leader.repl.expect("restarted leader prints repl addr").to_string();
+    let f3_dir = tmp_dir("f3");
+    let mut f3 = NodeProc::spawn(&["follower", "--dir", &f3_dir, "--leader", &repl_addr]);
+    wait_until("fresh follower converges on revived leader", Duration::from_secs(15), || {
+        let h = get_health(f3.http);
+        json_str_field(&h, "catalog_hash").as_deref() == Some(pre_restart_hash.as_str())
+            && h.contains("\"state\":\"tailing\"")
+    });
+    assert_eq!(book_decision(f3.http).as_deref(), Some("books"));
 
     f1.stop();
     f2.stop();
+    f3.stop();
     leader.stop();
-    for dir in [leader_dir, f1_dir, f2_dir] {
+    for dir in [leader_dir, f1_dir, f2_dir, f3_dir] {
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -498,3 +498,45 @@ fn text_exposition_covers_queue_shed_and_latency() {
         Some(report.completed),
     );
 }
+
+#[test]
+fn exposition_covers_the_inference_tier() {
+    // Serving and the pipeline share one registry, so a single scrape
+    // covers queue metrics AND the fact-inference tier's
+    // `rulekit_infer_*` family — products chained, facts derived, rounds.
+    let tax = Taxonomy::builtin();
+    let chimera = Chimera::new(tax, ChimeraConfig::default());
+    chimera
+        .add_rules(
+            "infer: has(isbn) => fact media = book\n\
+             infer: media == \"book\" => fact aisle = 3\n\
+             attr(media) -> books\n",
+        )
+        .unwrap();
+    let registry = chimera.metrics().registry().clone();
+    let books = chimera.taxonomy().id_of("books").unwrap();
+    let provider = Arc::new(ChimeraProvider::new(Arc::new(chimera)));
+    let service = RuleService::start_with_registry(
+        provider,
+        ServeConfig { shards: 2, ..Default::default() },
+        registry,
+    );
+
+    let mut p = product("unlabeled media item");
+    p.attributes.push(("ISBN".into(), "9781234567890".into()));
+    let outcome = service.submit(p).expect_enqueued().wait().expect("classified");
+    assert_eq!(outcome.decision.type_id(), Some(books), "derived fact must carry the decision");
+
+    let text = service.render_metrics();
+    for required in [
+        "# TYPE rulekit_infer_products_total counter",
+        "rulekit_infer_products_total 1",
+        "rulekit_infer_facts_total 2",
+        "rulekit_infer_bound_hits_total 0",
+        "rulekit_infer_rounds_count 1",
+        "rulekit_infer_nanos_count 1",
+        "rulekit_serve_completed_total 1",
+    ] {
+        assert!(text.contains(required), "missing {required:?} in exposition:\n{text}");
+    }
+}
